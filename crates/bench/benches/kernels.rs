@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the linear-algebra kernels the solvers
+//! are built on — the operations the paper's roofline analysis profiles
+//! (gemm / gemv / Cholesky / sparse Kronecker products).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uoi_linalg::{gemm, gemv, gemv_t, syrk_t, Cholesky, CsrMatrix, IdentityKron, Matrix};
+
+fn matrix(n: usize, p: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(n, p, |i, j| {
+        (((i * 31 + j * 17 + seed) % 1009) as f64 - 504.0) / 504.0
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &n in &[64usize, 128, 256] {
+        let a = matrix(n, n, 1);
+        let b = matrix(n, n, 2);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| gemm(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv");
+    for &(n, p) in &[(256usize, 1024usize), (1024, 256), (2048, 2048)] {
+        let a = matrix(n, p, 3);
+        let x: Vec<f64> = (0..p).map(|i| (i as f64 * 0.37).sin()).collect();
+        let xt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+        g.throughput(Throughput::Elements((2 * n * p) as u64));
+        g.bench_with_input(BenchmarkId::new("Ax", format!("{n}x{p}")), &n, |b, _| {
+            b.iter(|| gemv(black_box(&a), black_box(&x)))
+        });
+        g.bench_with_input(BenchmarkId::new("Atx", format!("{n}x{p}")), &n, |b, _| {
+            b.iter(|| gemv_t(black_box(&a), black_box(&xt)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky");
+    for &p in &[32usize, 64, 128] {
+        let x = matrix(2 * p, p, 5);
+        let mut gram = syrk_t(&x);
+        for i in 0..p {
+            gram[(i, i)] += 1.0;
+        }
+        g.bench_with_input(BenchmarkId::new("factor", p), &p, |b, _| {
+            b.iter(|| Cholesky::factor(black_box(&gram)).unwrap())
+        });
+        let ch = Cholesky::factor(&gram).unwrap();
+        let rhs: Vec<f64> = (0..p).map(|i| i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("solve", p), &p, |b, _| {
+            b.iter(|| ch.solve(black_box(&rhs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse");
+    // The UoI_VAR block-diagonal structure: I_p ⊗ X with X (2p x p).
+    for &p in &[32usize, 64] {
+        let x = matrix(2 * p, p, 7);
+        let op = IdentityKron::new(x.clone(), p);
+        let explicit: CsrMatrix = op.explicit();
+        let v: Vec<f64> = (0..p * p).map(|i| (i as f64 * 0.11).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("kron_spmv_explicit", p), &p, |b, _| {
+            b.iter(|| explicit.spmv(black_box(&v)))
+        });
+        g.bench_with_input(BenchmarkId::new("kron_matvec_lazy", p), &p, |b, _| {
+            b.iter(|| op.matvec(black_box(&v)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_gemv, bench_cholesky, bench_sparse
+}
+criterion_main!(kernels);

@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the optimisation layer: soft threshold,
+//! serial LASSO-ADMM (cold / warm / OLS), coordinate descent, and the
+//! bootstrap samplers feeding the UoI maps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uoi_data::bootstrap::{block_bootstrap, row_bootstrap};
+use uoi_data::rng::seeded;
+use uoi_linalg::Matrix;
+use uoi_solvers::{
+    lasso_cd, soft_threshold_vec, AdmmConfig, CdConfig, LassoAdmm,
+};
+
+fn problem(n: usize, p: usize) -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(n, p, |i, j| {
+        (((i * 131 + j * 37) % 509) as f64 - 254.0) / 254.0
+    });
+    let y: Vec<f64> = (0..n)
+        .map(|i| 2.0 * x[(i, 1)] - x[(i, 3)] + 0.1 * ((i % 11) as f64 - 5.0))
+        .collect();
+    (x, y)
+}
+
+fn bench_prox(c: &mut Criterion) {
+    let a: Vec<f64> = (0..100_000).map(|i| (i as f64 * 0.013).sin() * 3.0).collect();
+    let mut out = vec![0.0; a.len()];
+    c.bench_function("soft_threshold_100k", |b| {
+        b.iter(|| soft_threshold_vec(black_box(&a), 0.5, &mut out))
+    });
+}
+
+fn bench_admm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lasso_admm");
+    for &(n, p) in &[(200usize, 50usize), (100, 400)] {
+        let (x, y) = problem(n, p);
+        let label = format!("{n}x{p}");
+        g.bench_with_input(BenchmarkId::new("factor", &label), &n, |b, _| {
+            b.iter(|| LassoAdmm::new(black_box(x.clone()), AdmmConfig::default()))
+        });
+        let solver = LassoAdmm::new(x.clone(), AdmmConfig::default());
+        let lam = uoi_solvers::lambda_max(&x, &y) * 0.1;
+        g.bench_with_input(BenchmarkId::new("solve", &label), &n, |b, _| {
+            b.iter(|| solver.solve(black_box(&y), lam))
+        });
+        let lambdas = uoi_solvers::lambda_path(&x, &y, 10, 1e-2);
+        g.bench_with_input(BenchmarkId::new("path10", &label), &n, |b, _| {
+            b.iter(|| solver.solve_path(black_box(&y), &lambdas))
+        });
+        g.bench_with_input(BenchmarkId::new("ols", &label), &n, |b, _| {
+            b.iter(|| solver.solve_ols(black_box(&y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cd(c: &mut Criterion) {
+    let (x, y) = problem(200, 50);
+    let lam = uoi_solvers::lambda_max(&x, &y) * 0.1;
+    c.bench_function("lasso_cd_200x50", |b| {
+        b.iter(|| lasso_cd(black_box(&x), &y, lam, &CdConfig::default()))
+    });
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bootstrap");
+    g.bench_function("row_10k", |b| {
+        let mut rng = seeded(1);
+        b.iter(|| row_bootstrap(&mut rng, 10_000, 10_000))
+    });
+    g.bench_function("block_10k", |b| {
+        let mut rng = seeded(2);
+        b.iter(|| block_bootstrap(&mut rng, 10_000, 10_000, 22))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = solvers;
+    config = Criterion::default().sample_size(20);
+    targets = bench_prox, bench_admm, bench_cd, bench_bootstrap
+}
+criterion_main!(solvers);

@@ -1,0 +1,74 @@
+//! Ablation: the paper's stated future work — "we are evaluating
+//! non-blocking MPI and asynchronous execution models to enable further
+//! scaling" (§IV-A4).
+//!
+//! We compare the blocking ADMM round structure (x-update, then a
+//! blocking `MPI_Allreduce` of the estimates) against an overlapped
+//! variant where the allreduce is issued non-blocking and the next
+//! iteration's local x-update computation hides it, across the Table I
+//! weak-scaling core counts.
+
+use uoi_bench::setups::{lasso_weak, machine, LASSO_FEATURES};
+use uoi_bench::{exec_ranks, Table};
+use uoi_mpisim::Cluster;
+
+fn main() {
+    let payload = LASSO_FEATURES; // the estimate vector of the paper's solver
+    let rounds = 60;
+    let flops_per_round = 4.0 * 196.0 * LASSO_FEATURES as f64; // one Woodbury x-update
+    let ws = 196.0 * LASSO_FEATURES as f64 * 8.0;
+
+    let mut t = Table::new(
+        "Ablation — blocking vs non-blocking allreduce in the ADMM round loop",
+        &[
+            "cores",
+            "blocking makespan (s)",
+            "overlapped makespan (s)",
+            "saved",
+        ],
+    );
+    for point in lasso_weak() {
+        let blocking = Cluster::new(exec_ranks(), machine())
+            .modeled_ranks(point.cores)
+            .run(move |ctx, world| {
+                for _ in 0..rounds {
+                    ctx.compute_flops(flops_per_round, ws);
+                    let mut v = vec![1.0; payload];
+                    world.allreduce_sum(ctx, &mut v);
+                }
+            })
+            .makespan();
+        let overlapped = Cluster::new(exec_ranks(), machine())
+            .modeled_ranks(point.cores)
+            .run(move |ctx, world| {
+                let mut pending = None;
+                for _ in 0..rounds {
+                    ctx.compute_flops(flops_per_round, ws);
+                    // Complete the previous round's reduce (one-step-stale
+                    // consensus), then launch this round's.
+                    if let Some(p) = pending.take() {
+                        uoi_mpisim::PendingReduce::wait(p, ctx);
+                    }
+                    let mut v = vec![1.0; payload];
+                    pending = Some(world.iallreduce_sum(ctx, &mut v));
+                }
+                if let Some(p) = pending {
+                    p.wait(ctx);
+                }
+            })
+            .makespan();
+        t.row(&[
+            point.cores.to_string(),
+            format!("{blocking:.4}"),
+            format!("{overlapped:.4}"),
+            format!("{:.1}%", 100.0 * (1.0 - overlapped / blocking)),
+        ]);
+    }
+    t.emit("ablation_async_overlap");
+    println!(
+        "take-away: overlapping the estimate allreduce behind the next x-update hides a\n\
+         growing share of the communication as the core count rises — quantifying the\n\
+         benefit of the paper's proposed non-blocking execution model (at the price of\n\
+         one-step-stale consensus, which ADMM tolerates)."
+    );
+}

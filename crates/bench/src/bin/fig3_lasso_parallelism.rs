@@ -1,0 +1,101 @@
+//! Fig 3: exploiting `UoI_LASSO`'s algorithmic parallelism — the
+//! `P_B x P_lambda` configuration sweep (16x2, 8x4, 4x8, 2x16) with
+//! `B1 = B2 = q = 48`, doubling the dataset and the ADMM cores together
+//! (paper: 16 GB–128 GB on 2,176–17,408 cores; the per-core block is
+//! constant at ≈48 rows x 20,101 features across the sweep).
+//!
+//! We execute one rank per (P_B, P_lambda) group, so each executed rank
+//! carries exactly one modeled ADMM core's block; collective costs are
+//! evaluated at the paper's core counts.
+
+use uoi_bench::setups::{machine, LASSO_FEATURES};
+use uoi_bench::{fmt_bytes, quick_mode, Table};
+use uoi_core::uoi_lasso_dist::fit_uoi_lasso_dist;
+use uoi_core::{ParallelLayout, UoiLassoConfig};
+use uoi_data::LinearConfig;
+use uoi_mpisim::{Cluster, Phase};
+use uoi_solvers::AdmmConfig;
+
+fn main() {
+    let sizes: &[(f64, usize)] =
+        &[(16.0, 2_176), (32.0, 4_352), (64.0, 8_704), (128.0, 17_408)];
+    let configs: &[(usize, usize)] = &[(16, 2), (8, 4), (4, 8), (2, 16)];
+    // Full mode keeps the paper's 48/48 ratios at reduced absolute counts
+    // so a single host core finishes in minutes; quick mode shrinks again.
+    let (b, q, p, max_iter) = if quick_mode() {
+        (8, 8, 1_024, 25)
+    } else {
+        (16, 16, 4_096, 30)
+    };
+    let exec = 32; // one executed rank per (P_B, P_lambda) group
+
+    let mut t = Table::new(
+        &format!("Fig 3 — P_B x P_lambda sweep (B1=B2=q={b}, p={p})"),
+        &[
+            "dataset",
+            "total cores",
+            "ADMM cores",
+            "PBxPL",
+            "computation (s)",
+            "communication (s)",
+            "distribution (s)",
+            "total (s)",
+        ],
+    );
+
+    for &(gb, cores) in sizes {
+        let bytes = gb * 1024.0 * 1024.0 * 1024.0;
+        // Per-core rows are constant across the sweep (both axes double).
+        let rows_per_core =
+            ((bytes / (8.0 * LASSO_FEATURES as f64 * cores as f64)).round() as usize).max(8);
+        let ds = LinearConfig {
+            n_samples: rows_per_core, // one modeled core's block per rank
+            n_features: p,
+            n_nonzero: 10,
+            snr: 8.0,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+
+        for &(p_b, p_l) in configs {
+            let layout = ParallelLayout { p_b, p_lambda: p_l };
+            let cfg = UoiLassoConfig {
+                b1: b,
+                b2: b,
+                q,
+                lambda_min_ratio: 5e-2,
+                admm: AdmmConfig { max_iter, ..Default::default() },
+                support_tol: 1e-6,
+                seed: 5,
+                score: Default::default(),
+                    intersection_frac: 1.0,
+            };
+            let (x, y) = (ds.x.clone(), ds.y.clone());
+            let report = Cluster::new(exec, machine())
+                .modeled_ranks(cores)
+                .run(move |ctx, world| {
+                    let _ = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg, layout);
+                    ctx.ledger()
+                });
+            let l = report.phase_max();
+            t.row(&[
+                fmt_bytes(bytes),
+                cores.to_string(),
+                (cores / (p_b * p_l)).to_string(),
+                format!("{p_b}x{p_l}"),
+                format!("{:.3}", l.get(Phase::Compute)),
+                format!("{:.3}", l.get(Phase::Comm)),
+                format!("{:.3}", l.get(Phase::Distribution)),
+                format!("{:.3}", l.total()),
+            ]);
+        }
+    }
+    t.emit("fig3_lasso_parallelism");
+    println!(
+        "paper shape check: runtimes within a dataset differ by P_B x P_lambda; communication\n\
+         grows with ADMM cores across datasets. NOTE (see EXPERIMENTS.md): with warm-started\n\
+         lambda paths and per-group shuffles this implementation favours high-P_B configs,\n\
+         whereas the paper reports 2x16 fastest."
+    );
+}

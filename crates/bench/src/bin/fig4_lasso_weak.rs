@@ -1,0 +1,61 @@
+//! Fig 4: weak scaling of `UoI_LASSO` — 128 GB / 4,352 cores doubling to
+//! 8 TB / 278,528 cores, per-core block fixed (~196 rows x 20,101
+//! features per core).
+//!
+//! Paper shape: computation is nearly flat (ideal weak scaling, slight
+//! rise at 8 TB); communication (`MPI_Allreduce`-dominated) grows with
+//! the core count.
+
+use uoi_bench::setups::{lasso_rows, lasso_weak, machine, LASSO_FEATURES};
+use uoi_bench::workload::LassoScalingRun;
+use uoi_bench::{exec_ranks, fmt_bytes, quick_mode, Table};
+use uoi_mpisim::Phase;
+
+fn main() {
+    let (b1, b2, q) = if quick_mode() { (1, 1, 2) } else { (2, 2, 4) };
+    let mut t = Table::new(
+        "Fig 4 — UoI_LASSO weak scaling (fixed per-core block)",
+        &[
+            "data size",
+            "cores",
+            "rows/core",
+            "computation (s)",
+            "communication (s)",
+            "distribution (s)",
+            "data I/O (s)",
+            "total (s)",
+        ],
+    );
+    for point in lasso_weak() {
+        let rows_per_core =
+            (lasso_rows(point.bytes) as f64 / point.cores as f64).round() as usize;
+        let run = LassoScalingRun {
+            rows_per_core,
+            features: LASSO_FEATURES,
+            modeled_cores: point.cores,
+            exec_ranks: exec_ranks(),
+            b1,
+            b2,
+            q,
+            io_bytes: point.bytes,
+            model: machine(),
+            seed: 7,
+        };
+        let report = run.execute();
+        let l = report.phase_max();
+        t.row(&[
+            fmt_bytes(point.bytes),
+            point.cores.to_string(),
+            rows_per_core.to_string(),
+            format!("{:.3}", l.get(Phase::Compute)),
+            format!("{:.3}", l.get(Phase::Comm)),
+            format!("{:.3}", l.get(Phase::Distribution)),
+            format!("{:.3}", l.get(Phase::DataIo)),
+            format!("{:.3}", l.total()),
+        ]);
+    }
+    t.emit("fig4_lasso_weak");
+    println!(
+        "paper shape check: computation ~flat across the sweep; communication grows with core count."
+    );
+}

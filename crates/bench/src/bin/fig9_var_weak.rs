@@ -1,0 +1,77 @@
+//! Fig 9: weak scaling of `UoI_VAR` — problem sizes 128 GB to 8 TB on
+//! 2,176 to 139,264 cores (Table I), features growing 356 → 1000.
+//!
+//! Paper shape (log-scale y): computation has near-ideal weak scaling;
+//! communication grows with core count; the **distributed Kronecker
+//! product + vectorisation (distribution) grows steeply** because a few
+//! reader cores serve ever more compute cores — at ≥2 TB distribution
+//! dominates the runtime.
+
+use uoi_bench::setups::{machine, var_features, var_weak};
+use uoi_bench::workload::{measured_rounds_per_solve, var_paper_ledger, VarScalingRun};
+use uoi_bench::{exec_ranks, fmt_bytes, quick_mode, Table};
+use uoi_mpisim::Phase;
+
+fn main() {
+    // Paper config: B1 = 30, B2 = 20, q = 20, no P_B/P_lambda
+    // parallelism. We keep the same ratios at reduced absolute counts.
+    let (b1, b2, q) = if quick_mode() { (3, 2, 2) } else { (6, 4, 4) };
+    // Executed node count is the paper's p scaled by 1/8 (the p^4 problem
+    // explosion keeps even scaled runs faithful in *shape*).
+    let p_scale = 8;
+
+    let mut t = Table::new(
+        &format!("Fig 9 — UoI_VAR weak scaling, paper-scale model calibrated by executed runs (B1:B2:q ratio 30:20:20 at {b1}:{b2}:{q})"),
+        &[
+            "problem",
+            "cores",
+            "paper p",
+            "exec p",
+            "computation (s)",
+            "communication (s)",
+            "distribution (s)",
+            "kron+vec (s)",
+            "total (s)",
+        ],
+    );
+    for point in var_weak() {
+        let paper_p = var_features(point.bytes);
+        let p = (paper_p / p_scale).max(24);
+        let run = VarScalingRun {
+            features: p,
+            samples: 2 * p,
+            modeled_cores: point.cores,
+            exec_ranks: exec_ranks(),
+            n_readers: 4,
+            b1,
+            b2,
+            q,
+            model: machine(),
+            seed: 19,
+        };
+        let out = run.execute();
+        let rounds = measured_rounds_per_solve(&out.report, b1, q);
+        // Evaluate the analytic model at the paper's full configuration
+        // (B1=30, B2=20, q=20, n_reader=64), calibrated by the measured
+        // ADMM round count.
+        let (l, kron) =
+            var_paper_ledger(paper_p, point.cores, 30, 20, 20, rounds, 64, &machine());
+        t.row(&[
+            fmt_bytes(point.bytes),
+            point.cores.to_string(),
+            paper_p.to_string(),
+            p.to_string(),
+            format!("{:.3}", l.get(Phase::Compute)),
+            format!("{:.3}", l.get(Phase::Comm)),
+            format!("{:.3}", l.get(Phase::Distribution)),
+            format!("{kron:.3}"),
+            format!("{:.3}", l.total()),
+        ]);
+    }
+    t.emit("fig9_var_weak");
+    println!(
+        "paper shape check: distribution (Kron+vec) grows steeply with core count — the\n\
+         n_reader windows serialise against ever more compute cores — and overtakes\n\
+         computation at the largest problems."
+    );
+}

@@ -1,0 +1,63 @@
+//! Table I: the performance-analysis setup — data sizes and core counts
+//! for every single-node, weak-scaling, and strong-scaling run of both
+//! algorithms, plus the scaled executed configurations this reproduction
+//! uses at each point.
+
+use uoi_bench::setups::{
+    lasso_rows, lasso_strong, lasso_weak, single_node, var_features, var_strong, var_weak,
+    LASSO_FEATURES,
+};
+use uoi_bench::{exec_ranks, fmt_bytes, Table};
+
+fn main() {
+    let mut t = Table::new(
+        "Table I — performance analysis setup",
+        &[
+            "analysis",
+            "data size",
+            "cores (UoI_LASSO)",
+            "cores (UoI_VAR)",
+            "LASSO rows",
+            "VAR features",
+            "executed ranks",
+        ],
+    );
+    let sn = single_node();
+    t.row(&[
+        "Single Node".into(),
+        fmt_bytes(sn.bytes),
+        sn.cores.to_string(),
+        sn.cores.to_string(),
+        lasso_rows(sn.bytes).to_string(),
+        var_features(sn.bytes).to_string(),
+        exec_ranks().to_string(),
+    ]);
+    for (l, v) in lasso_weak().iter().zip(var_weak()) {
+        t.row(&[
+            "Weak Scaling".into(),
+            fmt_bytes(l.bytes),
+            l.cores.to_string(),
+            v.cores.to_string(),
+            lasso_rows(l.bytes).to_string(),
+            var_features(v.bytes).to_string(),
+            exec_ranks().to_string(),
+        ]);
+    }
+    let (lb, lcores) = lasso_strong();
+    let (vb, vcores) = var_strong();
+    for (lc, vc) in lcores.iter().zip(&vcores) {
+        t.row(&[
+            "Strong Scaling".into(),
+            fmt_bytes(lb),
+            lc.to_string(),
+            vc.to_string(),
+            lasso_rows(lb).to_string(),
+            var_features(vb).to_string(),
+            exec_ranks().to_string(),
+        ]);
+    }
+    t.emit("table1_setup");
+    println!(
+        "UoI_LASSO feature count fixed at {LASSO_FEATURES}; VAR samples are twice the features."
+    );
+}

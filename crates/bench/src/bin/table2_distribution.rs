@@ -1,0 +1,111 @@
+//! Table II: Randomized Data Distribution vs the conventional
+//! single-reader strategy — read time and distribution time at 16 GB,
+//! 128 GB, 256 GB, 512 GB and 1 TB.
+//!
+//! Each paper size is run at an executed scale (real SHF file on disk,
+//! real shuffles) with the I/O cost model evaluated at the *paper* size
+//! and Table I core count — so the seconds printed are the modeled
+//! machine's, comparable with the paper's columns. The paper's 16 GB row
+//! was "not striped into OSTs"; we reproduce that by modeling it with a
+//! single-stripe file.
+
+use uoi_bench::setups::{lasso_rows, machine};
+use uoi_bench::{exec_ranks, fmt_bytes, Table};
+use uoi_linalg::Matrix;
+use uoi_mpisim::Cluster;
+use uoi_tieredio::distribution::{conventional, randomized, ConventionalConfig};
+use uoi_tieredio::shf::{write_matrix, ShfDataset};
+
+fn main() {
+    // (paper GB, cores) rows of Table II; cores follow Table I.
+    let rows: &[(f64, usize, bool)] = &[
+        (16.0, 68, false),     // single node, unstriped in the paper
+        (128.0, 4_352, true),
+        (256.0, 8_704, true),
+        (512.0, 17_408, true),
+        (1024.0, 34_816, true),
+    ];
+
+    // One scaled on-disk dataset reused for the real data movement.
+    let exec = exec_ranks();
+    let n_exec = 512;
+    let p_exec = 64;
+    let src = Matrix::from_fn(n_exec, p_exec, |i, j| (i * p_exec + j) as f64 * 0.001);
+    let path = std::env::temp_dir().join(format!("uoi_table2_{}.shf", std::process::id()));
+    write_matrix(&path, &src).expect("write scaled dataset");
+    let ds = ShfDataset::open(&path).expect("open scaled dataset");
+
+    let mut t = Table::new(
+        "Table II — data read + distribution time (modeled seconds at paper scale)",
+        &[
+            "data size",
+            "cores",
+            "conv read (s)",
+            "conv distr (s)",
+            "rand read (s)",
+            "rand distr (s)",
+            "speedup (read)",
+        ],
+    );
+
+    for &(gb, cores, striped) in rows {
+        let bytes = gb * 1024.0 * 1024.0 * 1024.0;
+        let mut model = machine();
+        if !striped {
+            model.io.stripe_count = 1;
+        }
+        // Conventional: one pass per UoI phase over the file in 64 MB
+        // chunks (the paper's reader cannot cache the dataset).
+        let conv_cfg = ConventionalConfig { chunk_bytes: 64 << 20, passes: 2 };
+
+        // Real (scaled) execution to validate both paths move identical
+        // data; the virtual ledger uses the *scaled* byte count, so for
+        // the table we evaluate the same formulas at paper scale below.
+        let ds2 = ds.clone();
+        let cc = conv_cfg.clone();
+        let report = Cluster::new(exec, model.clone())
+            .modeled_ranks(cores)
+            .run(move |ctx, world| {
+                let rows: Vec<usize> =
+                    (0..16).map(|i| (i * 31 + world.rank() * 7) % 512).collect();
+                let (a, _tc) = conventional(ctx, world, &ds2, &rows, &cc);
+                let (b, tr) = randomized(ctx, world, &ds2, &rows);
+                assert_eq!(a, b, "strategies must deliver identical rows");
+                tr
+            });
+        let rand_distr_scaled = report.results[0].distribute;
+
+        // Paper-scale modeled times.
+        let chunks = (bytes / conv_cfg.chunk_bytes as f64).ceil() as usize * conv_cfg.passes;
+        let conv_read = model
+            .io
+            .serial_chunked_read_time(bytes * conv_cfg.passes as f64, chunks);
+        // Conventional distribution: root scatters every rank's block.
+        let conv_distr = model.gather_time(cores, (bytes / cores as f64) as usize);
+        let rand_read = model.io.parallel_read_time(cores, bytes);
+        // Randomized distribution: Tier-2 shuffle of each rank's block
+        // through p parallel windows — per-window serving time for one
+        // block of rows.
+        let rows_total = lasso_rows(bytes) as f64;
+        let row_bytes = bytes / rows_total;
+        let rows_per_core = rows_total / cores as f64;
+        let rand_distr = rows_per_core * model.onesided_time(row_bytes as usize)
+            + rand_distr_scaled.min(1.0); // executed component (sub-second)
+
+        t.row(&[
+            fmt_bytes(bytes),
+            cores.to_string(),
+            format!("{conv_read:.2}"),
+            format!("{conv_distr:.3}"),
+            format!("{rand_read:.3}"),
+            format!("{rand_distr:.3}"),
+            format!("{:.0}x", conv_read / rand_read.max(1e-9)),
+        ]);
+    }
+    t.emit("table2_distribution");
+    println!(
+        "paper shape check: conventional read grows linearly into the thousands of seconds \
+         (5+ hours past 1 TB); randomized read stays below ~100 s."
+    );
+    std::fs::remove_file(&path).ok();
+}

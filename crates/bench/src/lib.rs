@@ -1,0 +1,183 @@
+//! # uoi-bench
+//!
+//! Shared infrastructure for the experiment harnesses: result tables
+//! (printed and saved as CSV under `results/`), scale-factor handling,
+//! and the standard machine/experiment configurations keyed to the
+//! paper's Table I.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/`
+//! (`cargo run -p uoi-bench --release --bin fig4_lasso_weak`, ...). Paper
+//! sizes are *modeled* through `uoi-mpisim`'s virtual clock at the
+//! paper's core counts while the executed working sets are scaled by
+//! `UOI_SCALE` (bytes divisor, default 1024: "GB" becomes "MB").
+
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+pub mod setups;
+pub mod workload;
+
+/// Executed rank count for the harnesses (`UOI_EXEC_RANKS`, default 8).
+pub fn exec_ranks() -> usize {
+    std::env::var("UOI_EXEC_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// The dataset scale divisor (`UOI_SCALE`, default 1024): executed
+/// problems are `paper_bytes / scale`.
+pub fn scale_divisor() -> u64 {
+    std::env::var("UOI_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}
+
+/// Quick mode trims bootstrap counts for CI-speed runs
+/// (`UOI_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::var("UOI_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Format a byte count the way the paper labels its x-axes.
+pub fn fmt_bytes(bytes: f64) -> String {
+    const KB: f64 = 1024.0;
+    if bytes >= KB * KB * KB * KB {
+        format!("{:.0}TB", bytes / (KB * KB * KB * KB))
+    } else if bytes >= KB * KB * KB {
+        format!("{:.0}GB", bytes / (KB * KB * KB))
+    } else if bytes >= KB * KB {
+        format!("{:.0}MB", bytes / (KB * KB))
+    } else if bytes >= KB {
+        format!("{:.0}KB", bytes / KB)
+    } else {
+        format!("{bytes:.0}B")
+    }
+}
+
+/// A result table that prints aligned to stdout and saves as CSV.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "=== {} ===", self.title);
+        let line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        let _ = writeln!(s, "{}", line.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(s, "{}", line.join("  "));
+        }
+        s
+    }
+
+    /// Print to stdout and save `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).ok();
+        let mut csv = self.headers.join(",") + "\n";
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        let path = dir.join(format!("{name}.csv"));
+        if std::fs::write(&path, csv).is_ok() {
+            println!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// `results/` at the workspace root (overridable via `UOI_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("UOI_RESULTS_DIR") {
+        return PathBuf::from(d);
+    }
+    // Walk up from the executable's cwd to find the workspace root.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for _ in 0..4 {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Write an arbitrary text artifact under `results/`.
+pub fn save_artifact(name: &str, contents: &str) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join(name);
+    if std::fs::write(&path, contents).is_ok() {
+        println!("[saved {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512.0), "512B");
+        assert_eq!(fmt_bytes(16.0 * 1024.0 * 1024.0 * 1024.0), "16GB");
+        assert_eq!(fmt_bytes(8.0 * 1024f64.powi(4)), "8TB");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(&["1".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("=== demo ==="));
+        assert!(r.contains("bbbb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,125 @@
+//! The paper's experimental setups (Table I) and the standard workload
+//! builders shared by the figure harnesses.
+
+use uoi_mpisim::MachineModel;
+
+/// Bytes in a paper "GB".
+pub const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// The fixed `UoI_LASSO` feature count used across all datasets
+/// ("kept a constant at 20,101 features").
+pub const LASSO_FEATURES: usize = 20_101;
+
+/// One (data size, core count) row of Table I.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Paper dataset / problem size in bytes.
+    pub bytes: f64,
+    /// Paper core count.
+    pub cores: usize,
+}
+
+/// Table I single-node row (both algorithms): 16 GB on 68 cores.
+pub fn single_node() -> ScalePoint {
+    ScalePoint { bytes: 16.0 * GB, cores: 68 }
+}
+
+/// Table I weak-scaling rows for `UoI_LASSO`.
+pub fn lasso_weak() -> Vec<ScalePoint> {
+    [
+        (128.0, 4_352),
+        (256.0, 8_704),
+        (512.0, 17_408),
+        (1024.0, 34_816),
+        (2048.0, 69_632),
+        (4096.0, 139_264),
+        (8192.0, 278_528),
+    ]
+    .into_iter()
+    .map(|(gb, cores)| ScalePoint { bytes: gb * GB, cores })
+    .collect()
+}
+
+/// Table I strong-scaling rows for `UoI_LASSO` (1 TB fixed).
+pub fn lasso_strong() -> (f64, Vec<usize>) {
+    (1024.0 * GB, vec![17_408, 34_816, 69_632, 139_264])
+}
+
+/// Table I weak-scaling rows for `UoI_VAR`.
+pub fn var_weak() -> Vec<ScalePoint> {
+    [
+        (128.0, 2_176),
+        (256.0, 4_352),
+        (512.0, 8_704),
+        (1024.0, 17_408),
+        (2048.0, 34_816),
+        (4096.0, 69_632),
+        (8192.0, 139_264),
+    ]
+    .into_iter()
+    .map(|(gb, cores)| ScalePoint { bytes: gb * GB, cores })
+    .collect()
+}
+
+/// Table I strong-scaling rows for `UoI_VAR` (1 TB fixed).
+pub fn var_strong() -> (f64, Vec<usize>) {
+    (1024.0 * GB, vec![4_352, 8_704, 17_408, 34_816])
+}
+
+/// The `UoI_VAR` feature count for a given problem size: the paper
+/// anchors 356 features at 128 GB and 1000 at 8 TB; with `N = 2p`
+/// samples the vectorised dense problem grows as `p^4`, so
+/// `p(bytes) = 356 * (bytes / 128 GB)^{1/4}` reproduces both anchors.
+pub fn var_features(bytes: f64) -> usize {
+    (356.0 * (bytes / (128.0 * GB)).powf(0.25)).round() as usize
+}
+
+/// Total `UoI_LASSO` sample rows for a dataset of `bytes`.
+pub fn lasso_rows(bytes: f64) -> usize {
+    (bytes / (8.0 * LASSO_FEATURES as f64)).round() as usize
+}
+
+/// The standard machine model for the harnesses (KNL preset,
+/// deterministic unless a figure needs the noise — Fig 5 turns it on).
+pub fn machine() -> MachineModel {
+    MachineModel::deterministic()
+}
+
+/// The machine model with collective noise enabled (Fig 5).
+pub fn machine_noisy() -> MachineModel {
+    MachineModel::knl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        assert_eq!(lasso_weak().len(), 7);
+        assert_eq!(var_weak().len(), 7);
+        // LASSO weak points double both axes.
+        for w in lasso_weak().windows(2) {
+            assert!((w[1].bytes / w[0].bytes - 2.0).abs() < 1e-12);
+            assert_eq!(w[1].cores, w[0].cores * 2);
+        }
+        // VAR uses half the LASSO cores at each size.
+        for (l, v) in lasso_weak().iter().zip(var_weak()) {
+            assert_eq!(l.cores, v.cores * 2);
+        }
+    }
+
+    #[test]
+    fn var_feature_anchors() {
+        assert_eq!(var_features(128.0 * GB), 356);
+        let p8tb = var_features(8192.0 * GB);
+        assert!((995..=1010).contains(&p8tb), "8TB features {p8tb}");
+    }
+
+    #[test]
+    fn lasso_rows_at_16gb() {
+        // 16 GB / (8 B x 20101 features) ≈ 107k samples.
+        let n = lasso_rows(16.0 * GB);
+        assert!((100_000..115_000).contains(&n), "{n}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # uoi-core
+//!
+//! The paper's primary contribution: **Union of Intersections** for sparse
+//! linear regression (`UoI_LASSO`, Algorithm 1) and Granger-causal VAR
+//! inference (`UoI_VAR`, Algorithm 2), in shared-memory (rayon) and
+//! distributed (simulated-MPI) forms.
+
+#![allow(clippy::needless_range_loop)]
+
+pub mod granger;
+pub mod parallelism;
+pub mod metrics;
+pub mod support;
+pub mod uoi_lasso;
+pub mod uoi_lasso_dist;
+pub mod uoi_var;
+pub mod uoi_var_dist;
+pub mod var_matrices;
+
+pub use granger::{Edge, GrangerNetwork};
+pub use metrics::{estimation_error, EstimationError, SelectionCounts};
+pub use parallelism::{LayoutComms, ParallelLayout};
+pub use uoi_lasso::{bic, fit_uoi_lasso, EstimationScore, UoiFit, UoiLassoConfig};
+pub use uoi_lasso_dist::fit_uoi_lasso_dist;
+pub use uoi_var::{fit_uoi_var, select_var_order, UoiVarConfig, UoiVarFit};
+pub use uoi_var_dist::{fit_uoi_var_dist, KronStats, UoiVarDistConfig};
+pub use var_matrices::{flatten_coefficients, partition_coefficients, VarRegression};

@@ -1,0 +1,187 @@
+//! Selection and estimation quality metrics — the quantities behind the
+//! paper's statistical claims (low false positives *and* low false
+//! negatives from the intersection; low bias / low variance from the
+//! union-averaged OLS estimates).
+
+/// Confusion counts of a recovered support against the ground truth over
+/// `p` features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionCounts {
+    /// Correctly selected features.
+    pub true_positives: usize,
+    /// Selected but not in the truth (the LASSO failure mode eq. 3 fights).
+    pub false_positives: usize,
+    /// Missed true features.
+    pub false_negatives: usize,
+    /// Correctly excluded features.
+    pub true_negatives: usize,
+}
+
+impl SelectionCounts {
+    /// Compare a recovered support with the ground truth (both sorted
+    /// index lists) over `p` features.
+    pub fn compare(recovered: &[usize], truth: &[usize], p: usize) -> Self {
+        let in_r = to_mask(recovered, p);
+        let in_t = to_mask(truth, p);
+        let mut c = SelectionCounts {
+            true_positives: 0,
+            false_positives: 0,
+            false_negatives: 0,
+            true_negatives: 0,
+        };
+        for j in 0..p {
+            match (in_r[j], in_t[j]) {
+                (true, true) => c.true_positives += 1,
+                (true, false) => c.false_positives += 1,
+                (false, true) => c.false_negatives += 1,
+                (false, false) => c.true_negatives += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision = TP / (TP + FP); 1.0 when nothing was selected.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 { 1.0 } else { self.true_positives as f64 / denom as f64 }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when the truth is empty.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 { 1.0 } else { self.true_positives as f64 / denom as f64 }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) }
+    }
+
+    /// False-positive rate FP / (FP + TN).
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.false_positives + self.true_negatives;
+        if denom == 0 { 0.0 } else { self.false_positives as f64 / denom as f64 }
+    }
+
+    /// Matthews correlation coefficient (0 when any margin is empty).
+    pub fn matthews(&self) -> f64 {
+        let (tp, fp, fn_, tn) = (
+            self.true_positives as f64,
+            self.false_positives as f64,
+            self.false_negatives as f64,
+            self.true_negatives as f64,
+        );
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 { 0.0 } else { (tp * tn - fp * fn_) / denom }
+    }
+}
+
+fn to_mask(idx: &[usize], p: usize) -> Vec<bool> {
+    let mut m = vec![false; p];
+    for &i in idx {
+        assert!(i < p, "index {i} out of bounds ({p})");
+        m[i] = true;
+    }
+    m
+}
+
+/// Estimation-error summary of a coefficient estimate against the truth.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimationError {
+    /// `||b - b*||_2`.
+    pub l2: f64,
+    /// `||b - b*||_2 / ||b*||_2` (0 denominator → absolute error).
+    pub relative_l2: f64,
+    /// Mean signed bias over the true support.
+    pub support_bias: f64,
+    /// Max absolute error.
+    pub max_abs: f64,
+}
+
+/// Compare estimate `b` with truth `b_star`.
+pub fn estimation_error(b: &[f64], b_star: &[f64]) -> EstimationError {
+    assert_eq!(b.len(), b_star.len());
+    let mut sq = 0.0;
+    let mut tnorm = 0.0;
+    let mut max_abs = 0.0_f64;
+    let mut bias_sum = 0.0;
+    let mut bias_n = 0usize;
+    for (&bi, &ti) in b.iter().zip(b_star) {
+        let d = bi - ti;
+        sq += d * d;
+        tnorm += ti * ti;
+        max_abs = max_abs.max(d.abs());
+        if ti != 0.0 {
+            // Signed shrinkage along the truth's direction.
+            bias_sum += (bi - ti) * ti.signum();
+            bias_n += 1;
+        }
+    }
+    let l2 = sq.sqrt();
+    EstimationError {
+        l2,
+        relative_l2: if tnorm > 0.0 { l2 / tnorm.sqrt() } else { l2 },
+        support_bias: if bias_n > 0 { bias_sum / bias_n as f64 } else { 0.0 },
+        max_abs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recovery() {
+        let c = SelectionCounts::compare(&[1, 3], &[1, 3], 5);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 0);
+        assert_eq!(c.false_negatives, 0);
+        assert_eq!(c.true_negatives, 3);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert!((c.matthews() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_recovery() {
+        // truth {0,1}, recovered {1,2}: TP=1 FP=1 FN=1 TN=1.
+        let c = SelectionCounts::compare(&[1, 2], &[0, 1], 4);
+        assert_eq!(
+            (c.true_positives, c.false_positives, c.false_negatives, c.true_negatives),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert!((c.false_positive_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.matthews(), 0.0);
+    }
+
+    #[test]
+    fn empty_selection_conventions() {
+        let c = SelectionCounts::compare(&[], &[], 3);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn estimation_error_shrinkage_bias() {
+        // Uniform shrinkage toward zero shows as negative support bias —
+        // the LASSO bias UoI is designed to remove.
+        let truth = [2.0, -3.0, 0.0];
+        let shrunk = [1.5, -2.5, 0.0];
+        let e = estimation_error(&shrunk, &truth);
+        assert!(e.support_bias < 0.0);
+        assert!((e.l2 - (0.25_f64 + 0.25).sqrt()).abs() < 1e-12);
+        assert!((e.max_abs - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_relative_error() {
+        let e = estimation_error(&[1.0], &[0.0]);
+        assert_eq!(e.relative_l2, 1.0);
+        assert_eq!(e.support_bias, 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The multi-level parallel decomposition of paper §III: bootstrap-level
+//! (`P_B`), regularisation-level (`P_lambda`), and data-parallel ADMM
+//! cores, realised as nested communicator splits (Fig 3 / Fig 8 sweeps).
+
+use uoi_mpisim::{Comm, RankCtx};
+
+/// A `P_B x P_lambda x ADMM_cores` decomposition of a world communicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelLayout {
+    /// Bootstrap groups (`P_B`).
+    pub p_b: usize,
+    /// Lambda groups per bootstrap group (`P_lambda`).
+    pub p_lambda: usize,
+}
+
+impl ParallelLayout {
+    /// The no-parallelism layout the paper uses for its multi-node scaling
+    /// runs ("no `P_B` and `P_lambda` parallelism and dedicating all the
+    /// cores to distributed LASSO-ADMM computation").
+    pub fn admm_only() -> Self {
+        Self { p_b: 1, p_lambda: 1 }
+    }
+
+    /// Number of ADMM cores per (bootstrap, lambda) group for a world of
+    /// `world_size` ranks.
+    pub fn admm_cores(&self, world_size: usize) -> usize {
+        let groups = self.p_b * self.p_lambda;
+        assert!(
+            world_size % groups == 0 && world_size >= groups,
+            "world size {world_size} not divisible into {}x{} groups",
+            self.p_b,
+            self.p_lambda
+        );
+        world_size / groups
+    }
+
+    /// Split `world` into the nested communicators for this rank.
+    pub fn split(&self, ctx: &mut RankCtx, world: &Comm) -> LayoutComms {
+        let c = self.admm_cores(world.size());
+        let rank = world.rank();
+        let b_group = rank / (self.p_lambda * c);
+        let within_b = rank % (self.p_lambda * c);
+        let l_group = within_b / c;
+        // The ADMM communicator: ranks sharing (b_group, l_group).
+        let admm_color = (b_group * self.p_lambda + l_group) as i64;
+        let admm_comm = world.split(ctx, admm_color, rank as i64);
+        LayoutComms { b_group, l_group, admm_comm, layout: *self }
+    }
+
+    /// Which bootstrap indices (of `total`) a bootstrap group owns
+    /// (round-robin).
+    pub fn bootstraps_for(&self, b_group: usize, total: usize) -> Vec<usize> {
+        (0..total).filter(|k| k % self.p_b == b_group).collect()
+    }
+
+    /// Which lambda indices (of `q`) a lambda group owns (round-robin).
+    pub fn lambdas_for(&self, l_group: usize, q: usize) -> Vec<usize> {
+        (0..q).filter(|j| j % self.p_lambda == l_group).collect()
+    }
+}
+
+/// The communicators of one rank under a [`ParallelLayout`].
+pub struct LayoutComms {
+    /// This rank's bootstrap-group id.
+    pub b_group: usize,
+    /// This rank's lambda-group id.
+    pub l_group: usize,
+    /// The data-parallel ADMM communicator (same `(b, lambda)` group).
+    pub admm_comm: Comm,
+    /// The layout that produced this.
+    pub layout: ParallelLayout,
+}
+
+impl LayoutComms {
+    /// True when this rank is its ADMM group's leader — the rank that
+    /// contributes group results to world-level reductions.
+    pub fn is_group_leader(&self) -> bool {
+        self.admm_comm.rank() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uoi_mpisim::{Cluster, MachineModel};
+
+    #[test]
+    fn admm_cores_division() {
+        let layout = ParallelLayout { p_b: 4, p_lambda: 2 };
+        assert_eq!(layout.admm_cores(32), 4);
+        assert_eq!(ParallelLayout::admm_only().admm_cores(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_world_rejected() {
+        ParallelLayout { p_b: 3, p_lambda: 2 }.admm_cores(8);
+    }
+
+    #[test]
+    fn round_robin_assignment_covers_everything() {
+        let layout = ParallelLayout { p_b: 3, p_lambda: 2 };
+        let mut all: Vec<usize> = (0..3).flat_map(|g| layout.bootstraps_for(g, 10)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        let mut lams: Vec<usize> = (0..2).flat_map(|g| layout.lambdas_for(g, 7)).collect();
+        lams.sort_unstable();
+        assert_eq!(lams, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_produces_correct_groups() {
+        // 8 ranks, 2x2 layout -> 4 groups of 2 ADMM cores.
+        let layout = ParallelLayout { p_b: 2, p_lambda: 2 };
+        let report = Cluster::new(8, MachineModel::deterministic()).run(|ctx, world| {
+            let comms = layout.split(ctx, world);
+            (
+                comms.b_group,
+                comms.l_group,
+                comms.admm_comm.size(),
+                comms.admm_comm.rank(),
+                comms.is_group_leader(),
+            )
+        });
+        for (wr, &(b, l, size, ar, leader)) in report.results.iter().enumerate() {
+            assert_eq!(size, 2);
+            assert_eq!(b, wr / 4);
+            assert_eq!(l, (wr % 4) / 2);
+            assert_eq!(ar, wr % 2);
+            assert_eq!(leader, wr % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! `UoI_LASSO` (paper Algorithm 1): Union of Intersections for sparse
+//! linear regression, shared-memory implementation with rayon parallelism
+//! over bootstrap resamples (the `P_B` axis).
+//!
+//! **Model selection** (lines 1–11): for `B1` bootstrap resamples, solve a
+//! LASSO-ADMM path over `q` lambdas, record the nonzero supports, and
+//! intersect supports across resamples per lambda (eq. 3), producing a
+//! family of candidate supports.
+//!
+//! **Model estimation** (lines 12–24): for `B2` train/evaluation
+//! resamples, fit the unbiased OLS estimator on every candidate support,
+//! score it on the held-out evaluation rows, keep the best support per
+//! resample, and average the winning estimates (the union of eq. 4).
+
+use crate::support::{dedup_family, intersect_many};
+use rayon::prelude::*;
+use uoi_data::bootstrap::row_bootstrap;
+use uoi_data::rng::substream;
+use uoi_linalg::Matrix;
+use uoi_solvers::{lambda_path, ols_on_support, support_of, AdmmConfig, LassoAdmm};
+
+/// How candidate supports are scored in the estimation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimationScore {
+    /// Held-out mean squared error on the out-of-bag rows (Algorithm 1
+    /// line 19) — the paper's choice.
+    #[default]
+    Mse,
+    /// Bayesian information criterion on the training resample:
+    /// `n ln(RSS/n) + k ln(n)` — the PyUoI-style alternative that needs
+    /// no evaluation set.
+    Bic,
+}
+
+/// Hyperparameters of `UoI_LASSO`.
+#[derive(Debug, Clone)]
+pub struct UoiLassoConfig {
+    /// Selection bootstraps `B1`.
+    pub b1: usize,
+    /// Estimation bootstraps `B2`.
+    pub b2: usize,
+    /// Number of regularisation values `q`.
+    pub q: usize,
+    /// Smallest lambda as a fraction of `lambda_max`.
+    pub lambda_min_ratio: f64,
+    /// ADMM solver settings.
+    pub admm: AdmmConfig,
+    /// Magnitude below which a coefficient counts as zero.
+    pub support_tol: f64,
+    /// Master seed; every bootstrap derives an independent stream.
+    pub seed: u64,
+    /// Estimation-step model-scoring rule.
+    pub score: EstimationScore,
+    /// Soft-intersection threshold: a feature enters the lambda's support
+    /// when it appears in at least `ceil(intersection_frac * B1)`
+    /// bootstrap supports. `1.0` is the paper's strict intersection
+    /// (eq. 3); lower values trade false negatives for false positives.
+    pub intersection_frac: f64,
+}
+
+impl Default for UoiLassoConfig {
+    fn default() -> Self {
+        Self {
+            b1: 10,
+            b2: 10,
+            q: 20,
+            lambda_min_ratio: 1e-2,
+            admm: AdmmConfig::default(),
+            support_tol: 1e-7,
+            seed: 42,
+            score: EstimationScore::Mse,
+            intersection_frac: 1.0,
+        }
+    }
+}
+
+/// A fitted UoI model.
+#[derive(Debug, Clone)]
+pub struct UoiFit {
+    /// Averaged coefficient estimate (length `p`), in the original
+    /// (uncentred) coordinates.
+    pub beta: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+    /// Nonzero indices of `beta`.
+    pub support: Vec<usize>,
+    /// The lambda grid used for selection.
+    pub lambdas: Vec<f64>,
+    /// Intersected support per lambda (before deduplication) — the
+    /// family `S = [S_1 ... S_q]` of eq. 3.
+    pub supports_per_lambda: Vec<Vec<usize>>,
+    /// Deduplicated candidate family actually scored in estimation.
+    pub support_family: Vec<Vec<usize>>,
+}
+
+impl UoiFit {
+    /// Predict responses for a design matrix in original coordinates.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let mut out = uoi_linalg::gemv(x, &self.beta);
+        for v in &mut out {
+            *v += self.intercept;
+        }
+        out
+    }
+}
+
+/// Fit `UoI_LASSO` on `(x, y)`.
+///
+/// Data is column-centred internally (the paper's `n x (p+1)` intercept
+/// column is handled by centring instead of penalised estimation); the
+/// returned intercept restores original coordinates.
+pub fn fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
+    let (n, p) = x.shape();
+    assert_eq!(y.len(), n, "response length mismatch");
+    assert!(cfg.b1 >= 1 && cfg.b2 >= 1 && cfg.q >= 1);
+    assert!(n >= 4, "need at least 4 samples");
+
+    // Centre.
+    let x_means = x.col_means();
+    let y_mean = y.iter().sum::<f64>() / n as f64;
+    let mut xc = x.clone();
+    xc.center_cols(&x_means);
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+    // Shared lambda grid from the full centred data.
+    let lambdas = lambda_path(&xc, &yc, cfg.q, cfg.lambda_min_ratio);
+
+    // --- Model selection: B1 bootstraps x q lambdas. ---
+    let supports_by_bootstrap: Vec<Vec<Vec<usize>>> = (0..cfg.b1)
+        .into_par_iter()
+        .map(|k| {
+            let mut rng = substream(cfg.seed, k as u64);
+            let idx = row_bootstrap(&mut rng, n, n);
+            let xb = xc.gather_rows(&idx);
+            let yb: Vec<f64> = idx.iter().map(|&i| yc[i]).collect();
+            let solver = LassoAdmm::new(xb, cfg.admm.clone());
+            solver
+                .solve_path(&yb, &lambdas)
+                .into_iter()
+                .map(|sol| support_of(&sol.beta, cfg.support_tol))
+                .collect()
+        })
+        .collect();
+
+    // Intersect across bootstraps per lambda (eq. 3), with the soft
+    // threshold generalisation: keep features present in at least
+    // `ceil(frac * B1)` bootstrap supports.
+    let needed = required_votes(cfg.intersection_frac, cfg.b1);
+    let supports_per_lambda: Vec<Vec<usize>> = (0..cfg.q)
+        .map(|j| {
+            if needed == cfg.b1 {
+                let per_k: Vec<Vec<usize>> = supports_by_bootstrap
+                    .iter()
+                    .map(|sk| sk[j].clone())
+                    .collect();
+                intersect_many(&per_k)
+            } else {
+                let mut votes = vec![0usize; p];
+                for sk in &supports_by_bootstrap {
+                    for &f in &sk[j] {
+                        votes[f] += 1;
+                    }
+                }
+                (0..p).filter(|&f| votes[f] >= needed).collect()
+            }
+        })
+        .collect();
+    let support_family = dedup_family(supports_per_lambda.clone());
+
+    // --- Model estimation: B2 train/eval resamples. ---
+    let best_estimates: Vec<Vec<f64>> = (0..cfg.b2)
+        .into_par_iter()
+        .map(|k| {
+            let mut rng = substream(cfg.seed, 10_000 + k as u64);
+            let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
+            let xt = xc.gather_rows(&train_idx);
+            let yt: Vec<f64> = train_idx.iter().map(|&i| yc[i]).collect();
+            let xe = xc.gather_rows(&eval_idx);
+            let ye: Vec<f64> = eval_idx.iter().map(|&i| yc[i]).collect();
+
+            let mut best: Option<(f64, Vec<f64>)> = None;
+            for support in &support_family {
+                let beta = ols_on_support(&xt, &yt, support);
+                let loss = match cfg.score {
+                    EstimationScore::Mse => uoi_linalg::mse(&xe, &beta, &ye),
+                    EstimationScore::Bic => bic(&xt, &beta, &yt, support.len()),
+                };
+                if best.as_ref().is_none_or(|(l, _)| loss < *l) {
+                    best = Some((loss, beta));
+                }
+            }
+            // An empty family (or all-empty supports) estimates zero.
+            best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; p])
+        })
+        .collect();
+
+    // Average the winners (eq. 4).
+    let mut beta = vec![0.0; p];
+    for est in &best_estimates {
+        for (b, e) in beta.iter_mut().zip(est) {
+            *b += e;
+        }
+    }
+    for b in &mut beta {
+        *b /= cfg.b2 as f64;
+    }
+
+    // Restore intercept: y ≈ (x - x̄) b + ȳ  =>  icpt = ȳ - x̄·b.
+    let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
+    let support = support_of(&beta, cfg.support_tol);
+
+    UoiFit { beta, intercept, support, lambdas, supports_per_lambda, support_family }
+}
+
+/// Votes required by the soft intersection: `ceil(frac * b1)`, clamped
+/// to `[1, b1]`.
+pub(crate) fn required_votes(frac: f64, b1: usize) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&frac) && frac > 0.0,
+        "intersection_frac must be in (0, 1]"
+    );
+    ((frac * b1 as f64).ceil() as usize).clamp(1, b1)
+}
+
+/// Bayesian information criterion of an OLS fit:
+/// `n ln(RSS/n) + k ln(n)` (additive constants dropped).
+pub fn bic(x: &Matrix, beta: &[f64], y: &[f64], k: usize) -> f64 {
+    let n = y.len().max(1) as f64;
+    let rss = uoi_linalg::mse(x, beta, y) * n;
+    n * (rss / n).max(1e-300).ln() + k as f64 * n.ln()
+}
+
+/// A bootstrap training resample plus its out-of-bag evaluation rows.
+/// Falls back to a half/half split if the resample covered every row.
+pub(crate) fn bootstrap_with_oob(
+    rng: &mut rand::rngs::StdRng,
+    n: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let train = row_bootstrap(rng, n, n);
+    let mut in_train = vec![false; n];
+    for &i in &train {
+        in_train[i] = true;
+    }
+    let eval: Vec<usize> = (0..n).filter(|&i| !in_train[i]).collect();
+    if eval.is_empty() {
+        // Degenerate (only possible for tiny n): deterministic half split.
+        let cut = (n / 2).max(1);
+        ((0..cut).collect(), (cut..n).collect())
+    } else {
+        (train, eval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SelectionCounts;
+    use uoi_data::{LinearConfig, LinearDataset};
+
+    fn dataset() -> LinearDataset {
+        LinearConfig {
+            n_samples: 120,
+            n_features: 30,
+            n_nonzero: 5,
+            snr: 10.0,
+            seed: 7,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    fn quick_cfg() -> UoiLassoConfig {
+        UoiLassoConfig {
+            b1: 10,
+            b2: 8,
+            q: 14,
+            lambda_min_ratio: 2e-2,
+            admm: AdmmConfig { max_iter: 800, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn recovers_true_support_with_few_false_positives() {
+        let ds = dataset();
+        let fit = fit_uoi_lasso(&ds.x, &ds.y, &quick_cfg());
+        let counts = SelectionCounts::compare(&fit.support, &ds.support_true, 30);
+        assert!(
+            counts.recall() >= 0.8,
+            "recall {} support {:?} truth {:?}",
+            counts.recall(),
+            fit.support,
+            ds.support_true
+        );
+        assert!(counts.false_positives <= 3, "FP = {}", counts.false_positives);
+    }
+
+    #[test]
+    fn estimates_have_low_bias() {
+        // The union/OLS step should undo LASSO shrinkage: estimates on the
+        // true support close to the truth.
+        let ds = dataset();
+        let fit = fit_uoi_lasso(&ds.x, &ds.y, &quick_cfg());
+        for &j in &ds.support_true {
+            if fit.support.contains(&j) {
+                assert!(
+                    (fit.beta[j] - ds.beta_true[j]).abs() < 0.25,
+                    "feature {j}: {} vs {}",
+                    fit.beta[j],
+                    ds.beta_true[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_support_contains_family_winners() {
+        let ds = dataset();
+        let fit = fit_uoi_lasso(&ds.x, &ds.y, &quick_cfg());
+        // Every supported coefficient must belong to at least one family
+        // member (averaging cannot invent features).
+        for &j in &fit.support {
+            assert!(
+                fit.support_family.iter().any(|s| s.contains(&j)),
+                "feature {j} outside the candidate family"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let ds = dataset();
+        let a = fit_uoi_lasso(&ds.x, &ds.y, &quick_cfg());
+        let b = fit_uoi_lasso(&ds.x, &ds.y, &quick_cfg());
+        assert_eq!(a.beta, b.beta);
+        assert_eq!(a.support, b.support);
+    }
+
+    #[test]
+    fn intercept_recovered() {
+        // Shift y by a constant; the intercept must absorb it.
+        let ds = dataset();
+        let y_shift: Vec<f64> = ds.y.iter().map(|v| v + 7.5).collect();
+        let base = fit_uoi_lasso(&ds.x, &ds.y, &quick_cfg());
+        let shifted = fit_uoi_lasso(&ds.x, &y_shift, &quick_cfg());
+        assert!(
+            (shifted.intercept - base.intercept - 7.5).abs() < 1e-6,
+            "intercepts {} vs {}",
+            shifted.intercept,
+            base.intercept
+        );
+        for (a, b) in shifted.beta.iter().zip(&base.beta) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn predict_matches_truth_on_clean_data() {
+        let ds = LinearConfig {
+            n_samples: 100,
+            n_features: 12,
+            n_nonzero: 3,
+            snr: 1e5,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let fit = fit_uoi_lasso(&ds.x, &ds.y, &quick_cfg());
+        let pred = fit.predict(&ds.x);
+        let resid: f64 = pred
+            .iter()
+            .zip(&ds.y)
+            .map(|(p, y)| (p - y) * (p - y))
+            .sum::<f64>()
+            / ds.y.len() as f64;
+        let var_y: f64 = {
+            let m = ds.y.iter().sum::<f64>() / ds.y.len() as f64;
+            ds.y.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / ds.y.len() as f64
+        };
+        assert!(resid < 0.01 * var_y, "residual {resid} vs var {var_y}");
+    }
+
+    #[test]
+    fn soft_intersection_grows_supports() {
+        let ds = dataset();
+        let strict = fit_uoi_lasso(&ds.x, &ds.y, &quick_cfg());
+        let soft = fit_uoi_lasso(
+            &ds.x,
+            &ds.y,
+            &UoiLassoConfig { intersection_frac: 0.6, ..quick_cfg() },
+        );
+        // Every strict lambda-support is contained in the soft one.
+        for (s, f) in strict.supports_per_lambda.iter().zip(&soft.supports_per_lambda) {
+            for j in s {
+                assert!(f.contains(j), "soft intersection must be a superset");
+            }
+        }
+        // And soft keeps at least the strict recall.
+        let cs = SelectionCounts::compare(&strict.support, &ds.support_true, 30);
+        let cf = SelectionCounts::compare(&soft.support, &ds.support_true, 30);
+        assert!(cf.recall() >= cs.recall());
+    }
+
+    #[test]
+    fn required_votes_bounds() {
+        assert_eq!(required_votes(1.0, 10), 10);
+        assert_eq!(required_votes(0.5, 10), 5);
+        assert_eq!(required_votes(0.01, 10), 1);
+        assert_eq!(required_votes(0.95, 10), 10);
+    }
+
+    #[test]
+    fn bic_scoring_also_recovers_support() {
+        let ds = dataset();
+        let fit = fit_uoi_lasso(
+            &ds.x,
+            &ds.y,
+            &UoiLassoConfig { score: EstimationScore::Bic, ..quick_cfg() },
+        );
+        let counts = SelectionCounts::compare(&fit.support, &ds.support_true, 30);
+        assert!(counts.recall() >= 0.8, "BIC recall {}", counts.recall());
+        assert!(counts.false_positives <= 3, "BIC FP {}", counts.false_positives);
+    }
+
+    #[test]
+    fn bic_prefers_parsimony() {
+        // A support with irrelevant extras must score worse than the true
+        // support under BIC on clean data.
+        let ds = LinearConfig {
+            n_samples: 150,
+            n_features: 20,
+            n_nonzero: 4,
+            snr: 50.0,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+        let beta_true_fit =
+            uoi_solvers::ols_on_support(&ds.x, &ds.y, &ds.support_true);
+        let mut padded = ds.support_true.clone();
+        for j in 0..20 {
+            if !padded.contains(&j) && padded.len() < 12 {
+                padded.push(j);
+            }
+        }
+        padded.sort_unstable();
+        let beta_padded = uoi_solvers::ols_on_support(&ds.x, &ds.y, &padded);
+        let b_true = bic(&ds.x, &beta_true_fit, &ds.y, ds.support_true.len());
+        let b_pad = bic(&ds.x, &beta_padded, &ds.y, padded.len());
+        assert!(b_true < b_pad, "BIC true {b_true} vs padded {b_pad}");
+    }
+
+    #[test]
+    fn bootstrap_with_oob_partitions() {
+        let mut rng = uoi_data::rng::seeded(3);
+        let (train, eval) = bootstrap_with_oob(&mut rng, 100);
+        assert_eq!(train.len(), 100);
+        assert!(!eval.is_empty());
+        for &e in &eval {
+            assert!(!train.contains(&e), "eval row {e} leaked into training");
+        }
+    }
+
+    #[test]
+    fn more_selection_bootstraps_never_grow_supports() {
+        // Monotonicity of the intersection in B1 (same seed prefix).
+        let ds = dataset();
+        let small = fit_uoi_lasso(&ds.x, &ds.y, &UoiLassoConfig { b1: 4, ..quick_cfg() });
+        let large = fit_uoi_lasso(&ds.x, &ds.y, &UoiLassoConfig { b1: 8, ..quick_cfg() });
+        for (s_large, s_small) in large
+            .supports_per_lambda
+            .iter()
+            .zip(&small.supports_per_lambda)
+        {
+            for j in s_large {
+                assert!(
+                    s_small.contains(j),
+                    "lambda-wise intersection must shrink with B1"
+                );
+            }
+        }
+    }
+}

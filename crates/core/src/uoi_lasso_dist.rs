@@ -1,0 +1,327 @@
+//! Distributed `UoI_LASSO` (paper Algorithm 1 + §III): the full
+//! Map-Solve-Reduce pipeline over the simulated cluster.
+//!
+//! * **Map** — each ADMM rank keeps a resident Tier-1 row block; every
+//!   bootstrap resample is materialised by a Tier-2 one-sided shuffle
+//!   ([`uoi_tieredio::tier2_shuffle`], Fig 1a/1c).
+//! * **Solve** — consensus LASSO-ADMM across the ADMM communicator
+//!   ([`uoi_solvers::DistLassoAdmm`]); OLS is the same solver at
+//!   `lambda = 0`.
+//! * **Reduce** — support intersection (eq. 3) through a single world
+//!   `Allreduce` of per-lambda selection-count indicators; estimate
+//!   averaging (eq. 4) through a world `Allreduce` of the winning OLS
+//!   estimates.
+//!
+//! Work is decomposed over `P_B` bootstrap groups x `P_lambda` lambda
+//! groups x ADMM cores ([`crate::parallelism::ParallelLayout`]); with the
+//! [`ParallelLayout::admm_only`] layout all cores serve one distributed
+//! solver, the configuration of the paper's multi-node scaling runs.
+
+use crate::parallelism::ParallelLayout;
+use crate::support::dedup_family;
+use crate::uoi_lasso::{bootstrap_with_oob, UoiFit, UoiLassoConfig};
+use uoi_data::bootstrap::row_bootstrap;
+use uoi_data::rng::substream;
+use uoi_linalg::Matrix;
+use uoi_mpisim::{Comm, RankCtx};
+use uoi_solvers::{support_of, DistLassoAdmm};
+use uoi_tieredio::distribution::{block_range, tier2_shuffle};
+
+/// Fit `UoI_LASSO` distributed over `world`.
+///
+/// `x`/`y` stand for the dataset as resident after the Tier-1 parallel
+/// read (every rank *uses* only its block; bootstrap rows move through
+/// simulated one-sided windows). All ranks return the identical fit.
+pub fn fit_uoi_lasso_dist(
+    ctx: &mut RankCtx,
+    world: &Comm,
+    x: &Matrix,
+    y: &[f64],
+    cfg: &UoiLassoConfig,
+    layout: ParallelLayout,
+) -> UoiFit {
+    let (n, p) = x.shape();
+    assert_eq!(y.len(), n);
+
+    let comms = layout.split(ctx, world);
+    let c = comms.admm_comm.size();
+    let admm_rank = comms.admm_comm.rank();
+
+    // Resident Tier-1 block (rows + response column, `p + 1` wide) —
+    // each rank materialises only its stripe of the dataset, never the
+    // whole matrix.
+    let my_range = block_range(n, c, admm_rank);
+    let mut resident = {
+        let mut block = Matrix::zeros(my_range.len(), p + 1);
+        for (dst, src) in my_range.clone().enumerate() {
+            block.row_mut(dst)[..p].copy_from_slice(x.row(src));
+            block.row_mut(dst)[p] = y[src];
+        }
+        block
+    };
+    ctx.compute_membound((my_range.len() * (p + 1) * 8) as f64);
+
+    // Global column means via one allreduce of the local partial sums
+    // (the centring step that replaces the paper's intercept column).
+    let mut sums = resident.col_means();
+    for v in &mut sums {
+        *v *= resident.rows() as f64;
+    }
+    sums.push(resident.rows() as f64);
+    comms.admm_comm.allreduce_sum(ctx, &mut sums);
+    let count = sums.pop().unwrap_or(1.0).max(1.0);
+    let means: Vec<f64> = sums.iter().map(|s| s / count).collect();
+    let x_means = means[..p].to_vec();
+    let y_mean = means[p];
+    resident.center_cols(&means);
+    ctx.compute_membound((resident.len() * 8) as f64);
+
+    // Shared lambda grid from the distributed `||X^T y||_inf`.
+    let lambdas = {
+        let cols: Vec<usize> = (0..p).collect();
+        let xr = resident.gather_cols(&cols);
+        let yr = resident.col(p);
+        let mut xty = uoi_linalg::gemv_t(&xr, &yr);
+        ctx.compute_flops(2.0 * (xr.rows() * p) as f64, (xr.len() * 8) as f64);
+        comms.admm_comm.allreduce_sum(ctx, &mut xty);
+        let lmax = uoi_linalg::norm_inf(&xty).max(1e-12);
+        uoi_solvers::geometric_grid(lmax, cfg.lambda_min_ratio * lmax, cfg.q)
+    };
+
+    // --- Model selection ---
+    // votes[j*p + f] = number of bootstraps whose lambda_j support
+    // contains f (group leaders contribute; one vote per (k, j)).
+    let mut votes = vec![0.0; cfg.q * p];
+    for &k in &layout.bootstraps_for(comms.b_group, cfg.b1) {
+        let mut rng = substream(cfg.seed, k as u64);
+        let idx = row_bootstrap(&mut rng, n, n);
+        let my_slice = &idx[block_range(n, c, admm_rank)];
+        let (data, _t) =
+            tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, my_slice);
+        let (xb, yb) = split_block(&data, p);
+        let solver = DistLassoAdmm::new(ctx, xb, cfg.admm.clone());
+        let my_lambda_ids = layout.lambdas_for(comms.l_group, cfg.q);
+        let my_lambdas: Vec<f64> = my_lambda_ids.iter().map(|&j| lambdas[j]).collect();
+        let sols = solver.solve_path(ctx, &comms.admm_comm, &yb, &my_lambdas);
+        if comms.is_group_leader() {
+            for (&j, sol) in my_lambda_ids.iter().zip(&sols) {
+                for f in support_of(&sol.beta, cfg.support_tol) {
+                    votes[j * p + f] += 1.0;
+                }
+            }
+        }
+    }
+    // Reduce: one world allreduce realises eq. 3 for every lambda at once
+    // (soft threshold: >= ceil(frac * B1) votes).
+    world.allreduce_sum(ctx, &mut votes);
+    let needed = crate::uoi_lasso::required_votes(cfg.intersection_frac, cfg.b1) as f64;
+    let supports_per_lambda: Vec<Vec<usize>> = (0..cfg.q)
+        .map(|j| {
+            (0..p)
+                .filter(|&f| votes[j * p + f] >= needed - 0.5)
+                .collect()
+        })
+        .collect();
+    let support_family = dedup_family(supports_per_lambda.clone());
+
+    // --- Model estimation ---
+    // Estimation bootstraps are spread over all (b, lambda) groups.
+    let groups = layout.p_b * layout.p_lambda;
+    let my_group = comms.b_group * layout.p_lambda + comms.l_group;
+    let mut est_sum = vec![0.0; p];
+    for k in 0..cfg.b2 {
+        if k % groups != my_group {
+            continue;
+        }
+        let mut rng = substream(cfg.seed, 10_000 + k as u64);
+        let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
+        // Shuffle this rank's share of both resamples.
+        let my_train = my_share(&train_idx, c, admm_rank);
+        let (train, _) =
+            tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, &my_train);
+        let my_eval = my_share(&eval_idx, c, admm_rank);
+        let (eval, _) =
+            tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, &my_eval);
+        let (xt, yt) = split_block(&train, p);
+        let (xe, ye) = split_block(&eval, p);
+
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for support in &support_family {
+            // Distributed OLS (ADMM at lambda = 0) on the restricted
+            // design, as the paper's estimation step does.
+            let xt_s = xt.gather_cols(support);
+            let solver = DistLassoAdmm::new(ctx, xt_s, cfg.admm.clone());
+            let sol = solver.solve_ols(ctx, &comms.admm_comm, &yt);
+            // Embed into full coordinates.
+            let mut beta = vec![0.0; p];
+            for (&f, &b) in support.iter().zip(&sol.beta) {
+                beta[f] = b;
+            }
+            // Distributed evaluation loss: local SSE, allreduce 2 scalars.
+            let pred = uoi_linalg::gemv(&xe, &beta);
+            ctx.compute_flops(2.0 * (xe.rows() * p) as f64, (xe.len() * 8) as f64);
+            let mut stats = vec![
+                pred.iter().zip(&ye).map(|(a, b)| (a - b) * (a - b)).sum::<f64>(),
+                ye.len() as f64,
+            ];
+            comms.admm_comm.allreduce_sum(ctx, &mut stats);
+            let loss = stats[0] / stats[1].max(1.0);
+            if best.as_ref().is_none_or(|(l, _)| loss < *l) {
+                best = Some((loss, beta));
+            }
+        }
+        if comms.is_group_leader() {
+            if let Some((_, beta)) = best {
+                for (s, b) in est_sum.iter_mut().zip(&beta) {
+                    *s += b;
+                }
+            }
+        }
+    }
+    // Reduce: average the winners across groups (eq. 4).
+    world.allreduce_sum(ctx, &mut est_sum);
+    let beta: Vec<f64> = est_sum.iter().map(|v| v / cfg.b2 as f64).collect();
+
+    let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
+    let support = support_of(&beta, cfg.support_tol);
+    UoiFit { beta, intercept, support, lambdas, supports_per_lambda, support_family }
+}
+
+/// Split a `(rows x (p+1))` shuffled block into design and response.
+fn split_block(block: &Matrix, p: usize) -> (Matrix, Vec<f64>) {
+    let cols: Vec<usize> = (0..p).collect();
+    let x = block.gather_cols(&cols);
+    let y = block.col(p);
+    (x, y)
+}
+
+/// This rank's block-striped share of a resample index list (the global
+/// row ids the rank must fetch).
+fn my_share(idx: &[usize], c: usize, rank: usize) -> Vec<usize> {
+    block_range(idx.len(), c, rank).map(|i| idx[i]).collect()
+}
+
+pub use crate::parallelism::ParallelLayout as Layout;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SelectionCounts;
+    use crate::uoi_lasso::fit_uoi_lasso;
+    use uoi_data::LinearConfig;
+    use uoi_mpisim::{Cluster, MachineModel, Phase};
+    use uoi_solvers::AdmmConfig;
+
+    fn cfg() -> UoiLassoConfig {
+        UoiLassoConfig {
+            b1: 6,
+            b2: 6,
+            q: 10,
+            lambda_min_ratio: 2e-2,
+            admm: AdmmConfig { max_iter: 3000, abstol: 1e-9, reltol: 1e-8, ..Default::default() },
+            support_tol: 1e-6,
+            seed: 7,
+            score: Default::default(),
+                    intersection_frac: 1.0,
+        }
+    }
+
+    #[test]
+    fn distributed_matches_serial_statistically() {
+        let ds = LinearConfig {
+            n_samples: 96,
+            n_features: 20,
+            n_nonzero: 4,
+            snr: 10.0,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+        let serial = fit_uoi_lasso(&ds.x, &ds.y, &cfg());
+        let (x, y) = (ds.x.clone(), ds.y.clone());
+        let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, world| {
+            fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), ParallelLayout::admm_only())
+        });
+        let dist = &report.results[0];
+        // Selection is driven by the same bootstrap streams; supports per
+        // lambda should agree.
+        assert_eq!(dist.supports_per_lambda, serial.supports_per_lambda);
+        // Recovery quality matches.
+        let cs = SelectionCounts::compare(&serial.support, &ds.support_true, 20);
+        let cd = SelectionCounts::compare(&dist.support, &ds.support_true, 20);
+        assert!(cd.f1() >= cs.f1() - 0.15, "dist f1 {} vs serial {}", cd.f1(), cs.f1());
+        // Coefficients close.
+        for (a, b) in dist.beta.iter().zip(&serial.beta) {
+            assert!((a - b).abs() < 0.05, "dist {a} vs serial {b}");
+        }
+    }
+
+    #[test]
+    fn all_ranks_return_identical_fits() {
+        let ds = LinearConfig {
+            n_samples: 64,
+            n_features: 12,
+            n_nonzero: 3,
+            seed: 9,
+            ..Default::default()
+        }
+        .generate();
+        let (x, y) = (ds.x.clone(), ds.y.clone());
+        let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, world| {
+            let fit =
+                fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), ParallelLayout::admm_only());
+            (fit.beta, fit.support)
+        });
+        for r in 1..4 {
+            assert_eq!(report.results[0], report.results[r]);
+        }
+    }
+
+    #[test]
+    fn pb_plambda_layout_equivalent_to_admm_only() {
+        let ds = LinearConfig {
+            n_samples: 64,
+            n_features: 12,
+            n_nonzero: 3,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let run = |layout: ParallelLayout| {
+            let (x, y) = (ds.x.clone(), ds.y.clone());
+            Cluster::new(8, MachineModel::deterministic())
+                .run(move |ctx, world| {
+                    fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), layout)
+                })
+                .results
+                .remove(0)
+        };
+        let flat = run(ParallelLayout::admm_only());
+        let nested = run(ParallelLayout { p_b: 2, p_lambda: 2 });
+        assert_eq!(flat.supports_per_lambda, nested.supports_per_lambda);
+        for (a, b) in flat.beta.iter().zip(&nested.beta) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn phases_all_recorded() {
+        let ds = LinearConfig {
+            n_samples: 48,
+            n_features: 10,
+            n_nonzero: 2,
+            seed: 1,
+            ..Default::default()
+        }
+        .generate();
+        let (x, y) = (ds.x.clone(), ds.y.clone());
+        let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, world| {
+            let _ = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), ParallelLayout::admm_only());
+            ctx.ledger()
+        });
+        let l = report.phase_max();
+        assert!(l.get(Phase::Compute) > 0.0, "compute time must be recorded");
+        assert!(l.get(Phase::Comm) > 0.0, "allreduce time must be recorded");
+        assert!(l.get(Phase::Distribution) > 0.0, "tier-2 shuffles must be recorded");
+    }
+}

@@ -1,0 +1,272 @@
+//! VAR(d) → multivariate least-squares rearrangement (paper eqs. 7–9).
+//!
+//! From a series `{X_t}` the regression pair is built as
+//! `Y = X B + E` with `Y: (N-d) x p` (eq. 7), `X: (N-d) x (dp)` of lagged
+//! values (eq. 8), and `B = (A_1 ... A_d)'` stacked `(dp) x p`. The
+//! vectorised form `vec Y = (I_p ⊗ X) vec B + vec E` (eq. 9) turns the
+//! problem into one large sparse LASSO; [`uoi_linalg::IdentityKron`]
+//! represents `(I ⊗ X)` without materialising it.
+//!
+//! Rows here run in *forward* time order (`t = d .. N-1`); the paper's
+//! eq. 7 lists them reversed, which is an inconsequential row permutation
+//! of the least-squares problem.
+
+use uoi_linalg::{IdentityKron, Matrix};
+
+/// The regression rearrangement of a VAR(d) problem.
+#[derive(Debug, Clone)]
+pub struct VarRegression {
+    /// Response matrix `(N-d) x p` (eq. 7).
+    pub y: Matrix,
+    /// Lagged design matrix `(N-d) x (dp)` (eq. 8).
+    pub x: Matrix,
+    /// Lag order.
+    pub order: usize,
+}
+
+impl VarRegression {
+    /// Build `Y`/`X` from an `N x p` series (row `t` = observation `X_t`).
+    pub fn build(series: &Matrix, order: usize) -> VarRegression {
+        let (n, p) = series.shape();
+        assert!(order >= 1, "VAR order must be >= 1");
+        assert!(n > order, "need more than `order` observations");
+        let rows = n - order;
+        let mut y = Matrix::zeros(rows, p);
+        let mut x = Matrix::zeros(rows, order * p);
+        for t in order..n {
+            let r = t - order;
+            y.row_mut(r).copy_from_slice(series.row(t));
+            for lag in 1..=order {
+                let src = series.row(t - lag);
+                let dst = &mut x.row_mut(r)[(lag - 1) * p..lag * p];
+                dst.copy_from_slice(src);
+            }
+        }
+        VarRegression { y, x, order }
+    }
+
+    /// Node count `p`.
+    pub fn dim(&self) -> usize {
+        self.y.cols()
+    }
+
+    /// Effective sample count `N - d`.
+    pub fn samples(&self) -> usize {
+        self.y.rows()
+    }
+
+    /// Vectorised response `vec Y` (column stacking, eq. 9 LHS).
+    pub fn vec_y(&self) -> Vec<f64> {
+        self.y.vectorize()
+    }
+
+    /// The `(I_p ⊗ X)` operator of eq. 9.
+    pub fn kron_design(&self) -> IdentityKron {
+        IdentityKron::new(self.x.clone(), self.dim())
+    }
+
+    /// The "problem size" the paper reports: bytes of the *dense*
+    /// vectorised design (this is what scales ≈ p^3).
+    pub fn vectorized_problem_bytes(&self) -> u64 {
+        self.kron_design().dense_bytes()
+    }
+
+    /// Gather the regression restricted to a row subset (bootstrap
+    /// resample of regression rows; block bootstrap keeps lag-consistent
+    /// runs together).
+    pub fn gather(&self, rows: &[usize]) -> VarRegression {
+        VarRegression {
+            y: self.y.gather_rows(rows),
+            x: self.x.gather_rows(rows),
+            order: self.order,
+        }
+    }
+
+    /// Restrict to a contiguous row range (temporal train/eval split).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> VarRegression {
+        VarRegression {
+            y: self.y.rows_range(range.start, range.end),
+            x: self.x.rows_range(range.start, range.end),
+            order: self.order,
+        }
+    }
+}
+
+/// Partition the vectorised coefficient estimate (length `d*p*p`, column
+/// stacking of `B: (dp) x p`) back into `(A_1, ..., A_d)` — Algorithm 2
+/// line 31.
+///
+/// `vec B` stacks the columns of `B`; column `i` of `B` holds, at position
+/// `(lag-1)*p + c`, the coefficient `A_lag[i, c]`.
+pub fn partition_coefficients(vec_b: &[f64], p: usize, order: usize) -> Vec<Matrix> {
+    assert_eq!(vec_b.len(), order * p * p, "coefficient length mismatch");
+    let dp = order * p;
+    let mut a_mats = vec![Matrix::zeros(p, p); order];
+    for i in 0..p {
+        // Column i of B occupies vec_b[i*dp .. (i+1)*dp].
+        let col = &vec_b[i * dp..(i + 1) * dp];
+        for lag in 0..order {
+            for c in 0..p {
+                a_mats[lag][(i, c)] = col[lag * p + c];
+            }
+        }
+    }
+    a_mats
+}
+
+/// Inverse of [`partition_coefficients`]: flatten `(A_1, ..., A_d)` into
+/// `vec B`.
+pub fn flatten_coefficients(a_mats: &[Matrix]) -> Vec<f64> {
+    assert!(!a_mats.is_empty());
+    let p = a_mats[0].rows();
+    let order = a_mats.len();
+    let dp = order * p;
+    let mut v = vec![0.0; dp * p];
+    for i in 0..p {
+        for (lag, a) in a_mats.iter().enumerate() {
+            for c in 0..p {
+                v[i * dp + lag * p + c] = a[(i, c)];
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uoi_data::{VarConfig, VarProcess};
+    use uoi_linalg::{gemm, gemv};
+
+    #[test]
+    fn build_small_var1() {
+        // Series rows X_0..X_3, p = 2.
+        let series = Matrix::from_rows(&[
+            &[1.0, 10.0],
+            &[2.0, 20.0],
+            &[3.0, 30.0],
+            &[4.0, 40.0],
+        ]);
+        let reg = VarRegression::build(&series, 1);
+        assert_eq!(reg.samples(), 3);
+        assert_eq!(reg.y.row(0), &[2.0, 20.0]); // X_1
+        assert_eq!(reg.x.row(0), &[1.0, 10.0]); // X_0
+        assert_eq!(reg.y.row(2), &[4.0, 40.0]);
+        assert_eq!(reg.x.row(2), &[3.0, 30.0]);
+    }
+
+    #[test]
+    fn build_var2_lag_layout() {
+        let series = Matrix::from_rows(&[
+            &[1.0, -1.0],
+            &[2.0, -2.0],
+            &[3.0, -3.0],
+            &[4.0, -4.0],
+        ]);
+        let reg = VarRegression::build(&series, 2);
+        assert_eq!(reg.samples(), 2);
+        assert_eq!(reg.x.cols(), 4);
+        // Row for t=2: [X_1 | X_0].
+        assert_eq!(reg.x.row(0), &[2.0, -2.0, 1.0, -1.0]);
+        assert_eq!(reg.y.row(0), &[3.0, -3.0]);
+    }
+
+    #[test]
+    fn noiseless_var_satisfies_y_eq_xb() {
+        // Simulate a noiseless VAR(1): Y must equal X B exactly.
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 0.5;
+        a[(1, 0)] = 0.3;
+        a[(2, 1)] = -0.4;
+        let proc = VarProcess::from_coeffs(vec![a.clone()], 0.0);
+        // noise_std = 0 → dynamics decay to 0; seed initial via small noise
+        // then zero: instead simulate with tiny noise and check residual is
+        // tiny relative to signal.
+        let proc_noisy = VarProcess::from_coeffs(vec![a.clone()], 1.0);
+        let series = proc_noisy.simulate(200, 20, 3);
+        let reg = VarRegression::build(&series, 1);
+        // B = A' for VAR(1): B[(c, i)] = A[i, c].
+        let b = a.transpose();
+        let pred = gemm(&reg.x, &b);
+        // Residual = noise, which has unit variance: check the regression
+        // identity by reconstructing Y - X B ≈ U (bounded, uncorrelated
+        // with X). Sanity: with the true A the residual variance per entry
+        // ≈ 1.
+        let mut resid = reg.y.clone();
+        resid.sub_assign(&pred);
+        let var = resid.frobenius_norm().powi(2) / resid.len() as f64;
+        assert!((var - 1.0).abs() < 0.2, "residual variance {var}");
+        let _ = proc;
+    }
+
+    #[test]
+    fn vec_form_matches_matrix_form() {
+        let series = Matrix::from_fn(20, 3, |t, j| ((t * 3 + j * 7) % 11) as f64 - 5.0);
+        let reg = VarRegression::build(&series, 2);
+        let kron = reg.kron_design();
+        // vec(X B) == (I ⊗ X) vec(B) for arbitrary B.
+        let b = Matrix::from_fn(6, 3, |i, j| (i as f64) * 0.1 - (j as f64) * 0.2);
+        let lhs = gemm(&reg.x, &b).vectorize();
+        let rhs = kron.matvec(&b.vectorize());
+        for (l, r) in lhs.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-12);
+        }
+        assert_eq!(reg.vec_y().len(), kron.shape().0);
+    }
+
+    #[test]
+    fn partition_flatten_roundtrip() {
+        let a1 = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let a2 = Matrix::from_fn(3, 3, |i, j| -((i + j) as f64));
+        let v = flatten_coefficients(&[a1.clone(), a2.clone()]);
+        let back = partition_coefficients(&v, 3, 2);
+        assert_eq!(back[0], a1);
+        assert_eq!(back[1], a2);
+    }
+
+    #[test]
+    fn recover_known_coefficients_by_ols() {
+        // End-to-end: simulate, build, solve vectorised OLS per column,
+        // partition, compare with the generator's A.
+        let proc = VarProcess::generate(&VarConfig {
+            p: 5,
+            order: 1,
+            density: 0.3,
+            noise_std: 0.3,
+            seed: 11,
+            ..Default::default()
+        });
+        let series = proc.simulate(3000, 100, 4);
+        let reg = VarRegression::build(&series, 1);
+        // Column-wise OLS through the Gram identity.
+        let mut vec_b = vec![0.0; 5 * 5];
+        for i in 0..5 {
+            let yi = reg.y.col(i);
+            let beta = uoi_linalg::solve_normal_equations(&reg.x, &yi, 0.0).unwrap();
+            vec_b[i * 5..(i + 1) * 5].copy_from_slice(&beta);
+        }
+        let a_hat = partition_coefficients(&vec_b, 5, 1);
+        let mut diff = a_hat[0].clone();
+        diff.sub_assign(&proc.coeffs[0]);
+        assert!(
+            diff.max_abs() < 0.08,
+            "OLS recovery error {} too large",
+            diff.max_abs()
+        );
+        let _ = gemv(&reg.x, &vec_b[0..5]); // shape sanity
+    }
+
+    #[test]
+    fn problem_size_explodes_cubically() {
+        // Doubling p roughly multiplies the vectorised dense bytes by 8
+        // when samples scale with p (the paper's ≈ p^3 law).
+        // Fixed sample count: the vectorised dense design is
+        // (N-d)p x dp^2, cubic in p.
+        let series_small = Matrix::zeros(201, 50);
+        let series_big = Matrix::zeros(201, 100);
+        let small = VarRegression::build(&series_small, 1).vectorized_problem_bytes();
+        let big = VarRegression::build(&series_big, 1).vectorized_problem_bytes();
+        let ratio = big as f64 / small as f64;
+        assert!((ratio - 8.0).abs() < 0.5, "p^3 scaling ratio {ratio}");
+    }
+}

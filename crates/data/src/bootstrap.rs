@@ -1,0 +1,141 @@
+//! Bootstrap resampling: i.i.d. row bootstrap for `UoI_LASSO` and the
+//! moving-block bootstrap `UoI_VAR` uses to respect temporal dependence
+//! (paper §II-E, §III-B2).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// `m` row indices drawn uniformly with replacement from `0..n` — the
+/// `UoI_LASSO` bootstrap resample.
+pub fn row_bootstrap(rng: &mut StdRng, n: usize, m: usize) -> Vec<usize> {
+    assert!(n > 0, "cannot bootstrap an empty sample");
+    (0..m).map(|_| rng.random_range(0..n)).collect()
+}
+
+/// Moving-block bootstrap: draws blocks of `block_len` consecutive time
+/// indices (uniform random starts) and concatenates them until `m` indices
+/// are produced. Within-block temporal order is preserved, which is what
+/// lets the VAR lag structure survive resampling.
+pub fn block_bootstrap(rng: &mut StdRng, n: usize, m: usize, block_len: usize) -> Vec<usize> {
+    assert!(n > 0, "cannot bootstrap an empty series");
+    let b = block_len.clamp(1, n);
+    let max_start = n - b;
+    let mut out = Vec::with_capacity(m);
+    while out.len() < m {
+        let start = rng.random_range(0..=max_start);
+        let take = b.min(m - out.len());
+        out.extend(start..start + take);
+    }
+    out
+}
+
+/// The default VAR block length: `ceil(n^{1/3})`, the standard
+/// rate-optimal choice for moving-block bootstrap.
+pub fn default_block_len(n: usize) -> usize {
+    (n as f64).powf(1.0 / 3.0).ceil() as usize
+}
+
+/// Split `0..n` into a random `(train, eval)` partition with `train_frac`
+/// of the indices in the training half (UoI estimation line 14-16).
+pub fn train_eval_split(rng: &mut StdRng, n: usize, train_frac: f64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&train_frac));
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Fisher-Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    let cut = ((n as f64) * train_frac).round() as usize;
+    let cut = cut.clamp(1.min(n), n.saturating_sub(1).max(1));
+    let (train, eval) = idx.split_at(cut.min(n));
+    (train.to_vec(), eval.to_vec())
+}
+
+/// Contiguous train/eval split for time series: the first `train_frac` of
+/// the series trains, the remainder evaluates (no shuffling — temporal
+/// order preserved).
+pub fn temporal_split(n: usize, train_frac: f64) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+    let cut = (((n as f64) * train_frac).round() as usize).clamp(1, n.saturating_sub(1).max(1));
+    (0..cut, cut..n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn row_bootstrap_bounds_and_length() {
+        let mut rng = seeded(1);
+        let idx = row_bootstrap(&mut rng, 50, 80);
+        assert_eq!(idx.len(), 80);
+        assert!(idx.iter().all(|&i| i < 50));
+        // With replacement: 80 draws from 50 must repeat something.
+        let mut uniq = idx.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() < 80);
+    }
+
+    #[test]
+    fn block_bootstrap_preserves_block_order() {
+        let mut rng = seeded(2);
+        let idx = block_bootstrap(&mut rng, 100, 60, 10);
+        assert_eq!(idx.len(), 60);
+        assert!(idx.iter().all(|&i| i < 100));
+        // Within every aligned block of 10, indices are consecutive.
+        for chunk in idx.chunks(10) {
+            for w in chunk.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "block interior must be consecutive");
+            }
+        }
+    }
+
+    #[test]
+    fn block_bootstrap_handles_partial_last_block() {
+        let mut rng = seeded(3);
+        let idx = block_bootstrap(&mut rng, 40, 25, 10);
+        assert_eq!(idx.len(), 25);
+    }
+
+    #[test]
+    fn block_len_clamped() {
+        let mut rng = seeded(4);
+        // block_len > n must not panic.
+        let idx = block_bootstrap(&mut rng, 5, 12, 100);
+        assert_eq!(idx.len(), 12);
+        assert!(idx.iter().all(|&i| i < 5));
+    }
+
+    #[test]
+    fn default_block_len_cube_root() {
+        assert_eq!(default_block_len(1000), 10);
+        assert_eq!(default_block_len(27), 3);
+        assert_eq!(default_block_len(1), 1);
+    }
+
+    #[test]
+    fn train_eval_split_partitions() {
+        let mut rng = seeded(5);
+        let (train, eval) = train_eval_split(&mut rng, 100, 0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(eval.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(eval.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn temporal_split_contiguous() {
+        let (tr, ev) = temporal_split(10, 0.7);
+        assert_eq!(tr, 0..7);
+        assert_eq!(ev, 7..10);
+    }
+
+    #[test]
+    fn splits_deterministic_by_seed() {
+        let a = train_eval_split(&mut seeded(9), 30, 0.5);
+        let b = train_eval_split(&mut seeded(9), 30, 0.5);
+        assert_eq!(a, b);
+    }
+}

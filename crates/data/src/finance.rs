@@ -1,0 +1,227 @@
+//! Finance-flavoured synthetic data: the substitute for the paper's
+//! S&P-500 daily closes (§VI).
+//!
+//! The paper's pipeline is: daily closes → weekly closes (`aggregate_last`
+//! with k = 5) → first differences → `UoI_VAR(1)`. We generate daily
+//! closes whose *weekly first differences follow a known sparse
+//! sector-structured VAR(1)*, so the full preprocessing path is exercised
+//! **and** the recovered Granger network can be checked against ground
+//! truth — something the paper's real data could not offer.
+//!
+//! Network structure: companies are grouped into sectors with denser
+//! within-sector coupling, plus a few high-in-degree "hub" companies that
+//! depend on firms across several sectors (the paper's Figure 11 highlights
+//! exactly such a hub).
+
+use crate::rng::{normal, seeded};
+use crate::var::VarProcess;
+use rand::RngExt;
+use uoi_linalg::Matrix;
+
+/// Trading days per week in the synthetic calendar.
+pub const DAYS_PER_WEEK: usize = 5;
+
+/// Configuration of the synthetic market.
+#[derive(Debug, Clone)]
+pub struct FinanceConfig {
+    /// Number of companies (paper: 470 full / 50 subset).
+    pub n_companies: usize,
+    /// Number of sectors.
+    pub n_sectors: usize,
+    /// Number of weeks to simulate.
+    pub weeks: usize,
+    /// Within-sector edge density of the weekly-difference VAR.
+    pub intra_density: f64,
+    /// Cross-sector edge density.
+    pub inter_density: f64,
+    /// Number of hub companies with elevated in-degree.
+    pub n_hubs: usize,
+    /// Companion spectral radius target.
+    pub target_radius: f64,
+    /// Weekly disturbance standard deviation.
+    pub noise_std: f64,
+    /// Intraweek jitter of the daily path (relative to `noise_std`).
+    pub intraweek_jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FinanceConfig {
+    fn default() -> Self {
+        Self {
+            n_companies: 50,
+            n_sectors: 5,
+            weeks: 104, // two years, as in the Fig 11 analysis
+            intra_density: 0.06,
+            inter_density: 0.004,
+            n_hubs: 2,
+            target_radius: 0.55,
+            noise_std: 1.0,
+            intraweek_jitter: 0.15,
+            seed: 2013,
+        }
+    }
+}
+
+/// A generated market with its ground-truth weekly-difference dynamics.
+#[derive(Debug, Clone)]
+pub struct FinanceDataset {
+    /// Daily closes, `(weeks * 5) x n_companies`.
+    pub daily_closes: Matrix,
+    /// Synthetic tickers ("S0C00", ...; hubs get "HUB" prefixes).
+    pub tickers: Vec<String>,
+    /// Ground-truth VAR(1) on weekly first differences.
+    pub truth: VarProcess,
+    /// Sector id per company.
+    pub sectors: Vec<usize>,
+}
+
+impl FinanceConfig {
+    /// Generate the market.
+    pub fn generate(&self) -> FinanceDataset {
+        assert!(self.n_companies >= 2 && self.n_sectors >= 1);
+        let p = self.n_companies;
+        let mut rng = seeded(self.seed);
+
+        // Sector assignment round-robin, tickers, hubs at the front.
+        let sectors: Vec<usize> = (0..p).map(|i| i % self.n_sectors).collect();
+        let tickers: Vec<String> = (0..p)
+            .map(|i| {
+                if i < self.n_hubs {
+                    format!("HUB{i}")
+                } else {
+                    format!("S{}C{:02}", sectors[i], i)
+                }
+            })
+            .collect();
+
+        // Sparse sector-structured A with hub in-degree boost.
+        let mut a = Matrix::zeros(p, p);
+        for i in 0..p {
+            for j in 0..p {
+                if i == j {
+                    continue;
+                }
+                let same = sectors[i] == sectors[j];
+                let mut prob = if same { self.intra_density } else { self.inter_density };
+                if i < self.n_hubs {
+                    // Hubs depend on firms everywhere: row i (incoming
+                    // edges j -> i) gets a density boost.
+                    prob = (prob * 8.0).min(0.35);
+                }
+                if rng.random::<f64>() < prob {
+                    let mag: f64 = rng.random_range(0.2..0.8);
+                    a[(i, j)] = if rng.random::<bool>() { mag } else { -mag };
+                }
+            }
+            // Mild self-persistence on the diagonal.
+            if rng.random::<f64>() < 0.5 {
+                a[(i, i)] = rng.random_range(0.1..0.4);
+            }
+        }
+        // Stabilise to the target radius via the VarProcess machinery.
+        let mut proc = VarProcess::from_coeffs(vec![a], self.noise_std);
+        let radius = proc.radius();
+        if radius > 0.0 {
+            let scale = self.target_radius / radius;
+            proc.coeffs[0].scale(scale);
+        }
+
+        // Weekly differences follow the VAR; integrate to weekly closes.
+        let weekly_diffs = proc.simulate(self.weeks, 50, self.seed ^ 0xD1FF);
+        let mut weekly_closes = Matrix::zeros(self.weeks, p);
+        let base = 100.0;
+        for w in 0..self.weeks {
+            for c in 0..p {
+                let prev = if w == 0 { base } else { weekly_closes[(w - 1, c)] };
+                weekly_closes[(w, c)] = prev + weekly_diffs[(w, c)];
+            }
+        }
+
+        // Daily path: linear interpolation toward the weekly close with
+        // intraweek jitter; the 5th day lands exactly on the weekly close,
+        // so `aggregate_last(daily, 5)` recovers `weekly_closes`.
+        let mut daily = Matrix::zeros(self.weeks * DAYS_PER_WEEK, p);
+        for c in 0..p {
+            let mut prev = base;
+            for w in 0..self.weeks {
+                let target = weekly_closes[(w, c)];
+                for d in 0..DAYS_PER_WEEK {
+                    let frac = (d + 1) as f64 / DAYS_PER_WEEK as f64;
+                    let interp = prev + frac * (target - prev);
+                    let jitter = if d + 1 == DAYS_PER_WEEK {
+                        0.0
+                    } else {
+                        self.intraweek_jitter * self.noise_std * normal(&mut rng)
+                    };
+                    daily[(w * DAYS_PER_WEEK + d, c)] = interp + jitter;
+                }
+                prev = target;
+            }
+        }
+
+        FinanceDataset { daily_closes: daily, tickers, truth: proc, sectors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{aggregate_last, first_differences};
+
+    #[test]
+    fn shapes_and_tickers() {
+        let ds = FinanceConfig::default().generate();
+        assert_eq!(ds.daily_closes.shape(), (104 * 5, 50));
+        assert_eq!(ds.tickers.len(), 50);
+        assert_eq!(ds.tickers[0], "HUB0");
+        assert!(ds.tickers[10].starts_with('S'));
+        assert_eq!(ds.sectors.len(), 50);
+    }
+
+    #[test]
+    fn weekly_aggregation_recovers_var_differences() {
+        let cfg = FinanceConfig { weeks: 60, seed: 7, ..Default::default() };
+        let ds = cfg.generate();
+        let weekly = aggregate_last(&ds.daily_closes, DAYS_PER_WEEK);
+        assert_eq!(weekly.rows(), 60);
+        let diffs = first_differences(&weekly);
+        // The differenced weekly series must equal the simulated VAR
+        // output (shifted by one week since differencing consumes a row).
+        // We verify statistically: regressing diff_t on diff_{t-1} along a
+        // known strong edge should show the right sign. Cheap proxy: the
+        // series is bounded (stable VAR), not a random walk.
+        assert!(diffs.max_abs() < 50.0);
+    }
+
+    #[test]
+    fn truth_is_stable_and_sparse() {
+        let ds = FinanceConfig::default().generate();
+        assert!(ds.truth.is_stable());
+        let p = 50;
+        let nnz = ds.truth.coeffs[0].count_nonzero(0.0);
+        assert!(nnz > 10, "network too empty: {nnz}");
+        assert!(nnz < p * p / 4, "network too dense: {nnz}");
+    }
+
+    #[test]
+    fn hubs_have_elevated_in_degree() {
+        let ds = FinanceConfig { n_companies: 60, seed: 3, ..Default::default() }.generate();
+        let a = &ds.truth.coeffs[0];
+        let in_degree = |i: usize| (0..60).filter(|&j| j != i && a[(i, j)] != 0.0).count();
+        let hub_deg = in_degree(0) + in_degree(1);
+        let avg_other: f64 = (2..60).map(in_degree).sum::<usize>() as f64 / 58.0;
+        assert!(
+            hub_deg as f64 / 2.0 > 2.0 * avg_other.max(0.5),
+            "hub in-degree {} vs avg {avg_other}",
+            hub_deg as f64 / 2.0
+        );
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = FinanceConfig::default().generate();
+        let b = FinanceConfig::default().generate();
+        assert_eq!(a.daily_closes, b.daily_closes);
+    }
+}

@@ -1,0 +1,161 @@
+//! Time-series preprocessing used by the real-data analyses of §VI:
+//! aggregation (daily → weekly closes), first differencing (to obtain a
+//! plausibly stationary series), and column standardisation.
+
+use uoi_linalg::Matrix;
+
+/// First differences down the rows: output row `t` = `x[t+1] - x[t]`.
+/// An `n x p` series becomes `(n-1) x p`.
+pub fn first_differences(x: &Matrix) -> Matrix {
+    assert!(x.rows() >= 2, "need at least two observations to difference");
+    let mut out = Matrix::zeros(x.rows() - 1, x.cols());
+    for t in 0..x.rows() - 1 {
+        let (a, b) = (x.row(t), x.row(t + 1));
+        for (o, (bi, ai)) in out.row_mut(t).iter_mut().zip(b.iter().zip(a)) {
+            *o = bi - ai;
+        }
+    }
+    out
+}
+
+/// Aggregate every `k` consecutive rows by keeping the **last** row of
+/// each complete group — "weekly closes" from daily closes with `k = 5`.
+/// Trailing incomplete groups are dropped.
+pub fn aggregate_last(x: &Matrix, k: usize) -> Matrix {
+    assert!(k >= 1);
+    let groups = x.rows() / k;
+    let mut out = Matrix::zeros(groups, x.cols());
+    for g in 0..groups {
+        out.row_mut(g).copy_from_slice(x.row(g * k + k - 1));
+    }
+    out
+}
+
+/// Aggregate every `k` consecutive rows by their mean (binned spike
+/// counts). Trailing incomplete groups are dropped.
+pub fn aggregate_mean(x: &Matrix, k: usize) -> Matrix {
+    assert!(k >= 1);
+    let groups = x.rows() / k;
+    let mut out = Matrix::zeros(groups, x.cols());
+    for g in 0..groups {
+        let dst = out.row_mut(g);
+        for t in 0..k {
+            for (d, &v) in dst.iter_mut().zip(x.row(g * k + t)) {
+                *d += v;
+            }
+        }
+        for d in dst {
+            *d /= k as f64;
+        }
+    }
+    out
+}
+
+/// Per-column mean/std standardisation statistics.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    /// Column means.
+    pub means: Vec<f64>,
+    /// Column standard deviations (floored at a tiny epsilon).
+    pub stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit on a matrix.
+    pub fn fit(x: &Matrix) -> Self {
+        let means = x.col_means();
+        let n = x.rows().max(1) as f64;
+        let mut stds = vec![0.0; x.cols()];
+        for i in 0..x.rows() {
+            for (s, (&v, m)) in stds.iter_mut().zip(x.row(i).iter().zip(&means)) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt().max(1e-12);
+        }
+        Self { means, stds }
+    }
+
+    /// Apply: `(x - mean) / std` per column.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len());
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_differences_small() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 10.0], &[0.0, 13.0]]);
+        let d = first_differences(&x);
+        assert_eq!(d.shape(), (2, 2));
+        assert_eq!(d.row(0), &[2.0, 0.0]);
+        assert_eq!(d.row(1), &[-3.0, 3.0]);
+    }
+
+    #[test]
+    fn differencing_removes_random_walk_drift() {
+        // A pure random walk differenced is white noise: variance of the
+        // differenced series stays bounded while the walk itself drifts.
+        let n = 500;
+        let mut walk = Matrix::zeros(n, 1);
+        let mut acc = 0.0;
+        for t in 0..n {
+            acc += if t % 2 == 0 { 1.0 } else { -0.5 };
+            walk[(t, 0)] = acc;
+        }
+        let d = first_differences(&walk);
+        assert!(d.max_abs() <= 1.0 + 1e-12);
+        assert!(walk.max_abs() > 100.0);
+    }
+
+    #[test]
+    fn aggregate_last_takes_group_tail() {
+        let x = Matrix::from_fn(11, 2, |i, j| (i * 10 + j) as f64);
+        let w = aggregate_last(&x, 5);
+        assert_eq!(w.shape(), (2, 2)); // 11/5 = 2 complete groups
+        assert_eq!(w.row(0), &[40.0, 41.0]);
+        assert_eq!(w.row(1), &[90.0, 91.0]);
+    }
+
+    #[test]
+    fn aggregate_mean_averages() {
+        let x = Matrix::from_rows(&[&[1.0], &[3.0], &[5.0], &[7.0]]);
+        let m = aggregate_mean(&x, 2);
+        assert_eq!(m.col(0), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_std() {
+        let x = Matrix::from_fn(50, 3, |i, j| (i as f64) * (j as f64 + 1.0) + 5.0);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        let means = z.col_means();
+        for m in means {
+            assert!(m.abs() < 1e-10);
+        }
+        let refit = Standardizer::fit(&z);
+        for sd in refit.stds {
+            assert!((sd - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_column_safe() {
+        let x = Matrix::from_fn(10, 1, |_, _| 3.0);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        assert!(z.max_abs() < 1e-6, "constant column must map to ~0, got {}", z.max_abs());
+    }
+}

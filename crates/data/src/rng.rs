@@ -1,0 +1,107 @@
+//! Deterministic RNG helpers: seeded generators and Gaussian sampling.
+//!
+//! Gaussian sampling uses the Marsaglia polar method on top of `rand`'s
+//! uniform generator, so the workspace needs no `rand_distr` dependency.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic generator from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent stream for a sub-task (bootstrap k, rank r, ...).
+/// SplitMix-style mixing keeps streams decorrelated.
+pub fn substream(seed: u64, stream: u64) -> StdRng {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// One standard-normal draw (Marsaglia polar method).
+pub fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// A vector of `n` draws from `N(mean, std^2)`.
+pub fn normal_vec(rng: &mut StdRng, n: usize, mean: f64, std: f64) -> Vec<f64> {
+    (0..n).map(|_| mean + std * normal(rng)).collect()
+}
+
+/// One Poisson draw with the given rate (Knuth for small rates, normal
+/// approximation above 30 — spike counts never need more).
+pub fn poisson(rng: &mut StdRng, rate: f64) -> u32 {
+    if rate <= 0.0 {
+        return 0;
+    }
+    if rate > 30.0 {
+        let x = rate + rate.sqrt() * normal(rng);
+        return x.max(0.0).round() as u32;
+    }
+    let l = (-rate).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a = normal_vec(&mut seeded(7), 10, 0.0, 1.0);
+        let b = normal_vec(&mut seeded(7), 10, 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = normal_vec(&mut seeded(8), 10, 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let a = normal_vec(&mut substream(1, 0), 5, 0.0, 1.0);
+        let b = normal_vec(&mut substream(1, 1), 5, 0.0, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(42);
+        let n = 50_000;
+        let xs = normal_vec(&mut rng, n, 2.0, 3.0);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let mut rng = seeded(3);
+        for &rate in &[0.5, 4.0, 50.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| poisson(&mut rng, rate) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - rate).abs() < 0.15 * rate.max(1.0),
+                "rate {rate}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Stable sparse VAR(d) process generation and simulation (paper eq. 6).
+//!
+//! `X_t = sum_{j=1..d} A_j X_{t-j} + U_t`, `U_t ~ N(0, sigma^2 I)`, with
+//! the stability constraint enforced by rescaling the coefficient matrices
+//! until the companion spectral radius sits at a requested target below 1.
+
+use crate::rng::{normal_vec, seeded};
+use rand::RngExt;
+use uoi_linalg::{companion_matrix, spectral_radius, Matrix};
+
+/// Configuration of a synthetic sparse VAR(d) process.
+#[derive(Debug, Clone)]
+pub struct VarConfig {
+    /// Dimension `p` (nodes of the Granger network).
+    pub p: usize,
+    /// Order `d` (number of lag matrices).
+    pub order: usize,
+    /// Fraction of nonzero entries in each `A_j` (network edge density).
+    pub density: f64,
+    /// Target companion spectral radius (must be in `(0, 1)`).
+    pub target_radius: f64,
+    /// Disturbance standard deviation.
+    pub noise_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VarConfig {
+    fn default() -> Self {
+        Self { p: 20, order: 1, density: 0.1, target_radius: 0.7, noise_std: 1.0, seed: 1 }
+    }
+}
+
+/// A VAR(d) process with known coefficients.
+#[derive(Debug, Clone)]
+pub struct VarProcess {
+    /// Coefficient matrices `[A_1, ..., A_d]`, each `p x p`.
+    pub coeffs: Vec<Matrix>,
+    /// Disturbance standard deviation.
+    pub noise_std: f64,
+}
+
+impl VarProcess {
+    /// Generate a stable sparse process per `cfg`.
+    pub fn generate(cfg: &VarConfig) -> VarProcess {
+        assert!(cfg.p >= 1 && cfg.order >= 1);
+        assert!(
+            cfg.target_radius > 0.0 && cfg.target_radius < 1.0,
+            "target radius must be in (0,1)"
+        );
+        let mut rng = seeded(cfg.seed);
+        let mut coeffs: Vec<Matrix> = (0..cfg.order)
+            .map(|_| {
+                Matrix::from_fn(cfg.p, cfg.p, |_, _| {
+                    if rng.random::<f64>() < cfg.density {
+                        let mag: f64 = rng.random_range(0.3..1.0);
+                        if rng.random::<bool>() { mag } else { -mag }
+                    } else {
+                        0.0
+                    }
+                })
+            })
+            .collect();
+        // Guarantee a nonzero process: force at least one entry.
+        if coeffs.iter().all(|a| a.count_nonzero(0.0) == 0) {
+            coeffs[0][(0, 0)] = 0.5;
+        }
+        // Rescale to the target companion radius. Scaling every A_j by `s`
+        // scales companion eigenvalues nonlinearly for d > 1, so iterate.
+        for _ in 0..60 {
+            let radius = spectral_radius(&companion_matrix(&coeffs), 80);
+            if radius < 1e-12 {
+                break;
+            }
+            let ratio = cfg.target_radius / radius;
+            if (ratio - 1.0).abs() < 1e-3 {
+                break;
+            }
+            // Damped multiplicative update.
+            let s = ratio.powf(if cfg.order == 1 { 1.0 } else { 0.5 });
+            for a in &mut coeffs {
+                a.scale(s);
+            }
+        }
+        VarProcess { coeffs, noise_std: cfg.noise_std }
+    }
+
+    /// Build directly from known coefficients (checked square, same `p`).
+    pub fn from_coeffs(coeffs: Vec<Matrix>, noise_std: f64) -> VarProcess {
+        assert!(!coeffs.is_empty());
+        let p = coeffs[0].rows();
+        for a in &coeffs {
+            assert_eq!(a.shape(), (p, p));
+        }
+        VarProcess { coeffs, noise_std }
+    }
+
+    /// Dimension `p`.
+    pub fn dim(&self) -> usize {
+        self.coeffs[0].rows()
+    }
+
+    /// Order `d`.
+    pub fn order(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Companion spectral radius.
+    pub fn radius(&self) -> f64 {
+        spectral_radius(&companion_matrix(&self.coeffs), 80)
+    }
+
+    /// True when the stability constraint of eq. 6 holds.
+    pub fn is_stable(&self) -> bool {
+        self.radius() < 1.0
+    }
+
+    /// Ground-truth Granger adjacency: `adj[(i, j)] = 1` when any lag has
+    /// `A_l[i, j] != 0` (an edge from node `j` to node `i`).
+    pub fn true_adjacency(&self) -> Matrix {
+        let p = self.dim();
+        Matrix::from_fn(p, p, |i, j| {
+            if self.coeffs.iter().any(|a| a[(i, j)] != 0.0) { 1.0 } else { 0.0 }
+        })
+    }
+
+    /// Simulate `n` observations after a `burn_in` warm-up, returning an
+    /// `n x p` matrix with time running down the rows (row `t` = `X_t`).
+    pub fn simulate(&self, n: usize, burn_in: usize, seed: u64) -> Matrix {
+        let p = self.dim();
+        let d = self.order();
+        let total = n + burn_in + d;
+        let mut rng = seeded(seed);
+        let noise = normal_vec(&mut rng, total * p, 0.0, self.noise_std);
+        let mut series = Matrix::zeros(total, p);
+        // First d rows are pure noise initialisation.
+        for t in 0..total {
+            let mut xt: Vec<f64> = noise[t * p..(t + 1) * p].to_vec();
+            if t >= d {
+                for (lag, a) in self.coeffs.iter().enumerate() {
+                    let prev = series.row(t - lag - 1);
+                    let contrib = uoi_linalg::gemv(a, prev);
+                    for (x, c) in xt.iter_mut().zip(&contrib) {
+                        *x += c;
+                    }
+                }
+            }
+            series.row_mut(t).copy_from_slice(&xt);
+        }
+        series.rows_range(burn_in + d, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_process_is_stable() {
+        for seed in 0..5 {
+            let proc = VarProcess::generate(&VarConfig { seed, p: 15, ..Default::default() });
+            assert!(proc.is_stable(), "seed {seed}: radius {}", proc.radius());
+            let r = proc.radius();
+            assert!((r - 0.7).abs() < 0.1, "radius {r} should be near target 0.7");
+        }
+    }
+
+    #[test]
+    fn var2_stability() {
+        let cfg = VarConfig { order: 2, p: 10, density: 0.2, seed: 3, ..Default::default() };
+        let proc = VarProcess::generate(&cfg);
+        assert_eq!(proc.order(), 2);
+        assert!(proc.is_stable(), "radius {}", proc.radius());
+    }
+
+    #[test]
+    fn simulate_shape_and_determinism() {
+        let proc = VarProcess::generate(&VarConfig::default());
+        let a = proc.simulate(100, 50, 7);
+        let b = proc.simulate(100, 50, 7);
+        assert_eq!(a.shape(), (100, 20));
+        assert_eq!(a, b);
+        let c = proc.simulate(100, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn simulated_series_bounded() {
+        // A stable process must not blow up over a long horizon.
+        let proc = VarProcess::generate(&VarConfig { seed: 9, ..Default::default() });
+        let series = proc.simulate(2000, 100, 1);
+        assert!(series.max_abs() < 100.0, "series exploded: {}", series.max_abs());
+    }
+
+    #[test]
+    fn var1_autocovariance_sign() {
+        // Strong positive self-coupling on one node should show positive
+        // lag-1 autocorrelation on that node.
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 0.9;
+        let proc = VarProcess::from_coeffs(vec![a], 1.0);
+        let s = proc.simulate(5000, 200, 2);
+        let x0 = s.col(0);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let mean = x0.iter().sum::<f64>() / x0.len() as f64;
+        for t in 1..x0.len() {
+            num += (x0[t] - mean) * (x0[t - 1] - mean);
+        }
+        for v in &x0 {
+            den += (v - mean) * (v - mean);
+        }
+        let rho = num / den;
+        assert!(rho > 0.75, "lag-1 autocorrelation {rho} too small for a=0.9");
+    }
+
+    #[test]
+    fn true_adjacency_marks_edges() {
+        let mut a1 = Matrix::zeros(3, 3);
+        a1[(0, 1)] = 0.4;
+        let mut a2 = Matrix::zeros(3, 3);
+        a2[(2, 0)] = -0.3;
+        let proc = VarProcess::from_coeffs(vec![a1, a2], 1.0);
+        let adj = proc.true_adjacency();
+        assert_eq!(adj[(0, 1)], 1.0);
+        assert_eq!(adj[(2, 0)], 1.0);
+        assert_eq!(adj.count_nonzero(0.0), 2);
+    }
+
+    #[test]
+    fn density_controls_sparsity() {
+        let sparse = VarProcess::generate(&VarConfig { density: 0.05, p: 40, seed: 1, ..Default::default() });
+        let dense = VarProcess::generate(&VarConfig { density: 0.5, p: 40, seed: 1, ..Default::default() });
+        assert!(
+            dense.coeffs[0].count_nonzero(0.0) > 3 * sparse.coeffs[0].count_nonzero(0.0)
+        );
+    }
+}

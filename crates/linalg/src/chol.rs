@@ -1,0 +1,235 @@
+//! Cholesky factorisation and triangular solves for symmetric
+//! positive-definite systems.
+//!
+//! The ADMM x-update solves `(X^T X + rho I) x = b` once per iteration with a
+//! *fixed* left-hand side, so the factorisation is computed once and cached
+//! (see `uoi-solvers::admm`). This mirrors the `LLT` decomposition the
+//! reference C++ used from Eigen3.
+
+use crate::dense::Matrix;
+
+/// Error raised when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index at which the factorisation broke down.
+    pub pivot: usize,
+    /// The offending pivot value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite: pivot {} has value {:.3e}",
+            self.pivot, self.value
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    pub fn factor(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        let n = a.rows();
+        assert_eq!(n, a.cols(), "Cholesky: matrix must be square");
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NotPositiveDefinite { pivot: j, value: d });
+            }
+            let dsqrt = d.sqrt();
+            l[(j, j)] = dsqrt;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                // Dot of rows i and j of L restricted to [0, j).
+                let (ri, rj) = (l.row(i), l.row(j));
+                for k in 0..j {
+                    s -= ri[k] * rj[k];
+                }
+                l[(i, j)] = s / dsqrt;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn factor_l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via forward + back substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        self.solve_in_place(&mut y);
+        y
+    }
+
+    /// In-place variant of [`Cholesky::solve`].
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.order();
+        assert_eq!(b.len(), n, "Cholesky::solve: rhs length mismatch");
+        forward_substitute(&self.l, b);
+        back_substitute_transposed(&self.l, b);
+    }
+
+    /// Solve `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.order());
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j));
+            out.set_col(j, &col);
+        }
+        out
+    }
+
+    /// log-determinant of `A` (`2 * sum log diag(L)`), used by
+    /// information-criterion diagnostics.
+    pub fn log_det(&self) -> f64 {
+        (0..self.order()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Solve `L y = b` in place for lower-triangular `L`.
+pub fn forward_substitute(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut s = b[i];
+        for k in 0..i {
+            s -= row[k] * b[k];
+        }
+        b[i] = s / row[i];
+    }
+}
+
+/// Solve `L^T x = y` in place for lower-triangular `L` (i.e. an
+/// upper-triangular solve against the transpose, without materialising it).
+pub fn back_substitute_transposed(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * b[k];
+        }
+        b[i] = s / l[(i, i)];
+    }
+}
+
+/// Convenience: solve the SPD system `a x = b` with a one-shot factorisation.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefinite> {
+    Ok(Cholesky::factor(a)?.solve(b))
+}
+
+/// Solve the regularised normal equations `(X^T X + ridge I) beta = X^T y`.
+///
+/// With `ridge = 0` this is ordinary least squares (requires full column
+/// rank); a tiny positive `ridge` is the standard jitter fallback.
+pub fn solve_normal_equations(
+    x: &Matrix,
+    y: &[f64],
+    ridge: f64,
+) -> Result<Vec<f64>, NotPositiveDefinite> {
+    let mut gram = crate::blas::syrk_t(x);
+    if ridge != 0.0 {
+        for i in 0..gram.rows() {
+            gram[(i, i)] += ridge;
+        }
+    }
+    let rhs = crate::blas::gemv_t(x, y);
+    solve_spd(&gram, &rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemm, gemv};
+
+    fn spd_test_matrix(n: usize) -> Matrix {
+        // A = B^T B + n I is SPD for any B.
+        let b = Matrix::from_fn(n + 3, n, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let mut a = crate::blas::syrk_t(&b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_test_matrix(8);
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.factor_l();
+        let rec = gemm(l, &l.transpose());
+        assert!(rec.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd_test_matrix(10);
+        let x_true: Vec<f64> = (0..10).map(|i| (i as f64) - 4.5).collect();
+        let b = gemv(&a, &x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = spd_test_matrix(6);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Matrix::from_fn(6, 3, |i, j| (i + j) as f64);
+        let x = ch.solve_matrix(&b);
+        assert!(gemm(&a, &x).approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let err = Cholesky::factor(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+    }
+
+    #[test]
+    fn log_det_identity_is_zero() {
+        let ch = Cholesky::factor(&Matrix::identity(5)).unwrap();
+        assert!(ch.log_det().abs() < 1e-14);
+    }
+
+    #[test]
+    fn normal_equations_exact_fit() {
+        // y = 2 x0 - 3 x1 exactly.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, 1.0],
+        ]);
+        let y = [2.0, -3.0, -1.0, 1.0];
+        let beta = solve_normal_equations(&x, &y, 0.0).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-10);
+        assert!((beta[1] + 3.0).abs() < 1e-10);
+    }
+}

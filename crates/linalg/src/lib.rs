@@ -1,0 +1,39 @@
+//! # uoi-linalg
+//!
+//! Dense and sparse linear-algebra kernels for the UoI workspace — the
+//! substrate the reference implementation obtained from Eigen3 and Intel
+//! MKL (paper §IV). The solvers only require a narrow BLAS surface:
+//!
+//! * [`dense::Matrix`] — row-major dense matrices with the bootstrap /
+//!   support gather operations the UoI maps use;
+//! * [`blas`] — dot/axpy, `gemv`/`gemv_t`, a blocked rayon-parallel `gemm`,
+//!   and `syrk_t` for Gram matrices;
+//! * [`chol`] — Cholesky factorisation with cached solves (the ADMM
+//!   x-update) and regularised normal equations;
+//! * [`sparse::CsrMatrix`] — CSR kernels for the block-diagonal `UoI_VAR`
+//!   path (the paper's Eigen-Sparse substitute);
+//! * [`kron::IdentityKron`] — the matrix-free `I ⊗ X` operator of eq. 9,
+//!   with its explicit CSR form and the `I ⊗ (X^T X)` Gram identity;
+//! * [`eig`] — companion-matrix spectral radius for the VAR stability
+//!   constraint of eq. 6.
+
+// Numeric kernels index by position on purpose: the loops mirror the
+// textbook algorithms (Cholesky, Householder, blocked gemm) and iterator
+// rewrites obscure the math without changing the codegen.
+#![allow(clippy::needless_range_loop)]
+
+pub mod blas;
+pub mod chol;
+pub mod dense;
+pub mod eig;
+pub mod kron;
+pub mod qr;
+pub mod sparse;
+
+pub use blas::{axpy, dot, gemm, gemv, gemv_t, mse, norm1, norm2, norm_inf, r_squared, syrk_t};
+pub use chol::{solve_normal_equations, solve_spd, Cholesky, NotPositiveDefinite};
+pub use dense::Matrix;
+pub use eig::{companion_matrix, spectral_radius, var_is_stable};
+pub use kron::{kron_dense, IdentityKron};
+pub use qr::{qr_least_squares, Qr};
+pub use sparse::CsrMatrix;

@@ -1,0 +1,116 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use uoi_linalg::{
+    gemm, gemv, gemv_t, kron_dense, syrk_t, Cholesky, CsrMatrix, IdentityKron, Matrix,
+};
+
+/// Strategy: a rows x cols matrix with bounded entries.
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn shape_strategy() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..12, 1usize..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_involution((r, c) in shape_strategy(), seed in 0u64..1000) {
+        let m = Matrix::from_fn(r, c, |i, j| ((i * 31 + j * 17 + seed as usize) % 19) as f64 - 9.0);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn gemm_associates_with_gemv(v in prop::collection::vec(-5.0..5.0f64, 6)) {
+        let a = Matrix::from_fn(4, 5, |i, j| (i as f64) - (j as f64) * 0.5);
+        let b = Matrix::from_fn(5, 6, |i, j| ((i + j) % 3) as f64);
+        // (A B) v == A (B v)
+        let ab_v = gemv(&gemm(&a, &b), &v);
+        let a_bv = gemv(&a, &gemv(&b, &v));
+        for (x, y) in ab_v.iter().zip(&a_bv) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gemv_t_is_transpose_gemv(m in matrix_strategy(7, 4), v in prop::collection::vec(-3.0..3.0f64, 7)) {
+        let via_t = gemv(&m.transpose(), &v);
+        let direct = gemv_t(&m, &v);
+        for (x, y) in via_t.iter().zip(&direct) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn syrk_is_symmetric_psd_diag(m in matrix_strategy(9, 5)) {
+        let g = syrk_t(&m);
+        for i in 0..5 {
+            prop_assert!(g[(i, i)] >= -1e-12, "Gram diagonal must be nonnegative");
+            for j in 0..5 {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_residual(m in matrix_strategy(8, 5), b in prop::collection::vec(-5.0..5.0f64, 5)) {
+        // SPD via Gram + ridge.
+        let mut g = syrk_t(&m);
+        for i in 0..5 { g[(i, i)] += 1.0; }
+        let ch = Cholesky::factor(&g).unwrap();
+        let x = ch.solve(&b);
+        let res = gemv(&g, &x);
+        for (r, bi) in res.iter().zip(&b) {
+            prop_assert!((r - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn csr_spmv_matches_dense(m in matrix_strategy(6, 8), v in prop::collection::vec(-2.0..2.0f64, 8)) {
+        let s = CsrMatrix::from_dense(&m, 0.0);
+        let dense = gemv(&m, &v);
+        let sparse = s.spmv(&v);
+        for (d, sp) in dense.iter().zip(&sparse) {
+            prop_assert!((d - sp).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn csr_dense_roundtrip(m in matrix_strategy(5, 5)) {
+        prop_assert_eq!(CsrMatrix::from_dense(&m, 0.0).to_dense(), m);
+    }
+
+    #[test]
+    fn identity_kron_matvec_consistency(copies in 1usize..5, v_seed in 0u64..100) {
+        let x = Matrix::from_fn(3, 4, |i, j| ((i * 5 + j * 3 + v_seed as usize) % 7) as f64 - 3.0);
+        let op = IdentityKron::new(x.clone(), copies);
+        let v: Vec<f64> = (0..4 * copies).map(|i| (i as f64 * 0.7).sin()).collect();
+        let fast = op.matvec(&v);
+        let explicit = kron_dense(&Matrix::identity(copies), &x);
+        let slow = gemv(&explicit, &v);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!((f - s).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn vectorize_unvectorize_roundtrip((r, c) in shape_strategy(), seed in 0u64..50) {
+        let m = Matrix::from_fn(r, c, |i, j| ((i * 13 + j * 7 + seed as usize) % 23) as f64);
+        let v = m.vectorize();
+        prop_assert_eq!(Matrix::unvectorize(r, c, &v), m);
+    }
+
+    #[test]
+    fn gather_rows_multiset(idx in prop::collection::vec(0usize..6, 1..20)) {
+        let m = Matrix::from_fn(6, 3, |i, j| (i * 3 + j) as f64);
+        let g = m.gather_rows(&idx);
+        prop_assert_eq!(g.rows(), idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(r), m.row(i));
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! The cluster runner: spawns executed ranks as threads and aggregates the
+//! simulation report.
+
+use crate::comm::{Comm, CommInner, RankCtx};
+use crate::ledger::{CollectiveEvent, Phase, PhaseLedger};
+use crate::model::MachineModel;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A simulated machine partition.
+///
+/// `exec_ranks` ranks are actually executed (threads moving real data);
+/// collective and one-sided costs are evaluated as if the partition had
+/// `modeled_ranks` ranks. With `modeled_ranks == exec_ranks` the simulation
+/// is a plain (virtually timed) SPMD run; with `modeled_ranks >
+/// exec_ranks` each executed rank stands for `modeled/exec` modeled ranks,
+/// valid for SPMD programs whose per-rank work is set per the *modeled*
+/// decomposition (exactly how the weak/strong scaling harnesses configure
+/// their per-rank block sizes).
+pub struct Cluster {
+    exec_ranks: usize,
+    modeled_ranks: usize,
+    model: Arc<MachineModel>,
+}
+
+impl Cluster {
+    /// A cluster executing (and modeling) `ranks` ranks.
+    pub fn new(ranks: usize, model: MachineModel) -> Self {
+        assert!(ranks >= 1, "cluster needs at least one rank");
+        Self { exec_ranks: ranks, modeled_ranks: ranks, model: Arc::new(model) }
+    }
+
+    /// Evaluate costs as if the partition had `p` ranks (`p >=
+    /// exec_ranks`).
+    pub fn modeled_ranks(mut self, p: usize) -> Self {
+        assert!(
+            p >= self.exec_ranks,
+            "modeled ranks ({p}) must be >= executed ranks ({})",
+            self.exec_ranks
+        );
+        self.modeled_ranks = p;
+        self
+    }
+
+    /// Executed rank count.
+    pub fn exec(&self) -> usize {
+        self.exec_ranks
+    }
+
+    /// Modeled rank count.
+    pub fn modeled(&self) -> usize {
+        self.modeled_ranks
+    }
+
+    /// The machine model.
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// Run an SPMD program: `f` is invoked once per rank with its context
+    /// and the world communicator. Returns the per-rank results plus the
+    /// timing report.
+    pub fn run<T, F>(&self, f: F) -> SimReport<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx, &Comm) -> T + Sync,
+    {
+        let events: Arc<Mutex<Vec<CollectiveEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let world = Arc::new(CommInner::new(self.exec_ranks, events.clone()));
+        let oversub = self.modeled_ranks as f64 / self.exec_ranks as f64;
+
+        let mut results: Vec<Option<(T, PhaseLedger, f64)>> =
+            (0..self.exec_ranks).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.exec_ranks);
+            for rank in 0..self.exec_ranks {
+                let world = world.clone();
+                let model = self.model.clone();
+                let f = &f;
+                let exec = self.exec_ranks;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = RankCtx::new(rank, exec, model, oversub);
+                    let comm = Comm::from_inner(world, rank);
+                    let out = f(&mut ctx, &comm);
+                    let (ledger, clock) = ctx.into_parts();
+                    (out, ledger, clock)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                results[rank] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+
+        let mut report = SimReport {
+            results: Vec::with_capacity(self.exec_ranks),
+            ledgers: Vec::with_capacity(self.exec_ranks),
+            clocks: Vec::with_capacity(self.exec_ranks),
+            events: std::mem::take(&mut *events.lock()),
+            exec_ranks: self.exec_ranks,
+            modeled_ranks: self.modeled_ranks,
+        };
+        for r in results {
+            let (out, ledger, clock) = r.expect("missing rank result");
+            report.results.push(out);
+            report.ledgers.push(ledger);
+            report.clocks.push(clock);
+        }
+        report
+    }
+}
+
+/// Result of a cluster run: per-rank outputs, phase ledgers, final virtual
+/// clocks, and the collective event log.
+pub struct SimReport<T> {
+    /// Per-rank return values, indexed by world rank.
+    pub results: Vec<T>,
+    /// Per-rank phase accounting.
+    pub ledgers: Vec<PhaseLedger>,
+    /// Per-rank final virtual clocks (== `ledgers[r].total()`).
+    pub clocks: Vec<f64>,
+    /// All recorded collectives (one entry per collective, leader-written).
+    pub events: Vec<CollectiveEvent>,
+    /// Ranks actually executed.
+    pub exec_ranks: usize,
+    /// Ranks the cost model was evaluated at.
+    pub modeled_ranks: usize,
+}
+
+impl<T> SimReport<T> {
+    /// Virtual makespan: the slowest rank's clock.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Slowest rank per phase (elementwise max of ledgers) — the quantity
+    /// the paper's stacked runtime bars report.
+    pub fn phase_max(&self) -> PhaseLedger {
+        self.ledgers
+            .iter()
+            .copied()
+            .fold(PhaseLedger::default(), PhaseLedger::max)
+    }
+
+    /// Mean ledger across ranks.
+    pub fn phase_mean(&self) -> PhaseLedger {
+        let n = self.ledgers.len().max(1) as f64;
+        let sum = self
+            .ledgers
+            .iter()
+            .copied()
+            .fold(PhaseLedger::default(), |a, b| a + b);
+        PhaseLedger {
+            compute: sum.compute / n,
+            comm: sum.comm / n,
+            distribution: sum.distribution / n,
+            io: sum.io / n,
+        }
+    }
+
+    /// The allreduce events only (Fig 5 input).
+    pub fn allreduce_events(&self) -> impl Iterator<Item = &CollectiveEvent> {
+        self.events.iter().filter(|e| e.op == "allreduce")
+    }
+
+    /// Render a small breakdown table (labels follow the paper's legends).
+    pub fn breakdown_table(&self) -> String {
+        let m = self.phase_max();
+        let mut s = String::new();
+        s.push_str(&format!(
+            "ranks: executed={} modeled={}  makespan={:.4}s\n",
+            self.exec_ranks,
+            self.modeled_ranks,
+            self.makespan()
+        ));
+        for ph in Phase::ALL {
+            s.push_str(&format!("  {:<14} {:>12.4}s\n", ph.label(), m.get(ph)));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::Phase;
+    use crate::window::Window;
+
+    fn det_cluster(n: usize) -> Cluster {
+        Cluster::new(n, MachineModel::deterministic())
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let report = det_cluster(8).run(|ctx, world| {
+            let mut v = vec![world.rank() as f64 + 1.0, 1.0];
+            world.allreduce_sum(ctx, &mut v);
+            v
+        });
+        for v in &report.results {
+            assert_eq!(v[0], 36.0); // 1+2+...+8
+            assert_eq!(v[1], 8.0);
+        }
+        assert_eq!(report.allreduce_events().count(), 1);
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_state() {
+        let report = det_cluster(4).run(|ctx, world| {
+            let mut total = 0.0;
+            for round in 0..10 {
+                let mut v = vec![(world.rank() + round) as f64];
+                world.allreduce_sum(ctx, &mut v);
+                total += v[0];
+            }
+            total
+        });
+        // Sum over rounds of (0+1+2+3 + 4*round) = 10*6 + 4*45 = 240.
+        for &t in &report.results {
+            assert_eq!(t, 240.0);
+        }
+        assert_eq!(report.allreduce_events().count(), 10);
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let report = det_cluster(5).run(|ctx, world| {
+            let mut v = if world.rank() == 3 { vec![7.0, 8.0] } else { vec![0.0, 0.0] };
+            world.bcast(ctx, 3, &mut v);
+            v
+        });
+        for v in &report.results {
+            assert_eq!(v, &vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_roundtrip() {
+        let report = det_cluster(4).run(|ctx, world| {
+            let mine = vec![world.rank() as f64; 3];
+            let gathered = world.gather(ctx, 0, &mine);
+            if world.rank() == 0 {
+                let g = gathered.as_ref().unwrap();
+                for (r, payload) in g.iter().enumerate() {
+                    assert_eq!(payload, &vec![r as f64; 3]);
+                }
+            } else {
+                assert!(gathered.is_none());
+            }
+            // Scatter back doubled values.
+            let chunks = gathered.map(|g| {
+                g.into_iter()
+                    .map(|p| p.into_iter().map(|x| x * 2.0).collect())
+                    .collect()
+            });
+            world.scatter(ctx, 0, chunks)
+        });
+        for (r, v) in report.results.iter().enumerate() {
+            assert_eq!(v, &vec![2.0 * r as f64; 3]);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_everything() {
+        let report = det_cluster(3).run(|ctx, world| {
+            world.allgather(ctx, &[world.rank() as f64 * 10.0])
+        });
+        for all in &report.results {
+            assert_eq!(all, &vec![vec![0.0], vec![10.0], vec![20.0]]);
+        }
+    }
+
+    #[test]
+    fn split_forms_correct_groups() {
+        let report = det_cluster(6).run(|ctx, world| {
+            // Colors: 0,1,0,1,0,1 — two groups of 3.
+            let color = (world.rank() % 2) as i64;
+            let sub = world.split(ctx, color, world.rank() as i64);
+            let mut v = vec![world.rank() as f64];
+            sub.allreduce_sum(ctx, &mut v);
+            (sub.rank(), sub.size(), v[0])
+        });
+        for (wr, &(sr, ss, sum)) in report.results.iter().enumerate() {
+            assert_eq!(ss, 3);
+            assert_eq!(sr, wr / 2);
+            let expected = if wr % 2 == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+            assert_eq!(sum, expected);
+        }
+    }
+
+    #[test]
+    fn nested_split_three_levels() {
+        // 8 ranks -> 2 groups of 4 -> each into 2 groups of 2: the
+        // P_B x P_lambda x ADMM decomposition shape.
+        let report = det_cluster(8).run(|ctx, world| {
+            let b_color = (world.rank() / 4) as i64;
+            let b_comm = world.split(ctx, b_color, world.rank() as i64);
+            let l_color = (b_comm.rank() / 2) as i64;
+            let l_comm = b_comm.split(ctx, l_color, b_comm.rank() as i64);
+            let mut v = vec![1.0];
+            l_comm.allreduce_sum(ctx, &mut v);
+            (l_comm.size(), v[0])
+        });
+        for &(s, sum) in &report.results {
+            assert_eq!(s, 2);
+            assert_eq!(sum, 2.0);
+        }
+    }
+
+    #[test]
+    fn window_get_reads_remote_data() {
+        let report = det_cluster(4).run(|ctx, world| {
+            // Rank 0 exposes [100, 101, ..., 109]; everyone reads a slice.
+            let local = if world.rank() == 0 {
+                (100..110).map(|x| x as f64).collect()
+            } else {
+                Vec::new()
+            };
+            let win = Window::create(ctx, world, local);
+            let got = win.get(ctx, 0, 2..5);
+            win.fence(ctx, world);
+            got
+        });
+        for v in &report.results {
+            assert_eq!(v, &vec![102.0, 103.0, 104.0]);
+        }
+        // Window serialisation must show up as distribution time.
+        let l = report.phase_max();
+        assert!(l.distribution > 0.0);
+    }
+
+    #[test]
+    fn window_put_then_local_read() {
+        let report = det_cluster(3).run(|ctx, world| {
+            let local = vec![0.0; 3];
+            let win = Window::create(ctx, world, local);
+            // Each rank writes its id into slot `rank` of rank 0's buffer.
+            win.put(ctx, 0, world.rank(), &[world.rank() as f64 + 1.0]);
+            win.fence(ctx, world);
+            win.local_copy(0)
+        });
+        for v in &report.results {
+            assert_eq!(v, &vec![1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn clock_equals_ledger_total() {
+        let report = det_cluster(4).run(|ctx, world| {
+            ctx.compute_flops(1e6, 1e9);
+            let mut v = vec![1.0; 64];
+            world.allreduce_sum(ctx, &mut v);
+            ctx.compute_membound(1e5);
+            world.barrier(ctx);
+            0
+        });
+        for (c, l) in report.clocks.iter().zip(&report.ledgers) {
+            assert!((c - l.total()).abs() < 1e-12, "clock {c} != ledger {}", l.total());
+        }
+    }
+
+    #[test]
+    fn clocks_nondecreasing_and_synchronised() {
+        let report = det_cluster(6).run(|ctx, world| {
+            // Rank-dependent compute then allreduce: all clocks must end
+            // >= the slowest rank's pre-collective clock.
+            ctx.compute_flops(1e6 * (world.rank() as f64 + 1.0), 1e9);
+            let pre = ctx.clock();
+            let mut v = vec![0.0];
+            world.allreduce_sum(ctx, &mut v);
+            (pre, ctx.clock())
+        });
+        let max_pre = report
+            .results
+            .iter()
+            .map(|&(p, _)| p)
+            .fold(0.0, f64::max);
+        for &(_, post) in &report.results {
+            assert!(post >= max_pre, "collective must synchronise clocks");
+        }
+    }
+
+    #[test]
+    fn modeled_ranks_increase_collective_cost() {
+        let small = det_cluster(4).run(|ctx, world| {
+            let mut v = vec![1.0; 1024];
+            world.allreduce_sum(ctx, &mut v);
+            ctx.ledger().get(Phase::Comm)
+        });
+        let big = Cluster::new(4, MachineModel::deterministic())
+            .modeled_ranks(1 << 17)
+            .run(|ctx, world| {
+                let mut v = vec![1.0; 1024];
+                world.allreduce_sum(ctx, &mut v);
+                ctx.ledger().get(Phase::Comm)
+            });
+        let s = small.results.iter().copied().fold(0.0, f64::max);
+        let b = big.results.iter().copied().fold(0.0, f64::max);
+        assert!(b > s, "modeled 131072 ranks must cost more than 4: {b} vs {s}");
+    }
+
+    #[test]
+    fn window_contention_scales_with_oversubscription() {
+        let run = |modeled: usize| {
+            Cluster::new(8, MachineModel::deterministic())
+                .modeled_ranks(modeled)
+                .run(|ctx, world| {
+                    let local = if world.rank() == 0 { vec![1.0; 4096] } else { vec![] };
+                    let win = Window::create(ctx, world, local);
+                    let _ = win.get(ctx, 0, 0..4096);
+                    win.fence(ctx, world);
+                    ctx.ledger().get(Phase::Distribution)
+                })
+                .results
+                .iter()
+                .copied()
+                .fold(0.0, f64::max)
+        };
+        let base = run(8);
+        let over = run(8 * 64);
+        assert!(
+            over > 10.0 * base,
+            "reader-window serialisation must blow up: {over} vs {base}"
+        );
+    }
+
+    #[test]
+    fn noise_produces_min_max_spread() {
+        let mut model = MachineModel::knl();
+        model.noise.sigma = 0.3;
+        let report = Cluster::new(8, model).run(|ctx, world| {
+            let mut v = vec![1.0; 2048];
+            world.allreduce_sum(ctx, &mut v);
+        });
+        let ev = report.allreduce_events().next().expect("one event");
+        assert!(ev.t_max > ev.t_min, "noise must spread costs");
+        assert!(ev.t_min > 0.0);
+    }
+
+    #[test]
+    fn p2p_send_recv() {
+        let report = det_cluster(4).run(|ctx, world| {
+            // Ring: rank r sends to (r+1) % size, receives from the left.
+            let right = (world.rank() + 1) % world.size();
+            world.send(ctx, right, 7, &[world.rank() as f64 * 10.0]);
+            let (src, payload) = world.recv(ctx, None, Some(7));
+            (src, payload[0])
+        });
+        for (r, &(src, val)) in report.results.iter().enumerate() {
+            let left = (r + 4 - 1) % 4;
+            assert_eq!(src, left);
+            assert_eq!(val, left as f64 * 10.0);
+        }
+    }
+
+    #[test]
+    fn p2p_tag_and_source_matching() {
+        let report = det_cluster(2).run(|ctx, world| {
+            if world.rank() == 0 {
+                world.send(ctx, 1, 5, &[5.0]);
+                world.send(ctx, 1, 9, &[9.0]);
+                Vec::new()
+            } else {
+                // Receive out of order: tag 9 first.
+                let (_, a) = world.recv(ctx, Some(0), Some(9));
+                let (_, b) = world.recv(ctx, Some(0), Some(5));
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(report.results[1], vec![9.0, 5.0]);
+    }
+
+    #[test]
+    fn iallreduce_overlaps_compute() {
+        // Blocking: compute then allreduce sequentially.
+        let blocking = det_cluster(4)
+            .modeled_ranks(65_536)
+            .run(|ctx, world| {
+                let mut v = vec![1.0; 1 << 16];
+                world.allreduce_sum(ctx, &mut v);
+                ctx.compute_flops(1e9, 1e8);
+                ctx.clock()
+            })
+            .makespan();
+        // Overlapped: the same compute hides the allreduce.
+        let overlapped = det_cluster(4)
+            .modeled_ranks(65_536)
+            .run(|ctx, world| {
+                let mut v = vec![1.0; 1 << 16];
+                let pending = world.iallreduce_sum(ctx, &mut v);
+                ctx.compute_flops(1e9, 1e8);
+                pending.wait(ctx);
+                assert_eq!(v[0], 4.0, "data must already be reduced");
+                ctx.clock()
+            })
+            .makespan();
+        assert!(
+            overlapped < blocking - 1e-6,
+            "overlap must hide communication: {overlapped} vs {blocking}"
+        );
+        // Fully hidden: the overlapped makespan is just the compute time.
+        let compute_only = MachineModel::deterministic().compute_time(1e9, 1e8);
+        assert!((overlapped - compute_only).abs() / compute_only < 0.5);
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let report = det_cluster(1).run(|ctx, world| {
+            let mut v = vec![5.0];
+            world.allreduce_sum(ctx, &mut v);
+            world.barrier(ctx);
+            let g = world.gather(ctx, 0, &[1.0]).unwrap();
+            assert_eq!(g.len(), 1);
+            v[0]
+        });
+        assert_eq!(report.results[0], 5.0);
+    }
+}

@@ -1,0 +1,782 @@
+//! Communicators, rank contexts, and collective operations.
+//!
+//! A [`Comm`] is the analogue of an `MPI_Comm`: a group of ranks with
+//! collective operations (`barrier`, `bcast`, `allreduce_sum`, `gather`,
+//! `allgather`, `scatter`) and [`Comm::split`] for building the nested
+//! `P_B x P_lambda x ADMM_cores` decomposition of paper §III.
+//!
+//! Real data genuinely moves between the rank threads (so statistical
+//! results are exact); *time* is virtual: each operation synchronises the
+//! participants' virtual clocks and charges the machine-model cost evaluated
+//! at the **modeled** communicator size, which may exceed the executed one
+//! (see [`crate::cluster::Cluster`]).
+//!
+//! All collectives follow a three-barrier protocol: (1) contribute under the
+//! state mutex, barrier; (2) consume the combined result, barrier; (3) the
+//! barrier leader resets shared state, barrier. SPMD discipline applies: all
+//! ranks of a communicator must call the same collectives in the same order.
+
+use crate::ledger::{CollectiveEvent, Phase, PhaseLedger};
+use crate::model::{MachineModel, SplitMix64};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Per-rank execution context: identity, virtual clock, phase ledger, and
+/// noise stream. Exactly one exists per executed rank; it is threaded
+/// through every simulated operation.
+pub struct RankCtx {
+    world_rank: usize,
+    world_size: usize,
+    clock: f64,
+    ledger: PhaseLedger,
+    model: Arc<MachineModel>,
+    /// modeled ranks / executed ranks (>= 1).
+    oversub: f64,
+    noise: SplitMix64,
+}
+
+impl RankCtx {
+    pub(crate) fn new(
+        world_rank: usize,
+        world_size: usize,
+        model: Arc<MachineModel>,
+        oversub: f64,
+    ) -> Self {
+        let seed = model
+            .noise
+            .seed
+            .wrapping_add((world_rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Self {
+            world_rank,
+            world_size,
+            clock: 0.0,
+            ledger: PhaseLedger::default(),
+            model,
+            oversub,
+            noise: SplitMix64::new(seed),
+        }
+    }
+
+    /// This rank's id in the world communicator.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Number of executed ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    /// Current virtual time (seconds).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Phase accounting so far.
+    pub fn ledger(&self) -> PhaseLedger {
+        self.ledger
+    }
+
+    /// The machine model in force.
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// Oversubscription factor (modeled ranks / executed ranks).
+    pub fn oversub(&self) -> f64 {
+        self.oversub
+    }
+
+    /// Advance the clock by `seconds`, attributing them to `phase`.
+    pub fn charge(&mut self, phase: Phase, seconds: f64) {
+        debug_assert!(seconds >= 0.0 && seconds.is_finite());
+        self.clock += seconds;
+        self.ledger.charge(phase, seconds);
+    }
+
+    /// Charge a dense computation of `flops` with the given working set.
+    pub fn compute_flops(&mut self, flops: f64, working_set_bytes: f64) {
+        let t = self.model.compute_time(flops, working_set_bytes);
+        self.charge(Phase::Compute, t);
+    }
+
+    /// Charge a memory-bandwidth-bound sweep of `bytes`.
+    pub fn compute_membound(&mut self, bytes: f64) {
+        let t = self.model.membound_time(bytes);
+        self.charge(Phase::Compute, t);
+    }
+
+    /// Charge file-I/O seconds.
+    pub fn charge_io(&mut self, seconds: f64) {
+        self.charge(Phase::DataIo, seconds);
+    }
+
+    /// Jump the clock forward to absolute time `t` (no-op if already past),
+    /// attributing the wait to `phase`.
+    pub(crate) fn advance_to(&mut self, t: f64, phase: Phase) {
+        if t > self.clock {
+            let dt = t - self.clock;
+            self.clock += dt;
+            self.ledger.charge(phase, dt);
+        }
+    }
+
+    /// Draw a multiplicative noise factor for a collective cost.
+    pub(crate) fn noise_factor(&mut self) -> f64 {
+        let sigma = self.model.noise.sigma;
+        self.noise.lognormal_factor(sigma)
+    }
+
+    pub(crate) fn into_parts(self) -> (PhaseLedger, f64) {
+        (self.ledger, self.clock)
+    }
+}
+
+/// Shared collective scratch state of one communicator.
+struct CollState {
+    /// Elementwise-summed reduction buffer.
+    buf: Vec<f64>,
+    /// Per-rank deposit slots (bcast/gather/scatter/split payloads).
+    slots: Vec<Option<Vec<f64>>>,
+    /// Ranks that have contributed to the current collective.
+    count: usize,
+    /// Max entry clock over contributors (collective start time).
+    max_clock: f64,
+    /// Per-rank modeled costs, for min/max event stats.
+    costs: Vec<f64>,
+    /// Collective-scoped tag (window ids, split generation).
+    tag: u64,
+}
+
+impl CollState {
+    fn new(size: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            slots: vec![None; size],
+            count: 0,
+            max_clock: f64::NEG_INFINITY,
+            costs: Vec::new(),
+            tag: 0,
+        }
+    }
+
+    fn reset(&mut self, size: usize) {
+        self.buf.clear();
+        self.slots.clear();
+        self.slots.resize(size, None);
+        self.count = 0;
+        self.max_clock = f64::NEG_INFINITY;
+        self.costs.clear();
+        self.tag = 0;
+    }
+}
+
+/// Handle for a non-blocking allreduce started with
+/// [`Comm::iallreduce_sum`]. The result data is already in the caller's
+/// buffer; `wait` charges the communication time that was not yet paid,
+/// overlapping whatever the rank computed in between.
+#[must_use = "call wait() to complete the non-blocking allreduce"]
+pub struct PendingReduce {
+    complete_at: f64,
+}
+
+impl PendingReduce {
+    /// Complete the operation: the clock advances to the collective's
+    /// completion instant if it has not naturally passed it (i.e. the
+    /// overlap hid some or all of the communication).
+    pub fn wait(self, ctx: &mut RankCtx) {
+        ctx.advance_to(self.complete_at, Phase::Comm);
+    }
+
+    /// The virtual completion instant (diagnostics).
+    pub fn complete_at(&self) -> f64 {
+        self.complete_at
+    }
+}
+
+/// A point-to-point message in flight.
+struct P2pMessage {
+    src: usize,
+    tag: i64,
+    payload: Vec<f64>,
+    /// Sender's virtual clock at send time.
+    sent_at: f64,
+}
+
+pub(crate) struct CommInner {
+    size: usize,
+    barrier: Barrier,
+    coll: Mutex<CollState>,
+    /// Per-destination mailboxes for point-to-point messages.
+    mailboxes: Vec<Mutex<Vec<P2pMessage>>>,
+    mailbox_signal: parking_lot::Condvar,
+    mailbox_gate: Mutex<()>,
+    /// Registry of subcommunicators created by `split`, keyed by
+    /// (generation, color).
+    splits: Mutex<HashMap<(u64, i64), Arc<CommInner>>>,
+    split_gen: AtomicU64,
+    /// Registry of one-sided windows created on this communicator.
+    pub(crate) windows: Mutex<HashMap<u64, Arc<crate::window::WindowInner>>>,
+    pub(crate) window_seq: AtomicU64,
+    /// Shared event sink (owned by the cluster, drained into the report).
+    events: Arc<Mutex<Vec<CollectiveEvent>>>,
+}
+
+impl CommInner {
+    pub(crate) fn new(size: usize, events: Arc<Mutex<Vec<CollectiveEvent>>>) -> Self {
+        Self {
+            size,
+            barrier: Barrier::new(size),
+            coll: Mutex::new(CollState::new(size)),
+            mailboxes: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            mailbox_signal: parking_lot::Condvar::new(),
+            mailbox_gate: Mutex::new(()),
+            splits: Mutex::new(HashMap::new()),
+            split_gen: AtomicU64::new(0),
+            windows: Mutex::new(HashMap::new()),
+            window_seq: AtomicU64::new(0),
+            events,
+        }
+    }
+}
+
+/// A communicator handle held by one rank. Cloneable only through `split`
+/// or the cluster entry point — each handle is bound to its rank.
+pub struct Comm {
+    pub(crate) inner: Arc<CommInner>,
+    rank: usize,
+    size: usize,
+}
+
+impl Comm {
+    pub(crate) fn from_inner(inner: Arc<CommInner>, rank: usize) -> Self {
+        let size = inner.size;
+        Self { inner, rank, size }
+    }
+
+    /// This rank's id within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of executed ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The rank count collective costs are modeled at.
+    pub fn modeled_size(&self, ctx: &RankCtx) -> usize {
+        ((self.size as f64) * ctx.oversub).round().max(1.0) as usize
+    }
+
+    /// Record a collective event (leader only).
+    fn push_event(&self, ev: CollectiveEvent) {
+        self.inner.events.lock().push(ev);
+    }
+
+    /// Core synchronisation: contribute `my_clock`, return the max entry
+    /// clock over the communicator, and run `contribute` under the mutex on
+    /// first arrival / every arrival as requested by the op.
+    ///
+    /// Implemented inline in each collective for clarity; this helper only
+    /// handles the trivial single-rank case.
+    fn single_rank(&self) -> bool {
+        self.size == 1
+    }
+
+    /// Barrier, charged to `phase` (default communication).
+    pub fn barrier(&self, ctx: &mut RankCtx) {
+        self.barrier_phase(ctx, Phase::Comm);
+    }
+
+    /// Barrier with an explicit phase attribution (window fences charge
+    /// distribution).
+    pub fn barrier_phase(&self, ctx: &mut RankCtx, phase: Phase) {
+        let base = ctx.model.barrier_time(self.modeled_size(ctx));
+        let cost = base * ctx.noise_factor();
+        if self.single_rank() {
+            ctx.charge(phase, cost);
+            return;
+        }
+        {
+            let mut st = self.inner.coll.lock();
+            if st.count == 0 {
+                st.max_clock = f64::NEG_INFINITY;
+            }
+            st.max_clock = st.max_clock.max(ctx.clock);
+            st.count += 1;
+        }
+        self.inner.barrier.wait();
+        let sync_start = self.inner.coll.lock().max_clock;
+        let leader = self.inner.barrier.wait().is_leader();
+        if leader {
+            self.inner.coll.lock().count = 0;
+        }
+        self.inner.barrier.wait();
+        ctx.advance_to(sync_start + cost, phase);
+    }
+
+    /// Allreduce (elementwise sum) of `data` across the communicator. On
+    /// return every rank holds the sum. Cost: recursive-doubling model at
+    /// the modeled size; records a [`CollectiveEvent`] for Fig 5.
+    pub fn allreduce_sum(&self, ctx: &mut RankCtx, data: &mut [f64]) {
+        let bytes = data.len() * 8;
+        let base = ctx.model.allreduce_time(self.modeled_size(ctx), bytes);
+        let cost = base * ctx.noise_factor();
+        if self.single_rank() {
+            self.push_event(CollectiveEvent {
+                op: "allreduce",
+                comm_size: 1,
+                modeled_size: self.modeled_size(ctx),
+                bytes,
+                t_min: cost,
+                t_max: cost,
+                t_mean: cost,
+            });
+            ctx.charge(Phase::Comm, cost);
+            return;
+        }
+        {
+            let mut st = self.inner.coll.lock();
+            if st.count == 0 {
+                st.max_clock = f64::NEG_INFINITY;
+                st.costs.clear();
+            }
+            // Deposit per rank; the reduction is evaluated in rank order
+            // at read-out so the floating-point sum is deterministic
+            // regardless of thread arrival order.
+            st.slots[self.rank] = Some(data.to_vec());
+            st.max_clock = st.max_clock.max(ctx.clock);
+            st.count += 1;
+        }
+        self.inner.barrier.wait();
+        let sync_start;
+        {
+            let mut st = self.inner.coll.lock();
+            for v in data.iter_mut() {
+                *v = 0.0;
+            }
+            for slot in &st.slots {
+                let payload = slot
+                    .as_ref()
+                    .expect("allreduce: missing rank contribution");
+                assert_eq!(
+                    payload.len(),
+                    data.len(),
+                    "allreduce: payload length differs across ranks"
+                );
+                for (d, x) in data.iter_mut().zip(payload) {
+                    *d += x;
+                }
+            }
+            sync_start = st.max_clock;
+            st.costs.push(cost);
+        }
+        let leader = self.inner.barrier.wait().is_leader();
+        if leader {
+            let mut st = self.inner.coll.lock();
+            let (mut t_min, mut t_max, mut t_sum) = (f64::INFINITY, 0.0_f64, 0.0);
+            for &c in &st.costs {
+                t_min = t_min.min(c);
+                t_max = t_max.max(c);
+                t_sum += c;
+            }
+            let n = st.costs.len().max(1) as f64;
+            self.push_event(CollectiveEvent {
+                op: "allreduce",
+                comm_size: self.size,
+                modeled_size: self.modeled_size(ctx),
+                bytes,
+                t_min,
+                t_max,
+                t_mean: t_sum / n,
+            });
+            let size = self.size;
+            st.reset(size);
+        }
+        self.inner.barrier.wait();
+        ctx.advance_to(sync_start + cost, Phase::Comm);
+    }
+
+    /// Broadcast `data` from `root` to all ranks.
+    pub fn bcast(&self, ctx: &mut RankCtx, root: usize, data: &mut Vec<f64>) {
+        assert!(root < self.size, "bcast: invalid root");
+        let bytes = data.len() * 8;
+        let base = ctx.model.bcast_time(self.modeled_size(ctx), bytes);
+        let cost = base * ctx.noise_factor();
+        if self.single_rank() {
+            ctx.charge(Phase::Comm, cost);
+            return;
+        }
+        {
+            let mut st = self.inner.coll.lock();
+            if st.count == 0 {
+                st.max_clock = f64::NEG_INFINITY;
+            }
+            if self.rank == root {
+                st.slots[root] = Some(data.clone());
+            }
+            st.max_clock = st.max_clock.max(ctx.clock);
+            st.count += 1;
+        }
+        self.inner.barrier.wait();
+        let sync_start;
+        {
+            let st = self.inner.coll.lock();
+            let payload = st.slots[root]
+                .as_ref()
+                .expect("bcast: root deposited no payload");
+            data.clear();
+            data.extend_from_slice(payload);
+            sync_start = st.max_clock;
+        }
+        let leader = self.inner.barrier.wait().is_leader();
+        if leader {
+            let mut st = self.inner.coll.lock();
+            let size = self.size;
+            st.reset(size);
+        }
+        self.inner.barrier.wait();
+        ctx.advance_to(sync_start + cost, Phase::Comm);
+    }
+
+    /// Gather each rank's `data` to `root`; returns `Some(per-rank
+    /// payloads)` on the root, `None` elsewhere.
+    pub fn gather(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        data: &[f64],
+    ) -> Option<Vec<Vec<f64>>> {
+        assert!(root < self.size, "gather: invalid root");
+        let bytes = data.len() * 8;
+        let base = ctx.model.gather_time(self.modeled_size(ctx), bytes);
+        let cost = base * ctx.noise_factor();
+        if self.single_rank() {
+            ctx.charge(Phase::Comm, cost);
+            return Some(vec![data.to_vec()]);
+        }
+        {
+            let mut st = self.inner.coll.lock();
+            if st.count == 0 {
+                st.max_clock = f64::NEG_INFINITY;
+            }
+            st.slots[self.rank] = Some(data.to_vec());
+            st.max_clock = st.max_clock.max(ctx.clock);
+            st.count += 1;
+        }
+        self.inner.barrier.wait();
+        let (result, sync_start) = {
+            let st = self.inner.coll.lock();
+            let res = if self.rank == root {
+                Some(
+                    st.slots
+                        .iter()
+                        .map(|s| s.clone().expect("gather: missing slot"))
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                None
+            };
+            (res, st.max_clock)
+        };
+        let leader = self.inner.barrier.wait().is_leader();
+        if leader {
+            let mut st = self.inner.coll.lock();
+            let size = self.size;
+            st.reset(size);
+        }
+        self.inner.barrier.wait();
+        ctx.advance_to(sync_start + cost, Phase::Comm);
+        result
+    }
+
+    /// Allgather: every rank receives every rank's payload.
+    pub fn allgather(&self, ctx: &mut RankCtx, data: &[f64]) -> Vec<Vec<f64>> {
+        let bytes = data.len() * 8;
+        let p = self.modeled_size(ctx);
+        // Ring allgather: (p-1) steps moving `bytes` each.
+        let base = if p <= 1 {
+            0.0
+        } else {
+            (p - 1) as f64 * (ctx.model.alpha + bytes as f64 * ctx.model.beta)
+        };
+        let cost = base * ctx.noise_factor();
+        if self.single_rank() {
+            ctx.charge(Phase::Comm, cost);
+            return vec![data.to_vec()];
+        }
+        {
+            let mut st = self.inner.coll.lock();
+            if st.count == 0 {
+                st.max_clock = f64::NEG_INFINITY;
+            }
+            st.slots[self.rank] = Some(data.to_vec());
+            st.max_clock = st.max_clock.max(ctx.clock);
+            st.count += 1;
+        }
+        self.inner.barrier.wait();
+        let (result, sync_start) = {
+            let st = self.inner.coll.lock();
+            let res: Vec<Vec<f64>> = st
+                .slots
+                .iter()
+                .map(|s| s.clone().expect("allgather: missing slot"))
+                .collect();
+            (res, st.max_clock)
+        };
+        let leader = self.inner.barrier.wait().is_leader();
+        if leader {
+            let mut st = self.inner.coll.lock();
+            let size = self.size;
+            st.reset(size);
+        }
+        self.inner.barrier.wait();
+        ctx.advance_to(sync_start + cost, Phase::Comm);
+        result
+    }
+
+    /// Scatter: `root` provides one payload per rank; each rank receives
+    /// its own.
+    pub fn scatter(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        chunks: Option<Vec<Vec<f64>>>,
+    ) -> Vec<f64> {
+        assert!(root < self.size, "scatter: invalid root");
+        if self.single_rank() {
+            let mut chunks = chunks.expect("scatter: root must supply chunks");
+            assert_eq!(chunks.len(), 1);
+            let bytes = chunks[0].len() * 8;
+            let cost =
+                ctx.model.gather_time(self.modeled_size(ctx), bytes) * ctx.noise_factor();
+            ctx.charge(Phase::Comm, cost);
+            return chunks.swap_remove(0);
+        }
+        {
+            let mut st = self.inner.coll.lock();
+            if st.count == 0 {
+                st.max_clock = f64::NEG_INFINITY;
+            }
+            if self.rank == root {
+                let chunks = chunks.expect("scatter: root must supply chunks");
+                assert_eq!(chunks.len(), self.size, "scatter: need one chunk per rank");
+                for (slot, chunk) in st.slots.iter_mut().zip(chunks) {
+                    *slot = Some(chunk);
+                }
+            }
+            st.max_clock = st.max_clock.max(ctx.clock);
+            st.count += 1;
+        }
+        self.inner.barrier.wait();
+        let (mine, sync_start, bytes) = {
+            let st = self.inner.coll.lock();
+            let mine = st.slots[self.rank]
+                .clone()
+                .expect("scatter: root deposited no chunk for this rank");
+            (mine.clone(), st.max_clock, mine.len() * 8)
+        };
+        let cost = ctx.model.gather_time(self.modeled_size(ctx), bytes) * ctx.noise_factor();
+        let leader = self.inner.barrier.wait().is_leader();
+        if leader {
+            let mut st = self.inner.coll.lock();
+            let size = self.size;
+            st.reset(size);
+        }
+        self.inner.barrier.wait();
+        ctx.advance_to(sync_start + cost, Phase::Comm);
+        mine
+    }
+
+    /// Point-to-point send (`MPI_Send` analogue, eager/buffered): never
+    /// blocks. The sender is charged the injection cost; delivery latency
+    /// lands on the receiver.
+    pub fn send(&self, ctx: &mut RankCtx, dest: usize, tag: i64, payload: &[f64]) {
+        assert!(dest < self.size, "send: invalid destination");
+        let bytes = payload.len() * 8;
+        {
+            let _gate = self.inner.mailbox_gate.lock();
+            self.inner.mailboxes[dest].lock().push(P2pMessage {
+                src: self.rank,
+                tag,
+                payload: payload.to_vec(),
+                sent_at: ctx.clock,
+            });
+            self.inner.mailbox_signal.notify_all();
+        }
+        // Sender-side injection cost.
+        ctx.charge(Phase::Comm, ctx.model.alpha + bytes as f64 * ctx.model.beta);
+    }
+
+    /// Point-to-point receive matching `(src, tag)`; `None` matches any
+    /// source / any tag. Blocks (in real time) until a matching message
+    /// arrives; the receiver's virtual clock advances to the message's
+    /// arrival time (`sent_at + alpha + bytes*beta`). Returns
+    /// `(source, payload)`.
+    pub fn recv(
+        &self,
+        ctx: &mut RankCtx,
+        src: Option<usize>,
+        tag: Option<i64>,
+    ) -> (usize, Vec<f64>) {
+        let mut gate = self.inner.mailbox_gate.lock();
+        loop {
+            {
+                let mut mb = self.inner.mailboxes[self.rank].lock();
+                let pos = mb.iter().position(|m| {
+                    src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag)
+                });
+                if let Some(i) = pos {
+                    let msg = mb.remove(i);
+                    drop(mb);
+                    drop(gate);
+                    let bytes = msg.payload.len() * 8;
+                    let arrival =
+                        msg.sent_at + ctx.model.alpha + bytes as f64 * ctx.model.beta;
+                    ctx.advance_to(arrival, Phase::Comm);
+                    return (msg.src, msg.payload);
+                }
+            }
+            self.inner.mailbox_signal.wait(&mut gate);
+        }
+    }
+
+    /// Begin a non-blocking allreduce (`MPI_Iallreduce` analogue) — the
+    /// asynchronous-execution direction the paper names as future work
+    /// (§IV-A4). The data exchange happens now (all ranks must call this
+    /// collectively, like any collective), but the *cost* is deferred:
+    /// the rank's clock does not advance until [`PendingReduce::wait`],
+    /// so computation issued in between overlaps the transfer.
+    pub fn iallreduce_sum(&self, ctx: &mut RankCtx, data: &mut [f64]) -> PendingReduce {
+        // Reuse the blocking protocol, then roll the charge back into a
+        // completion timestamp: capture the clock before, run the
+        // exchange, and convert the elapsed virtual time into the pending
+        // completion instant.
+        let before_clock = ctx.clock;
+        let before_comm = ctx.ledger.comm;
+        self.allreduce_sum(ctx, data);
+        let complete_at = ctx.clock;
+        // Roll back: the caller keeps computing from `before_clock`.
+        ctx.clock = before_clock;
+        ctx.ledger.comm = before_comm;
+        PendingReduce { complete_at }
+    }
+
+    /// Deposit a payload *by move* into this rank's collective slot and
+    /// synchronise. Zero-copy registration used by window creation; the
+    /// slots survive until [`Comm::take_slots`] drains them.
+    pub(crate) fn deposit_slot(&self, ctx: &mut RankCtx, payload: Vec<f64>) {
+        if self.single_rank() {
+            self.inner.coll.lock().slots[0] = Some(payload);
+            return;
+        }
+        {
+            let mut st = self.inner.coll.lock();
+            if st.count == 0 {
+                st.max_clock = f64::NEG_INFINITY;
+            }
+            st.slots[self.rank] = Some(payload);
+            st.max_clock = st.max_clock.max(ctx.clock);
+            st.count += 1;
+        }
+        self.inner.barrier.wait();
+        let sync_start = self.inner.coll.lock().max_clock;
+        let leader = self.inner.barrier.wait().is_leader();
+        if leader {
+            self.inner.coll.lock().count = 0;
+        }
+        self.inner.barrier.wait();
+        ctx.advance_to(sync_start, Phase::Distribution);
+    }
+
+    /// Drain the deposited slots (window-creation leader only). Missing
+    /// deposits yield empty buffers.
+    pub(crate) fn take_slots(&self) -> Vec<Vec<f64>> {
+        let mut st = self.inner.coll.lock();
+        st.slots.iter_mut().map(|s| s.take().unwrap_or_default()).collect()
+    }
+
+    /// Split the communicator into disjoint subcommunicators by `color`;
+    /// ranks sharing a color form a new communicator ordered by `key`
+    /// (ties broken by parent rank). Mirrors `MPI_Comm_split`.
+    pub fn split(&self, ctx: &mut RankCtx, color: i64, key: i64) -> Comm {
+        if self.single_rank() {
+            // Trivial: a fresh single-rank communicator.
+            let inner = Arc::new(CommInner::new(1, self.inner.events.clone()));
+            ctx.charge(Phase::Comm, ctx.model.barrier_time(self.modeled_size(ctx)));
+            return Comm::from_inner(inner, 0);
+        }
+        // Phase 1: deposit (color, key) and agree on a generation tag.
+        {
+            let mut st = self.inner.coll.lock();
+            if st.count == 0 {
+                st.max_clock = f64::NEG_INFINITY;
+                st.tag = self.inner.split_gen.fetch_add(1, Ordering::SeqCst);
+            }
+            st.slots[self.rank] = Some(vec![color as f64, key as f64]);
+            st.max_clock = st.max_clock.max(ctx.clock);
+            st.count += 1;
+        }
+        self.inner.barrier.wait();
+        // Phase 2: everyone computes its group deterministically.
+        let (generation, members, sync_start) = {
+            let st = self.inner.coll.lock();
+            let mut members: Vec<(i64, usize)> = Vec::new(); // (key, parent_rank)
+            for (r, slot) in st.slots.iter().enumerate() {
+                let payload = slot.as_ref().expect("split: missing deposit");
+                let (c, k) = (payload[0] as i64, payload[1] as i64);
+                if c == color {
+                    members.push((k, r));
+                }
+            }
+            members.sort();
+            (st.tag, members, st.max_clock)
+        };
+        let my_pos = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("split: self not in own group");
+        // Group leader (first member) creates the inner.
+        if my_pos == 0 {
+            let inner = Arc::new(CommInner::new(members.len(), self.inner.events.clone()));
+            self.inner
+                .splits
+                .lock()
+                .insert((generation, color), inner);
+        }
+        self.inner.barrier.wait();
+        let sub_inner = self
+            .inner
+            .splits
+            .lock()
+            .get(&(generation, color))
+            .expect("split: group inner missing")
+            .clone();
+        let leader = self.inner.barrier.wait().is_leader();
+        if leader {
+            let mut st = self.inner.coll.lock();
+            let size = self.size;
+            st.reset(size);
+            // Old split registrations for this generation can be dropped
+            // once all ranks fetched them; keep the map tidy.
+            self.inner
+                .splits
+                .lock()
+                .retain(|&(g, _), _| g == generation);
+        }
+        self.inner.barrier.wait();
+        // Cost: an allgather of 16 bytes + subgroup setup barrier.
+        let cost = ctx.model.gather_time(self.modeled_size(ctx), 16) * ctx.noise_factor();
+        ctx.advance_to(sync_start + cost, Phase::Comm);
+        Comm::from_inner(sub_inner, my_pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Collective behaviour is exercised end-to-end via `cluster::tests`,
+    // which owns thread spawning.
+}

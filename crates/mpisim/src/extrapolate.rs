@@ -1,0 +1,188 @@
+//! Analytic extrapolation of workload profiles to arbitrary rank counts.
+//!
+//! The scaling harnesses usually run the real (virtually timed) simulation
+//! with `Cluster::modeled_ranks`. For points where even a scaled execution
+//! is unnecessary (e.g. Table II's conventional reader at 1 TB, where the
+//! answer is hours), a [`WorkloadProfile`] evaluates the machine-model cost
+//! functions directly.
+
+use crate::ledger::PhaseLedger;
+use crate::model::MachineModel;
+
+/// An analytic description of one rank's workload plus the aggregate
+/// one-sided/I/O traffic, sufficient to evaluate a modeled phase breakdown
+/// at any rank count.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadProfile {
+    /// Dense flops executed by one rank.
+    pub per_rank_flops: f64,
+    /// Working-set bytes of the dominant per-rank kernel (cache model).
+    pub per_rank_working_set: f64,
+    /// Memory-bound bytes swept by one rank.
+    pub per_rank_membound_bytes: f64,
+    /// `(payload bytes, call count)` pairs of allreduces every rank joins.
+    pub allreduces: Vec<(usize, usize)>,
+    /// `(payload bytes, call count)` pairs of broadcasts.
+    pub bcasts: Vec<(usize, usize)>,
+    /// Barrier count.
+    pub barriers: usize,
+    /// Total bytes served through one-sided windows (aggregate over all
+    /// requesters).
+    pub onesided_total_bytes: f64,
+    /// Total one-sided messages (aggregate).
+    pub onesided_messages: f64,
+    /// Number of ranks exposing windows (`n_reader` in the paper). The
+    /// serving work divides across them.
+    pub n_readers: usize,
+    /// Bytes read from the file system (aggregate).
+    pub io_read_bytes: f64,
+    /// Ranks participating in the parallel read.
+    pub io_readers: usize,
+}
+
+impl WorkloadProfile {
+    /// Evaluate the modeled per-rank phase breakdown at `p` ranks.
+    ///
+    /// Communication uses collective closed forms at `p`; distribution
+    /// divides the one-sided serving work over the reader windows (each
+    /// serialises); I/O uses the striped parallel-read model.
+    pub fn modeled(&self, p: usize, model: &MachineModel) -> PhaseLedger {
+        let compute = model.compute_time(self.per_rank_flops, self.per_rank_working_set)
+            + model.membound_time(self.per_rank_membound_bytes);
+
+        let mut comm = 0.0;
+        for &(bytes, count) in &self.allreduces {
+            comm += count as f64 * model.allreduce_time(p, bytes);
+        }
+        for &(bytes, count) in &self.bcasts {
+            comm += count as f64 * model.bcast_time(p, bytes);
+        }
+        comm += self.barriers as f64 * model.barrier_time(p);
+
+        let distribution = if self.n_readers > 0 && self.onesided_messages > 0.0 {
+            let readers = self.n_readers as f64;
+            (self.onesided_messages / readers) * model.alpha
+                + (self.onesided_total_bytes / readers) * model.beta
+        } else {
+            0.0
+        };
+
+        let io = if self.io_read_bytes > 0.0 {
+            model.io.parallel_read_time(self.io_readers.max(1), self.io_read_bytes)
+        } else {
+            0.0
+        };
+
+        PhaseLedger { compute, comm, distribution, io }
+    }
+
+    /// Weak-scaling series: per-rank work fixed, aggregate traffic grows
+    /// linearly with `p`. `self` describes the base point at `base_p`
+    /// ranks; returns `(p, breakdown)` for each requested point.
+    pub fn weak_scaling(
+        &self,
+        base_p: usize,
+        points: &[usize],
+        model: &MachineModel,
+    ) -> Vec<(usize, PhaseLedger)> {
+        points
+            .iter()
+            .map(|&p| {
+                let scale = p as f64 / base_p as f64;
+                let mut prof = self.clone();
+                // Per-rank terms unchanged; aggregate traffic scales with p.
+                prof.onesided_total_bytes *= scale;
+                prof.onesided_messages *= scale;
+                prof.io_read_bytes *= scale;
+                prof.io_readers = p;
+                (p, prof.modeled(p, model))
+            })
+            .collect()
+    }
+
+    /// Strong-scaling series: aggregate problem fixed, per-rank work
+    /// shrinks as `base_p / p`.
+    pub fn strong_scaling(
+        &self,
+        base_p: usize,
+        points: &[usize],
+        model: &MachineModel,
+    ) -> Vec<(usize, PhaseLedger)> {
+        points
+            .iter()
+            .map(|&p| {
+                let shrink = base_p as f64 / p as f64;
+                let mut prof = self.clone();
+                prof.per_rank_flops *= shrink;
+                prof.per_rank_working_set *= shrink;
+                prof.per_rank_membound_bytes *= shrink;
+                prof.io_readers = p;
+                (p, prof.modeled(p, model))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_profile() -> WorkloadProfile {
+        WorkloadProfile {
+            per_rank_flops: 1e9,
+            per_rank_working_set: 8e6,
+            per_rank_membound_bytes: 1e7,
+            allreduces: vec![(20_101 * 8, 100)],
+            bcasts: vec![(1024, 4)],
+            barriers: 10,
+            onesided_total_bytes: 1e9,
+            onesided_messages: 1e4,
+            n_readers: 32,
+            io_read_bytes: 16e9,
+            io_readers: 128,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn weak_scaling_compute_flat_comm_grows() {
+        let m = MachineModel::deterministic();
+        let series = base_profile().weak_scaling(
+            128,
+            &[128, 256, 512, 1024, 4096],
+            &m,
+        );
+        let first = series.first().unwrap().1;
+        let last = series.last().unwrap().1;
+        assert!((first.compute - last.compute).abs() < 1e-12, "ideal weak compute");
+        assert!(last.comm > first.comm, "comm grows with log p");
+        assert!(last.distribution > first.distribution, "distribution grows");
+    }
+
+    #[test]
+    fn strong_scaling_compute_shrinks() {
+        let m = MachineModel::deterministic();
+        let series = base_profile().strong_scaling(128, &[128, 256, 512], &m);
+        assert!(series[1].1.compute < series[0].1.compute);
+        assert!(series[2].1.compute < series[1].1.compute);
+        // Comm does not shrink (same collectives, more ranks).
+        assert!(series[2].1.comm >= series[0].1.comm);
+    }
+
+    #[test]
+    fn distribution_inverse_in_readers() {
+        let m = MachineModel::deterministic();
+        let mut a = base_profile();
+        let few = a.modeled(1024, &m).distribution;
+        a.n_readers *= 8;
+        let many = a.modeled(1024, &m).distribution;
+        assert!((few / many - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profile_is_free() {
+        let m = MachineModel::deterministic();
+        let l = WorkloadProfile::default().modeled(4096, &m);
+        assert_eq!(l.total(), 0.0);
+    }
+}

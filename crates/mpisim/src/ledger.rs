@@ -1,0 +1,167 @@
+//! Per-rank virtual-time accounting.
+//!
+//! Every virtual-clock advance is attributed to one of the four phases the
+//! paper's runtime-breakdown figures use (Figs 2, 7): **Computation**,
+//! **Communication** (collectives), **Distribution** (one-sided data
+//! movement, including the distributed Kronecker/vectorisation traffic),
+//! and **Data I/O** (parallel file reads/writes).
+
+use std::ops::{Add, AddAssign};
+
+/// The runtime categories of the paper's breakdown figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Local computation (BLAS kernels, soft-thresholding, bookkeeping).
+    Compute,
+    /// Collective communication (`MPI_Allreduce`, `MPI_Bcast`, barriers).
+    Comm,
+    /// One-sided data distribution (Tier-2 shuffles, distributed Kronecker
+    /// product and vectorisation windows).
+    Distribution,
+    /// Parallel file I/O (dataset loads, output saves).
+    DataIo,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 4] =
+        [Phase::Compute, Phase::Comm, Phase::Distribution, Phase::DataIo];
+
+    /// Human-readable label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Compute => "Computation",
+            Phase::Comm => "Communication",
+            Phase::Distribution => "Distribution",
+            Phase::DataIo => "Data I/O",
+        }
+    }
+}
+
+/// Per-rank phase times in virtual seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseLedger {
+    /// Computation seconds.
+    pub compute: f64,
+    /// Communication seconds (includes synchronisation waits at
+    /// collectives, as an `MPI_Allreduce` timer would).
+    pub comm: f64,
+    /// Distribution seconds (one-sided transfer and queueing).
+    pub distribution: f64,
+    /// File I/O seconds.
+    pub io: f64,
+}
+
+impl PhaseLedger {
+    /// Charge `seconds` to `phase`.
+    pub fn charge(&mut self, phase: Phase, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative charge {seconds} to {phase:?}");
+        match phase {
+            Phase::Compute => self.compute += seconds,
+            Phase::Comm => self.comm += seconds,
+            Phase::Distribution => self.distribution += seconds,
+            Phase::DataIo => self.io += seconds,
+        }
+    }
+
+    /// Read the accumulated seconds of one phase.
+    pub fn get(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Compute => self.compute,
+            Phase::Comm => self.comm,
+            Phase::Distribution => self.distribution,
+            Phase::DataIo => self.io,
+        }
+    }
+
+    /// Sum over all phases — equals the rank's final virtual clock when the
+    /// rank only advances time through `charge` (invariant tested in
+    /// `cluster`).
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm + self.distribution + self.io
+    }
+
+    /// Elementwise maximum (used to aggregate "slowest rank per phase").
+    pub fn max(self, other: PhaseLedger) -> PhaseLedger {
+        PhaseLedger {
+            compute: self.compute.max(other.compute),
+            comm: self.comm.max(other.comm),
+            distribution: self.distribution.max(other.distribution),
+            io: self.io.max(other.io),
+        }
+    }
+}
+
+impl Add for PhaseLedger {
+    type Output = PhaseLedger;
+    fn add(self, o: PhaseLedger) -> PhaseLedger {
+        PhaseLedger {
+            compute: self.compute + o.compute,
+            comm: self.comm + o.comm,
+            distribution: self.distribution + o.distribution,
+            io: self.io + o.io,
+        }
+    }
+}
+
+impl AddAssign for PhaseLedger {
+    fn add_assign(&mut self, o: PhaseLedger) {
+        *self = *self + o;
+    }
+}
+
+/// One recorded collective, for the `T_min`/`T_max` analysis of Fig 5.
+#[derive(Debug, Clone)]
+pub struct CollectiveEvent {
+    /// Operation name ("allreduce", "bcast", ...).
+    pub op: &'static str,
+    /// Executed communicator size.
+    pub comm_size: usize,
+    /// Modeled communicator size the cost was evaluated at.
+    pub modeled_size: usize,
+    /// Payload bytes per rank.
+    pub bytes: usize,
+    /// Fastest per-rank completion cost (seconds).
+    pub t_min: f64,
+    /// Slowest per-rank completion cost (seconds).
+    pub t_max: f64,
+    /// Mean per-rank cost (seconds).
+    pub t_mean: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_total() {
+        let mut l = PhaseLedger::default();
+        l.charge(Phase::Compute, 1.0);
+        l.charge(Phase::Comm, 0.25);
+        l.charge(Phase::Distribution, 0.5);
+        l.charge(Phase::DataIo, 0.125);
+        assert_eq!(l.total(), 1.875);
+        assert_eq!(l.get(Phase::Comm), 0.25);
+    }
+
+    #[test]
+    fn add_and_max() {
+        let mut a = PhaseLedger::default();
+        a.charge(Phase::Compute, 2.0);
+        let mut b = PhaseLedger::default();
+        b.charge(Phase::Comm, 3.0);
+        let s = a + b;
+        assert_eq!(s.compute, 2.0);
+        assert_eq!(s.comm, 3.0);
+        let m = a.max(b);
+        assert_eq!(m.compute, 2.0);
+        assert_eq!(m.comm, 3.0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Phase::Compute.label(), "Computation");
+        assert_eq!(Phase::Distribution.label(), "Distribution");
+        assert_eq!(Phase::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! # uoi-mpisim
+//!
+//! An in-process SPMD message-passing runtime with a virtual-time machine
+//! model — the substitute for the MPI + Cori-KNL substrate of the paper.
+//!
+//! Ranks run as OS threads and exchange *real* data (collectives move real
+//! bytes, one-sided windows expose real buffers), so algorithms produce
+//! bit-identical statistical results to a genuine distributed run. Time,
+//! however, is **virtual**: every operation advances a per-rank clock using
+//! the [`model::MachineModel`] cost functions, evaluated at a *modeled*
+//! rank count that may far exceed the executed one. This is what lets a
+//! laptop reproduce the shape of 100,000-core weak/strong scaling curves.
+//!
+//! Key pieces:
+//! * [`cluster::Cluster`] — spawn ranks, run an SPMD closure, collect a
+//!   [`cluster::SimReport`];
+//! * [`comm::Comm`] — `MPI_Comm` analogue: barrier, bcast, allreduce,
+//!   gather/allgather/scatter, and `split` for the `P_B x P_lambda x
+//!   ADMM_cores` decomposition;
+//! * [`window::Window`] — one-sided windows with target-side
+//!   serialisation, the mechanism behind the paper's randomized data
+//!   distribution (Tier 2) and distributed Kronecker product;
+//! * [`ledger`] — per-rank phase accounting matching the paper's runtime
+//!   breakdown categories (Computation / Communication / Distribution /
+//!   Data I/O);
+//! * [`extrapolate::WorkloadProfile`] — closed-form evaluation at
+//!   arbitrary rank counts.
+
+#![allow(clippy::needless_range_loop)]
+
+pub mod cluster;
+pub mod comm;
+pub mod extrapolate;
+pub mod ledger;
+pub mod model;
+pub mod window;
+
+pub use cluster::{Cluster, SimReport};
+pub use comm::{Comm, PendingReduce, RankCtx};
+pub use extrapolate::WorkloadProfile;
+pub use ledger::{CollectiveEvent, Phase, PhaseLedger};
+pub use model::{IoModel, MachineModel, NoiseModel, SplitMix64};
+pub use window::{Window, WindowEpoch};

@@ -1,0 +1,228 @@
+//! One-sided communication windows (`MPI_Win` analogue).
+//!
+//! The paper's two data-movement innovations both ride on MPI one-sided
+//! communication: the Tier-2 randomized shuffle of `UoI_LASSO` and the
+//! distributed Kronecker product / vectorisation of `UoI_VAR`, where a
+//! small set of `n_reader` ranks expose `X` and `Y` through windows and
+//! hundreds of thousands of compute ranks `get` their blocks.
+//!
+//! The virtual-time model captures the crucial bottleneck: a window's
+//! owning rank serialises the transfers it serves. Each `get`/`put`
+//! occupies the target for `alpha + bytes*beta`, inflated by the cluster's
+//! oversubscription factor (one executed get stands for `P_model/P_exec`
+//! modeled gets), so the distribution time of the Kronecker build grows
+//! with `P_model / n_readers` exactly as Figs 9–10 report.
+
+use crate::comm::{Comm, RankCtx};
+use crate::ledger::Phase;
+use parking_lot::{Mutex, RwLock};
+
+pub(crate) struct WindowInner {
+    /// Per-rank exposed buffers (empty for ranks that exposed nothing).
+    data: Vec<RwLock<Vec<f64>>>,
+    /// Virtual time until which each target rank's window is busy serving.
+    busy: Vec<Mutex<f64>>,
+    /// Occupancy inflation applied per executed transfer. When every rank
+    /// exposes a buffer the window set scales with the modeled machine
+    /// (per-window load is rank-count independent -> 1.0); when only a
+    /// fixed subset exposes (the Kronecker `n_reader` pattern) each
+    /// executed transfer stands for `oversub` modeled ones -> oversub.
+    occ_multiplier: f64,
+}
+
+/// Handle to a collectively created window on a communicator.
+pub struct Window {
+    inner: std::sync::Arc<WindowInner>,
+    comm_size: usize,
+}
+
+impl Window {
+    /// Collectively create a window over `comm`. Each rank exposes
+    /// `local` (possibly empty). Charged to the distribution phase.
+    pub fn create(ctx: &mut RankCtx, comm: &Comm, local: Vec<f64>) -> Window {
+        let size = comm.size();
+        if size == 1 {
+            let inner = std::sync::Arc::new(WindowInner {
+                data: vec![RwLock::new(local)],
+                busy: vec![Mutex::new(0.0)],
+                occ_multiplier: 1.0,
+            });
+            ctx.charge(Phase::Distribution, ctx.model().barrier_time(comm.modeled_size(ctx)));
+            return Window { inner, comm_size: 1 };
+        }
+        // Each rank deposits its exposed buffer into the communicator's
+        // collective slots *by move* — window creation registers memory, it
+        // does not copy it, so the only modeled cost is a barrier. SPMD
+        // discipline guarantees at most one create() is in flight per
+        // communicator, so after the registration barrier every rank finds
+        // the fresh window at key `window_seq - 1`.
+        comm.deposit_slot(ctx, local);
+        if comm.rank() == 0 {
+            let buffers = comm.take_slots();
+            let exposers = buffers.iter().filter(|b| !b.is_empty()).count();
+            let occ_multiplier =
+                if exposers >= size { 1.0 } else { ctx.oversub() };
+            let seq = comm
+                .inner
+                .window_seq
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let inner = std::sync::Arc::new(WindowInner {
+                data: buffers.into_iter().map(RwLock::new).collect(),
+                busy: (0..size).map(|_| Mutex::new(0.0)).collect(),
+                occ_multiplier,
+            });
+            comm.inner.windows.lock().insert(seq, inner);
+        }
+        comm.barrier_phase(ctx, Phase::Distribution);
+        let key = comm
+            .inner
+            .window_seq
+            .load(std::sync::atomic::Ordering::SeqCst)
+            - 1;
+        let inner = comm
+            .inner
+            .windows
+            .lock()
+            .get(&key)
+            .expect("window registry missing fresh window")
+            .clone();
+        Window { inner, comm_size: size }
+    }
+
+    /// Number of ranks exposing buffers.
+    pub fn comm_size(&self) -> usize {
+        self.comm_size
+    }
+
+    /// Length of the buffer exposed by `target`.
+    pub fn len_of(&self, target: usize) -> usize {
+        self.inner.data[target].read().len()
+    }
+
+    /// One-sided read of `range` from `target`'s buffer into a fresh
+    /// vector. Charged to distribution with target-side serialisation.
+    pub fn get(&self, ctx: &mut RankCtx, target: usize, range: std::ops::Range<usize>) -> Vec<f64> {
+        let mut out = vec![0.0; range.len()];
+        self.get_into(ctx, target, range, &mut out);
+        out
+    }
+
+    /// One-sided read into a caller-provided buffer.
+    pub fn get_into(
+        &self,
+        ctx: &mut RankCtx,
+        target: usize,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert!(target < self.comm_size, "window get: bad target");
+        assert_eq!(out.len(), range.len());
+        {
+            let src = self.inner.data[target].read();
+            out.copy_from_slice(&src[range]);
+        }
+        self.charge_transfer(ctx, target, out.len() * 8);
+    }
+
+    /// One-sided write of `data` into `target`'s buffer at `offset`.
+    pub fn put(&self, ctx: &mut RankCtx, target: usize, offset: usize, data: &[f64]) {
+        assert!(target < self.comm_size, "window put: bad target");
+        {
+            let mut dst = self.inner.data[target].write();
+            assert!(
+                offset + data.len() <= dst.len(),
+                "window put: write of {} at {offset} exceeds buffer {}",
+                data.len(),
+                dst.len()
+            );
+            dst[offset..offset + data.len()].copy_from_slice(data);
+        }
+        self.charge_transfer(ctx, target, data.len() * 8);
+    }
+
+    /// Read back this rank's own exposed buffer (after remote puts).
+    pub fn local_copy(&self, rank: usize) -> Vec<f64> {
+        self.inner.data[rank].read().clone()
+    }
+
+    /// Apply the serialisation cost model for a transfer of `bytes`
+    /// against `target`'s window.
+    ///
+    /// Queueing model: the window serves transfers serially. One executed
+    /// transfer stands for `oversub` modeled transfers, so it *occupies*
+    /// the window for `oversub * (alpha + bytes*beta)`; the requester
+    /// itself waits for its queue position and then pays one transfer's
+    /// service time. Few readers serving many ranks therefore back up —
+    /// the Fig 9/10 distribution blow-up.
+    fn charge_transfer(&self, ctx: &mut RankCtx, target: usize, bytes: usize) {
+        let service = ctx.model().onesided_time(bytes);
+        let occupancy = service * self.inner.occ_multiplier;
+        let start = {
+            let mut busy = self.inner.busy[target].lock();
+            let start = busy.max(ctx.clock());
+            *busy = start + occupancy;
+            start
+        };
+        ctx.advance_to(start + service, Phase::Distribution);
+    }
+
+    /// Synchronise all window users (an `MPI_Win_fence` analogue); charged
+    /// to the distribution phase.
+    pub fn fence(&self, ctx: &mut RankCtx, comm: &Comm) {
+        comm.barrier_phase(ctx, Phase::Distribution);
+    }
+
+    /// Open a non-blocking access epoch: every `get_into` issued through
+    /// the epoch is treated as in flight *concurrently* from the current
+    /// virtual time (the `MPI_Get ... MPI_Win_fence` pattern the paper's
+    /// distributed Kronecker product uses). Windows still serialise the
+    /// requests they serve, but a slow queue on one window no longer
+    /// delays requests to others. Call [`WindowEpoch::finish`] to close
+    /// the epoch and charge the elapsed distribution time.
+    pub fn epoch<'w>(&'w self, ctx: &RankCtx) -> WindowEpoch<'w> {
+        WindowEpoch { win: self, issue_clock: ctx.clock(), max_end: ctx.clock() }
+    }
+}
+
+/// An open non-blocking window-access epoch (see [`Window::epoch`]).
+pub struct WindowEpoch<'w> {
+    win: &'w Window,
+    issue_clock: f64,
+    max_end: f64,
+}
+
+impl WindowEpoch<'_> {
+    /// Issue a non-blocking one-sided read; completion is deferred to
+    /// [`WindowEpoch::finish`].
+    pub fn get_into(
+        &mut self,
+        ctx: &mut RankCtx,
+        target: usize,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert!(target < self.win.comm_size, "window get: bad target");
+        assert_eq!(out.len(), range.len());
+        {
+            let src = self.win.inner.data[target].read();
+            out.copy_from_slice(&src[range]);
+        }
+        let service = ctx.model().onesided_time(out.len() * 8);
+        let occupancy = service * self.win.inner.occ_multiplier;
+        let end = {
+            let mut busy = self.win.inner.busy[target].lock();
+            let start = busy.max(self.issue_clock);
+            *busy = start + occupancy;
+            start + service
+        };
+        if end > self.max_end {
+            self.max_end = end;
+        }
+    }
+
+    /// Complete the epoch: the rank's clock advances to the completion of
+    /// its slowest outstanding request (charged to distribution).
+    pub fn finish(self, ctx: &mut RankCtx) {
+        ctx.advance_to(self.max_end, Phase::Distribution);
+    }
+}

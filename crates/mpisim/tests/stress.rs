@@ -1,0 +1,184 @@
+//! Stress and determinism tests for the SPMD runtime: large rank counts,
+//! deep communicator nesting, window churn, and reproducibility of both
+//! data and virtual time.
+
+use uoi_mpisim::{Cluster, MachineModel, Phase, Window};
+
+#[test]
+fn sixty_four_ranks_mixed_collectives() {
+    let report = Cluster::new(64, MachineModel::deterministic()).run(|ctx, world| {
+        let mut acc = 0.0;
+        for round in 0..5 {
+            let mut v = vec![(world.rank() * round) as f64; 32];
+            world.allreduce_sum(ctx, &mut v);
+            acc += v[0];
+            world.barrier(ctx);
+        }
+        // Gather/scatter round-trip.
+        let g = world.gather(ctx, 0, &[world.rank() as f64]);
+        let chunks = g.map(|all| all.into_iter().map(|p| vec![p[0] * 2.0]).collect());
+        let mine = world.scatter(ctx, 0, chunks);
+        (acc, mine[0])
+    });
+    let sum_ranks: f64 = (0..64).map(|r| r as f64).sum();
+    for (r, &(acc, doubled)) in report.results.iter().enumerate() {
+        let expected: f64 = (0..5).map(|round| sum_ranks * round as f64).sum();
+        assert_eq!(acc, expected);
+        assert_eq!(doubled, r as f64 * 2.0);
+    }
+}
+
+#[test]
+fn deterministic_virtual_time_across_runs() {
+    let run = || {
+        Cluster::new(8, MachineModel::knl()) // noise ON — still deterministic
+            .modeled_ranks(1024)
+            .run(|ctx, world| {
+                for _ in 0..10 {
+                    let mut v = vec![1.0; 512];
+                    world.allreduce_sum(ctx, &mut v);
+                    ctx.compute_flops(1e6, 1e5);
+                }
+                ctx.clock()
+            })
+            .clocks
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "virtual clocks must be reproducible run-to-run");
+}
+
+#[test]
+fn deterministic_allreduce_data_with_noncommutative_floats() {
+    // Values chosen so that different summation orders give different
+    // last-ulp results; the slot-ordered reduction must be stable.
+    let run = || {
+        Cluster::new(16, MachineModel::deterministic())
+            .run(|ctx, world| {
+                let x = 0.1 * (world.rank() as f64 + 1.0) * 1e10_f64.powi((world.rank() % 3) as i32 - 1);
+                let mut v = vec![x];
+                world.allreduce_sum(ctx, &mut v);
+                v[0]
+            })
+            .results
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    // All ranks agree bitwise.
+    for w in a.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+}
+
+#[test]
+fn three_level_nesting_with_uneven_groups() {
+    // 12 ranks -> 3 groups of 4 -> 2 subgroups of 2.
+    let report = Cluster::new(12, MachineModel::deterministic()).run(|ctx, world| {
+        let g1 = world.split(ctx, (world.rank() % 3) as i64, world.rank() as i64);
+        assert_eq!(g1.size(), 4);
+        let g2 = g1.split(ctx, (g1.rank() / 2) as i64, g1.rank() as i64);
+        assert_eq!(g2.size(), 2);
+        let mut v = vec![1.0];
+        g2.allreduce_sum(ctx, &mut v);
+        // And the world still works afterwards.
+        let mut w = vec![1.0];
+        world.allreduce_sum(ctx, &mut w);
+        (v[0], w[0])
+    });
+    for &(sub, world_sum) in &report.results {
+        assert_eq!(sub, 2.0);
+        assert_eq!(world_sum, 12.0);
+    }
+}
+
+#[test]
+fn window_churn_many_windows() {
+    // Repeated create/use cycles must not leak state or deadlock.
+    let report = Cluster::new(6, MachineModel::deterministic()).run(|ctx, world| {
+        let mut total = 0.0;
+        for round in 0..8 {
+            let local: Vec<f64> =
+                (0..4).map(|i| (world.rank() * 100 + round * 10 + i) as f64).collect();
+            let win = Window::create(ctx, world, local);
+            win.fence(ctx, world);
+            let peer = (world.rank() + 1) % world.size();
+            let got = win.get(ctx, peer, 0..4);
+            total += got[0];
+            win.fence(ctx, world);
+        }
+        total
+    });
+    for (r, &t) in report.results.iter().enumerate() {
+        let peer = (r + 1) % 6;
+        let expected: f64 = (0..8).map(|round| (peer * 100 + round * 10) as f64).sum();
+        assert_eq!(t, expected);
+    }
+}
+
+#[test]
+fn concurrent_sibling_groups_do_not_interfere() {
+    // Two disjoint subgroups run different numbers of collectives
+    // concurrently; each must see only its own data.
+    let report = Cluster::new(8, MachineModel::deterministic()).run(|ctx, world| {
+        let color = (world.rank() < 4) as i64;
+        let sub = world.split(ctx, color, world.rank() as i64);
+        let rounds = if color == 1 { 7 } else { 3 };
+        let mut last = 0.0;
+        for _ in 0..rounds {
+            let mut v = vec![world.rank() as f64];
+            sub.allreduce_sum(ctx, &mut v);
+            last = v[0];
+        }
+        last
+    });
+    for (r, &v) in report.results.iter().enumerate() {
+        let expected = if r < 4 { 0.0 + 1.0 + 2.0 + 3.0 } else { 4.0 + 5.0 + 6.0 + 7.0 };
+        assert_eq!(v, expected);
+    }
+}
+
+#[test]
+fn ledger_phases_partition_the_clock() {
+    let report = Cluster::new(4, MachineModel::knl())
+        .modeled_ranks(4096)
+        .run(|ctx, world| {
+            ctx.charge_io(0.25);
+            ctx.compute_flops(1e8, 1e7);
+            let local = if world.rank() == 0 { vec![0.5; 128] } else { vec![] };
+            let win = Window::create(ctx, world, local);
+            let _ = win.get(ctx, 0, 0..64);
+            win.fence(ctx, world);
+            let mut v = vec![1.0; 64];
+            world.allreduce_sum(ctx, &mut v);
+        });
+    for (clock, l) in report.clocks.iter().zip(&report.ledgers) {
+        assert!((clock - l.total()).abs() < 1e-9);
+        assert!(l.get(Phase::DataIo) >= 0.25);
+        assert!(l.get(Phase::Compute) > 0.0);
+        assert!(l.get(Phase::Distribution) > 0.0);
+        assert!(l.get(Phase::Comm) > 0.0);
+    }
+}
+
+#[test]
+fn p2p_interleaved_with_collectives() {
+    let report = Cluster::new(4, MachineModel::deterministic()).run(|ctx, world| {
+        // Odd ranks send to even ranks, then everyone allreduces.
+        if world.rank() % 2 == 1 {
+            world.send(ctx, world.rank() - 1, 1, &[world.rank() as f64]);
+        }
+        let received = if world.rank() % 2 == 0 {
+            let (_, p) = world.recv(ctx, Some(world.rank() + 1), Some(1));
+            p[0]
+        } else {
+            0.0
+        };
+        let mut v = vec![received];
+        world.allreduce_sum(ctx, &mut v);
+        v[0]
+    });
+    for &v in &report.results {
+        assert_eq!(v, 1.0 + 3.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Distributed consensus LASSO-ADMM over the simulated cluster — the
+//! `ADMM_cores` solver of the paper (§II-C, §III-B1).
+//!
+//! The samples are split row-wise across the ranks of a communicator
+//! (`N/B` rows each, the paper's row-wise block striping); each rank `i`
+//! holds `(X_i, y_i)` and the global problem
+//!
+//! ```text
+//! minimize sum_i 1/2 ||X_i b_i - y_i||^2 + lambda ||z||_1
+//! subject to b_i = z
+//! ```
+//!
+//! is solved by consensus ADMM (Boyd et al. §8.2):
+//!
+//! ```text
+//! x_i <- (X_i^T X_i + rho I)^{-1} (X_i^T y_i + rho (z - u_i))   [local]
+//! z   <- S_{lambda/(rho B)}( mean_i(x_i + u_i) )                [Allreduce]
+//! u_i <- u_i + x_i - z                                          [local]
+//! ```
+//!
+//! The `MPI_Allreduce` of the z-update is the communication the paper's
+//! weak/strong-scaling figures are dominated by; every call here goes
+//! through [`Comm::allreduce_sum`] and is therefore both really executed
+//! and virtually timed. Setting `lambda = 0` yields distributed OLS, as
+//! the paper's model-estimation step does.
+
+use crate::admm::{
+    admm_factor_flops, admm_iter_flops, apply_inverse, factorize, AdmmConfig, AdmmSolution,
+    Factorization,
+};
+use crate::prox::soft_threshold_vec;
+use uoi_linalg::{gemv_t, Matrix};
+use uoi_mpisim::{Comm, RankCtx};
+
+/// A distributed LASSO/OLS solver bound to one rank's local data block,
+/// with the x-update factorisation cached across lambda values.
+pub struct DistLassoAdmm {
+    x_local: Matrix,
+    factor: Factorization,
+    cfg: AdmmConfig,
+}
+
+impl DistLassoAdmm {
+    /// Factor the local system and charge the setup flops.
+    pub fn new(ctx: &mut RankCtx, x_local: Matrix, cfg: AdmmConfig) -> Self {
+        assert!(cfg.rho > 0.0);
+        let (n, p) = x_local.shape();
+        ctx.compute_flops(admm_factor_flops(n, p), (n * p * 8) as f64);
+        let factor = factorize(&x_local, cfg.rho);
+        Self { x_local, factor, cfg }
+    }
+
+    /// The local design block.
+    pub fn local_design(&self) -> &Matrix {
+        &self.x_local
+    }
+
+    /// Solve for one lambda from a cold start. Collective over `comm`.
+    pub fn solve(
+        &self,
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        y_local: &[f64],
+        lambda: f64,
+    ) -> AdmmSolution {
+        let p = self.x_local.cols();
+        self.solve_warm(ctx, comm, y_local, lambda, vec![0.0; p], vec![0.0; p])
+    }
+
+    /// Warm-started solve (z carried across a lambda path).
+    pub fn solve_warm(
+        &self,
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        y_local: &[f64],
+        lambda: f64,
+        mut z: Vec<f64>,
+        mut u: Vec<f64>,
+    ) -> AdmmSolution {
+        let (n, p) = self.x_local.shape();
+        assert_eq!(y_local.len(), n, "local response length mismatch");
+        assert_eq!(z.len(), p);
+        assert_eq!(u.len(), p);
+        let b = comm.size() as f64;
+        let rho = self.cfg.rho;
+        // Consensus threshold: lambda / (rho * B).
+        let kappa = lambda / (rho * b);
+
+        let xty = gemv_t(&self.x_local, y_local);
+        ctx.compute_flops(2.0 * (n * p) as f64, (n * p * 8) as f64);
+
+        let working_set = ((n.min(p) * n.min(p) + n * p) * 8) as f64;
+        let mut z_old = vec![0.0; p];
+        let (mut r_norm, mut s_norm) = (f64::INFINITY, f64::INFINITY);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for it in 0..self.cfg.max_iter {
+            iterations = it + 1;
+            // Local x-update.
+            let mut rhs = xty.clone();
+            for ((r, zi), ui) in rhs.iter_mut().zip(&z).zip(&u) {
+                *r += rho * (zi - ui);
+            }
+            let x_i = apply_inverse(&self.x_local, &self.factor, rho, &rhs);
+            ctx.compute_flops(admm_iter_flops(n, p), working_set);
+
+            // z-update: allreduce the sum of (x_i + u_i), then threshold
+            // the mean. The residual norms piggyback as three extra
+            // scalars to keep one allreduce per iteration where possible;
+            // ||x_i - z||^2 needs the *new* z, so it rides the next
+            // iteration's reduction and the final check uses a dedicated
+            // small allreduce.
+            let mut payload: Vec<f64> = x_i.iter().zip(&u).map(|(a, c)| a + c).collect();
+            comm.allreduce_sum(ctx, &mut payload);
+            z_old.copy_from_slice(&z);
+            for v in &mut payload {
+                *v /= b;
+            }
+            if kappa > 0.0 {
+                soft_threshold_vec(&payload, kappa, &mut z);
+            } else {
+                z.copy_from_slice(&payload);
+            }
+            ctx.compute_membound((p * 8 * 3) as f64);
+
+            // u-update.
+            for ((ui, xi), zi) in u.iter_mut().zip(&x_i).zip(&z) {
+                *ui += xi - zi;
+            }
+
+            // Global residuals (small allreduce of 3 scalars).
+            let mut sums = [0.0_f64; 3];
+            for ((xi, zi), ui) in x_i.iter().zip(&z).zip(&u) {
+                sums[0] += (xi - zi) * (xi - zi);
+                sums[1] += xi * xi;
+                sums[2] += (rho * ui) * (rho * ui);
+            }
+            let mut sums_v = sums.to_vec();
+            comm.allreduce_sum(ctx, &mut sums_v);
+            r_norm = sums_v[0].sqrt();
+            let x_norm = sums_v[1].sqrt();
+            let u_norm = sums_v[2].sqrt();
+            let z_norm = uoi_linalg::norm2(&z) * b.sqrt();
+            let dz: f64 = z
+                .iter()
+                .zip(&z_old)
+                .map(|(a, c)| (a - c) * (a - c))
+                .sum::<f64>()
+                .sqrt();
+            s_norm = rho * dz * b.sqrt();
+
+            let sqrt_np = (b * p as f64).sqrt();
+            let eps_pri = sqrt_np * self.cfg.abstol
+                + self.cfg.reltol * x_norm.max(z_norm);
+            let eps_dual = sqrt_np * self.cfg.abstol + self.cfg.reltol * u_norm;
+            if r_norm <= eps_pri && s_norm <= eps_dual {
+                converged = true;
+                break;
+            }
+        }
+
+        AdmmSolution {
+            beta: z,
+            iterations,
+            primal_residual: r_norm,
+            dual_residual: s_norm,
+            converged,
+        }
+    }
+
+    /// Distributed OLS (`lambda = 0`) — the paper's estimation solver.
+    pub fn solve_ols(&self, ctx: &mut RankCtx, comm: &Comm, y_local: &[f64]) -> AdmmSolution {
+        self.solve(ctx, comm, y_local, 0.0)
+    }
+
+    /// Solve a whole lambda path (largest first) with warm starts.
+    pub fn solve_path(
+        &self,
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        y_local: &[f64],
+        lambdas: &[f64],
+    ) -> Vec<AdmmSolution> {
+        let p = self.x_local.cols();
+        let mut z = vec![0.0; p];
+        let mut out = Vec::with_capacity(lambdas.len());
+        for &lam in lambdas {
+            let sol = self.solve_warm(ctx, comm, y_local, lam, z.clone(), vec![0.0; p]);
+            z.clone_from(&sol.beta);
+            out.push(sol);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admm::LassoAdmm;
+    use crate::diagnostics::lasso_kkt_violation;
+    use uoi_mpisim::{Cluster, MachineModel, Phase};
+
+    /// Deterministic test problem: y depends on features 0 and 3.
+    fn problem(n: usize, p: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, p, |i, j| {
+            ((((i + 1) * (j + 7) * 2654435761_usize) % 1009) as f64 - 504.0) / 504.0
+        });
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.5 * x[(i, 0)] - 1.2 * x[(i, 3)] + 0.05 * (((i * 13) % 7) as f64 - 3.0))
+            .collect();
+        (x, y)
+    }
+
+    fn dist_solve(ranks: usize, lambda: f64) -> (Vec<f64>, Matrix, Vec<f64>) {
+        let (x, y) = problem(48, 6);
+        let rows_per = 48 / ranks;
+        let (x_ref, y_ref) = (x.clone(), y.clone());
+        let report = Cluster::new(ranks, MachineModel::deterministic()).run(move |ctx, comm| {
+            let r = comm.rank();
+            let x_local = x_ref.rows_range(r * rows_per, (r + 1) * rows_per);
+            let y_local = y_ref[r * rows_per..(r + 1) * rows_per].to_vec();
+            let solver = DistLassoAdmm::new(
+                ctx,
+                x_local,
+                AdmmConfig { max_iter: 6000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
+            );
+            solver.solve(ctx, comm, &y_local, lambda).beta
+        });
+        (report.results[0].clone(), x, y)
+    }
+
+    #[test]
+    fn distributed_matches_serial_lasso() {
+        let lambda = 0.8;
+        let (beta_dist, x, y) = dist_solve(4, lambda);
+        let serial = LassoAdmm::new(
+            x.clone(),
+            AdmmConfig { max_iter: 6000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
+        )
+        .solve(&y, lambda);
+        for (a, b) in beta_dist.iter().zip(&serial.beta) {
+            assert!((a - b).abs() < 5e-3, "dist {a} vs serial {b}");
+        }
+        // And the distributed solution satisfies global KKT.
+        assert!(lasso_kkt_violation(&x, &y, &beta_dist, lambda) < 5e-3);
+    }
+
+    #[test]
+    fn all_ranks_agree_on_z() {
+        let (x, y) = problem(32, 5);
+        let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, comm| {
+            let r = comm.rank();
+            let x_local = x.rows_range(r * 8, (r + 1) * 8);
+            let y_local = y[r * 8..(r + 1) * 8].to_vec();
+            let solver = DistLassoAdmm::new(ctx, x_local, AdmmConfig::default());
+            solver.solve(ctx, comm, &y_local, 0.5).beta
+        });
+        for r in 1..4 {
+            assert_eq!(report.results[0], report.results[r], "consensus broken");
+        }
+    }
+
+    #[test]
+    fn distributed_ols_matches_exact() {
+        let (x, y) = problem(40, 4);
+        let (x_ref, y_ref) = (x.clone(), y.clone());
+        let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, comm| {
+            let r = comm.rank();
+            let x_local = x_ref.rows_range(r * 10, (r + 1) * 10);
+            let y_local = y_ref[r * 10..(r + 1) * 10].to_vec();
+            let solver = DistLassoAdmm::new(
+                ctx,
+                x_local,
+                AdmmConfig { max_iter: 8000, abstol: 1e-11, reltol: 1e-10, ..Default::default() },
+            );
+            solver.solve_ols(ctx, comm, &y_local).beta
+        });
+        let exact = uoi_linalg::solve_normal_equations(&x, &y, 0.0).unwrap();
+        for (a, b) in report.results[0].iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-3, "ols dist {a} vs exact {b}");
+        }
+    }
+
+    #[test]
+    fn communication_time_recorded() {
+        let (x, y) = problem(32, 5);
+        let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, comm| {
+            let r = comm.rank();
+            let solver = DistLassoAdmm::new(
+                ctx,
+                x.rows_range(r * 8, (r + 1) * 8),
+                AdmmConfig::default(),
+            );
+            let _ = solver.solve(ctx, comm, &y[r * 8..(r + 1) * 8], 0.5);
+            ctx.ledger()
+        });
+        for l in &report.results {
+            assert!(l.get(Phase::Compute) > 0.0);
+            assert!(l.get(Phase::Comm) > 0.0);
+        }
+        assert!(report.allreduce_events().count() >= 2);
+    }
+
+    #[test]
+    fn path_warm_start_matches_cold() {
+        let (x, y) = problem(48, 6);
+        let lambdas = [3.0, 1.0, 0.3];
+        let (x_ref, y_ref) = (x.clone(), y.clone());
+        let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, comm| {
+            let r = comm.rank();
+            let x_local = x_ref.rows_range(r * 12, (r + 1) * 12);
+            let y_local = y_ref[r * 12..(r + 1) * 12].to_vec();
+            let solver = DistLassoAdmm::new(
+                ctx,
+                x_local,
+                AdmmConfig { max_iter: 6000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
+            );
+            solver
+                .solve_path(ctx, comm, &y_local, &lambdas)
+                .into_iter()
+                .map(|s| s.beta)
+                .collect::<Vec<_>>()
+        });
+        for (i, &lam) in lambdas.iter().enumerate() {
+            let (cold, _, _) = dist_solve(4, lam);
+            for (a, b) in report.results[0][i].iter().zip(&cold) {
+                assert!((a - b).abs() < 5e-3, "lambda {lam}: warm {a} vs cold {b}");
+            }
+        }
+    }
+}

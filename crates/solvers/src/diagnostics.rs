@@ -1,0 +1,75 @@
+//! Optimality diagnostics: KKT/subgradient checks used by the test suite
+//! to certify solver correctness independently of any reference solver.
+
+use uoi_linalg::{gemv, gemv_t, norm1, Matrix};
+
+/// Maximum KKT violation of a candidate LASSO solution for
+/// `1/2 ||y - X b||^2 + lambda ||b||_1`:
+///
+/// * on the support: `|X_j^T (y - X b) - lambda sign(b_j)|`,
+/// * off the support: `max(|X_j^T (y - X b)| - lambda, 0)`.
+pub fn lasso_kkt_violation(x: &Matrix, y: &[f64], beta: &[f64], lambda: f64) -> f64 {
+    let pred = gemv(x, beta);
+    let resid: Vec<f64> = y.iter().zip(&pred).map(|(yi, pi)| yi - pi).collect();
+    let grad = gemv_t(x, &resid); // X^T (y - X b)
+    let mut worst = 0.0_f64;
+    for (j, &b) in beta.iter().enumerate() {
+        let g = grad[j];
+        let v = if b.abs() > 1e-10 {
+            (g - lambda * b.signum()).abs()
+        } else {
+            (g.abs() - lambda).max(0.0)
+        };
+        worst = worst.max(v);
+    }
+    worst
+}
+
+/// The LASSO objective value `1/2 ||y - X b||^2 + lambda ||b||_1`.
+pub fn lasso_objective(x: &Matrix, y: &[f64], beta: &[f64], lambda: f64) -> f64 {
+    let pred = gemv(x, beta);
+    let rss: f64 = y.iter().zip(&pred).map(|(yi, pi)| (yi - pi) * (yi - pi)).sum();
+    0.5 * rss + lambda * norm1(beta)
+}
+
+/// Gradient-norm optimality of an OLS candidate: `||X^T (y - X b)||_inf`.
+pub fn ols_gradient_norm(x: &Matrix, y: &[f64], beta: &[f64]) -> f64 {
+    let pred = gemv(x, beta);
+    let resid: Vec<f64> = y.iter().zip(&pred).map(|(yi, pi)| yi - pi).collect();
+    uoi_linalg::norm_inf(&gemv_t(x, &resid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_beta_kkt_at_lambda_max() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[2.0, 0.0]]);
+        let y = [1.0, 2.0, 1.0];
+        let lmax = crate::lambda::lambda_max(&x, &y);
+        assert!(lmax > 0.0, "degenerate test data");
+        let beta = [0.0, 0.0];
+        assert!(lasso_kkt_violation(&x, &y, &beta, lmax) < 1e-12);
+        // Below lambda_max, zero is no longer optimal.
+        assert!(lasso_kkt_violation(&x, &y, &beta, lmax * 0.5) > 0.0);
+    }
+
+    #[test]
+    fn objective_decomposes() {
+        let x = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let y = [1.0, 1.0];
+        // beta = 1: rss = 0, penalty = lambda.
+        assert!((lasso_objective(&x, &y, &[1.0], 0.7) - 0.7).abs() < 1e-12);
+        // beta = 0: rss = 2, objective = 1.
+        assert!((lasso_objective(&x, &y, &[0.0], 0.7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ols_gradient_zero_at_exact_fit() {
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let y = [2.0, -1.0, 1.0];
+        let beta = [2.0, -1.0];
+        assert!(ols_gradient_norm(&x, &y, &beta) < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+//! Regularisation-path construction: the `q` lambda values of the UoI
+//! selection sweep (Algorithm 1 line 4).
+
+use uoi_linalg::{gemv_t, norm_inf, Matrix};
+
+/// The smallest lambda for which the LASSO solution is all-zero under the
+/// `1/2 ||y - X b||^2 + lambda ||b||_1` convention: `||X^T y||_inf`.
+pub fn lambda_max(x: &Matrix, y: &[f64]) -> f64 {
+    norm_inf(&gemv_t(x, y))
+}
+
+/// A geometric grid of `q` values from `lambda_max` down to
+/// `eps * lambda_max` (inclusive), largest first.
+pub fn lambda_path(x: &Matrix, y: &[f64], q: usize, eps: f64) -> Vec<f64> {
+    assert!(q >= 1, "need at least one lambda");
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    let lmax = lambda_max(x, y).max(1e-12);
+    geometric_grid(lmax, eps * lmax, q)
+}
+
+/// A geometric grid from `hi` down to `lo` with `q` points.
+pub fn geometric_grid(hi: f64, lo: f64, q: usize) -> Vec<f64> {
+    assert!(hi >= lo && lo > 0.0);
+    if q == 1 {
+        return vec![hi];
+    }
+    let ratio = (lo / hi).powf(1.0 / (q - 1) as f64);
+    (0..q).map(|i| hi * ratio.powi(i as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_endpoints_and_monotone() {
+        let g = geometric_grid(10.0, 0.1, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 10.0).abs() < 1e-12);
+        assert!((g[4] - 0.1).abs() < 1e-12);
+        for w in g.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn single_point_grid() {
+        assert_eq!(geometric_grid(5.0, 1.0, 1), vec![5.0]);
+    }
+
+    #[test]
+    fn lambda_max_kills_all_coefficients() {
+        // At lambda = ||X^T y||_inf the KKT condition |X^T y| <= lambda
+        // holds with beta = 0.
+        let x = Matrix::from_rows(&[&[1.0, 0.5], &[-0.5, 2.0], &[0.0, 1.0]]);
+        let y = [1.0, -1.0, 0.5];
+        let lmax = lambda_max(&x, &y);
+        let grad = gemv_t(&x, &y);
+        assert!(grad.iter().all(|g| g.abs() <= lmax + 1e-12));
+        assert!(grad.iter().any(|g| (g.abs() - lmax).abs() < 1e-12));
+    }
+
+    #[test]
+    fn path_spans_requested_range() {
+        let x = Matrix::from_fn(20, 6, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 0.37).sin()).collect();
+        let path = lambda_path(&x, &y, 8, 1e-2);
+        assert_eq!(path.len(), 8);
+        assert!((path[0] - lambda_max(&x, &y)).abs() < 1e-10);
+        assert!((path[7] - 0.01 * lambda_max(&x, &y)).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,108 @@
+//! Support-restricted ordinary least squares — the unbiased estimator of
+//! the UoI model-estimation step (Algorithm 1 line 18): given a candidate
+//! support `S_j`, fit OLS on the columns of `X` indexed by `S_j` and embed
+//! the coefficients back into a full-length vector.
+
+use uoi_linalg::{qr_least_squares, solve_normal_equations, Matrix};
+
+/// OLS restricted to `support`; returns a length-`p` vector with zeros off
+/// the support. An empty support returns all zeros.
+///
+/// The fast path is the Cholesky normal-equations solve; singular or
+/// near-singular restricted designs (bootstrap resamples with collinear
+/// or duplicated columns) fall back to a rank-revealing Householder QR
+/// basic solution, and supports wider than the sample count fall back to
+/// a minimum-norm ridge solve.
+pub fn ols_on_support(x: &Matrix, y: &[f64], support: &[usize]) -> Vec<f64> {
+    let p = x.cols();
+    let mut beta = vec![0.0; p];
+    if support.is_empty() {
+        return beta;
+    }
+    let xs = x.gather_cols(support);
+    let coef = if xs.rows() >= xs.cols() {
+        match solve_normal_equations(&xs, y, 0.0) {
+            Ok(c) => c,
+            Err(_) => qr_least_squares(&xs, y)
+                .expect("rows >= cols checked above"),
+        }
+    } else {
+        // Over-wide support (possible for tiny evaluation folds): a small
+        // ridge keeps the system determined.
+        solve_normal_equations(&xs, y, 1e-6)
+            .expect("ridge-regularised system must be SPD")
+    };
+    for (&j, &c) in support.iter().zip(&coef) {
+        beta[j] = c;
+    }
+    beta
+}
+
+/// The support (indices of entries with `|b| > tol`) of a coefficient
+/// vector, sorted.
+pub fn support_of(beta: &[f64], tol: f64) -> Vec<usize> {
+    beta.iter()
+        .enumerate()
+        .filter(|(_, b)| b.abs() > tol)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_recovery_on_true_support() {
+        let n = 30;
+        let x = Matrix::from_fn(n, 5, |i, j| (((i + 1) * (j + 2) * 2654435761_usize) % 97) as f64 / 48.5 - 1.0);
+        let y: Vec<f64> = (0..n).map(|i| 3.0 * x[(i, 1)] - 2.0 * x[(i, 3)]).collect();
+        let beta = ols_on_support(&x, &y, &[1, 3]);
+        assert!((beta[1] - 3.0).abs() < 1e-8);
+        assert!((beta[3] + 2.0).abs() < 1e-8);
+        assert_eq!(beta[0], 0.0);
+        assert_eq!(beta[2], 0.0);
+        assert_eq!(beta[4], 0.0);
+    }
+
+    #[test]
+    fn empty_support_all_zero() {
+        let x = Matrix::identity(4);
+        let beta = ols_on_support(&x, &[1.0, 2.0, 3.0, 4.0], &[]);
+        assert_eq!(beta, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn collinear_columns_fall_back_to_qr() {
+        // Two identical columns: the restricted Gram is singular.
+        let x = Matrix::from_fn(10, 2, |i, _| (i as f64) - 4.5);
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * ((i as f64) - 4.5)).collect();
+        let beta = ols_on_support(&x, &y, &[0, 1]);
+        // The QR basic solution zeroes the redundant pivot; prediction
+        // must still be near-exact.
+        let pred = uoi_linalg::gemv(&x, &beta);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn over_wide_support_uses_ridge() {
+        // More support columns than rows: must not panic, and must
+        // still predict reasonably.
+        let x = Matrix::from_fn(4, 8, |i, j| ((i * 8 + j * 3) % 7) as f64 - 3.0);
+        let y = [1.0, -1.0, 2.0, 0.5];
+        let beta = ols_on_support(&x, &y, &(0..8).collect::<Vec<_>>());
+        assert!(beta.iter().all(|b| b.is_finite()));
+        let pred = uoi_linalg::gemv(&x, &beta);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 0.1, "{p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn support_of_thresholds() {
+        assert_eq!(support_of(&[0.0, 1e-12, -0.5, 2.0], 1e-10), vec![2, 3]);
+        assert_eq!(support_of(&[], 0.0), Vec::<usize>::new());
+    }
+}

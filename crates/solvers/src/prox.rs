@@ -1,0 +1,123 @@
+//! Proximal operators: the soft-thresholding map at the heart of the
+//! LASSO-ADMM z-update, and the MCP prox used by the non-convex baseline.
+
+/// Scalar soft threshold `S_k(a) = sign(a) * max(|a| - k, 0)` — the
+/// proximal operator of `k * |.|`.
+#[inline]
+pub fn soft_threshold(a: f64, k: f64) -> f64 {
+    if a > k {
+        a - k
+    } else if a < -k {
+        a + k
+    } else {
+        0.0
+    }
+}
+
+/// Elementwise soft threshold into `out`.
+pub fn soft_threshold_vec(a: &[f64], k: f64, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), out.len());
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = soft_threshold(x, k);
+    }
+}
+
+/// The minimax-concave-penalty (MCP) scalar prox with unit curvature
+/// denominator: for the coordinate-descent update with penalty level
+/// `lambda` and concavity `gamma > 1`:
+/// `|z| <= gamma*lambda  ->  S_lambda(z) / (1 - 1/gamma)`, else `z`.
+#[inline]
+pub fn mcp_threshold(z: f64, lambda: f64, gamma: f64) -> f64 {
+    debug_assert!(gamma > 1.0, "MCP needs gamma > 1");
+    if z.abs() <= gamma * lambda {
+        soft_threshold(z, lambda) / (1.0 - 1.0 / gamma)
+    } else {
+        z
+    }
+}
+
+/// The SCAD (smoothly clipped absolute deviation) scalar threshold for
+/// coordinate descent with unit column scaling: soft-thresholding near
+/// zero, a linearly interpolated region, and no shrinkage beyond
+/// `gamma * lambda` (Fan & Li 2001). The paper cites SCAD alongside MCP
+/// as the non-convex alternatives UoI avoids having to distribute.
+#[inline]
+pub fn scad_threshold(z: f64, lambda: f64, gamma: f64) -> f64 {
+    debug_assert!(gamma > 2.0, "SCAD needs gamma > 2");
+    let az = z.abs();
+    if az <= 2.0 * lambda {
+        soft_threshold(z, lambda)
+    } else if az <= gamma * lambda {
+        soft_threshold(z, gamma * lambda / (gamma - 1.0)) / (1.0 - 1.0 / (gamma - 1.0))
+    } else {
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(1.0, 1.0), 0.0);
+        assert_eq!(soft_threshold(2.0, 0.0), 2.0);
+    }
+
+    #[test]
+    fn soft_threshold_is_prox_of_l1() {
+        // prox minimises k|x| + 0.5 (x - a)^2; check against a grid search.
+        let (a, k) = (1.7, 0.6);
+        let p = soft_threshold(a, k);
+        let obj = |x: f64| k * x.abs() + 0.5 * (x - a) * (x - a);
+        let best = (-300..300)
+            .map(|i| i as f64 / 100.0)
+            .fold(f64::INFINITY, |m, x| m.min(obj(x)));
+        assert!(obj(p) <= best + 1e-4);
+    }
+
+    #[test]
+    fn vector_version_matches_scalar() {
+        let a = [2.0, -0.3, 0.0, -5.0];
+        let mut out = [0.0; 4];
+        soft_threshold_vec(&a, 1.0, &mut out);
+        assert_eq!(out, [1.0, 0.0, 0.0, -4.0]);
+    }
+
+    #[test]
+    fn scad_three_regimes() {
+        let (lam, gamma) = (1.0, 3.7);
+        // Near zero: soft threshold.
+        assert_eq!(scad_threshold(1.5, lam, gamma), soft_threshold(1.5, lam));
+        // Beyond gamma*lambda: identity (unbiased).
+        assert_eq!(scad_threshold(5.0, lam, gamma), 5.0);
+        // Middle region: between the two, continuous-ish and sign-preserving.
+        let m = scad_threshold(3.0, lam, gamma);
+        assert!(m > soft_threshold(3.0, lam) && m < 3.0, "middle regime {m}");
+        assert_eq!(scad_threshold(-5.0, lam, gamma), -5.0);
+        assert!(scad_threshold(-3.0, lam, gamma) < 0.0);
+        // Shrinks less than LASSO everywhere.
+        for z in [-4.0, -2.5, -1.2, 0.3, 2.2, 3.5] {
+            assert!(scad_threshold(z, lam, gamma).abs() >= soft_threshold(z, lam).abs() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn mcp_unbiased_beyond_knot() {
+        // Beyond gamma*lambda MCP applies no shrinkage (the low-bias
+        // property the paper contrasts UoI against).
+        assert_eq!(mcp_threshold(10.0, 1.0, 3.0), 10.0);
+        // Inside the knot it shrinks more gently than soft thresholding
+        // scaled back.
+        let z = 2.0;
+        let m = mcp_threshold(z, 1.0, 3.0);
+        assert!(m > soft_threshold(z, 1.0));
+        assert!(m < z);
+        // At zero crossing behaves like lasso.
+        assert_eq!(mcp_threshold(0.5, 1.0, 3.0), 0.0);
+    }
+}

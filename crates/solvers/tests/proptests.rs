@@ -1,0 +1,119 @@
+//! Property-based tests of the optimisation layer: prox maps, KKT
+//! optimality of the solvers across random problems, and cross-solver
+//! agreement (ADMM vs coordinate descent).
+
+use proptest::prelude::*;
+use uoi_linalg::Matrix;
+use uoi_solvers::{
+    lasso_cd, lasso_kkt_violation, lasso_objective, mcp_threshold, ols_on_support,
+    soft_threshold, support_of, AdmmConfig, CdConfig, LassoAdmm,
+};
+
+fn problem_strategy() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (4usize..20, 2usize..8, 0u64..500).prop_map(|(n, p, seed)| {
+        let x = Matrix::from_fn(n, p, |i, j| {
+            let h = (i * 131 + j * 37 + seed as usize * 97) % 1009;
+            (h as f64 - 504.0) / 504.0
+        });
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                2.0 * x[(i, 0)] - x[(i, p - 1)]
+                    + 0.05 * (((i * 7 + seed as usize) % 11) as f64 - 5.0)
+            })
+            .collect();
+        (x, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn soft_threshold_properties(a in -100.0..100.0f64, k in 0.0..50.0f64) {
+        let s = soft_threshold(a, k);
+        // Shrinks toward zero, never past it, never changes sign.
+        prop_assert!(s.abs() <= a.abs());
+        prop_assert!(s * a >= 0.0);
+        prop_assert!((a.abs() - s.abs() - k.min(a.abs())).abs() < 1e-12);
+        // Firm nonexpansiveness in 1D: |S(a) - S(b)| <= |a - b|.
+        let b = a * 0.5 + 1.0;
+        prop_assert!((s - soft_threshold(b, k)).abs() <= (a - b).abs() + 1e-12);
+    }
+
+    #[test]
+    fn mcp_between_soft_and_identity(z in -20.0..20.0f64, lam in 0.01..5.0f64, gamma in 1.5..10.0f64) {
+        let m = mcp_threshold(z, lam, gamma);
+        let s = soft_threshold(z, lam);
+        prop_assert!(m.abs() + 1e-12 >= s.abs(), "MCP shrinks no more than soft");
+        prop_assert!(m.abs() <= z.abs() + 1e-12, "MCP never expands");
+        prop_assert!(m * z >= 0.0);
+    }
+
+    #[test]
+    fn cd_solution_is_kkt_optimal((x, y) in problem_strategy(), lam_frac in 0.02..0.8f64) {
+        let lam = uoi_solvers::lambda_max(&x, &y).max(1e-9) * lam_frac;
+        let beta = lasso_cd(&x, &y, lam, &CdConfig { max_sweeps: 3000, tol: 1e-11 });
+        prop_assert!(lasso_kkt_violation(&x, &y, &beta, lam) < 1e-5);
+    }
+
+    #[test]
+    fn admm_matches_cd((x, y) in problem_strategy(), lam_frac in 0.05..0.6f64) {
+        let lam = uoi_solvers::lambda_max(&x, &y).max(1e-9) * lam_frac;
+        let cd = lasso_cd(&x, &y, lam, &CdConfig { max_sweeps: 3000, tol: 1e-11 });
+        let admm = LassoAdmm::new(
+            x.clone(),
+            AdmmConfig { max_iter: 8000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
+        )
+        .solve(&y, lam);
+        // Objectives agree even when near-degenerate coordinates differ.
+        let o_cd = lasso_objective(&x, &y, &cd, lam);
+        let o_admm = lasso_objective(&x, &y, &admm.beta, lam);
+        prop_assert!((o_cd - o_admm).abs() <= 1e-3 * (1.0 + o_cd.abs()),
+            "objectives {o_cd} vs {o_admm}");
+    }
+
+    #[test]
+    fn lasso_objective_at_solution_not_above_zero_vector((x, y) in problem_strategy(), lam_frac in 0.05..0.9f64) {
+        let lam = uoi_solvers::lambda_max(&x, &y).max(1e-9) * lam_frac;
+        let beta = lasso_cd(&x, &y, lam, &CdConfig::default());
+        let zero = vec![0.0; x.cols()];
+        prop_assert!(
+            lasso_objective(&x, &y, &beta, lam)
+                <= lasso_objective(&x, &y, &zero, lam) + 1e-9
+        );
+    }
+
+    #[test]
+    fn ols_support_restriction_consistent((x, y) in problem_strategy()) {
+        let p = x.cols();
+        let support: Vec<usize> = (0..p).step_by(2).collect();
+        let beta = ols_on_support(&x, &y, &support);
+        // Zeros off support.
+        for (j, b) in beta.iter().enumerate() {
+            if !support.contains(&j) {
+                prop_assert_eq!(*b, 0.0);
+            }
+        }
+        // Support of the result is inside the requested support.
+        for j in support_of(&beta, 0.0) {
+            prop_assert!(support.contains(&j));
+        }
+    }
+
+    #[test]
+    fn lambda_monotonicity_of_sparsity((x, y) in problem_strategy()) {
+        let lmax = uoi_solvers::lambda_max(&x, &y).max(1e-9);
+        let solver = LassoAdmm::new(
+            x.clone(),
+            AdmmConfig { max_iter: 4000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
+        );
+        let lo = solver.solve(&y, 0.05 * lmax);
+        let hi = solver.solve(&y, 0.8 * lmax);
+        let nnz = |b: &[f64]| b.iter().filter(|v| v.abs() > 1e-7).count();
+        // Not strictly guaranteed pointwise for LASSO, but holds for the
+        // objective-level check: higher lambda gives smaller L1 norm.
+        let l1 = |b: &[f64]| b.iter().map(|v| v.abs()).sum::<f64>();
+        prop_assert!(l1(&hi.beta) <= l1(&lo.beta) + 1e-9);
+        prop_assert!(nnz(&hi.beta) <= x.cols());
+    }
+}

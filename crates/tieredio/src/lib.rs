@@ -1,0 +1,16 @@
+//! # uoi-tieredio
+//!
+//! The parallel-I/O substrate: an HDF5 stand-in ([`shf`]) plus the paper's
+//! two data-distribution strategies ([`distribution`]) — the conventional
+//! single-reader baseline and the three-tier Randomized Data Distribution
+//! (T0 source file → T1 parallel contiguous hyperslab reads → T2 one-sided
+//! random shuffle). Table II of the paper compares exactly these two.
+
+pub mod distribution;
+pub mod shf;
+
+pub use distribution::{
+    block_owner, block_range, conventional, randomized, tier2_shuffle, ConventionalConfig,
+    DistTiming,
+};
+pub use shf::{write_matrix, ShfDataset, ShfError};

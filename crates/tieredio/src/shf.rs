@@ -1,0 +1,239 @@
+//! SHF — a simple hierarchical-format stand-in for HDF5.
+//!
+//! A single 2-D `f64` dataset per file, row-major, little-endian, with a
+//! small fixed header. The only HDF5 capabilities the paper's pipeline
+//! uses are (a) a parallel-readable contiguous layout and (b) *hyperslab*
+//! selection (a contiguous row/column block); SHF provides exactly those.
+//!
+//! Layout:
+//! ```text
+//! offset 0:  magic  b"SHF1"
+//! offset 4:  u32    reserved (0)
+//! offset 8:  u64    rows (LE)
+//! offset 16: u64    cols (LE)
+//! offset 24: rows*cols f64 values, row-major, LE
+//! ```
+
+use bytes::{Buf, BufMut};
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use uoi_linalg::Matrix;
+
+const MAGIC: &[u8; 4] = b"SHF1";
+const HEADER_LEN: u64 = 24;
+
+/// Errors from SHF operations.
+#[derive(Debug)]
+pub enum ShfError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not an SHF container.
+    BadMagic,
+    /// A requested hyperslab exceeds the dataset bounds.
+    OutOfBounds {
+        /// Requested row/col extent description.
+        what: &'static str,
+    },
+}
+
+impl From<io::Error> for ShfError {
+    fn from(e: io::Error) -> Self {
+        ShfError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ShfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShfError::Io(e) => write!(f, "shf io error: {e}"),
+            ShfError::BadMagic => write!(f, "not an SHF file (bad magic)"),
+            ShfError::OutOfBounds { what } => write!(f, "hyperslab out of bounds: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ShfError {}
+
+/// Write `matrix` as an SHF file at `path` (truncating).
+pub fn write_matrix(path: &Path, matrix: &Matrix) -> Result<(), ShfError> {
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.put_slice(MAGIC);
+    header.put_u32_le(0);
+    header.put_u64_le(matrix.rows() as u64);
+    header.put_u64_le(matrix.cols() as u64);
+
+    let mut file = io::BufWriter::new(File::create(path)?);
+    file.write_all(&header)?;
+    // Stream rows to bound the temporary buffer.
+    let mut buf = Vec::with_capacity(matrix.cols() * 8);
+    for i in 0..matrix.rows() {
+        buf.clear();
+        for &v in matrix.row(i) {
+            buf.put_f64_le(v);
+        }
+        file.write_all(&buf)?;
+    }
+    file.flush()?;
+    Ok(())
+}
+
+/// An opened SHF dataset. Cheap to clone; each hyperslab read opens its
+/// own file handle, so concurrent reads from many rank threads are safe.
+#[derive(Debug, Clone)]
+pub struct ShfDataset {
+    path: PathBuf,
+    rows: usize,
+    cols: usize,
+}
+
+impl ShfDataset {
+    /// Open and validate the header.
+    pub fn open(path: &Path) -> Result<Self, ShfError> {
+        let mut f = File::open(path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        f.read_exact(&mut header)?;
+        let mut cursor = &header[..];
+        let mut magic = [0u8; 4];
+        cursor.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(ShfError::BadMagic);
+        }
+        let _reserved = cursor.get_u32_le();
+        let rows = cursor.get_u64_le() as usize;
+        let cols = cursor.get_u64_le() as usize;
+        Ok(Self { path: path.to_path_buf(), rows, cols })
+    }
+
+    /// Dataset row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dataset column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total payload bytes (the paper's "data set size").
+    pub fn payload_bytes(&self) -> u64 {
+        self.rows as u64 * self.cols as u64 * 8
+    }
+
+    /// Read the contiguous row hyperslab `[row_start, row_end)` with all
+    /// columns — the Tier-1 read unit.
+    pub fn read_rows(&self, row_start: usize, row_end: usize) -> Result<Matrix, ShfError> {
+        if row_start > row_end || row_end > self.rows {
+            return Err(ShfError::OutOfBounds { what: "row range" });
+        }
+        let nrows = row_end - row_start;
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(
+            HEADER_LEN + (row_start * self.cols * 8) as u64,
+        ))?;
+        let mut raw = vec![0u8; nrows * self.cols * 8];
+        f.read_exact(&mut raw)?;
+        let mut data = Vec::with_capacity(nrows * self.cols);
+        let mut cursor = &raw[..];
+        for _ in 0..nrows * self.cols {
+            data.push(cursor.get_f64_le());
+        }
+        Ok(Matrix::from_vec(nrows, self.cols, data))
+    }
+
+    /// Read a general hyperslab: rows `[r0, r1)` x cols `[c0, c1)`.
+    pub fn read_hyperslab(
+        &self,
+        r0: usize,
+        r1: usize,
+        c0: usize,
+        c1: usize,
+    ) -> Result<Matrix, ShfError> {
+        if c0 > c1 || c1 > self.cols {
+            return Err(ShfError::OutOfBounds { what: "col range" });
+        }
+        let full = self.read_rows(r0, r1)?;
+        let idx: Vec<usize> = (c0..c1).collect();
+        Ok(full.gather_cols(&idx))
+    }
+
+    /// Read the whole dataset.
+    pub fn read_all(&self) -> Result<Matrix, ShfError> {
+        self.read_rows(0, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("uoi_shf_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_whole_matrix() {
+        let path = temp_path("roundtrip");
+        let m = Matrix::from_fn(17, 5, |i, j| (i * 5 + j) as f64 * 0.25 - 3.0);
+        write_matrix(&path, &m).unwrap();
+        let ds = ShfDataset::open(&path).unwrap();
+        assert_eq!(ds.rows(), 17);
+        assert_eq!(ds.cols(), 5);
+        assert_eq!(ds.payload_bytes(), 17 * 5 * 8);
+        let back = ds.read_all().unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn row_hyperslab_matches_slice() {
+        let path = temp_path("rows");
+        let m = Matrix::from_fn(20, 3, |i, j| (i * 31 + j * 7) as f64);
+        write_matrix(&path, &m).unwrap();
+        let ds = ShfDataset::open(&path).unwrap();
+        let slab = ds.read_rows(5, 12).unwrap();
+        assert_eq!(slab, m.rows_range(5, 12));
+        // Empty slab is legal.
+        assert_eq!(ds.read_rows(4, 4).unwrap().rows(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn general_hyperslab() {
+        let path = temp_path("slab");
+        let m = Matrix::from_fn(10, 8, |i, j| (100 * i + j) as f64);
+        write_matrix(&path, &m).unwrap();
+        let ds = ShfDataset::open(&path).unwrap();
+        let slab = ds.read_hyperslab(2, 5, 3, 6).unwrap();
+        assert_eq!(slab.shape(), (3, 3));
+        assert_eq!(slab[(0, 0)], 203.0);
+        assert_eq!(slab[(2, 2)], 405.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let path = temp_path("oob");
+        write_matrix(&path, &Matrix::zeros(4, 4)).unwrap();
+        let ds = ShfDataset::open(&path).unwrap();
+        assert!(matches!(
+            ds.read_rows(0, 5),
+            Err(ShfError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            ds.read_hyperslab(0, 2, 3, 9),
+            Err(ShfError::OutOfBounds { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTSHF__________________________").unwrap();
+        assert!(matches!(ShfDataset::open(&path), Err(ShfError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the SHF container and the distribution
+//! strategies: arbitrary matrices round-trip through disk, arbitrary
+//! hyperslabs match in-memory slices, and both distribution strategies
+//! always deliver identical data.
+
+use proptest::prelude::*;
+use uoi_linalg::Matrix;
+use uoi_mpisim::{Cluster, MachineModel};
+use uoi_tieredio::distribution::{block_owner, block_range};
+use uoi_tieredio::{conventional, randomized, write_matrix, ConventionalConfig, ShfDataset};
+
+fn temp_path(tag: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "uoi_prop_{}_{}_{tag}.shf",
+        std::process::id(),
+        std::thread::current().name().unwrap_or("t").len()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shf_roundtrip(rows in 1usize..40, cols in 1usize..20, seed in 0u64..1000) {
+        let m = Matrix::from_fn(rows, cols, |i, j| {
+            ((i * 31 + j * 17 + seed as usize) as f64) * 0.37 - 100.0
+        });
+        let path = temp_path(seed);
+        write_matrix(&path, &m).unwrap();
+        let ds = ShfDataset::open(&path).unwrap();
+        prop_assert_eq!(ds.rows(), rows);
+        prop_assert_eq!(ds.cols(), cols);
+        prop_assert_eq!(ds.read_all().unwrap(), m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hyperslab_matches_memory(
+        rows in 4usize..30,
+        cols in 2usize..10,
+        frac in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let m = Matrix::from_fn(rows, cols, |i, j| (i * cols + j) as f64 + seed as f64);
+        let path = temp_path(seed.wrapping_add(7_000_000));
+        write_matrix(&path, &m).unwrap();
+        let ds = ShfDataset::open(&path).unwrap();
+        let r0 = ((rows as f64) * frac * 0.5) as usize;
+        let r1 = (r0 + rows / 2).min(rows);
+        let c0 = cols / 3;
+        let c1 = cols;
+        let slab = ds.read_hyperslab(r0, r1, c0, c1).unwrap();
+        let expected = m.rows_range(r0, r1).gather_cols(&(c0..c1).collect::<Vec<_>>());
+        prop_assert_eq!(slab, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_striping_is_a_partition(n in 1usize..200, p in 1usize..17) {
+        // Ranges cover 0..n disjointly and owners agree with ranges.
+        let mut covered = 0usize;
+        for rank in 0..p {
+            let r = block_range(n, p, rank);
+            covered += r.len();
+            for row in r.clone() {
+                let (owner, off) = block_owner(n, p, row);
+                prop_assert_eq!(owner, rank);
+                prop_assert_eq!(r.start + off, row);
+            }
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn strategies_agree_on_arbitrary_requests(
+        picks in prop::collection::vec(0usize..24, 1..12),
+        seed in 0u64..500,
+    ) {
+        let src = Matrix::from_fn(24, 3, |i, j| (i * 3 + j) as f64 + seed as f64);
+        let path = temp_path(seed.wrapping_add(9_000_000));
+        write_matrix(&path, &src).unwrap();
+        let ds = ShfDataset::open(&path).unwrap();
+        let picks2 = picks.clone();
+        let report = Cluster::new(3, MachineModel::deterministic()).run(move |ctx, world| {
+            // Every rank requests a rotated view of the same multiset.
+            let mut mine = picks2.clone();
+            let k = world.rank() % mine.len().max(1);
+            mine.rotate_left(k);
+            let (a, _) = conventional(ctx, world, &ds, &mine, &ConventionalConfig::default());
+            let (b, _) = randomized(ctx, world, &ds, &mine);
+            (a, b, mine)
+        });
+        for (a, b, mine) in &report.results {
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a, &src.gather_rows(mine));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

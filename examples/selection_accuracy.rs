@@ -1,0 +1,81 @@
+//! Why Union of Intersections: a head-to-head against plain LASSO on the
+//! same data, showing the two failure modes UoI removes — false-positive
+//! inflation and shrinkage bias.
+//!
+//! ```sh
+//! cargo run --release --example selection_accuracy
+//! ```
+
+use uoi::core::{estimation_error, fit_uoi_lasso, SelectionCounts, UoiLassoConfig};
+use uoi::data::LinearConfig;
+use uoi::solvers::{lasso_cd, support_of, CdConfig};
+
+fn main() {
+    let p = 50;
+    println!("{:<12} {:>4} {:>4} {:>6} {:>14}", "method", "FP", "FN", "F1", "support bias");
+    let trials = 5;
+    let (mut uoi_stats, mut lasso_stats) = ([0.0; 4], [0.0; 4]);
+
+    for trial in 0..trials {
+        let ds = LinearConfig {
+            n_samples: 160,
+            n_features: p,
+            n_nonzero: 8,
+            snr: 6.0,
+            seed: 1000 + trial,
+            ..Default::default()
+        }
+        .generate();
+
+        // UoI_LASSO.
+        let fit = fit_uoi_lasso(
+            &ds.x,
+            &ds.y,
+            &UoiLassoConfig { b1: 12, b2: 12, q: 16, seed: trial, ..Default::default() },
+        );
+        accumulate(&mut uoi_stats, &fit.beta, &ds, p);
+
+        // Plain LASSO at a hold-out-selected lambda.
+        let lmax = uoi::solvers::lambda_max(&ds.x, &ds.y);
+        let grid = uoi::solvers::geometric_grid(lmax, 1e-3 * lmax, 20);
+        let cut = 128;
+        let (xt, xe) = (ds.x.rows_range(0, cut), ds.x.rows_range(cut, 160));
+        let (yt, ye) = (&ds.y[..cut], &ds.y[cut..]);
+        let mut best = (f64::INFINITY, grid[0]);
+        for &lam in &grid {
+            let b = lasso_cd(&xt, yt, lam, &CdConfig::default());
+            let loss = uoi::linalg::mse(&xe, &b, ye);
+            if loss < best.0 {
+                best = (loss, lam);
+            }
+        }
+        let beta = lasso_cd(&ds.x, &ds.y, best.1, &CdConfig::default());
+        accumulate(&mut lasso_stats, &beta, &ds, p);
+    }
+
+    for (name, s) in [("UoI_LASSO", uoi_stats), ("LASSO (CV)", lasso_stats)] {
+        let t = trials as f64;
+        println!(
+            "{name:<12} {:>4.1} {:>4.1} {:>6.3} {:>+14.3}",
+            s[0] / t,
+            s[1] / t,
+            s[2] / t,
+            s[3] / t
+        );
+    }
+    println!(
+        "\nreading: similar recall (FN), but UoI cuts false positives via the bootstrap\n\
+         intersection, and its OLS-averaged estimates have ~zero bias where the LASSO\n\
+         systematically shrinks toward zero (negative bias)."
+    );
+}
+
+fn accumulate(stats: &mut [f64; 4], beta: &[f64], ds: &uoi::data::LinearDataset, p: usize) {
+    let support = support_of(beta, 1e-6);
+    let c = SelectionCounts::compare(&support, &ds.support_true, p);
+    let e = estimation_error(beta, &ds.beta_true);
+    stats[0] += c.false_positives as f64;
+    stats[1] += c.false_negatives as f64;
+    stats[2] += c.f1();
+    stats[3] += e.support_bias;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper. Results land in results/*.csv
+# and the combined log in results/experiments.log.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  table1_setup
+  fig2_lasso_single_node
+  fig3_lasso_parallelism
+  table2_distribution
+  fig4_lasso_weak
+  fig5_allreduce_minmax
+  fig6_lasso_strong
+  fig7_var_single_node
+  fig8_var_parallelism
+  fig9_var_weak
+  fig10_var_strong
+  fig11_sp500_network
+  sec6_real_data_runtimes
+  stat_selection_accuracy
+  ablation_comm_avoiding
+  ablation_pb_kron
+  ablation_async_overlap
+  ablation_intersection
+)
+
+mkdir -p results
+: > results/experiments.log
+cargo build -p uoi-bench --release 2>&1 | tail -1
+
+for bin in "${BINS[@]}"; do
+  echo "### $bin" | tee -a results/experiments.log
+  if ! cargo run -p uoi-bench --release --bin "$bin" >> results/experiments.log 2>&1; then
+    echo "!! $bin FAILED" | tee -a results/experiments.log
+  fi
+done
+echo "done — see results/experiments.log"

@@ -1,0 +1,133 @@
+//! End-to-end `UoI_VAR` integration: the full §VI pipeline on the
+//! synthetic market (daily closes → weekly aggregation → differencing →
+//! fit → network), plus serial/distributed agreement on spike-count data.
+
+use uoi::core::{
+    fit_uoi_var, fit_uoi_var_dist, ParallelLayout, UoiLassoConfig, UoiVarConfig,
+    UoiVarDistConfig,
+};
+use uoi::data::preprocess::{aggregate_last, first_differences, Standardizer};
+use uoi::data::{FinanceConfig, NeuroConfig, DAYS_PER_WEEK};
+use uoi::mpisim::{Cluster, MachineModel};
+use uoi::solvers::AdmmConfig;
+
+fn base(seed: u64) -> UoiLassoConfig {
+    UoiLassoConfig {
+        b1: 12,
+        b2: 4,
+        q: 12,
+        lambda_min_ratio: 5e-2,
+        admm: AdmmConfig { max_iter: 1500, abstol: 1e-8, reltol: 1e-7, ..Default::default() },
+        support_tol: 1e-6,
+        seed,
+    }
+}
+
+#[test]
+fn finance_pipeline_recovers_sparse_network() {
+    let market = FinanceConfig {
+        n_companies: 20,
+        n_sectors: 4,
+        weeks: 156,
+        seed: 17,
+        ..Default::default()
+    }
+    .generate();
+    let weekly = aggregate_last(&market.daily_closes, DAYS_PER_WEEK);
+    assert_eq!(weekly.rows(), 156);
+    let diffs = first_differences(&weekly);
+
+    let fit = fit_uoi_var(
+        &diffs,
+        &UoiVarConfig { order: 1, block_len: None, base: base(3) },
+    );
+    let net = fit.network(0.0);
+
+    // Sparse and non-trivial.
+    assert!(net.edge_count() > 0, "network must not be empty");
+    assert!(
+        net.density() < 0.25,
+        "network must be sparse, density {}",
+        net.density()
+    );
+
+    // Recovered edges should substantially overlap with the generator's.
+    let truth = market.truth.true_adjacency();
+    let adj = net.adjacency();
+    let mut tp = 0;
+    let mut selected = 0;
+    for i in 0..20 {
+        for j in 0..20 {
+            if adj[(i, j)] != 0.0 {
+                selected += 1;
+                if truth[(i, j)] != 0.0 {
+                    tp += 1;
+                }
+            }
+        }
+    }
+    let precision = tp as f64 / selected.max(1) as f64;
+    assert!(
+        precision > 0.5,
+        "edge precision {precision} too low ({tp}/{selected})"
+    );
+}
+
+#[test]
+fn neuro_counts_serial_vs_distributed() {
+    let rec = NeuroConfig {
+        n_channels: 10,
+        n_samples: 500,
+        density: 0.1,
+        seed: 23,
+        ..Default::default()
+    }
+    .generate();
+    let z = Standardizer::fit(&rec.counts).transform(&rec.counts);
+
+    let var_cfg = UoiVarConfig { order: 1, block_len: None, base: base(7) };
+    let serial = fit_uoi_var(&z, &var_cfg);
+
+    let dist_cfg = UoiVarDistConfig {
+        var: var_cfg,
+        n_readers: 2,
+        layout: ParallelLayout::admm_only(),
+    };
+    let z2 = z.clone();
+    let report = Cluster::new(5, MachineModel::deterministic())
+        .run(move |ctx, world| fit_uoi_var_dist(ctx, world, &z2, &dist_cfg).0);
+    let dist = &report.results[0];
+
+    assert_eq!(serial.supports_per_lambda, dist.supports_per_lambda);
+    for (a, b) in serial.vec_beta.iter().zip(&dist.vec_beta) {
+        assert!((a - b).abs() < 5e-3, "serial {a} vs dist {b}");
+    }
+}
+
+#[test]
+fn var2_pipeline_works_end_to_end() {
+    // Second-order dynamics through the whole stack.
+    let proc = uoi::data::VarProcess::generate(&uoi::data::VarConfig {
+        p: 6,
+        order: 2,
+        density: 0.12,
+        target_radius: 0.6,
+        noise_std: 1.0,
+        seed: 29,
+    });
+    let series = proc.simulate(600, 80, 30);
+    let fit = fit_uoi_var(
+        &series,
+        &UoiVarConfig { order: 2, block_len: Some(12), base: base(11) },
+    );
+    assert_eq!(fit.a_mats.len(), 2);
+    let net = fit.network(0.0);
+    assert!(net.edge_count() > 0);
+    // The fitted model must itself be stable (sanity of the estimates).
+    let fitted = uoi::data::VarProcess::from_coeffs(fit.a_mats.clone(), 1.0);
+    assert!(
+        fitted.radius() < 1.1,
+        "fitted dynamics wildly unstable: {}",
+        fitted.radius()
+    );
+}

@@ -1,0 +1,143 @@
+//! Integration tests of the scaling *shapes* the paper's figures rest on
+//! — the qualitative laws the harnesses must reproduce regardless of the
+//! machine-model constants.
+
+use uoi::mpisim::{Cluster, MachineModel, Phase, Window};
+
+/// Weak scaling: same per-rank payload, growing modeled core count →
+/// communication grows, compute stays fixed.
+#[test]
+fn weak_scaling_comm_grows_compute_flat() {
+    let run = |modeled: usize| {
+        Cluster::new(4, MachineModel::deterministic())
+            .modeled_ranks(modeled)
+            .run(|ctx, world| {
+                ctx.compute_flops(1e8, 1e7);
+                for _ in 0..20 {
+                    let mut v = vec![1.0; 4096];
+                    world.allreduce_sum(ctx, &mut v);
+                }
+                ctx.ledger()
+            })
+            .phase_max()
+    };
+    let small = run(4);
+    let big = run(131_072);
+    assert_eq!(small.get(Phase::Compute), big.get(Phase::Compute));
+    assert!(
+        big.get(Phase::Comm) > 3.0 * small.get(Phase::Comm),
+        "comm {} -> {}",
+        small.get(Phase::Comm),
+        big.get(Phase::Comm)
+    );
+}
+
+/// Strong scaling: fixed total work split over more modeled cores →
+/// executed per-rank flops shrink and the cache bonus kicks in below the
+/// working-set threshold.
+#[test]
+fn strong_scaling_cache_bonus() {
+    let model = MachineModel::deterministic();
+    let big_ws = model.cache_bytes * 8.0;
+    let small_ws = model.cache_bytes / 8.0;
+    let t_big = model.compute_time(1e9, big_ws);
+    let t_small = model.compute_time(1e9, small_ws);
+    assert!(
+        (t_big / t_small - model.cache_speedup).abs() < 1e-9,
+        "cache speedup must apply below the threshold"
+    );
+}
+
+/// Reader-window serialisation: the Kron-distribution law — fewer readers
+/// or more modeled requesters ⇒ more distribution time.
+#[test]
+fn reader_window_law() {
+    let run = |readers: usize, modeled: usize| {
+        Cluster::new(8, MachineModel::deterministic())
+            .modeled_ranks(modeled)
+            .run(move |ctx, world| {
+                let local = if world.rank() < readers {
+                    vec![1.0; 4096]
+                } else {
+                    Vec::new()
+                };
+                let win = Window::create(ctx, world, local);
+                win.fence(ctx, world);
+                let mut out = vec![0.0; 64];
+                let mut epoch = win.epoch(ctx);
+                for j in 0..256 {
+                    let owner = (j + world.rank()) % readers;
+                    epoch.get_into(ctx, owner, 0..64, &mut out);
+                }
+                epoch.finish(ctx);
+                win.fence(ctx, world);
+                ctx.ledger().get(Phase::Distribution)
+            })
+            .results
+            .into_iter()
+            .fold(0.0, f64::max)
+    };
+    // Readers must be a strict subset of the ranks for the fixed-reader
+    // contention model to engage (all-expose windows scale with the
+    // machine instead).
+    let base = run(4, 8 * 64);
+    let fewer_readers = run(1, 8 * 64);
+    let more_ranks = run(4, 8 * 512);
+    assert!(
+        fewer_readers > 2.0 * base,
+        "1 reader ({fewer_readers:.4}) vs 4 ({base:.4})"
+    );
+    assert!(
+        more_ranks > 2.0 * base,
+        "8x more modeled ranks ({more_ranks:.4}) vs base ({base:.4})"
+    );
+}
+
+/// The Table II law: conventional read time linear in bytes, randomized
+/// read time saturating at the stripe bandwidth.
+#[test]
+fn io_strategy_law() {
+    let model = MachineModel::deterministic();
+    let gb = 1024.0 * 1024.0 * 1024.0;
+    let conv_128 = model.io.serial_chunked_read_time(128.0 * gb, 2048);
+    let conv_1024 = model.io.serial_chunked_read_time(1024.0 * gb, 16_384);
+    let ratio = conv_1024 / conv_128;
+    assert!((ratio - 8.0).abs() < 0.5, "conventional must scale linearly: {ratio}");
+
+    let rand_128 = model.io.parallel_read_time(4_352, 128.0 * gb);
+    let rand_1024 = model.io.parallel_read_time(34_816, 1024.0 * gb);
+    assert!(rand_1024 < conv_1024 / 100.0, "randomized must beat conventional >100x");
+    assert!(rand_128 > 0.0 && rand_1024 / rand_128 < 10.0);
+}
+
+/// The p^3-class problem-size law of the vectorised VAR design.
+#[test]
+fn var_problem_explosion_law() {
+    let series_small = uoi::linalg::Matrix::zeros(401, 100);
+    let series_big = uoi::linalg::Matrix::zeros(401, 200);
+    let small = uoi::core::VarRegression::build(&series_small, 1).vectorized_problem_bytes();
+    let big = uoi::core::VarRegression::build(&series_big, 1).vectorized_problem_bytes();
+    let ratio = big as f64 / small as f64;
+    assert!((ratio - 8.0).abs() < 0.5, "fixed-N doubling of p must 8x the problem: {ratio}");
+}
+
+/// Virtual-clock conservation: every rank's final clock equals its phase
+/// ledger total, and collectives synchronise clocks.
+#[test]
+fn clock_conservation_under_mixed_workload() {
+    let report = Cluster::new(6, MachineModel::deterministic())
+        .modeled_ranks(600)
+        .run(|ctx, world| {
+            ctx.compute_flops(1e7 * (1.0 + world.rank() as f64), 1e6);
+            let mut v = vec![world.rank() as f64; 100];
+            world.allreduce_sum(ctx, &mut v);
+            let sub = world.split(ctx, (world.rank() % 2) as i64, world.rank() as i64);
+            let mut w = vec![1.0; 10];
+            sub.allreduce_sum(ctx, &mut w);
+            world.barrier(ctx);
+            ctx.clock()
+        });
+    for (clock, ledger) in report.clocks.iter().zip(&report.ledgers) {
+        assert!((clock - ledger.total()).abs() < 1e-9);
+    }
+}

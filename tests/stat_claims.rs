@@ -1,0 +1,146 @@
+//! Integration tests of the statistical claims (§I): UoI's selection is
+//! strictly more conservative than the LASSO it is built on, its
+//! estimates are less biased, and the VAR variant recovers Granger
+//! networks the plain LASSO over-selects.
+
+use uoi::core::{
+    estimation_error, fit_uoi_lasso, fit_uoi_var, SelectionCounts, UoiLassoConfig, UoiVarConfig,
+};
+use uoi::data::{LinearConfig, VarConfig, VarProcess};
+use uoi::solvers::{lasso_cd, support_of, CdConfig};
+
+fn uoi_cfg(seed: u64) -> UoiLassoConfig {
+    UoiLassoConfig { b1: 10, b2: 10, q: 16, lambda_min_ratio: 2e-2, seed, ..Default::default() }
+}
+
+/// Averaged over seeds, UoI must not exceed the cross-validated LASSO's
+/// false positives (it is designed to prune them) while keeping recall.
+#[test]
+fn uoi_beats_lasso_on_false_positives() {
+    let p = 30;
+    let (mut uoi_fp, mut lasso_fp, mut uoi_fn, mut lasso_fn) = (0, 0, 0, 0);
+    for trial in 0..4u64 {
+        let ds = LinearConfig {
+            n_samples: 140,
+            n_features: p,
+            n_nonzero: 6,
+            snr: 6.0,
+            seed: 50 + trial,
+            ..Default::default()
+        }
+        .generate();
+        let fit = fit_uoi_lasso(&ds.x, &ds.y, &uoi_cfg(trial));
+        let cu = SelectionCounts::compare(&fit.support, &ds.support_true, p);
+        uoi_fp += cu.false_positives;
+        uoi_fn += cu.false_negatives;
+
+        // Hold-out-tuned LASSO.
+        let lmax = uoi::solvers::lambda_max(&ds.x, &ds.y);
+        let grid = uoi::solvers::geometric_grid(lmax, 1e-3 * lmax, 16);
+        let cut = 112;
+        let xt = ds.x.rows_range(0, cut);
+        let xe = ds.x.rows_range(cut, 140);
+        let mut best = (f64::INFINITY, grid[0]);
+        for &lam in &grid {
+            let b = lasso_cd(&xt, &ds.y[..cut], lam, &CdConfig::default());
+            let loss = uoi::linalg::mse(&xe, &b, &ds.y[cut..]);
+            if loss < best.0 {
+                best = (loss, lam);
+            }
+        }
+        let beta = lasso_cd(&ds.x, &ds.y, best.1, &CdConfig::default());
+        let cl = SelectionCounts::compare(&support_of(&beta, 1e-6), &ds.support_true, p);
+        lasso_fp += cl.false_positives;
+        lasso_fn += cl.false_negatives;
+    }
+    assert!(
+        uoi_fp < lasso_fp,
+        "UoI FP ({uoi_fp}) must undercut CV-LASSO FP ({lasso_fp})"
+    );
+    assert!(
+        uoi_fn <= lasso_fn + 2,
+        "UoI FN ({uoi_fn}) must stay near LASSO FN ({lasso_fn})"
+    );
+}
+
+/// UoI's OLS-averaged estimates must be less shrunken than the LASSO's.
+#[test]
+fn uoi_estimates_less_biased() {
+    let ds = LinearConfig {
+        n_samples: 160,
+        n_features: 30,
+        n_nonzero: 6,
+        snr: 8.0,
+        seed: 77,
+        ..Default::default()
+    }
+    .generate();
+    let fit = fit_uoi_lasso(&ds.x, &ds.y, &uoi_cfg(1));
+    let lam = uoi::solvers::lambda_max(&ds.x, &ds.y) * 0.05;
+    let beta_lasso = lasso_cd(&ds.x, &ds.y, lam, &CdConfig::default());
+
+    let e_uoi = estimation_error(&fit.beta, &ds.beta_true);
+    let e_lasso = estimation_error(&beta_lasso, &ds.beta_true);
+    assert!(
+        e_uoi.support_bias.abs() < e_lasso.support_bias.abs(),
+        "UoI bias {:.4} must beat LASSO bias {:.4}",
+        e_uoi.support_bias,
+        e_lasso.support_bias
+    );
+    assert!(e_lasso.support_bias < 0.0, "LASSO must show shrinkage for this check");
+}
+
+/// The intersection is conservative by construction: the final UoI
+/// support never contains a feature that some lambda's intersected
+/// support did not contain.
+#[test]
+fn union_support_subset_of_family_union() {
+    let ds = LinearConfig {
+        n_samples: 120,
+        n_features: 25,
+        n_nonzero: 5,
+        seed: 13,
+        ..Default::default()
+    }
+    .generate();
+    let fit = fit_uoi_lasso(&ds.x, &ds.y, &uoi_cfg(2));
+    let family_union: Vec<usize> = {
+        let mut u = Vec::new();
+        for s in &fit.support_family {
+            u = uoi::core::support::union(&u, s);
+        }
+        u
+    };
+    for j in &fit.support {
+        assert!(family_union.contains(j), "feature {j} appeared from nowhere");
+    }
+}
+
+/// VAR network recovery beats a naive per-column LASSO at matched recall.
+#[test]
+fn uoi_var_network_precision() {
+    let p = 10;
+    let proc = VarProcess::generate(&VarConfig {
+        p,
+        order: 1,
+        density: 0.15,
+        target_radius: 0.65,
+        noise_std: 1.0,
+        seed: 19,
+    });
+    let series = proc.simulate(900, 100, 20);
+    let fit = fit_uoi_var(
+        &series,
+        &UoiVarConfig { order: 1, block_len: None, base: uoi_cfg(3) },
+    );
+    let truth: Vec<usize> = uoi::core::flatten_coefficients(&proc.coeffs)
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.abs() > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    let got = support_of(&fit.vec_beta, 1e-6);
+    let c = SelectionCounts::compare(&got, &truth, p * p);
+    assert!(c.precision() > 0.7, "precision {}", c.precision());
+    assert!(c.recall() > 0.5, "recall {}", c.recall());
+}
