@@ -20,6 +20,7 @@ fn quick_cfg() -> UoiLassoConfig {
         admm: AdmmConfig { max_iter: 300, ..Default::default() },
         support_tol: 1e-6,
         seed: 1,
+        ..Default::default()
     }
 }
 

@@ -9,7 +9,7 @@
 //! weak-scaling core counts.
 
 use uoi_bench::setups::{lasso_weak, machine, LASSO_FEATURES};
-use uoi_bench::{exec_ranks, Table};
+use uoi_bench::{emit_run_report, exec_ranks, Table};
 use uoi_mpisim::Cluster;
 
 fn main() {
@@ -27,6 +27,7 @@ fn main() {
             "saved",
         ],
     );
+    let mut last_summary = None;
     for point in lasso_weak() {
         let blocking = Cluster::new(exec_ranks(), machine())
             .modeled_ranks(point.cores)
@@ -38,7 +39,7 @@ fn main() {
                 }
             })
             .makespan();
-        let overlapped = Cluster::new(exec_ranks(), machine())
+        let overlapped_report = Cluster::new(exec_ranks(), machine())
             .modeled_ranks(point.cores)
             .run(move |ctx, world| {
                 let mut pending = None;
@@ -55,8 +56,9 @@ fn main() {
                 if let Some(p) = pending {
                     p.wait(ctx);
                 }
-            })
-            .makespan();
+            });
+        let overlapped = overlapped_report.makespan();
+        last_summary = Some(overlapped_report.run_summary());
         t.row(&[
             point.cores.to_string(),
             format!("{blocking:.4}"),
@@ -65,6 +67,11 @@ fn main() {
         ]);
     }
     t.emit("ablation_async_overlap");
+    let mut rep = t.run_report("ablation_async_overlap").param("rounds", rounds);
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "take-away: overlapping the estimate allreduce behind the next x-update hides a\n\
          growing share of the communication as the core count rises — quantifying the\n\

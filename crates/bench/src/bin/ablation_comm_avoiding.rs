@@ -11,7 +11,7 @@
 //! (identical) and their modeled communication/distribution cost.
 
 use uoi_bench::setups::machine;
-use uoi_bench::{quick_mode, Table};
+use uoi_bench::{emit_run_report, quick_mode, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::{fit_uoi_var, UoiVarConfig};
 use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
@@ -40,8 +40,7 @@ fn main() {
         admm: AdmmConfig { max_iter: 1500, abstol: 1e-8, reltol: 1e-7, ..Default::default() },
         support_tol: 1e-6,
         seed: 79,
-        score: Default::default(),
-                    intersection_frac: 1.0,
+        ..Default::default()
     };
     let var_cfg = UoiVarConfig { order: 1, block_len: None, base };
 
@@ -106,6 +105,11 @@ fn main() {
         "reference".into(),
     ]);
     t.emit("ablation_comm_avoiding");
+    emit_run_report(
+        &t.run_report("ablation_comm_avoiding")
+            .param("p", p)
+            .with_summary(report.run_summary()),
+    );
     println!(
         "take-away: the two paths are statistically interchangeable; all of the distributed\n\
          path's communication + Kron-distribution time is the price of the paper's explicit\n\

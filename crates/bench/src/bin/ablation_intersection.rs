@@ -4,11 +4,13 @@
 //! the false-positive / false-negative trade-off, with plain LASSO as the
 //! no-intersection endpoint.
 
-use uoi_bench::{quick_mode, Table};
+use std::sync::Arc;
+use uoi_bench::{emit_run_report, quick_mode, Table};
 use uoi_core::uoi_lasso::{fit_uoi_lasso, UoiLassoConfig};
 use uoi_core::SelectionCounts;
 use uoi_data::LinearConfig;
 use uoi_solvers::{lasso_cd, support_of, CdConfig};
+use uoi_telemetry::{MetricsRegistry, Telemetry};
 
 fn main() {
     let trials = if quick_mode() { 3 } else { 5 };
@@ -19,6 +21,7 @@ fn main() {
         &format!("Ablation — intersection strictness ({trials} trials, p={p}, s=8, correlated design)"),
         &["intersection", "false pos", "false neg", "F1"],
     );
+    let metrics = Arc::new(MetricsRegistry::new());
     let mut rows: Vec<(String, f64, f64, f64)> = fracs
         .iter()
         .map(|f| (format!("{f:.1} x B1"), 0.0, 0.0, 0.0))
@@ -47,6 +50,7 @@ fn main() {
                     lambda_min_ratio: 2e-2,
                     intersection_frac: frac,
                     seed: trial as u64,
+                    telemetry: Telemetry::with_metrics(metrics.clone()),
                     ..Default::default()
                 },
             );
@@ -73,6 +77,11 @@ fn main() {
         ]);
     }
     t.emit("ablation_intersection");
+    emit_run_report(
+        &t.run_report("ablation_intersection")
+            .param("trials", trials)
+            .with_metrics(metrics.snapshot()),
+    );
     println!(
         "take-away: false positives fall monotonically as the intersection tightens toward\n\
          the paper's strict B1-of-B1 rule, at a small false-negative cost — the eq. 3\n\

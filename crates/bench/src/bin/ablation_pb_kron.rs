@@ -8,7 +8,7 @@
 //! serialisation).
 
 use uoi_bench::setups::machine;
-use uoi_bench::{quick_mode, Table};
+use uoi_bench::{emit_run_report, quick_mode, RunSummary, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::UoiVarConfig;
 use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
@@ -17,7 +17,12 @@ use uoi_data::{VarConfig, VarProcess};
 use uoi_mpisim::Cluster;
 use uoi_solvers::AdmmConfig;
 
-fn run_case(series: &uoi_linalg::Matrix, p_b: usize, n_readers: usize, b: usize) -> (f64, f64) {
+fn run_case(
+    series: &uoi_linalg::Matrix,
+    p_b: usize,
+    n_readers: usize,
+    b: usize,
+) -> (f64, f64, RunSummary) {
     let cfg = UoiVarDistConfig {
         var: UoiVarConfig {
             order: 1,
@@ -30,8 +35,7 @@ fn run_case(series: &uoi_linalg::Matrix, p_b: usize, n_readers: usize, b: usize)
                 admm: AdmmConfig { max_iter: 200, ..Default::default() },
                 support_tol: 1e-6,
                 seed: 83,
-                score: Default::default(),
-                    intersection_frac: 1.0,
+                ..Default::default()
             },
         },
         n_readers,
@@ -46,7 +50,8 @@ fn run_case(series: &uoi_linalg::Matrix, p_b: usize, n_readers: usize, b: usize)
         });
     let kron = report.results.iter().map(|&(k, _)| k).fold(0.0, f64::max);
     let total = report.makespan();
-    (kron, total)
+    let summary = report.run_summary();
+    (kron, total, summary)
 }
 
 fn main() {
@@ -66,8 +71,10 @@ fn main() {
         &format!("Ablation — P_B parallelism vs Kron distribution time (B1={b}, p={p})"),
         &["P_B", "n_readers", "kron+vec (s)", "total (s)"],
     );
+    let mut last_summary = None;
     for &p_b in &[1usize, 2, 4, 8] {
-        let (kron, total) = run_case(&series, p_b, 4, b);
+        let (kron, total, summary) = run_case(&series, p_b, 4, b);
+        last_summary = Some(summary);
         t.row(&[
             p_b.to_string(),
             "4".into(),
@@ -76,7 +83,8 @@ fn main() {
         ]);
     }
     for &readers in &[1usize, 2, 8] {
-        let (kron, total) = run_case(&series, 1, readers, b);
+        let (kron, total, summary) = run_case(&series, 1, readers, b);
+        last_summary = Some(summary);
         t.row(&[
             "1".into(),
             readers.to_string(),
@@ -85,6 +93,11 @@ fn main() {
         ]);
     }
     t.emit("ablation_pb_kron");
+    let mut rep = t.run_report("ablation_pb_kron").param("p", p).param("b1", b);
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "take-away: raising P_B cuts the sequential Kron rounds per group (the §V\n\
          mitigation); raising n_readers divides the window serialisation."

@@ -8,7 +8,7 @@
 
 use uoi_bench::setups::{machine, var_features, var_strong};
 use uoi_bench::workload::{measured_rounds_per_solve, var_paper_ledger, VarScalingRun};
-use uoi_bench::{exec_ranks, quick_mode, Table};
+use uoi_bench::{emit_run_report, exec_ranks, quick_mode, Table};
 use uoi_mpisim::Phase;
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
         ],
     );
     let mut base = None;
+    let mut last_summary = None;
     for &cores in &cores_list {
         let run = VarScalingRun {
             features: p,
@@ -44,6 +45,7 @@ fn main() {
             seed: 23,
         };
         let out = run.execute();
+        last_summary = Some(out.report.run_summary());
         let rounds = measured_rounds_per_solve(&out.report, b1, q);
         // Paper configuration (B1=30, B2=20, q=20, n_reader=64).
         let (l, kron) = var_paper_ledger(paper_p, cores, 30, 20, 20, rounds, 64, &machine());
@@ -60,6 +62,11 @@ fn main() {
         ]);
     }
     t.emit("fig10_var_strong");
+    let mut rep = t.run_report("fig10_var_strong").param("paper_p", paper_p);
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "paper shape check: near-ideal compute scaling; Kron+vec distribution grows with\n\
          core count (reader-window serialisation) as in the weak-scaling runs."

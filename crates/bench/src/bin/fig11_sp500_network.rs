@@ -9,13 +9,15 @@
 //! (weekly aggregation, first differences) is identical, and unlike the
 //! paper we can also score the recovered network against the truth.
 
-use uoi_bench::{quick_mode, save_artifact, Table};
+use std::sync::Arc;
+use uoi_bench::{emit_run_report, quick_mode, save_artifact, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::{fit_uoi_var, UoiVarConfig};
 use uoi_core::SelectionCounts;
 use uoi_data::preprocess::{aggregate_last, first_differences};
 use uoi_data::{FinanceConfig, DAYS_PER_WEEK};
 use uoi_solvers::AdmmConfig;
+use uoi_telemetry::{MetricsRegistry, Telemetry};
 
 fn main() {
     let market = FinanceConfig { n_companies: 50, weeks: 104, seed: 2013, ..Default::default() }
@@ -31,6 +33,9 @@ fn main() {
     );
 
     let (b1, b2) = if quick_mode() { (12, 5) } else { (24, 5) };
+    // Solver metrics (ADMM convergence, warm-start hit rates, support
+    // sizes) land in the run report.
+    let metrics = Arc::new(MetricsRegistry::new());
     let cfg = UoiVarConfig {
         order: 1,
         block_len: None,
@@ -42,8 +47,8 @@ fn main() {
             admm: AdmmConfig { max_iter: 800, ..Default::default() },
             support_tol: 1e-7,
             seed: 2014,
-            score: Default::default(),
-                    intersection_frac: 1.0,
+            telemetry: Telemetry::with_metrics(metrics.clone()),
+            ..Default::default()
         },
     };
     let fit = fit_uoi_var(&diffs, &cfg);
@@ -83,6 +88,12 @@ fn main() {
     t.row(&["edge recall".into(), format!("{:.3}", counts.recall())]);
     t.row(&["edge F1".into(), format!("{:.3}", counts.f1())]);
     t.emit("fig11_sp500_network");
+    emit_run_report(
+        &t.run_report("fig11_sp500_network")
+            .param("b1", b1)
+            .param("b2", b2)
+            .with_metrics(metrics.snapshot()),
+    );
 
     // Edge list and DOT rendering (the paper's directed-graph figure).
     let mut edges = String::from("from,to,weight,lag\n");

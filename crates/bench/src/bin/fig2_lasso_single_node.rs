@@ -8,7 +8,7 @@
 //! evaluated at 68 cores and print the same four bars.
 
 use uoi_bench::setups::{machine, single_node};
-use uoi_bench::{exec_ranks, fmt_bytes, quick_mode, scale_divisor, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, scale_divisor, Table};
 use uoi_core::uoi_lasso_dist::fit_uoi_lasso_dist;
 use uoi_core::{ParallelLayout, UoiLassoConfig};
 use uoi_data::LinearConfig;
@@ -50,8 +50,7 @@ fn main() {
         admm: AdmmConfig { max_iter: 150, ..Default::default() },
         support_tol: 1e-6,
         seed: 11,
-        score: Default::default(),
-                    intersection_frac: 1.0,
+        ..Default::default()
     };
     let (x, y) = (ds.x.clone(), ds.y.clone());
     let paper_bytes = point.bytes;
@@ -90,6 +89,11 @@ fn main() {
     }
     t.row(&["Total".into(), format!("{total:.4}"), "100.0%".into()]);
     t.emit("fig2_lasso_single_node");
+    emit_run_report(
+        &t.run_report("fig2_lasso_single_node")
+            .param("modeled_cores", point.cores)
+            .with_summary(report.run_summary()),
+    );
 
     println!(
         "paper shape check: computation {:.0}% (paper ~90%), communication {:.0}% (paper <10%)",

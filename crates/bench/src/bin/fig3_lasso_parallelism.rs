@@ -9,7 +9,7 @@
 //! evaluated at the paper's core counts.
 
 use uoi_bench::setups::{machine, LASSO_FEATURES};
-use uoi_bench::{fmt_bytes, quick_mode, Table};
+use uoi_bench::{emit_run_report, fmt_bytes, quick_mode, Table};
 use uoi_core::uoi_lasso_dist::fit_uoi_lasso_dist;
 use uoi_core::{ParallelLayout, UoiLassoConfig};
 use uoi_data::LinearConfig;
@@ -43,6 +43,7 @@ fn main() {
         ],
     );
 
+    let mut last_summary = None;
     for &(gb, cores) in sizes {
         let bytes = gb * 1024.0 * 1024.0 * 1024.0;
         // Per-core rows are constant across the sweep (both axes double).
@@ -68,8 +69,7 @@ fn main() {
                 admm: AdmmConfig { max_iter, ..Default::default() },
                 support_tol: 1e-6,
                 seed: 5,
-                score: Default::default(),
-                    intersection_frac: 1.0,
+                ..Default::default()
             };
             let (x, y) = (ds.x.clone(), ds.y.clone());
             let report = Cluster::new(exec, machine())
@@ -79,6 +79,7 @@ fn main() {
                     ctx.ledger()
                 });
             let l = report.phase_max();
+            last_summary = Some(report.run_summary());
             t.row(&[
                 fmt_bytes(bytes),
                 cores.to_string(),
@@ -92,6 +93,11 @@ fn main() {
         }
     }
     t.emit("fig3_lasso_parallelism");
+    let mut rep = t.run_report("fig3_lasso_parallelism");
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "paper shape check: runtimes within a dataset differ by P_B x P_lambda; communication\n\
          grows with ADMM cores across datasets. NOTE (see EXPERIMENTS.md): with warm-started\n\

@@ -8,7 +8,7 @@
 
 use uoi_bench::setups::{lasso_rows, lasso_weak, machine, LASSO_FEATURES};
 use uoi_bench::workload::LassoScalingRun;
-use uoi_bench::{exec_ranks, fmt_bytes, quick_mode, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, Table};
 use uoi_mpisim::Phase;
 
 fn main() {
@@ -26,6 +26,7 @@ fn main() {
             "total (s)",
         ],
     );
+    let mut last_summary = None;
     for point in lasso_weak() {
         let rows_per_core =
             (lasso_rows(point.bytes) as f64 / point.cores as f64).round() as usize;
@@ -43,6 +44,7 @@ fn main() {
         };
         let report = run.execute();
         let l = report.phase_max();
+        last_summary = Some(report.run_summary());
         t.row(&[
             fmt_bytes(point.bytes),
             point.cores.to_string(),
@@ -55,6 +57,11 @@ fn main() {
         ]);
     }
     t.emit("fig4_lasso_weak");
+    let mut rep = t.run_report("fig4_lasso_weak");
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "paper shape check: computation ~flat across the sweep; communication grows with core count."
     );

@@ -4,7 +4,7 @@
 //! measures performance variability of the collective.
 
 use uoi_bench::setups::{lasso_weak, machine_noisy, LASSO_FEATURES};
-use uoi_bench::{exec_ranks, fmt_bytes, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, Table};
 use uoi_mpisim::Cluster;
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
             "max/min",
         ],
     );
+    let mut last_summary = None;
     for point in lasso_weak() {
         let report = Cluster::new(exec_ranks(), machine_noisy())
             .modeled_ranks(point.cores)
@@ -38,6 +39,7 @@ fn main() {
             t_sum += ev.t_mean;
             n += 1;
         }
+        last_summary = Some(report.run_summary());
         t.row(&[
             fmt_bytes(point.bytes),
             point.cores.to_string(),
@@ -49,6 +51,11 @@ fn main() {
         ]);
     }
     t.emit("fig5_allreduce_minmax");
+    let mut rep = t.run_report("fig5_allreduce_minmax").param("payload_bytes", payload * 8);
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "paper shape check: mean cost grows with log(cores); a persistent T_max/T_min spread\n\
          reflects communication performance variability, yet scaling remains good."

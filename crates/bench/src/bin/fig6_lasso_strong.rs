@@ -9,7 +9,7 @@
 
 use uoi_bench::setups::{lasso_rows, lasso_strong, machine, LASSO_FEATURES};
 use uoi_bench::workload::LassoScalingRun;
-use uoi_bench::{exec_ranks, fmt_bytes, quick_mode, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, Table};
 use uoi_mpisim::Phase;
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
         ],
     );
     let mut base_compute = None;
+    let mut last_summary = None;
     for &cores in &cores_list {
         let rows_per_core = (total_rows as f64 / cores as f64).round() as usize;
         let run = LassoScalingRun {
@@ -46,6 +47,7 @@ fn main() {
         };
         let report = run.execute();
         let l = report.phase_max();
+        last_summary = Some(report.run_summary());
         let compute = l.get(Phase::Compute);
         let base = *base_compute.get_or_insert(compute * cores_list[0] as f64);
         let ideal = base / cores as f64;
@@ -60,6 +62,11 @@ fn main() {
         ]);
     }
     t.emit("fig6_lasso_strong");
+    let mut rep = t.run_report("fig6_lasso_strong").param("problem_bytes", bytes);
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "paper shape check: computation near-ideal 1/P, dipping below ideal at the largest\n\
          core count (cache effect); communication grows with P. Problem: {} fixed.",

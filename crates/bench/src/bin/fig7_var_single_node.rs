@@ -8,7 +8,7 @@
 
 use uoi_bench::setups::{machine, single_node, var_features};
 use uoi_bench::workload::VarScalingRun;
-use uoi_bench::{exec_ranks, fmt_bytes, quick_mode, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, Table};
 use uoi_mpisim::Phase;
 
 fn main() {
@@ -58,6 +58,11 @@ fn main() {
     ]);
     t.row(&["Total".into(), format!("{total:.4}"), "100.0%".into()]);
     t.emit("fig7_var_single_node");
+    emit_run_report(
+        &t.run_report("fig7_var_single_node")
+            .param("exec_p", p)
+            .with_summary(out.report.run_summary()),
+    );
 
     println!(
         "paper shape check: computation {:.0}% (paper ~88%); Kron+vec is {:.0}% of the\n\

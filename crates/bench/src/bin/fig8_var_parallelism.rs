@@ -8,7 +8,7 @@
 //! lower bootstrap parallelism means more sequential Kron rounds.
 
 use uoi_bench::setups::machine;
-use uoi_bench::{fmt_bytes, quick_mode, Table};
+use uoi_bench::{emit_run_report, fmt_bytes, quick_mode, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::UoiVarConfig;
 use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
@@ -38,6 +38,7 @@ fn main() {
         ],
     );
 
+    let mut last_summary = None;
     for &(gb, cores) in sizes {
         let bytes = gb * 1024.0 * 1024.0 * 1024.0;
         let proc = VarProcess::generate(&VarConfig {
@@ -62,8 +63,7 @@ fn main() {
                         admm: AdmmConfig { max_iter: 150, ..Default::default() },
                         support_tol: 1e-6,
                         seed: 17,
-                        score: Default::default(),
-                    intersection_frac: 1.0,
+                        ..Default::default()
                     },
                 },
                 n_readers: 4,
@@ -82,6 +82,7 @@ fn main() {
                 .map(|&(l, _)| l)
                 .fold(uoi_mpisim::PhaseLedger::default(), uoi_mpisim::PhaseLedger::max);
             let kron = report.results.iter().map(|&(_, k)| k).fold(0.0, f64::max);
+            last_summary = Some(report.run_summary());
             t.row(&[
                 fmt_bytes(bytes),
                 cores.to_string(),
@@ -95,6 +96,11 @@ fn main() {
         }
     }
     t.emit("fig8_var_parallelism");
+    let mut rep = t.run_report("fig8_var_parallelism");
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "paper shape check: Kron+vec time grows as P_B shrinks (more sequential bootstrap\n\
          rounds per group); computation falls as parallelism spreads the lambda path."

@@ -9,7 +9,7 @@
 
 use uoi_bench::setups::{machine, var_features, var_weak};
 use uoi_bench::workload::{measured_rounds_per_solve, var_paper_ledger, VarScalingRun};
-use uoi_bench::{exec_ranks, fmt_bytes, quick_mode, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, Table};
 use uoi_mpisim::Phase;
 
 fn main() {
@@ -34,6 +34,7 @@ fn main() {
             "total (s)",
         ],
     );
+    let mut last_summary = None;
     for point in var_weak() {
         let paper_p = var_features(point.bytes);
         let p = (paper_p / p_scale).max(24);
@@ -50,6 +51,7 @@ fn main() {
             seed: 19,
         };
         let out = run.execute();
+        last_summary = Some(out.report.run_summary());
         let rounds = measured_rounds_per_solve(&out.report, b1, q);
         // Evaluate the analytic model at the paper's full configuration
         // (B1=30, B2=20, q=20, n_reader=64), calibrated by the measured
@@ -69,6 +71,11 @@ fn main() {
         ]);
     }
     t.emit("fig9_var_weak");
+    let mut rep = t.run_report("fig9_var_weak");
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "paper shape check: distribution (Kron+vec) grows steeply with core count — the\n\
          n_reader windows serialise against ever more compute cores — and overtakes\n\

@@ -14,7 +14,7 @@
 
 use uoi_bench::setups::machine;
 use uoi_bench::workload::{measured_rounds_per_solve, var_paper_ledger, VarScalingRun};
-use uoi_bench::{exec_ranks, quick_mode, Table};
+use uoi_bench::{emit_run_report, exec_ranks, quick_mode, Table};
 use uoi_mpisim::Phase;
 
 struct RealCase {
@@ -66,6 +66,7 @@ fn main() {
             "model distr",
         ],
     );
+    let mut last_summary = None;
     for case in &cases {
         // Executed scaled fit on the synthetic substitute to calibrate
         // convergence behaviour.
@@ -83,6 +84,7 @@ fn main() {
             seed: 29,
         };
         let out = run.execute();
+        last_summary = Some(out.report.run_summary());
         let rounds = measured_rounds_per_solve(&out.report, b1, q);
         let (l, _) = var_paper_ledger(
             case.paper_p,
@@ -106,6 +108,11 @@ fn main() {
         ]);
     }
     t.emit("sec6_real_data_runtimes");
+    let mut rep = t.run_report("sec6_real_data_runtimes");
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "paper shape check: finance (moderate cores) is computation-dominated; the neuro case\n\
          (81,600 cores, few readers) flips to communication/distribution-dominated — the same\n\

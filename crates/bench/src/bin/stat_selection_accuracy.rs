@@ -8,12 +8,14 @@
 //! positives, and its OLS-averaged estimates should show far less
 //! shrinkage bias.
 
-use uoi_bench::{quick_mode, Table};
+use std::sync::Arc;
+use uoi_bench::{emit_run_report, quick_mode, Table};
 use uoi_core::uoi_lasso::{fit_uoi_lasso, UoiLassoConfig};
 use uoi_core::uoi_var::{fit_uoi_var, UoiVarConfig};
 use uoi_core::{estimation_error, SelectionCounts};
 use uoi_data::{LinearConfig, VarConfig, VarProcess};
 use uoi_solvers::{lasso_cd, mcp_cd, ridge, support_of, AdmmConfig, CdConfig};
+use uoi_telemetry::{MetricsRegistry, Telemetry};
 
 fn main() {
     let trials = if quick_mode() { 3 } else { 6 };
@@ -23,6 +25,7 @@ fn main() {
 
 fn linear_comparison(trials: usize) {
     let p = 40;
+    let metrics = Arc::new(MetricsRegistry::new());
     let mut rows: Vec<(&str, f64, f64, f64, f64)> = vec![
         ("UoI_LASSO", 0.0, 0.0, 0.0, 0.0),
         ("LASSO (CV)", 0.0, 0.0, 0.0, 0.0),
@@ -52,8 +55,8 @@ fn linear_comparison(trials: usize) {
                 admm: AdmmConfig { max_iter: 800, ..Default::default() },
                 support_tol: 1e-7,
                 seed: trial as u64,
-                score: Default::default(),
-                    intersection_frac: 1.0,
+                telemetry: Telemetry::with_metrics(metrics.clone()),
+                ..Default::default()
             },
         );
         // LASSO with a small held-out lambda selection (the standard
@@ -93,6 +96,11 @@ fn linear_comparison(trials: usize) {
         ]);
     }
     t.emit("stat_linear_accuracy");
+    emit_run_report(
+        &t.run_report("stat_linear_accuracy")
+            .param("trials", trials)
+            .with_metrics(metrics.snapshot()),
+    );
     println!(
         "claim check: UoI_LASSO should show the LASSO's recall with far fewer false\n\
          positives and near-zero bias (OLS-averaged estimates vs LASSO shrinkage).\n"
@@ -101,6 +109,7 @@ fn linear_comparison(trials: usize) {
 
 fn var_comparison(trials: usize) {
     let p = 12;
+    let metrics = Arc::new(MetricsRegistry::new());
     let mut rows: Vec<(&str, f64, f64, f64)> =
         vec![("UoI_VAR", 0.0, 0.0, 0.0), ("LASSO-VAR", 0.0, 0.0, 0.0), ("MCP-VAR", 0.0, 0.0, 0.0)];
     for trial in 0..trials {
@@ -135,8 +144,8 @@ fn var_comparison(trials: usize) {
                     admm: AdmmConfig { max_iter: 600, ..Default::default() },
                     support_tol: 1e-7,
                     seed: trial as u64,
-                    score: Default::default(),
-                    intersection_frac: 1.0,
+                    telemetry: Telemetry::with_metrics(metrics.clone()),
+                    ..Default::default()
                 },
             },
         );
@@ -175,6 +184,11 @@ fn var_comparison(trials: usize) {
         ]);
     }
     t.emit("stat_var_accuracy");
+    emit_run_report(
+        &t.run_report("stat_var_accuracy")
+            .param("trials", trials)
+            .with_metrics(metrics.snapshot()),
+    );
     println!(
         "claim check: UoI_VAR's intersection suppresses the baselines' false positives at\n\
          comparable recall — the \"superior selection accuracy\" of §I / ref [11]."

@@ -7,7 +7,7 @@ use uoi_bench::setups::{
     lasso_rows, lasso_strong, lasso_weak, single_node, var_features, var_strong, var_weak,
     LASSO_FEATURES,
 };
-use uoi_bench::{exec_ranks, fmt_bytes, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, Table};
 
 fn main() {
     let mut t = Table::new(
@@ -57,6 +57,7 @@ fn main() {
         ]);
     }
     t.emit("table1_setup");
+    emit_run_report(&t.run_report("table1_setup"));
     println!(
         "UoI_LASSO feature count fixed at {LASSO_FEATURES}; VAR samples are twice the features."
     );

@@ -10,7 +10,7 @@
 //! single-stripe file.
 
 use uoi_bench::setups::{lasso_rows, machine};
-use uoi_bench::{exec_ranks, fmt_bytes, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, Table};
 use uoi_linalg::Matrix;
 use uoi_mpisim::Cluster;
 use uoi_tieredio::distribution::{conventional, randomized, ConventionalConfig};
@@ -48,6 +48,7 @@ fn main() {
         ],
     );
 
+    let mut last_summary = None;
     for &(gb, cores, striped) in rows {
         let bytes = gb * 1024.0 * 1024.0 * 1024.0;
         let mut model = machine();
@@ -74,6 +75,7 @@ fn main() {
                 tr
             });
         let rand_distr_scaled = report.results[0].distribute;
+        last_summary = Some(report.run_summary());
 
         // Paper-scale modeled times.
         let chunks = (bytes / conv_cfg.chunk_bytes as f64).ceil() as usize * conv_cfg.passes;
@@ -103,6 +105,11 @@ fn main() {
         ]);
     }
     t.emit("table2_distribution");
+    let mut rep = t.run_report("table2_distribution");
+    if let Some(s) = last_summary {
+        rep = rep.with_summary(s);
+    }
+    emit_run_report(&rep);
     println!(
         "paper shape check: conventional read grows linearly into the thousands of seconds \
          (5+ hours past 1 TB); randomized read stays below ~100 s."

@@ -16,6 +16,8 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+pub use uoi_telemetry::{RunReport, RunSummary, RUN_REPORT_SCHEMA};
+
 pub mod setups;
 pub mod workload;
 
@@ -109,6 +111,33 @@ impl Table {
         s
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Stringified rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Start a `RunReport` carrying this table (schema
+    /// `uoi.run_report/v1`) plus the standard harness knobs. Callers
+    /// chain `.param(..)`, `.with_summary(..)`, `.with_metrics(..)`
+    /// and hand the result to [`emit_run_report`].
+    pub fn run_report(&self, bench: &str) -> RunReport {
+        RunReport::new(bench, self.title.clone())
+            .param("exec_ranks", exec_ranks())
+            .param("scale_divisor", scale_divisor())
+            .param("quick", quick_mode())
+            .with_table(&self.headers, &self.rows)
+    }
+
     /// Print to stdout and save `results/<name>.csv`.
     pub fn emit(&self, name: &str) {
         println!("{}", self.render());
@@ -142,6 +171,17 @@ pub fn results_dir() -> PathBuf {
         }
     }
     PathBuf::from("results")
+}
+
+/// Write a `RunReport` as `results/<bench>.json` (schema
+/// `uoi.run_report/v1`), announcing the path like `Table::emit`.
+pub fn emit_run_report(report: &RunReport) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    match report.write_to_dir(&dir) {
+        Ok(path) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[run report not saved: {e}]"),
+    }
 }
 
 /// Write an arbitrary text artifact under `results/`.

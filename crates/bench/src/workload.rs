@@ -241,8 +241,7 @@ impl VarScalingRun {
                     admm: AdmmConfig { max_iter: 200, ..Default::default() },
                     support_tol: 1e-6,
                     seed: self.seed,
-                    score: Default::default(),
-                    intersection_frac: 1.0,
+                    ..Default::default()
                 },
             },
             n_readers: self.n_readers,

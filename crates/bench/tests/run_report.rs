@@ -1,0 +1,92 @@
+//! End-to-end run-report pipeline: a simulated cluster run's `RunReport`
+//! must reconcile with the `SimReport` phase ledger — through the JSON
+//! serialisation round-trip — within 1e-9, and `emit_run_report` must
+//! land a schema-tagged document on disk.
+
+use uoi_bench::{emit_run_report, Table};
+use uoi_mpisim::{Cluster, MachineModel, PhaseLedger};
+use uoi_telemetry::{Json, RunSummary, RUN_REPORT_SCHEMA};
+
+fn run_cluster() -> uoi_mpisim::SimReport<PhaseLedger> {
+    Cluster::new(4, MachineModel::deterministic())
+        .modeled_ranks(256)
+        .run(|ctx, world| {
+            ctx.compute_flops(1e7 * (world.rank() + 1) as f64, 8192.0);
+            let mut v = vec![1.0; 512];
+            world.allreduce_sum(ctx, &mut v);
+            ctx.charge_io(1e-3);
+            ctx.ledger()
+        })
+}
+
+#[test]
+fn report_phase_totals_reconcile_with_sim_ledger() {
+    let report = run_cluster();
+    let summary = report.run_summary();
+
+    // The summary must be the ledger, not an approximation of it.
+    let lmax = report.phase_max();
+    assert!((summary.phase_max.compute - lmax.compute).abs() < 1e-9);
+    assert!((summary.phase_max.comm - lmax.comm).abs() < 1e-9);
+    assert!((summary.phase_max.distribution - lmax.distribution).abs() < 1e-9);
+    assert!((summary.phase_max.io - lmax.io).abs() < 1e-9);
+    assert!((summary.makespan - report.makespan()).abs() < 1e-9);
+    assert_eq!(summary.exec_ranks, 4);
+    assert_eq!(summary.modeled_ranks, 256);
+    assert!(summary.collectives >= 1);
+
+    // Ledger sum invariant: each rank's clock equals its phase total, so
+    // the mean phase total equals the mean clock.
+    let mean_clock: f64 = report.clocks.iter().sum::<f64>() / report.clocks.len() as f64;
+    assert!((summary.phase_mean.total() - mean_clock).abs() < 1e-9);
+
+    // ... and the reconciliation must survive the JSON round-trip.
+    let mut t = Table::new("reconciliation check", &["rank", "clock"]);
+    for (r, c) in report.clocks.iter().enumerate() {
+        t.row(&[r.to_string(), format!("{c:.12}")]);
+    }
+    let doc = t
+        .run_report("run_report_reconciliation")
+        .with_summary(summary.clone())
+        .to_json_string();
+    let parsed = Json::parse(&doc).expect("report must be valid JSON");
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some(RUN_REPORT_SCHEMA));
+    let round = RunSummary::from_json(parsed.get("summary").unwrap())
+        .expect("summary must deserialise");
+    assert!((round.phase_max.compute - lmax.compute).abs() < 1e-9);
+    assert!((round.phase_max.comm - lmax.comm).abs() < 1e-9);
+    assert!((round.phase_max.distribution - lmax.distribution).abs() < 1e-9);
+    assert!((round.phase_max.io - lmax.io).abs() < 1e-9);
+    assert!((round.phase_mean.total() - mean_clock).abs() < 1e-9);
+}
+
+#[test]
+fn emit_run_report_writes_schema_uniform_json() {
+    let dir = std::env::temp_dir().join(format!("uoi_run_report_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("UOI_RESULTS_DIR", &dir);
+
+    let report = run_cluster();
+    let mut t = Table::new("emit check", &["cores", "total (s)"]);
+    t.row(&["256".into(), format!("{:.6}", report.makespan())]);
+    emit_run_report(
+        &t.run_report("run_report_emit_check")
+            .param("modeled_cores", 256usize)
+            .with_summary(report.run_summary()),
+    );
+
+    let path = dir.join("run_report_emit_check.json");
+    let text = std::fs::read_to_string(&path).expect("report file must exist");
+    let doc = Json::parse(&text).expect("must parse");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some(RUN_REPORT_SCHEMA));
+    assert_eq!(doc.get("bench").unwrap().as_str(), Some("run_report_emit_check"));
+    // The table's numeric cell arrives as a JSON number.
+    let rows = doc.get("table").unwrap().get("rows").unwrap().as_arr().unwrap();
+    assert_eq!(rows[0].as_arr().unwrap()[0].as_num(), Some(256.0));
+    // Summary carries the simulated makespan.
+    let sum = RunSummary::from_json(doc.get("summary").unwrap()).unwrap();
+    assert!((sum.makespan - report.makespan()).abs() < 1e-9);
+
+    std::env::remove_var("UOI_RESULTS_DIR");
+    std::fs::remove_dir_all(&dir).ok();
+}

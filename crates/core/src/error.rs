@@ -1,0 +1,83 @@
+//! Error types for the fallible fitting API.
+//!
+//! [`try_fit_uoi_lasso`](crate::uoi_lasso::try_fit_uoi_lasso) and
+//! [`try_fit_uoi_var`](crate::uoi_var::try_fit_uoi_var) report every
+//! invalid-input condition through [`UoiError`] instead of panicking; the
+//! original `fit_*` entry points remain as thin panicking wrappers for
+//! callers that prefer the assert-style contract.
+
+use std::fmt;
+
+/// Everything that can go wrong before a UoI fit starts: structural
+/// problems with the data or an invalid configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UoiError {
+    /// The design matrix has zero rows or zero columns.
+    EmptyDesign,
+    /// Fewer samples than the algorithm can resample (`n < min`).
+    TooFewSamples { n: usize, min: usize },
+    /// `x` and `y` disagree on the number of samples.
+    DimensionMismatch { expected: usize, got: usize },
+    /// A NaN or infinity in the named input.
+    NonFiniteInput(&'static str),
+    /// The time series is too short for the requested VAR order.
+    SeriesTooShort { n: usize, min: usize },
+    /// A configuration field failed validation.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for UoiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UoiError::EmptyDesign => write!(f, "design matrix is empty"),
+            UoiError::TooFewSamples { n, min } => {
+                write!(f, "need at least {min} samples, got {n}")
+            }
+            UoiError::DimensionMismatch { expected, got } => {
+                write!(f, "response length {got} does not match {expected} design rows")
+            }
+            UoiError::NonFiniteInput(what) => {
+                write!(f, "non-finite value (NaN or infinity) in {what}")
+            }
+            UoiError::SeriesTooShort { n, min } => {
+                write!(f, "series of {n} observations is too short; need more than {min}")
+            }
+            UoiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UoiError {}
+
+impl From<uoi_solvers::InvalidConfig> for UoiError {
+    fn from(e: uoi_solvers::InvalidConfig) -> Self {
+        UoiError::InvalidConfig(e.0)
+    }
+}
+
+/// `true` iff every element of `v` is finite.
+pub(crate) fn all_finite(v: &[f64]) -> bool {
+    v.iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(UoiError::EmptyDesign.to_string().contains("empty"));
+        assert!(UoiError::TooFewSamples { n: 2, min: 4 }.to_string().contains("at least 4"));
+        assert!(UoiError::DimensionMismatch { expected: 10, got: 7 }
+            .to_string()
+            .contains("7"));
+        assert!(UoiError::NonFiniteInput("y").to_string().contains("y"));
+        assert!(UoiError::SeriesTooShort { n: 3, min: 5 }.to_string().contains("short"));
+    }
+
+    #[test]
+    fn solver_config_error_converts() {
+        let e: UoiError = uoi_solvers::InvalidConfig("rho must be positive".into()).into();
+        assert_eq!(e, UoiError::InvalidConfig("rho must be positive".into()));
+    }
+}

@@ -7,6 +7,7 @@
 
 #![allow(clippy::needless_range_loop)]
 
+pub mod error;
 pub mod granger;
 pub mod parallelism;
 pub mod metrics;
@@ -17,11 +18,17 @@ pub mod uoi_var;
 pub mod uoi_var_dist;
 pub mod var_matrices;
 
+pub use error::UoiError;
 pub use granger::{Edge, GrangerNetwork};
 pub use metrics::{estimation_error, EstimationError, SelectionCounts};
 pub use parallelism::{LayoutComms, ParallelLayout};
-pub use uoi_lasso::{bic, fit_uoi_lasso, EstimationScore, UoiFit, UoiLassoConfig};
+pub use uoi_lasso::{
+    bic, fit_uoi_lasso, try_fit_uoi_lasso, EstimationScore, UoiFit, UoiLassoConfig,
+    UoiLassoConfigBuilder,
+};
 pub use uoi_lasso_dist::fit_uoi_lasso_dist;
-pub use uoi_var::{fit_uoi_var, select_var_order, UoiVarConfig, UoiVarFit};
+pub use uoi_var::{
+    fit_uoi_var, select_var_order, try_fit_uoi_var, UoiVarConfig, UoiVarConfigBuilder, UoiVarFit,
+};
 pub use uoi_var_dist::{fit_uoi_var_dist, KronStats, UoiVarDistConfig};
 pub use var_matrices::{flatten_coefficients, partition_coefficients, VarRegression};

@@ -12,12 +12,35 @@
 //! score it on the held-out evaluation rows, keep the best support per
 //! resample, and average the winning estimates (the union of eq. 4).
 
+use crate::error::{all_finite, UoiError};
 use crate::support::{dedup_family, intersect_many};
 use rayon::prelude::*;
 use uoi_data::bootstrap::row_bootstrap;
 use uoi_data::rng::substream;
 use uoi_linalg::Matrix;
 use uoi_solvers::{lambda_path, ols_on_support, support_of, AdmmConfig, LassoAdmm};
+use uoi_telemetry::{Telemetry, TraceEvent};
+
+/// Run `body` inside a named trace span when tracing is on. Serial fits
+/// have no virtual clock, so the span carries wall time: `t = 0` at
+/// open, elapsed wall seconds at close.
+pub(crate) fn traced<R>(tel: &Telemetry, name: &str, body: impl FnOnce() -> R) -> R {
+    if !tel.tracing_enabled() {
+        return body();
+    }
+    let id = tel.next_span_id();
+    tel.record(TraceEvent::SpanStart {
+        id,
+        parent: None,
+        name: name.to_string(),
+        rank: 0,
+        t: 0.0,
+    });
+    let t0 = std::time::Instant::now();
+    let out = body();
+    tel.record(TraceEvent::SpanEnd { id, rank: 0, t: t0.elapsed().as_secs_f64() });
+    out
+}
 
 /// How candidate supports are scored in the estimation step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +79,10 @@ pub struct UoiLassoConfig {
     /// bootstrap supports. `1.0` is the paper's strict intersection
     /// (eq. 3); lower values trade false negatives for false positives.
     pub intersection_frac: f64,
+    /// Observability handle: when its metrics registry is enabled, fits
+    /// record selection/estimation statistics and the per-solve ADMM
+    /// metrics. Disabled (free) by default.
+    pub telemetry: Telemetry,
 }
 
 impl Default for UoiLassoConfig {
@@ -70,7 +97,118 @@ impl Default for UoiLassoConfig {
             seed: 42,
             score: EstimationScore::Mse,
             intersection_frac: 1.0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+}
+
+impl UoiLassoConfig {
+    /// Start a validated chainable builder:
+    /// `UoiLassoConfig::builder().b1(20).q(30).build()?`.
+    pub fn builder() -> UoiLassoConfigBuilder {
+        UoiLassoConfigBuilder::default()
+    }
+
+    /// Check every field; `Err` names the first offending one.
+    pub fn validate(&self) -> Result<(), UoiError> {
+        if self.b1 == 0 {
+            return Err(UoiError::InvalidConfig("b1 must be >= 1".into()));
+        }
+        if self.b2 == 0 {
+            return Err(UoiError::InvalidConfig("b2 must be >= 1".into()));
+        }
+        if self.q == 0 {
+            return Err(UoiError::InvalidConfig("q must be >= 1".into()));
+        }
+        if !(self.lambda_min_ratio.is_finite()
+            && self.lambda_min_ratio > 0.0
+            && self.lambda_min_ratio < 1.0)
+        {
+            return Err(UoiError::InvalidConfig(format!(
+                "lambda_min_ratio must be in (0, 1), got {}",
+                self.lambda_min_ratio
+            )));
+        }
+        if !(self.support_tol.is_finite() && self.support_tol >= 0.0) {
+            return Err(UoiError::InvalidConfig(format!(
+                "support_tol must be finite and >= 0, got {}",
+                self.support_tol
+            )));
+        }
+        if !(self.intersection_frac.is_finite()
+            && self.intersection_frac > 0.0
+            && self.intersection_frac <= 1.0)
+        {
+            return Err(UoiError::InvalidConfig(format!(
+                "intersection_frac must be in (0, 1], got {}",
+                self.intersection_frac
+            )));
+        }
+        self.admm.validate()?;
+        Ok(())
+    }
+}
+
+/// Chainable builder for [`UoiLassoConfig`]; `build()` validates.
+#[derive(Debug, Clone, Default)]
+pub struct UoiLassoConfigBuilder {
+    cfg: UoiLassoConfig,
+}
+
+impl UoiLassoConfigBuilder {
+    pub fn b1(mut self, b1: usize) -> Self {
+        self.cfg.b1 = b1;
+        self
+    }
+
+    pub fn b2(mut self, b2: usize) -> Self {
+        self.cfg.b2 = b2;
+        self
+    }
+
+    pub fn q(mut self, q: usize) -> Self {
+        self.cfg.q = q;
+        self
+    }
+
+    pub fn lambda_min_ratio(mut self, ratio: f64) -> Self {
+        self.cfg.lambda_min_ratio = ratio;
+        self
+    }
+
+    pub fn admm(mut self, admm: AdmmConfig) -> Self {
+        self.cfg.admm = admm;
+        self
+    }
+
+    pub fn support_tol(mut self, tol: f64) -> Self {
+        self.cfg.support_tol = tol;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn score(mut self, score: EstimationScore) -> Self {
+        self.cfg.score = score;
+        self
+    }
+
+    pub fn intersection_frac(mut self, frac: f64) -> Self {
+        self.cfg.intersection_frac = frac;
+        self
+    }
+
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    pub fn build(self) -> Result<UoiLassoConfig, UoiError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -104,16 +242,51 @@ impl UoiFit {
     }
 }
 
+/// Fit `UoI_LASSO` on `(x, y)`, panicking on invalid input.
+///
+/// Thin wrapper over [`try_fit_uoi_lasso`] for callers that prefer the
+/// assert-style contract; library code should use the fallible form.
+pub fn fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
+    try_fit_uoi_lasso(x, y, cfg).unwrap_or_else(|e| panic!("fit_uoi_lasso: {e}"))
+}
+
 /// Fit `UoI_LASSO` on `(x, y)`.
 ///
 /// Data is column-centred internally (the paper's `n x (p+1)` intercept
 /// column is handled by centring instead of penalised estimation); the
 /// returned intercept restores original coordinates.
-pub fn fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
+///
+/// Returns `Err` — and never panics — on an empty design, mismatched
+/// `x`/`y` lengths, too few samples to resample, non-finite inputs, or an
+/// invalid configuration.
+pub fn try_fit_uoi_lasso(
+    x: &Matrix,
+    y: &[f64],
+    cfg: &UoiLassoConfig,
+) -> Result<UoiFit, UoiError> {
     let (n, p) = x.shape();
-    assert_eq!(y.len(), n, "response length mismatch");
-    assert!(cfg.b1 >= 1 && cfg.b2 >= 1 && cfg.q >= 1);
-    assert!(n >= 4, "need at least 4 samples");
+    if n == 0 || p == 0 {
+        return Err(UoiError::EmptyDesign);
+    }
+    if y.len() != n {
+        return Err(UoiError::DimensionMismatch { expected: n, got: y.len() });
+    }
+    if n < 4 {
+        return Err(UoiError::TooFewSamples { n, min: 4 });
+    }
+    if !all_finite(x.as_slice()) {
+        return Err(UoiError::NonFiniteInput("design matrix x"));
+    }
+    if !all_finite(y) {
+        return Err(UoiError::NonFiniteInput("response y"));
+    }
+    cfg.validate()?;
+    Ok(fit_inner(x, y, cfg))
+}
+
+/// The validated fit body (inputs already checked).
+fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
+    let (n, p) = x.shape();
 
     // Centre.
     let x_means = x.col_means();
@@ -126,21 +299,27 @@ pub fn fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
     let lambdas = lambda_path(&xc, &yc, cfg.q, cfg.lambda_min_ratio);
 
     // --- Model selection: B1 bootstraps x q lambdas. ---
-    let supports_by_bootstrap: Vec<Vec<Vec<usize>>> = (0..cfg.b1)
-        .into_par_iter()
-        .map(|k| {
-            let mut rng = substream(cfg.seed, k as u64);
-            let idx = row_bootstrap(&mut rng, n, n);
-            let xb = xc.gather_rows(&idx);
-            let yb: Vec<f64> = idx.iter().map(|&i| yc[i]).collect();
-            let solver = LassoAdmm::new(xb, cfg.admm.clone());
-            solver
-                .solve_path(&yb, &lambdas)
-                .into_iter()
-                .map(|sol| support_of(&sol.beta, cfg.support_tol))
+    let supports_by_bootstrap: Vec<Vec<Vec<usize>>> =
+        traced(&cfg.telemetry, "uoi_lasso.selection", || {
+            (0..cfg.b1)
+                .into_par_iter()
+                .map(|k| {
+                    let mut rng = substream(cfg.seed, k as u64);
+                    let idx = row_bootstrap(&mut rng, n, n);
+                    let xb = xc.gather_rows(&idx);
+                    let yb: Vec<f64> = idx.iter().map(|&i| yc[i]).collect();
+                    let mut solver = LassoAdmm::new(xb, cfg.admm.clone());
+                    if let Some(m) = cfg.telemetry.metrics() {
+                        solver = solver.with_metrics(m);
+                    }
+                    solver
+                        .solve_path(&yb, &lambdas)
+                        .into_iter()
+                        .map(|sol| support_of(&sol.beta, cfg.support_tol))
+                        .collect()
+                })
                 .collect()
-        })
-        .collect();
+        });
 
     // Intersect across bootstraps per lambda (eq. 3), with the soft
     // threshold generalisation: keep features present in at least
@@ -167,32 +346,41 @@ pub fn fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
         .collect();
     let support_family = dedup_family(supports_per_lambda.clone());
 
-    // --- Model estimation: B2 train/eval resamples. ---
-    let best_estimates: Vec<Vec<f64>> = (0..cfg.b2)
-        .into_par_iter()
-        .map(|k| {
-            let mut rng = substream(cfg.seed, 10_000 + k as u64);
-            let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
-            let xt = xc.gather_rows(&train_idx);
-            let yt: Vec<f64> = train_idx.iter().map(|&i| yc[i]).collect();
-            let xe = xc.gather_rows(&eval_idx);
-            let ye: Vec<f64> = eval_idx.iter().map(|&i| yc[i]).collect();
+    cfg.telemetry.incr("uoi.selection.bootstraps", cfg.b1 as u64);
+    for s in &supports_per_lambda {
+        cfg.telemetry.observe("uoi.selection.support_size", s.len() as f64);
+    }
+    cfg.telemetry.gauge("uoi.selection.family_size", support_family.len() as f64);
 
-            let mut best: Option<(f64, Vec<f64>)> = None;
-            for support in &support_family {
-                let beta = ols_on_support(&xt, &yt, support);
-                let loss = match cfg.score {
-                    EstimationScore::Mse => uoi_linalg::mse(&xe, &beta, &ye),
-                    EstimationScore::Bic => bic(&xt, &beta, &yt, support.len()),
-                };
-                if best.as_ref().is_none_or(|(l, _)| loss < *l) {
-                    best = Some((loss, beta));
-                }
-            }
-            // An empty family (or all-empty supports) estimates zero.
-            best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; p])
-        })
-        .collect();
+    // --- Model estimation: B2 train/eval resamples. ---
+    let best_estimates: Vec<Vec<f64>> =
+        traced(&cfg.telemetry, "uoi_lasso.estimation", || {
+            (0..cfg.b2)
+                .into_par_iter()
+                .map(|k| {
+                    let mut rng = substream(cfg.seed, 10_000 + k as u64);
+                    let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
+                    let xt = xc.gather_rows(&train_idx);
+                    let yt: Vec<f64> = train_idx.iter().map(|&i| yc[i]).collect();
+                    let xe = xc.gather_rows(&eval_idx);
+                    let ye: Vec<f64> = eval_idx.iter().map(|&i| yc[i]).collect();
+
+                    let mut best: Option<(f64, Vec<f64>)> = None;
+                    for support in &support_family {
+                        let beta = ols_on_support(&xt, &yt, support);
+                        let loss = match cfg.score {
+                            EstimationScore::Mse => uoi_linalg::mse(&xe, &beta, &ye),
+                            EstimationScore::Bic => bic(&xt, &beta, &yt, support.len()),
+                        };
+                        if best.as_ref().is_none_or(|(l, _)| loss < *l) {
+                            best = Some((loss, beta));
+                        }
+                    }
+                    // An empty family (or all-empty supports) estimates zero.
+                    best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; p])
+                })
+                .collect()
+        });
 
     // Average the winners (eq. 4).
     let mut beta = vec![0.0; p];
@@ -208,6 +396,9 @@ pub fn fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
     // Restore intercept: y ≈ (x - x̄) b + ȳ  =>  icpt = ȳ - x̄·b.
     let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
     let support = support_of(&beta, cfg.support_tol);
+
+    cfg.telemetry.incr("uoi.estimation.bootstraps", cfg.b2 as u64);
+    cfg.telemetry.gauge("uoi.support_size", support.len() as f64);
 
     UoiFit { beta, intercept, support, lambdas, supports_per_lambda, support_family }
 }

@@ -91,6 +91,7 @@ pub fn fit_uoi_lasso_dist(
     // --- Model selection ---
     // votes[j*p + f] = number of bootstraps whose lambda_j support
     // contains f (group leaders contribute; one vote per (k, j)).
+    let sel_span = ctx.span_enter("uoi.selection");
     let mut votes = vec![0.0; cfg.q * p];
     for &k in &layout.bootstraps_for(comms.b_group, cfg.b1) {
         let mut rng = substream(cfg.seed, k as u64);
@@ -123,9 +124,11 @@ pub fn fit_uoi_lasso_dist(
         })
         .collect();
     let support_family = dedup_family(supports_per_lambda.clone());
+    ctx.span_exit(sel_span);
 
     // --- Model estimation ---
     // Estimation bootstraps are spread over all (b, lambda) groups.
+    let est_span = ctx.span_enter("uoi.estimation");
     let groups = layout.p_b * layout.p_lambda;
     let my_group = comms.b_group * layout.p_lambda + comms.l_group;
     let mut est_sum = vec![0.0; p];
@@ -180,6 +183,7 @@ pub fn fit_uoi_lasso_dist(
     }
     // Reduce: average the winners across groups (eq. 4).
     world.allreduce_sum(ctx, &mut est_sum);
+    ctx.span_exit(est_span);
     let beta: Vec<f64> = est_sum.iter().map(|v| v / cfg.b2 as f64).collect();
 
     let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
@@ -221,8 +225,7 @@ mod tests {
             admm: AdmmConfig { max_iter: 3000, abstol: 1e-9, reltol: 1e-8, ..Default::default() },
             support_tol: 1e-6,
             seed: 7,
-            score: Default::default(),
-                    intersection_frac: 1.0,
+            ..Default::default()
         }
     }
 

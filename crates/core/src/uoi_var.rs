@@ -13,6 +13,7 @@
 //! Temporal dependence is respected by a moving-block bootstrap over the
 //! regression rows (Algorithm 2 lines 3, 17–18).
 
+use crate::error::{all_finite, UoiError};
 use crate::support::{dedup_family, intersect_many};
 use crate::uoi_lasso::UoiLassoConfig;
 use crate::var_matrices::{partition_coefficients, VarRegression};
@@ -37,6 +38,102 @@ pub struct UoiVarConfig {
 impl Default for UoiVarConfig {
     fn default() -> Self {
         Self { order: 1, block_len: None, base: UoiLassoConfig::default() }
+    }
+}
+
+impl UoiVarConfig {
+    /// Start a validated chainable builder:
+    /// `UoiVarConfig::builder().order(2).b1(10).build()?`.
+    pub fn builder() -> UoiVarConfigBuilder {
+        UoiVarConfigBuilder::default()
+    }
+
+    /// Check every field (including the embedded [`UoiLassoConfig`]).
+    pub fn validate(&self) -> Result<(), UoiError> {
+        if self.order == 0 {
+            return Err(UoiError::InvalidConfig("order must be >= 1".into()));
+        }
+        if let Some(bl) = self.block_len {
+            if bl == 0 {
+                return Err(UoiError::InvalidConfig("block_len must be >= 1".into()));
+            }
+        }
+        self.base.validate()
+    }
+}
+
+/// Chainable builder for [`UoiVarConfig`]; `build()` validates. The
+/// common `base` knobs (`b1`, `b2`, `q`, `seed`, `admm`, ...) are exposed
+/// directly so a full VAR setup reads as one chain.
+#[derive(Debug, Clone, Default)]
+pub struct UoiVarConfigBuilder {
+    cfg: UoiVarConfig,
+}
+
+impl UoiVarConfigBuilder {
+    pub fn order(mut self, order: usize) -> Self {
+        self.cfg.order = order;
+        self
+    }
+
+    pub fn block_len(mut self, block_len: Option<usize>) -> Self {
+        self.cfg.block_len = block_len;
+        self
+    }
+
+    pub fn base(mut self, base: UoiLassoConfig) -> Self {
+        self.cfg.base = base;
+        self
+    }
+
+    pub fn b1(mut self, b1: usize) -> Self {
+        self.cfg.base.b1 = b1;
+        self
+    }
+
+    pub fn b2(mut self, b2: usize) -> Self {
+        self.cfg.base.b2 = b2;
+        self
+    }
+
+    pub fn q(mut self, q: usize) -> Self {
+        self.cfg.base.q = q;
+        self
+    }
+
+    pub fn lambda_min_ratio(mut self, ratio: f64) -> Self {
+        self.cfg.base.lambda_min_ratio = ratio;
+        self
+    }
+
+    pub fn admm(mut self, admm: uoi_solvers::AdmmConfig) -> Self {
+        self.cfg.base.admm = admm;
+        self
+    }
+
+    pub fn support_tol(mut self, tol: f64) -> Self {
+        self.cfg.base.support_tol = tol;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.base.seed = seed;
+        self
+    }
+
+    pub fn intersection_frac(mut self, frac: f64) -> Self {
+        self.cfg.base.intersection_frac = frac;
+        self
+    }
+
+    pub fn telemetry(mut self, telemetry: uoi_telemetry::Telemetry) -> Self {
+        self.cfg.base.telemetry = telemetry;
+        self
+    }
+
+    pub fn build(self) -> Result<UoiVarConfig, UoiError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -168,13 +265,41 @@ pub fn select_var_order(series: &Matrix, max_order: usize) -> usize {
     best.1
 }
 
+/// Fit `UoI_VAR` on an `N x p` series, panicking on invalid input.
+///
+/// Thin wrapper over [`try_fit_uoi_var`] for callers that prefer the
+/// assert-style contract; library code should use the fallible form.
+pub fn fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
+    try_fit_uoi_var(series, cfg).unwrap_or_else(|e| panic!("fit_uoi_var: {e}"))
+}
+
 /// Fit `UoI_VAR` on an `N x p` series (row `t` = observation at time `t`).
 ///
 /// Columns are centred internally; `mu` restores the process mean.
-pub fn fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
+///
+/// Returns `Err` — and never panics — on an empty series, a series too
+/// short for the requested order, non-finite values, or an invalid
+/// configuration.
+pub fn try_fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError> {
     let (n_raw, p) = series.shape();
+    if n_raw == 0 || p == 0 {
+        return Err(UoiError::EmptyDesign);
+    }
+    cfg.validate()?;
     let d = cfg.order;
-    assert!(n_raw > d + 4, "series too short for order {d}");
+    if n_raw <= d + 4 {
+        return Err(UoiError::SeriesTooShort { n: n_raw, min: d + 4 });
+    }
+    if !all_finite(series.as_slice()) {
+        return Err(UoiError::NonFiniteInput("series"));
+    }
+    Ok(fit_inner(series, cfg))
+}
+
+/// The validated fit body (inputs already checked).
+fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
+    let (_, p) = series.shape();
+    let d = cfg.order;
 
     let means = series.col_means();
     let mut centred = series.clone();
@@ -198,29 +323,37 @@ pub fn fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
 
     // --- Model selection (Algorithm 2 lines 1-13). ---
     // Per bootstrap: one shared factorisation, p column paths.
-    let supports_by_bootstrap: Vec<Vec<Vec<usize>>> = (0..base.b1)
-        .into_par_iter()
-        .map(|k| {
-            let mut rng = substream(base.seed, k as u64);
-            let rows = block_bootstrap(&mut rng, n, n, block_len);
-            let boot = reg.gather(&rows);
-            let solver = LassoAdmm::new(boot.x.clone(), base.admm.clone());
-            // supports[j] = vectorised support at lambda_j.
-            let mut supports = vec![Vec::new(); lambdas.len()];
-            for i in 0..p {
-                let yi = boot.y.col(i);
-                for (j, sol) in solver.solve_path(&yi, &lambdas).into_iter().enumerate() {
-                    for idx in support_of(&sol.beta, base.support_tol) {
-                        supports[j].push(i * dp + idx);
+    let supports_by_bootstrap: Vec<Vec<Vec<usize>>> =
+        crate::uoi_lasso::traced(&base.telemetry, "uoi_var.selection", || {
+            (0..base.b1)
+                .into_par_iter()
+                .map(|k| {
+                    let mut rng = substream(base.seed, k as u64);
+                    let rows = block_bootstrap(&mut rng, n, n, block_len);
+                    let boot = reg.gather(&rows);
+                    let mut solver = LassoAdmm::new(boot.x.clone(), base.admm.clone());
+                    if let Some(m) = base.telemetry.metrics() {
+                        solver = solver.with_metrics(m);
                     }
-                }
-            }
-            for s in &mut supports {
-                s.sort_unstable();
-            }
-            supports
-        })
-        .collect();
+                    // supports[j] = vectorised support at lambda_j.
+                    let mut supports = vec![Vec::new(); lambdas.len()];
+                    for i in 0..p {
+                        let yi = boot.y.col(i);
+                        for (j, sol) in
+                            solver.solve_path(&yi, &lambdas).into_iter().enumerate()
+                        {
+                            for idx in support_of(&sol.beta, base.support_tol) {
+                                supports[j].push(i * dp + idx);
+                            }
+                        }
+                    }
+                    for s in &mut supports {
+                        s.sort_unstable();
+                    }
+                    supports
+                })
+                .collect()
+        });
 
     let needed = crate::uoi_lasso::required_votes(base.intersection_frac, base.b1);
     let supports_per_lambda: Vec<Vec<usize>> = (0..lambdas.len())
@@ -242,26 +375,36 @@ pub fn fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
         .collect();
     let support_family = dedup_family(supports_per_lambda.clone());
 
-    // --- Model estimation (lines 14-30). ---
-    let best_estimates: Vec<Vec<f64>> = (0..base.b2)
-        .into_par_iter()
-        .map(|k| {
-            let mut rng = substream(base.seed, 20_000 + k as u64);
-            let (train_rows, eval_rows) = block_bootstrap_with_oob(&mut rng, n, block_len);
-            let train = reg.gather(&train_rows);
-            let eval = reg.gather(&eval_rows);
+    base.telemetry.incr("uoi_var.selection.bootstraps", base.b1 as u64);
+    for s in &supports_per_lambda {
+        base.telemetry.observe("uoi_var.selection.support_size", s.len() as f64);
+    }
+    base.telemetry.gauge("uoi_var.selection.family_size", support_family.len() as f64);
 
-            let mut best: Option<(f64, Vec<f64>)> = None;
-            for support in &support_family {
-                let beta = var_ols_on_support(&train, support, p, dp);
-                let loss = var_loss(&eval, &beta, p, dp);
-                if best.as_ref().is_none_or(|(l, _)| loss < *l) {
-                    best = Some((loss, beta));
-                }
-            }
-            best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; total_coef])
-        })
-        .collect();
+    // --- Model estimation (lines 14-30). ---
+    let best_estimates: Vec<Vec<f64>> =
+        crate::uoi_lasso::traced(&base.telemetry, "uoi_var.estimation", || {
+            (0..base.b2)
+                .into_par_iter()
+                .map(|k| {
+                    let mut rng = substream(base.seed, 20_000 + k as u64);
+                    let (train_rows, eval_rows) =
+                        block_bootstrap_with_oob(&mut rng, n, block_len);
+                    let train = reg.gather(&train_rows);
+                    let eval = reg.gather(&eval_rows);
+
+                    let mut best: Option<(f64, Vec<f64>)> = None;
+                    for support in &support_family {
+                        let beta = var_ols_on_support(&train, support, p, dp);
+                        let loss = var_loss(&eval, &beta, p, dp);
+                        if best.as_ref().is_none_or(|(l, _)| loss < *l) {
+                            best = Some((loss, beta));
+                        }
+                    }
+                    best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; total_coef])
+                })
+                .collect()
+        });
 
     let mut vec_beta = vec![0.0; total_coef];
     for est in &best_estimates {
@@ -282,6 +425,10 @@ pub fn fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
             *m -= s;
         }
     }
+
+    base.telemetry.incr("uoi_var.estimation.bootstraps", base.b2 as u64);
+    base.telemetry
+        .gauge("uoi_var.nnz", vec_beta.iter().filter(|v| v.abs() > 0.0).count() as f64);
 
     UoiVarFit { a_mats, mu, vec_beta, lambdas, supports_per_lambda, support_family }
 }
@@ -364,8 +511,7 @@ mod tests {
                 admm: AdmmConfig { max_iter: 600, ..Default::default() },
                 support_tol: 1e-7,
                 seed: 11,
-            score: Default::default(),
-                    intersection_frac: 1.0,
+                ..Default::default()
             },
         }
     }

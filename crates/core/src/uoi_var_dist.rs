@@ -133,6 +133,7 @@ pub fn fit_uoi_var_dist(
     // Each (bootstrap-group, lambda-group) pair handles its share of the
     // (k, lambda_j) grid; group leaders vote, one world allreduce
     // realises the eq. 3 intersection for every lambda at once.
+    let sel_span = ctx.span_enter("uoi_var.selection");
     let my_lambda_ids = cfg.layout.lambdas_for(comms.l_group, base.q);
     let my_lambdas: Vec<f64> = my_lambda_ids.iter().map(|&j| lambdas[j]).collect();
     let mut votes = vec![0.0; base.q * total_coef];
@@ -170,9 +171,11 @@ pub fn fit_uoi_var_dist(
         })
         .collect();
     let support_family = dedup_family(supports_per_lambda.clone());
+    ctx.span_exit(sel_span);
 
     // --- Model estimation ---
     // Estimation bootstraps are spread over all (b, lambda) groups.
+    let est_span = ctx.span_enter("uoi_var.estimation");
     let groups = cfg.layout.p_b * cfg.layout.p_lambda;
     let my_group = comms.b_group * cfg.layout.p_lambda + comms.l_group;
     let mut est_sum = vec![0.0; total_coef];
@@ -242,6 +245,7 @@ pub fn fit_uoi_var_dist(
     }
     // Union reduce (eq. 4): average the winners across groups.
     world.allreduce_sum(ctx, &mut est_sum);
+    ctx.span_exit(est_span);
     let vec_beta: Vec<f64> = est_sum.iter().map(|v| v / base.b2 as f64).collect();
 
     let a_mats = partition_coefficients(&vec_beta, p, d);
@@ -317,7 +321,12 @@ fn dist_lasso_path(
     let total = dp * p;
     let n = boot.samples();
 
-    let solver = LassoAdmm::new(boot.x.clone(), base.admm.clone());
+    let mut solver = LassoAdmm::new(boot.x.clone(), base.admm.clone());
+    // Per-column convergence lands in the shared registry via `step`;
+    // columns are disjointly owned, so counts are not duplicated.
+    if let Some(m) = ctx.telemetry().metrics() {
+        solver = solver.with_metrics(m);
+    }
     ctx.compute_flops(
         uoi_solvers::admm_factor_flops(n, dp),
         (n * dp * 8) as f64,
@@ -404,8 +413,7 @@ mod tests {
                     },
                     support_tol: 1e-6,
                     seed: 17,
-            score: Default::default(),
-                    intersection_frac: 1.0,
+                    ..Default::default()
                 },
             },
             n_readers: 2,

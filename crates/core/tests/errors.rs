@@ -1,0 +1,189 @@
+//! Error paths of the fallible fitting API: every invalid-input case
+//! returns `Err` (never panics), the panicking wrappers preserve their
+//! old contract, and the builders reject bad configurations.
+
+use uoi_core::{
+    try_fit_uoi_lasso, try_fit_uoi_var, UoiError, UoiLassoConfig, UoiVarConfig,
+};
+use uoi_data::LinearConfig;
+use uoi_linalg::Matrix;
+
+fn small_ds() -> (Matrix, Vec<f64>) {
+    let ds = LinearConfig {
+        n_samples: 40,
+        n_features: 8,
+        n_nonzero: 2,
+        seed: 1,
+        ..Default::default()
+    }
+    .generate();
+    (ds.x, ds.y)
+}
+
+fn quick_cfg() -> UoiLassoConfig {
+    UoiLassoConfig::builder()
+        .b1(3)
+        .b2(3)
+        .q(5)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn empty_design_is_an_error() {
+    let x = Matrix::zeros(0, 0);
+    assert_eq!(
+        try_fit_uoi_lasso(&x, &[], &quick_cfg()).unwrap_err(),
+        UoiError::EmptyDesign
+    );
+    let no_cols = Matrix::zeros(10, 0);
+    assert_eq!(
+        try_fit_uoi_lasso(&no_cols, &vec![0.0; 10], &quick_cfg()).unwrap_err(),
+        UoiError::EmptyDesign
+    );
+}
+
+#[test]
+fn mismatched_lengths_are_an_error() {
+    let (x, mut y) = small_ds();
+    y.pop();
+    assert_eq!(
+        try_fit_uoi_lasso(&x, &y, &quick_cfg()).unwrap_err(),
+        UoiError::DimensionMismatch { expected: 40, got: 39 }
+    );
+}
+
+#[test]
+fn too_few_samples_is_an_error() {
+    let x = Matrix::zeros(3, 5);
+    let y = vec![0.0; 3];
+    assert_eq!(
+        try_fit_uoi_lasso(&x, &y, &quick_cfg()).unwrap_err(),
+        UoiError::TooFewSamples { n: 3, min: 4 }
+    );
+}
+
+#[test]
+fn non_finite_inputs_are_an_error() {
+    let (mut x, y) = small_ds();
+    x[(2, 3)] = f64::NAN;
+    assert_eq!(
+        try_fit_uoi_lasso(&x, &y, &quick_cfg()).unwrap_err(),
+        UoiError::NonFiniteInput("design matrix x")
+    );
+    let (x, mut y) = small_ds();
+    y[7] = f64::INFINITY;
+    assert_eq!(
+        try_fit_uoi_lasso(&x, &y, &quick_cfg()).unwrap_err(),
+        UoiError::NonFiniteInput("response y")
+    );
+}
+
+#[test]
+fn zero_bootstraps_is_an_error_not_a_panic() {
+    let (x, y) = small_ds();
+    let cfg = UoiLassoConfig { b1: 0, ..quick_cfg() };
+    match try_fit_uoi_lasso(&x, &y, &cfg) {
+        Err(UoiError::InvalidConfig(msg)) => assert!(msg.contains("b1")),
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    let cfg = UoiLassoConfig { b2: 0, ..quick_cfg() };
+    assert!(matches!(try_fit_uoi_lasso(&x, &y, &cfg), Err(UoiError::InvalidConfig(_))));
+    let cfg = UoiLassoConfig { q: 0, ..quick_cfg() };
+    assert!(matches!(try_fit_uoi_lasso(&x, &y, &cfg), Err(UoiError::InvalidConfig(_))));
+}
+
+#[test]
+fn bad_solver_config_propagates() {
+    let (x, y) = small_ds();
+    let mut cfg = quick_cfg();
+    cfg.admm.rho = -1.0;
+    match try_fit_uoi_lasso(&x, &y, &cfg) {
+        Err(UoiError::InvalidConfig(msg)) => assert!(msg.contains("rho")),
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn valid_input_fits_ok() {
+    let (x, y) = small_ds();
+    let fit = try_fit_uoi_lasso(&x, &y, &quick_cfg()).unwrap();
+    assert_eq!(fit.beta.len(), 8);
+}
+
+#[test]
+fn lasso_builder_rejects_bad_fields() {
+    assert!(UoiLassoConfig::builder().lambda_min_ratio(0.0).build().is_err());
+    assert!(UoiLassoConfig::builder().lambda_min_ratio(1.5).build().is_err());
+    assert!(UoiLassoConfig::builder().support_tol(f64::NAN).build().is_err());
+    assert!(UoiLassoConfig::builder().intersection_frac(0.0).build().is_err());
+    assert!(UoiLassoConfig::builder().intersection_frac(1.1).build().is_err());
+    assert!(UoiLassoConfig::builder().b1(0).build().is_err());
+    // The happy path round-trips all fields.
+    let cfg = UoiLassoConfig::builder()
+        .b1(7)
+        .b2(9)
+        .q(11)
+        .seed(99)
+        .intersection_frac(0.8)
+        .build()
+        .unwrap();
+    assert_eq!((cfg.b1, cfg.b2, cfg.q, cfg.seed), (7, 9, 11, 99));
+    assert_eq!(cfg.intersection_frac, 0.8);
+}
+
+#[test]
+fn var_series_too_short_is_an_error() {
+    let series = Matrix::zeros(5, 3);
+    let cfg = UoiVarConfig::builder().order(1).b1(2).b2(2).q(3).build().unwrap();
+    assert_eq!(
+        try_fit_uoi_var(&series, &cfg).unwrap_err(),
+        UoiError::SeriesTooShort { n: 5, min: 5 }
+    );
+    assert_eq!(
+        try_fit_uoi_var(&Matrix::zeros(0, 0), &cfg).unwrap_err(),
+        UoiError::EmptyDesign
+    );
+}
+
+#[test]
+fn var_non_finite_series_is_an_error() {
+    let mut series = Matrix::zeros(60, 3);
+    for i in 0..60 {
+        for j in 0..3 {
+            series[(i, j)] = ((i * 7 + j * 13) % 11) as f64 - 5.0;
+        }
+    }
+    series[(30, 1)] = f64::NEG_INFINITY;
+    let cfg = UoiVarConfig::builder().order(1).b1(2).b2(2).q(3).build().unwrap();
+    assert_eq!(
+        try_fit_uoi_var(&series, &cfg).unwrap_err(),
+        UoiError::NonFiniteInput("series")
+    );
+}
+
+#[test]
+fn var_builder_validates_order_and_base() {
+    assert!(UoiVarConfig::builder().order(0).build().is_err());
+    assert!(UoiVarConfig::builder().block_len(Some(0)).build().is_err());
+    assert!(UoiVarConfig::builder().q(0).build().is_err());
+    let cfg = UoiVarConfig::builder()
+        .order(2)
+        .block_len(Some(10))
+        .b1(5)
+        .seed(3)
+        .build()
+        .unwrap();
+    assert_eq!(cfg.order, 2);
+    assert_eq!(cfg.block_len, Some(10));
+    assert_eq!((cfg.base.b1, cfg.base.seed), (5, 3));
+}
+
+#[test]
+fn panicking_wrapper_still_panics() {
+    let result = std::panic::catch_unwind(|| {
+        let x = Matrix::zeros(2, 2);
+        uoi_core::fit_uoi_lasso(&x, &[0.0, 0.0], &quick_cfg())
+    });
+    assert!(result.is_err(), "fit_uoi_lasso must keep its panicking contract");
+}

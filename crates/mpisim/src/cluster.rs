@@ -6,6 +6,7 @@ use crate::ledger::{CollectiveEvent, Phase, PhaseLedger};
 use crate::model::MachineModel;
 use parking_lot::Mutex;
 use std::sync::Arc;
+use uoi_telemetry::{PhaseTotals, RunSummary, Telemetry};
 
 /// A simulated machine partition.
 ///
@@ -21,13 +22,26 @@ pub struct Cluster {
     exec_ranks: usize,
     modeled_ranks: usize,
     model: Arc<MachineModel>,
+    telemetry: Telemetry,
 }
 
 impl Cluster {
     /// A cluster executing (and modeling) `ranks` ranks.
     pub fn new(ranks: usize, model: MachineModel) -> Self {
         assert!(ranks >= 1, "cluster needs at least one rank");
-        Self { exec_ranks: ranks, modeled_ranks: ranks, model: Arc::new(model) }
+        Self {
+            exec_ranks: ranks,
+            modeled_ranks: ranks,
+            model: Arc::new(model),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Install a telemetry handle: every rank context records phase
+    /// charges, spans, collectives, and window transfers through it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Evaluate costs as if the partition had `p` ranks (`p >=
@@ -79,8 +93,9 @@ impl Cluster {
                 let model = self.model.clone();
                 let f = &f;
                 let exec = self.exec_ranks;
+                let telemetry = self.telemetry.clone();
                 handles.push(scope.spawn(move || {
-                    let mut ctx = RankCtx::new(rank, exec, model, oversub);
+                    let mut ctx = RankCtx::new(rank, exec, model, oversub, telemetry);
                     let comm = Comm::from_inner(world, rank);
                     let out = f(&mut ctx, &comm);
                     let (ledger, clock) = ctx.into_parts();
@@ -106,8 +121,13 @@ impl Cluster {
             report.ledgers.push(ledger);
             report.clocks.push(clock);
         }
+        self.telemetry.flush();
         report
     }
+}
+
+fn phase_totals(l: &PhaseLedger) -> PhaseTotals {
+    PhaseTotals { compute: l.compute, comm: l.comm, distribution: l.distribution, io: l.io }
 }
 
 /// Result of a cluster run: per-rank outputs, phase ledgers, final virtual
@@ -161,6 +181,21 @@ impl<T> SimReport<T> {
     /// The allreduce events only (Fig 5 input).
     pub fn allreduce_events(&self) -> impl Iterator<Item = &CollectiveEvent> {
         self.events.iter().filter(|e| e.op == "allreduce")
+    }
+
+    /// The serialisable cluster summary for a `RunReport` (schema
+    /// `uoi.run_report/v1`): makespan, per-phase max/mean, collective
+    /// count, and total collective bytes.
+    pub fn run_summary(&self) -> RunSummary {
+        RunSummary {
+            exec_ranks: self.exec_ranks,
+            modeled_ranks: self.modeled_ranks,
+            makespan: self.makespan(),
+            phase_max: phase_totals(&self.phase_max()),
+            phase_mean: phase_totals(&self.phase_mean()),
+            collectives: self.events.len(),
+            collective_bytes: self.events.iter().map(|e| e.bytes).sum(),
+        }
     }
 
     /// Render a small breakdown table (labels follow the paper's legends).

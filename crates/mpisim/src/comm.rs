@@ -22,6 +22,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use uoi_telemetry::{Telemetry, TraceEvent};
 
 /// Per-rank execution context: identity, virtual clock, phase ledger, and
 /// noise stream. Exactly one exists per executed rank; it is threaded
@@ -35,6 +36,12 @@ pub struct RankCtx {
     /// modeled ranks / executed ranks (>= 1).
     oversub: f64,
     noise: SplitMix64,
+    telemetry: Telemetry,
+    /// Open span ids, innermost last.
+    span_stack: Vec<u64>,
+    /// Suppress trace emission (used while re-running a collective whose
+    /// charge is rolled back, e.g. `iallreduce_sum`).
+    trace_mute: bool,
 }
 
 impl RankCtx {
@@ -43,6 +50,7 @@ impl RankCtx {
         world_size: usize,
         model: Arc<MachineModel>,
         oversub: f64,
+        telemetry: Telemetry,
     ) -> Self {
         let seed = model
             .noise
@@ -56,6 +64,9 @@ impl RankCtx {
             model,
             oversub,
             noise: SplitMix64::new(seed),
+            telemetry,
+            span_stack: Vec::new(),
+            trace_mute: false,
         }
     }
 
@@ -89,11 +100,64 @@ impl RankCtx {
         self.oversub
     }
 
+    /// The telemetry handle this rank records through (disabled unless
+    /// the cluster was built with
+    /// [`crate::cluster::Cluster::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Advance the clock by `seconds`, attributing them to `phase`.
     pub fn charge(&mut self, phase: Phase, seconds: f64) {
         debug_assert!(seconds >= 0.0 && seconds.is_finite());
         self.clock += seconds;
         self.ledger.charge(phase, seconds);
+        if !self.trace_mute {
+            let (rank, clock) = (self.world_rank, self.clock);
+            self.telemetry.record_with(|| TraceEvent::PhaseCharge {
+                rank,
+                phase: phase.label(),
+                seconds,
+                t: clock,
+            });
+        }
+    }
+
+    /// Open a named span (e.g. `"selection"`). Nested calls nest; close
+    /// with [`RankCtx::span_exit`] in LIFO order. Returns 0 (no-op) when
+    /// tracing is disabled.
+    pub fn span_enter(&mut self, name: &str) -> u64 {
+        let id = self.telemetry.next_span_id();
+        if id != 0 {
+            let parent = self.span_stack.last().copied();
+            self.telemetry.record(TraceEvent::SpanStart {
+                id,
+                parent,
+                name: name.to_string(),
+                rank: self.world_rank,
+                t: self.clock,
+            });
+            self.span_stack.push(id);
+        }
+        id
+    }
+
+    /// Close the span returned by [`RankCtx::span_enter`].
+    pub fn span_exit(&mut self, id: u64) {
+        if id == 0 {
+            return;
+        }
+        debug_assert_eq!(self.span_stack.last(), Some(&id), "spans must close LIFO");
+        self.span_stack.retain(|&s| s != id);
+        self.telemetry.record(TraceEvent::SpanEnd { id, rank: self.world_rank, t: self.clock });
+    }
+
+    /// Run `f` inside a named span.
+    pub fn span<R>(&mut self, name: &str, f: impl FnOnce(&mut RankCtx) -> R) -> R {
+        let id = self.span_enter(name);
+        let out = f(self);
+        self.span_exit(id);
+        out
     }
 
     /// Charge a dense computation of `flops` with the given working set.
@@ -111,6 +175,10 @@ impl RankCtx {
     /// Charge file-I/O seconds.
     pub fn charge_io(&mut self, seconds: f64) {
         self.charge(Phase::DataIo, seconds);
+        if !self.trace_mute {
+            let (rank, clock) = (self.world_rank, self.clock);
+            self.telemetry.record_with(|| TraceEvent::Io { rank, seconds, t: clock });
+        }
     }
 
     /// Jump the clock forward to absolute time `t` (no-op if already past),
@@ -118,9 +186,16 @@ impl RankCtx {
     pub(crate) fn advance_to(&mut self, t: f64, phase: Phase) {
         if t > self.clock {
             let dt = t - self.clock;
-            self.clock += dt;
-            self.ledger.charge(phase, dt);
+            self.charge(phase, dt);
         }
+    }
+
+    pub(crate) fn set_trace_mute(&mut self, mute: bool) -> bool {
+        std::mem::replace(&mut self.trace_mute, mute)
+    }
+
+    pub(crate) fn trace_muted(&self) -> bool {
+        self.trace_mute
     }
 
     /// Draw a multiplicative noise factor for a collective cost.
@@ -276,6 +351,35 @@ impl Comm {
         self.inner.events.lock().push(ev);
     }
 
+    /// Emit a [`TraceEvent::Collective`] through `ctx`'s telemetry handle
+    /// (leader only; no-op when tracing is disabled or muted).
+    #[allow(clippy::too_many_arguments)]
+    fn trace_collective(
+        &self,
+        ctx: &RankCtx,
+        op: &str,
+        comm_size: usize,
+        bytes: usize,
+        t_start: f64,
+        (t_min, t_max, t_mean): (f64, f64, f64),
+    ) {
+        if ctx.trace_muted() {
+            return;
+        }
+        let modeled_size = self.modeled_size(ctx);
+        ctx.telemetry().record_with(|| TraceEvent::Collective {
+            op: op.to_string(),
+            comm_size,
+            modeled_size,
+            bytes,
+            t_start,
+            t_end: t_start + t_max,
+            t_min,
+            t_max,
+            t_mean,
+        });
+    }
+
     /// Core synchronisation: contribute `my_clock`, return the max entry
     /// clock over the communicator, and run `contribute` under the mutex on
     /// first arrival / every arrival as requested by the op.
@@ -335,7 +439,9 @@ impl Comm {
                 t_max: cost,
                 t_mean: cost,
             });
+            let t_start = ctx.clock;
             ctx.charge(Phase::Comm, cost);
+            self.trace_collective(ctx, "allreduce", 1, bytes, t_start, (cost, cost, cost));
             return;
         }
         {
@@ -393,6 +499,14 @@ impl Comm {
                 t_max,
                 t_mean: t_sum / n,
             });
+            self.trace_collective(
+                ctx,
+                "allreduce",
+                self.size,
+                bytes,
+                sync_start,
+                (t_min, t_max, t_sum / n),
+            );
             let size = self.size;
             st.reset(size);
         }
@@ -437,6 +551,7 @@ impl Comm {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
+            self.trace_collective(ctx, "bcast", self.size, bytes, sync_start, (cost, cost, cost));
         }
         self.inner.barrier.wait();
         ctx.advance_to(sync_start + cost, Phase::Comm);
@@ -487,6 +602,7 @@ impl Comm {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
+            self.trace_collective(ctx, "gather", self.size, bytes, sync_start, (cost, cost, cost));
         }
         self.inner.barrier.wait();
         ctx.advance_to(sync_start + cost, Phase::Comm);
@@ -532,6 +648,14 @@ impl Comm {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
+            self.trace_collective(
+                ctx,
+                "allgather",
+                self.size,
+                bytes,
+                sync_start,
+                (cost, cost, cost),
+            );
         }
         self.inner.barrier.wait();
         ctx.advance_to(sync_start + cost, Phase::Comm);
@@ -585,6 +709,7 @@ impl Comm {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
+            self.trace_collective(ctx, "scatter", self.size, bytes, sync_start, (cost, cost, cost));
         }
         self.inner.barrier.wait();
         ctx.advance_to(sync_start + cost, Phase::Comm);
@@ -657,11 +782,28 @@ impl Comm {
         // completion instant.
         let before_clock = ctx.clock;
         let before_comm = ctx.ledger.comm;
+        // Mute tracing for the rolled-back inner run: its charges never
+        // land on the ledger, so emitting them would break the
+        // "sum(PhaseCharge) == ledger total" invariant. The deferred wait
+        // charges (and traces) the cost that actually materialises.
+        let was_muted = ctx.set_trace_mute(true);
         self.allreduce_sum(ctx, data);
+        ctx.set_trace_mute(was_muted);
         let complete_at = ctx.clock;
         // Roll back: the caller keeps computing from `before_clock`.
         ctx.clock = before_clock;
         ctx.ledger.comm = before_comm;
+        if self.rank == 0 {
+            let bytes = data.len() * 8;
+            self.trace_collective(
+                ctx,
+                "iallreduce",
+                self.size,
+                bytes,
+                before_clock,
+                (0.0, complete_at - before_clock, complete_at - before_clock),
+            );
+        }
         PendingReduce { complete_at }
     }
 

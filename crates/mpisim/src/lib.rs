@@ -41,3 +41,7 @@ pub use extrapolate::WorkloadProfile;
 pub use ledger::{CollectiveEvent, Phase, PhaseLedger};
 pub use model::{IoModel, MachineModel, NoiseModel, SplitMix64};
 pub use window::{Window, WindowEpoch};
+// Telemetry types commonly needed alongside `Cluster::with_telemetry`.
+pub use uoi_telemetry::{
+    JsonlSink, MemorySink, MetricsRegistry, RunSummary, Telemetry, TraceEvent, TraceSink,
+};

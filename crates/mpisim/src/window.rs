@@ -137,7 +137,7 @@ impl Window {
             );
             dst[offset..offset + data.len()].copy_from_slice(data);
         }
-        self.charge_transfer(ctx, target, data.len() * 8);
+        self.charge_transfer_kind(ctx, target, data.len() * 8, "put");
     }
 
     /// Read back this rank's own exposed buffer (after remote puts).
@@ -155,6 +155,16 @@ impl Window {
     /// service time. Few readers serving many ranks therefore back up —
     /// the Fig 9/10 distribution blow-up.
     fn charge_transfer(&self, ctx: &mut RankCtx, target: usize, bytes: usize) {
+        self.charge_transfer_kind(ctx, target, bytes, "get")
+    }
+
+    fn charge_transfer_kind(
+        &self,
+        ctx: &mut RankCtx,
+        target: usize,
+        bytes: usize,
+        kind: &'static str,
+    ) {
         let service = ctx.model().onesided_time(bytes);
         let occupancy = service * self.inner.occ_multiplier;
         let start = {
@@ -164,6 +174,15 @@ impl Window {
             start
         };
         ctx.advance_to(start + service, Phase::Distribution);
+        let rank = ctx.world_rank();
+        ctx.telemetry().record_with(|| uoi_telemetry::TraceEvent::WindowTransfer {
+            rank,
+            kind,
+            target,
+            bytes,
+            t_start: start,
+            t_end: start + service,
+        });
     }
 
     /// Synchronise all window users (an `MPI_Win_fence` analogue); charged
@@ -207,17 +226,27 @@ impl WindowEpoch<'_> {
             let src = self.win.inner.data[target].read();
             out.copy_from_slice(&src[range]);
         }
-        let service = ctx.model().onesided_time(out.len() * 8);
+        let bytes = out.len() * 8;
+        let service = ctx.model().onesided_time(bytes);
         let occupancy = service * self.win.inner.occ_multiplier;
-        let end = {
+        let (start, end) = {
             let mut busy = self.win.inner.busy[target].lock();
             let start = busy.max(self.issue_clock);
             *busy = start + occupancy;
-            start + service
+            (start, start + service)
         };
         if end > self.max_end {
             self.max_end = end;
         }
+        let rank = ctx.world_rank();
+        ctx.telemetry().record_with(|| uoi_telemetry::TraceEvent::WindowTransfer {
+            rank,
+            kind: "get_async",
+            target,
+            bytes,
+            t_start: start,
+            t_end: end,
+        });
     }
 
     /// Complete the epoch: the rank's clock advances to the completion of

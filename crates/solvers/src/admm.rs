@@ -20,7 +20,23 @@
 //! OLS, exactly how the paper implements model estimation (§II-C).
 
 use crate::prox::soft_threshold_vec;
+use std::sync::Arc;
 use uoi_linalg::{gemv, gemv_t, norm2, syrk_t, Cholesky, Matrix};
+use uoi_telemetry::MetricsRegistry;
+
+/// A configuration value failed validation (builder `build()` or a
+/// `validate()` call). Carries a human-readable description of the
+/// offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig(pub String);
+
+impl std::fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
 
 /// ADMM hyperparameters.
 #[derive(Debug, Clone)]
@@ -38,6 +54,70 @@ pub struct AdmmConfig {
 impl Default for AdmmConfig {
     fn default() -> Self {
         Self { rho: 1.0, max_iter: 500, abstol: 1e-6, reltol: 1e-5 }
+    }
+}
+
+impl AdmmConfig {
+    /// Start a validated builder:
+    /// `AdmmConfig::builder().rho(2.0).max_iter(1000).build()?`.
+    pub fn builder() -> AdmmConfigBuilder {
+        AdmmConfigBuilder::default()
+    }
+
+    /// Check every field; `Err` names the first offending one.
+    pub fn validate(&self) -> Result<(), InvalidConfig> {
+        if !(self.rho.is_finite() && self.rho > 0.0) {
+            return Err(InvalidConfig(format!("rho must be finite and > 0, got {}", self.rho)));
+        }
+        if self.max_iter == 0 {
+            return Err(InvalidConfig("max_iter must be >= 1".to_string()));
+        }
+        if !(self.abstol.is_finite() && self.abstol > 0.0) {
+            return Err(InvalidConfig(format!(
+                "abstol must be finite and > 0, got {}",
+                self.abstol
+            )));
+        }
+        if !(self.reltol.is_finite() && self.reltol > 0.0) {
+            return Err(InvalidConfig(format!(
+                "reltol must be finite and > 0, got {}",
+                self.reltol
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Chainable builder for [`AdmmConfig`]; `build()` validates.
+#[derive(Debug, Clone, Default)]
+pub struct AdmmConfigBuilder {
+    cfg: AdmmConfig,
+}
+
+impl AdmmConfigBuilder {
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.cfg.rho = rho;
+        self
+    }
+
+    pub fn max_iter(mut self, max_iter: usize) -> Self {
+        self.cfg.max_iter = max_iter;
+        self
+    }
+
+    pub fn abstol(mut self, abstol: f64) -> Self {
+        self.cfg.abstol = abstol;
+        self
+    }
+
+    pub fn reltol(mut self, reltol: f64) -> Self {
+        self.cfg.reltol = reltol;
+        self
+    }
+
+    pub fn build(self) -> Result<AdmmConfig, InvalidConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -125,6 +205,7 @@ pub struct LassoAdmm {
     x: Matrix,
     factor: Factorization,
     cfg: AdmmConfig,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl LassoAdmm {
@@ -132,7 +213,30 @@ impl LassoAdmm {
     pub fn new(x: Matrix, cfg: AdmmConfig) -> Self {
         assert!(cfg.rho > 0.0, "rho must be positive");
         let factor = factorize(&x, cfg.rho);
-        Self { x, factor, cfg }
+        Self { x, factor, cfg, metrics: None }
+    }
+
+    /// Attach a metrics registry; subsequent solves record
+    /// `admm.solves`, `admm.iterations`, convergence outcomes,
+    /// per-iteration residual curves, and lambda-path warm-start stats.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Bookkeeping shared by every solve entry point.
+    fn note_solve(&self, iterations: usize, converged: bool, r_norm: f64, s_norm: f64) {
+        if let Some(m) = &self.metrics {
+            m.incr("admm.solves", 1);
+            if converged {
+                m.incr("admm.converged", 1);
+            } else {
+                m.incr("admm.max_iter_hit", 1);
+            }
+            m.observe("admm.iterations", iterations as f64);
+            m.observe("admm.primal_residual", r_norm);
+            m.observe("admm.dual_residual", s_norm);
+        }
     }
 
     /// The design matrix.
@@ -216,12 +320,17 @@ impl LassoAdmm {
                 *v *= rho;
             }
             let eps_dual = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(&rho_u);
+            if let Some(m) = &self.metrics {
+                m.observe("admm.residual_curve.primal", r_norm);
+                m.observe("admm.residual_curve.dual", s_norm);
+            }
             if r_norm <= eps_pri && s_norm <= eps_dual {
                 converged = true;
                 break;
             }
         }
         let _ = &x_var;
+        self.note_solve(iterations, converged, r_norm, s_norm);
         AdmmSolution {
             beta: z,
             iterations,
@@ -295,6 +404,7 @@ impl LassoAdmm {
         let eps_dual = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(&rho_u);
         if st.primal_residual <= eps_pri && st.dual_residual <= eps_dual {
             st.converged = true;
+            self.note_solve(st.iterations, true, st.primal_residual, st.dual_residual);
         }
     }
 
@@ -374,16 +484,26 @@ impl LassoAdmm {
                 }
             }
         }
+        if let Some(m) = &self.metrics {
+            m.observe("admm.adaptive.refactors", refactors as f64);
+        }
+        self.note_solve(iterations, converged, r_norm, s_norm);
         AdmmSolution { beta: z, iterations, primal_residual: r_norm, dual_residual: s_norm, converged }
     }
 
     /// Solve an entire lambda path (largest lambda first) with warm
     /// starts; returns one solution per lambda, in path order.
+    ///
+    /// With metrics attached, each path step records
+    /// `admm.path.iterations`; a step counts as a *warm-start hit*
+    /// (`admm.path.warm_hits`) when it converges in no more iterations
+    /// than the cold first step did.
     pub fn solve_path(&self, y: &[f64], lambdas: &[f64]) -> Vec<AdmmSolution> {
         let p = self.x.cols();
         let mut z = vec![0.0; p];
         let mut u = vec![0.0; p];
         let mut out = Vec::with_capacity(lambdas.len());
+        let mut cold_iters = None;
         for &lam in lambdas {
             let sol = self.solve_warm(y, lam, z.clone(), u.clone());
             z.clone_from(&sol.beta);
@@ -391,6 +511,17 @@ impl LassoAdmm {
             // reuse zeros for the dual each step is acceptable but slower.
             // A cheap effective warm start keeps z only.
             u.iter_mut().for_each(|v| *v = 0.0);
+            if let Some(m) = &self.metrics {
+                m.incr("admm.path.solves", 1);
+                m.observe("admm.path.iterations", sol.iterations as f64);
+                match cold_iters {
+                    None => cold_iters = Some(sol.iterations),
+                    Some(baseline) if sol.converged && sol.iterations <= baseline => {
+                        m.incr("admm.path.warm_hits", 1);
+                    }
+                    Some(_) => {}
+                }
+            }
             out.push(sol);
         }
         out
@@ -593,6 +724,45 @@ mod tests {
         solver.step(&xty, lam, &mut st);
         assert_eq!(st.z, frozen);
         assert_eq!(st.iterations, it);
+    }
+
+    #[test]
+    fn builder_validates_and_chains() {
+        let cfg = AdmmConfig::builder().rho(2.0).max_iter(1000).abstol(1e-8).build().unwrap();
+        assert_eq!(cfg.rho, 2.0);
+        assert_eq!(cfg.max_iter, 1000);
+        assert_eq!(cfg.abstol, 1e-8);
+        assert_eq!(cfg.reltol, AdmmConfig::default().reltol);
+        assert!(AdmmConfig::builder().rho(-1.0).build().is_err());
+        assert!(AdmmConfig::builder().rho(f64::NAN).build().is_err());
+        assert!(AdmmConfig::builder().max_iter(0).build().is_err());
+        assert!(AdmmConfig::builder().abstol(0.0).build().is_err());
+        assert!(AdmmConfig::builder().reltol(-1e-3).build().is_err());
+        let err = AdmmConfig::builder().rho(0.0).build().unwrap_err();
+        assert!(err.to_string().contains("rho"));
+    }
+
+    #[test]
+    fn metrics_record_solves_and_path_warm_hits() {
+        let (x, y) = toy_problem();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let solver = LassoAdmm::new(
+            x,
+            AdmmConfig { max_iter: 4000, abstol: 1e-9, reltol: 1e-8, ..Default::default() },
+        )
+        .with_metrics(metrics.clone());
+        let lambdas = [2.0, 1.0, 0.5, 0.25];
+        let path = solver.solve_path(&y, &lambdas);
+        assert!(path.iter().all(|s| s.converged));
+        assert_eq!(metrics.counter("admm.solves"), lambdas.len() as u64);
+        assert_eq!(metrics.counter("admm.converged"), lambdas.len() as u64);
+        assert_eq!(metrics.counter("admm.path.solves"), lambdas.len() as u64);
+        assert!(metrics.counter("admm.path.warm_hits") <= (lambdas.len() - 1) as u64);
+        assert_eq!(metrics.samples("admm.iterations").len(), lambdas.len());
+        // Residual curves hold one sample per iteration performed.
+        let total_iters: usize = path.iter().map(|s| s.iterations).sum();
+        assert_eq!(metrics.samples("admm.residual_curve.primal").len(), total_iters);
+        assert_eq!(metrics.samples("admm.residual_curve.dual").len(), total_iters);
     }
 
     #[test]

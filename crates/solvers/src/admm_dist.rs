@@ -29,8 +29,10 @@ use crate::admm::{
     Factorization,
 };
 use crate::prox::soft_threshold_vec;
+use std::sync::Arc;
 use uoi_linalg::{gemv_t, Matrix};
 use uoi_mpisim::{Comm, RankCtx};
+use uoi_telemetry::MetricsRegistry;
 
 /// A distributed LASSO/OLS solver bound to one rank's local data block,
 /// with the x-update factorisation cached across lambda values.
@@ -38,6 +40,10 @@ pub struct DistLassoAdmm {
     x_local: Matrix,
     factor: Factorization,
     cfg: AdmmConfig,
+    /// Inherited from the rank's telemetry handle at construction; solves
+    /// record `admm_dist.*` metrics (communicator rank 0 only, so a
+    /// collective solve counts once, not once per rank).
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl DistLassoAdmm {
@@ -47,7 +53,8 @@ impl DistLassoAdmm {
         let (n, p) = x_local.shape();
         ctx.compute_flops(admm_factor_flops(n, p), (n * p * 8) as f64);
         let factor = factorize(&x_local, cfg.rho);
-        Self { x_local, factor, cfg }
+        let metrics = ctx.telemetry().metrics();
+        Self { x_local, factor, cfg, metrics }
     }
 
     /// The local design block.
@@ -83,6 +90,7 @@ impl DistLassoAdmm {
         assert_eq!(u.len(), p);
         let b = comm.size() as f64;
         let rho = self.cfg.rho;
+        let span = ctx.span_enter("admm_dist.solve");
         // Consensus threshold: lambda / (rho * B).
         let kappa = lambda / (rho * b);
 
@@ -160,6 +168,20 @@ impl DistLassoAdmm {
             }
         }
 
+        ctx.span_exit(span);
+        if comm.rank() == 0 {
+            if let Some(m) = &self.metrics {
+                m.incr("admm_dist.solves", 1);
+                if converged {
+                    m.incr("admm_dist.converged", 1);
+                } else {
+                    m.incr("admm_dist.max_iter_hit", 1);
+                }
+                m.observe("admm_dist.iterations", iterations as f64);
+                m.observe("admm_dist.primal_residual", r_norm);
+                m.observe("admm_dist.dual_residual", s_norm);
+            }
+        }
         AdmmSolution {
             beta: z,
             iterations,

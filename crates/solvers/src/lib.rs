@@ -26,7 +26,10 @@ pub mod lambda;
 pub mod ols;
 pub mod prox;
 
-pub use admm::{admm_factor_flops, admm_iter_flops, AdmmConfig, AdmmSolution, AdmmState, LassoAdmm};
+pub use admm::{
+    admm_factor_flops, admm_iter_flops, AdmmConfig, AdmmConfigBuilder, AdmmSolution, AdmmState,
+    InvalidConfig, LassoAdmm,
+};
 pub use admm_dist::DistLassoAdmm;
 pub use cd::{lasso_cd, lasso_cd_warm, mcp_cd, ridge, scad_cd, CdConfig};
 pub use diagnostics::{lasso_kkt_violation, lasso_objective, ols_gradient_norm};

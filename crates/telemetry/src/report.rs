@@ -1,0 +1,309 @@
+//! The uniform run-report schema every bench binary emits.
+//!
+//! Schema tag: `uoi.run_report/v1`. One JSON document per bench run,
+//! written next to the CSV table under `results/`:
+//!
+//! ```json
+//! {
+//!   "schema": "uoi.run_report/v1",
+//!   "bench": "fig6_lasso_strong",
+//!   "title": "Fig 6 — UoI_LASSO strong scaling",
+//!   "params": { "exec_ranks": 8, "scale_divisor": 1024 },
+//!   "summary": { "exec_ranks": 8, "modeled_ranks": 64, "makespan": 1.25,
+//!                "phase_max": { "compute": 1.0, ... }, ... },
+//!   "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} },
+//!   "table": { "headers": [...], "rows": [[...], ...] }
+//! }
+//! ```
+//!
+//! `summary` is `null` for benches that never ran a simulated cluster
+//! (pure statistical tables), keeping the schema uniform across all
+//! binaries.
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// Schema identifier stamped into every report.
+pub const RUN_REPORT_SCHEMA: &str = "uoi.run_report/v1";
+
+/// Per-phase virtual-time totals (seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    pub compute: f64,
+    pub comm: f64,
+    pub distribution: f64,
+    pub io: f64,
+}
+
+impl PhaseTotals {
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm + self.distribution + self.io
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("compute", Json::num(self.compute)),
+            ("comm", Json::num(self.comm)),
+            ("distribution", Json::num(self.distribution)),
+            ("io", Json::num(self.io)),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Option<PhaseTotals> {
+        Some(PhaseTotals {
+            compute: v.get("compute")?.as_num()?,
+            comm: v.get("comm")?.as_num()?,
+            distribution: v.get("distribution")?.as_num()?,
+            io: v.get("io")?.as_num()?,
+        })
+    }
+}
+
+/// Cluster-level outcome of one simulated run: what `SimReport`
+/// measures, in a serialisable shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    pub exec_ranks: usize,
+    pub modeled_ranks: usize,
+    /// Slowest rank clock (virtual seconds).
+    pub makespan: f64,
+    /// Per-phase max over ranks.
+    pub phase_max: PhaseTotals,
+    /// Per-phase mean over ranks.
+    pub phase_mean: PhaseTotals,
+    /// Number of collective events recorded.
+    pub collectives: usize,
+    /// Total bytes moved through collectives.
+    pub collective_bytes: usize,
+}
+
+impl RunSummary {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("exec_ranks", Json::num(self.exec_ranks as f64)),
+            ("modeled_ranks", Json::num(self.modeled_ranks as f64)),
+            ("makespan", Json::num(self.makespan)),
+            ("phase_max", self.phase_max.to_json()),
+            ("phase_mean", self.phase_mean.to_json()),
+            ("collectives", Json::num(self.collectives as f64)),
+            ("collective_bytes", Json::num(self.collective_bytes as f64)),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Option<RunSummary> {
+        Some(RunSummary {
+            exec_ranks: v.get("exec_ranks")?.as_num()? as usize,
+            modeled_ranks: v.get("modeled_ranks")?.as_num()? as usize,
+            makespan: v.get("makespan")?.as_num()?,
+            phase_max: PhaseTotals::from_json(v.get("phase_max")?)?,
+            phase_mean: PhaseTotals::from_json(v.get("phase_mean")?)?,
+            collectives: v.get("collectives")?.as_num()? as usize,
+            collective_bytes: v.get("collective_bytes")?.as_num()? as usize,
+        })
+    }
+}
+
+/// The full document a bench binary writes.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Bench binary name (`fig6_lasso_strong`, ...).
+    pub bench: String,
+    /// Human title (usually the table title).
+    pub title: String,
+    /// Run parameters (env knobs, sizes). Insertion-ordered.
+    pub params: Vec<(String, Json)>,
+    /// Cluster summary, if the bench ran a simulated cluster.
+    pub summary: Option<RunSummary>,
+    /// Solver/fitter metrics, if a registry was installed.
+    pub metrics: Option<MetricsSnapshot>,
+    /// The result table: column headers plus rows of cells. Numeric
+    /// cells are stored as JSON numbers.
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<Json>>,
+}
+
+impl RunReport {
+    pub fn new(bench: impl Into<String>, title: impl Into<String>) -> Self {
+        RunReport {
+            bench: bench.into(),
+            title: title.into(),
+            params: Vec::new(),
+            summary: None,
+            metrics: None,
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a run parameter (chainable).
+    pub fn param(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.params.push((key.to_string(), value.into()));
+        self
+    }
+
+    pub fn with_summary(mut self, summary: RunSummary) -> Self {
+        self.summary = Some(summary);
+        self
+    }
+
+    pub fn with_metrics(mut self, metrics: MetricsSnapshot) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach the result table. String cells that parse as numbers are
+    /// stored as JSON numbers so downstream tooling gets real scalars.
+    pub fn with_table<S: AsRef<str>>(mut self, headers: &[S], rows: &[Vec<String>]) -> Self {
+        self.headers = headers.iter().map(|h| h.as_ref().to_string()).collect();
+        self.rows = rows
+            .iter()
+            .map(|row| row.iter().map(|cell| cell_to_json(cell)).collect())
+            .collect();
+        self
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str(RUN_REPORT_SCHEMA)),
+            ("bench", Json::str(self.bench.clone())),
+            ("title", Json::str(self.title.clone())),
+            (
+                "params",
+                Json::Obj(self.params.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+            ),
+            (
+                "summary",
+                self.summary.as_ref().map(RunSummary::to_json).unwrap_or(Json::Null),
+            ),
+            (
+                "metrics",
+                self.metrics.as_ref().map(MetricsSnapshot::to_json).unwrap_or(Json::Null),
+            ),
+            (
+                "table",
+                Json::obj(vec![
+                    (
+                        "headers",
+                        Json::Arr(self.headers.iter().map(|h| Json::str(h.clone())).collect()),
+                    ),
+                    (
+                        "rows",
+                        Json::Arr(self.rows.iter().map(|r| Json::Arr(r.clone())).collect()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON document (trailing newline included).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Write the report to `<dir>/<bench>.json`, returning the path.
+    pub fn write_to_dir(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.as_ref().join(format!("{}.json", self.bench));
+        std::fs::write(&path, self.to_json_string())?;
+        Ok(path)
+    }
+}
+
+/// Numeric-looking strings become JSON numbers; everything else stays
+/// a string. "12.5%"-style cells and byte labels stay strings.
+fn cell_to_json(cell: &str) -> Json {
+    let trimmed = cell.trim();
+    match trimmed.parse::<f64>() {
+        Ok(v) if v.is_finite() => Json::Num(v),
+        _ => Json::Str(trimmed.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_summary() -> RunSummary {
+        RunSummary {
+            exec_ranks: 8,
+            modeled_ranks: 64,
+            makespan: 1.25,
+            phase_max: PhaseTotals { compute: 1.0, comm: 0.125, distribution: 0.0625, io: 0.0625 },
+            phase_mean: PhaseTotals {
+                compute: 0.9,
+                comm: 0.1,
+                distribution: 0.05,
+                io: 0.05,
+            },
+            collectives: 12,
+            collective_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn summary_round_trips() {
+        let s = sample_summary();
+        let parsed = Json::parse(&s.to_json().to_string_pretty()).unwrap();
+        assert_eq!(RunSummary::from_json(&parsed).unwrap(), s);
+    }
+
+    #[test]
+    fn phase_totals_total() {
+        let p = PhaseTotals { compute: 1.0, comm: 2.0, distribution: 3.0, io: 4.0 };
+        assert_eq!(p.total(), 10.0);
+    }
+
+    #[test]
+    fn report_document_shape() {
+        let m = MetricsRegistry::new();
+        m.incr("admm.solves", 5);
+        let report = RunReport::new("fig6_lasso_strong", "Fig 6 — strong scaling")
+            .param("exec_ranks", 8usize)
+            .param("quick", true)
+            .with_summary(sample_summary())
+            .with_metrics(m.snapshot())
+            .with_table(
+                &["ranks", "time"],
+                &[
+                    vec!["64".to_string(), "1.25".to_string()],
+                    vec!["128".to_string(), "0.8".to_string()],
+                ],
+            );
+        let doc = Json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(RUN_REPORT_SCHEMA));
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("fig6_lasso_strong"));
+        assert_eq!(
+            doc.get("params").unwrap().get("exec_ranks").unwrap().as_num(),
+            Some(8.0)
+        );
+        // Numeric cells arrive as numbers, not strings.
+        let rows = doc.get("table").unwrap().get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].as_arr().unwrap()[0].as_num(), Some(64.0));
+        assert_eq!(
+            doc.get("metrics").unwrap().get("counters").unwrap().get("admm.solves").unwrap().as_num(),
+            Some(5.0)
+        );
+        // Summary reconciles.
+        let parsed = RunSummary::from_json(doc.get("summary").unwrap()).unwrap();
+        assert!((parsed.makespan - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_free_report_is_null_not_missing() {
+        let report = RunReport::new("stat_table", "pure stats");
+        let doc = Json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(doc.get("summary"), Some(&Json::Null));
+        assert_eq!(doc.get("metrics"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn write_to_dir_lands_named_file() {
+        let dir = std::env::temp_dir().join("uoi_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = RunReport::new("unit_check", "t").write_to_dir(&dir).unwrap();
+        assert!(path.ends_with("unit_check.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(Json::parse(&text).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+}

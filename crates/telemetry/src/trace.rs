@@ -1,0 +1,408 @@
+//! Trace events and sinks.
+//!
+//! A [`TraceSink`] receives a stream of [`TraceEvent`]s from the
+//! simulated cluster: phase spans, virtual-time charges, collective
+//! operations, one-sided window transfers, and modeled I/O reads.
+//! Sinks must be `Send + Sync` because every simulated rank runs on its
+//! own OS thread and records through the same shared handle.
+//!
+//! Two sinks ship with the crate: [`MemorySink`] (events into a vec,
+//! for tests and in-process analysis) and [`JsonlSink`] (one JSON
+//! object per line, the interchange format the bench binaries write
+//! under `results/`).
+
+use crate::json::Json;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One telemetry event. Times are *virtual* seconds on the simulated
+/// cluster clock unless the field name says otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A named span opened on a rank (e.g. "selection", "estimation").
+    SpanStart {
+        /// Unique id (rank-tagged counter; unique within a run).
+        id: u64,
+        /// Enclosing span id, or `None` for a top-level span.
+        parent: Option<u64>,
+        name: String,
+        rank: usize,
+        /// Virtual time at open.
+        t: f64,
+    },
+    /// A span closed. `id` pairs with the matching [`TraceEvent::SpanStart`].
+    SpanEnd { id: u64, rank: usize, t: f64 },
+    /// Virtual time charged to a ledger phase on one rank.
+    PhaseCharge {
+        rank: usize,
+        /// Ledger phase label ("Computation", "Communication", ...).
+        phase: &'static str,
+        seconds: f64,
+        /// Rank clock *after* the charge.
+        t: f64,
+    },
+    /// A completed collective, recorded once per operation (not per rank).
+    Collective {
+        op: String,
+        comm_size: usize,
+        modeled_size: usize,
+        bytes: usize,
+        /// Virtual time when all ranks had entered the collective.
+        t_start: f64,
+        /// Virtual time when the slowest rank exited.
+        t_end: f64,
+        t_min: f64,
+        t_max: f64,
+        t_mean: f64,
+    },
+    /// A one-sided window transfer (get/put) against a target rank.
+    WindowTransfer {
+        rank: usize,
+        /// "get", "get_async", or "put".
+        kind: &'static str,
+        target: usize,
+        bytes: usize,
+        t_start: f64,
+        t_end: f64,
+    },
+    /// A modeled file/storage read charged to the Data I/O phase.
+    Io { rank: usize, seconds: f64, t: f64 },
+}
+
+impl TraceEvent {
+    /// The rank the event happened on (`None` for whole-communicator
+    /// events such as collectives).
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            TraceEvent::SpanStart { rank, .. }
+            | TraceEvent::SpanEnd { rank, .. }
+            | TraceEvent::PhaseCharge { rank, .. }
+            | TraceEvent::WindowTransfer { rank, .. }
+            | TraceEvent::Io { rank, .. } => Some(*rank),
+            TraceEvent::Collective { .. } => None,
+        }
+    }
+
+    /// The event's wire name (the `"ev"` field of its JSON encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SpanStart { .. } => "span_start",
+            TraceEvent::SpanEnd { .. } => "span_end",
+            TraceEvent::PhaseCharge { .. } => "phase_charge",
+            TraceEvent::Collective { .. } => "collective",
+            TraceEvent::WindowTransfer { .. } => "window_transfer",
+            TraceEvent::Io { .. } => "io",
+        }
+    }
+
+    /// Encode as a JSON object (one JSONL line, sans newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            TraceEvent::SpanStart { id, parent, name, rank, t } => Json::obj(vec![
+                ("ev", Json::str("span_start")),
+                ("id", Json::num(*id as f64)),
+                (
+                    "parent",
+                    parent.map(|p| Json::num(p as f64)).unwrap_or(Json::Null),
+                ),
+                ("name", Json::str(name.clone())),
+                ("rank", Json::num(*rank as f64)),
+                ("t", Json::num(*t)),
+            ]),
+            TraceEvent::SpanEnd { id, rank, t } => Json::obj(vec![
+                ("ev", Json::str("span_end")),
+                ("id", Json::num(*id as f64)),
+                ("rank", Json::num(*rank as f64)),
+                ("t", Json::num(*t)),
+            ]),
+            TraceEvent::PhaseCharge { rank, phase, seconds, t } => Json::obj(vec![
+                ("ev", Json::str("phase_charge")),
+                ("rank", Json::num(*rank as f64)),
+                ("phase", Json::str(*phase)),
+                ("seconds", Json::num(*seconds)),
+                ("t", Json::num(*t)),
+            ]),
+            TraceEvent::Collective {
+                op,
+                comm_size,
+                modeled_size,
+                bytes,
+                t_start,
+                t_end,
+                t_min,
+                t_max,
+                t_mean,
+            } => Json::obj(vec![
+                ("ev", Json::str("collective")),
+                ("op", Json::str(op.clone())),
+                ("comm_size", Json::num(*comm_size as f64)),
+                ("modeled_size", Json::num(*modeled_size as f64)),
+                ("bytes", Json::num(*bytes as f64)),
+                ("t_start", Json::num(*t_start)),
+                ("t_end", Json::num(*t_end)),
+                ("t_min", Json::num(*t_min)),
+                ("t_max", Json::num(*t_max)),
+                ("t_mean", Json::num(*t_mean)),
+            ]),
+            TraceEvent::WindowTransfer { rank, kind, target, bytes, t_start, t_end } => {
+                Json::obj(vec![
+                    ("ev", Json::str("window_transfer")),
+                    ("rank", Json::num(*rank as f64)),
+                    ("kind", Json::str(*kind)),
+                    ("target", Json::num(*target as f64)),
+                    ("bytes", Json::num(*bytes as f64)),
+                    ("t_start", Json::num(*t_start)),
+                    ("t_end", Json::num(*t_end)),
+                ])
+            }
+            TraceEvent::Io { rank, seconds, t } => Json::obj(vec![
+                ("ev", Json::str("io")),
+                ("rank", Json::num(*rank as f64)),
+                ("seconds", Json::num(*seconds)),
+                ("t", Json::num(*t)),
+            ]),
+        }
+    }
+
+    /// Decode from the JSON produced by [`TraceEvent::to_json`].
+    pub fn from_json(v: &Json) -> Option<TraceEvent> {
+        let ev = v.get("ev")?.as_str()?;
+        let num = |k: &str| v.get(k).and_then(Json::as_num);
+        let idx = |k: &str| num(k).map(|x| x as usize);
+        match ev {
+            "span_start" => Some(TraceEvent::SpanStart {
+                id: num("id")? as u64,
+                parent: v.get("parent").and_then(Json::as_num).map(|p| p as u64),
+                name: v.get("name")?.as_str()?.to_string(),
+                rank: idx("rank")?,
+                t: num("t")?,
+            }),
+            "span_end" => Some(TraceEvent::SpanEnd {
+                id: num("id")? as u64,
+                rank: idx("rank")?,
+                t: num("t")?,
+            }),
+            "phase_charge" => Some(TraceEvent::PhaseCharge {
+                rank: idx("rank")?,
+                phase: intern_phase(v.get("phase")?.as_str()?),
+                seconds: num("seconds")?,
+                t: num("t")?,
+            }),
+            "collective" => Some(TraceEvent::Collective {
+                op: v.get("op")?.as_str()?.to_string(),
+                comm_size: idx("comm_size")?,
+                modeled_size: idx("modeled_size")?,
+                bytes: idx("bytes")?,
+                t_start: num("t_start")?,
+                t_end: num("t_end")?,
+                t_min: num("t_min")?,
+                t_max: num("t_max")?,
+                t_mean: num("t_mean")?,
+            }),
+            "window_transfer" => Some(TraceEvent::WindowTransfer {
+                rank: idx("rank")?,
+                kind: intern_kind(v.get("kind")?.as_str()?),
+                target: idx("target")?,
+                bytes: idx("bytes")?,
+                t_start: num("t_start")?,
+                t_end: num("t_end")?,
+            }),
+            "io" => Some(TraceEvent::Io {
+                rank: idx("rank")?,
+                seconds: num("seconds")?,
+                t: num("t")?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Map a parsed phase label back to the `&'static str` the simulator
+/// uses, so decoded events compare equal to recorded ones.
+fn intern_phase(s: &str) -> &'static str {
+    match s {
+        "Computation" => "Computation",
+        "Communication" => "Communication",
+        "Distribution" => "Distribution",
+        "Data I/O" => "Data I/O",
+        _ => "Unknown",
+    }
+}
+
+fn intern_kind(s: &str) -> &'static str {
+    match s {
+        "get" => "get",
+        "get_async" => "get_async",
+        "put" => "put",
+        _ => "Unknown",
+    }
+}
+
+/// Receives trace events. Implementations must tolerate concurrent
+/// `record` calls from many rank threads.
+pub trait TraceSink: Send + Sync {
+    fn record(&self, event: &TraceEvent);
+
+    /// Flush buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Collects events in memory; drain with [`MemorySink::take`] or
+/// inspect with [`MemorySink::snapshot`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of all events recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Drain all events, leaving the sink empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines to a file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self { writer: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// Parse a JSONL trace file back into events. Lines that do not
+    /// decode to a known event are skipped (forward compatibility).
+    pub fn read_events(path: impl AsRef<Path>) -> std::io::Result<Vec<TraceEvent>> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| Json::parse(l).ok())
+            .filter_map(|v| TraceEvent::from_json(&v))
+            .collect())
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let line = event.to_json().to_string_compact();
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::SpanStart {
+                id: 1,
+                parent: None,
+                name: "selection".into(),
+                rank: 0,
+                t: 0.0,
+            },
+            TraceEvent::PhaseCharge {
+                rank: 0,
+                phase: "Computation",
+                seconds: 0.25,
+                t: 0.25,
+            },
+            TraceEvent::Collective {
+                op: "allreduce".into(),
+                comm_size: 8,
+                modeled_size: 64,
+                bytes: 4096,
+                t_start: 0.25,
+                t_end: 0.5,
+                t_min: 0.1,
+                t_max: 0.25,
+                t_mean: 0.2,
+            },
+            TraceEvent::WindowTransfer {
+                rank: 3,
+                kind: "get",
+                target: 0,
+                bytes: 8192,
+                t_start: 0.5,
+                t_end: 0.75,
+            },
+            TraceEvent::Io { rank: 0, seconds: 0.125, t: 0.875 },
+            TraceEvent::SpanEnd { id: 1, rank: 0, t: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn json_round_trip_every_variant() {
+        for ev in sample_events() {
+            let parsed = Json::parse(&ev.to_json().to_string_compact()).unwrap();
+            assert_eq!(TraceEvent::from_json(&parsed).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn jsonl_file_round_trip() {
+        let path = std::env::temp_dir().join("uoi_telemetry_jsonl_round_trip.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            for ev in sample_events() {
+                sink.record(&ev);
+            }
+        } // drop flushes
+        let back = JsonlSink::read_events(&path).unwrap();
+        assert_eq!(back, sample_events());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        for ev in sample_events() {
+            sink.record(&ev);
+        }
+        assert_eq!(sink.len(), 6);
+        assert_eq!(sink.snapshot(), sample_events());
+        assert_eq!(sink.take().len(), 6);
+        assert!(sink.is_empty());
+    }
+}

@@ -6,9 +6,9 @@
 //! cargo run --release --example finance_granger
 //! ```
 
-use uoi::core::{fit_uoi_var, UoiLassoConfig, UoiVarConfig};
 use uoi::data::preprocess::{aggregate_last, first_differences};
-use uoi::data::{FinanceConfig, DAYS_PER_WEEK};
+use uoi::data::DAYS_PER_WEEK;
+use uoi::prelude::*;
 
 fn main() {
     // A 30-company market over two years, with sector structure and two

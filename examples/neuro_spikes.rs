@@ -6,9 +6,8 @@
 //! cargo run --release --example neuro_spikes
 //! ```
 
-use uoi::core::{fit_uoi_var, SelectionCounts, UoiLassoConfig, UoiVarConfig};
 use uoi::data::preprocess::Standardizer;
-use uoi::data::NeuroConfig;
+use uoi::prelude::*;
 
 fn main() {
     // Latent stable VAR dynamics drive Poisson spike counts on 32

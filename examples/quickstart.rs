@@ -5,8 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use uoi::core::{fit_uoi_lasso, SelectionCounts, UoiLassoConfig};
-use uoi::data::LinearConfig;
+use uoi::prelude::*;
 
 fn main() {
     // 1. A synthetic problem with known ground truth: 200 samples,
@@ -29,8 +28,8 @@ fn main() {
 
     // 2. Fit. B1 bootstraps drive the support intersection (selection);
     //    B2 train/eval resamples drive the OLS-averaged union (estimation).
-    let cfg = UoiLassoConfig { b1: 15, b2: 15, q: 20, ..Default::default() };
-    let fit = fit_uoi_lasso(&ds.x, &ds.y, &cfg);
+    let cfg = UoiLassoConfig::builder().b1(15).b2(15).q(20).build().expect("valid config");
+    let fit = try_fit_uoi_lasso(&ds.x, &ds.y, &cfg).expect("well-formed inputs");
 
     // 3. What did UoI select?
     println!("\nselected support: {:?}", fit.support);

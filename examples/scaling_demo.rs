@@ -6,9 +6,7 @@
 //! cargo run --release --example scaling_demo
 //! ```
 
-use uoi::core::{fit_uoi_lasso_dist, ParallelLayout, UoiLassoConfig};
-use uoi::data::LinearConfig;
-use uoi::mpisim::{Cluster, MachineModel, Phase};
+use uoi::prelude::*;
 
 fn main() {
     let ds = LinearConfig {

@@ -6,8 +6,8 @@
 //! cargo run --release --example selection_accuracy
 //! ```
 
-use uoi::core::{estimation_error, fit_uoi_lasso, SelectionCounts, UoiLassoConfig};
-use uoi::data::LinearConfig;
+use uoi::core::estimation_error;
+use uoi::prelude::*;
 use uoi::solvers::{lasso_cd, support_of, CdConfig};
 
 fn main() {

@@ -5,8 +5,8 @@
 //! cargo run --release --example var_order_selection
 //! ```
 
-use uoi::core::{fit_uoi_var, select_var_order, UoiLassoConfig, UoiVarConfig};
-use uoi::data::{VarConfig, VarProcess};
+use uoi::core::select_var_order;
+use uoi::prelude::*;
 
 fn main() {
     // Ground truth is second-order: X_t = A_1 X_{t-1} + A_2 X_{t-2} + U_t.

@@ -68,4 +68,37 @@ pub use uoi_data as data;
 pub use uoi_linalg as linalg;
 pub use uoi_mpisim as mpisim;
 pub use uoi_solvers as solvers;
+pub use uoi_telemetry as telemetry;
 pub use uoi_tieredio as tieredio;
+
+/// Everything a typical caller needs in one import:
+///
+/// ```
+/// use uoi::prelude::*;
+///
+/// let ds = LinearConfig { n_samples: 60, n_features: 12, n_nonzero: 3, ..Default::default() }
+///     .generate();
+/// let cfg = UoiLassoConfig::builder().b1(4).b2(4).q(6).build().unwrap();
+/// let fit = try_fit_uoi_lasso(&ds.x, &ds.y, &cfg).unwrap();
+/// assert!(fit.support.len() <= 12);
+/// ```
+///
+/// Covers the fitters (fallible and panicking), their validated config
+/// builders, the error type, the simulated cluster, the synthetic data
+/// generators, and the telemetry types (tracing sinks, metrics registry,
+/// run reports).
+pub mod prelude {
+    pub use uoi_core::{
+        fit_uoi_lasso, fit_uoi_lasso_dist, fit_uoi_var, fit_uoi_var_dist, try_fit_uoi_lasso,
+        try_fit_uoi_var, ParallelLayout, SelectionCounts, UoiError, UoiLassoConfig,
+        UoiLassoConfigBuilder, UoiVarConfig, UoiVarConfigBuilder, UoiVarDistConfig,
+    };
+    pub use uoi_data::{FinanceConfig, LinearConfig, NeuroConfig, VarConfig, VarProcess};
+    pub use uoi_linalg::Matrix;
+    pub use uoi_mpisim::{Cluster, MachineModel, Phase, PhaseLedger, SimReport};
+    pub use uoi_solvers::{AdmmConfig, AdmmConfigBuilder, InvalidConfig, LassoAdmm};
+    pub use uoi_telemetry::{
+        JsonlSink, MemorySink, MetricsRegistry, RunReport, RunSummary, Telemetry, TraceEvent,
+        TraceSink,
+    };
+}

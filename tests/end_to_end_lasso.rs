@@ -11,15 +11,16 @@ use uoi::solvers::AdmmConfig;
 use uoi::tieredio::{randomized, write_matrix, ShfDataset};
 
 fn cfg() -> UoiLassoConfig {
-    UoiLassoConfig {
-        b1: 6,
-        b2: 6,
-        q: 10,
-        lambda_min_ratio: 2e-2,
-        admm: AdmmConfig { max_iter: 2500, abstol: 1e-9, reltol: 1e-8, ..Default::default() },
-        support_tol: 1e-6,
-        seed: 11,
-    }
+    UoiLassoConfig::builder()
+        .b1(6)
+        .b2(6)
+        .q(10)
+        .lambda_min_ratio(2e-2)
+        .admm(AdmmConfig { max_iter: 2500, abstol: 1e-9, reltol: 1e-8, ..Default::default() })
+        .support_tol(1e-6)
+        .seed(11)
+        .build()
+        .expect("valid config")
 }
 
 #[test]

@@ -12,15 +12,16 @@ use uoi::mpisim::{Cluster, MachineModel};
 use uoi::solvers::AdmmConfig;
 
 fn base(seed: u64) -> UoiLassoConfig {
-    UoiLassoConfig {
-        b1: 12,
-        b2: 4,
-        q: 12,
-        lambda_min_ratio: 5e-2,
-        admm: AdmmConfig { max_iter: 1500, abstol: 1e-8, reltol: 1e-7, ..Default::default() },
-        support_tol: 1e-6,
-        seed,
-    }
+    UoiLassoConfig::builder()
+        .b1(12)
+        .b2(4)
+        .q(12)
+        .lambda_min_ratio(5e-2)
+        .admm(AdmmConfig { max_iter: 1500, abstol: 1e-8, reltol: 1e-7, ..Default::default() })
+        .support_tol(1e-6)
+        .seed(seed)
+        .build()
+        .expect("valid config")
 }
 
 #[test]
