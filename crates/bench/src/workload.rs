@@ -115,7 +115,7 @@ impl LassoScalingRun {
                     let cols: Vec<usize> = (0..p).collect();
                     let xb = boot.gather_cols(&cols);
                     let yb = boot.col(p);
-                    let solver = DistLassoAdmm::new(ctx, xb, admm.clone());
+                    let solver = DistLassoAdmm::new(ctx, world, xb, admm.clone());
                     let sols = solver.solve_path(ctx, world, &yb, &lambdas);
                     if let Some(s) = sols.last() {
                         let sup = uoi_solvers::support_of(&s.beta, 1e-6);
@@ -138,7 +138,7 @@ impl LassoScalingRun {
                     let cols: Vec<usize> = (0..p).collect();
                     let xb = boot.gather_cols(&cols).gather_cols(&last_support);
                     let yb = boot.col(p);
-                    let solver = DistLassoAdmm::new(ctx, xb, admm.clone());
+                    let solver = DistLassoAdmm::new(ctx, world, xb, admm.clone());
                     let sol = solver.solve_ols(ctx, world, &yb);
                     let mut loss = vec![uoi_linalg::mse(
                         &boot.gather_cols(&cols).gather_cols(&last_support),

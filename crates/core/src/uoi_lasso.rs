@@ -15,10 +15,10 @@
 use crate::error::{all_finite, UoiError};
 use crate::support::{dedup_family, intersect_many};
 use rayon::prelude::*;
-use uoi_data::bootstrap::row_bootstrap;
+use uoi_data::bootstrap::{resample_weights, row_bootstrap};
 use uoi_data::rng::substream;
-use uoi_linalg::Matrix;
-use uoi_solvers::{lambda_path, ols_on_support, support_of, AdmmConfig, LassoAdmm};
+use uoi_linalg::{dot, gemv, gemv_t_weighted, syrk_t_weighted, weighted_sumsq, Matrix};
+use uoi_solvers::{lambda_path, ols_on_support_gram, support_of, AdmmConfig, LassoAdmm};
 use uoi_telemetry::{Telemetry, TraceEvent};
 
 /// Run `body` inside a named trace span when tracing is on. Serial fits
@@ -299,6 +299,11 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
     let lambdas = lambda_path(&xc, &yc, cfg.q, cfg.lambda_min_ratio);
 
     // --- Model selection: B1 bootstraps x q lambdas. ---
+    // Zero-copy: the resample never materialises X_b. The multiplicity
+    // vector c of the bootstrap gives X_b^T X_b = sum_i c_i x_i x_i^T and
+    // X_b^T y_b = sum_i c_i y_i x_i, so each bootstrap accumulates a
+    // weighted Gram + rhs over the shared centred design and solves the
+    // whole lambda path from those.
     let supports_by_bootstrap: Vec<Vec<Vec<usize>>> =
         traced(&cfg.telemetry, "uoi_lasso.selection", || {
             (0..cfg.b1)
@@ -306,14 +311,15 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
                 .map(|k| {
                     let mut rng = substream(cfg.seed, k as u64);
                     let idx = row_bootstrap(&mut rng, n, n);
-                    let xb = xc.gather_rows(&idx);
-                    let yb: Vec<f64> = idx.iter().map(|&i| yc[i]).collect();
-                    let mut solver = LassoAdmm::new(xb, cfg.admm.clone());
+                    let w = resample_weights(&idx, n);
+                    let gram = syrk_t_weighted(&xc, &w);
+                    let xty = gemv_t_weighted(&xc, &w, &yc);
+                    let mut solver = LassoAdmm::from_gram(gram, cfg.admm.clone());
                     if let Some(m) = cfg.telemetry.metrics() {
                         solver = solver.with_metrics(m);
                     }
                     solver
-                        .solve_path(&yb, &lambdas)
+                        .solve_path_with_rhs(&xty, &lambdas)
                         .into_iter()
                         .map(|sol| support_of(&sol.beta, cfg.support_tol))
                         .collect()
@@ -353,6 +359,24 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
     cfg.telemetry.gauge("uoi.selection.family_size", support_family.len() as f64);
 
     // --- Model estimation: B2 train/eval resamples. ---
+    // The candidate family only ever references the union of its
+    // features, so the design is projected onto those columns once per
+    // fit; each resample then builds one weighted union-Gram and every
+    // support's OLS is an |S|x|S| sub-Gram extraction + factor, with no
+    // per-resample (or per-support) row gathering.
+    let mut union: Vec<usize> = support_family.iter().flatten().copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    let mut union_pos = vec![usize::MAX; p];
+    for (a, &f) in union.iter().enumerate() {
+        union_pos[f] = a;
+    }
+    let xu = xc.gather_cols(&union);
+    let family_u: Vec<Vec<usize>> = support_family
+        .iter()
+        .map(|s| s.iter().map(|&f| union_pos[f]).collect())
+        .collect();
+
     let best_estimates: Vec<Vec<f64>> =
         traced(&cfg.telemetry, "uoi_lasso.estimation", || {
             (0..cfg.b2)
@@ -360,24 +384,49 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
                 .map(|k| {
                     let mut rng = substream(cfg.seed, 10_000 + k as u64);
                     let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
-                    let xt = xc.gather_rows(&train_idx);
-                    let yt: Vec<f64> = train_idx.iter().map(|&i| yc[i]).collect();
-                    let xe = xc.gather_rows(&eval_idx);
-                    let ye: Vec<f64> = eval_idx.iter().map(|&i| yc[i]).collect();
+                    let n_train = train_idx.len();
+                    let w = resample_weights(&train_idx, n);
+                    let gram_u = syrk_t_weighted(&xu, &w);
+                    let xty_u = gemv_t_weighted(&xu, &w, &yc);
+                    // Weighted training RSS identity for BIC:
+                    // ||X_b b - y_b||^2 = b'Gb - 2 b'(X^T y)_w + sum_i w_i y_i^2.
+                    let ysq_w = match cfg.score {
+                        EstimationScore::Bic => weighted_sumsq(&w, &yc),
+                        EstimationScore::Mse => 0.0,
+                    };
 
                     let mut best: Option<(f64, Vec<f64>)> = None;
-                    for support in &support_family {
-                        let beta = ols_on_support(&xt, &yt, support);
+                    for support_u in &family_u {
+                        let beta_u = ols_on_support_gram(&gram_u, &xty_u, support_u, n_train);
                         let loss = match cfg.score {
-                            EstimationScore::Mse => uoi_linalg::mse(&xe, &beta, &ye),
-                            EstimationScore::Bic => bic(&xt, &beta, &yt, support.len()),
+                            EstimationScore::Mse => {
+                                let mut sum = 0.0;
+                                for &e in &eval_idx {
+                                    let d = dot(xu.row(e), &beta_u) - yc[e];
+                                    sum += d * d;
+                                }
+                                sum / eval_idx.len() as f64
+                            }
+                            EstimationScore::Bic => {
+                                let quad = dot(&beta_u, &gemv(&gram_u, &beta_u));
+                                let rss =
+                                    (quad - 2.0 * dot(&beta_u, &xty_u) + ysq_w).max(0.0);
+                                bic_from_rss(rss, n_train, support_u.len())
+                            }
                         };
                         if best.as_ref().is_none_or(|(l, _)| loss < *l) {
-                            best = Some((loss, beta));
+                            best = Some((loss, beta_u));
                         }
                     }
-                    // An empty family (or all-empty supports) estimates zero.
-                    best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; p])
+                    // Embed the winner back into full-p coordinates; an
+                    // empty family (or all-empty supports) estimates zero.
+                    let mut full = vec![0.0; p];
+                    if let Some((_, bu)) = best {
+                        for (&f, &v) in union.iter().zip(&bu) {
+                            full[f] = v;
+                        }
+                    }
+                    full
                 })
                 .collect()
         });
@@ -418,6 +467,14 @@ pub(crate) fn required_votes(frac: f64, b1: usize) -> usize {
 pub fn bic(x: &Matrix, beta: &[f64], y: &[f64], k: usize) -> f64 {
     let n = y.len().max(1) as f64;
     let rss = uoi_linalg::mse(x, beta, y) * n;
+    bic_from_rss(rss, y.len(), k)
+}
+
+/// BIC from a precomputed residual sum of squares — the Gram-space
+/// estimation loop gets `RSS` from the weighted-Gram identity without
+/// ever forming predictions.
+pub fn bic_from_rss(rss: f64, n: usize, k: usize) -> f64 {
+    let n = n.max(1) as f64;
     n * (rss / n).max(1e-300).ln() + k as f64 * n.ln()
 }
 
@@ -440,6 +497,98 @@ pub(crate) fn bootstrap_with_oob(
     } else {
         (train, eval)
     }
+}
+
+/// The pre-zero-copy reference fit: materialises every bootstrap design
+/// with `gather_rows` and scores candidates in design space. Kept as the
+/// equivalence oracle for the weighted-Gram fast path — any divergence
+/// beyond floating-point summation order is a bug in the fast path.
+#[cfg(test)]
+pub(crate) fn fit_inner_materialized(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
+    use uoi_solvers::ols_on_support;
+    let (n, p) = x.shape();
+
+    let x_means = x.col_means();
+    let y_mean = y.iter().sum::<f64>() / n as f64;
+    let mut xc = x.clone();
+    xc.center_cols(&x_means);
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+    let lambdas = lambda_path(&xc, &yc, cfg.q, cfg.lambda_min_ratio);
+
+    let supports_by_bootstrap: Vec<Vec<Vec<usize>>> = (0..cfg.b1)
+        .map(|k| {
+            let mut rng = substream(cfg.seed, k as u64);
+            let idx = row_bootstrap(&mut rng, n, n);
+            let xb = xc.gather_rows(&idx);
+            let yb: Vec<f64> = idx.iter().map(|&i| yc[i]).collect();
+            let solver = LassoAdmm::new(xb, cfg.admm.clone());
+            solver
+                .solve_path(&yb, &lambdas)
+                .into_iter()
+                .map(|sol| support_of(&sol.beta, cfg.support_tol))
+                .collect()
+        })
+        .collect();
+
+    let needed = required_votes(cfg.intersection_frac, cfg.b1);
+    let supports_per_lambda: Vec<Vec<usize>> = (0..cfg.q)
+        .map(|j| {
+            if needed == cfg.b1 {
+                let per_k: Vec<Vec<usize>> =
+                    supports_by_bootstrap.iter().map(|sk| sk[j].clone()).collect();
+                intersect_many(&per_k)
+            } else {
+                let mut votes = vec![0usize; p];
+                for sk in &supports_by_bootstrap {
+                    for &f in &sk[j] {
+                        votes[f] += 1;
+                    }
+                }
+                (0..p).filter(|&f| votes[f] >= needed).collect()
+            }
+        })
+        .collect();
+    let support_family = dedup_family(supports_per_lambda.clone());
+
+    let best_estimates: Vec<Vec<f64>> = (0..cfg.b2)
+        .map(|k| {
+            let mut rng = substream(cfg.seed, 10_000 + k as u64);
+            let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
+            let xt = xc.gather_rows(&train_idx);
+            let yt: Vec<f64> = train_idx.iter().map(|&i| yc[i]).collect();
+            let xe = xc.gather_rows(&eval_idx);
+            let ye: Vec<f64> = eval_idx.iter().map(|&i| yc[i]).collect();
+
+            let mut best: Option<(f64, Vec<f64>)> = None;
+            for support in &support_family {
+                let beta = ols_on_support(&xt, &yt, support);
+                let loss = match cfg.score {
+                    EstimationScore::Mse => uoi_linalg::mse(&xe, &beta, &ye),
+                    EstimationScore::Bic => bic(&xt, &beta, &yt, support.len()),
+                };
+                if best.as_ref().is_none_or(|(l, _)| loss < *l) {
+                    best = Some((loss, beta));
+                }
+            }
+            best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; p])
+        })
+        .collect();
+
+    let mut beta = vec![0.0; p];
+    for est in &best_estimates {
+        for (b, e) in beta.iter_mut().zip(est) {
+            *b += e;
+        }
+    }
+    for b in &mut beta {
+        *b /= cfg.b2 as f64;
+    }
+
+    let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
+    let support = support_of(&beta, cfg.support_tol);
+
+    UoiFit { beta, intercept, support, lambdas, supports_per_lambda, support_family }
 }
 
 #[cfg(test)]
@@ -515,6 +664,25 @@ mod tests {
                 fit.support_family.iter().any(|s| s.contains(&j)),
                 "feature {j} outside the candidate family"
             );
+        }
+    }
+
+    #[test]
+    fn zero_copy_fit_matches_materialized_reference() {
+        let ds = dataset();
+        for cfg in [
+            quick_cfg(),
+            UoiLassoConfig { score: EstimationScore::Bic, ..quick_cfg() },
+        ] {
+            let fast = fit_uoi_lasso(&ds.x, &ds.y, &cfg);
+            let reference = fit_inner_materialized(&ds.x, &ds.y, &cfg);
+            assert_eq!(fast.supports_per_lambda, reference.supports_per_lambda);
+            assert_eq!(fast.support_family, reference.support_family);
+            assert_eq!(fast.support, reference.support);
+            for (a, b) in fast.beta.iter().zip(&reference.beta) {
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+            assert!((fast.intercept - reference.intercept).abs() < 1e-6);
         }
     }
 

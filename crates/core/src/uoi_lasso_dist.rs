@@ -100,7 +100,7 @@ pub fn fit_uoi_lasso_dist(
         let (data, _t) =
             tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, my_slice);
         let (xb, yb) = split_block(&data, p);
-        let solver = DistLassoAdmm::new(ctx, xb, cfg.admm.clone());
+        let solver = DistLassoAdmm::new(ctx, &comms.admm_comm, xb, cfg.admm.clone());
         let my_lambda_ids = layout.lambdas_for(comms.l_group, cfg.q);
         let my_lambdas: Vec<f64> = my_lambda_ids.iter().map(|&j| lambdas[j]).collect();
         let sols = solver.solve_path(ctx, &comms.admm_comm, &yb, &my_lambdas);
@@ -127,11 +127,22 @@ pub fn fit_uoi_lasso_dist(
     ctx.span_exit(sel_span);
 
     // --- Model estimation ---
-    // Estimation bootstraps are spread over all (b, lambda) groups.
+    // Estimation bootstraps are spread over all (b, lambda) groups. Each
+    // bootstrap builds one local Gram over the family's column union;
+    // every support's distributed OLS then factors an |S|x|S| sub-Gram
+    // instead of re-gathering and re-factoring the shuffled design.
     let est_span = ctx.span_enter("uoi.estimation");
+    let mut union: Vec<usize> = support_family.iter().flatten().copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    let mut union_pos = vec![usize::MAX; p];
+    for (a, &f) in union.iter().enumerate() {
+        union_pos[f] = a;
+    }
     let groups = layout.p_b * layout.p_lambda;
     let my_group = comms.b_group * layout.p_lambda + comms.l_group;
     let mut est_sum = vec![0.0; p];
+    let mut pred: Vec<f64> = Vec::new();
     for k in 0..cfg.b2 {
         if k % groups != my_group {
             continue;
@@ -148,21 +159,42 @@ pub fn fit_uoi_lasso_dist(
         let (xt, yt) = split_block(&train, p);
         let (xe, ye) = split_block(&eval, p);
 
+        // Per-bootstrap local union-Gram cache.
+        let xt_u = xt.gather_cols(&union);
+        let gram_u = uoi_linalg::syrk_t(&xt_u);
+        let xty_u = uoi_linalg::gemv_t(&xt_u, &yt);
+        ctx.compute_flops(
+            (xt_u.rows() * union.len() * (union.len() + 2)) as f64,
+            (xt_u.len() * 8) as f64,
+        );
+        let xe_u = xe.gather_cols(&union);
+
         let mut best: Option<(f64, Vec<f64>)> = None;
         for support in &support_family {
-            // Distributed OLS (ADMM at lambda = 0) on the restricted
-            // design, as the paper's estimation step does.
-            let xt_s = xt.gather_cols(support);
-            let solver = DistLassoAdmm::new(ctx, xt_s, cfg.admm.clone());
-            let sol = solver.solve_ols(ctx, &comms.admm_comm, &yt);
-            // Embed into full coordinates.
+            // Distributed OLS (ADMM at lambda = 0) on the |S|x|S|
+            // sub-Gram, as the paper's estimation step does.
+            let s = support.len();
+            let sub = Matrix::from_fn(s, s, |a, b| {
+                gram_u[(union_pos[support[a]], union_pos[support[b]])]
+            });
+            let rhs: Vec<f64> = support.iter().map(|&f| xty_u[union_pos[f]]).collect();
+            let solver =
+                DistLassoAdmm::from_gram(ctx, &comms.admm_comm, sub, xt.rows(), cfg.admm.clone());
+            let sol = solver.solve_ols_with_rhs(ctx, &comms.admm_comm, &rhs);
+            // Embed into full coordinates, plus union coordinates for the
+            // evaluation pass.
             let mut beta = vec![0.0; p];
+            let mut beta_u = vec![0.0; union.len()];
             for (&f, &b) in support.iter().zip(&sol.beta) {
                 beta[f] = b;
+                beta_u[union_pos[f]] = b;
             }
             // Distributed evaluation loss: local SSE, allreduce 2 scalars.
-            let pred = uoi_linalg::gemv(&xe, &beta);
-            ctx.compute_flops(2.0 * (xe.rows() * p) as f64, (xe.len() * 8) as f64);
+            uoi_linalg::gemv_into(&xe_u, &beta_u, &mut pred);
+            ctx.compute_flops(
+                2.0 * (xe_u.rows() * union.len()) as f64,
+                (xe_u.len() * 8) as f64,
+            );
             let mut stats = vec![
                 pred.iter().zip(&ye).map(|(a, b)| (a - b) * (a - b)).sum::<f64>(),
                 ye.len() as f64,

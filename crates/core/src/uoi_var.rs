@@ -19,10 +19,10 @@ use crate::uoi_lasso::UoiLassoConfig;
 use crate::var_matrices::{partition_coefficients, VarRegression};
 use crate::granger::GrangerNetwork;
 use rayon::prelude::*;
-use uoi_data::bootstrap::{block_bootstrap, default_block_len};
+use uoi_data::bootstrap::{block_bootstrap, default_block_len, resample_weights};
 use uoi_data::rng::substream;
-use uoi_linalg::Matrix;
-use uoi_solvers::{geometric_grid, ols_on_support, support_of, LassoAdmm};
+use uoi_linalg::{dot, gemv_t_weighted, syrk_t_weighted, Matrix};
+use uoi_solvers::{geometric_grid, ols_on_support, ols_on_support_gram, support_of, LassoAdmm};
 
 /// Hyperparameters of `UoI_VAR`.
 #[derive(Debug, Clone)]
@@ -322,7 +322,10 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
     let lambdas = geometric_grid(lmax, base.lambda_min_ratio * lmax, base.q);
 
     // --- Model selection (Algorithm 2 lines 1-13). ---
-    // Per bootstrap: one shared factorisation, p column paths.
+    // Per bootstrap: one shared factorisation, p column paths. The block
+    // bootstrap also yields integer row multiplicities, so the resampled
+    // regression block is never materialised — one weighted dp x dp Gram
+    // and p weighted rhs vectors replace the gather.
     let supports_by_bootstrap: Vec<Vec<Vec<usize>>> =
         crate::uoi_lasso::traced(&base.telemetry, "uoi_var.selection", || {
             (0..base.b1)
@@ -330,17 +333,21 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
                 .map(|k| {
                     let mut rng = substream(base.seed, k as u64);
                     let rows = block_bootstrap(&mut rng, n, n, block_len);
-                    let boot = reg.gather(&rows);
-                    let mut solver = LassoAdmm::new(boot.x.clone(), base.admm.clone());
+                    let w = resample_weights(&rows, n);
+                    let gram = syrk_t_weighted(&reg.x, &w);
+                    let mut solver = LassoAdmm::from_gram(gram, base.admm.clone());
                     if let Some(m) = base.telemetry.metrics() {
                         solver = solver.with_metrics(m);
                     }
                     // supports[j] = vectorised support at lambda_j.
                     let mut supports = vec![Vec::new(); lambdas.len()];
                     for i in 0..p {
-                        let yi = boot.y.col(i);
-                        for (j, sol) in
-                            solver.solve_path(&yi, &lambdas).into_iter().enumerate()
+                        let yi = reg.y.col(i);
+                        let xty = gemv_t_weighted(&reg.x, &w, &yi);
+                        for (j, sol) in solver
+                            .solve_path_with_rhs(&xty, &lambdas)
+                            .into_iter()
+                            .enumerate()
                         {
                             for idx in support_of(&sol.beta, base.support_tol) {
                                 supports[j].push(i * dp + idx);
@@ -382,6 +389,33 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
     base.telemetry.gauge("uoi_var.selection.family_size", support_family.len() as f64);
 
     // --- Model estimation (lines 14-30). ---
+    // Gram-space scoring: the family only touches the union of its lag
+    // columns, so the regression design is projected onto that union once;
+    // each resample builds one weighted union-Gram plus p rhs vectors and
+    // every candidate is solved/scored by sub-Gram extraction, with no
+    // train/eval row gathering.
+    let mut union_cols: Vec<usize> = support_family.iter().flatten().map(|&s| s % dp).collect();
+    union_cols.sort_unstable();
+    union_cols.dedup();
+    let u = union_cols.len();
+    let mut col_pos = vec![usize::MAX; dp];
+    for (a, &c) in union_cols.iter().enumerate() {
+        col_pos[c] = a;
+    }
+    let xu = reg.x.gather_cols(&union_cols);
+    let ys: Vec<Vec<f64>> = (0..p).map(|i| reg.y.col(i)).collect();
+    // family_cols[f][i] = union-space support of response column i.
+    let family_cols: Vec<Vec<Vec<usize>>> = support_family
+        .iter()
+        .map(|support| {
+            let mut per_col = vec![Vec::new(); p];
+            for &s in support {
+                per_col[s / dp].push(col_pos[s % dp]);
+            }
+            per_col
+        })
+        .collect();
+
     let best_estimates: Vec<Vec<f64>> =
         crate::uoi_lasso::traced(&base.telemetry, "uoi_var.estimation", || {
             (0..base.b2)
@@ -390,18 +424,48 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
                     let mut rng = substream(base.seed, 20_000 + k as u64);
                     let (train_rows, eval_rows) =
                         block_bootstrap_with_oob(&mut rng, n, block_len);
-                    let train = reg.gather(&train_rows);
-                    let eval = reg.gather(&eval_rows);
+                    let n_train = train_rows.len();
+                    let w = resample_weights(&train_rows, n);
+                    let gram_u = syrk_t_weighted(&xu, &w);
+                    let xty_u: Vec<Vec<f64>> =
+                        ys.iter().map(|yi| gemv_t_weighted(&xu, &w, yi)).collect();
 
                     let mut best: Option<(f64, Vec<f64>)> = None;
-                    for support in &support_family {
-                        let beta = var_ols_on_support(&train, support, p, dp);
-                        let loss = var_loss(&eval, &beta, p, dp);
+                    for per_col in &family_cols {
+                        // Column i's union-space coefficients at i*u..(i+1)*u.
+                        let mut beta_u = vec![0.0; p * u];
+                        for (i, cols) in per_col.iter().enumerate() {
+                            if cols.is_empty() {
+                                continue;
+                            }
+                            let bi = ols_on_support_gram(&gram_u, &xty_u[i], cols, n_train);
+                            beta_u[i * u..(i + 1) * u].copy_from_slice(&bi);
+                        }
+                        let mut total = 0.0;
+                        for i in 0..p {
+                            let bi = &beta_u[i * u..(i + 1) * u];
+                            let mut sse = 0.0;
+                            for &e in &eval_rows {
+                                let d = dot(xu.row(e), bi) - ys[i][e];
+                                sse += d * d;
+                            }
+                            total += sse / eval_rows.len() as f64;
+                        }
+                        let loss = total / p as f64;
                         if best.as_ref().is_none_or(|(l, _)| loss < *l) {
-                            best = Some((loss, beta));
+                            best = Some((loss, beta_u));
                         }
                     }
-                    best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; total_coef])
+                    // Embed the winner back into vectorised coordinates.
+                    let mut full = vec![0.0; total_coef];
+                    if let Some((_, bu)) = best {
+                        for i in 0..p {
+                            for (a, &c) in union_cols.iter().enumerate() {
+                                full[i * dp + c] = bu[i * u + a];
+                            }
+                        }
+                    }
+                    full
                 })
                 .collect()
         });
@@ -435,7 +499,9 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
 
 /// Support-restricted OLS on the vectorised VAR problem, exploiting the
 /// per-column decomposition: support indices `i*dp + j` select columns
-/// `j` of `X` for response column `i`.
+/// `j` of `X` for response column `i`. Retained as the design-space
+/// reference for the Gram-space estimation loop.
+#[cfg(test)]
 pub(crate) fn var_ols_on_support(
     reg: &VarRegression,
     support: &[usize],
@@ -461,6 +527,7 @@ pub(crate) fn var_ols_on_support(
 
 /// Total mean-squared prediction error of a vectorised estimate on a
 /// regression block (the `L(beta, E^k)` of Algorithm 2 line 25).
+#[cfg(test)]
 pub(crate) fn var_loss(reg: &VarRegression, vec_beta: &[f64], p: usize, dp: usize) -> f64 {
     let mut total = 0.0;
     for i in 0..p {
@@ -492,6 +559,116 @@ pub(crate) fn block_bootstrap_with_oob(
     }
 }
 
+/// The pre-zero-copy reference fit: materialises every block-bootstrap
+/// regression with `gather` and scores in design space. Kept as the
+/// equivalence oracle for the weighted-Gram fast path.
+#[cfg(test)]
+pub(crate) fn fit_inner_materialized(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
+    let (_, p) = series.shape();
+    let d = cfg.order;
+
+    let means = series.col_means();
+    let mut centred = series.clone();
+    centred.center_cols(&means);
+
+    let reg = VarRegression::build(&centred, d);
+    let n = reg.samples();
+    let dp = d * p;
+    let total_coef = dp * p;
+    let block_len = cfg.block_len.unwrap_or_else(|| default_block_len(n));
+    let base = &cfg.base;
+
+    let mut lmax = 0.0_f64;
+    for i in 0..p {
+        let yi = reg.y.col(i);
+        lmax = lmax.max(uoi_solvers::lambda_max(&reg.x, &yi));
+    }
+    let lmax = lmax.max(1e-12);
+    let lambdas = geometric_grid(lmax, base.lambda_min_ratio * lmax, base.q);
+
+    let supports_by_bootstrap: Vec<Vec<Vec<usize>>> = (0..base.b1)
+        .map(|k| {
+            let mut rng = substream(base.seed, k as u64);
+            let rows = block_bootstrap(&mut rng, n, n, block_len);
+            let boot = reg.gather(&rows);
+            let solver = LassoAdmm::new(boot.x.clone(), base.admm.clone());
+            let mut supports = vec![Vec::new(); lambdas.len()];
+            for i in 0..p {
+                let yi = boot.y.col(i);
+                for (j, sol) in solver.solve_path(&yi, &lambdas).into_iter().enumerate() {
+                    for idx in support_of(&sol.beta, base.support_tol) {
+                        supports[j].push(i * dp + idx);
+                    }
+                }
+            }
+            for s in &mut supports {
+                s.sort_unstable();
+            }
+            supports
+        })
+        .collect();
+
+    let needed = crate::uoi_lasso::required_votes(base.intersection_frac, base.b1);
+    let supports_per_lambda: Vec<Vec<usize>> = (0..lambdas.len())
+        .map(|j| {
+            if needed == base.b1 {
+                let per_k: Vec<Vec<usize>> =
+                    supports_by_bootstrap.iter().map(|sk| sk[j].clone()).collect();
+                intersect_many(&per_k)
+            } else {
+                let mut votes = vec![0usize; total_coef];
+                for sk in &supports_by_bootstrap {
+                    for &f in &sk[j] {
+                        votes[f] += 1;
+                    }
+                }
+                (0..total_coef).filter(|&f| votes[f] >= needed).collect()
+            }
+        })
+        .collect();
+    let support_family = dedup_family(supports_per_lambda.clone());
+
+    let best_estimates: Vec<Vec<f64>> = (0..base.b2)
+        .map(|k| {
+            let mut rng = substream(base.seed, 20_000 + k as u64);
+            let (train_rows, eval_rows) = block_bootstrap_with_oob(&mut rng, n, block_len);
+            let train = reg.gather(&train_rows);
+            let eval = reg.gather(&eval_rows);
+
+            let mut best: Option<(f64, Vec<f64>)> = None;
+            for support in &support_family {
+                let beta = var_ols_on_support(&train, support, p, dp);
+                let loss = var_loss(&eval, &beta, p, dp);
+                if best.as_ref().is_none_or(|(l, _)| loss < *l) {
+                    best = Some((loss, beta));
+                }
+            }
+            best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; total_coef])
+        })
+        .collect();
+
+    let mut vec_beta = vec![0.0; total_coef];
+    for est in &best_estimates {
+        for (b, e) in vec_beta.iter_mut().zip(est) {
+            *b += e;
+        }
+    }
+    for b in &mut vec_beta {
+        *b /= base.b2 as f64;
+    }
+
+    let a_mats = partition_coefficients(&vec_beta, p, d);
+    let mut mu = means.clone();
+    for a in &a_mats {
+        let shift = uoi_linalg::gemv(a, &means);
+        for (m, s) in mu.iter_mut().zip(&shift) {
+            *m -= s;
+        }
+    }
+
+    UoiVarFit { a_mats, mu, vec_beta, lambdas, supports_per_lambda, support_family }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,7 +684,11 @@ mod tests {
                 b1: 6,
                 b2: 6,
                 q: 10,
-                lambda_min_ratio: 1e-2,
+                // With the data-scaled ADMM penalty the small-lambda
+                // solves truly converge (dense supports), so the grid
+                // stops before the near-saturated tail that would flood
+                // the candidate family with false positives.
+                lambda_min_ratio: 5e-2,
                 admm: AdmmConfig { max_iter: 600, ..Default::default() },
                 support_tol: 1e-7,
                 seed: 11,
@@ -606,6 +787,28 @@ mod tests {
         assert_eq!(fit.a_mats[0].shape(), (6, 6));
         assert_eq!(fit.vec_beta.len(), 2 * 36);
         assert_eq!(fit.mu.len(), 6);
+    }
+
+    #[test]
+    fn zero_copy_var_fit_matches_materialized_reference() {
+        let proc = VarProcess::generate(&VarConfig {
+            p: 8,
+            order: 1,
+            density: 0.1,
+            seed: 13,
+            ..Default::default()
+        });
+        let series = proc.simulate(500, 50, 5);
+        let fast = fit_uoi_var(&series, &quick_cfg());
+        let reference = fit_inner_materialized(&series, &quick_cfg());
+        assert_eq!(fast.supports_per_lambda, reference.supports_per_lambda);
+        assert_eq!(fast.support_family, reference.support_family);
+        for (a, b) in fast.vec_beta.iter().zip(&reference.vec_beta) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        for (a, b) in fast.mu.iter().zip(&reference.mu) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -23,12 +23,12 @@ use crate::parallelism::ParallelLayout;
 use crate::support::dedup_family;
 use crate::uoi_var::{block_bootstrap_with_oob, UoiVarConfig, UoiVarFit};
 use crate::var_matrices::{partition_coefficients, VarRegression};
-use uoi_data::bootstrap::{block_bootstrap, default_block_len};
+use uoi_data::bootstrap::{block_bootstrap, default_block_len, resample_weights};
 use uoi_data::rng::substream;
-use uoi_linalg::Matrix;
+use uoi_linalg::{gemv_t_weighted, syrk_t_weighted, Matrix};
 use uoi_mpisim::{Comm, Phase, RankCtx, Window};
 use uoi_solvers::{
-    admm_iter_flops, geometric_grid, ols_on_support, support_of, LassoAdmm,
+    admm_iter_flops, geometric_grid, ols_on_support_gram, support_of, LassoAdmm,
 };
 use uoi_tieredio::distribution::{block_owner, block_range};
 
@@ -141,12 +141,19 @@ pub fn fit_uoi_var_dist(
         let mut rng = substream(base.seed, k as u64);
         let rows = block_bootstrap(&mut rng, n, n, block_len);
         // Distributed Kronecker + vectorisation: pull the resampled rows
-        // through the reader windows (Algorithm 2 line 5).
+        // through the reader windows (Algorithm 2 line 5). The pulled
+        // block is the physical resample copy; the solve itself uses the
+        // equivalent weighted-Gram form (row multiplicities over the
+        // shared regression), keeping the arithmetic bit-identical to the
+        // serial zero-copy path.
         let boot = pull_regression(ctx, &win, &rows, n, readers, p, dp, stagger, &mut kron);
+        let w = resample_weights(&rows, n);
         let full_vec = dist_lasso_path(
             ctx,
             &comms.admm_comm,
-            &boot,
+            &reg_full,
+            &w,
+            boot.samples(),
             &my_cols,
             &my_lambdas,
             base,
@@ -174,11 +181,24 @@ pub fn fit_uoi_var_dist(
     ctx.span_exit(sel_span);
 
     // --- Model estimation ---
-    // Estimation bootstraps are spread over all (b, lambda) groups.
+    // Estimation bootstraps are spread over all (b, lambda) groups. The
+    // family only references the union of its lag columns, so each
+    // bootstrap builds one union-Gram from its pulled training block and
+    // every candidate's per-column OLS is a sub-Gram extraction.
     let est_span = ctx.span_enter("uoi_var.estimation");
+    let mut union_cols: Vec<usize> =
+        support_family.iter().flatten().map(|&s| s % dp).collect();
+    union_cols.sort_unstable();
+    union_cols.dedup();
+    let u_len = union_cols.len();
+    let mut col_pos = vec![usize::MAX; dp];
+    for (a, &cq) in union_cols.iter().enumerate() {
+        col_pos[cq] = a;
+    }
     let groups = cfg.layout.p_b * cfg.layout.p_lambda;
     let my_group = comms.b_group * cfg.layout.p_lambda + comms.l_group;
     let mut est_sum = vec![0.0; total_coef];
+    let mut pred: Vec<f64> = Vec::new();
     for k in 0..base.b2 {
         if k % groups != my_group {
             continue;
@@ -189,32 +209,50 @@ pub fn fit_uoi_var_dist(
             pull_regression(ctx, &win, &train_rows, n, readers, p, dp, stagger, &mut kron);
         let eval =
             pull_regression(ctx, &win, &eval_rows, n, readers, p, dp, stagger, &mut kron);
+        let n_train = train.samples();
+        let xu_t = train.x.gather_cols(&union_cols);
+        let gram_u = uoi_linalg::syrk_t(&xu_t);
+        ctx.compute_flops(
+            (n_train * u_len * u_len) as f64,
+            (n_train * u_len * 8) as f64,
+        );
+        let xty_u: Vec<Vec<f64>> = my_cols
+            .clone()
+            .map(|i| {
+                let yi = train.y.col(i);
+                ctx.compute_flops(2.0 * (n_train * u_len) as f64, 0.0);
+                uoi_linalg::gemv_t(&xu_t, &yi)
+            })
+            .collect();
+        let xe_u = eval.x.gather_cols(&union_cols);
 
         let mut best: Option<(f64, Vec<f64>)> = None;
         for support in &support_family {
-            // Per-owned-column restricted OLS (lambda = 0 solve).
+            // Per-owned-column restricted OLS in Gram space.
             let mut beta_local = vec![0.0; total_coef];
             let mut local_sse = 0.0;
             let mut local_cnt = 0.0;
-            for i in my_cols.clone() {
+            for (slot, i) in my_cols.clone().enumerate() {
                 let cols: Vec<usize> = support
                     .iter()
                     .filter(|&&s| s / dp == i)
-                    .map(|&s| s % dp)
+                    .map(|&s| col_pos[s % dp])
                     .collect();
+                let mut bu = vec![0.0; u_len];
                 if !cols.is_empty() {
-                    let yi = train.y.col(i);
-                    let bi = ols_on_support(&train.x, &yi, &cols);
+                    bu = ols_on_support_gram(&gram_u, &xty_u[slot], &cols, n_train);
                     ctx.compute_flops(
-                        (train.x.rows() * cols.len() * cols.len()) as f64
+                        (cols.len() * cols.len()) as f64
                             + (cols.len() * cols.len() * cols.len()) as f64 / 3.0,
-                        (train.x.rows() * cols.len() * 8) as f64,
+                        (cols.len() * cols.len() * 8) as f64,
                     );
-                    beta_local[i * dp..(i + 1) * dp].copy_from_slice(&bi);
+                    for (a, &cq) in union_cols.iter().enumerate() {
+                        beta_local[i * dp + cq] = bu[a];
+                    }
                 }
                 let ye = eval.y.col(i);
-                let pred = uoi_linalg::gemv(&eval.x, &beta_local[i * dp..(i + 1) * dp]);
-                ctx.compute_flops(2.0 * (eval.x.rows() * dp) as f64, 0.0);
+                uoi_linalg::gemv_into(&xe_u, &bu, &mut pred);
+                ctx.compute_flops(2.0 * (xe_u.rows() * u_len) as f64, 0.0);
                 local_sse += pred
                     .iter()
                     .zip(&ye)
@@ -308,20 +346,27 @@ fn pull_regression(
 /// full `d p^2` estimate (owned blocks, zeros elsewhere) plus a
 /// convergence counter is allreduced. Returns, per lambda, the full
 /// vectorised estimate (identical on all ranks).
+#[allow(clippy::too_many_arguments)]
 fn dist_lasso_path(
     ctx: &mut RankCtx,
     admm_comm: &Comm,
-    boot: &VarRegression,
+    reg: &VarRegression,
+    w: &[f64],
+    n_boot: usize,
     my_cols: &std::ops::Range<usize>,
     lambdas: &[f64],
     base: &crate::uoi_lasso::UoiLassoConfig,
 ) -> Vec<Vec<f64>> {
-    let p = boot.dim();
-    let dp = boot.x.cols();
+    let p = reg.dim();
+    let dp = reg.x.cols();
     let total = dp * p;
-    let n = boot.samples();
+    let n = n_boot;
 
-    let mut solver = LassoAdmm::new(boot.x.clone(), base.admm.clone());
+    // Zero-copy resample: the weighted Gram / rhs over the shared
+    // regression equal X_b^T X_b and X_b^T y_b of the pulled block
+    // exactly, without cloning the design into the solver.
+    let gram = syrk_t_weighted(&reg.x, w);
+    let mut solver = LassoAdmm::from_gram(gram, base.admm.clone());
     // Per-column convergence lands in the shared registry via `step`;
     // columns are disjointly owned, so counts are not duplicated.
     if let Some(m) = ctx.telemetry().metrics() {
@@ -334,9 +379,9 @@ fn dist_lasso_path(
     let rhs: Vec<Vec<f64>> = my_cols
         .clone()
         .map(|i| {
-            let yi = boot.y.col(i);
+            let yi = reg.y.col(i);
             ctx.compute_flops(2.0 * (n * dp) as f64, (n * dp * 8) as f64);
-            solver.prepare_rhs(&yi)
+            gemv_t_weighted(&reg.x, w, &yi)
         })
         .collect();
 
@@ -351,6 +396,9 @@ fn dist_lasso_path(
             st.iterations = 0;
         }
         let mut full = vec![0.0; total];
+        // Round payload reused across iterations: non-owned sections are
+        // re-zeroed each round (they carry the previous allreduce sums).
+        let mut payload = vec![0.0; total + 1];
         for _round in 0..base.admm.max_iter {
             let mut unconverged = 0usize;
             for (slot, _i) in my_cols.clone().enumerate() {
@@ -368,15 +416,16 @@ fn dist_lasso_path(
             }
             // Allreduce the full estimate + convergence counter — the
             // paper's per-iteration "communicate the estimates" call.
-            let mut payload = vec![0.0; total + 1];
+            for v in &mut payload {
+                *v = 0.0;
+            }
             for (slot, i) in my_cols.clone().enumerate() {
                 payload[i * dp..(i + 1) * dp].copy_from_slice(&states[slot].z);
             }
             payload[total] = unconverged as f64;
             admm_comm.allreduce_sum(ctx, &mut payload);
             let all_unconverged = payload[total];
-            payload.truncate(total);
-            full = payload;
+            full.copy_from_slice(&payload[..total]);
             if all_unconverged == 0.0 {
                 break;
             }

@@ -29,6 +29,19 @@ pub fn block_bootstrap(rng: &mut StdRng, n: usize, m: usize, block_len: usize) -
     out
 }
 
+/// Integer multiplicities of a resample: `w[i]` counts how often row `i`
+/// appears in `idx`. Feeding these to `syrk_t_weighted`/`gemv_t_weighted`
+/// computes the resample's Gram system without materialising the n×p copy
+/// that `gather_rows` would make.
+pub fn resample_weights(idx: &[usize], n: usize) -> Vec<f64> {
+    let mut w = vec![0.0; n];
+    for &i in idx {
+        assert!(i < n, "resample_weights: index {i} out of bounds ({n})");
+        w[i] += 1.0;
+    }
+    w
+}
+
 /// The default VAR block length: `ceil(n^{1/3})`, the standard
 /// rate-optimal choice for moving-block bootstrap.
 pub fn default_block_len(n: usize) -> usize {
@@ -105,6 +118,17 @@ mod tests {
         let idx = block_bootstrap(&mut rng, 5, 12, 100);
         assert_eq!(idx.len(), 12);
         assert!(idx.iter().all(|&i| i < 5));
+    }
+
+    #[test]
+    fn resample_weights_count_multiplicities() {
+        let w = resample_weights(&[0, 2, 2, 4, 0, 0], 6);
+        assert_eq!(w, vec![3.0, 0.0, 2.0, 0.0, 1.0, 0.0]);
+        // Total mass equals the resample size.
+        let mut rng = seeded(7);
+        let idx = row_bootstrap(&mut rng, 33, 33);
+        let w = resample_weights(&idx, 33);
+        assert_eq!(w.iter().sum::<f64>(), 33.0);
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub mod rng;
 pub mod var;
 
 pub use bootstrap::{
-    block_bootstrap, default_block_len, row_bootstrap, temporal_split, train_eval_split,
+    block_bootstrap, default_block_len, resample_weights, row_bootstrap, temporal_split,
+    train_eval_split,
 };
 pub use finance::{FinanceConfig, FinanceDataset, DAYS_PER_WEEK};
 pub use linear::{LinearConfig, LinearDataset};

@@ -54,6 +54,90 @@ pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
 
+/// `||a - b||` without materialising the difference vector.
+///
+/// The accumulation structure mirrors [`dot`] exactly (4-way unrolled, same
+/// order), so the result is bit-identical to `norm2` of the materialised
+/// difference — which lets the ADMM inner loop drop its `r` temporary
+/// without perturbing convergence decisions.
+#[inline]
+pub fn norm2_diff(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for c in 0..chunks {
+        let i = c * 4;
+        let d0 = a[i] - b[i];
+        let d1 = a[i + 1] - b[i + 1];
+        let d2 = a[i + 2] - b[i + 2];
+        let d3 = a[i + 3] - b[i + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for i in chunks * 4..n {
+        let d = a[i] - b[i];
+        s += d * d;
+    }
+    s.sqrt()
+}
+
+/// `||c * (a - b)||` without materialising the scaled difference
+/// (bit-identical to `norm2` of the materialised vector; see [`norm2_diff`]).
+#[inline]
+pub fn norm2_scaled_diff(c: f64, a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for ch in 0..chunks {
+        let i = ch * 4;
+        let d0 = c * (a[i] - b[i]);
+        let d1 = c * (a[i + 1] - b[i + 1]);
+        let d2 = c * (a[i + 2] - b[i + 2]);
+        let d3 = c * (a[i + 3] - b[i + 3]);
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for i in chunks * 4..n {
+        let d = c * (a[i] - b[i]);
+        s += d * d;
+    }
+    s.sqrt()
+}
+
+/// `||c * x||` without materialising the scaled vector
+/// (bit-identical to `norm2` of the materialised vector; see [`norm2_diff`]).
+#[inline]
+pub fn norm2_scaled(c: f64, x: &[f64]) -> f64 {
+    let n = x.len();
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for ch in 0..chunks {
+        let i = ch * 4;
+        let d0 = c * x[i];
+        let d1 = c * x[i + 1];
+        let d2 = c * x[i + 2];
+        let d3 = c * x[i + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for i in chunks * 4..n {
+        let d = c * x[i];
+        s += d * d;
+    }
+    s.sqrt()
+}
+
 /// L1 norm.
 #[inline]
 pub fn norm1(x: &[f64]) -> f64 {
@@ -245,11 +329,184 @@ pub fn syrk_t(a: &Matrix) -> Matrix {
     g
 }
 
+/// Matrix-vector product `A * x` written into a caller-owned buffer.
+///
+/// Produces results bit-identical to [`gemv`] (same per-row dot products)
+/// without allocating; `out` is resized to `a.rows()` if needed.
+pub fn gemv_into(a: &Matrix, x: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(a.cols(), x.len(), "gemv_into: dimension mismatch");
+    out.clear();
+    out.reserve(a.rows());
+    let flops = a.rows() * a.cols() * 2;
+    if flops >= PAR_FLOP_THRESHOLD {
+        (0..a.rows())
+            .into_par_iter()
+            .map(|i| dot(a.row(i), x))
+            .collect_into_vec(out);
+    } else {
+        out.extend((0..a.rows()).map(|i| dot(a.row(i), x)));
+    }
+}
+
+/// Transposed matrix-vector product `A^T * x` written into a caller-owned
+/// buffer. Serial accumulation (bit-identical to the serial [`gemv_t`] path).
+pub fn gemv_t_into(a: &Matrix, x: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(a.rows(), x.len(), "gemv_t_into: dimension mismatch");
+    out.clear();
+    out.resize(a.cols(), 0.0);
+    for i in 0..a.rows() {
+        axpy(x[i], a.row(i), out);
+    }
+}
+
+/// Weighted Gram matrix `A^T diag(w) A = Σ_i w_i a_i a_iᵀ`.
+///
+/// With `w` the integer multiplicities of a bootstrap resample this equals
+/// the Gram of the materialised resample (`gather_rows` + [`syrk_t`]) without
+/// ever copying the design matrix; rows with `w_i == 0` (out-of-bag) are
+/// skipped entirely.
+pub fn syrk_t_weighted(a: &Matrix, w: &[f64]) -> Matrix {
+    let (n, p) = a.shape();
+    assert_eq!(n, w.len(), "syrk_t_weighted: weight length mismatch");
+    let mut g = Matrix::zeros(p, p);
+    let flops = n * p * p;
+
+    if flops >= PAR_FLOP_THRESHOLD && p >= 32 {
+        let bands: Vec<(usize, usize)> = {
+            let nb = (rayon::current_num_threads() * 2).max(1);
+            let band = p.div_ceil(nb).max(1);
+            (0..p).step_by(band).map(|s| (s, (s + band).min(p))).collect()
+        };
+        let partials: Vec<(usize, usize, Vec<f64>)> = bands
+            .into_par_iter()
+            .map(|(j0, j1)| {
+                let width = j1 - j0;
+                let mut block = vec![0.0; width * p];
+                for i in 0..n {
+                    let wi = w[i];
+                    if wi == 0.0 {
+                        continue;
+                    }
+                    let row = a.row(i);
+                    for j in j0..j1 {
+                        let v = wi * row[j];
+                        if v != 0.0 {
+                            let out = &mut block[(j - j0) * p + j..(j - j0) * p + p];
+                            axpy(v, &row[j..], out);
+                        }
+                    }
+                }
+                (j0, j1, block)
+            })
+            .collect();
+        for (j0, j1, block) in partials {
+            for j in j0..j1 {
+                let src = &block[(j - j0) * p + j..(j - j0) * p + p];
+                for (off, &v) in src.iter().enumerate() {
+                    g[(j, j + off)] = v;
+                }
+            }
+        }
+    } else {
+        for i in 0..n {
+            let wi = w[i];
+            if wi == 0.0 {
+                continue;
+            }
+            let row = a.row(i);
+            for j in 0..p {
+                let v = wi * row[j];
+                if v != 0.0 {
+                    for jj in j..p {
+                        g[(j, jj)] += v * row[jj];
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..p {
+        for j in (i + 1)..p {
+            g[(j, i)] = g[(i, j)];
+        }
+    }
+    g
+}
+
+/// Weighted transposed matrix-vector product `A^T diag(w) x = Σ_i w_i x_i a_i`.
+///
+/// With bootstrap multiplicities `w` this equals `X_b^T y_b` of the
+/// materialised resample without copying rows. The parallel path combines
+/// block partials in ascending block order, so results are deterministic for
+/// a fixed thread count.
+pub fn gemv_t_weighted(a: &Matrix, w: &[f64], x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), w.len(), "gemv_t_weighted: weight length mismatch");
+    assert_eq!(a.rows(), x.len(), "gemv_t_weighted: dimension mismatch");
+    let cols = a.cols();
+    let flops = a.rows() * cols * 3;
+    if flops >= PAR_FLOP_THRESHOLD && cols >= 64 {
+        let nblocks = rayon::current_num_threads().max(1);
+        let block = a.rows().div_ceil(nblocks).max(1);
+        let starts: Vec<usize> = (0..a.rows()).step_by(block).collect();
+        let partials: Vec<Vec<f64>> = starts
+            .into_par_iter()
+            .map(|start| {
+                let end = (start + block).min(a.rows());
+                let mut acc = vec![0.0; cols];
+                for i in start..end {
+                    let c = w[i] * x[i];
+                    if c != 0.0 {
+                        axpy(c, a.row(i), &mut acc);
+                    }
+                }
+                acc
+            })
+            .collect();
+        let mut y = vec![0.0; cols];
+        for acc in partials {
+            for (yi, ai) in y.iter_mut().zip(&acc) {
+                *yi += ai;
+            }
+        }
+        y
+    } else {
+        let mut y = vec![0.0; cols];
+        for i in 0..a.rows() {
+            let c = w[i] * x[i];
+            if c != 0.0 {
+                axpy(c, a.row(i), &mut y);
+            }
+        }
+        y
+    }
+}
+
+/// Weighted sum of squares `Σ_i w_i x_i²` (the `y^T y` term of a weighted
+/// residual-sum-of-squares computed from Gram-space quantities).
+pub fn weighted_sumsq(w: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(w.len(), x.len());
+    let mut s = 0.0;
+    for (wi, xi) in w.iter().zip(x) {
+        if *wi != 0.0 {
+            s += wi * xi * xi;
+        }
+    }
+    s
+}
+
 /// Mean squared error `||y - X beta||^2 / n` (the loss used in the UoI
 /// model-estimation scoring step).
 pub fn mse(x: &Matrix, beta: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.rows(), y.len());
     let pred = gemv(x, beta);
+    let n = y.len().max(1) as f64;
+    pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n
+}
+
+/// [`mse`] with a caller-owned prediction buffer: bit-identical result,
+/// zero allocations once `pred` has capacity `x.rows()`.
+pub fn mse_into(x: &Matrix, beta: &[f64], y: &[f64], pred: &mut Vec<f64>) -> f64 {
+    assert_eq!(x.rows(), y.len());
+    gemv_into(x, beta, pred);
     let n = y.len().max(1) as f64;
     pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n
 }
@@ -263,6 +520,24 @@ pub fn r_squared(x: &Matrix, beta: &[f64], y: &[f64]) -> f64 {
     let mean = y.iter().sum::<f64>() / n as f64;
     let ss_tot: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
     let pred = gemv(x, beta);
+    let ss_res: f64 = pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 { 1.0 } else { 0.0 }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// [`r_squared`] with a caller-owned prediction buffer: bit-identical result,
+/// zero allocations once `pred` has capacity `x.rows()`.
+pub fn r_squared_into(x: &Matrix, beta: &[f64], y: &[f64], pred: &mut Vec<f64>) -> f64 {
+    let n = y.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = y.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+    gemv_into(x, beta, pred);
     let ss_res: f64 = pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 { 1.0 } else { 0.0 }
@@ -349,6 +624,104 @@ mod tests {
         for (g, e) in got.iter().zip(&expected) {
             assert!((g - e).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn weighted_syrk_matches_materialized() {
+        let a = Matrix::from_fn(30, 12, |i, j| ((i * 5 + j * 11) % 9) as f64 - 4.0);
+        // Bootstrap-style integer multiplicities, including zeros (OOB rows).
+        let idx: Vec<usize> = (0..30).map(|i| (i * 17 + 3) % 30).collect();
+        let mut w = vec![0.0; 30];
+        for &i in &idx {
+            w[i] += 1.0;
+        }
+        let gathered = a.gather_rows(&idx);
+        let expected = syrk_t(&gathered);
+        let got = syrk_t_weighted(&a, &w);
+        assert!(got.approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn weighted_syrk_large_parallel_path() {
+        let a = Matrix::from_fn(120, 64, |i, j| ((i * 13 + j * 29) % 17) as f64 * 0.1);
+        let w: Vec<f64> = (0..120).map(|i| ((i * 7) % 4) as f64).collect();
+        let idx: Vec<usize> =
+            (0..120).flat_map(|i| std::iter::repeat(i).take((i * 7) % 4)).collect();
+        let expected = syrk_t(&a.gather_rows(&idx));
+        assert!(syrk_t_weighted(&a, &w).approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn weighted_gemv_t_matches_materialized() {
+        let a = Matrix::from_fn(25, 7, |i, j| ((i + 3 * j) % 6) as f64 - 2.0);
+        let y: Vec<f64> = (0..25).map(|i| (i as f64) * 0.3 - 2.0).collect();
+        let idx: Vec<usize> = (0..25).map(|i| (i * 11 + 2) % 25).collect();
+        let mut w = vec![0.0; 25];
+        for &i in &idx {
+            w[i] += 1.0;
+        }
+        let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+        let expected = gemv_t(&a.gather_rows(&idx), &yb);
+        let got = gemv_t_weighted(&a, &w, &y);
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-10, "{g} vs {e}");
+        }
+        assert!(
+            (weighted_sumsq(&w, &y) - yb.iter().map(|v| v * v).sum::<f64>()).abs() < 1e-10
+        );
+    }
+
+    #[test]
+    fn weighted_kernels_empty_and_zero_weights() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i + j) as f64);
+        let w = vec![0.0; 5];
+        let g = syrk_t_weighted(&a, &w);
+        assert!(g.approx_eq(&Matrix::zeros(3, 3), 0.0));
+        assert_eq!(gemv_t_weighted(&a, &w, &[1.0; 5]), vec![0.0; 3]);
+        let empty = Matrix::zeros(0, 4);
+        assert_eq!(syrk_t_weighted(&empty, &[]).shape(), (4, 4));
+        assert_eq!(gemv_t_weighted(&empty, &[], &[]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn fused_norms_bit_identical() {
+        let a: Vec<f64> = (0..37).map(|i| ((i * 13 + 5) % 11) as f64 * 0.37 - 2.0).collect();
+        let b: Vec<f64> = (0..37).map(|i| ((i * 7 + 2) % 9) as f64 * 0.51 - 1.3).collect();
+        let rho = 1.7;
+        assert_eq!(norm2_diff(&a, &b).to_bits(), norm2(&vsub(&a, &b)).to_bits());
+        let scaled: Vec<f64> = a.iter().zip(&b).map(|(x, y)| rho * (x - y)).collect();
+        assert_eq!(norm2_scaled_diff(rho, &a, &b).to_bits(), norm2(&scaled).to_bits());
+        let ra: Vec<f64> = a.iter().map(|v| rho * v).collect();
+        assert_eq!(norm2_scaled(rho, &a).to_bits(), norm2(&ra).to_bits());
+    }
+
+    #[test]
+    fn into_variants_bit_identical() {
+        let x = Matrix::from_fn(40, 6, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
+        let beta = [0.5, -1.0, 0.0, 2.0, -0.25, 1.5];
+        let y: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let mut pred = Vec::new();
+        assert_eq!(
+            mse_into(&x, &beta, &y, &mut pred).to_bits(),
+            mse(&x, &beta, &y).to_bits()
+        );
+        assert_eq!(
+            r_squared_into(&x, &beta, &y, &mut pred).to_bits(),
+            r_squared(&x, &beta, &y).to_bits()
+        );
+        let mut out = Vec::new();
+        gemv_into(&x, &beta, &mut out);
+        assert_eq!(out, gemv(&x, &beta));
+        let mut outt = Vec::new();
+        gemv_t_into(&x, &y, &mut outt);
+        let reference = {
+            let mut acc = vec![0.0; 6];
+            for i in 0..40 {
+                axpy(y[i], x.row(i), &mut acc);
+            }
+            acc
+        };
+        assert_eq!(outt, reference);
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub mod kron;
 pub mod qr;
 pub mod sparse;
 
-pub use blas::{axpy, dot, gemm, gemv, gemv_t, mse, norm1, norm2, norm_inf, r_squared, syrk_t};
+pub use blas::{
+    axpy, dot, gemm, gemv, gemv_into, gemv_t, gemv_t_into, gemv_t_weighted, mse, mse_into,
+    norm1, norm2, norm2_diff, norm2_scaled, norm2_scaled_diff, norm_inf, r_squared,
+    r_squared_into, syrk_t, syrk_t_weighted, weighted_sumsq,
+};
 pub use chol::{solve_normal_equations, solve_spd, Cholesky, NotPositiveDefinite};
 pub use dense::Matrix;
 pub use eig::{companion_matrix, spectral_radius, var_is_stable};

@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use uoi_linalg::{
-    gemm, gemv, gemv_t, kron_dense, syrk_t, Cholesky, CsrMatrix, IdentityKron, Matrix,
+    gemm, gemv, gemv_t, gemv_t_weighted, kron_dense, mse, mse_into, syrk_t, syrk_t_weighted,
+    weighted_sumsq, Cholesky, CsrMatrix, IdentityKron, Matrix,
 };
 
 /// Strategy: a rows x cols matrix with bounded entries.
@@ -111,6 +112,104 @@ proptest! {
         prop_assert_eq!(g.rows(), idx.len());
         for (r, &i) in idx.iter().enumerate() {
             prop_assert_eq!(g.row(r), m.row(i));
+        }
+    }
+
+    // The zero-copy bootstrap identity: a resample expressed as integer
+    // row multiplicities produces the same Gram system as physically
+    // gathering the rows. `0..25` draws include the empty resample, a
+    // single row, and multiplicities well above 1; shapes are odd on
+    // purpose (rows and cols prime-ish, never multiples of the unroll).
+    #[test]
+    fn weighted_gram_matches_materialized_resample(
+        (r, c) in (1usize..11, 1usize..9),
+        seed in 0u64..500,
+        raw_idx in prop::collection::vec(0usize..11, 0..25),
+    ) {
+        let x = Matrix::from_fn(r, c, |i, j| {
+            (((i * 31 + j * 17) as f64 + seed as f64) * 0.37).sin() * 3.0
+        });
+        let y: Vec<f64> = (0..r).map(|i| ((i as f64 + seed as f64) * 0.73).cos()).collect();
+        let idx: Vec<usize> = raw_idx.into_iter().map(|i| i % r).collect();
+        let mut w = vec![0.0; r];
+        for &i in &idx {
+            w[i] += 1.0;
+        }
+
+        let xb = x.gather_rows(&idx);
+        let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+
+        let gram_w = syrk_t_weighted(&x, &w);
+        let gram_m = syrk_t(&xb);
+        prop_assert_eq!(gram_w.shape(), gram_m.shape());
+        for (a, b) in gram_w.as_slice().iter().zip(gram_m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9, "gram {a} vs {b}");
+        }
+
+        let xty_w = gemv_t_weighted(&x, &w, &y);
+        let xty_m = gemv_t(&xb, &yb);
+        for (a, b) in xty_w.iter().zip(&xty_m) {
+            prop_assert!((a - b).abs() < 1e-9, "rhs {a} vs {b}");
+        }
+
+        let ysq_w = weighted_sumsq(&w, &y);
+        let ysq_m: f64 = yb.iter().map(|v| v * v).sum();
+        prop_assert!((ysq_w - ysq_m).abs() < 1e-9, "sumsq {ysq_w} vs {ysq_m}");
+    }
+
+    // Uniform unit weights degrade to the plain kernels exactly (bitwise:
+    // same row order, same accumulation pattern is not guaranteed, so
+    // compare to tolerance).
+    #[test]
+    fn unit_weights_match_plain_kernels(m in matrix_strategy(7, 5), seed in 0u64..100) {
+        let w = vec![1.0; 7];
+        let y: Vec<f64> = (0..7).map(|i| ((i as f64 + seed as f64) * 0.61).sin()).collect();
+        let gw = syrk_t_weighted(&m, &w);
+        let g = syrk_t(&m);
+        for (a, b) in gw.as_slice().iter().zip(g.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+        let rw = gemv_t_weighted(&m, &w, &y);
+        let r = gemv_t(&m, &y);
+        for (a, b) in rw.iter().zip(&r) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    // `mse_into` with a caller-owned buffer is the same number as `mse`,
+    // and the buffer is reusable across mismatched previous sizes.
+    #[test]
+    fn mse_into_matches_mse(m in matrix_strategy(9, 4), b in prop::collection::vec(-2.0..2.0f64, 4)) {
+        let y: Vec<f64> = (0..9).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        let direct = mse(&m, &b, &y);
+        let mut pred = vec![0.0; 17]; // wrong size on purpose
+        let buffered = mse_into(&m, &b, &y, &mut pred);
+        prop_assert!((direct - buffered).abs() < 1e-12);
+        prop_assert_eq!(pred.len(), 9);
+    }
+
+    // The blocked right-looking factorisation (n >= 128 dispatch) agrees
+    // with the unblocked path's contract: L L^T reconstructs A.
+    #[test]
+    fn blocked_cholesky_reconstructs(seed in 0u64..20) {
+        let n = 131; // odd, above the blocking threshold, not a block multiple
+        let g = Matrix::from_fn(140, n, |i, j| {
+            (((i * 37 + j * 13) as f64 + seed as f64) * 0.29).sin()
+        });
+        let mut a = syrk_t(&g);
+        for i in 0..n {
+            a[(i, i)] += (n as f64) * 0.5;
+        }
+        let ch = Cholesky::factor(&a).expect("SPD by construction");
+        let l = ch.factor_l();
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..=j {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                prop_assert!((s - a[(i, j)]).abs() < 1e-8 * (n as f64));
+            }
         }
     }
 }

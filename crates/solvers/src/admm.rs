@@ -19,9 +19,12 @@
 //! turns the z-update into the identity and the iteration converges to
 //! OLS, exactly how the paper implements model estimation (§II-C).
 
-use crate::prox::soft_threshold_vec;
+use crate::prox::{soft_threshold, soft_threshold_vec};
 use std::sync::Arc;
-use uoi_linalg::{gemv, gemv_t, norm2, syrk_t, Cholesky, Matrix};
+use uoi_linalg::{
+    gemv, gemv_into, gemv_t, gemv_t_into, norm2, norm2_diff, norm2_scaled, norm2_scaled_diff,
+    syrk_t, Cholesky, Matrix,
+};
 use uoi_telemetry::MetricsRegistry;
 
 /// A configuration value failed validation (builder `build()` or a
@@ -41,7 +44,11 @@ impl std::error::Error for InvalidConfig {}
 /// ADMM hyperparameters.
 #[derive(Debug, Clone)]
 pub struct AdmmConfig {
-    /// Augmented-Lagrangian penalty `rho`.
+    /// Augmented-Lagrangian penalty multiplier. The penalty actually
+    /// used by a solve is `rho` times the mean diagonal of the Gram
+    /// matrix (clamped to at least 1), so `rho` is dimensionless and the
+    /// default of 1 is well-conditioned for unnormalised designs whose
+    /// Gram diagonal grows like `n * var`.
     pub rho: f64,
     /// Iteration cap.
     pub max_iter: usize,
@@ -144,6 +151,21 @@ pub(crate) enum Factorization {
     Woodbury(Cholesky),
 }
 
+/// The effective ADMM penalty for a problem whose Gram diagonal sums to
+/// `diag_sum` over `p` coefficients. The configured `rho` acts as a
+/// dimensionless multiplier of the mean Gram diagonal (clamped to at
+/// least 1), so the splitting is matched to the data's scale: an
+/// unnormalised design with Gram diagonal ~ `n * var` converges in the
+/// same iteration count as a standardised one, instead of stalling
+/// against the iteration cap with an absolute `rho` that is orders of
+/// magnitude off.
+pub(crate) fn effective_rho(cfg_rho: f64, diag_sum: f64, p: usize) -> f64 {
+    if p == 0 {
+        return cfg_rho;
+    }
+    cfg_rho * (diag_sum / p as f64).max(1.0)
+}
+
 /// Factor the ADMM x-update system for a given design and penalty.
 pub(crate) fn factorize(x: &Matrix, rho: f64) -> Factorization {
     let (n, p) = x.shape();
@@ -183,6 +205,44 @@ pub(crate) fn apply_inverse(
     }
 }
 
+/// Reusable scratch buffers for the ADMM inner loop: once warm, an
+/// iteration performs zero heap allocations. Obtain one from
+/// [`LassoAdmm::workspace`] (or `Default`) and thread it through
+/// [`LassoAdmm::solve_warm_with`].
+#[derive(Debug, Clone, Default)]
+pub struct AdmmWorkspace {
+    /// x-update right-hand side (p).
+    rhs: Vec<f64>,
+    /// Primal iterate `x` (p).
+    x_var: Vec<f64>,
+    /// Previous consensus iterate (p), for the dual residual.
+    z_old: Vec<f64>,
+    /// Woodbury scratch: `X v` then the inner solve (n).
+    wn: Vec<f64>,
+    /// Woodbury scratch: `X^T inner` (p).
+    wt: Vec<f64>,
+}
+
+impl AdmmWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Scalar outcome of an in-place solve ([`LassoAdmm::solve_warm_with`]);
+/// the coefficient vector is left in the caller's `z` buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmmStatus {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final primal residual `||x - z||`.
+    pub primal_residual: f64,
+    /// Final dual residual `||rho (z - z_prev)||`.
+    pub dual_residual: f64,
+    /// Whether both residuals met tolerance before the cap.
+    pub converged: bool,
+}
+
 /// Explicit per-problem iteration state for [`LassoAdmm::step`].
 #[derive(Debug, Clone)]
 pub struct AdmmState {
@@ -198,22 +258,90 @@ pub struct AdmmState {
     pub primal_residual: f64,
     /// Latest dual residual.
     pub dual_residual: f64,
+    /// Scratch reused across steps so stepping never allocates.
+    scratch: AdmmWorkspace,
+}
+
+/// How the solver holds its problem: a dense design matrix, or just the
+/// dimensions when built from a precomputed Gram system
+/// ([`LassoAdmm::from_gram`] — the zero-copy bootstrap path, where the
+/// resample is only ever materialised as weighted Gram/rhs products).
+enum DesignStore {
+    Dense(Matrix),
+    Gram { p: usize },
 }
 
 /// A LASSO-ADMM solver with cached factorisation for a fixed design.
 pub struct LassoAdmm {
-    x: Matrix,
+    design: DesignStore,
     factor: Factorization,
     cfg: AdmmConfig,
+    /// Effective penalty: `cfg.rho` scaled by the mean Gram diagonal
+    /// ([`effective_rho`]), fixed at construction alongside the factorisation.
+    rho: f64,
     metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl LassoAdmm {
-    /// Build the solver, factoring the x-update system once.
+    /// Build the solver, factoring the x-update system once. The
+    /// effective penalty is `cfg.rho` times the mean Gram diagonal
+    /// ([`effective_rho`]), so convergence behaviour is invariant to the
+    /// overall scale of the design.
     pub fn new(x: Matrix, cfg: AdmmConfig) -> Self {
         assert!(cfg.rho > 0.0, "rho must be positive");
-        let factor = factorize(&x, cfg.rho);
-        Self { x, factor, cfg, metrics: None }
+        let (n, p) = x.shape();
+        let (rho, factor) = if p <= n {
+            // Form the Gram here (rather than inside `factorize`) so its
+            // diagonal sets the penalty before the ridge is added — the
+            // exact sequence `from_gram(syrk_t(&x), cfg)` performs, which
+            // keeps the two constructors bit-identical for p <= n.
+            let mut gram = syrk_t(&x);
+            let diag_sum: f64 = (0..p).map(|i| gram[(i, i)]).sum();
+            let rho = effective_rho(cfg.rho, diag_sum, p);
+            for i in 0..p {
+                gram[(i, i)] += rho;
+            }
+            let factor = Factorization::Primal(
+                Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"),
+            );
+            (rho, factor)
+        } else {
+            // Woodbury path never forms the p x p Gram; its diagonal is
+            // the per-column sum of squares, i.e. the sum over every entry.
+            let diag_sum: f64 = x.as_slice().iter().map(|v| v * v).sum();
+            let rho = effective_rho(cfg.rho, diag_sum, p);
+            (rho, factorize(&x, rho))
+        };
+        Self { design: DesignStore::Dense(x), factor, cfg, rho, metrics: None }
+    }
+
+    /// Build the solver from a precomputed Gram matrix `X^T X` (consumed;
+    /// the effective penalty is added to its diagonal in place before
+    /// factoring).
+    ///
+    /// Solves must then go through the `*_with_rhs` / [`Self::solve_warm_with`]
+    /// entry points with a caller-supplied `X^T y`. For `p <= n` designs,
+    /// `from_gram(syrk_t(&x), cfg)` is bit-identical to `new(x, cfg)`: the
+    /// same Gram is formed, the same penalty derived from its diagonal,
+    /// and the same factorisation path taken.
+    pub fn from_gram(mut gram: Matrix, cfg: AdmmConfig) -> Self {
+        assert!(cfg.rho > 0.0, "rho must be positive");
+        let p = gram.rows();
+        assert_eq!(p, gram.cols(), "from_gram: Gram matrix must be square");
+        let diag_sum: f64 = (0..p).map(|i| gram[(i, i)]).sum();
+        let rho = effective_rho(cfg.rho, diag_sum, p);
+        for i in 0..p {
+            gram[(i, i)] += rho;
+        }
+        let factor = Factorization::Primal(
+            Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"),
+        );
+        Self { design: DesignStore::Gram { p }, factor, cfg, rho, metrics: None }
+    }
+
+    /// The effective (data-scaled) penalty in force; see [`effective_rho`].
+    pub fn penalty(&self) -> f64 {
+        self.rho
     }
 
     /// Attach a metrics registry; subsequent solves record
@@ -239,9 +367,27 @@ impl LassoAdmm {
         }
     }
 
-    /// The design matrix.
+    /// The design matrix. Panics for a solver built with
+    /// [`LassoAdmm::from_gram`], which never sees the design.
     pub fn design(&self) -> &Matrix {
-        &self.x
+        self.dense()
+    }
+
+    fn dense(&self) -> &Matrix {
+        match &self.design {
+            DesignStore::Dense(x) => x,
+            DesignStore::Gram { .. } => {
+                panic!("this solver was built from a Gram matrix and holds no design")
+            }
+        }
+    }
+
+    /// Number of coefficients.
+    pub fn n_coefficients(&self) -> usize {
+        match &self.design {
+            DesignStore::Dense(x) => x.cols(),
+            DesignStore::Gram { p } => *p,
+        }
     }
 
     /// The configuration in force.
@@ -249,15 +395,134 @@ impl LassoAdmm {
         &self.cfg
     }
 
-    /// Apply `(X^T X + rho I)^{-1}` to `v`.
-    fn solve_system(&self, v: &[f64]) -> Vec<f64> {
-        apply_inverse(&self.x, &self.factor, self.cfg.rho, v)
+    /// One ADMM iteration (x-, z-, u-updates and residual norms) operating
+    /// entirely in caller/workspace buffers. Returns
+    /// `(r_norm, s_norm, converged_now)`. Every arithmetic operation matches
+    /// the historical allocating implementation in order and association, so
+    /// iterates and convergence decisions are bit-identical to it.
+    fn iterate(
+        &self,
+        xty: &[f64],
+        lambda: f64,
+        z: &mut [f64],
+        u: &mut [f64],
+        ws: &mut AdmmWorkspace,
+    ) -> (f64, f64, bool) {
+        let p = z.len();
+        let rho = self.rho;
+        let kappa = lambda / rho;
+        let AdmmWorkspace { rhs, x_var, z_old, wn, wt } = ws;
+
+        // x-update: (X^T X + rho I)^{-1} (X^T y + rho (z - u)).
+        rhs.clear();
+        rhs.extend_from_slice(xty);
+        for ((r, zi), ui) in rhs.iter_mut().zip(&*z).zip(&*u) {
+            *r += rho * (zi - ui);
+        }
+        match &self.factor {
+            Factorization::Primal(ch) => {
+                x_var.clear();
+                x_var.extend_from_slice(rhs);
+                ch.solve_in_place(x_var);
+            }
+            Factorization::Woodbury(ch) => {
+                let x = self.dense();
+                gemv_into(x, rhs, wn);
+                ch.solve_in_place(wn);
+                gemv_t_into(x, wn, wt);
+                x_var.clear();
+                x_var.extend(rhs.iter().zip(&*wt).map(|(vi, wi)| (vi - wi) / rho));
+            }
+        }
+
+        // z-update with over-relaxation omitted (plain ADMM).
+        z_old.clear();
+        z_old.extend_from_slice(z);
+        if kappa > 0.0 {
+            for (zi, (xi, ui)) in z.iter_mut().zip(x_var.iter().zip(&*u)) {
+                *zi = soft_threshold(xi + ui, kappa);
+            }
+        } else {
+            for (zi, (xi, ui)) in z.iter_mut().zip(x_var.iter().zip(&*u)) {
+                *zi = xi + ui;
+            }
+        }
+
+        // u-update.
+        for ((ui, xi), zi) in u.iter_mut().zip(&*x_var).zip(&*z) {
+            *ui += xi - zi;
+        }
+
+        // Residuals and stopping (Boyd §3.3.1), fused: no r/s/rho_u temporaries.
+        let r_norm = norm2_diff(x_var, z);
+        let s_norm = norm2_scaled_diff(rho, z, z_old);
+        let sqrt_p = (p as f64).sqrt();
+        let eps_pri =
+            sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(x_var).max(norm2(z));
+        let eps_dual = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2_scaled(rho, u);
+        (r_norm, s_norm, r_norm <= eps_pri && s_norm <= eps_dual)
+    }
+
+    /// In-place warm solve against a precomputed `X^T y`: iterates in the
+    /// caller's `z`/`u` buffers (the solution is left in `z`) using `ws`
+    /// scratch, performing zero heap allocations once the workspace is warm.
+    pub fn solve_warm_with(
+        &self,
+        xty: &[f64],
+        lambda: f64,
+        z: &mut [f64],
+        u: &mut [f64],
+        ws: &mut AdmmWorkspace,
+    ) -> AdmmStatus {
+        let p = self.n_coefficients();
+        assert_eq!(xty.len(), p, "rhs length mismatch");
+        assert_eq!(z.len(), p);
+        assert_eq!(u.len(), p);
+        assert!(lambda >= 0.0);
+
+        let (mut r_norm, mut s_norm) = (f64::INFINITY, f64::INFINITY);
+        let mut iterations = 0;
+        let mut converged = false;
+        for it in 0..self.cfg.max_iter {
+            iterations = it + 1;
+            let (r, s, conv) = self.iterate(xty, lambda, z, u, ws);
+            r_norm = r;
+            s_norm = s;
+            if let Some(m) = &self.metrics {
+                m.observe("admm.residual_curve.primal", r_norm);
+                m.observe("admm.residual_curve.dual", s_norm);
+            }
+            if conv {
+                converged = true;
+                break;
+            }
+        }
+        self.note_solve(iterations, converged, r_norm, s_norm);
+        AdmmStatus { iterations, primal_residual: r_norm, dual_residual: s_norm, converged }
     }
 
     /// Solve for one `lambda` from a cold start.
     pub fn solve(&self, y: &[f64], lambda: f64) -> AdmmSolution {
-        let p = self.x.cols();
+        let p = self.n_coefficients();
         self.solve_warm(y, lambda, vec![0.0; p], vec![0.0; p])
+    }
+
+    /// Solve for one `lambda` from a cold start against a precomputed
+    /// `X^T y` (the only solve entry point a [`LassoAdmm::from_gram`]
+    /// solver needs).
+    pub fn solve_with_rhs(&self, xty: &[f64], lambda: f64) -> AdmmSolution {
+        let p = self.n_coefficients();
+        let mut z = vec![0.0; p];
+        let mut u = vec![0.0; p];
+        let mut ws = AdmmWorkspace::new();
+        let st = self.solve_warm_with(xty, lambda, &mut z, &mut u, &mut ws);
+        AdmmSolution {
+            beta: z,
+            iterations: st.iterations,
+            primal_residual: st.primal_residual,
+            dual_residual: st.dual_residual,
+            converged: st.converged,
+        }
     }
 
     /// Solve with warm-started `z` and `u` (the lambda-path accelerator).
@@ -268,88 +533,35 @@ impl LassoAdmm {
         mut z: Vec<f64>,
         mut u: Vec<f64>,
     ) -> AdmmSolution {
-        let (n, p) = self.x.shape();
-        assert_eq!(y.len(), n, "response length mismatch");
-        assert_eq!(z.len(), p);
-        assert_eq!(u.len(), p);
-        assert!(lambda >= 0.0);
-
-        let rho = self.cfg.rho;
-        let xty = gemv_t(&self.x, y);
-        let kappa = lambda / rho;
-
-        let mut x_var = vec![0.0; p];
-        let mut z_old = vec![0.0; p];
-        let (mut r_norm, mut s_norm) = (f64::INFINITY, f64::INFINITY);
-        let mut iterations = 0;
-        let mut converged = false;
-
-        for it in 0..self.cfg.max_iter {
-            iterations = it + 1;
-            // x-update: (X^T X + rho I)^{-1} (X^T y + rho (z - u)).
-            let mut rhs = xty.clone();
-            for ((r, zi), ui) in rhs.iter_mut().zip(&z).zip(&u) {
-                *r += rho * (zi - ui);
-            }
-            x_var = self.solve_system(&rhs);
-
-            // z-update with over-relaxation omitted (plain ADMM).
-            z_old.copy_from_slice(&z);
-            let xu: Vec<f64> = x_var.iter().zip(&u).map(|(a, b)| a + b).collect();
-            if kappa > 0.0 {
-                soft_threshold_vec(&xu, kappa, &mut z);
-            } else {
-                z.copy_from_slice(&xu);
-            }
-
-            // u-update.
-            for ((ui, xi), zi) in u.iter_mut().zip(&x_var).zip(&z) {
-                *ui += xi - zi;
-            }
-
-            // Residuals and stopping (Boyd §3.3.1).
-            let r: Vec<f64> = x_var.iter().zip(&z).map(|(a, b)| a - b).collect();
-            r_norm = norm2(&r);
-            let s: Vec<f64> = z.iter().zip(&z_old).map(|(a, b)| rho * (a - b)).collect();
-            s_norm = norm2(&s);
-            let sqrt_p = (p as f64).sqrt();
-            let eps_pri = sqrt_p * self.cfg.abstol
-                + self.cfg.reltol * norm2(&x_var).max(norm2(&z));
-            let mut rho_u = u.clone();
-            for v in &mut rho_u {
-                *v *= rho;
-            }
-            let eps_dual = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(&rho_u);
-            if let Some(m) = &self.metrics {
-                m.observe("admm.residual_curve.primal", r_norm);
-                m.observe("admm.residual_curve.dual", s_norm);
-            }
-            if r_norm <= eps_pri && s_norm <= eps_dual {
-                converged = true;
-                break;
-            }
-        }
-        let _ = &x_var;
-        self.note_solve(iterations, converged, r_norm, s_norm);
+        let xty = self.prepare_rhs(y);
+        let mut ws = AdmmWorkspace::new();
+        let st = self.solve_warm_with(&xty, lambda, &mut z, &mut u, &mut ws);
         AdmmSolution {
             beta: z,
-            iterations,
-            primal_residual: r_norm,
-            dual_residual: s_norm,
-            converged,
+            iterations: st.iterations,
+            primal_residual: st.primal_residual,
+            dual_residual: st.dual_residual,
+            converged: st.converged,
         }
     }
 
     /// Precompute the `X^T y` right-hand side reused by every
     /// [`LassoAdmm::step`] for this response.
     pub fn prepare_rhs(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.x.rows());
-        gemv_t(&self.x, y)
+        let x = self.dense();
+        assert_eq!(y.len(), x.rows(), "response length mismatch");
+        gemv_t(x, y)
+    }
+
+    /// A fresh workspace (separate from any state, so several solves can
+    /// interleave on one solver).
+    pub fn workspace(&self) -> AdmmWorkspace {
+        AdmmWorkspace::new()
     }
 
     /// Fresh iteration state for [`LassoAdmm::step`].
     pub fn init_state(&self) -> AdmmState {
-        let p = self.x.cols();
+        let p = self.n_coefficients();
         AdmmState {
             z: vec![0.0; p],
             u: vec![0.0; p],
@@ -357,52 +569,27 @@ impl LassoAdmm {
             iterations: 0,
             primal_residual: f64::INFINITY,
             dual_residual: f64::INFINITY,
+            scratch: AdmmWorkspace::new(),
         }
     }
 
     /// One explicit ADMM iteration (x-, z-, u-updates plus convergence
     /// check), for callers that interleave iterations with communication
     /// — the distributed `UoI_VAR` solver steps many per-column problems
-    /// in lockstep and allreduces between rounds. No-op once converged.
+    /// in lockstep and allreduces between rounds. No-op once converged;
+    /// allocation-free after the first step (scratch lives in the state).
     pub fn step(&self, xty: &[f64], lambda: f64, st: &mut AdmmState) {
         if st.converged {
             return;
         }
-        let p = self.x.cols();
-        let rho = self.cfg.rho;
-        let kappa = lambda / rho;
         st.iterations += 1;
-
-        let mut rhs = xty.to_vec();
-        for ((r, zi), ui) in rhs.iter_mut().zip(&st.z).zip(&st.u) {
-            *r += rho * (zi - ui);
-        }
-        let x_var = self.solve_system(&rhs);
-
-        let z_old = st.z.clone();
-        let xu: Vec<f64> = x_var.iter().zip(&st.u).map(|(a, b)| a + b).collect();
-        if kappa > 0.0 {
-            soft_threshold_vec(&xu, kappa, &mut st.z);
-        } else {
-            st.z.copy_from_slice(&xu);
-        }
-        for ((ui, xi), zi) in st.u.iter_mut().zip(&x_var).zip(&st.z) {
-            *ui += xi - zi;
-        }
-
-        let r: Vec<f64> = x_var.iter().zip(&st.z).map(|(a, b)| a - b).collect();
-        st.primal_residual = norm2(&r);
-        let s: Vec<f64> = st.z.iter().zip(&z_old).map(|(a, b)| rho * (a - b)).collect();
-        st.dual_residual = norm2(&s);
-        let sqrt_p = (p as f64).sqrt();
-        let eps_pri =
-            sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(&x_var).max(norm2(&st.z));
-        let mut rho_u = st.u.clone();
-        for v in &mut rho_u {
-            *v *= rho;
-        }
-        let eps_dual = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(&rho_u);
-        if st.primal_residual <= eps_pri && st.dual_residual <= eps_dual {
+        let (r_norm, s_norm, conv) = {
+            let AdmmState { z, u, scratch, .. } = st;
+            self.iterate(xty, lambda, z, u, scratch)
+        };
+        st.primal_residual = r_norm;
+        st.dual_residual = s_norm;
+        if conv {
             st.converged = true;
             self.note_solve(st.iterations, true, st.primal_residual, st.dual_residual);
         }
@@ -421,12 +608,13 @@ impl LassoAdmm {
         tau: f64,
         max_refactors: usize,
     ) -> AdmmSolution {
-        let (n, p) = self.x.shape();
+        let x = self.dense();
+        let (n, p) = x.shape();
         assert_eq!(y.len(), n);
-        let mut rho = self.cfg.rho;
-        let mut factor = factorize(&self.x, rho);
+        let mut rho = self.rho;
+        let mut factor = factorize(x, rho);
         let mut refactors = 0usize;
-        let xty = gemv_t(&self.x, y);
+        let xty = gemv_t(x, y);
         let mut z = vec![0.0; p];
         let mut u = vec![0.0; p];
         let mut z_old = vec![0.0; p];
@@ -439,7 +627,7 @@ impl LassoAdmm {
             for ((r, zi), ui) in rhs.iter_mut().zip(&z).zip(&u) {
                 *r += rho * (zi - ui);
             }
-            let x_var = apply_inverse(&self.x, &factor, rho, &rhs);
+            let x_var = apply_inverse(x, &factor, rho, &rhs);
             z_old.copy_from_slice(&z);
             let xu: Vec<f64> = x_var.iter().zip(&u).map(|(a, b)| a + b).collect();
             soft_threshold_vec(&xu, lambda / rho, &mut z);
@@ -479,7 +667,7 @@ impl LassoAdmm {
                         *v *= rho / new_rho;
                     }
                     rho = new_rho;
-                    factor = factorize(&self.x, rho);
+                    factor = factorize(x, rho);
                     refactors += 1;
                 }
             }
@@ -499,30 +687,45 @@ impl LassoAdmm {
     /// (`admm.path.warm_hits`) when it converges in no more iterations
     /// than the cold first step did.
     pub fn solve_path(&self, y: &[f64], lambdas: &[f64]) -> Vec<AdmmSolution> {
-        let p = self.x.cols();
+        // X^T y is shared by the whole path: compute it once per
+        // (design, response), not once per lambda.
+        let xty = self.prepare_rhs(y);
+        self.solve_path_with_rhs(&xty, lambdas)
+    }
+
+    /// [`LassoAdmm::solve_path`] against a precomputed `X^T y` — the entry
+    /// point for solvers built with [`LassoAdmm::from_gram`], where the rhs
+    /// comes from a weighted `gemv_t` over the unsampled design.
+    pub fn solve_path_with_rhs(&self, xty: &[f64], lambdas: &[f64]) -> Vec<AdmmSolution> {
+        let p = self.n_coefficients();
         let mut z = vec![0.0; p];
         let mut u = vec![0.0; p];
+        let mut ws = AdmmWorkspace::new();
         let mut out = Vec::with_capacity(lambdas.len());
         let mut cold_iters = None;
         for &lam in lambdas {
-            let sol = self.solve_warm(y, lam, z.clone(), u.clone());
-            z.clone_from(&sol.beta);
-            // Keep the dual: rebuild u as x - z residual is not retained;
-            // reuse zeros for the dual each step is acceptable but slower.
-            // A cheap effective warm start keeps z only.
+            // Warm start keeps z from the previous lambda; the dual restarts
+            // from zero each step (cheap effective warm start).
             u.iter_mut().for_each(|v| *v = 0.0);
+            let st = self.solve_warm_with(xty, lam, &mut z, &mut u, &mut ws);
             if let Some(m) = &self.metrics {
                 m.incr("admm.path.solves", 1);
-                m.observe("admm.path.iterations", sol.iterations as f64);
+                m.observe("admm.path.iterations", st.iterations as f64);
                 match cold_iters {
-                    None => cold_iters = Some(sol.iterations),
-                    Some(baseline) if sol.converged && sol.iterations <= baseline => {
+                    None => cold_iters = Some(st.iterations),
+                    Some(baseline) if st.converged && st.iterations <= baseline => {
                         m.incr("admm.path.warm_hits", 1);
                     }
                     Some(_) => {}
                 }
             }
-            out.push(sol);
+            out.push(AdmmSolution {
+                beta: z.clone(),
+                iterations: st.iterations,
+                primal_residual: st.primal_residual,
+                dual_residual: st.dual_residual,
+                converged: st.converged,
+            });
         }
         out
     }
@@ -572,6 +775,141 @@ mod tests {
             .map(|i| 2.0 * x[(i, 0)] - 1.5 * x[(i, 2)] + 0.01 * ((i * 37 % 10) as f64 - 4.5))
             .collect();
         (x, y)
+    }
+
+    /// The pre-workspace allocating `solve_warm`, kept verbatim as the
+    /// reference implementation the zero-allocation rewrite must match
+    /// bit-for-bit (same iterates, same convergence decisions).
+    fn solve_warm_reference(
+        solver: &LassoAdmm,
+        y: &[f64],
+        lambda: f64,
+        mut z: Vec<f64>,
+        mut u: Vec<f64>,
+    ) -> AdmmSolution {
+        let x = solver.dense();
+        let (n, p) = x.shape();
+        assert_eq!(y.len(), n);
+        let rho = solver.rho;
+        let xty = gemv_t(x, y);
+        let kappa = lambda / rho;
+        let mut x_var = vec![0.0; p];
+        let mut z_old = vec![0.0; p];
+        let (mut r_norm, mut s_norm) = (f64::INFINITY, f64::INFINITY);
+        let mut iterations = 0;
+        let mut converged = false;
+        for it in 0..solver.cfg.max_iter {
+            iterations = it + 1;
+            let mut rhs = xty.clone();
+            for ((r, zi), ui) in rhs.iter_mut().zip(&z).zip(&u) {
+                *r += rho * (zi - ui);
+            }
+            x_var = apply_inverse(x, &solver.factor, rho, &rhs);
+            z_old.copy_from_slice(&z);
+            let xu: Vec<f64> = x_var.iter().zip(&u).map(|(a, b)| a + b).collect();
+            if kappa > 0.0 {
+                soft_threshold_vec(&xu, kappa, &mut z);
+            } else {
+                z.copy_from_slice(&xu);
+            }
+            for ((ui, xi), zi) in u.iter_mut().zip(&x_var).zip(&z) {
+                *ui += xi - zi;
+            }
+            let r: Vec<f64> = x_var.iter().zip(&z).map(|(a, b)| a - b).collect();
+            r_norm = norm2(&r);
+            let s: Vec<f64> = z.iter().zip(&z_old).map(|(a, b)| rho * (a - b)).collect();
+            s_norm = norm2(&s);
+            let sqrt_p = (p as f64).sqrt();
+            let eps_pri = sqrt_p * solver.cfg.abstol
+                + solver.cfg.reltol * norm2(&x_var).max(norm2(&z));
+            let mut rho_u = u.clone();
+            for v in &mut rho_u {
+                *v *= rho;
+            }
+            let eps_dual =
+                sqrt_p * solver.cfg.abstol + solver.cfg.reltol * norm2(&rho_u);
+            if r_norm <= eps_pri && s_norm <= eps_dual {
+                converged = true;
+                break;
+            }
+        }
+        let _ = &x_var;
+        AdmmSolution { beta: z, iterations, primal_residual: r_norm, dual_residual: s_norm, converged }
+    }
+
+    #[test]
+    fn workspace_solve_bit_identical_to_reference() {
+        let (x, y) = toy_problem();
+        let solver = LassoAdmm::new(
+            x,
+            AdmmConfig { max_iter: 4000, abstol: 1e-9, reltol: 1e-8, ..Default::default() },
+        );
+        let p = solver.n_coefficients();
+        for lam in [0.0, 0.1, 0.5, 2.0] {
+            let reference = solve_warm_reference(&solver, &y, lam, vec![0.0; p], vec![0.0; p]);
+            let new = solver.solve(&y, lam);
+            assert_eq!(new.iterations, reference.iterations, "lambda {lam}");
+            assert_eq!(new.converged, reference.converged);
+            assert_eq!(new.primal_residual.to_bits(), reference.primal_residual.to_bits());
+            assert_eq!(new.dual_residual.to_bits(), reference.dual_residual.to_bits());
+            for (a, b) in new.beta.iter().zip(&reference.beta) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lambda {lam}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_solve_bit_identical_to_reference_woodbury() {
+        // p > n exercises the Woodbury apply path of the workspace rewrite.
+        let n = 10;
+        let p = 25;
+        let x = Matrix::from_fn(n, p, |i, j| (((i * 31 + j * 17) % 13) as f64 - 6.0) / 6.0);
+        let y: Vec<f64> = (0..n).map(|i| x[(i, 1)] * 3.0 - x[(i, 4)]).collect();
+        let solver = LassoAdmm::new(x, AdmmConfig { max_iter: 3000, ..Default::default() });
+        for lam in [0.05, 0.3] {
+            let reference = solve_warm_reference(&solver, &y, lam, vec![0.0; p], vec![0.0; p]);
+            let new = solver.solve(&y, lam);
+            assert_eq!(new.iterations, reference.iterations);
+            for (a, b) in new.beta.iter().zip(&reference.beta) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_gram_bit_identical_to_dense() {
+        // For p <= n the dense constructor builds exactly syrk_t(x) + rho I,
+        // so the Gram-built solver must reproduce every solve bit-for-bit.
+        let (x, y) = toy_problem();
+        let cfg = AdmmConfig { max_iter: 4000, abstol: 1e-9, reltol: 1e-8, ..Default::default() };
+        let dense = LassoAdmm::new(x.clone(), cfg.clone());
+        let gram_solver = LassoAdmm::from_gram(syrk_t(&x), cfg);
+        let xty = dense.prepare_rhs(&y);
+        let lambdas = [2.0, 1.0, 0.5, 0.25, 0.0];
+        let a = dense.solve_path(&y, &lambdas);
+        let b = gram_solver.solve_path_with_rhs(&xty, &lambdas);
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.iterations, sb.iterations);
+            assert_eq!(sa.converged, sb.converged);
+            for (va, vb) in sa.beta.iter().zip(&sb.beta) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{va} vs {vb}");
+            }
+        }
+        // Single solves agree too.
+        let sa = dense.solve(&y, 0.4);
+        let sb = gram_solver.solve_with_rhs(&xty, 0.4);
+        for (va, vb) in sa.beta.iter().zip(&sb.beta) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no design")]
+    fn from_gram_rejects_response_entry_points() {
+        let (x, y) = toy_problem();
+        let solver = LassoAdmm::from_gram(syrk_t(&x), AdmmConfig::default());
+        let _ = solver.solve(&y, 0.1);
     }
 
     #[test]

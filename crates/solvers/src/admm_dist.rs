@@ -25,21 +25,34 @@
 //! the paper's model-estimation step does.
 
 use crate::admm::{
-    admm_factor_flops, admm_iter_flops, apply_inverse, factorize, AdmmConfig, AdmmSolution,
+    admm_factor_flops, admm_iter_flops, effective_rho, factorize, AdmmConfig, AdmmSolution,
     Factorization,
 };
 use crate::prox::soft_threshold_vec;
 use std::sync::Arc;
-use uoi_linalg::{gemv_t, Matrix};
+use uoi_linalg::{gemv_into, gemv_t, gemv_t_into, Cholesky, Matrix};
 use uoi_mpisim::{Comm, RankCtx};
 use uoi_telemetry::MetricsRegistry;
+
+/// The rank-local problem data: a dense design block, or only its
+/// dimensions when the solver was built from a precomputed local Gram
+/// ([`DistLassoAdmm::from_gram`] — the zero-copy estimation path).
+enum LocalStore {
+    Dense(Matrix),
+    Gram { n_rows: usize, p: usize },
+}
 
 /// A distributed LASSO/OLS solver bound to one rank's local data block,
 /// with the x-update factorisation cached across lambda values.
 pub struct DistLassoAdmm {
-    x_local: Matrix,
+    local: LocalStore,
     factor: Factorization,
     cfg: AdmmConfig,
+    /// Effective penalty shared by every rank: `cfg.rho` scaled by the
+    /// mean diagonal of the *global* Gram (allreduced at construction),
+    /// so all local factorisations split the consensus problem with one
+    /// common, data-scaled `rho`.
+    rho: f64,
     /// Inherited from the rank's telemetry handle at construction; solves
     /// record `admm_dist.*` metrics (communicator rank 0 only, so a
     /// collective solve counts once, not once per rank).
@@ -47,19 +60,93 @@ pub struct DistLassoAdmm {
 }
 
 impl DistLassoAdmm {
-    /// Factor the local system and charge the setup flops.
-    pub fn new(ctx: &mut RankCtx, x_local: Matrix, cfg: AdmmConfig) -> Self {
+    /// Allreduce the local Gram-diagonal sum and derive the shared
+    /// effective penalty — a 1-scalar collective, so every rank factors
+    /// its block with the same data-scaled `rho`.
+    fn global_rho(ctx: &mut RankCtx, comm: &Comm, local_diag_sum: f64, p: usize, cfg_rho: f64) -> f64 {
+        let mut v = vec![local_diag_sum];
+        comm.allreduce_sum(ctx, &mut v);
+        effective_rho(cfg_rho, v[0], p)
+    }
+
+    /// Factor the local system and charge the setup flops. Collective
+    /// over `comm`: the effective penalty is `cfg.rho` times the mean
+    /// diagonal of the global Gram, allreduced so all ranks agree.
+    pub fn new(ctx: &mut RankCtx, comm: &Comm, x_local: Matrix, cfg: AdmmConfig) -> Self {
         assert!(cfg.rho > 0.0);
         let (n, p) = x_local.shape();
         ctx.compute_flops(admm_factor_flops(n, p), (n * p * 8) as f64);
-        let factor = factorize(&x_local, cfg.rho);
+        let (rho, factor) = if p <= n {
+            // Mirror `from_gram`: diagonal read off the local Gram before
+            // the ridge is added, so `from_gram(syrk_t(&x_local), ..)`
+            // stays bit-identical for p <= n_local blocks.
+            let mut gram = uoi_linalg::syrk_t(&x_local);
+            let local_diag: f64 = (0..p).map(|i| gram[(i, i)]).sum();
+            let rho = Self::global_rho(ctx, comm, local_diag, p, cfg.rho);
+            for i in 0..p {
+                gram[(i, i)] += rho;
+            }
+            let factor = Factorization::Primal(
+                Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"),
+            );
+            (rho, factor)
+        } else {
+            let local_diag: f64 = x_local.as_slice().iter().map(|v| v * v).sum();
+            let rho = Self::global_rho(ctx, comm, local_diag, p, cfg.rho);
+            (rho, factorize(&x_local, rho))
+        };
         let metrics = ctx.telemetry().metrics();
-        Self { x_local, factor, cfg, metrics }
+        Self { local: LocalStore::Dense(x_local), factor, cfg, rho, metrics }
     }
 
-    /// The local design block.
+    /// Build from a precomputed local Gram `X_i^T X_i` (consumed; the
+    /// effective penalty is added to its diagonal in place) and the row
+    /// count that produced it. Collective over `comm` (penalty allreduce).
+    /// Solves must then go through the `*_with_rhs` entry points with the
+    /// matching local `X_i^T y_i`. Charges only the Cholesky flops — the
+    /// Gram itself was the caller's (already-charged) work.
+    pub fn from_gram(
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        mut gram: Matrix,
+        n_rows: usize,
+        cfg: AdmmConfig,
+    ) -> Self {
+        assert!(cfg.rho > 0.0);
+        let p = gram.rows();
+        assert_eq!(p, gram.cols(), "from_gram: Gram matrix must be square");
+        ctx.compute_flops((p * p * p) as f64 / 3.0, (p * p * 8) as f64);
+        let local_diag: f64 = (0..p).map(|i| gram[(i, i)]).sum();
+        let rho = Self::global_rho(ctx, comm, local_diag, p, cfg.rho);
+        for i in 0..p {
+            gram[(i, i)] += rho;
+        }
+        let factor =
+            Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"));
+        let metrics = ctx.telemetry().metrics();
+        Self { local: LocalStore::Gram { n_rows, p }, factor, cfg, rho, metrics }
+    }
+
+    fn local_dense(&self) -> &Matrix {
+        match &self.local {
+            LocalStore::Dense(x) => x,
+            LocalStore::Gram { .. } => {
+                panic!("this solver was built from a Gram matrix and holds no design")
+            }
+        }
+    }
+
+    fn local_shape(&self) -> (usize, usize) {
+        match &self.local {
+            LocalStore::Dense(x) => x.shape(),
+            LocalStore::Gram { n_rows, p } => (*n_rows, *p),
+        }
+    }
+
+    /// The local design block. Panics for a solver built with
+    /// [`DistLassoAdmm::from_gram`].
     pub fn local_design(&self) -> &Matrix {
-        &self.x_local
+        self.local_dense()
     }
 
     /// Solve for one lambda from a cold start. Collective over `comm`.
@@ -70,7 +157,7 @@ impl DistLassoAdmm {
         y_local: &[f64],
         lambda: f64,
     ) -> AdmmSolution {
-        let p = self.x_local.cols();
+        let p = self.local_shape().1;
         self.solve_warm(ctx, comm, y_local, lambda, vec![0.0; p], vec![0.0; p])
     }
 
@@ -81,24 +168,55 @@ impl DistLassoAdmm {
         comm: &Comm,
         y_local: &[f64],
         lambda: f64,
+        z: Vec<f64>,
+        u: Vec<f64>,
+    ) -> AdmmSolution {
+        let xty = self.prepare_local_rhs(ctx, y_local);
+        self.solve_warm_with_rhs(ctx, comm, &xty, lambda, z, u)
+    }
+
+    /// The local `X_i^T y_i`, computed once per (design, response) and
+    /// charged to the rank's virtual clock.
+    pub fn prepare_local_rhs(&self, ctx: &mut RankCtx, y_local: &[f64]) -> Vec<f64> {
+        let x = self.local_dense();
+        let (n, p) = x.shape();
+        assert_eq!(y_local.len(), n, "local response length mismatch");
+        let xty = gemv_t(x, y_local);
+        ctx.compute_flops(2.0 * (n * p) as f64, (n * p * 8) as f64);
+        xty
+    }
+
+    /// Warm-started solve against a precomputed local `X_i^T y_i` — the
+    /// entry point shared by the lambda path (rhs hoisted out of the
+    /// per-lambda loop) and the Gram-built estimation solvers. The inner
+    /// loop reuses its buffers across iterations and allocates nothing.
+    pub fn solve_warm_with_rhs(
+        &self,
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        xty: &[f64],
+        lambda: f64,
         mut z: Vec<f64>,
         mut u: Vec<f64>,
     ) -> AdmmSolution {
-        let (n, p) = self.x_local.shape();
-        assert_eq!(y_local.len(), n, "local response length mismatch");
+        let (n, p) = self.local_shape();
+        assert_eq!(xty.len(), p, "local rhs length mismatch");
         assert_eq!(z.len(), p);
         assert_eq!(u.len(), p);
         let b = comm.size() as f64;
-        let rho = self.cfg.rho;
+        let rho = self.rho;
         let span = ctx.span_enter("admm_dist.solve");
         // Consensus threshold: lambda / (rho * B).
         let kappa = lambda / (rho * b);
 
-        let xty = gemv_t(&self.x_local, y_local);
-        ctx.compute_flops(2.0 * (n * p) as f64, (n * p * 8) as f64);
-
         let working_set = ((n.min(p) * n.min(p) + n * p) * 8) as f64;
         let mut z_old = vec![0.0; p];
+        let mut rhs: Vec<f64> = Vec::with_capacity(p);
+        let mut x_i: Vec<f64> = Vec::with_capacity(p);
+        let mut payload: Vec<f64> = Vec::with_capacity(p);
+        let mut sums_v: Vec<f64> = Vec::with_capacity(3);
+        let mut wn: Vec<f64> = Vec::new();
+        let mut wt: Vec<f64> = Vec::new();
         let (mut r_norm, mut s_norm) = (f64::INFINITY, f64::INFINITY);
         let mut iterations = 0;
         let mut converged = false;
@@ -106,11 +224,26 @@ impl DistLassoAdmm {
         for it in 0..self.cfg.max_iter {
             iterations = it + 1;
             // Local x-update.
-            let mut rhs = xty.clone();
+            rhs.clear();
+            rhs.extend_from_slice(xty);
             for ((r, zi), ui) in rhs.iter_mut().zip(&z).zip(&u) {
                 *r += rho * (zi - ui);
             }
-            let x_i = apply_inverse(&self.x_local, &self.factor, rho, &rhs);
+            match &self.factor {
+                Factorization::Primal(ch) => {
+                    x_i.clear();
+                    x_i.extend_from_slice(&rhs);
+                    ch.solve_in_place(&mut x_i);
+                }
+                Factorization::Woodbury(ch) => {
+                    let x = self.local_dense();
+                    gemv_into(x, &rhs, &mut wn);
+                    ch.solve_in_place(&mut wn);
+                    gemv_t_into(x, &wn, &mut wt);
+                    x_i.clear();
+                    x_i.extend(rhs.iter().zip(&wt).map(|(vi, wi)| (vi - wi) / rho));
+                }
+            }
             ctx.compute_flops(admm_iter_flops(n, p), working_set);
 
             // z-update: allreduce the sum of (x_i + u_i), then threshold
@@ -119,7 +252,8 @@ impl DistLassoAdmm {
             // ||x_i - z||^2 needs the *new* z, so it rides the next
             // iteration's reduction and the final check uses a dedicated
             // small allreduce.
-            let mut payload: Vec<f64> = x_i.iter().zip(&u).map(|(a, c)| a + c).collect();
+            payload.clear();
+            payload.extend(x_i.iter().zip(&u).map(|(a, c)| a + c));
             comm.allreduce_sum(ctx, &mut payload);
             z_old.copy_from_slice(&z);
             for v in &mut payload {
@@ -144,7 +278,8 @@ impl DistLassoAdmm {
                 sums[1] += xi * xi;
                 sums[2] += (rho * ui) * (rho * ui);
             }
-            let mut sums_v = sums.to_vec();
+            sums_v.clear();
+            sums_v.extend_from_slice(&sums);
             comm.allreduce_sum(ctx, &mut sums_v);
             r_norm = sums_v[0].sqrt();
             let x_norm = sums_v[1].sqrt();
@@ -196,7 +331,19 @@ impl DistLassoAdmm {
         self.solve(ctx, comm, y_local, 0.0)
     }
 
+    /// Distributed OLS against a precomputed local rhs (Gram-built solvers).
+    pub fn solve_ols_with_rhs(
+        &self,
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        xty: &[f64],
+    ) -> AdmmSolution {
+        let p = self.local_shape().1;
+        self.solve_warm_with_rhs(ctx, comm, xty, 0.0, vec![0.0; p], vec![0.0; p])
+    }
+
     /// Solve a whole lambda path (largest first) with warm starts.
+    /// `X_i^T y_i` is computed once for the whole path, not once per lambda.
     pub fn solve_path(
         &self,
         ctx: &mut RankCtx,
@@ -204,11 +351,12 @@ impl DistLassoAdmm {
         y_local: &[f64],
         lambdas: &[f64],
     ) -> Vec<AdmmSolution> {
-        let p = self.x_local.cols();
+        let p = self.local_shape().1;
+        let xty = self.prepare_local_rhs(ctx, y_local);
         let mut z = vec![0.0; p];
         let mut out = Vec::with_capacity(lambdas.len());
         for &lam in lambdas {
-            let sol = self.solve_warm(ctx, comm, y_local, lam, z.clone(), vec![0.0; p]);
+            let sol = self.solve_warm_with_rhs(ctx, comm, &xty, lam, z.clone(), vec![0.0; p]);
             z.clone_from(&sol.beta);
             out.push(sol);
         }
@@ -244,6 +392,7 @@ mod tests {
             let y_local = y_ref[r * rows_per..(r + 1) * rows_per].to_vec();
             let solver = DistLassoAdmm::new(
                 ctx,
+                comm,
                 x_local,
                 AdmmConfig { max_iter: 6000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
             );
@@ -275,7 +424,7 @@ mod tests {
             let r = comm.rank();
             let x_local = x.rows_range(r * 8, (r + 1) * 8);
             let y_local = y[r * 8..(r + 1) * 8].to_vec();
-            let solver = DistLassoAdmm::new(ctx, x_local, AdmmConfig::default());
+            let solver = DistLassoAdmm::new(ctx, comm, x_local, AdmmConfig::default());
             solver.solve(ctx, comm, &y_local, 0.5).beta
         });
         for r in 1..4 {
@@ -293,6 +442,7 @@ mod tests {
             let y_local = y_ref[r * 10..(r + 1) * 10].to_vec();
             let solver = DistLassoAdmm::new(
                 ctx,
+                comm,
                 x_local,
                 AdmmConfig { max_iter: 8000, abstol: 1e-11, reltol: 1e-10, ..Default::default() },
             );
@@ -311,6 +461,7 @@ mod tests {
             let r = comm.rank();
             let solver = DistLassoAdmm::new(
                 ctx,
+                comm,
                 x.rows_range(r * 8, (r + 1) * 8),
                 AdmmConfig::default(),
             );
@@ -325,6 +476,52 @@ mod tests {
     }
 
     #[test]
+    fn gram_built_solver_matches_dense() {
+        let (x, y) = problem(40, 4);
+        let (x_ref, y_ref) = (x.clone(), y.clone());
+        let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, comm| {
+            let r = comm.rank();
+            let x_local = x_ref.rows_range(r * 10, (r + 1) * 10);
+            let y_local = y_ref[r * 10..(r + 1) * 10].to_vec();
+            let cfg = || AdmmConfig {
+                max_iter: 8000,
+                abstol: 1e-11,
+                reltol: 1e-10,
+                ..Default::default()
+            };
+            let dense = DistLassoAdmm::new(ctx, comm, x_local.clone(), cfg());
+            let xty = dense.prepare_local_rhs(ctx, &y_local);
+            let a = dense.solve_ols_with_rhs(ctx, comm, &xty).beta;
+            let gram = DistLassoAdmm::from_gram(
+                ctx,
+                comm,
+                uoi_linalg::syrk_t(&x_local),
+                x_local.rows(),
+                cfg(),
+            );
+            let b = gram.solve_ols_with_rhs(ctx, comm, &xty).beta;
+            (a, b)
+        });
+        for (a, b) in &report.results {
+            assert_eq!(a, b, "Gram-built solve must be bit-identical to dense");
+        }
+    }
+
+    #[test]
+    fn gram_built_solver_panics_on_design_access() {
+        let report = Cluster::new(1, MachineModel::deterministic()).run(move |ctx, comm| {
+            let x = Matrix::identity(3);
+            let solver =
+                DistLassoAdmm::from_gram(ctx, comm, uoi_linalg::syrk_t(&x), 3, AdmmConfig::default());
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = solver.local_design();
+            }))
+            .is_err()
+        });
+        assert!(report.results[0], "local_design must panic for Gram-built solver");
+    }
+
+    #[test]
     fn path_warm_start_matches_cold() {
         let (x, y) = problem(48, 6);
         let lambdas = [3.0, 1.0, 0.3];
@@ -335,6 +532,7 @@ mod tests {
             let y_local = y_ref[r * 12..(r + 1) * 12].to_vec();
             let solver = DistLassoAdmm::new(
                 ctx,
+                comm,
                 x_local,
                 AdmmConfig { max_iter: 6000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
             );

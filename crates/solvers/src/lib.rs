@@ -28,11 +28,11 @@ pub mod prox;
 
 pub use admm::{
     admm_factor_flops, admm_iter_flops, AdmmConfig, AdmmConfigBuilder, AdmmSolution, AdmmState,
-    InvalidConfig, LassoAdmm,
+    AdmmStatus, AdmmWorkspace, InvalidConfig, LassoAdmm,
 };
 pub use admm_dist::DistLassoAdmm;
 pub use cd::{lasso_cd, lasso_cd_warm, mcp_cd, ridge, scad_cd, CdConfig};
 pub use diagnostics::{lasso_kkt_violation, lasso_objective, ols_gradient_norm};
 pub use lambda::{geometric_grid, lambda_max, lambda_path};
-pub use ols::{ols_on_support, support_of};
+pub use ols::{ols_on_support, ols_on_support_gram, support_of};
 pub use prox::{mcp_threshold, scad_threshold, soft_threshold, soft_threshold_vec};

@@ -3,7 +3,7 @@
 //! support `S_j`, fit OLS on the columns of `X` indexed by `S_j` and embed
 //! the coefficients back into a full-length vector.
 
-use uoi_linalg::{qr_least_squares, solve_normal_equations, Matrix};
+use uoi_linalg::{qr_least_squares, solve_normal_equations, Cholesky, Matrix};
 
 /// OLS restricted to `support`; returns a length-`p` vector with zeros off
 /// the support. An empty support returns all zeros.
@@ -36,6 +36,70 @@ pub fn ols_on_support(x: &Matrix, y: &[f64], support: &[usize]) -> Vec<f64> {
         beta[j] = c;
     }
     beta
+}
+
+/// Support-restricted OLS solved entirely in Gram space: given the full
+/// Gram `G = X^T X` and rhs `X^T y` (e.g. from the weighted bootstrap
+/// kernels), extract the |S|×|S| sub-system `G[S,S] c = (X^T y)[S]` and
+/// solve it — O(|S|²) extraction plus an O(|S|³) factor, with no O(n·|S|²)
+/// rebuild from the design. Returns a length-`G.rows()` vector with zeros
+/// off the support.
+///
+/// `n_train` is the (resampled) row count backing the Gram; supports wider
+/// than it take the same ridge fallback as [`ols_on_support`]. Singular
+/// sub-Grams (collinear bootstrap columns) fall back to escalating diagonal
+/// jitter — the Gram-space analogue of the QR basic solution.
+pub fn ols_on_support_gram(
+    gram: &Matrix,
+    xty: &[f64],
+    support: &[usize],
+    n_train: usize,
+) -> Vec<f64> {
+    let p = gram.rows();
+    assert_eq!(p, gram.cols(), "ols_on_support_gram: Gram must be square");
+    assert_eq!(p, xty.len(), "ols_on_support_gram: rhs length mismatch");
+    let mut beta = vec![0.0; p];
+    if support.is_empty() {
+        return beta;
+    }
+    let s = support.len();
+    let mut sub = Matrix::from_fn(s, s, |a, b| gram[(support[a], support[b])]);
+    let rhs: Vec<f64> = support.iter().map(|&j| xty[j]).collect();
+    if s > n_train {
+        // Over-wide support: determined only with the same small ridge the
+        // design-space path uses.
+        for i in 0..s {
+            sub[(i, i)] += 1e-6;
+        }
+        if let Ok(ch) = Cholesky::factor(&sub) {
+            embed(&mut beta, support, &ch.solve(&rhs));
+        }
+        return beta;
+    }
+    match Cholesky::factor(&sub) {
+        Ok(ch) => embed(&mut beta, support, &ch.solve(&rhs)),
+        Err(_) => {
+            // Escalating jitter: each level adds to the previous diagonal.
+            let mut added = 0.0;
+            for jitter in [1e-10, 1e-8, 1e-6, 1e-4] {
+                for i in 0..s {
+                    sub[(i, i)] += jitter - added;
+                }
+                added = jitter;
+                if let Ok(ch) = Cholesky::factor(&sub) {
+                    embed(&mut beta, support, &ch.solve(&rhs));
+                    break;
+                }
+            }
+        }
+    }
+    beta
+}
+
+fn embed(beta: &mut [f64], support: &[usize], coef: &[f64]) {
+    for (&j, &c) in support.iter().zip(coef) {
+        beta[j] = c;
+    }
 }
 
 /// The support (indices of entries with `|b| > tol`) of a coefficient
@@ -97,6 +161,56 @@ mod tests {
         let pred = uoi_linalg::gemv(&x, &beta);
         for (p, t) in pred.iter().zip(&y) {
             assert!((p - t).abs() < 0.1, "{p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn gram_ols_matches_design_space_ols() {
+        let n = 30;
+        let x = Matrix::from_fn(n, 6, |i, j| {
+            (((i + 1) * (j + 2) * 2654435761_usize) % 97) as f64 / 48.5 - 1.0
+        });
+        let y: Vec<f64> = (0..n).map(|i| 3.0 * x[(i, 1)] - 2.0 * x[(i, 3)] + 0.5 * x[(i, 5)]).collect();
+        let gram = uoi_linalg::syrk_t(&x);
+        let xty = uoi_linalg::gemv_t(&x, &y);
+        for support in [vec![1, 3], vec![0, 1, 3, 5], vec![2], (0..6).collect::<Vec<_>>()] {
+            let a = ols_on_support(&x, &y, &support);
+            let b = ols_on_support_gram(&gram, &xty, &support, n);
+            for (va, vb) in a.iter().zip(&b) {
+                assert!((va - vb).abs() < 1e-8, "support {support:?}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_ols_empty_support_and_overwide() {
+        let x = Matrix::from_fn(4, 8, |i, j| ((i * 8 + j * 3) % 7) as f64 - 3.0);
+        let y = [1.0, -1.0, 2.0, 0.5];
+        let gram = uoi_linalg::syrk_t(&x);
+        let xty = uoi_linalg::gemv_t(&x, &y);
+        assert_eq!(ols_on_support_gram(&gram, &xty, &[], 4), vec![0.0; 8]);
+        // Over-wide support takes the ridge fallback, mirroring ols_on_support.
+        let wide: Vec<usize> = (0..8).collect();
+        let a = ols_on_support(&x, &y, &wide);
+        let b = ols_on_support_gram(&gram, &xty, &wide, 4);
+        for (va, vb) in a.iter().zip(&b) {
+            assert!((va - vb).abs() < 1e-6, "{va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn gram_ols_singular_subgram_jitter_fallback() {
+        // Identical columns make the sub-Gram singular; the jitter fallback
+        // must return finite coefficients that still predict well.
+        let x = Matrix::from_fn(10, 2, |i, _| (i as f64) - 4.5);
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * ((i as f64) - 4.5)).collect();
+        let gram = uoi_linalg::syrk_t(&x);
+        let xty = uoi_linalg::gemv_t(&x, &y);
+        let beta = ols_on_support_gram(&gram, &xty, &[0, 1], 10);
+        assert!(beta.iter().all(|b| b.is_finite()));
+        let pred = uoi_linalg::gemv(&x, &beta);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-3, "{p} vs {t}");
         }
     }
 

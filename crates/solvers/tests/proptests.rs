@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use uoi_linalg::Matrix;
 use uoi_solvers::{
     lasso_cd, lasso_kkt_violation, lasso_objective, mcp_threshold, ols_on_support,
-    soft_threshold, support_of, AdmmConfig, CdConfig, LassoAdmm,
+    ols_on_support_gram, soft_threshold, support_of, AdmmConfig, CdConfig, LassoAdmm,
 };
 
 fn problem_strategy() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
@@ -115,5 +115,64 @@ proptest! {
         let l1 = |b: &[f64]| b.iter().map(|v| v.abs()).sum::<f64>();
         prop_assert!(l1(&hi.beta) <= l1(&lo.beta) + 1e-9);
         prop_assert!(nnz(&hi.beta) <= x.cols());
+    }
+
+    // For p <= n, `from_gram(X^T X)` factors the identical primal system
+    // as `new(X)`, so whole solve paths must agree bit for bit — the
+    // guarantee the zero-copy selection loop rests on.
+    #[test]
+    fn from_gram_solver_is_bit_identical((x, y) in problem_strategy()) {
+        prop_assume!(x.cols() <= x.rows());
+        let cfg = AdmmConfig::default();
+        let dense = LassoAdmm::new(x.clone(), cfg.clone());
+        let gram = LassoAdmm::from_gram(uoi_linalg::syrk_t(&x), cfg);
+        let xty = dense.prepare_rhs(&y);
+        let lmax = uoi_solvers::lambda_max(&x, &y).max(1e-9);
+        let lambdas = [0.5 * lmax, 0.1 * lmax, 0.0];
+        let a = dense.solve_path_with_rhs(&xty, &lambdas);
+        let b = gram.solve_path_with_rhs(&xty, &lambdas);
+        for (sa, sb) in a.iter().zip(&b) {
+            prop_assert_eq!(&sa.beta, &sb.beta);
+            prop_assert_eq!(sa.iterations, sb.iterations);
+        }
+    }
+
+    // Gram-space restricted OLS solves the same normal equations as the
+    // design-space version; agreement is to factorisation tolerance.
+    #[test]
+    fn gram_ols_matches_design_ols((x, y) in problem_strategy()) {
+        let (n, p) = x.shape();
+        let gram = uoi_linalg::syrk_t(&x);
+        let xty = uoi_linalg::gemv_t(&x, &y);
+        for step in 1..=2usize {
+            let support: Vec<usize> = (0..p).step_by(step).collect();
+            // The equivalence is only defined where OLS is: on a singular
+            // restricted design the two paths take different fallbacks
+            // (rank-revealing QR vs jittered ridge), so gate on the
+            // sub-Gram being comfortably positive definite.
+            let s = support.len();
+            let sub = Matrix::from_fn(s, s, |a, b| gram[(support[a], support[b])]);
+            let well_conditioned = uoi_linalg::Cholesky::factor(&sub)
+                .map(|ch| {
+                    let l = ch.factor_l();
+                    let diags: Vec<f64> = (0..s).map(|i| l[(i, i)]).collect();
+                    let max = diags.iter().cloned().fold(0.0, f64::max);
+                    diags.iter().all(|d| *d > 1e-4 * max.max(1.0))
+                })
+                .unwrap_or(false);
+            prop_assume!(well_conditioned);
+            let design = ols_on_support(&x, &y, &support);
+            let sub = ols_on_support_gram(&gram, &xty, &support, n);
+            prop_assert_eq!(sub.len(), p);
+            for (j, (a, b)) in design.iter().zip(&sub).enumerate() {
+                prop_assert!(
+                    (a - b).abs() < 1e-6 * (1.0 + a.abs()),
+                    "coef {j}: {a} vs {b}"
+                );
+            }
+        }
+        // Empty support: all zeros from both.
+        let empty = ols_on_support_gram(&gram, &xty, &[], n);
+        prop_assert!(empty.iter().all(|v| *v == 0.0));
     }
 }

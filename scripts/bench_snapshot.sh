@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Wall-clock snapshot of the two end-to-end pipeline binaries the
+# zero-copy bootstrap work is gated on (Fig 2 LASSO, Fig 7 VAR).
+#
+# Runs each binary REPS times, takes the minimum wall-clock, and writes a
+# schema-versioned BENCH_PIPELINE.json at the repo root. Pass a baseline
+# JSON (a previous snapshot) as $1 to record before/after speedups:
+#
+#   scripts/bench_snapshot.sh                  # fresh snapshot
+#   scripts/bench_snapshot.sh old.json         # snapshot + speedup vs old
+#
+# Environment: REPS (default 3), BINDIR (prebuilt binaries; defaults to
+# target/release via cargo build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS="${REPS:-3}"
+BINS=(fig2_lasso_single_node fig7_var_single_node)
+BASELINE="${1:-}"
+
+if [[ -z "${BINDIR:-}" ]]; then
+  cargo build -p uoi-bench --release --bin fig2_lasso_single_node \
+    --bin fig7_var_single_node 2>&1 | tail -1
+  BINDIR=target/release
+fi
+
+declare -A MIN_MS
+for bin in "${BINS[@]}"; do
+  best=""
+  for _ in $(seq "$REPS"); do
+    start=$(date +%s%3N)
+    "$BINDIR/$bin" > /dev/null 2>&1
+    elapsed=$(( $(date +%s%3N) - start ))
+    if [[ -z "$best" || "$elapsed" -lt "$best" ]]; then best=$elapsed; fi
+    echo "  $bin: ${elapsed} ms" >&2
+  done
+  MIN_MS[$bin]=$best
+done
+
+baseline_ms() { # $1 = bin name; echoes baseline min_ms or empty
+  [[ -n "$BASELINE" ]] || return 0
+  python3 - "$BASELINE" "$1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for e in doc.get("pipelines", []):
+    if e["name"] == sys.argv[2]:
+        print(e["min_wall_ms"])
+EOF
+}
+
+{
+  echo '{'
+  echo '  "schema_version": 1,'
+  echo "  \"reps\": $REPS,"
+  echo "  \"generated_by\": \"scripts/bench_snapshot.sh\","
+  echo '  "pipelines": ['
+  sep=''
+  for bin in "${BINS[@]}"; do
+    base=$(baseline_ms "$bin")
+    extra=''
+    if [[ -n "$base" ]]; then
+      speedup=$(python3 -c "print(f'{$base/${MIN_MS[$bin]}:.2f}')")
+      extra=", \"baseline_wall_ms\": $base, \"speedup\": $speedup"
+    fi
+    printf '%s    { "name": "%s", "min_wall_ms": %s%s }' \
+      "$sep" "$bin" "${MIN_MS[$bin]}" "$extra"
+    sep=$',\n'
+  done
+  echo
+  echo '  ]'
+  echo '}'
+} > BENCH_PIPELINE.json
+
+echo "wrote BENCH_PIPELINE.json" >&2
+cat BENCH_PIPELINE.json
