@@ -1,0 +1,442 @@
+//! Degraded-mode execution and bootstrap-granular checkpoint/resume.
+//!
+//! UoI is uniquely suited to graceful degradation: losing a bootstrap
+//! resample just shrinks `B1`/`B2`, and the Bolasso-style intersection
+//! remains support-consistent with fewer bootstraps. This module provides
+//! the three pieces the pipelines use to exploit that:
+//!
+//! * [`BootstrapFaultPlan`] — a seeded, deterministic plan of which
+//!   (bootstrap, stage) tasks fail, replayed identically on every run;
+//! * [`DegradationReport`] — what actually happened: failed tasks,
+//!   effective `B1`/`B2`, and the quorum rule applied over *surviving*
+//!   bootstraps (a feature is kept when it appears in at least
+//!   `ceil(intersection_frac * B1_effective)` surviving supports, subject
+//!   to a configurable minimum surviving fraction);
+//! * [`CheckpointStore`] — per-bootstrap result files keyed by a config
+//!   fingerprint, with bit-exact `f64` encoding, so a killed run resumes
+//!   from completed bootstraps and finishes bit-identical to an
+//!   uninterrupted run (each bootstrap derives its RNG from
+//!   `substream(seed, k)`, so results are order-independent).
+
+use crate::error::UoiError;
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use uoi_mpisim::SplitMix64;
+use uoi_telemetry::Json;
+
+/// Which (bootstrap, stage) tasks fail. Deterministic: the same plan
+/// yields the same failures on every run, which is what makes degraded
+/// results reproducible and the `DegradationReport` byte-identical
+/// across reruns.
+#[derive(Debug, Clone, Default)]
+pub struct BootstrapFaultPlan {
+    seed: u64,
+    failed_selection: BTreeSet<usize>,
+    failed_estimation: BTreeSet<usize>,
+}
+
+impl BootstrapFaultPlan {
+    /// An empty plan carrying a seed for the random derivations.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fail selection bootstrap `k`.
+    pub fn fail_selection(mut self, k: usize) -> Self {
+        self.failed_selection.insert(k);
+        self
+    }
+
+    /// Fail estimation bootstrap `k`.
+    pub fn fail_estimation(mut self, k: usize) -> Self {
+        self.failed_estimation.insert(k);
+        self
+    }
+
+    /// Derive `count` random selection failures among `b1` bootstraps
+    /// from the plan seed.
+    pub fn with_random_selection_failures(mut self, b1: usize, count: usize) -> Self {
+        let mut rng = SplitMix64::new(self.seed ^ 0xDE6A_DED0_0B00_7001);
+        while self.failed_selection.len() < count.min(b1) {
+            self.failed_selection.insert((rng.next_u64() % b1.max(1) as u64) as usize);
+        }
+        self
+    }
+
+    /// Derive `count` random estimation failures among `b2` bootstraps
+    /// from the plan seed.
+    pub fn with_random_estimation_failures(mut self, b2: usize, count: usize) -> Self {
+        let mut rng = SplitMix64::new(self.seed ^ 0xDE6A_DED0_0B00_7002);
+        while self.failed_estimation.len() < count.min(b2) {
+            self.failed_estimation.insert((rng.next_u64() % b2.max(1) as u64) as usize);
+        }
+        self
+    }
+
+    /// Does selection bootstrap `k` fail?
+    pub fn selection_failed(&self, k: usize) -> bool {
+        self.failed_selection.contains(&k)
+    }
+
+    /// Does estimation bootstrap `k` fail?
+    pub fn estimation_failed(&self, k: usize) -> bool {
+        self.failed_estimation.contains(&k)
+    }
+
+    /// No failures at all?
+    pub fn is_empty(&self) -> bool {
+        self.failed_selection.is_empty() && self.failed_estimation.is_empty()
+    }
+}
+
+/// Degraded-execution knobs carried by the pipeline configs.
+#[derive(Debug, Clone)]
+pub struct DegradationConfig {
+    /// Deterministic task-failure plan (`None` → nothing fails).
+    pub plan: Option<BootstrapFaultPlan>,
+    /// Minimum fraction of `B1` selection bootstraps (and of `B2`
+    /// estimation bootstraps) that must survive for the fit to proceed;
+    /// fewer survivors abort with [`UoiError::QuorumLost`].
+    pub min_quorum_frac: f64,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        Self { plan: None, min_quorum_frac: 0.5 }
+    }
+}
+
+impl DegradationConfig {
+    /// Validate the quorum fraction.
+    pub fn validate(&self) -> Result<(), UoiError> {
+        if !(self.min_quorum_frac.is_finite()
+            && self.min_quorum_frac > 0.0
+            && self.min_quorum_frac <= 1.0)
+        {
+            return Err(UoiError::InvalidConfig(format!(
+                "min_quorum_frac must be in (0, 1], got {}",
+                self.min_quorum_frac
+            )));
+        }
+        Ok(())
+    }
+
+    /// Minimum surviving count out of `planned` under the quorum rule
+    /// (at least 1).
+    pub fn min_survivors(&self, planned: usize) -> usize {
+        ((self.min_quorum_frac * planned as f64).ceil() as usize).clamp(1, planned.max(1))
+    }
+
+    /// Check the quorum for a stage; `Err(QuorumLost)` when too few
+    /// bootstraps survived.
+    pub fn check_quorum(
+        &self,
+        stage: &'static str,
+        surviving: usize,
+        planned: usize,
+    ) -> Result<(), UoiError> {
+        let required = self.min_survivors(planned);
+        if surviving < required {
+            return Err(UoiError::QuorumLost { stage, surviving, required });
+        }
+        Ok(())
+    }
+}
+
+/// What a degraded fit actually did: which tasks failed, the effective
+/// bootstrap counts, and the quorum applied over survivors. Serialises
+/// deterministically — two runs with the same plan produce byte-identical
+/// JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// Configured selection bootstraps.
+    pub b1_planned: usize,
+    /// Selection bootstraps that survived.
+    pub b1_effective: usize,
+    /// Configured estimation bootstraps.
+    pub b2_planned: usize,
+    /// Estimation bootstraps that survived.
+    pub b2_effective: usize,
+    /// Failed selection bootstrap ids, ascending.
+    pub failed_selection: Vec<usize>,
+    /// Failed estimation bootstrap ids, ascending.
+    pub failed_estimation: Vec<usize>,
+    /// Votes a feature needed among surviving selection bootstraps.
+    pub quorum_votes: usize,
+    /// The configured minimum surviving fraction.
+    pub min_quorum_frac: f64,
+}
+
+impl DegradationReport {
+    /// Did anything actually degrade?
+    pub fn is_degraded(&self) -> bool {
+        self.b1_effective < self.b1_planned || self.b2_effective < self.b2_planned
+    }
+
+    /// Deterministic JSON for the `RunReport` `degradation` section.
+    pub fn to_json(&self) -> Json {
+        let ids = |v: &[usize]| Json::Arr(v.iter().map(|&k| Json::num(k as f64)).collect());
+        Json::obj(vec![
+            ("b1_planned", Json::num(self.b1_planned as f64)),
+            ("b1_effective", Json::num(self.b1_effective as f64)),
+            ("b2_planned", Json::num(self.b2_planned as f64)),
+            ("b2_effective", Json::num(self.b2_effective as f64)),
+            ("failed_selection", ids(&self.failed_selection)),
+            ("failed_estimation", ids(&self.failed_estimation)),
+            ("quorum_votes", Json::num(self.quorum_votes as f64)),
+            ("min_quorum_frac", Json::num(self.min_quorum_frac)),
+        ])
+    }
+}
+
+/// Checkpointing knobs carried by the pipeline configs.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding per-bootstrap checkpoint files (created on
+    /// demand).
+    pub dir: PathBuf,
+    /// Preemption hook: after this many *newly computed* bootstrap tasks
+    /// the fit stops with [`UoiError::Interrupted`], leaving their
+    /// checkpoints behind. Models a job killed mid-run; `None` → run to
+    /// completion.
+    pub abort_after: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir`, never self-interrupting.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), abort_after: None }
+    }
+}
+
+/// Combine config words into a checkpoint fingerprint (splitmix-based;
+/// not cryptographic — it guards against accidental reuse across
+/// configs/datasets, not adversaries).
+pub fn fingerprint(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xA076_1D64_78BD_642Fu64;
+    for w in words {
+        let mut mix = SplitMix64::new(h ^ w);
+        h = mix.next_u64();
+    }
+    h
+}
+
+/// Fingerprint-worthy words of a float slice (bit-exact).
+pub fn data_words(data: &[f64]) -> impl Iterator<Item = u64> + '_ {
+    data.iter().map(|v| v.to_bits())
+}
+
+/// Bootstrap-granular checkpoint files: one small text file per
+/// (stage, bootstrap), atomically written (tmp + rename), keyed by a
+/// config/data fingerprint so stale checkpoints from another run are
+/// ignored rather than corrupting results. `f64` values round-trip
+/// through `to_bits` hex, so resumed runs are *bit*-identical.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    fp: u64,
+}
+
+const CKPT_MAGIC: &str = "uoi-ckpt-v1";
+
+impl CheckpointStore {
+    /// Open (creating the directory if needed) a store keyed by `fp`.
+    pub fn open(dir: &Path, fp: u64) -> Result<Self, UoiError> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            UoiError::Checkpoint(format!("cannot create {}: {e}", dir.display()))
+        })?;
+        Ok(Self { dir: dir.to_path_buf(), fp })
+    }
+
+    fn path(&self, stage: &str, k: usize) -> PathBuf {
+        self.dir.join(format!("{stage}_{k:06}.ckpt"))
+    }
+
+    fn write_atomic(&self, stage: &str, k: usize, body: &str) -> Result<(), UoiError> {
+        let final_path = self.path(stage, k);
+        let tmp = self.dir.join(format!(".{stage}_{k:06}.tmp"));
+        let io_err =
+            |e: std::io::Error| UoiError::Checkpoint(format!("write {stage}/{k}: {e}"));
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+            f.write_all(body.as_bytes()).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, &final_path).map_err(io_err)
+    }
+
+    fn read_validated(&self, stage: &str, k: usize) -> Option<Vec<String>> {
+        let text = std::fs::read_to_string(self.path(stage, k)).ok()?;
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        if header != format!("{CKPT_MAGIC} fp={:016x}", self.fp) {
+            return None; // stale or foreign checkpoint: recompute.
+        }
+        Some(lines.map(str::to_string).collect())
+    }
+
+    /// Persist a selection result: the per-lambda supports of bootstrap
+    /// `k`.
+    pub fn save_supports(
+        &self,
+        stage: &str,
+        k: usize,
+        supports: &[Vec<usize>],
+    ) -> Result<(), UoiError> {
+        let mut body = format!("{CKPT_MAGIC} fp={:016x}\n", self.fp);
+        for s in supports {
+            let line: Vec<String> = s.iter().map(|f| f.to_string()).collect();
+            body.push_str(&line.join(" "));
+            body.push('\n');
+        }
+        self.write_atomic(stage, k, &body)
+    }
+
+    /// Load a selection result saved by [`CheckpointStore::save_supports`];
+    /// `None` when missing, stale, or unparseable (recompute instead).
+    pub fn load_supports(&self, stage: &str, k: usize, q: usize) -> Option<Vec<Vec<usize>>> {
+        let lines = self.read_validated(stage, k)?;
+        if lines.len() != q {
+            return None;
+        }
+        let mut out = Vec::with_capacity(q);
+        for line in &lines {
+            let mut s = Vec::new();
+            for tok in line.split_whitespace() {
+                s.push(tok.parse::<usize>().ok()?);
+            }
+            out.push(s);
+        }
+        Some(out)
+    }
+
+    /// Persist an estimation result: the winning coefficient vector of
+    /// bootstrap `k`, bit-exact.
+    pub fn save_coeffs(&self, stage: &str, k: usize, beta: &[f64]) -> Result<(), UoiError> {
+        let mut body = format!("{CKPT_MAGIC} fp={:016x}\n", self.fp);
+        for v in beta {
+            body.push_str(&format!("{:016x}\n", v.to_bits()));
+        }
+        self.write_atomic(stage, k, &body)
+    }
+
+    /// Load an estimation result saved by [`CheckpointStore::save_coeffs`].
+    pub fn load_coeffs(&self, stage: &str, k: usize, len: usize) -> Option<Vec<f64>> {
+        let lines = self.read_validated(stage, k)?;
+        if lines.len() != len {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for line in &lines {
+            out.push(f64::from_bits(u64::from_str_radix(line.trim(), 16).ok()?));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("uoi_ckpt_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_sorted() {
+        let a = BootstrapFaultPlan::new(99)
+            .with_random_selection_failures(20, 5)
+            .with_random_estimation_failures(10, 3);
+        let b = BootstrapFaultPlan::new(99)
+            .with_random_selection_failures(20, 5)
+            .with_random_estimation_failures(10, 3);
+        assert_eq!(a.failed_selection, b.failed_selection);
+        assert_eq!(a.failed_estimation, b.failed_estimation);
+        assert_eq!(a.failed_selection.len(), 5);
+        assert!(a.failed_selection.iter().all(|&k| k < 20));
+    }
+
+    #[test]
+    fn quorum_rule() {
+        let cfg = DegradationConfig { plan: None, min_quorum_frac: 0.5 };
+        assert_eq!(cfg.min_survivors(10), 5);
+        assert!(cfg.check_quorum("selection", 5, 10).is_ok());
+        assert!(matches!(
+            cfg.check_quorum("selection", 4, 10),
+            Err(UoiError::QuorumLost { stage: "selection", surviving: 4, required: 5 })
+        ));
+    }
+
+    #[test]
+    fn degradation_report_json_is_deterministic() {
+        let r = DegradationReport {
+            b1_planned: 10,
+            b1_effective: 8,
+            b2_planned: 6,
+            b2_effective: 6,
+            failed_selection: vec![2, 7],
+            failed_estimation: vec![],
+            quorum_votes: 8,
+            min_quorum_frac: 0.5,
+        };
+        let s1 = r.to_json().to_string_compact();
+        let s2 = r.clone().to_json().to_string_compact();
+        assert_eq!(s1, s2);
+        assert!(s1.contains("\"failed_selection\":[2,7]"), "{s1}");
+        assert!(r.is_degraded());
+    }
+
+    #[test]
+    fn coeff_checkpoints_roundtrip_bit_exact() {
+        let dir = temp_dir("coeffs");
+        let store = CheckpointStore::open(&dir, 0xABCD).unwrap();
+        let beta = vec![0.1, -2.5e-300, f64::MIN_POSITIVE, 3.0f64.sqrt(), -0.0];
+        store.save_coeffs("est", 3, &beta).unwrap();
+        let back = store.load_coeffs("est", 3, beta.len()).unwrap();
+        for (a, b) in beta.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Wrong length or stage → miss.
+        assert!(store.load_coeffs("est", 3, 4).is_none());
+        assert!(store.load_coeffs("sel", 3, 5).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn support_checkpoints_roundtrip() {
+        let dir = temp_dir("supports");
+        let store = CheckpointStore::open(&dir, 1).unwrap();
+        let sup = vec![vec![0, 3, 9], vec![], vec![1]];
+        store.save_supports("sel", 0, &sup).unwrap();
+        assert_eq!(store.load_supports("sel", 0, 3).unwrap(), sup);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_invalidates() {
+        let dir = temp_dir("fp");
+        let a = CheckpointStore::open(&dir, 1).unwrap();
+        a.save_coeffs("est", 0, &[1.0]).unwrap();
+        let b = CheckpointStore::open(&dir, 2).unwrap();
+        assert!(b.load_coeffs("est", 0, 1).is_none(), "foreign fp must be ignored");
+        assert!(a.load_coeffs("est", 0, 1).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_every_word() {
+        let base = fingerprint([1, 2, 3]);
+        assert_ne!(base, fingerprint([1, 2, 4]));
+        assert_ne!(base, fingerprint([0, 2, 3]));
+        assert_ne!(base, fingerprint([1, 2]));
+        assert_eq!(base, fingerprint([1, 2, 3]));
+    }
+}

@@ -24,6 +24,15 @@ pub enum UoiError {
     SeriesTooShort { n: usize, min: usize },
     /// A configuration field failed validation.
     InvalidConfig(String),
+    /// Too few bootstraps survived fault injection for the named stage to
+    /// proceed under the configured quorum rule.
+    QuorumLost { stage: &'static str, surviving: usize, required: usize },
+    /// The run was preempted after `completed` newly computed bootstrap
+    /// tasks (checkpoint `abort_after` hook); completed work is on disk
+    /// and a rerun resumes from it.
+    Interrupted { completed: usize },
+    /// A checkpoint file could not be written.
+    Checkpoint(String),
 }
 
 impl fmt::Display for UoiError {
@@ -43,6 +52,14 @@ impl fmt::Display for UoiError {
                 write!(f, "series of {n} observations is too short; need more than {min}")
             }
             UoiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            UoiError::QuorumLost { stage, surviving, required } => write!(
+                f,
+                "quorum lost in {stage}: only {surviving} bootstraps survived, need {required}"
+            ),
+            UoiError::Interrupted { completed } => {
+                write!(f, "run interrupted after {completed} bootstrap tasks (resumable)")
+            }
+            UoiError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }

@@ -7,6 +7,7 @@
 
 #![allow(clippy::needless_range_loop)]
 
+pub mod degraded;
 pub mod error;
 pub mod granger;
 pub mod parallelism;
@@ -18,6 +19,9 @@ pub mod uoi_var;
 pub mod uoi_var_dist;
 pub mod var_matrices;
 
+pub use degraded::{
+    BootstrapFaultPlan, CheckpointConfig, CheckpointStore, DegradationConfig, DegradationReport,
+};
 pub use error::UoiError;
 pub use granger::{Edge, GrangerNetwork};
 pub use metrics::{estimation_error, EstimationError, SelectionCounts};

@@ -12,9 +12,14 @@
 //! score it on the held-out evaluation rows, keep the best support per
 //! resample, and average the winning estimates (the union of eq. 4).
 
+use crate::degraded::{
+    data_words, fingerprint, CheckpointConfig, CheckpointStore, DegradationConfig,
+    DegradationReport,
+};
 use crate::error::{all_finite, UoiError};
 use crate::support::{dedup_family, intersect_many};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use uoi_data::bootstrap::{resample_weights, row_bootstrap};
 use uoi_data::rng::substream;
 use uoi_linalg::{dot, gemv, gemv_t_weighted, syrk_t_weighted, weighted_sumsq, Matrix};
@@ -83,6 +88,11 @@ pub struct UoiLassoConfig {
     /// record selection/estimation statistics and the per-solve ADMM
     /// metrics. Disabled (free) by default.
     pub telemetry: Telemetry,
+    /// Degraded-mode execution: an optional deterministic task-failure
+    /// plan and the quorum rule applied over surviving bootstraps.
+    pub degradation: DegradationConfig,
+    /// Bootstrap-granular checkpoint/resume; `None` disables it.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for UoiLassoConfig {
@@ -98,6 +108,8 @@ impl Default for UoiLassoConfig {
             score: EstimationScore::Mse,
             intersection_frac: 1.0,
             telemetry: Telemetry::disabled(),
+            degradation: DegradationConfig::default(),
+            checkpoint: None,
         }
     }
 }
@@ -145,7 +157,36 @@ impl UoiLassoConfig {
             )));
         }
         self.admm.validate()?;
+        self.degradation.validate()?;
         Ok(())
+    }
+
+    /// Checkpoint fingerprint of this configuration over dataset `(x, y)`.
+    ///
+    /// Deliberately excludes `b1`/`b2`: every bootstrap's result depends
+    /// only on `(seed, k)` and the data, so checkpoints stay valid when
+    /// the bootstrap counts change between runs. Includes everything a
+    /// per-bootstrap result *does* depend on: seed, lambda grid inputs,
+    /// solver settings, and every data bit.
+    pub(crate) fn ckpt_fingerprint(&self, x: &Matrix, y: &[f64]) -> u64 {
+        let words = [
+            self.seed,
+            self.q as u64,
+            self.lambda_min_ratio.to_bits(),
+            self.support_tol.to_bits(),
+            self.admm.rho.to_bits(),
+            self.admm.max_iter as u64,
+            self.admm.abstol.to_bits(),
+            self.admm.reltol.to_bits(),
+            x.rows() as u64,
+            x.cols() as u64,
+        ];
+        fingerprint(
+            words
+                .into_iter()
+                .chain(data_words(x.as_slice()))
+                .chain(data_words(y)),
+        )
     }
 }
 
@@ -206,6 +247,16 @@ impl UoiLassoConfigBuilder {
         self
     }
 
+    pub fn degradation(mut self, degradation: DegradationConfig) -> Self {
+        self.cfg.degradation = degradation;
+        self
+    }
+
+    pub fn checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.cfg.checkpoint = Some(checkpoint);
+        self
+    }
+
     pub fn build(self) -> Result<UoiLassoConfig, UoiError> {
         self.cfg.validate()?;
         Ok(self.cfg)
@@ -229,6 +280,9 @@ pub struct UoiFit {
     pub supports_per_lambda: Vec<Vec<usize>>,
     /// Deduplicated candidate family actually scored in estimation.
     pub support_family: Vec<Vec<usize>>,
+    /// Degraded-execution account, present when a fault plan was active:
+    /// which tasks failed and the effective bootstrap counts used.
+    pub degradation: Option<DegradationReport>,
 }
 
 impl UoiFit {
@@ -281,12 +335,42 @@ pub fn try_fit_uoi_lasso(
         return Err(UoiError::NonFiniteInput("response y"));
     }
     cfg.validate()?;
-    Ok(fit_inner(x, y, cfg))
+    fit_inner(x, y, cfg)
 }
 
 /// The validated fit body (inputs already checked).
-fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
+fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiError> {
     let (n, p) = x.shape();
+
+    // Degraded-mode / checkpoint machinery. All of it is inert (and
+    // free) in the default configuration.
+    let plan = cfg.degradation.plan.as_ref();
+    let store = match &cfg.checkpoint {
+        Some(ck) => Some(CheckpointStore::open(&ck.dir, cfg.ckpt_fingerprint(x, y))?),
+        None => None,
+    };
+    // Preemption hook: a shared budget of newly computed tasks; once it
+    // runs dry the remaining tasks refuse to start and the fit returns
+    // `Interrupted`, leaving finished checkpoints behind.
+    let budget = cfg
+        .checkpoint
+        .as_ref()
+        .and_then(|ck| ck.abort_after)
+        .map(|k| AtomicI64::new(k as i64));
+    let interrupted = AtomicBool::new(false);
+    let computed = AtomicUsize::new(0);
+    // Reserve one budget unit; `false` → the run is being preempted.
+    let reserve = || match &budget {
+        None => true,
+        Some(b) => {
+            if b.fetch_sub(1, Ordering::SeqCst) > 0 {
+                true
+            } else {
+                interrupted.store(true, Ordering::SeqCst);
+                false
+            }
+        }
+    };
 
     // Centre.
     let x_means = x.col_means();
@@ -304,11 +388,27 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
     // X_b^T y_b = sum_i c_i y_i x_i, so each bootstrap accumulates a
     // weighted Gram + rhs over the shared centred design and solves the
     // whole lambda path from those.
-    let supports_by_bootstrap: Vec<Vec<Vec<usize>>> =
+    // Each task yields `Ok(Some(supports))` on success, `Ok(None)` when
+    // the fault plan kills it (or the preemption budget ran dry), and
+    // `Err` only for checkpoint write failures.
+    let selection_results: Vec<Option<Vec<Vec<usize>>>> =
         traced(&cfg.telemetry, "uoi_lasso.selection", || {
             (0..cfg.b1)
                 .into_par_iter()
                 .map(|k| {
+                    if plan.is_some_and(|pl| pl.selection_failed(k)) {
+                        cfg.telemetry.incr("uoi.degraded.selection_failures", 1);
+                        return Ok(None);
+                    }
+                    if let Some(st) = &store {
+                        if let Some(loaded) = st.load_supports("sel", k, cfg.q) {
+                            cfg.telemetry.incr("uoi.ckpt.selection_hits", 1);
+                            return Ok(Some(loaded));
+                        }
+                    }
+                    if !reserve() {
+                        return Ok(None);
+                    }
                     let mut rng = substream(cfg.seed, k as u64);
                     let idx = row_bootstrap(&mut rng, n, n);
                     let w = resample_weights(&idx, n);
@@ -318,22 +418,34 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
                     if let Some(m) = cfg.telemetry.metrics() {
                         solver = solver.with_metrics(m);
                     }
-                    solver
+                    let supports: Vec<Vec<usize>> = solver
                         .solve_path_with_rhs(&xty, &lambdas)
                         .into_iter()
                         .map(|sol| support_of(&sol.beta, cfg.support_tol))
-                        .collect()
+                        .collect();
+                    if let Some(st) = &store {
+                        st.save_supports("sel", k, &supports)?;
+                    }
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    Ok(Some(supports))
                 })
-                .collect()
-        });
+                .collect::<Result<_, UoiError>>()
+        })?;
+    if interrupted.load(Ordering::SeqCst) {
+        return Err(UoiError::Interrupted { completed: computed.load(Ordering::SeqCst) });
+    }
+    let supports_by_bootstrap: Vec<&Vec<Vec<usize>>> =
+        selection_results.iter().flatten().collect();
+    let effective_b1 = supports_by_bootstrap.len();
+    cfg.degradation.check_quorum("selection", effective_b1, cfg.b1)?;
 
-    // Intersect across bootstraps per lambda (eq. 3), with the soft
-    // threshold generalisation: keep features present in at least
-    // `ceil(frac * B1)` bootstrap supports.
-    let needed = required_votes(cfg.intersection_frac, cfg.b1);
+    // Intersect across *surviving* bootstraps per lambda (eq. 3), with
+    // the soft threshold generalisation: keep features present in at
+    // least `ceil(frac * B1_effective)` surviving supports.
+    let needed = required_votes(cfg.intersection_frac, effective_b1);
     let supports_per_lambda: Vec<Vec<usize>> = (0..cfg.q)
         .map(|j| {
-            if needed == cfg.b1 {
+            if needed == effective_b1 {
                 let per_k: Vec<Vec<usize>> = supports_by_bootstrap
                     .iter()
                     .map(|sk| sk[j].clone())
@@ -352,7 +464,7 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
         .collect();
     let support_family = dedup_family(supports_per_lambda.clone());
 
-    cfg.telemetry.incr("uoi.selection.bootstraps", cfg.b1 as u64);
+    cfg.telemetry.incr("uoi.selection.bootstraps", effective_b1 as u64);
     for s in &supports_per_lambda {
         cfg.telemetry.observe("uoi.selection.support_size", s.len() as f64);
     }
@@ -377,11 +489,35 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
         .map(|s| s.iter().map(|&f| union_pos[f]).collect())
         .collect();
 
-    let best_estimates: Vec<Vec<f64>> =
+    // Estimation checkpoints additionally depend on the candidate family
+    // (which shifts when B1 or the fault plan changes), so the family is
+    // folded into the stage name — stale estimates from a different
+    // family can never be replayed.
+    let est_stage = store.as_ref().map(|_| {
+        let fam_words = support_family
+            .iter()
+            .flat_map(|s| std::iter::once(s.len() as u64).chain(s.iter().map(|&f| f as u64)));
+        format!("est_{:016x}", fingerprint(fam_words))
+    });
+
+    let est_results: Vec<Option<Vec<f64>>> =
         traced(&cfg.telemetry, "uoi_lasso.estimation", || {
             (0..cfg.b2)
                 .into_par_iter()
                 .map(|k| {
+                    if plan.is_some_and(|pl| pl.estimation_failed(k)) {
+                        cfg.telemetry.incr("uoi.degraded.estimation_failures", 1);
+                        return Ok(None);
+                    }
+                    if let (Some(st), Some(stage)) = (&store, &est_stage) {
+                        if let Some(loaded) = st.load_coeffs(stage, k, p) {
+                            cfg.telemetry.incr("uoi.ckpt.estimation_hits", 1);
+                            return Ok(Some(loaded));
+                        }
+                    }
+                    if !reserve() {
+                        return Ok(None);
+                    }
                     let mut rng = substream(cfg.seed, 10_000 + k as u64);
                     let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
                     let n_train = train_idx.len();
@@ -426,30 +562,59 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
                             full[f] = v;
                         }
                     }
-                    full
+                    if let (Some(st), Some(stage)) = (&store, &est_stage) {
+                        st.save_coeffs(stage, k, &full)?;
+                    }
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    Ok(Some(full))
                 })
-                .collect()
-        });
+                .collect::<Result<_, UoiError>>()
+        })?;
+    if interrupted.load(Ordering::SeqCst) {
+        return Err(UoiError::Interrupted { completed: computed.load(Ordering::SeqCst) });
+    }
+    let best_estimates: Vec<&Vec<f64>> = est_results.iter().flatten().collect();
+    let effective_b2 = best_estimates.len();
+    cfg.degradation.check_quorum("estimation", effective_b2, cfg.b2)?;
 
-    // Average the winners (eq. 4).
+    // Average the winners (eq. 4) over surviving estimation bootstraps.
     let mut beta = vec![0.0; p];
     for est in &best_estimates {
-        for (b, e) in beta.iter_mut().zip(est) {
+        for (b, e) in beta.iter_mut().zip(est.iter()) {
             *b += e;
         }
     }
     for b in &mut beta {
-        *b /= cfg.b2 as f64;
+        *b /= effective_b2 as f64;
     }
 
     // Restore intercept: y ≈ (x - x̄) b + ȳ  =>  icpt = ȳ - x̄·b.
     let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
     let support = support_of(&beta, cfg.support_tol);
 
-    cfg.telemetry.incr("uoi.estimation.bootstraps", cfg.b2 as u64);
+    cfg.telemetry.incr("uoi.estimation.bootstraps", effective_b2 as u64);
     cfg.telemetry.gauge("uoi.support_size", support.len() as f64);
 
-    UoiFit { beta, intercept, support, lambdas, supports_per_lambda, support_family }
+    let degradation = plan.map(|pl| DegradationReport {
+        b1_planned: cfg.b1,
+        b1_effective: effective_b1,
+        b2_planned: cfg.b2,
+        b2_effective: effective_b2,
+        failed_selection: (0..cfg.b1).filter(|&k| pl.selection_failed(k)).collect(),
+        failed_estimation: (0..cfg.b2).filter(|&k| pl.estimation_failed(k)).collect(),
+        quorum_votes: needed,
+        min_quorum_frac: cfg.degradation.min_quorum_frac,
+    });
+
+    Ok(UoiFit {
+        beta,
+        intercept,
+        support,
+        lambdas,
+        supports_per_lambda,
+        support_family,
+        degradation,
+    })
 }
 
 /// Votes required by the soft intersection: `ceil(frac * b1)`, clamped
@@ -588,7 +753,15 @@ pub(crate) fn fit_inner_materialized(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig
     let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
     let support = support_of(&beta, cfg.support_tol);
 
-    UoiFit { beta, intercept, support, lambdas, supports_per_lambda, support_family }
+    UoiFit {
+        beta,
+        intercept,
+        support,
+        lambdas,
+        supports_per_lambda,
+        support_family,
+        degradation: None,
+    }
 }
 
 #[cfg(test)]

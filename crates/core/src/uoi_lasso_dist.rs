@@ -47,6 +47,22 @@ pub fn fit_uoi_lasso_dist(
     let c = comms.admm_comm.size();
     let admm_rank = comms.admm_comm.rank();
 
+    // Degraded mode: the deterministic task-failure plan is identical on
+    // every rank, so all ranks skip the same (bootstrap, stage) tasks and
+    // the collectives stay aligned. Checkpointing is a serial-fit
+    // feature; the distributed pipeline ignores it.
+    let plan = cfg.degradation.plan.as_ref();
+    let effective_b1 =
+        cfg.b1 - (0..cfg.b1).filter(|&k| plan.is_some_and(|pl| pl.selection_failed(k))).count();
+    let effective_b2 =
+        cfg.b2 - (0..cfg.b2).filter(|&k| plan.is_some_and(|pl| pl.estimation_failed(k))).count();
+    cfg.degradation
+        .check_quorum("selection", effective_b1, cfg.b1)
+        .unwrap_or_else(|e| panic!("fit_uoi_lasso_dist: {e}"));
+    cfg.degradation
+        .check_quorum("estimation", effective_b2, cfg.b2)
+        .unwrap_or_else(|e| panic!("fit_uoi_lasso_dist: {e}"));
+
     // Resident Tier-1 block (rows + response column, `p + 1` wide) —
     // each rank materialises only its stripe of the dataset, never the
     // whole matrix.
@@ -94,6 +110,9 @@ pub fn fit_uoi_lasso_dist(
     let sel_span = ctx.span_enter("uoi.selection");
     let mut votes = vec![0.0; cfg.q * p];
     for &k in &layout.bootstraps_for(comms.b_group, cfg.b1) {
+        if plan.is_some_and(|pl| pl.selection_failed(k)) {
+            continue;
+        }
         let mut rng = substream(cfg.seed, k as u64);
         let idx = row_bootstrap(&mut rng, n, n);
         let my_slice = &idx[block_range(n, c, admm_rank)];
@@ -115,7 +134,8 @@ pub fn fit_uoi_lasso_dist(
     // Reduce: one world allreduce realises eq. 3 for every lambda at once
     // (soft threshold: >= ceil(frac * B1) votes).
     world.allreduce_sum(ctx, &mut votes);
-    let needed = crate::uoi_lasso::required_votes(cfg.intersection_frac, cfg.b1) as f64;
+    let needed =
+        crate::uoi_lasso::required_votes(cfg.intersection_frac, effective_b1) as f64;
     let supports_per_lambda: Vec<Vec<usize>> = (0..cfg.q)
         .map(|j| {
             (0..p)
@@ -145,6 +165,9 @@ pub fn fit_uoi_lasso_dist(
     let mut pred: Vec<f64> = Vec::new();
     for k in 0..cfg.b2 {
         if k % groups != my_group {
+            continue;
+        }
+        if plan.is_some_and(|pl| pl.estimation_failed(k)) {
             continue;
         }
         let mut rng = substream(cfg.seed, 10_000 + k as u64);
@@ -216,11 +239,29 @@ pub fn fit_uoi_lasso_dist(
     // Reduce: average the winners across groups (eq. 4).
     world.allreduce_sum(ctx, &mut est_sum);
     ctx.span_exit(est_span);
-    let beta: Vec<f64> = est_sum.iter().map(|v| v / cfg.b2 as f64).collect();
+    let beta: Vec<f64> = est_sum.iter().map(|v| v / effective_b2 as f64).collect();
 
     let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
     let support = support_of(&beta, cfg.support_tol);
-    UoiFit { beta, intercept, support, lambdas, supports_per_lambda, support_family }
+    let degradation = plan.map(|pl| crate::degraded::DegradationReport {
+        b1_planned: cfg.b1,
+        b1_effective: effective_b1,
+        b2_planned: cfg.b2,
+        b2_effective: effective_b2,
+        failed_selection: (0..cfg.b1).filter(|&k| pl.selection_failed(k)).collect(),
+        failed_estimation: (0..cfg.b2).filter(|&k| pl.estimation_failed(k)).collect(),
+        quorum_votes: needed as usize,
+        min_quorum_frac: cfg.degradation.min_quorum_frac,
+    });
+    UoiFit {
+        beta,
+        intercept,
+        support,
+        lambdas,
+        supports_per_lambda,
+        support_family,
+        degradation,
+    }
 }
 
 /// Split a `(rows x (p+1))` shuffled block into design and response.

@@ -13,12 +13,14 @@
 //! Temporal dependence is respected by a moving-block bootstrap over the
 //! regression rows (Algorithm 2 lines 3, 17–18).
 
+use crate::degraded::{data_words, fingerprint, CheckpointStore, DegradationReport};
 use crate::error::{all_finite, UoiError};
 use crate::support::{dedup_family, intersect_many};
 use crate::uoi_lasso::UoiLassoConfig;
 use crate::var_matrices::{partition_coefficients, VarRegression};
 use crate::granger::GrangerNetwork;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use uoi_data::bootstrap::{block_bootstrap, default_block_len, resample_weights};
 use uoi_data::rng::substream;
 use uoi_linalg::{dot, gemv_t_weighted, syrk_t_weighted, Matrix};
@@ -131,6 +133,16 @@ impl UoiVarConfigBuilder {
         self
     }
 
+    pub fn degradation(mut self, degradation: crate::degraded::DegradationConfig) -> Self {
+        self.cfg.base.degradation = degradation;
+        self
+    }
+
+    pub fn checkpoint(mut self, checkpoint: crate::degraded::CheckpointConfig) -> Self {
+        self.cfg.base.checkpoint = Some(checkpoint);
+        self
+    }
+
     pub fn build(self) -> Result<UoiVarConfig, UoiError> {
         self.cfg.validate()?;
         Ok(self.cfg)
@@ -152,6 +164,8 @@ pub struct UoiVarFit {
     pub supports_per_lambda: Vec<Vec<usize>>,
     /// Deduplicated candidate family.
     pub support_family: Vec<Vec<usize>>,
+    /// Degraded-execution account, present when a fault plan was active.
+    pub degradation: Option<DegradationReport>,
 }
 
 impl UoiVarFit {
@@ -293,11 +307,11 @@ pub fn try_fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit,
     if !all_finite(series.as_slice()) {
         return Err(UoiError::NonFiniteInput("series"));
     }
-    Ok(fit_inner(series, cfg))
+    fit_inner(series, cfg)
 }
 
 /// The validated fit body (inputs already checked).
-fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
+fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError> {
     let (_, p) = series.shape();
     let d = cfg.order;
 
@@ -321,16 +335,72 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
     let lmax = lmax.max(1e-12);
     let lambdas = geometric_grid(lmax, base.lambda_min_ratio * lmax, base.q);
 
+    // Degraded-mode / checkpoint machinery (mirrors `uoi_lasso`; the
+    // "var_" stage prefix keeps the two algorithms' checkpoints apart).
+    let plan = base.degradation.plan.as_ref();
+    let store = match &base.checkpoint {
+        Some(ck) => {
+            let words = [
+                base.seed,
+                base.q as u64,
+                base.lambda_min_ratio.to_bits(),
+                base.support_tol.to_bits(),
+                base.admm.rho.to_bits(),
+                base.admm.max_iter as u64,
+                base.admm.abstol.to_bits(),
+                base.admm.reltol.to_bits(),
+                d as u64,
+                block_len as u64,
+                series.rows() as u64,
+                series.cols() as u64,
+            ];
+            let fp = fingerprint(words.into_iter().chain(data_words(series.as_slice())));
+            Some(CheckpointStore::open(&ck.dir, fp)?)
+        }
+        None => None,
+    };
+    let budget = base
+        .checkpoint
+        .as_ref()
+        .and_then(|ck| ck.abort_after)
+        .map(|k| AtomicI64::new(k as i64));
+    let interrupted = AtomicBool::new(false);
+    let computed = AtomicUsize::new(0);
+    let reserve = || match &budget {
+        None => true,
+        Some(b) => {
+            if b.fetch_sub(1, Ordering::SeqCst) > 0 {
+                true
+            } else {
+                interrupted.store(true, Ordering::SeqCst);
+                false
+            }
+        }
+    };
+
     // --- Model selection (Algorithm 2 lines 1-13). ---
     // Per bootstrap: one shared factorisation, p column paths. The block
     // bootstrap also yields integer row multiplicities, so the resampled
     // regression block is never materialised — one weighted dp x dp Gram
     // and p weighted rhs vectors replace the gather.
-    let supports_by_bootstrap: Vec<Vec<Vec<usize>>> =
+    let selection_results: Vec<Option<Vec<Vec<usize>>>> =
         crate::uoi_lasso::traced(&base.telemetry, "uoi_var.selection", || {
             (0..base.b1)
                 .into_par_iter()
                 .map(|k| {
+                    if plan.is_some_and(|pl| pl.selection_failed(k)) {
+                        base.telemetry.incr("uoi_var.degraded.selection_failures", 1);
+                        return Ok(None);
+                    }
+                    if let Some(st) = &store {
+                        if let Some(loaded) = st.load_supports("var_sel", k, lambdas.len()) {
+                            base.telemetry.incr("uoi_var.ckpt.selection_hits", 1);
+                            return Ok(Some(loaded));
+                        }
+                    }
+                    if !reserve() {
+                        return Ok(None);
+                    }
                     let mut rng = substream(base.seed, k as u64);
                     let rows = block_bootstrap(&mut rng, n, n, block_len);
                     let w = resample_weights(&rows, n);
@@ -357,15 +427,26 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
                     for s in &mut supports {
                         s.sort_unstable();
                     }
-                    supports
+                    if let Some(st) = &store {
+                        st.save_supports("var_sel", k, &supports)?;
+                    }
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    Ok(Some(supports))
                 })
-                .collect()
-        });
+                .collect::<Result<_, UoiError>>()
+        })?;
+    if interrupted.load(Ordering::SeqCst) {
+        return Err(UoiError::Interrupted { completed: computed.load(Ordering::SeqCst) });
+    }
+    let supports_by_bootstrap: Vec<&Vec<Vec<usize>>> =
+        selection_results.iter().flatten().collect();
+    let effective_b1 = supports_by_bootstrap.len();
+    base.degradation.check_quorum("selection", effective_b1, base.b1)?;
 
-    let needed = crate::uoi_lasso::required_votes(base.intersection_frac, base.b1);
+    let needed = crate::uoi_lasso::required_votes(base.intersection_frac, effective_b1);
     let supports_per_lambda: Vec<Vec<usize>> = (0..lambdas.len())
         .map(|j| {
-            if needed == base.b1 {
+            if needed == effective_b1 {
                 let per_k: Vec<Vec<usize>> =
                     supports_by_bootstrap.iter().map(|sk| sk[j].clone()).collect();
                 intersect_many(&per_k)
@@ -382,7 +463,7 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
         .collect();
     let support_family = dedup_family(supports_per_lambda.clone());
 
-    base.telemetry.incr("uoi_var.selection.bootstraps", base.b1 as u64);
+    base.telemetry.incr("uoi_var.selection.bootstraps", effective_b1 as u64);
     for s in &supports_per_lambda {
         base.telemetry.observe("uoi_var.selection.support_size", s.len() as f64);
     }
@@ -416,11 +497,33 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
         })
         .collect();
 
-    let best_estimates: Vec<Vec<f64>> =
+    // Fold the candidate family into the estimation stage name so a
+    // family change (different B1 or fault plan) invalidates the cache.
+    let est_stage = store.as_ref().map(|_| {
+        let fam_words = support_family
+            .iter()
+            .flat_map(|s| std::iter::once(s.len() as u64).chain(s.iter().map(|&f| f as u64)));
+        format!("var_est_{:016x}", fingerprint(fam_words))
+    });
+
+    let est_results: Vec<Option<Vec<f64>>> =
         crate::uoi_lasso::traced(&base.telemetry, "uoi_var.estimation", || {
             (0..base.b2)
                 .into_par_iter()
                 .map(|k| {
+                    if plan.is_some_and(|pl| pl.estimation_failed(k)) {
+                        base.telemetry.incr("uoi_var.degraded.estimation_failures", 1);
+                        return Ok(None);
+                    }
+                    if let (Some(st), Some(stage)) = (&store, &est_stage) {
+                        if let Some(loaded) = st.load_coeffs(stage, k, total_coef) {
+                            base.telemetry.incr("uoi_var.ckpt.estimation_hits", 1);
+                            return Ok(Some(loaded));
+                        }
+                    }
+                    if !reserve() {
+                        return Ok(None);
+                    }
                     let mut rng = substream(base.seed, 20_000 + k as u64);
                     let (train_rows, eval_rows) =
                         block_bootstrap_with_oob(&mut rng, n, block_len);
@@ -465,19 +568,29 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
                             }
                         }
                     }
-                    full
+                    if let (Some(st), Some(stage)) = (&store, &est_stage) {
+                        st.save_coeffs(stage, k, &full)?;
+                    }
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    Ok(Some(full))
                 })
-                .collect()
-        });
+                .collect::<Result<_, UoiError>>()
+        })?;
+    if interrupted.load(Ordering::SeqCst) {
+        return Err(UoiError::Interrupted { completed: computed.load(Ordering::SeqCst) });
+    }
+    let best_estimates: Vec<&Vec<f64>> = est_results.iter().flatten().collect();
+    let effective_b2 = best_estimates.len();
+    base.degradation.check_quorum("estimation", effective_b2, base.b2)?;
 
     let mut vec_beta = vec![0.0; total_coef];
     for est in &best_estimates {
-        for (b, e) in vec_beta.iter_mut().zip(est) {
+        for (b, e) in vec_beta.iter_mut().zip(est.iter()) {
             *b += e;
         }
     }
     for b in &mut vec_beta {
-        *b /= base.b2 as f64;
+        *b /= effective_b2 as f64;
     }
 
     let a_mats = partition_coefficients(&vec_beta, p, d);
@@ -490,11 +603,30 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
         }
     }
 
-    base.telemetry.incr("uoi_var.estimation.bootstraps", base.b2 as u64);
+    base.telemetry.incr("uoi_var.estimation.bootstraps", effective_b2 as u64);
     base.telemetry
         .gauge("uoi_var.nnz", vec_beta.iter().filter(|v| v.abs() > 0.0).count() as f64);
 
-    UoiVarFit { a_mats, mu, vec_beta, lambdas, supports_per_lambda, support_family }
+    let degradation = plan.map(|pl| DegradationReport {
+        b1_planned: base.b1,
+        b1_effective: effective_b1,
+        b2_planned: base.b2,
+        b2_effective: effective_b2,
+        failed_selection: (0..base.b1).filter(|&k| pl.selection_failed(k)).collect(),
+        failed_estimation: (0..base.b2).filter(|&k| pl.estimation_failed(k)).collect(),
+        quorum_votes: needed,
+        min_quorum_frac: base.degradation.min_quorum_frac,
+    });
+
+    Ok(UoiVarFit {
+        a_mats,
+        mu,
+        vec_beta,
+        lambdas,
+        supports_per_lambda,
+        support_family,
+        degradation,
+    })
 }
 
 /// Support-restricted OLS on the vectorised VAR problem, exploiting the
@@ -666,7 +798,15 @@ pub(crate) fn fit_inner_materialized(series: &Matrix, cfg: &UoiVarConfig) -> Uoi
         }
     }
 
-    UoiVarFit { a_mats, mu, vec_beta, lambdas, supports_per_lambda, support_family }
+    UoiVarFit {
+        a_mats,
+        mu,
+        vec_beta,
+        lambdas,
+        supports_per_lambda,
+        support_family,
+        degradation: None,
+    }
 }
 
 #[cfg(test)]

@@ -133,11 +133,28 @@ pub fn fit_uoi_var_dist(
     // Each (bootstrap-group, lambda-group) pair handles its share of the
     // (k, lambda_j) grid; group leaders vote, one world allreduce
     // realises the eq. 3 intersection for every lambda at once.
+    // Degraded mode: the deterministic plan is identical on every rank,
+    // so all ranks skip the same tasks and collectives stay aligned.
+    let plan = base.degradation.plan.as_ref();
+    let effective_b1 = base.b1
+        - (0..base.b1).filter(|&k| plan.is_some_and(|pl| pl.selection_failed(k))).count();
+    let effective_b2 = base.b2
+        - (0..base.b2).filter(|&k| plan.is_some_and(|pl| pl.estimation_failed(k))).count();
+    base.degradation
+        .check_quorum("selection", effective_b1, base.b1)
+        .unwrap_or_else(|e| panic!("fit_uoi_var_dist: {e}"));
+    base.degradation
+        .check_quorum("estimation", effective_b2, base.b2)
+        .unwrap_or_else(|e| panic!("fit_uoi_var_dist: {e}"));
+
     let sel_span = ctx.span_enter("uoi_var.selection");
     let my_lambda_ids = cfg.layout.lambdas_for(comms.l_group, base.q);
     let my_lambdas: Vec<f64> = my_lambda_ids.iter().map(|&j| lambdas[j]).collect();
     let mut votes = vec![0.0; base.q * total_coef];
     for &k in &cfg.layout.bootstraps_for(comms.b_group, base.b1) {
+        if plan.is_some_and(|pl| pl.selection_failed(k)) {
+            continue;
+        }
         let mut rng = substream(base.seed, k as u64);
         let rows = block_bootstrap(&mut rng, n, n, block_len);
         // Distributed Kronecker + vectorisation: pull the resampled rows
@@ -169,7 +186,7 @@ pub fn fit_uoi_var_dist(
     }
     world.allreduce_sum(ctx, &mut votes);
     let needed =
-        crate::uoi_lasso::required_votes(base.intersection_frac, base.b1) as f64;
+        crate::uoi_lasso::required_votes(base.intersection_frac, effective_b1) as f64;
     let supports_per_lambda: Vec<Vec<usize>> = (0..base.q)
         .map(|j| {
             (0..total_coef)
@@ -201,6 +218,9 @@ pub fn fit_uoi_var_dist(
     let mut pred: Vec<f64> = Vec::new();
     for k in 0..base.b2 {
         if k % groups != my_group {
+            continue;
+        }
+        if plan.is_some_and(|pl| pl.estimation_failed(k)) {
             continue;
         }
         let mut rng = substream(base.seed, 20_000 + k as u64);
@@ -284,7 +304,7 @@ pub fn fit_uoi_var_dist(
     // Union reduce (eq. 4): average the winners across groups.
     world.allreduce_sum(ctx, &mut est_sum);
     ctx.span_exit(est_span);
-    let vec_beta: Vec<f64> = est_sum.iter().map(|v| v / base.b2 as f64).collect();
+    let vec_beta: Vec<f64> = est_sum.iter().map(|v| v / effective_b2 as f64).collect();
 
     let a_mats = partition_coefficients(&vec_beta, p, d);
     let mut mu = means.clone();
@@ -295,8 +315,26 @@ pub fn fit_uoi_var_dist(
         }
     }
 
+    let degradation = plan.map(|pl| crate::degraded::DegradationReport {
+        b1_planned: base.b1,
+        b1_effective: effective_b1,
+        b2_planned: base.b2,
+        b2_effective: effective_b2,
+        failed_selection: (0..base.b1).filter(|&k| pl.selection_failed(k)).collect(),
+        failed_estimation: (0..base.b2).filter(|&k| pl.estimation_failed(k)).collect(),
+        quorum_votes: needed as usize,
+        min_quorum_frac: base.degradation.min_quorum_frac,
+    });
     (
-        UoiVarFit { a_mats, mu, vec_beta, lambdas, supports_per_lambda, support_family },
+        UoiVarFit {
+            a_mats,
+            mu,
+            vec_beta,
+            lambdas,
+            supports_per_lambda,
+            support_family,
+            degradation,
+        },
         kron,
     )
 }

@@ -1,0 +1,221 @@
+//! Degraded-mode and checkpoint/resume acceptance tests (ISSUE 3).
+//!
+//! * A fixed fault seed injecting `k <= B1/2` bootstrap failures lets
+//!   `fit_uoi_lasso` complete in degraded mode, with a
+//!   [`DegradationReport`] that is byte-identical across reruns and
+//!   selected supports matching the fault-free reference.
+//! * A checkpointed run killed at ~50% of the bootstraps resumes
+//!   bit-identically to an uninterrupted run with the same seed.
+
+use uoi_core::{
+    try_fit_uoi_lasso, try_fit_uoi_var, BootstrapFaultPlan, CheckpointConfig, DegradationConfig,
+    SelectionCounts, UoiError, UoiLassoConfig,
+};
+use uoi_data::LinearConfig;
+use uoi_solvers::AdmmConfig;
+
+const B1: usize = 8;
+const B2: usize = 8;
+
+fn lasso_cfg() -> uoi_core::UoiLassoConfigBuilder {
+    UoiLassoConfig::builder()
+        .b1(B1)
+        .b2(B2)
+        .q(8)
+        .lambda_min_ratio(3e-2)
+        .admm(AdmmConfig { max_iter: 1500, abstol: 1e-8, reltol: 1e-7, ..Default::default() })
+        .support_tol(1e-6)
+        .seed(13)
+}
+
+fn dataset() -> uoi_data::LinearDataset {
+    LinearConfig {
+        n_samples: 160,
+        n_features: 16,
+        n_nonzero: 4,
+        snr: 16.0,
+        seed: 29,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("uoi_acc_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Acceptance: k = B1/2 failed selection bootstraps plus two failed
+/// estimation bootstraps. The fit completes, reports the degradation
+/// deterministically (byte-identical JSON across reruns), and still
+/// recovers the same support as the fault-free reference.
+#[test]
+fn degraded_fit_completes_and_matches_fault_free_supports() {
+    let ds = dataset();
+    let plan = BootstrapFaultPlan::new(77)
+        .with_random_selection_failures(B1, B1 / 2)
+        .with_random_estimation_failures(B2, 2);
+    let degraded_cfg = lasso_cfg()
+        .degradation(DegradationConfig { plan: Some(plan), min_quorum_frac: 0.5 })
+        .build()
+        .unwrap();
+    let clean_cfg = lasso_cfg().build().unwrap();
+
+    let degraded = try_fit_uoi_lasso(&ds.x, &ds.y, &degraded_cfg).expect("quorum holds");
+    let clean = try_fit_uoi_lasso(&ds.x, &ds.y, &clean_cfg).unwrap();
+
+    let report = degraded.degradation.as_ref().expect("plan given => report attached");
+    assert!(report.is_degraded());
+    assert_eq!(report.b1_planned, B1);
+    assert_eq!(report.b1_effective, B1 - B1 / 2);
+    assert_eq!(report.b2_planned, B2);
+    assert_eq!(report.b2_effective, B2 - 2);
+    assert_eq!(report.failed_selection.len(), B1 / 2);
+
+    // Byte-identical degradation report across reruns.
+    let rerun = try_fit_uoi_lasso(&ds.x, &ds.y, &degraded_cfg).unwrap();
+    assert_eq!(
+        report.to_json().to_string_compact(),
+        rerun.degradation.unwrap().to_json().to_string_compact()
+    );
+    assert_eq!(degraded.beta, rerun.beta, "degraded fit must be deterministic");
+
+    // The clean fit carries no report, and half the bootstraps dying must
+    // not change which features survive the intersection on this
+    // well-conditioned problem.
+    assert!(clean.degradation.is_none());
+    assert_eq!(degraded.support, clean.support, "supports must match fault-free run");
+    let counts = SelectionCounts::compare(&degraded.support, &ds.support_true, 16);
+    assert!(counts.recall() >= 0.75, "recall {}", counts.recall());
+}
+
+/// Losing more bootstraps than the quorum allows is a typed error, not a
+/// silently wrong fit.
+#[test]
+fn quorum_loss_is_a_typed_error() {
+    let ds = dataset();
+    let mut plan = BootstrapFaultPlan::new(0);
+    for k in 0..B1 - 1 {
+        plan = plan.fail_selection(k);
+    }
+    let cfg = lasso_cfg()
+        .degradation(DegradationConfig { plan: Some(plan), min_quorum_frac: 0.5 })
+        .build()
+        .unwrap();
+    match try_fit_uoi_lasso(&ds.x, &ds.y, &cfg) {
+        Err(UoiError::QuorumLost { stage: "selection", surviving: 1, required: 4 }) => {}
+        other => panic!("expected QuorumLost, got {other:?}"),
+    }
+}
+
+/// Acceptance: kill a checkpointed run at ~50% of the bootstrap tasks
+/// (via the `abort_after` budget), then resume from the same checkpoint
+/// directory. The resumed fit is bit-identical to an uninterrupted run
+/// with the same seed.
+#[test]
+fn interrupted_checkpoint_run_resumes_bit_identical() {
+    let ds = dataset();
+    let dir = temp_ckpt_dir("lasso_resume");
+
+    // Uninterrupted reference (no checkpointing at all).
+    let reference = try_fit_uoi_lasso(&ds.x, &ds.y, &lasso_cfg().build().unwrap()).unwrap();
+
+    // Phase 1: budget of B1/2 freshly computed tasks, then interruption.
+    let interrupted_cfg = lasso_cfg()
+        .checkpoint(CheckpointConfig { abort_after: Some(B1 / 2), ..CheckpointConfig::in_dir(&dir) })
+        .build()
+        .unwrap();
+    match try_fit_uoi_lasso(&ds.x, &ds.y, &interrupted_cfg) {
+        Err(UoiError::Interrupted { completed }) => {
+            assert!(completed >= B1 / 2, "budget must be spent before interrupting");
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+
+    // Phase 2: resume without a budget; checkpointed bootstraps are
+    // loaded, the rest computed fresh.
+    let resume_cfg = lasso_cfg().checkpoint(CheckpointConfig::in_dir(&dir)).build().unwrap();
+    let resumed = try_fit_uoi_lasso(&ds.x, &ds.y, &resume_cfg).unwrap();
+
+    assert_eq!(resumed.beta, reference.beta, "resume must be bit-identical");
+    assert_eq!(resumed.support, reference.support);
+    assert_eq!(resumed.supports_per_lambda, reference.supports_per_lambda);
+
+    // Third run: everything is checkpointed now; still bit-identical.
+    let warm = try_fit_uoi_lasso(&ds.x, &ds.y, &resume_cfg).unwrap();
+    assert_eq!(warm.beta, reference.beta);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A checkpoint directory written for one dataset/config must be ignored
+/// (not corrupt the fit) when the data changes: the store fingerprint
+/// embeds the data words.
+#[test]
+fn checkpoints_are_invalidated_by_data_changes() {
+    let ds_a = dataset();
+    let ds_b = LinearConfig {
+        n_samples: 160,
+        n_features: 16,
+        n_nonzero: 4,
+        snr: 16.0,
+        seed: 30, // different data, same shape
+        ..Default::default()
+    }
+    .generate();
+    let dir = temp_ckpt_dir("lasso_fp");
+    let cfg = lasso_cfg().checkpoint(CheckpointConfig::in_dir(&dir)).build().unwrap();
+
+    let _ = try_fit_uoi_lasso(&ds_a.x, &ds_a.y, &cfg).unwrap();
+    let fresh = try_fit_uoi_lasso(&ds_b.x, &ds_b.y, &cfg).unwrap();
+    let clean = try_fit_uoi_lasso(&ds_b.x, &ds_b.y, &lasso_cfg().build().unwrap()).unwrap();
+    assert_eq!(fresh.beta, clean.beta, "stale checkpoints must not leak across datasets");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The VAR pipeline shares the machinery: interrupted checkpoint runs
+/// resume bit-identically there too.
+#[test]
+fn var_checkpoint_resume_bit_identical() {
+    use uoi_core::UoiVarConfig;
+    let proc = uoi_data::VarProcess::generate(&uoi_data::VarConfig {
+        p: 4,
+        order: 1,
+        density: 0.25,
+        target_radius: 0.6,
+        noise_std: 1.0,
+        seed: 5,
+    });
+    let series = proc.simulate(150, 40, 7);
+    let dir = temp_ckpt_dir("var_resume");
+
+    let base = || {
+        UoiVarConfig::builder()
+            .b1(4)
+            .b2(4)
+            .q(6)
+            .lambda_min_ratio(5e-2)
+            .admm(AdmmConfig { max_iter: 800, abstol: 1e-7, reltol: 1e-6, ..Default::default() })
+            .seed(21)
+            .block_len(Some(12))
+    };
+    let reference = try_fit_uoi_var(&series, &base().build().unwrap()).unwrap();
+
+    let interrupted = base()
+        .checkpoint(CheckpointConfig { abort_after: Some(2), ..CheckpointConfig::in_dir(&dir) })
+        .build()
+        .unwrap();
+    match try_fit_uoi_var(&series, &interrupted) {
+        Err(UoiError::Interrupted { .. }) => {}
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+
+    let resumed =
+        try_fit_uoi_var(&series, &base().checkpoint(CheckpointConfig::in_dir(&dir)).build().unwrap())
+            .unwrap();
+    assert_eq!(resumed.vec_beta, reference.vec_beta, "VAR resume must be bit-identical");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

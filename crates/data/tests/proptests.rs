@@ -1,0 +1,128 @@
+//! Property-based tests of the bootstrap resamplers, centred on the
+//! moving-block bootstrap edge cases: `n < block_len`, `n == block_len`,
+//! `n == block_len + 1`, and the general in-range / no-straddle
+//! invariants the VAR pipeline depends on.
+
+use proptest::prelude::*;
+use uoi_data::bootstrap::{block_bootstrap, default_block_len, resample_weights, row_bootstrap};
+use uoi_data::rng::seeded;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every draw is in range and exactly `m` indices come back, for any
+    /// relation between `n`, `m`, and `block_len` (including block_len
+    /// far larger than the series).
+    #[test]
+    fn block_bootstrap_in_range_and_sized(
+        n in 1usize..200,
+        m in 0usize..300,
+        block in 1usize..250,
+        seed in 0u64..1000,
+    ) {
+        let idx = block_bootstrap(&mut seeded(seed), n, m, block);
+        prop_assert_eq!(idx.len(), m);
+        for &i in &idx {
+            prop_assert!(i < n, "index {} out of range 0..{}", i, n);
+        }
+    }
+
+    /// Blocks never straddle the series end: within each aligned block of
+    /// the effective length `b = block.clamp(1, n)`, indices are
+    /// consecutive and the block start never exceeds `n - b`.
+    #[test]
+    fn block_bootstrap_blocks_never_straddle_series_end(
+        n in 1usize..150,
+        m in 1usize..250,
+        block in 1usize..160,
+        seed in 0u64..1000,
+    ) {
+        let b = block.clamp(1, n);
+        let idx = block_bootstrap(&mut seeded(seed), n, m, block);
+        for chunk in idx.chunks(b) {
+            for w in chunk.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1, "block interior must be consecutive");
+            }
+            prop_assert!(chunk[0] <= n - b, "block start {} straddles end (n={}, b={})", chunk[0], n, b);
+            prop_assert!(chunk[chunk.len() - 1] < n);
+        }
+    }
+
+    /// `n <= block_len`: the only legal start is 0, so the resample is
+    /// exactly the series replayed from the beginning, truncated to `m`.
+    #[test]
+    fn block_bootstrap_degenerates_when_series_fits_in_one_block(
+        n in 1usize..50,
+        extra in 0usize..50, // block_len = n + extra >= n
+        m in 0usize..120,
+        seed in 0u64..1000,
+    ) {
+        let idx = block_bootstrap(&mut seeded(seed), n, m, n + extra);
+        let expected: Vec<usize> = (0..n).cycle().take(m).collect();
+        prop_assert_eq!(idx, expected);
+    }
+
+    /// `n == block_len + 1`: starts are confined to {0, 1} and every
+    /// block is a full consecutive run of `block_len` (modulo the final
+    /// truncated block).
+    #[test]
+    fn block_bootstrap_one_slack_position(
+        block in 1usize..60,
+        m in 1usize..150,
+        seed in 0u64..1000,
+    ) {
+        let n = block + 1;
+        let idx = block_bootstrap(&mut seeded(seed), n, m, block);
+        for chunk in idx.chunks(block) {
+            prop_assert!(chunk[0] == 0 || chunk[0] == 1, "start {} not in {{0,1}}", chunk[0]);
+            for w in chunk.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1);
+            }
+        }
+    }
+
+    /// The resample is a pure function of the seed.
+    #[test]
+    fn block_bootstrap_deterministic_in_seed(
+        n in 1usize..100,
+        m in 0usize..200,
+        block in 1usize..120,
+        seed in 0u64..1000,
+    ) {
+        let a = block_bootstrap(&mut seeded(seed), n, m, block);
+        let b = block_bootstrap(&mut seeded(seed), n, m, block);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Row-bootstrap indices are in range and the multiplicity vector
+    /// from `resample_weights` sums to the resample size.
+    #[test]
+    fn row_bootstrap_weights_conserve_mass(
+        n in 1usize..120,
+        m in 0usize..250,
+        seed in 0u64..1000,
+    ) {
+        let idx = row_bootstrap(&mut seeded(seed), n, m);
+        prop_assert_eq!(idx.len(), m);
+        for &i in &idx {
+            prop_assert!(i < n);
+        }
+        let w = resample_weights(&idx, n);
+        prop_assert_eq!(w.len(), n);
+        let total: f64 = w.iter().sum();
+        prop_assert!((total - m as f64).abs() < 1e-9);
+        for &wi in &w {
+            prop_assert!(wi >= 0.0 && wi.fract() == 0.0, "weights are integer counts");
+        }
+    }
+
+    /// The rate-optimal default block length is monotone in `n`, at
+    /// least 1, and never longer than the series itself for n >= 2.
+    #[test]
+    fn default_block_len_is_sane(n in 1usize..100_000) {
+        let b = default_block_len(n);
+        prop_assert!(b >= 1);
+        prop_assert!(b <= n.max(1), "block {} longer than series {}", b, n);
+        prop_assert!(default_block_len(n + 1) >= b, "must be monotone");
+    }
+}

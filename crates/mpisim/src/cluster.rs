@@ -2,11 +2,83 @@
 //! simulation report.
 
 use crate::comm::{Comm, CommInner, RankCtx};
+use crate::fault::{AbortState, FaultPlan, MpiError};
 use crate::ledger::{CollectiveEvent, Phase, PhaseLedger};
 use crate::model::MachineModel;
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
 use uoi_telemetry::{PhaseTotals, RunSummary, Telemetry};
+
+/// Default epoch-watchdog timeout: generous enough that healthy test runs
+/// never trip it, short enough that a wedged collective surfaces quickly.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
+
+/// One captured rank failure: which rank died, what it said, and the span
+/// stack it was inside when it went down.
+#[derive(Debug, Clone)]
+pub struct RankFailure {
+    /// World rank that failed.
+    pub rank: usize,
+    /// Stringified panic payload or error message.
+    pub message: String,
+    /// Open telemetry spans at the moment of failure, outermost first.
+    pub span_stack: Vec<String>,
+    /// Structured MPI error, when the failure escalated through a
+    /// fallible collective (peers observing a crash carry this).
+    pub error: Option<MpiError>,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} failed: {}", self.rank, self.message)?;
+        if !self.span_stack.is_empty() {
+            write!(f, " (in span {})", self.span_stack.join(" > "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`Cluster::try_run`] when one or more ranks failed.
+/// The caller's process is never aborted; every surviving rank unwound
+/// cleanly and all mailboxes were drained.
+#[derive(Debug)]
+pub struct SimError {
+    /// All captured failures, ordered by world rank. The first entry whose
+    /// `error` is `None` (or a non-`RankFailed` variant) is the root cause;
+    /// peers that observed the crash carry `MpiError::RankFailed`.
+    pub failures: Vec<RankFailure>,
+    /// Undelivered point-to-point messages drained after the abort.
+    pub drained_messages: usize,
+}
+
+impl SimError {
+    /// The root-cause failure: the first rank that died of its own accord
+    /// rather than by observing a peer's death.
+    pub fn root_cause(&self) -> &RankFailure {
+        self.failures
+            .iter()
+            .find(|f| !matches!(f.error, Some(MpiError::RankFailed { .. })))
+            .unwrap_or(&self.failures[0])
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation failed: {} rank(s) down; root cause: {}",
+            self.failures.len(),
+            self.root_cause()
+        )?;
+        if self.drained_messages > 0 {
+            write!(f, "; {} undelivered message(s) drained", self.drained_messages)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// A simulated machine partition.
 ///
@@ -23,6 +95,8 @@ pub struct Cluster {
     modeled_ranks: usize,
     model: Arc<MachineModel>,
     telemetry: Telemetry,
+    fault_plan: Option<FaultPlan>,
+    watchdog: Duration,
 }
 
 impl Cluster {
@@ -34,7 +108,24 @@ impl Cluster {
             modeled_ranks: ranks,
             model: Arc::new(model),
             telemetry: Telemetry::disabled(),
+            fault_plan: None,
+            watchdog: DEFAULT_WATCHDOG,
         }
+    }
+
+    /// Install a seeded fault-injection plan: rank crashes, stragglers,
+    /// window-op faults, and transient I/O failures are derived per rank
+    /// from the plan and replayed deterministically.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Override the epoch-watchdog timeout applied to every collective and
+    /// point-to-point wait (default [`DEFAULT_WATCHDOG`]).
+    pub fn with_watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog = timeout;
+        self
     }
 
     /// Install a telemetry handle: every rank context records phase
@@ -74,38 +165,111 @@ impl Cluster {
     /// Run an SPMD program: `f` is invoked once per rank with its context
     /// and the world communicator. Returns the per-rank results plus the
     /// timing report.
+    ///
+    /// Panics (with a [`SimError`] description, never a process abort) if
+    /// any rank fails; use [`Cluster::try_run`] to handle failures as
+    /// values.
     pub fn run<T, F>(&self, f: F) -> SimReport<T>
     where
         T: Send,
         F: Fn(&mut RankCtx, &Comm) -> T + Sync,
     {
+        match self.try_run(f) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fault-tolerant SPMD run. Each rank body executes under
+    /// `catch_unwind`; a panicking rank marks the cluster-wide abort flag
+    /// (waking every peer parked in a collective or `recv` with
+    /// [`MpiError::RankFailed`]), its mailboxes are drained, and the whole
+    /// failure set is returned as a [`SimError`] instead of tearing down
+    /// the caller.
+    pub fn try_run<T, F>(&self, f: F) -> Result<SimReport<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx, &Comm) -> T + Sync,
+    {
         let events: Arc<Mutex<Vec<CollectiveEvent>>> = Arc::new(Mutex::new(Vec::new()));
-        let world = Arc::new(CommInner::new(self.exec_ranks, events.clone()));
+        let abort = Arc::new(AbortState::new());
+        let world = Arc::new(CommInner::new(self.exec_ranks, events.clone(), abort.clone()));
         let oversub = self.modeled_ranks as f64 / self.exec_ranks as f64;
 
-        let mut results: Vec<Option<(T, PhaseLedger, f64)>> =
+        type RankOutcome<T> = Result<(T, PhaseLedger, f64), RankFailure>;
+        let mut results: Vec<Option<RankOutcome<T>>> =
             (0..self.exec_ranks).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.exec_ranks);
             for rank in 0..self.exec_ranks {
                 let world = world.clone();
+                let abort = abort.clone();
                 let model = self.model.clone();
                 let f = &f;
                 let exec = self.exec_ranks;
                 let telemetry = self.telemetry.clone();
-                handles.push(scope.spawn(move || {
-                    let mut ctx = RankCtx::new(rank, exec, model, oversub, telemetry);
+                let faults = self
+                    .fault_plan
+                    .as_ref()
+                    .map(|p| p.faults_for(rank))
+                    .unwrap_or_default();
+                let watchdog = self.watchdog;
+                handles.push(scope.spawn(move || -> RankOutcome<T> {
+                    let mut ctx = RankCtx::new(
+                        rank, exec, model, oversub, telemetry, faults, watchdog,
+                    );
                     let comm = Comm::from_inner(world, rank);
-                    let out = f(&mut ctx, &comm);
-                    let (ledger, clock) = ctx.into_parts();
-                    (out, ledger, clock)
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || f(&mut ctx, &comm),
+                    ));
+                    match out {
+                        Ok(out) => {
+                            let (ledger, clock) = ctx.into_parts();
+                            Ok((out, ledger, clock))
+                        }
+                        Err(payload) => {
+                            let (message, error) = describe_panic(payload);
+                            // Peers that merely observed the abort must not
+                            // overwrite the root cause; original failures
+                            // (crash injections, user panics, watchdogs)
+                            // raise the flag.
+                            if !matches!(error, Some(MpiError::RankFailed { .. })) {
+                                abort.mark_failed(rank, message.clone());
+                            }
+                            Err(RankFailure {
+                                rank,
+                                message,
+                                span_stack: ctx.span_names().to_vec(),
+                                error,
+                            })
+                        }
+                    }
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
-                results[rank] = Some(h.join().expect("rank thread panicked"));
+                results[rank] = Some(match h.join() {
+                    Ok(outcome) => outcome,
+                    Err(_) => Err(RankFailure {
+                        rank,
+                        message: "rank thread panicked outside the guarded body"
+                            .to_string(),
+                        span_stack: Vec::new(),
+                        error: None,
+                    }),
+                });
             }
         });
+
+        let failures: Vec<RankFailure> = results
+            .iter()
+            .filter_map(|r| r.as_ref().and_then(|r| r.as_ref().err().cloned()))
+            .collect();
+        if !failures.is_empty() {
+            let drained_messages = world.drain_mailboxes();
+            self.telemetry.flush();
+            return Err(SimError { failures, drained_messages });
+        }
 
         let mut report = SimReport {
             results: Vec::with_capacity(self.exec_ranks),
@@ -116,13 +280,35 @@ impl Cluster {
             modeled_ranks: self.modeled_ranks,
         };
         for r in results {
-            let (out, ledger, clock) = r.expect("missing rank result");
+            let (out, ledger, clock) = r
+                .expect("missing rank result")
+                .unwrap_or_else(|f| unreachable!("unreported failure on rank {}", f.rank));
             report.results.push(out);
             report.ledgers.push(ledger);
             report.clocks.push(clock);
         }
         self.telemetry.flush();
-        report
+        Ok(report)
+    }
+}
+
+/// Render a panic payload into a message plus a structured [`MpiError`]
+/// when the payload carries one (fallible collectives escalate via
+/// `panic_any(MpiError)`).
+fn describe_panic(
+    payload: Box<dyn std::any::Any + Send>,
+) -> (String, Option<MpiError>) {
+    let payload = match payload.downcast::<MpiError>() {
+        Ok(e) => return (e.to_string(), Some(*e)),
+        Err(p) => p,
+    };
+    let payload = match payload.downcast::<String>() {
+        Ok(s) => return (*s, None),
+        Err(p) => p,
+    };
+    match payload.downcast::<&'static str>() {
+        Ok(s) => ((*s).to_string(), None),
+        Err(_) => ("opaque panic payload".to_string(), None),
     }
 }
 

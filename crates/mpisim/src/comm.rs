@@ -16,13 +16,25 @@
 //! barrier leader resets shared state, barrier. SPMD discipline applies: all
 //! ranks of a communicator must call the same collectives in the same order.
 
+use crate::fault::{AbortState, FtBarrier, MpiError, RankFaults, WAIT_SLICE};
 use crate::ledger::{CollectiveEvent, Phase, PhaseLedger};
 use crate::model::{MachineModel, SplitMix64};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
+use std::time::Duration;
 use uoi_telemetry::{Telemetry, TraceEvent};
+
+/// Outcome of consulting the fault plan for one window operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WindowFault {
+    None,
+    /// The transfer silently does not happen.
+    Drop,
+    /// The transfer lands with a deterministic bit flip.
+    Corrupt,
+}
 
 /// Per-rank execution context: identity, virtual clock, phase ledger, and
 /// noise stream. Exactly one exists per executed rank; it is threaded
@@ -39,9 +51,22 @@ pub struct RankCtx {
     telemetry: Telemetry,
     /// Open span ids, innermost last.
     span_stack: Vec<u64>,
+    /// Open span *names*, innermost last — tracked even with tracing
+    /// disabled so a rank failure can report where it died.
+    span_names: Vec<String>,
     /// Suppress trace emission (used while re-running a collective whose
     /// charge is rolled back, e.g. `iallreduce_sum`).
     trace_mute: bool,
+    /// Injected faults for this rank (healthy by default).
+    faults: RankFaults,
+    /// Watchdog timeout applied to blocking waits.
+    watchdog: Duration,
+    /// Fault-eligible collective ops executed so far (crash schedule).
+    coll_step: u64,
+    /// One-sided window ops executed so far (drop/corrupt schedule).
+    window_op: u64,
+    /// Remaining injected transient I/O failures.
+    io_faults_left: u64,
 }
 
 impl RankCtx {
@@ -51,11 +76,14 @@ impl RankCtx {
         model: Arc<MachineModel>,
         oversub: f64,
         telemetry: Telemetry,
+        faults: RankFaults,
+        watchdog: Duration,
     ) -> Self {
         let seed = model
             .noise
             .seed
             .wrapping_add((world_rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let io_faults_left = faults.transient_io_failures;
         Self {
             world_rank,
             world_size,
@@ -66,7 +94,13 @@ impl RankCtx {
             noise: SplitMix64::new(seed),
             telemetry,
             span_stack: Vec::new(),
+            span_names: Vec::new(),
             trace_mute: false,
+            faults,
+            watchdog,
+            coll_step: 0,
+            window_op: 0,
+            io_faults_left,
         }
     }
 
@@ -127,6 +161,7 @@ impl RankCtx {
     /// with [`RankCtx::span_exit`] in LIFO order. Returns 0 (no-op) when
     /// tracing is disabled.
     pub fn span_enter(&mut self, name: &str) -> u64 {
+        self.span_names.push(name.to_string());
         let id = self.telemetry.next_span_id();
         if id != 0 {
             let parent = self.span_stack.last().copied();
@@ -144,6 +179,7 @@ impl RankCtx {
 
     /// Close the span returned by [`RankCtx::span_enter`].
     pub fn span_exit(&mut self, id: u64) {
+        self.span_names.pop();
         if id == 0 {
             return;
         }
@@ -161,23 +197,90 @@ impl RankCtx {
     }
 
     /// Charge a dense computation of `flops` with the given working set.
+    /// An injected straggler factor scales local work.
     pub fn compute_flops(&mut self, flops: f64, working_set_bytes: f64) {
-        let t = self.model.compute_time(flops, working_set_bytes);
+        let t = self.model.compute_time(flops, working_set_bytes) * self.faults.straggle_factor;
         self.charge(Phase::Compute, t);
     }
 
     /// Charge a memory-bandwidth-bound sweep of `bytes`.
     pub fn compute_membound(&mut self, bytes: f64) {
-        let t = self.model.membound_time(bytes);
+        let t = self.model.membound_time(bytes) * self.faults.straggle_factor;
         self.charge(Phase::Compute, t);
     }
 
-    /// Charge file-I/O seconds.
+    /// Charge file-I/O seconds (straggler-scaled).
     pub fn charge_io(&mut self, seconds: f64) {
+        let seconds = seconds * self.faults.straggle_factor;
         self.charge(Phase::DataIo, seconds);
         if !self.trace_mute {
             let (rank, clock) = (self.world_rank, self.clock);
             self.telemetry.record_with(|| TraceEvent::Io { rank, seconds, t: clock });
+        }
+    }
+
+    /// The watchdog timeout blocking waits honour.
+    pub fn watchdog(&self) -> Duration {
+        self.watchdog
+    }
+
+    /// Open span names at this instant, outermost first (failure
+    /// reporting; empty unless the rank is inside `span`/`span_enter`).
+    pub fn span_names(&self) -> &[String] {
+        &self.span_names
+    }
+
+    /// Record a fault event through telemetry: a `TraceEvent::Fault`
+    /// plus a `fault.<kind>` counter.
+    pub fn record_fault(&mut self, kind: &str, detail: String) {
+        self.telemetry.incr(&format!("fault.{kind}"), 1);
+        if !self.trace_mute {
+            let (rank, t) = (self.world_rank, self.clock);
+            let kind = kind.to_string();
+            self.telemetry.record_with(|| TraceEvent::Fault { rank, kind, detail, t });
+        }
+    }
+
+    /// Count one fault-eligible collective op; panics with an injected
+    /// crash if the fault plan scheduled one at this step. Called at the
+    /// entry of every collective so a crashed rank never contributes,
+    /// exactly like a process that died before `MPI_Allreduce`.
+    pub(crate) fn collective_step(&mut self, phase: &'static str) {
+        let step = self.coll_step;
+        self.coll_step += 1;
+        if self.faults.crash_at_step == Some(step) {
+            self.record_fault("rank_crash", format!("phase={phase} step={step}"));
+            std::panic::panic_any(format!(
+                "fault injection: rank {} crash at collective step {step} ({phase})",
+                self.world_rank
+            ));
+        }
+    }
+
+    /// Count one one-sided window op and report the injected outcome.
+    pub(crate) fn window_fault(&mut self) -> WindowFault {
+        let op = self.window_op;
+        self.window_op += 1;
+        if self.faults.window_drop_ops.contains(&op) {
+            self.record_fault("window_drop", format!("op={op}"));
+            WindowFault::Drop
+        } else if self.faults.window_corrupt_ops.contains(&op) {
+            self.record_fault("window_corrupt", format!("op={op}"));
+            WindowFault::Corrupt
+        } else {
+            WindowFault::None
+        }
+    }
+
+    /// Consume one injected transient I/O failure if any remain.
+    /// Tiered-I/O readers call this before each physical read attempt.
+    pub fn take_io_fault(&mut self) -> bool {
+        if self.io_faults_left > 0 {
+            self.io_faults_left -= 1;
+            self.record_fault("io_transient", format!("remaining={}", self.io_faults_left));
+            true
+        } else {
+            false
         }
     }
 
@@ -282,7 +385,10 @@ struct P2pMessage {
 
 pub(crate) struct CommInner {
     size: usize,
-    barrier: Barrier,
+    barrier: FtBarrier,
+    /// Cluster-wide failure flag, shared by the world communicator and
+    /// every split derived from it.
+    pub(crate) abort: Arc<AbortState>,
     coll: Mutex<CollState>,
     /// Per-destination mailboxes for point-to-point messages.
     mailboxes: Vec<Mutex<Vec<P2pMessage>>>,
@@ -300,10 +406,15 @@ pub(crate) struct CommInner {
 }
 
 impl CommInner {
-    pub(crate) fn new(size: usize, events: Arc<Mutex<Vec<CollectiveEvent>>>) -> Self {
+    pub(crate) fn new(
+        size: usize,
+        events: Arc<Mutex<Vec<CollectiveEvent>>>,
+        abort: Arc<AbortState>,
+    ) -> Self {
         Self {
             size,
-            barrier: Barrier::new(size),
+            barrier: FtBarrier::new(size),
+            abort,
             coll: Mutex::new(CollState::new(size)),
             mailboxes: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
             mailbox_signal: parking_lot::Condvar::new(),
@@ -314,6 +425,16 @@ impl CommInner {
             window_seq: AtomicU64::new(0),
             events,
         }
+    }
+
+    /// Discard all undelivered point-to-point messages (abort cleanup:
+    /// a failed run must not leak payloads into a later inspection).
+    pub(crate) fn drain_mailboxes(&self) -> usize {
+        let mut drained = 0;
+        for mb in &self.mailboxes {
+            drained += std::mem::take(&mut *mb.lock()).len();
+        }
+        drained
     }
 }
 
@@ -390,19 +511,46 @@ impl Comm {
         self.size == 1
     }
 
+    /// Failure-aware barrier wait: `Ok(is_leader)`, or `Err` when a peer
+    /// died or the watchdog expired.
+    fn bwait(&self, ctx: &RankCtx, op: &'static str) -> Result<bool, MpiError> {
+        self.inner.barrier.wait(&self.inner.abort, ctx.watchdog(), op)
+    }
+
+    /// Escalate an [`MpiError`] on the infallible legacy API: unwind
+    /// this rank with the error as payload. The cluster's panic capture
+    /// downcasts it back into the failure report; the process is never
+    /// aborted.
+    fn escalate(err: MpiError) -> ! {
+        std::panic::panic_any(err)
+    }
+
     /// Barrier, charged to `phase` (default communication).
     pub fn barrier(&self, ctx: &mut RankCtx) {
         self.barrier_phase(ctx, Phase::Comm);
     }
 
+    /// Fallible barrier ([`Comm::barrier`] semantics).
+    pub fn try_barrier(&self, ctx: &mut RankCtx) -> Result<(), MpiError> {
+        self.try_barrier_phase(ctx, Phase::Comm)
+    }
+
     /// Barrier with an explicit phase attribution (window fences charge
     /// distribution).
     pub fn barrier_phase(&self, ctx: &mut RankCtx, phase: Phase) {
+        if let Err(e) = self.try_barrier_phase(ctx, phase) {
+            Self::escalate(e)
+        }
+    }
+
+    /// Fallible barrier with explicit phase attribution.
+    pub fn try_barrier_phase(&self, ctx: &mut RankCtx, phase: Phase) -> Result<(), MpiError> {
+        ctx.collective_step("barrier");
         let base = ctx.model.barrier_time(self.modeled_size(ctx));
         let cost = base * ctx.noise_factor();
         if self.single_rank() {
             ctx.charge(phase, cost);
-            return;
+            return Ok(());
         }
         {
             let mut st = self.inner.coll.lock();
@@ -412,20 +560,34 @@ impl Comm {
             st.max_clock = st.max_clock.max(ctx.clock);
             st.count += 1;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "barrier")?;
         let sync_start = self.inner.coll.lock().max_clock;
-        let leader = self.inner.barrier.wait().is_leader();
+        let leader = self.bwait(ctx, "barrier")?;
         if leader {
             self.inner.coll.lock().count = 0;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "barrier")?;
         ctx.advance_to(sync_start + cost, phase);
+        Ok(())
     }
 
     /// Allreduce (elementwise sum) of `data` across the communicator. On
     /// return every rank holds the sum. Cost: recursive-doubling model at
     /// the modeled size; records a [`CollectiveEvent`] for Fig 5.
     pub fn allreduce_sum(&self, ctx: &mut RankCtx, data: &mut [f64]) {
+        if let Err(e) = self.try_allreduce_sum(ctx, data) {
+            Self::escalate(e)
+        }
+    }
+
+    /// Fallible allreduce: a dead peer or watchdog expiry surfaces as an
+    /// [`MpiError`] on every surviving rank instead of a deadlock.
+    pub fn try_allreduce_sum(
+        &self,
+        ctx: &mut RankCtx,
+        data: &mut [f64],
+    ) -> Result<(), MpiError> {
+        ctx.collective_step("allreduce");
         let bytes = data.len() * 8;
         let base = ctx.model.allreduce_time(self.modeled_size(ctx), bytes);
         let cost = base * ctx.noise_factor();
@@ -442,7 +604,7 @@ impl Comm {
             let t_start = ctx.clock;
             ctx.charge(Phase::Comm, cost);
             self.trace_collective(ctx, "allreduce", 1, bytes, t_start, (cost, cost, cost));
-            return;
+            return Ok(());
         }
         {
             let mut st = self.inner.coll.lock();
@@ -457,7 +619,7 @@ impl Comm {
             st.max_clock = st.max_clock.max(ctx.clock);
             st.count += 1;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "allreduce")?;
         let sync_start;
         {
             let mut st = self.inner.coll.lock();
@@ -480,7 +642,7 @@ impl Comm {
             sync_start = st.max_clock;
             st.costs.push(cost);
         }
-        let leader = self.inner.barrier.wait().is_leader();
+        let leader = self.bwait(ctx, "allreduce")?;
         if leader {
             let mut st = self.inner.coll.lock();
             let (mut t_min, mut t_max, mut t_sum) = (f64::INFINITY, 0.0_f64, 0.0);
@@ -510,19 +672,33 @@ impl Comm {
             let size = self.size;
             st.reset(size);
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "allreduce")?;
         ctx.advance_to(sync_start + cost, Phase::Comm);
+        Ok(())
     }
 
     /// Broadcast `data` from `root` to all ranks.
     pub fn bcast(&self, ctx: &mut RankCtx, root: usize, data: &mut Vec<f64>) {
+        if let Err(e) = self.try_bcast(ctx, root, data) {
+            Self::escalate(e)
+        }
+    }
+
+    /// Fallible broadcast ([`Comm::bcast`] semantics).
+    pub fn try_bcast(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        data: &mut Vec<f64>,
+    ) -> Result<(), MpiError> {
         assert!(root < self.size, "bcast: invalid root");
+        ctx.collective_step("bcast");
         let bytes = data.len() * 8;
         let base = ctx.model.bcast_time(self.modeled_size(ctx), bytes);
         let cost = base * ctx.noise_factor();
         if self.single_rank() {
             ctx.charge(Phase::Comm, cost);
-            return;
+            return Ok(());
         }
         {
             let mut st = self.inner.coll.lock();
@@ -535,7 +711,7 @@ impl Comm {
             st.max_clock = st.max_clock.max(ctx.clock);
             st.count += 1;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "bcast")?;
         let sync_start;
         {
             let st = self.inner.coll.lock();
@@ -546,15 +722,16 @@ impl Comm {
             data.extend_from_slice(payload);
             sync_start = st.max_clock;
         }
-        let leader = self.inner.barrier.wait().is_leader();
+        let leader = self.bwait(ctx, "bcast")?;
         if leader {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
             self.trace_collective(ctx, "bcast", self.size, bytes, sync_start, (cost, cost, cost));
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "bcast")?;
         ctx.advance_to(sync_start + cost, Phase::Comm);
+        Ok(())
     }
 
     /// Gather each rank's `data` to `root`; returns `Some(per-rank
@@ -565,13 +742,27 @@ impl Comm {
         root: usize,
         data: &[f64],
     ) -> Option<Vec<Vec<f64>>> {
+        match self.try_gather(ctx, root, data) {
+            Ok(res) => res,
+            Err(e) => Self::escalate(e),
+        }
+    }
+
+    /// Fallible gather ([`Comm::gather`] semantics).
+    pub fn try_gather(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        data: &[f64],
+    ) -> Result<Option<Vec<Vec<f64>>>, MpiError> {
         assert!(root < self.size, "gather: invalid root");
+        ctx.collective_step("gather");
         let bytes = data.len() * 8;
         let base = ctx.model.gather_time(self.modeled_size(ctx), bytes);
         let cost = base * ctx.noise_factor();
         if self.single_rank() {
             ctx.charge(Phase::Comm, cost);
-            return Some(vec![data.to_vec()]);
+            return Ok(Some(vec![data.to_vec()]));
         }
         {
             let mut st = self.inner.coll.lock();
@@ -582,7 +773,7 @@ impl Comm {
             st.max_clock = st.max_clock.max(ctx.clock);
             st.count += 1;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "gather")?;
         let (result, sync_start) = {
             let st = self.inner.coll.lock();
             let res = if self.rank == root {
@@ -597,20 +788,33 @@ impl Comm {
             };
             (res, st.max_clock)
         };
-        let leader = self.inner.barrier.wait().is_leader();
+        let leader = self.bwait(ctx, "gather")?;
         if leader {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
             self.trace_collective(ctx, "gather", self.size, bytes, sync_start, (cost, cost, cost));
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "gather")?;
         ctx.advance_to(sync_start + cost, Phase::Comm);
-        result
+        Ok(result)
     }
 
     /// Allgather: every rank receives every rank's payload.
     pub fn allgather(&self, ctx: &mut RankCtx, data: &[f64]) -> Vec<Vec<f64>> {
+        match self.try_allgather(ctx, data) {
+            Ok(res) => res,
+            Err(e) => Self::escalate(e),
+        }
+    }
+
+    /// Fallible allgather ([`Comm::allgather`] semantics).
+    pub fn try_allgather(
+        &self,
+        ctx: &mut RankCtx,
+        data: &[f64],
+    ) -> Result<Vec<Vec<f64>>, MpiError> {
+        ctx.collective_step("allgather");
         let bytes = data.len() * 8;
         let p = self.modeled_size(ctx);
         // Ring allgather: (p-1) steps moving `bytes` each.
@@ -622,7 +826,7 @@ impl Comm {
         let cost = base * ctx.noise_factor();
         if self.single_rank() {
             ctx.charge(Phase::Comm, cost);
-            return vec![data.to_vec()];
+            return Ok(vec![data.to_vec()]);
         }
         {
             let mut st = self.inner.coll.lock();
@@ -633,7 +837,7 @@ impl Comm {
             st.max_clock = st.max_clock.max(ctx.clock);
             st.count += 1;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "allgather")?;
         let (result, sync_start) = {
             let st = self.inner.coll.lock();
             let res: Vec<Vec<f64>> = st
@@ -643,7 +847,7 @@ impl Comm {
                 .collect();
             (res, st.max_clock)
         };
-        let leader = self.inner.barrier.wait().is_leader();
+        let leader = self.bwait(ctx, "allgather")?;
         if leader {
             let mut st = self.inner.coll.lock();
             let size = self.size;
@@ -657,9 +861,9 @@ impl Comm {
                 (cost, cost, cost),
             );
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "allgather")?;
         ctx.advance_to(sync_start + cost, Phase::Comm);
-        result
+        Ok(result)
     }
 
     /// Scatter: `root` provides one payload per rank; each rank receives
@@ -670,7 +874,21 @@ impl Comm {
         root: usize,
         chunks: Option<Vec<Vec<f64>>>,
     ) -> Vec<f64> {
+        match self.try_scatter(ctx, root, chunks) {
+            Ok(res) => res,
+            Err(e) => Self::escalate(e),
+        }
+    }
+
+    /// Fallible scatter ([`Comm::scatter`] semantics).
+    pub fn try_scatter(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        chunks: Option<Vec<Vec<f64>>>,
+    ) -> Result<Vec<f64>, MpiError> {
         assert!(root < self.size, "scatter: invalid root");
+        ctx.collective_step("scatter");
         if self.single_rank() {
             let mut chunks = chunks.expect("scatter: root must supply chunks");
             assert_eq!(chunks.len(), 1);
@@ -678,7 +896,7 @@ impl Comm {
             let cost =
                 ctx.model.gather_time(self.modeled_size(ctx), bytes) * ctx.noise_factor();
             ctx.charge(Phase::Comm, cost);
-            return chunks.swap_remove(0);
+            return Ok(chunks.swap_remove(0));
         }
         {
             let mut st = self.inner.coll.lock();
@@ -695,7 +913,7 @@ impl Comm {
             st.max_clock = st.max_clock.max(ctx.clock);
             st.count += 1;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "scatter")?;
         let (mine, sync_start, bytes) = {
             let st = self.inner.coll.lock();
             let mine = st.slots[self.rank]
@@ -704,16 +922,16 @@ impl Comm {
             (mine.clone(), st.max_clock, mine.len() * 8)
         };
         let cost = ctx.model.gather_time(self.modeled_size(ctx), bytes) * ctx.noise_factor();
-        let leader = self.inner.barrier.wait().is_leader();
+        let leader = self.bwait(ctx, "scatter")?;
         if leader {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
             self.trace_collective(ctx, "scatter", self.size, bytes, sync_start, (cost, cost, cost));
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "scatter")?;
         ctx.advance_to(sync_start + cost, Phase::Comm);
-        mine
+        Ok(mine)
     }
 
     /// Point-to-point send (`MPI_Send` analogue, eager/buffered): never
@@ -747,6 +965,23 @@ impl Comm {
         src: Option<usize>,
         tag: Option<i64>,
     ) -> (usize, Vec<f64>) {
+        match self.try_recv(ctx, src, tag) {
+            Ok(res) => res,
+            Err(e) => Self::escalate(e),
+        }
+    }
+
+    /// Fallible receive: blocks until a matching message arrives, a peer
+    /// fails ([`MpiError::RankFailed`]), or the watchdog expires
+    /// ([`MpiError::WatchdogTimeout`]) — a dead sender can no longer
+    /// park the receiver forever.
+    pub fn try_recv(
+        &self,
+        ctx: &mut RankCtx,
+        src: Option<usize>,
+        tag: Option<i64>,
+    ) -> Result<(usize, Vec<f64>), MpiError> {
+        let start = std::time::Instant::now();
         let mut gate = self.inner.mailbox_gate.lock();
         loop {
             {
@@ -762,10 +997,20 @@ impl Comm {
                     let arrival =
                         msg.sent_at + ctx.model.alpha + bytes as f64 * ctx.model.beta;
                     ctx.advance_to(arrival, Phase::Comm);
-                    return (msg.src, msg.payload);
+                    return Ok((msg.src, msg.payload));
                 }
             }
-            self.inner.mailbox_signal.wait(&mut gate);
+            if self.inner.abort.is_aborted() {
+                let rank = self.inner.abort.first_failure().unwrap_or(usize::MAX);
+                return Err(MpiError::RankFailed { rank, phase: "recv" });
+            }
+            if start.elapsed() >= ctx.watchdog() {
+                return Err(MpiError::WatchdogTimeout {
+                    phase: "recv",
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            self.inner.mailbox_signal.wait_for(&mut gate, WAIT_SLICE);
         }
     }
 
@@ -811,9 +1056,19 @@ impl Comm {
     /// synchronise. Zero-copy registration used by window creation; the
     /// slots survive until [`Comm::take_slots`] drains them.
     pub(crate) fn deposit_slot(&self, ctx: &mut RankCtx, payload: Vec<f64>) {
+        if let Err(e) = self.try_deposit_slot(ctx, payload) {
+            Self::escalate(e);
+        }
+    }
+
+    fn try_deposit_slot(
+        &self,
+        ctx: &mut RankCtx,
+        payload: Vec<f64>,
+    ) -> Result<(), MpiError> {
         if self.single_rank() {
             self.inner.coll.lock().slots[0] = Some(payload);
-            return;
+            return Ok(());
         }
         {
             let mut st = self.inner.coll.lock();
@@ -824,14 +1079,15 @@ impl Comm {
             st.max_clock = st.max_clock.max(ctx.clock);
             st.count += 1;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "window_create")?;
         let sync_start = self.inner.coll.lock().max_clock;
-        let leader = self.inner.barrier.wait().is_leader();
+        let leader = self.bwait(ctx, "window_create")?;
         if leader {
             self.inner.coll.lock().count = 0;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "window_create")?;
         ctx.advance_to(sync_start, Phase::Distribution);
+        Ok(())
     }
 
     /// Drain the deposited slots (window-creation leader only). Missing
@@ -845,11 +1101,30 @@ impl Comm {
     /// ranks sharing a color form a new communicator ordered by `key`
     /// (ties broken by parent rank). Mirrors `MPI_Comm_split`.
     pub fn split(&self, ctx: &mut RankCtx, color: i64, key: i64) -> Comm {
+        match self.try_split(ctx, color, key) {
+            Ok(c) => c,
+            Err(e) => Self::escalate(e),
+        }
+    }
+
+    /// Fallible variant of [`Comm::split`]; surfaces peer failures and
+    /// watchdog expiry instead of deadlocking on the split barriers.
+    pub fn try_split(
+        &self,
+        ctx: &mut RankCtx,
+        color: i64,
+        key: i64,
+    ) -> Result<Comm, MpiError> {
+        ctx.collective_step("split");
         if self.single_rank() {
             // Trivial: a fresh single-rank communicator.
-            let inner = Arc::new(CommInner::new(1, self.inner.events.clone()));
+            let inner = Arc::new(CommInner::new(
+                1,
+                self.inner.events.clone(),
+                self.inner.abort.clone(),
+            ));
             ctx.charge(Phase::Comm, ctx.model.barrier_time(self.modeled_size(ctx)));
-            return Comm::from_inner(inner, 0);
+            return Ok(Comm::from_inner(inner, 0));
         }
         // Phase 1: deposit (color, key) and agree on a generation tag.
         {
@@ -862,7 +1137,7 @@ impl Comm {
             st.max_clock = st.max_clock.max(ctx.clock);
             st.count += 1;
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "split")?;
         // Phase 2: everyone computes its group deterministically.
         let (generation, members, sync_start) = {
             let st = self.inner.coll.lock();
@@ -883,13 +1158,17 @@ impl Comm {
             .expect("split: self not in own group");
         // Group leader (first member) creates the inner.
         if my_pos == 0 {
-            let inner = Arc::new(CommInner::new(members.len(), self.inner.events.clone()));
+            let inner = Arc::new(CommInner::new(
+                members.len(),
+                self.inner.events.clone(),
+                self.inner.abort.clone(),
+            ));
             self.inner
                 .splits
                 .lock()
                 .insert((generation, color), inner);
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "split")?;
         let sub_inner = self
             .inner
             .splits
@@ -897,7 +1176,7 @@ impl Comm {
             .get(&(generation, color))
             .expect("split: group inner missing")
             .clone();
-        let leader = self.inner.barrier.wait().is_leader();
+        let leader = self.bwait(ctx, "split")?;
         if leader {
             let mut st = self.inner.coll.lock();
             let size = self.size;
@@ -909,11 +1188,11 @@ impl Comm {
                 .lock()
                 .retain(|&(g, _), _| g == generation);
         }
-        self.inner.barrier.wait();
+        self.bwait(ctx, "split")?;
         // Cost: an allgather of 16 bytes + subgroup setup barrier.
         let cost = ctx.model.gather_time(self.modeled_size(ctx), 16) * ctx.noise_factor();
         ctx.advance_to(sync_start + cost, Phase::Comm);
-        Comm::from_inner(sub_inner, my_pos)
+        Ok(Comm::from_inner(sub_inner, my_pos))
     }
 }
 

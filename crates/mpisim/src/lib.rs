@@ -24,19 +24,25 @@
 //!   breakdown categories (Computation / Communication / Distribution /
 //!   Data I/O);
 //! * [`extrapolate::WorkloadProfile`] — closed-form evaluation at
-//!   arbitrary rank counts.
+//!   arbitrary rank counts;
+//! * [`fault::FaultPlan`] — seeded, deterministic fault injection (rank
+//!   crashes, stragglers, window-op drops/corruption, transient I/O);
+//!   collectives carry an epoch watchdog so a dead rank surfaces as
+//!   [`fault::MpiError::RankFailed`] instead of a condvar deadlock.
 
 #![allow(clippy::needless_range_loop)]
 
 pub mod cluster;
 pub mod comm;
 pub mod extrapolate;
+pub mod fault;
 pub mod ledger;
 pub mod model;
 pub mod window;
 
-pub use cluster::{Cluster, SimReport};
+pub use cluster::{Cluster, RankFailure, SimError, SimReport, DEFAULT_WATCHDOG};
 pub use comm::{Comm, PendingReduce, RankCtx};
+pub use fault::{FaultPlan, MpiError, RankFaults};
 pub use extrapolate::WorkloadProfile;
 pub use ledger::{CollectiveEvent, Phase, PhaseLedger};
 pub use model::{IoModel, MachineModel, NoiseModel, SplitMix64};

@@ -13,9 +13,17 @@
 //! modeled gets), so the distribution time of the Kronecker build grows
 //! with `P_model / n_readers` exactly as Figs 9–10 report.
 
-use crate::comm::{Comm, RankCtx};
+use crate::comm::{Comm, RankCtx, WindowFault};
 use crate::ledger::Phase;
 use parking_lot::{Mutex, RwLock};
+
+/// Flip one mantissa bit of the first element — the deterministic
+/// "corrupted transfer" a [`crate::FaultPlan`] injects.
+fn corrupt_first(buf: &mut [f64]) {
+    if let Some(x) = buf.first_mut() {
+        *x = f64::from_bits(x.to_bits() ^ (1 << 52));
+    }
+}
 
 pub(crate) struct WindowInner {
     /// Per-rank exposed buffers (empty for ranks that exposed nothing).
@@ -117,9 +125,20 @@ impl Window {
     ) {
         assert!(target < self.comm_size, "window get: bad target");
         assert_eq!(out.len(), range.len());
-        {
-            let src = self.inner.data[target].read();
-            out.copy_from_slice(&src[range]);
+        match ctx.window_fault() {
+            WindowFault::Drop => {
+                // Transfer lost in flight: the destination buffer keeps
+                // whatever it held; the op is still charged below.
+                out.fill(0.0);
+            }
+            fault => {
+                let src = self.inner.data[target].read();
+                out.copy_from_slice(&src[range]);
+                drop(src);
+                if matches!(fault, WindowFault::Corrupt) {
+                    corrupt_first(out);
+                }
+            }
         }
         self.charge_transfer(ctx, target, out.len() * 8);
     }
@@ -127,7 +146,8 @@ impl Window {
     /// One-sided write of `data` into `target`'s buffer at `offset`.
     pub fn put(&self, ctx: &mut RankCtx, target: usize, offset: usize, data: &[f64]) {
         assert!(target < self.comm_size, "window put: bad target");
-        {
+        let fault = ctx.window_fault();
+        if !matches!(fault, WindowFault::Drop) {
             let mut dst = self.inner.data[target].write();
             assert!(
                 offset + data.len() <= dst.len(),
@@ -136,6 +156,9 @@ impl Window {
                 dst.len()
             );
             dst[offset..offset + data.len()].copy_from_slice(data);
+            if matches!(fault, WindowFault::Corrupt) {
+                corrupt_first(&mut dst[offset..offset + data.len()]);
+            }
         }
         self.charge_transfer_kind(ctx, target, data.len() * 8, "put");
     }
@@ -222,9 +245,16 @@ impl WindowEpoch<'_> {
     ) {
         assert!(target < self.win.comm_size, "window get: bad target");
         assert_eq!(out.len(), range.len());
-        {
-            let src = self.win.inner.data[target].read();
-            out.copy_from_slice(&src[range]);
+        match ctx.window_fault() {
+            WindowFault::Drop => out.fill(0.0),
+            fault => {
+                let src = self.win.inner.data[target].read();
+                out.copy_from_slice(&src[range]);
+                drop(src);
+                if matches!(fault, WindowFault::Corrupt) {
+                    corrupt_first(out);
+                }
+            }
         }
         let bytes = out.len() * 8;
         let service = ctx.model().onesided_time(bytes);

@@ -1,0 +1,223 @@
+//! Fault-injection acceptance tests for the simulated-MPI runtime.
+//!
+//! These exercise the ISSUE 3 acceptance criteria end to end: a rank
+//! killed mid-`allreduce_sum` must surface as [`MpiError::RankFailed`]
+//! on every surviving rank within the watchdog timeout — no hang, no
+//! process abort — and the whole failure set must come back as a
+//! [`SimError`] value from [`Cluster::try_run`].
+//!
+//! The `fault_matrix_cell` test at the bottom is parameterised through
+//! `FAULT_SEED` / `FAULT_KIND` environment variables so the CI fault
+//! matrix can sweep seeds x fault kinds without recompiling.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use uoi_mpisim::{Cluster, FaultPlan, MachineModel, MpiError, Phase, Window};
+
+fn det_cluster(n: usize) -> Cluster {
+    Cluster::new(n, MachineModel::deterministic())
+}
+
+/// Acceptance: kill one rank mid-allreduce; the three survivors each
+/// observe `MpiError::RankFailed { rank: 2, .. }` through the fallible
+/// collective, `try_run` returns a `SimError` whose root cause names the
+/// injected crash, and the whole thing resolves well inside the watchdog.
+#[test]
+fn killed_rank_mid_allreduce_surfaces_rank_failed() {
+    let observed: Arc<Mutex<Vec<(usize, MpiError)>>> = Arc::new(Mutex::new(Vec::new()));
+    let obs = observed.clone();
+    let started = Instant::now();
+
+    let res = det_cluster(4)
+        .with_fault_plan(FaultPlan::new(3).crash_rank(2, 1))
+        .with_watchdog(Duration::from_secs(5))
+        .try_run(|ctx, world| {
+            // Three allreduce rounds; rank 2 is killed entering round 1.
+            for round in 0..3 {
+                let mut v = vec![(world.rank() + round) as f64];
+                if let Err(e) = world.try_allreduce_sum(ctx, &mut v) {
+                    obs.lock().unwrap().push((world.rank(), e));
+                    return;
+                }
+            }
+        });
+
+    // No hang: failure detection is condvar-slice bounded, far under the
+    // 5s watchdog.
+    assert!(started.elapsed() < Duration::from_secs(5), "run must not hang");
+
+    let err = res.err().expect("a killed rank must fail the run");
+    assert_eq!(err.failures.len(), 1, "only the injected crash panicked");
+    assert_eq!(err.failures[0].rank, 2);
+    assert!(
+        err.failures[0].message.contains("fault injection"),
+        "message should name the injection: {}",
+        err.failures[0].message
+    );
+    assert!(err.failures[0].message.contains("step 1"));
+    assert_eq!(err.root_cause().rank, 2);
+
+    let seen = observed.lock().unwrap();
+    let mut ranks: Vec<usize> = seen.iter().map(|&(r, _)| r).collect();
+    ranks.sort_unstable();
+    assert_eq!(ranks, vec![0, 1, 3], "all three survivors observe the failure");
+    for (_, e) in seen.iter() {
+        match e {
+            MpiError::RankFailed { rank, .. } => assert_eq!(*rank, 2),
+            other => panic!("survivors must see RankFailed, got {other:?}"),
+        }
+    }
+}
+
+/// A rank that silently exits the SPMD program (protocol mismatch, not a
+/// crash) trips the watchdog on its peer: `try_run` succeeds — nobody
+/// panicked — but the peer's result carries `WatchdogTimeout`.
+#[test]
+fn missing_peer_trips_watchdog_without_abort() {
+    let report = det_cluster(2)
+        .with_watchdog(Duration::from_millis(200))
+        .run(|ctx, world| {
+            if world.rank() == 1 {
+                return None; // Skips the collective entirely.
+            }
+            let mut v = vec![1.0];
+            world.try_allreduce_sum(ctx, &mut v).err()
+        });
+    match report.results[0] {
+        Some(MpiError::WatchdogTimeout { waited_ms, .. }) => {
+            assert!(waited_ms >= 200, "waited only {waited_ms}ms");
+        }
+        ref other => panic!("expected watchdog timeout on rank 0, got {other:?}"),
+    }
+    assert_eq!(report.results[1], None);
+}
+
+/// An injected straggler scales its local compute charges by exactly the
+/// configured factor; healthy ranks are untouched.
+#[test]
+fn straggler_scales_local_compute() {
+    let report = det_cluster(3)
+        .with_fault_plan(FaultPlan::new(0).straggler(1, 3.0))
+        .run(|ctx, world| {
+            ctx.compute_flops(1e9, 1e9);
+            world.barrier(ctx);
+            ctx.ledger().get(Phase::Compute)
+        });
+    let healthy = report.results[0];
+    assert!(healthy > 0.0);
+    assert!((report.results[2] - healthy).abs() < 1e-12);
+    let ratio = report.results[1] / healthy;
+    assert!(
+        (ratio - 3.0).abs() < 1e-9,
+        "straggler must run exactly 3x slower, got {ratio}"
+    );
+}
+
+/// Dropped window ops read zeros; corrupted ops flip a bit in the first
+/// element only. Healthy ranks see the exposed data unchanged.
+#[test]
+fn window_drop_and_corrupt_faults_apply_per_op() {
+    let report = det_cluster(3)
+        .with_fault_plan(
+            FaultPlan::new(0).drop_window_op(1, 0).corrupt_window_op(2, 0),
+        )
+        .run(|ctx, world| {
+            let local = if world.rank() == 0 { vec![5.0; 4] } else { Vec::new() };
+            let win = Window::create(ctx, world, local);
+            let got = win.get(ctx, 0, 0..4);
+            win.fence(ctx, world);
+            got
+        });
+    assert_eq!(report.results[0], vec![5.0; 4], "healthy rank reads clean data");
+    assert_eq!(report.results[1], vec![0.0; 4], "dropped op reads zeros");
+    let corrupted = &report.results[2];
+    assert_ne!(corrupted[0], 5.0, "corrupt op must flip a bit in element 0");
+    assert_eq!(&corrupted[1..], &[5.0; 3][..], "only element 0 is corrupted");
+}
+
+/// One CI fault-matrix cell: seed and fault kind come from the
+/// environment (`FAULT_SEED`, `FAULT_KIND` in {crash, straggler,
+/// window_drop}), so the workflow can sweep the grid without recompiling.
+/// Every cell asserts the same invariants: the run terminates (no hang,
+/// no process abort) and the outcome is bit-identical across a rerun
+/// with the same seed.
+#[test]
+fn fault_matrix_cell() {
+    let seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let kind = std::env::var("FAULT_KIND").unwrap_or_else(|_| "crash".to_string());
+    const WORLD: usize = 4;
+
+    match kind.as_str() {
+        "crash" => {
+            let run = || {
+                det_cluster(WORLD)
+                    .with_fault_plan(FaultPlan::new(seed).with_random_crash(WORLD, 3))
+                    .with_watchdog(Duration::from_secs(5))
+                    .try_run(|ctx, world| {
+                        for _ in 0..3 {
+                            let mut v = vec![world.rank() as f64];
+                            if world.try_allreduce_sum(ctx, &mut v).is_err() {
+                                return;
+                            }
+                        }
+                    })
+            };
+            let a = run().err().expect("a random crash must fail the run");
+            let b = run().err().expect("rerun with the same seed must fail identically");
+            assert_eq!(a.root_cause().rank, b.root_cause().rank);
+            assert_eq!(a.root_cause().message, b.root_cause().message);
+            assert!(a.root_cause().message.contains("fault injection"));
+        }
+        "straggler" => {
+            let run = || {
+                det_cluster(WORLD)
+                    .with_fault_plan(FaultPlan::new(seed).with_random_straggler(WORLD, 2.0))
+                    .run(|ctx, _world| {
+                        ctx.compute_flops(1e8, 1e9);
+                        ctx.ledger().get(Phase::Compute)
+                    })
+                    .results
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a, b, "straggler charge must be deterministic");
+            let slow = a.iter().filter(|&&t| t > a.iter().cloned().fold(f64::MAX, f64::min)).count();
+            assert_eq!(slow, 1, "exactly one rank straggles");
+        }
+        "window_drop" => {
+            let run = || {
+                det_cluster(WORLD)
+                    .with_fault_plan(
+                        FaultPlan::new(seed).with_random_window_drops(WORLD, 2, 3),
+                    )
+                    .run(|ctx, world| {
+                        let local = if world.rank() == 0 {
+                            (0..8).map(|x| x as f64 + 1.0).collect()
+                        } else {
+                            Vec::new()
+                        };
+                        let win = Window::create(ctx, world, local);
+                        let first = win.get(ctx, 0, 0..4);
+                        let second = win.get(ctx, 0, 4..8);
+                        win.fence(ctx, world);
+                        (first, second)
+                    })
+                    .results
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a, b, "dropped ops must replay identically");
+            for (first, second) in &a {
+                assert!(
+                    first == &vec![1.0, 2.0, 3.0, 4.0] || first == &vec![0.0; 4],
+                    "gets are either clean or dropped-to-zero: {first:?}"
+                );
+                assert!(second == &vec![5.0, 6.0, 7.0, 8.0] || second == &vec![0.0; 4]);
+            }
+        }
+        other => panic!("unknown FAULT_KIND {other:?} (use crash|straggler|window_drop)"),
+    }
+}

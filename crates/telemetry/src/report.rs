@@ -116,6 +116,9 @@ pub struct RunReport {
     pub summary: Option<RunSummary>,
     /// Solver/fitter metrics, if a registry was installed.
     pub metrics: Option<MetricsSnapshot>,
+    /// Degraded-mode outcome (fault-injected or fault-tolerant runs):
+    /// the JSON form of a `DegradationReport`. `null` for clean runs.
+    pub degradation: Option<Json>,
     /// The result table: column headers plus rows of cells. Numeric
     /// cells are stored as JSON numbers.
     pub headers: Vec<String>,
@@ -130,6 +133,7 @@ impl RunReport {
             params: Vec::new(),
             summary: None,
             metrics: None,
+            degradation: None,
             headers: Vec::new(),
             rows: Vec::new(),
         }
@@ -148,6 +152,13 @@ impl RunReport {
 
     pub fn with_metrics(mut self, metrics: MetricsSnapshot) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attach a degradation report (already serialised to JSON, e.g.
+    /// via `DegradationReport::to_json` in `uoi-core`).
+    pub fn with_degradation(mut self, degradation: Json) -> Self {
+        self.degradation = Some(degradation);
         self
     }
 
@@ -178,6 +189,10 @@ impl RunReport {
             (
                 "metrics",
                 self.metrics.as_ref().map(MetricsSnapshot::to_json).unwrap_or(Json::Null),
+            ),
+            (
+                "degradation",
+                self.degradation.clone().unwrap_or(Json::Null),
             ),
             (
                 "table",
@@ -294,6 +309,22 @@ mod tests {
         let doc = Json::parse(&report.to_json_string()).unwrap();
         assert_eq!(doc.get("summary"), Some(&Json::Null));
         assert_eq!(doc.get("metrics"), Some(&Json::Null));
+        assert_eq!(doc.get("degradation"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn degradation_section_round_trips() {
+        let deg = Json::obj(vec![
+            ("degraded", Json::Bool(true)),
+            ("b1_completed", Json::num(18.0)),
+        ]);
+        let report = RunReport::new("fault_demo", "faults").with_degradation(deg);
+        let doc = Json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(doc.get("degradation").unwrap().get("degraded"), Some(&Json::Bool(true)));
+        assert_eq!(
+            doc.get("degradation").unwrap().get("b1_completed").unwrap().as_num(),
+            Some(18.0)
+        );
     }
 
     #[test]

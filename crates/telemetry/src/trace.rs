@@ -69,6 +69,19 @@ pub enum TraceEvent {
     },
     /// A modeled file/storage read charged to the Data I/O phase.
     Io { rank: usize, seconds: f64, t: f64 },
+    /// An injected or observed fault: rank crash, dropped/corrupted
+    /// window op, transient I/O error, retry, degradation decision.
+    Fault {
+        rank: usize,
+        /// Taxonomy label: "rank_crash", "straggler", "window_drop",
+        /// "window_corrupt", "io_transient", "io_retry",
+        /// "bootstrap_skipped", ...
+        kind: String,
+        /// Free-form detail (e.g. "phase=allreduce step=3").
+        detail: String,
+        /// Virtual time the fault fired.
+        t: f64,
+    },
 }
 
 impl TraceEvent {
@@ -80,7 +93,8 @@ impl TraceEvent {
             | TraceEvent::SpanEnd { rank, .. }
             | TraceEvent::PhaseCharge { rank, .. }
             | TraceEvent::WindowTransfer { rank, .. }
-            | TraceEvent::Io { rank, .. } => Some(*rank),
+            | TraceEvent::Io { rank, .. }
+            | TraceEvent::Fault { rank, .. } => Some(*rank),
             TraceEvent::Collective { .. } => None,
         }
     }
@@ -94,6 +108,7 @@ impl TraceEvent {
             TraceEvent::Collective { .. } => "collective",
             TraceEvent::WindowTransfer { .. } => "window_transfer",
             TraceEvent::Io { .. } => "io",
+            TraceEvent::Fault { .. } => "fault",
         }
     }
 
@@ -163,6 +178,13 @@ impl TraceEvent {
                 ("seconds", Json::num(*seconds)),
                 ("t", Json::num(*t)),
             ]),
+            TraceEvent::Fault { rank, kind, detail, t } => Json::obj(vec![
+                ("ev", Json::str("fault")),
+                ("rank", Json::num(*rank as f64)),
+                ("kind", Json::str(kind.clone())),
+                ("detail", Json::str(detail.clone())),
+                ("t", Json::num(*t)),
+            ]),
         }
     }
 
@@ -212,6 +234,12 @@ impl TraceEvent {
             "io" => Some(TraceEvent::Io {
                 rank: idx("rank")?,
                 seconds: num("seconds")?,
+                t: num("t")?,
+            }),
+            "fault" => Some(TraceEvent::Fault {
+                rank: idx("rank")?,
+                kind: v.get("kind")?.as_str()?.to_string(),
+                detail: v.get("detail")?.as_str()?.to_string(),
                 t: num("t")?,
             }),
             _ => None,
@@ -287,15 +315,57 @@ impl TraceSink for MemorySink {
 }
 
 /// Streams events as JSON Lines to a file.
+///
+/// Write failures never panic and never propagate into the simulated
+/// cluster: a record that cannot be written is *dropped* and counted.
+/// [`JsonlSink::dropped_records`] reports the total; when a
+/// [`MetricsRegistry`](crate::metrics::MetricsRegistry) is attached via
+/// [`JsonlSink::with_metrics`], every drop also bumps the
+/// `telemetry.dropped_records` counter so the loss surfaces in the
+/// final `RunReport`.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
+    /// Records definitively lost (write or flush error).
+    dropped: std::sync::atomic::AtomicU64,
+    /// Records buffered since the last successful flush. A failed
+    /// flush converts all of them into drops (BufWriter cannot say
+    /// which lines made it out).
+    pending: std::sync::atomic::AtomicU64,
+    metrics: Option<std::sync::Arc<crate::metrics::MetricsRegistry>>,
 }
 
 impl JsonlSink {
     /// Create (truncate) the file at `path`.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = File::create(path)?;
-        Ok(Self { writer: Mutex::new(BufWriter::new(file)) })
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+            pending: std::sync::atomic::AtomicU64::new(0),
+            metrics: None,
+        })
+    }
+
+    /// Attach a metrics registry; dropped records are mirrored into
+    /// its `telemetry.dropped_records` counter.
+    pub fn with_metrics(mut self, metrics: std::sync::Arc<crate::metrics::MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Total records lost to I/O errors so far.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn count_drops(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.dropped.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.incr("telemetry.dropped_records", n);
+        }
     }
 
     /// Parse a JSONL trace file back into events. Lines that do not
@@ -313,13 +383,26 @@ impl JsonlSink {
 
 impl TraceSink for JsonlSink {
     fn record(&self, event: &TraceEvent) {
+        use std::sync::atomic::Ordering;
         let line = event.to_json().to_string_compact();
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = writeln!(w, "{line}");
+        match writeln!(w, "{line}") {
+            Ok(()) => {
+                self.pending.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => self.count_drops(1),
+        }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().unwrap_or_else(|e| e.into_inner()).flush();
+        use std::sync::atomic::Ordering;
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Swap under the writer lock so concurrent records are either
+        // in this flush or the next one's pending count.
+        let pending = self.pending.swap(0, Ordering::Relaxed);
+        if w.flush().is_err() {
+            self.count_drops(pending);
+        }
     }
 }
 
@@ -368,6 +451,12 @@ mod tests {
                 t_end: 0.75,
             },
             TraceEvent::Io { rank: 0, seconds: 0.125, t: 0.875 },
+            TraceEvent::Fault {
+                rank: 2,
+                kind: "window_drop".into(),
+                detail: "op=4 target=0".into(),
+                t: 0.9,
+            },
             TraceEvent::SpanEnd { id: 1, rank: 0, t: 1.0 },
         ]
     }
@@ -400,9 +489,44 @@ mod tests {
         for ev in sample_events() {
             sink.record(&ev);
         }
-        assert_eq!(sink.len(), 6);
+        assert_eq!(sink.len(), 7);
         assert_eq!(sink.snapshot(), sample_events());
-        assert_eq!(sink.take().len(), 6);
+        assert_eq!(sink.take().len(), 7);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn healthy_sink_drops_nothing() {
+        let path = std::env::temp_dir().join("uoi_telemetry_jsonl_no_drops.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        for ev in sample_events() {
+            sink.record(&ev);
+        }
+        sink.flush();
+        assert_eq!(sink.dropped_records(), 0);
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// `/dev/full` accepts opens but fails every write with `ENOSPC`,
+    /// which is exactly the failure mode the sink must absorb without
+    /// panicking: records buffer in the `BufWriter`, the flush fails,
+    /// and every buffered record is accounted as dropped.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn write_failures_are_counted_not_panicked() {
+        use crate::metrics::MetricsRegistry;
+        let metrics = std::sync::Arc::new(MetricsRegistry::new());
+        let sink = JsonlSink::create("/dev/full").unwrap().with_metrics(metrics.clone());
+        let n = sample_events().len() as u64;
+        for ev in sample_events() {
+            sink.record(&ev);
+        }
+        sink.flush();
+        assert_eq!(sink.dropped_records(), n);
+        assert_eq!(metrics.counter("telemetry.dropped_records"), n);
+        // A second flush with nothing pending must not double-count.
+        sink.flush();
+        assert_eq!(sink.dropped_records(), n);
     }
 }

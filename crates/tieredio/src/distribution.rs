@@ -19,6 +19,7 @@
 //! Delivered data is identical between the two strategies; only the time
 //! differs — which is exactly the paper's claim.
 
+use crate::retry::{read_rows_retrying, RetryPolicy};
 use crate::shf::ShfDataset;
 use uoi_linalg::Matrix;
 use uoi_mpisim::{Comm, Phase, RankCtx, Window};
@@ -135,10 +136,10 @@ pub fn randomized(
     let p = comm.size();
 
 
-    // --- Tier 1: contiguous parallel hyperslab read. ---
+    // --- Tier 1: contiguous parallel hyperslab read (transient failures
+    // retried with bounded backoff; see `retry`). ---
     let my_range = block_range(n, p, comm.rank());
-    let local = ds
-        .read_rows(my_range.start, my_range.end)
+    let local = read_rows_retrying(ctx, ds, my_range.start, my_range.end, &RetryPolicy::default())
         .expect("randomized: tier-1 read failed");
     let modeled_readers = comm.modeled_size(ctx);
     let t_read = ctx

@@ -7,10 +7,12 @@
 //! random shuffle). Table II of the paper compares exactly these two.
 
 pub mod distribution;
+pub mod retry;
 pub mod shf;
 
 pub use distribution::{
     block_owner, block_range, conventional, randomized, tier2_shuffle, ConventionalConfig,
     DistTiming,
 };
+pub use retry::{read_rows_retrying, RetryPolicy};
 pub use shf::{write_matrix, ShfDataset, ShfError};

@@ -1,0 +1,155 @@
+//! Bounded-retry Tier-1 reads.
+//!
+//! At thousands of concurrent reader ranks against a parallel filesystem,
+//! transient read failures (interrupted syscalls, busy OSTs) are routine.
+//! Tier-1 hyperslab reads therefore retry *transient* errors with bounded
+//! exponential backoff — charged to the rank's virtual Data I/O time —
+//! while *permanent* errors (truncated files, bad magic, out-of-bounds
+//! hyperslabs) surface immediately; see [`ShfError::is_transient`].
+//!
+//! Fault injection: when the cluster's `FaultPlan` grants this rank a
+//! transient-I/O budget, each budgeted failure consumes one attempt and
+//! exercises exactly the same retry path as a real transient error.
+
+use crate::shf::{ShfDataset, ShfError};
+use uoi_linalg::Matrix;
+use uoi_mpisim::RankCtx;
+
+/// Bounded exponential backoff for transient read failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Virtual seconds of backoff before the first retry.
+    pub base_backoff_s: f64,
+    /// Backoff growth factor per retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 4, base_backoff_s: 1e-3, multiplier: 2.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retry number `attempt` (0-based).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.base_backoff_s * self.multiplier.powi(attempt as i32)
+    }
+}
+
+/// Read the row hyperslab `[row_start, row_end)` with transient-failure
+/// retries under `policy`. Each failed attempt records a `fault.io_retry`
+/// counter/trace event and charges the backoff to virtual Data I/O time;
+/// exhausting the budget returns the last transient error.
+pub fn read_rows_retrying(
+    ctx: &mut RankCtx,
+    ds: &ShfDataset,
+    row_start: usize,
+    row_end: usize,
+    policy: &RetryPolicy,
+) -> Result<Matrix, ShfError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        let result = if ctx.take_io_fault() {
+            Err(ShfError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected transient read failure",
+            )))
+        } else {
+            ds.read_rows(row_start, row_end)
+        };
+        match result {
+            Ok(m) => return Ok(m),
+            Err(e) if e.is_transient() && attempt + 1 < max_attempts => {
+                ctx.record_fault(
+                    "io_retry",
+                    format!("attempt={} rows={row_start}..{row_end} err={e}", attempt + 1),
+                );
+                ctx.charge_io(policy.backoff_s(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shf::write_matrix;
+    use std::path::PathBuf;
+    use uoi_linalg::Matrix;
+    use uoi_mpisim::{Cluster, FaultPlan, MachineModel};
+
+    fn temp_file(name: &str, m: &Matrix) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("uoi_retry_test_{}_{name}", std::process::id()));
+        write_matrix(&p, m).unwrap();
+        p
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_s(0), 1e-3);
+        assert_eq!(p.backoff_s(2), 4e-3);
+    }
+
+    #[test]
+    fn injected_transients_are_retried_to_success() {
+        let src = Matrix::from_fn(12, 3, |i, j| (i * 3 + j) as f64);
+        let path = temp_file("transient", &src);
+        let ds = ShfDataset::open(&path).unwrap();
+        // 2 injected failures, 4 attempts: the third try succeeds.
+        let plan = FaultPlan::new(7).transient_io(0, 2);
+        let report = Cluster::new(1, MachineModel::deterministic())
+            .with_fault_plan(plan)
+            .run(|ctx, _| {
+                let io0 = ctx.ledger().io;
+                let m = read_rows_retrying(ctx, &ds, 2, 9, &RetryPolicy::default())
+                    .expect("retries must absorb 2 transient failures");
+                (m, ctx.ledger().io - io0)
+            });
+        let (m, io_time) = &report.results[0];
+        assert_eq!(*m, src.rows_range(2, 9));
+        // Two backoffs charged: 1e-3 + 2e-3.
+        assert!((io_time - 3e-3).abs() < 1e-12, "backoff io time {io_time}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_transient_error() {
+        let src = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let path = temp_file("exhaust", &src);
+        let ds = ShfDataset::open(&path).unwrap();
+        // More injected failures than attempts.
+        let plan = FaultPlan::new(7).transient_io(0, 10);
+        let report = Cluster::new(1, MachineModel::deterministic())
+            .with_fault_plan(plan)
+            .run(|ctx, _| {
+                read_rows_retrying(ctx, &ds, 0, 4, &RetryPolicy::default()).err()
+            });
+        let err = report.results[0].as_ref().expect("must fail");
+        assert!(err.is_transient());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let src = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let path = temp_file("permanent", &src);
+        let ds = ShfDataset::open(&path).unwrap();
+        let report = Cluster::new(1, MachineModel::deterministic()).run(|ctx, _| {
+            let io0 = ctx.ledger().io;
+            let err = read_rows_retrying(ctx, &ds, 0, 99, &RetryPolicy::default()).err();
+            (err.is_some(), ctx.ledger().io - io0)
+        });
+        let (failed, io_time) = report.results[0];
+        assert!(failed);
+        assert_eq!(io_time, 0.0, "no backoff may be charged for permanent errors");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -30,6 +30,15 @@ pub enum ShfError {
     Io(io::Error),
     /// The file is not an SHF container.
     BadMagic,
+    /// The file ends before the bytes its header (or the header itself)
+    /// promises — a partial write or a corrupt length field. Permanent:
+    /// retrying cannot recover missing bytes.
+    Truncated {
+        /// Bytes the header/read required.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
     /// A requested hyperslab exceeds the dataset bounds.
     OutOfBounds {
         /// Requested row/col extent description.
@@ -43,11 +52,32 @@ impl From<io::Error> for ShfError {
     }
 }
 
+impl ShfError {
+    /// Whether a retry could plausibly succeed. Interrupted/timed-out
+    /// system calls are transient; malformed or truncated files, bad
+    /// hyperslabs, and hard I/O failures are permanent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ShfError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::ResourceBusy
+            ),
+            _ => false,
+        }
+    }
+}
+
 impl std::fmt::Display for ShfError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ShfError::Io(e) => write!(f, "shf io error: {e}"),
             ShfError::BadMagic => write!(f, "not an SHF file (bad magic)"),
+            ShfError::Truncated { expected, actual } => {
+                write!(f, "truncated SHF file: need {expected} bytes, have {actual}")
+            }
             ShfError::OutOfBounds { what } => write!(f, "hyperslab out of bounds: {what}"),
         }
     }
@@ -88,9 +118,16 @@ pub struct ShfDataset {
 }
 
 impl ShfDataset {
-    /// Open and validate the header.
+    /// Open and validate the header: magic, header length, and that the
+    /// file actually holds the `rows x cols` payload the header promises.
+    /// Short headers and short payloads surface as
+    /// [`ShfError::Truncated`], never a panic or an out-of-bounds read.
     pub fn open(path: &Path) -> Result<Self, ShfError> {
         let mut f = File::open(path)?;
+        let file_len = f.metadata()?.len();
+        if file_len < HEADER_LEN {
+            return Err(ShfError::Truncated { expected: HEADER_LEN, actual: file_len });
+        }
         let mut header = [0u8; HEADER_LEN as usize];
         f.read_exact(&mut header)?;
         let mut cursor = &header[..];
@@ -100,9 +137,22 @@ impl ShfDataset {
             return Err(ShfError::BadMagic);
         }
         let _reserved = cursor.get_u32_le();
-        let rows = cursor.get_u64_le() as usize;
-        let cols = cursor.get_u64_le() as usize;
-        Ok(Self { path: path.to_path_buf(), rows, cols })
+        let rows64 = cursor.get_u64_le();
+        let cols64 = cursor.get_u64_le();
+        // Checked arithmetic: a corrupt header must not overflow into a
+        // small (seemingly valid) payload size.
+        let payload = rows64
+            .checked_mul(cols64)
+            .and_then(|c| c.checked_mul(8))
+            .and_then(|b| b.checked_add(HEADER_LEN))
+            .ok_or(ShfError::Truncated { expected: u64::MAX, actual: file_len })?;
+        if file_len < payload {
+            return Err(ShfError::Truncated { expected: payload, actual: file_len });
+        }
+        if rows64 > usize::MAX as u64 || cols64 > usize::MAX as u64 {
+            return Err(ShfError::Truncated { expected: payload, actual: file_len });
+        }
+        Ok(Self { path: path.to_path_buf(), rows: rows64 as usize, cols: cols64 as usize })
     }
 
     /// Dataset row count.
@@ -132,7 +182,21 @@ impl ShfDataset {
             HEADER_LEN + (row_start * self.cols * 8) as u64,
         ))?;
         let mut raw = vec![0u8; nrows * self.cols * 8];
-        f.read_exact(&mut raw)?;
+        f.read_exact(&mut raw).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                // The file shrank after `open` validated it.
+                ShfError::Truncated {
+                    expected: HEADER_LEN + (row_end * self.cols * 8) as u64,
+                    actual: self
+                        .path
+                        .metadata()
+                        .map(|m| m.len())
+                        .unwrap_or(0),
+                }
+            } else {
+                ShfError::Io(e)
+            }
+        })?;
         let mut data = Vec::with_capacity(nrows * self.cols);
         let mut cursor = &raw[..];
         for _ in 0..nrows * self.cols {
@@ -235,5 +299,89 @@ mod tests {
         std::fs::write(&path, b"NOTSHF__________________________").unwrap();
         assert!(matches!(ShfDataset::open(&path), Err(ShfError::BadMagic)));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_header_is_typed_truncation() {
+        // Every prefix of a valid header, including the empty file, must
+        // produce `Truncated` — never a panic or an opaque I/O error.
+        let mut full = Vec::new();
+        full.extend_from_slice(MAGIC);
+        full.extend_from_slice(&0u32.to_le_bytes());
+        full.extend_from_slice(&3u64.to_le_bytes());
+        full.extend_from_slice(&2u64.to_le_bytes());
+        for len in 0..full.len() {
+            let path = temp_path(&format!("short_{len}"));
+            std::fs::write(&path, &full[..len]).unwrap();
+            match ShfDataset::open(&path) {
+                Err(ShfError::Truncated { expected, actual }) => {
+                    assert_eq!(actual, len as u64);
+                    assert!(expected > actual);
+                }
+                other => panic!("header prefix {len}: expected Truncated, got {other:?}"),
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn short_payload_is_typed_truncation() {
+        let path = temp_path("shortpay");
+        let m = Matrix::from_fn(6, 4, |i, j| (i + j) as f64);
+        write_matrix(&path, &m).unwrap();
+        // Chop off the last row and a half.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 12 * 8]).unwrap();
+        match ShfDataset::open(&path) {
+            Err(ShfError::Truncated { expected, actual }) => {
+                assert_eq!(expected, HEADER_LEN + 6 * 4 * 8);
+                assert_eq!(actual, (HEADER_LEN + 6 * 4 * 8) - 12 * 8);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overflowing_header_dims_rejected() {
+        // rows * cols * 8 overflows u64: must be a typed error, not a
+        // wrapped-around "valid" size.
+        let path = temp_path("overflow");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ShfDataset::open(&path),
+            Err(ShfError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_shrunk_after_open_is_typed_truncation() {
+        let path = temp_path("shrunk");
+        let m = Matrix::from_fn(8, 2, |i, j| (10 * i + j) as f64);
+        write_matrix(&path, &m).unwrap();
+        let ds = ShfDataset::open(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 8]).unwrap();
+        assert!(matches!(
+            ds.read_rows(0, 8),
+            Err(ShfError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(ShfError::Io(io::Error::from(io::ErrorKind::Interrupted)).is_transient());
+        assert!(ShfError::Io(io::Error::from(io::ErrorKind::TimedOut)).is_transient());
+        assert!(!ShfError::Io(io::Error::from(io::ErrorKind::NotFound)).is_transient());
+        assert!(!ShfError::BadMagic.is_transient());
+        assert!(!ShfError::Truncated { expected: 24, actual: 0 }.is_transient());
+        assert!(!ShfError::OutOfBounds { what: "row range" }.is_transient());
     }
 }
