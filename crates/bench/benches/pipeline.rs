@@ -17,7 +17,10 @@ fn quick_cfg() -> UoiLassoConfig {
         b2: 5,
         q: 8,
         lambda_min_ratio: 5e-2,
-        admm: AdmmConfig { max_iter: 300, ..Default::default() },
+        admm: AdmmConfig {
+            max_iter: 300,
+            ..Default::default()
+        },
         support_tol: 1e-6,
         seed: 1,
         ..Default::default()
@@ -47,7 +50,11 @@ fn bench_uoi_var(c: &mut Criterion) {
         ..Default::default()
     });
     let series = proc.simulate(400, 50, 4);
-    let cfg = UoiVarConfig { order: 1, block_len: None, base: quick_cfg() };
+    let cfg = UoiVarConfig {
+        order: 1,
+        block_len: None,
+        base: quick_cfg(),
+    };
     c.bench_function("uoi_var_400x10", |b| {
         b.iter(|| fit_uoi_var(black_box(&series), &cfg))
     });
@@ -56,9 +63,8 @@ fn bench_uoi_var(c: &mut Criterion) {
 fn bench_var_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("var_regression_build");
     for &p in &[50usize, 200] {
-        let series = uoi_linalg::Matrix::from_fn(2 * p, p, |i, j| {
-            ((i * 7 + j * 3) % 13) as f64 - 6.0
-        });
+        let series =
+            uoi_linalg::Matrix::from_fn(2 * p, p, |i, j| ((i * 7 + j * 3) % 13) as f64 - 6.0);
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
             b.iter(|| VarRegression::build(black_box(&series), 1))
         });

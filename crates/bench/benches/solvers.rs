@@ -7,9 +7,7 @@ use std::hint::black_box;
 use uoi_data::bootstrap::{block_bootstrap, row_bootstrap};
 use uoi_data::rng::seeded;
 use uoi_linalg::Matrix;
-use uoi_solvers::{
-    lasso_cd, soft_threshold_vec, AdmmConfig, CdConfig, LassoAdmm,
-};
+use uoi_solvers::{lasso_cd, soft_threshold_vec, AdmmConfig, CdConfig, LassoAdmm};
 
 fn problem(n: usize, p: usize) -> (Matrix, Vec<f64>) {
     let x = Matrix::from_fn(n, p, |i, j| {
@@ -22,7 +20,9 @@ fn problem(n: usize, p: usize) -> (Matrix, Vec<f64>) {
 }
 
 fn bench_prox(c: &mut Criterion) {
-    let a: Vec<f64> = (0..100_000).map(|i| (i as f64 * 0.013).sin() * 3.0).collect();
+    let a: Vec<f64> = (0..100_000)
+        .map(|i| (i as f64 * 0.013).sin() * 3.0)
+        .collect();
     let mut out = vec![0.0; a.len()];
     c.bench_function("soft_threshold_100k", |b| {
         b.iter(|| soft_threshold_vec(black_box(&a), 0.5, &mut out))

@@ -9,7 +9,7 @@
 //! weak-scaling core counts.
 
 use uoi_bench::setups::{lasso_weak, machine, LASSO_FEATURES};
-use uoi_bench::{emit_run_report, exec_ranks, Table};
+use uoi_bench::{emit_run_report, exec_ranks, BenchTrace, Table};
 use uoi_mpisim::Cluster;
 
 fn main() {
@@ -28,6 +28,7 @@ fn main() {
         ],
     );
     let mut last_summary = None;
+    let mut last_trace = None;
     for point in lasso_weak() {
         let blocking = Cluster::new(exec_ranks(), machine())
             .modeled_ranks(point.cores)
@@ -39,8 +40,10 @@ fn main() {
                 }
             })
             .makespan();
+        let trace = BenchTrace::from_env(&format!("ablation_async_overlap.c{}", point.cores));
         let overlapped_report = Cluster::new(exec_ranks(), machine())
             .modeled_ranks(point.cores)
+            .with_telemetry(trace.telemetry())
             .run(move |ctx, world| {
                 let mut pending = None;
                 for _ in 0..rounds {
@@ -59,6 +62,7 @@ fn main() {
             });
         let overlapped = overlapped_report.makespan();
         last_summary = Some(overlapped_report.run_summary());
+        last_trace = Some(trace);
         t.row(&[
             point.cores.to_string(),
             format!("{blocking:.4}"),
@@ -67,9 +71,14 @@ fn main() {
         ]);
     }
     t.emit("ablation_async_overlap");
-    let mut rep = t.run_report("ablation_async_overlap").param("rounds", rounds);
+    let mut rep = t
+        .run_report("ablation_async_overlap")
+        .param("rounds", rounds);
     if let Some(s) = last_summary {
         rep = rep.with_summary(s);
+    }
+    if let Some(trace) = &last_trace {
+        rep = trace.annotate(rep);
     }
     emit_run_report(&rep);
     println!(

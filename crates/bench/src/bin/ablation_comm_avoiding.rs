@@ -11,7 +11,7 @@
 //! (identical) and their modeled communication/distribution cost.
 
 use uoi_bench::setups::machine;
-use uoi_bench::{emit_run_report, quick_mode, Table};
+use uoi_bench::{emit_run_report, quick_mode, BenchTrace, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::{fit_uoi_var, UoiVarConfig};
 use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
@@ -37,12 +37,21 @@ fn main() {
         b2: 4,
         q: 8,
         lambda_min_ratio: 2e-2,
-        admm: AdmmConfig { max_iter: 1500, abstol: 1e-8, reltol: 1e-7, ..Default::default() },
+        admm: AdmmConfig {
+            max_iter: 1500,
+            abstol: 1e-8,
+            reltol: 1e-7,
+            ..Default::default()
+        },
         support_tol: 1e-6,
         seed: 79,
         ..Default::default()
     };
-    let var_cfg = UoiVarConfig { order: 1, block_len: None, base };
+    let var_cfg = UoiVarConfig {
+        order: 1,
+        block_len: None,
+        base,
+    };
 
     // Communication-avoiding path (serial column decomposition).
     let t0 = std::time::Instant::now();
@@ -56,8 +65,10 @@ fn main() {
         layout: ParallelLayout::admm_only(),
     };
     let series2 = series.clone();
+    let trace = BenchTrace::from_env("ablation_comm_avoiding");
     let report = Cluster::new(8, machine())
         .modeled_ranks(1024)
+        .with_telemetry(trace.telemetry())
         .run(move |ctx, world| {
             let (fit, kron) = fit_uoi_var_dist(ctx, world, &series2, &cfg);
             (fit, kron.kron_seconds, ctx.ledger())
@@ -106,9 +117,11 @@ fn main() {
     ]);
     t.emit("ablation_comm_avoiding");
     emit_run_report(
-        &t.run_report("ablation_comm_avoiding")
-            .param("p", p)
-            .with_summary(report.run_summary()),
+        &trace.annotate(
+            t.run_report("ablation_comm_avoiding")
+                .param("p", p)
+                .with_summary(report.run_summary()),
+        ),
     );
     println!(
         "take-away: the two paths are statistically interchangeable; all of the distributed\n\

@@ -18,7 +18,9 @@ fn main() {
     let fracs = [0.5, 0.7, 0.9, 1.0];
 
     let mut t = Table::new(
-        &format!("Ablation — intersection strictness ({trials} trials, p={p}, s=8, correlated design)"),
+        &format!(
+            "Ablation — intersection strictness ({trials} trials, p={p}, s=8, correlated design)"
+        ),
         &["intersection", "false pos", "false neg", "F1"],
     );
     let metrics = Arc::new(MetricsRegistry::new());

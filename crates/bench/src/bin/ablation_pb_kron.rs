@@ -8,7 +8,7 @@
 //! serialisation).
 
 use uoi_bench::setups::machine;
-use uoi_bench::{emit_run_report, quick_mode, RunSummary, Table};
+use uoi_bench::{emit_run_report, quick_mode, BenchTrace, RunSummary, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::UoiVarConfig;
 use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
@@ -22,7 +22,7 @@ fn run_case(
     p_b: usize,
     n_readers: usize,
     b: usize,
-) -> (f64, f64, RunSummary) {
+) -> (f64, f64, RunSummary, BenchTrace) {
     let cfg = UoiVarDistConfig {
         var: UoiVarConfig {
             order: 1,
@@ -32,7 +32,10 @@ fn run_case(
                 b2: b / 2,
                 q: 4,
                 lambda_min_ratio: 5e-2,
-                admm: AdmmConfig { max_iter: 200, ..Default::default() },
+                admm: AdmmConfig {
+                    max_iter: 200,
+                    ..Default::default()
+                },
                 support_tol: 1e-6,
                 seed: 83,
                 ..Default::default()
@@ -42,8 +45,12 @@ fn run_case(
         layout: ParallelLayout { p_b, p_lambda: 1 },
     };
     let series = series.clone();
+    // Separate trace per sweep point: virtual clocks restart at zero
+    // for every cluster, so merged timelines would overlap.
+    let trace = BenchTrace::from_env(&format!("ablation_pb_kron.pb{p_b}_r{n_readers}"));
     let report = Cluster::new(8, machine())
         .modeled_ranks(8 * 512)
+        .with_telemetry(trace.telemetry())
         .run(move |ctx, world| {
             let (_, kron) = fit_uoi_var_dist(ctx, world, &series, &cfg);
             (kron.kron_seconds, ctx.clock())
@@ -51,7 +58,7 @@ fn run_case(
     let kron = report.results.iter().map(|&(k, _)| k).fold(0.0, f64::max);
     let total = report.makespan();
     let summary = report.run_summary();
-    (kron, total, summary)
+    (kron, total, summary, trace)
 }
 
 fn main() {
@@ -72,9 +79,11 @@ fn main() {
         &["P_B", "n_readers", "kron+vec (s)", "total (s)"],
     );
     let mut last_summary = None;
+    let mut last_trace = None;
     for &p_b in &[1usize, 2, 4, 8] {
-        let (kron, total, summary) = run_case(&series, p_b, 4, b);
+        let (kron, total, summary, trace) = run_case(&series, p_b, 4, b);
         last_summary = Some(summary);
+        last_trace = Some(trace);
         t.row(&[
             p_b.to_string(),
             "4".into(),
@@ -83,8 +92,9 @@ fn main() {
         ]);
     }
     for &readers in &[1usize, 2, 8] {
-        let (kron, total, summary) = run_case(&series, 1, readers, b);
+        let (kron, total, summary, trace) = run_case(&series, 1, readers, b);
         last_summary = Some(summary);
+        last_trace = Some(trace);
         t.row(&[
             "1".into(),
             readers.to_string(),
@@ -93,9 +103,15 @@ fn main() {
         ]);
     }
     t.emit("ablation_pb_kron");
-    let mut rep = t.run_report("ablation_pb_kron").param("p", p).param("b1", b);
+    let mut rep = t
+        .run_report("ablation_pb_kron")
+        .param("p", p)
+        .param("b1", b);
     if let Some(s) = last_summary {
         rep = rep.with_summary(s);
+    }
+    if let Some(trace) = &last_trace {
+        rep = trace.annotate(rep);
     }
     emit_run_report(&rep);
     println!(

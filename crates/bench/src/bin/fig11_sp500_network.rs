@@ -20,8 +20,13 @@ use uoi_solvers::AdmmConfig;
 use uoi_telemetry::{MetricsRegistry, Telemetry};
 
 fn main() {
-    let market = FinanceConfig { n_companies: 50, weeks: 104, seed: 2013, ..Default::default() }
-        .generate();
+    let market = FinanceConfig {
+        n_companies: 50,
+        weeks: 104,
+        seed: 2013,
+        ..Default::default()
+    }
+    .generate();
     // The paper's preprocessing: daily closes -> weekly closes -> first
     // differences (plausibly stationary).
     let weekly = aggregate_last(&market.daily_closes, DAYS_PER_WEEK);
@@ -44,7 +49,10 @@ fn main() {
             b2,
             q: 16,
             lambda_min_ratio: 5e-2,
-            admm: AdmmConfig { max_iter: 800, ..Default::default() },
+            admm: AdmmConfig {
+                max_iter: 800,
+                ..Default::default()
+            },
             support_tol: 1e-7,
             seed: 2014,
             telemetry: Telemetry::with_metrics(metrics.clone()),
@@ -60,7 +68,10 @@ fn main() {
     );
     t.row(&["possible edges".into(), (50 * 50).to_string()]);
     t.row(&["selected edges".into(), net.edge_count().to_string()]);
-    t.row(&["edges excl. self-loops".into(), net.edge_count_no_loops().to_string()]);
+    t.row(&[
+        "edges excl. self-loops".into(),
+        net.edge_count_no_loops().to_string(),
+    ]);
     t.row(&["network density".into(), format!("{:.4}", net.density())]);
     let degrees = net.degrees();
     let (hub, hub_deg) = degrees
@@ -80,11 +91,16 @@ fn main() {
         .collect();
     let recovered: Vec<usize> = {
         let adj = net.adjacency();
-        (0..50 * 50).filter(|&k| adj[(k / 50, k % 50)] != 0.0).collect()
+        (0..50 * 50)
+            .filter(|&k| adj[(k / 50, k % 50)] != 0.0)
+            .collect()
     };
     let counts = SelectionCounts::compare(&recovered, &truth, 2500);
     t.row(&["true edges (generator)".into(), truth.len().to_string()]);
-    t.row(&["edge precision".into(), format!("{:.3}", counts.precision())]);
+    t.row(&[
+        "edge precision".into(),
+        format!("{:.3}", counts.precision()),
+    ]);
     t.row(&["edge recall".into(), format!("{:.3}", counts.recall())]);
     t.row(&["edge F1".into(), format!("{:.3}", counts.f1())]);
     t.emit("fig11_sp500_network");

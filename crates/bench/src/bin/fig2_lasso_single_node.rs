@@ -8,7 +8,9 @@
 //! evaluated at 68 cores and print the same four bars.
 
 use uoi_bench::setups::{machine, single_node};
-use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, scale_divisor, Table};
+use uoi_bench::{
+    emit_run_report, exec_ranks, fmt_bytes, quick_mode, scale_divisor, BenchTrace, Table,
+};
 use uoi_core::uoi_lasso_dist::fit_uoi_lasso_dist;
 use uoi_core::{ParallelLayout, UoiLassoConfig};
 use uoi_data::LinearConfig;
@@ -47,30 +49,38 @@ fn main() {
         b2: 5,
         q: 8,
         lambda_min_ratio: 5e-2,
-        admm: AdmmConfig { max_iter: 150, ..Default::default() },
+        admm: AdmmConfig {
+            max_iter: 150,
+            ..Default::default()
+        },
         support_tol: 1e-6,
         seed: 11,
         ..Default::default()
     };
     let (x, y) = (ds.x.clone(), ds.y.clone());
     let paper_bytes = point.bytes;
+    let trace = BenchTrace::from_env("fig2_lasso_single_node");
     let report = Cluster::new(exec_ranks(), machine())
         .modeled_ranks(point.cores)
+        .with_telemetry(trace.telemetry())
         .run(move |ctx, world| {
             // Parallel HDF5-style load of the (paper-sized) dataset plus a
             // result save at the end — the paper's "Data I/O" bar.
-            let t_read = ctx
-                .model()
-                .io
-                .parallel_read_time(world.modeled_size(ctx), paper_bytes);
-            ctx.charge_io(t_read);
-            let fit =
-                fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg, ParallelLayout::admm_only());
-            let t_save = ctx
-                .model()
-                .io
-                .parallel_read_time(world.modeled_size(ctx), (fit.beta.len() * 8) as f64);
-            ctx.charge_io(t_save);
+            ctx.span("read_t1.load", |ctx| {
+                let t_read = ctx
+                    .model()
+                    .io
+                    .parallel_read_time(world.modeled_size(ctx), paper_bytes);
+                ctx.charge_io(t_read);
+            });
+            let fit = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg, ParallelLayout::admm_only());
+            ctx.span("checkpoint.save", |ctx| {
+                let t_save = ctx
+                    .model()
+                    .io
+                    .parallel_read_time(world.modeled_size(ctx), (fit.beta.len() * 8) as f64);
+                ctx.charge_io(t_save);
+            });
             ctx.ledger()
         });
 
@@ -90,9 +100,11 @@ fn main() {
     t.row(&["Total".into(), format!("{total:.4}"), "100.0%".into()]);
     t.emit("fig2_lasso_single_node");
     emit_run_report(
-        &t.run_report("fig2_lasso_single_node")
-            .param("modeled_cores", point.cores)
-            .with_summary(report.run_summary()),
+        &trace.annotate(
+            t.run_report("fig2_lasso_single_node")
+                .param("modeled_cores", point.cores)
+                .with_summary(report.run_summary()),
+        ),
     );
 
     println!(

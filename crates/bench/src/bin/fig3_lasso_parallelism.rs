@@ -9,7 +9,7 @@
 //! evaluated at the paper's core counts.
 
 use uoi_bench::setups::{machine, LASSO_FEATURES};
-use uoi_bench::{emit_run_report, fmt_bytes, quick_mode, Table};
+use uoi_bench::{emit_run_report, fmt_bytes, quick_mode, BenchTrace, Table};
 use uoi_core::uoi_lasso_dist::fit_uoi_lasso_dist;
 use uoi_core::{ParallelLayout, UoiLassoConfig};
 use uoi_data::LinearConfig;
@@ -17,8 +17,7 @@ use uoi_mpisim::{Cluster, Phase};
 use uoi_solvers::AdmmConfig;
 
 fn main() {
-    let sizes: &[(f64, usize)] =
-        &[(16.0, 2_176), (32.0, 4_352), (64.0, 8_704), (128.0, 17_408)];
+    let sizes: &[(f64, usize)] = &[(16.0, 2_176), (32.0, 4_352), (64.0, 8_704), (128.0, 17_408)];
     let configs: &[(usize, usize)] = &[(16, 2), (8, 4), (4, 8), (2, 16)];
     // Full mode keeps the paper's 48/48 ratios at reduced absolute counts
     // so a single host core finishes in minutes; quick mode shrinks again.
@@ -44,6 +43,7 @@ fn main() {
     );
 
     let mut last_summary = None;
+    let mut last_trace = None;
     for &(gb, cores) in sizes {
         let bytes = gb * 1024.0 * 1024.0 * 1024.0;
         // Per-core rows are constant across the sweep (both axes double).
@@ -66,20 +66,27 @@ fn main() {
                 b2: b,
                 q,
                 lambda_min_ratio: 5e-2,
-                admm: AdmmConfig { max_iter, ..Default::default() },
+                admm: AdmmConfig {
+                    max_iter,
+                    ..Default::default()
+                },
                 support_tol: 1e-6,
                 seed: 5,
                 ..Default::default()
             };
             let (x, y) = (ds.x.clone(), ds.y.clone());
+            let trace =
+                BenchTrace::from_env(&format!("fig3_lasso_parallelism.c{cores}_pb{p_b}_pl{p_l}"));
             let report = Cluster::new(exec, machine())
                 .modeled_ranks(cores)
+                .with_telemetry(trace.telemetry())
                 .run(move |ctx, world| {
                     let _ = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg, layout);
                     ctx.ledger()
                 });
             let l = report.phase_max();
             last_summary = Some(report.run_summary());
+            last_trace = Some(trace);
             t.row(&[
                 fmt_bytes(bytes),
                 cores.to_string(),
@@ -96,6 +103,9 @@ fn main() {
     let mut rep = t.run_report("fig3_lasso_parallelism");
     if let Some(s) = last_summary {
         rep = rep.with_summary(s);
+    }
+    if let Some(trace) = &last_trace {
+        rep = trace.annotate(rep);
     }
     emit_run_report(&rep);
     println!(

@@ -28,8 +28,7 @@ fn main() {
     );
     let mut last_summary = None;
     for point in lasso_weak() {
-        let rows_per_core =
-            (lasso_rows(point.bytes) as f64 / point.cores as f64).round() as usize;
+        let rows_per_core = (lasso_rows(point.bytes) as f64 / point.cores as f64).round() as usize;
         let run = LassoScalingRun {
             rows_per_core,
             features: LASSO_FEATURES,

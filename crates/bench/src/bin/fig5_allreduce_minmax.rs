@@ -4,7 +4,7 @@
 //! measures performance variability of the collective.
 
 use uoi_bench::setups::{lasso_weak, machine_noisy, LASSO_FEATURES};
-use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, BenchTrace, Table};
 use uoi_mpisim::Cluster;
 
 fn main() {
@@ -23,9 +23,12 @@ fn main() {
         ],
     );
     let mut last_summary = None;
+    let mut last_trace = None;
     for point in lasso_weak() {
+        let trace = BenchTrace::from_env(&format!("fig5_allreduce_minmax.c{}", point.cores));
         let report = Cluster::new(exec_ranks(), machine_noisy())
             .modeled_ranks(point.cores)
+            .with_telemetry(trace.telemetry())
             .run(move |ctx, world| {
                 for _ in 0..reps {
                     let mut v = vec![1.0; payload];
@@ -40,6 +43,7 @@ fn main() {
             n += 1;
         }
         last_summary = Some(report.run_summary());
+        last_trace = Some(trace);
         t.row(&[
             fmt_bytes(point.bytes),
             point.cores.to_string(),
@@ -51,9 +55,14 @@ fn main() {
         ]);
     }
     t.emit("fig5_allreduce_minmax");
-    let mut rep = t.run_report("fig5_allreduce_minmax").param("payload_bytes", payload * 8);
+    let mut rep = t
+        .run_report("fig5_allreduce_minmax")
+        .param("payload_bytes", payload * 8);
     if let Some(s) = last_summary {
         rep = rep.with_summary(s);
+    }
+    if let Some(trace) = &last_trace {
+        rep = trace.annotate(rep);
     }
     emit_run_report(&rep);
     println!(

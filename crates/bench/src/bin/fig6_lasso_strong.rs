@@ -62,7 +62,9 @@ fn main() {
         ]);
     }
     t.emit("fig6_lasso_strong");
-    let mut rep = t.run_report("fig6_lasso_strong").param("problem_bytes", bytes);
+    let mut rep = t
+        .run_report("fig6_lasso_strong")
+        .param("problem_bytes", bytes);
     if let Some(s) = last_summary {
         rep = rep.with_summary(s);
     }

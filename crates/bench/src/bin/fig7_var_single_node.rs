@@ -8,7 +8,7 @@
 
 use uoi_bench::setups::{machine, single_node, var_features};
 use uoi_bench::workload::VarScalingRun;
-use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, BenchTrace, Table};
 use uoi_mpisim::Phase;
 
 fn main() {
@@ -35,7 +35,8 @@ fn main() {
         model: machine(),
         seed: 13,
     };
-    let out = run.execute();
+    let trace = BenchTrace::from_env("fig7_var_single_node");
+    let out = run.execute_traced(trace.telemetry());
     let l = out.per_core_ledger();
     let kron_max = out.kron_seconds();
     let total = l.total().max(1e-12);
@@ -54,14 +55,19 @@ fn main() {
     t.row(&[
         "  (Kron+vec within Distribution)".into(),
         format!("{kron_max:.4}"),
-        format!("{:.1}%", 100.0 * kron_max / l.get(Phase::Distribution).max(1e-12)),
+        format!(
+            "{:.1}%",
+            100.0 * kron_max / l.get(Phase::Distribution).max(1e-12)
+        ),
     ]);
     t.row(&["Total".into(), format!("{total:.4}"), "100.0%".into()]);
     t.emit("fig7_var_single_node");
     emit_run_report(
-        &t.run_report("fig7_var_single_node")
-            .param("exec_p", p)
-            .with_summary(out.report.run_summary()),
+        &trace.annotate(
+            t.run_report("fig7_var_single_node")
+                .param("exec_p", p)
+                .with_summary(out.report.run_summary()),
+        ),
     );
 
     println!(

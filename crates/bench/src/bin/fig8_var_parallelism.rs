@@ -8,7 +8,7 @@
 //! lower bootstrap parallelism means more sequential Kron rounds.
 
 use uoi_bench::setups::machine;
-use uoi_bench::{emit_run_report, fmt_bytes, quick_mode, Table};
+use uoi_bench::{emit_run_report, fmt_bytes, quick_mode, BenchTrace, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::UoiVarConfig;
 use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
@@ -18,10 +18,13 @@ use uoi_mpisim::{Cluster, Phase};
 use uoi_solvers::AdmmConfig;
 
 fn main() {
-    let sizes: &[(f64, usize)] =
-        &[(16.0, 1_088), (32.0, 2_176), (64.0, 4_352), (128.0, 8_704)];
+    let sizes: &[(f64, usize)] = &[(16.0, 1_088), (32.0, 2_176), (64.0, 4_352), (128.0, 8_704)];
     let configs: &[(usize, usize)] = &[(8, 1), (4, 2), (2, 4), (1, 8)];
-    let (b, q, p) = if quick_mode() { (8, 8, 32) } else { (16, 8, 48) };
+    let (b, q, p) = if quick_mode() {
+        (8, 8, 32)
+    } else {
+        (16, 8, 48)
+    };
     let exec = 8; // one executed rank per group at 8x1 ... 1x8
 
     let mut t = Table::new(
@@ -39,6 +42,7 @@ fn main() {
     );
 
     let mut last_summary = None;
+    let mut last_trace = None;
     for &(gb, cores) in sizes {
         let bytes = gb * 1024.0 * 1024.0 * 1024.0;
         let proc = VarProcess::generate(&VarConfig {
@@ -60,7 +64,10 @@ fn main() {
                         b2: b,
                         q,
                         lambda_min_ratio: 5e-2,
-                        admm: AdmmConfig { max_iter: 150, ..Default::default() },
+                        admm: AdmmConfig {
+                            max_iter: 150,
+                            ..Default::default()
+                        },
                         support_tol: 1e-6,
                         seed: 17,
                         ..Default::default()
@@ -70,19 +77,22 @@ fn main() {
                 layout: ParallelLayout { p_b, p_lambda: p_l },
             };
             let series = series.clone();
+            let trace =
+                BenchTrace::from_env(&format!("fig8_var_parallelism.c{cores}_pb{p_b}_pl{p_l}"));
             let report = Cluster::new(exec, machine())
                 .modeled_ranks(cores)
+                .with_telemetry(trace.telemetry())
                 .run(move |ctx, world| {
                     let (_, kron) = fit_uoi_var_dist(ctx, world, &series, &cfg);
                     (ctx.ledger(), kron.kron_seconds)
                 });
-            let l = report
-                .results
-                .iter()
-                .map(|&(l, _)| l)
-                .fold(uoi_mpisim::PhaseLedger::default(), uoi_mpisim::PhaseLedger::max);
+            let l = report.results.iter().map(|&(l, _)| l).fold(
+                uoi_mpisim::PhaseLedger::default(),
+                uoi_mpisim::PhaseLedger::max,
+            );
             let kron = report.results.iter().map(|&(_, k)| k).fold(0.0, f64::max);
             last_summary = Some(report.run_summary());
+            last_trace = Some(trace);
             t.row(&[
                 fmt_bytes(bytes),
                 cores.to_string(),
@@ -99,6 +109,9 @@ fn main() {
     let mut rep = t.run_report("fig8_var_parallelism");
     if let Some(s) = last_summary {
         rep = rep.with_summary(s);
+    }
+    if let Some(trace) = &last_trace {
+        rep = trace.annotate(rep);
     }
     emit_run_report(&rep);
     println!(

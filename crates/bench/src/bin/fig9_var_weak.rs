@@ -56,8 +56,7 @@ fn main() {
         // Evaluate the analytic model at the paper's full configuration
         // (B1=30, B2=20, q=20, n_reader=64), calibrated by the measured
         // ADMM round count.
-        let (l, kron) =
-            var_paper_ledger(paper_p, point.cores, 30, 20, 20, rounds, 64, &machine());
+        let (l, kron) = var_paper_ledger(paper_p, point.cores, 30, 20, 20, rounds, 64, &machine());
         t.row(&[
             fmt_bytes(point.bytes),
             point.cores.to_string(),

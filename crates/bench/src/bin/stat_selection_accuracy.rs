@@ -52,7 +52,10 @@ fn linear_comparison(trials: usize) {
                 b2: 10,
                 q: 16,
                 lambda_min_ratio: 2e-2,
-                admm: AdmmConfig { max_iter: 800, ..Default::default() },
+                admm: AdmmConfig {
+                    max_iter: 800,
+                    ..Default::default()
+                },
                 support_tol: 1e-7,
                 seed: trial as u64,
                 telemetry: Telemetry::with_metrics(metrics.clone()),
@@ -67,12 +70,10 @@ fn linear_comparison(trials: usize) {
         let beta_mcp = mcp_cd(&ds.x, &ds.y, lam, 3.0, &CdConfig::default());
         let beta_ridge = ridge(&ds.x, &ds.y, 1.0);
 
-        for (row, beta) in rows.iter_mut().zip([
-            uoi.beta.clone(),
-            beta_lasso,
-            beta_mcp,
-            beta_ridge,
-        ]) {
+        for (row, beta) in rows
+            .iter_mut()
+            .zip([uoi.beta.clone(), beta_lasso, beta_mcp, beta_ridge])
+        {
             let support = support_of(&beta, 1e-6);
             let c = SelectionCounts::compare(&support, &ds.support_true, p);
             let e = estimation_error(&beta, &ds.beta_true);
@@ -110,8 +111,11 @@ fn linear_comparison(trials: usize) {
 fn var_comparison(trials: usize) {
     let p = 12;
     let metrics = Arc::new(MetricsRegistry::new());
-    let mut rows: Vec<(&str, f64, f64, f64)> =
-        vec![("UoI_VAR", 0.0, 0.0, 0.0), ("LASSO-VAR", 0.0, 0.0, 0.0), ("MCP-VAR", 0.0, 0.0, 0.0)];
+    let mut rows: Vec<(&str, f64, f64, f64)> = vec![
+        ("UoI_VAR", 0.0, 0.0, 0.0),
+        ("LASSO-VAR", 0.0, 0.0, 0.0),
+        ("MCP-VAR", 0.0, 0.0, 0.0),
+    ];
     for trial in 0..trials {
         let proc = VarProcess::generate(&VarConfig {
             p,
@@ -141,7 +145,10 @@ fn var_comparison(trials: usize) {
                     b2: 6,
                     q: 12,
                     lambda_min_ratio: 2e-2,
-                    admm: AdmmConfig { max_iter: 600, ..Default::default() },
+                    admm: AdmmConfig {
+                        max_iter: 600,
+                        ..Default::default()
+                    },
                     support_tol: 1e-7,
                     seed: trial as u64,
                     telemetry: Telemetry::with_metrics(metrics.clone()),

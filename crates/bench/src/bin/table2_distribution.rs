@@ -10,7 +10,7 @@
 //! single-stripe file.
 
 use uoi_bench::setups::{lasso_rows, machine};
-use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, Table};
+use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, BenchTrace, Table};
 use uoi_linalg::Matrix;
 use uoi_mpisim::Cluster;
 use uoi_tieredio::distribution::{conventional, randomized, ConventionalConfig};
@@ -19,7 +19,7 @@ use uoi_tieredio::shf::{write_matrix, ShfDataset};
 fn main() {
     // (paper GB, cores) rows of Table II; cores follow Table I.
     let rows: &[(f64, usize, bool)] = &[
-        (16.0, 68, false),     // single node, unstriped in the paper
+        (16.0, 68, false), // single node, unstriped in the paper
         (128.0, 4_352, true),
         (256.0, 8_704, true),
         (512.0, 17_408, true),
@@ -49,6 +49,7 @@ fn main() {
     );
 
     let mut last_summary = None;
+    let mut last_trace = None;
     for &(gb, cores, striped) in rows {
         let bytes = gb * 1024.0 * 1024.0 * 1024.0;
         let mut model = machine();
@@ -57,18 +58,22 @@ fn main() {
         }
         // Conventional: one pass per UoI phase over the file in 64 MB
         // chunks (the paper's reader cannot cache the dataset).
-        let conv_cfg = ConventionalConfig { chunk_bytes: 64 << 20, passes: 2 };
+        let conv_cfg = ConventionalConfig {
+            chunk_bytes: 64 << 20,
+            passes: 2,
+        };
 
         // Real (scaled) execution to validate both paths move identical
         // data; the virtual ledger uses the *scaled* byte count, so for
         // the table we evaluate the same formulas at paper scale below.
         let ds2 = ds.clone();
         let cc = conv_cfg.clone();
+        let trace = BenchTrace::from_env(&format!("table2_distribution.c{cores}"));
         let report = Cluster::new(exec, model.clone())
             .modeled_ranks(cores)
+            .with_telemetry(trace.telemetry())
             .run(move |ctx, world| {
-                let rows: Vec<usize> =
-                    (0..16).map(|i| (i * 31 + world.rank() * 7) % 512).collect();
+                let rows: Vec<usize> = (0..16).map(|i| (i * 31 + world.rank() * 7) % 512).collect();
                 let (a, _tc) = conventional(ctx, world, &ds2, &rows, &cc);
                 let (b, tr) = randomized(ctx, world, &ds2, &rows);
                 assert_eq!(a, b, "strategies must deliver identical rows");
@@ -76,6 +81,7 @@ fn main() {
             });
         let rand_distr_scaled = report.results[0].distribute;
         last_summary = Some(report.run_summary());
+        last_trace = Some(trace);
 
         // Paper-scale modeled times.
         let chunks = (bytes / conv_cfg.chunk_bytes as f64).ceil() as usize * conv_cfg.passes;
@@ -91,8 +97,8 @@ fn main() {
         let rows_total = lasso_rows(bytes) as f64;
         let row_bytes = bytes / rows_total;
         let rows_per_core = rows_total / cores as f64;
-        let rand_distr = rows_per_core * model.onesided_time(row_bytes as usize)
-            + rand_distr_scaled.min(1.0); // executed component (sub-second)
+        let rand_distr =
+            rows_per_core * model.onesided_time(row_bytes as usize) + rand_distr_scaled.min(1.0); // executed component (sub-second)
 
         t.row(&[
             fmt_bytes(bytes),
@@ -108,6 +114,9 @@ fn main() {
     let mut rep = t.run_report("table2_distribution");
     if let Some(s) = last_summary {
         rep = rep.with_summary(s);
+    }
+    if let Some(trace) = &last_trace {
+        rep = trace.annotate(rep);
     }
     emit_run_report(&rep);
     println!(

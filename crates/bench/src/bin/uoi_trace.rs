@@ -1,0 +1,142 @@
+//! `uoi-trace` — convert a JSONL trace captured with `UOI_TRACE=1` into
+//! a Chrome trace-format JSON (load it at <https://ui.perfetto.dev> or
+//! `chrome://tracing`) and print the per-rank / per-phase breakdown and
+//! load-imbalance report.
+//!
+//! ```text
+//! uoi-trace results/fig2_lasso_single_node.trace.jsonl
+//! uoi-trace run.trace.jsonl --chrome out.json --no-report
+//! ```
+//!
+//! By default the Chrome trace lands next to the input
+//! (`<stem>.chrome.json`) and the text report goes to stdout. When a
+//! sibling run report (`<bench>.json` for a `<bench>.trace.jsonl`
+//! input) records dropped trace records, a warning is printed — the
+//! timeline is then incomplete and per-phase sums undercount.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use uoi_telemetry::{analyze, build_timeline, to_chrome_trace, Json, JsonlSink};
+
+struct Args {
+    input: PathBuf,
+    chrome_out: Option<PathBuf>,
+    report: bool,
+    run_report: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: uoi-trace <trace.jsonl> [--chrome <out.json>] [--no-report] \
+         [--run-report <report.json>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut input = None;
+    let mut chrome_out = None;
+    let mut report = true;
+    let mut run_report = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chrome" => chrome_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--no-report" => report = false,
+            "--run-report" => {
+                run_report = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "-h" | "--help" => usage(),
+            _ if input.is_none() => input = Some(PathBuf::from(a)),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    Args {
+        input,
+        chrome_out,
+        report,
+        run_report,
+    }
+}
+
+/// `results/<bench>.trace.jsonl` → `results/<bench>.json`, the run
+/// report the harness wrote alongside the trace.
+fn sibling_run_report(input: &Path) -> Option<PathBuf> {
+    let name = input.file_name()?.to_str()?;
+    let bench = name.strip_suffix(".trace.jsonl")?;
+    let p = input.with_file_name(format!("{bench}.json"));
+    p.exists().then_some(p)
+}
+
+/// Dropped-record count recorded under `telemetry.dropped_records` in a
+/// run report, if any.
+fn dropped_records(path: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = Json::parse(&text).ok()?;
+    let n = json.get("telemetry")?.get("dropped_records")?.as_num()?;
+    Some(n as u64)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let events = match JsonlSink::read_events(&args.input) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("uoi-trace: cannot read {}: {e}", args.input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if events.is_empty() {
+        eprintln!(
+            "uoi-trace: {} holds no trace events (was the run started with UOI_TRACE=1?)",
+            args.input.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(report_path) = args
+        .run_report
+        .clone()
+        .or_else(|| sibling_run_report(&args.input))
+    {
+        if let Some(n) = dropped_records(&report_path) {
+            if n > 0 {
+                eprintln!(
+                    "uoi-trace: WARNING: {} reports {n} dropped trace record(s); \
+                     the timeline is incomplete and per-phase sums undercount",
+                    report_path.display()
+                );
+            }
+        }
+    }
+
+    let timeline = build_timeline(&events);
+    let breakdown = analyze(&timeline);
+
+    let chrome_path = args.chrome_out.clone().unwrap_or_else(|| {
+        let stem = args
+            .input
+            .file_name()
+            .and_then(|n| n.to_str())
+            .map(|n| n.strip_suffix(".jsonl").unwrap_or(n).to_string())
+            .unwrap_or_else(|| "trace".to_string());
+        args.input.with_file_name(format!("{stem}.chrome.json"))
+    });
+    let chrome = to_chrome_trace(&events);
+    if let Err(e) = std::fs::write(&chrome_path, chrome.to_string_compact()) {
+        eprintln!("uoi-trace: cannot write {}: {e}", chrome_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "[saved {} — open it at https://ui.perfetto.dev or chrome://tracing]",
+        chrome_path.display()
+    );
+
+    if args.report {
+        println!();
+        print!("{}", breakdown.render());
+    }
+    ExitCode::SUCCESS
+}

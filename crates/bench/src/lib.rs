@@ -15,7 +15,9 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use uoi_telemetry::{analyze, build_timeline, JsonlSink, MemorySink, TeeSink, Telemetry};
 pub use uoi_telemetry::{RunReport, RunSummary, RUN_REPORT_SCHEMA};
 
 pub mod setups;
@@ -41,7 +43,9 @@ pub fn scale_divisor() -> u64 {
 /// Quick mode trims bootstrap counts for CI-speed runs
 /// (`UOI_QUICK=1`).
 pub fn quick_mode() -> bool {
-    std::env::var("UOI_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("UOI_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Format a byte count the way the paper labels its x-axes.
@@ -181,6 +185,102 @@ pub fn emit_run_report(report: &RunReport) {
     match report.write_to_dir(&dir) {
         Ok(path) => println!("[saved {}]", path.display()),
         Err(e) => eprintln!("[run report not saved: {e}]"),
+    }
+}
+
+/// Opt-in tracing for a harness run (`UOI_TRACE=1`).
+///
+/// When enabled, every rank's trace events are tee'd into two sinks: a
+/// `results/<bench>.trace.jsonl` file (the `uoi-trace` CLI converts it
+/// to a Perfetto-loadable Chrome trace) and an in-memory sink replayed
+/// after the run into the per-phase/per-rank breakdown attached to the
+/// `RunReport`. Disabled (the default) this is a no-op handle: spans
+/// and trace events cost one branch.
+pub struct BenchTrace {
+    telemetry: Telemetry,
+    memory: Option<Arc<MemorySink>>,
+    jsonl: Option<Arc<JsonlSink>>,
+    trace_path: Option<PathBuf>,
+}
+
+impl BenchTrace {
+    /// Build from the environment: tracing on iff `UOI_TRACE=1`.
+    pub fn from_env(bench: &str) -> Self {
+        if std::env::var("UOI_TRACE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            Self::enabled(bench)
+        } else {
+            Self {
+                telemetry: Telemetry::disabled(),
+                memory: None,
+                jsonl: None,
+                trace_path: None,
+            }
+        }
+    }
+
+    /// Build with tracing forced on (tests; `from_env` for harnesses).
+    pub fn enabled(bench: &str) -> Self {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join(format!("{bench}.trace.jsonl"));
+        let memory = Arc::new(MemorySink::new());
+        match JsonlSink::create(&path) {
+            Ok(file) => {
+                let file = Arc::new(file);
+                let tee = Arc::new(TeeSink::new(vec![memory.clone() as _, file.clone() as _]));
+                Self {
+                    telemetry: Telemetry::with_sink(tee),
+                    memory: Some(memory),
+                    jsonl: Some(file),
+                    trace_path: Some(path),
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "[trace file {} not writable: {e}; tracing to memory only]",
+                    path.display()
+                );
+                Self {
+                    telemetry: Telemetry::with_sink(memory.clone() as _),
+                    memory: Some(memory),
+                    jsonl: None,
+                    trace_path: None,
+                }
+            }
+        }
+    }
+
+    /// Whether tracing is live.
+    pub fn enabled_now(&self) -> bool {
+        self.memory.is_some()
+    }
+
+    /// The handle to pass to `Cluster::with_telemetry` (cheap clone).
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// Flush sinks and attach the per-phase breakdown (plus the
+    /// dropped-record count, when a trace file is in play) to `report`.
+    /// A no-op passthrough when tracing is off.
+    pub fn annotate(&self, report: RunReport) -> RunReport {
+        let Some(memory) = &self.memory else {
+            return report;
+        };
+        self.telemetry.flush();
+        let events = memory.snapshot();
+        let breakdown = analyze(&build_timeline(&events));
+        let mut report = report.with_breakdown(breakdown.to_json());
+        if let Some(file) = &self.jsonl {
+            report = report.with_dropped_records(file.dropped_records());
+        }
+        if let Some(path) = &self.trace_path {
+            println!("[saved {}]", path.display());
+        }
+        report
     }
 }
 

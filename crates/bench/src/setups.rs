@@ -21,7 +21,10 @@ pub struct ScalePoint {
 
 /// Table I single-node row (both algorithms): 16 GB on 68 cores.
 pub fn single_node() -> ScalePoint {
-    ScalePoint { bytes: 16.0 * GB, cores: 68 }
+    ScalePoint {
+        bytes: 16.0 * GB,
+        cores: 68,
+    }
 }
 
 /// Table I weak-scaling rows for `UoI_LASSO`.
@@ -36,7 +39,10 @@ pub fn lasso_weak() -> Vec<ScalePoint> {
         (8192.0, 278_528),
     ]
     .into_iter()
-    .map(|(gb, cores)| ScalePoint { bytes: gb * GB, cores })
+    .map(|(gb, cores)| ScalePoint {
+        bytes: gb * GB,
+        cores,
+    })
     .collect()
 }
 
@@ -57,7 +63,10 @@ pub fn var_weak() -> Vec<ScalePoint> {
         (8192.0, 139_264),
     ]
     .into_iter()
-    .map(|(gb, cores)| ScalePoint { bytes: gb * GB, cores })
+    .map(|(gb, cores)| ScalePoint {
+        bytes: gb * GB,
+        cores,
+    })
     .collect()
 }
 

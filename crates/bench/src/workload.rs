@@ -18,6 +18,7 @@ use uoi_data::{VarConfig, VarProcess};
 use uoi_linalg::Matrix;
 use uoi_mpisim::{Cluster, MachineModel, PhaseLedger, SimReport};
 use uoi_solvers::{AdmmConfig, DistLassoAdmm};
+use uoi_telemetry::Telemetry;
 use uoi_tieredio::distribution::tier2_shuffle;
 
 /// Parameters of one representative `UoI_LASSO` scaling run.
@@ -49,6 +50,12 @@ impl LassoScalingRun {
     /// Execute the run and return the simulation report (per-rank phase
     /// ledgers evaluated at the modeled core count).
     pub fn execute(&self) -> SimReport<PhaseLedger> {
+        self.execute_traced(Telemetry::disabled())
+    }
+
+    /// [`execute`](Self::execute) with a telemetry handle attached, so
+    /// harnesses running under `UOI_TRACE=1` capture the run's timeline.
+    pub fn execute_traced(&self, telemetry: Telemetry) -> SimReport<PhaseLedger> {
         let rows = self.rows_per_core.max(2);
         let p = self.features;
         let (b1, b2, q) = (self.b1, self.b2, self.q);
@@ -56,6 +63,7 @@ impl LassoScalingRun {
         let seed = self.seed;
         Cluster::new(self.exec_ranks, self.model.clone())
             .modeled_ranks(self.modeled_cores)
+            .with_telemetry(telemetry)
             .run(move |ctx, world| {
                 let c = world.size();
                 let n_local_total = rows; // per executed rank (== per core)
@@ -76,8 +84,8 @@ impl LassoScalingRun {
                     let mut b = Matrix::zeros(n_local_total, p + 1);
                     for i in 0..n_local_total {
                         let row = &x_data[i * p..(i + 1) * p];
-                        let y: f64 = row.iter().take(10).sum::<f64>()
-                            + 0.1 * ((i % 7) as f64 - 3.0);
+                        let y: f64 =
+                            row.iter().take(10).sum::<f64>() + 0.1 * ((i % 7) as f64 - 3.0);
                         b.row_mut(i)[..p].copy_from_slice(row);
                         b.row_mut(i)[p] = y;
                     }
@@ -92,26 +100,27 @@ impl LassoScalingRun {
                     block.gather_cols(&cols)
                 };
                 let y_local = block.col(p);
-                let mut lmax =
-                    vec![uoi_linalg::norm_inf(&uoi_linalg::gemv_t(&xt_local, &y_local))];
+                let mut lmax = vec![uoi_linalg::norm_inf(&uoi_linalg::gemv_t(
+                    &xt_local, &y_local,
+                ))];
                 ctx.compute_flops(2.0 * (n_local_total * p) as f64, 0.0);
                 world.allreduce_sum(ctx, &mut lmax);
                 let lmax = (lmax[0] / c as f64).max(1e-9);
                 let lambdas = uoi_solvers::geometric_grid(lmax, 0.05 * lmax, q);
 
-                let admm = AdmmConfig { max_iter: 80, ..Default::default() };
+                let admm = AdmmConfig {
+                    max_iter: 80,
+                    ..Default::default()
+                };
                 let mut last_support: Vec<usize> = (0..10.min(p)).collect();
 
                 // --- Selection: b1 bootstraps x q lambdas. ---
                 for k in 0..b1 {
                     let mut rng = substream(seed ^ 0xB001, k as u64);
                     let my_rows: Vec<usize> = (0..n_local_total)
-                        .map(|_| {
-                            uoi_data::bootstrap::row_bootstrap(&mut rng, n_global, 1)[0]
-                        })
+                        .map(|_| uoi_data::bootstrap::row_bootstrap(&mut rng, n_global, 1)[0])
                         .collect();
-                    let (boot, _) =
-                        tier2_shuffle(ctx, world, block.clone(), n_global, &my_rows);
+                    let (boot, _) = tier2_shuffle(ctx, world, block.clone(), n_global, &my_rows);
                     let cols: Vec<usize> = (0..p).collect();
                     let xb = boot.gather_cols(&cols);
                     let yb = boot.col(p);
@@ -129,12 +138,9 @@ impl LassoScalingRun {
                 for k in 0..b2 {
                     let mut rng = substream(seed ^ 0xE571, k as u64);
                     let my_rows: Vec<usize> = (0..n_local_total)
-                        .map(|_| {
-                            uoi_data::bootstrap::row_bootstrap(&mut rng, n_global, 1)[0]
-                        })
+                        .map(|_| uoi_data::bootstrap::row_bootstrap(&mut rng, n_global, 1)[0])
                         .collect();
-                    let (boot, _) =
-                        tier2_shuffle(ctx, world, block.clone(), n_global, &my_rows);
+                    let (boot, _) = tier2_shuffle(ctx, world, block.clone(), n_global, &my_rows);
                     let cols: Vec<usize> = (0..p).collect();
                     let xb = boot.gather_cols(&cols).gather_cols(&last_support);
                     let yb = boot.col(p);
@@ -212,7 +218,11 @@ impl VarRunOutcome {
 
     /// Max Kronecker/vectorisation seconds over ranks.
     pub fn kron_seconds(&self) -> f64 {
-        self.report.results.iter().map(|&(_, k)| k).fold(0.0, f64::max)
+        self.report
+            .results
+            .iter()
+            .map(|&(_, k)| k)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -220,6 +230,12 @@ impl VarScalingRun {
     /// Execute the distributed `UoI_VAR` fit and return per-rank
     /// `(ledger, kron_seconds)`.
     pub fn execute(&self) -> VarRunOutcome {
+        self.execute_traced(Telemetry::disabled())
+    }
+
+    /// [`execute`](Self::execute) with a telemetry handle attached, so
+    /// harnesses running under `UOI_TRACE=1` capture the run's timeline.
+    pub fn execute_traced(&self, telemetry: Telemetry) -> VarRunOutcome {
         let proc = VarProcess::generate(&VarConfig {
             p: self.features,
             order: 1,
@@ -238,7 +254,10 @@ impl VarScalingRun {
                     b2: self.b2,
                     q: self.q,
                     lambda_min_ratio: 5e-2,
-                    admm: AdmmConfig { max_iter: 200, ..Default::default() },
+                    admm: AdmmConfig {
+                        max_iter: 200,
+                        ..Default::default()
+                    },
                     support_tol: 1e-6,
                     seed: self.seed,
                     ..Default::default()
@@ -249,6 +268,7 @@ impl VarScalingRun {
         };
         let report = Cluster::new(self.exec_ranks, self.model.clone())
             .modeled_ranks(self.modeled_cores)
+            .with_telemetry(telemetry)
             .run(move |ctx, world| {
                 let (_fit, kron) = fit_uoi_var_dist(ctx, world, &series, &cfg);
                 (ctx.ledger(), kron.kron_seconds)
@@ -267,6 +287,7 @@ impl VarScalingRun {
 ///
 /// Returns the per-core ledger and the Kronecker seconds (== the
 /// distribution component).
+#[allow(clippy::too_many_arguments)]
 pub fn var_paper_ledger(
     p: usize,
     cores: usize,
@@ -302,11 +323,19 @@ pub fn var_paper_ledger(
     let row_bytes = (pf + dp) * 8.0;
     let aggregate_msgs = c * n * pulls;
     let aggregate_bytes = aggregate_msgs * row_bytes;
-    let kron = (aggregate_msgs * model.alpha + aggregate_bytes * model.beta)
-        / n_readers.max(1) as f64;
+    let kron =
+        (aggregate_msgs * model.alpha + aggregate_bytes * model.beta) / n_readers.max(1) as f64;
 
     let io = model.io.parallel_read_time(cores, n * pf * 8.0);
-    (PhaseLedger { compute, comm, distribution: kron, io }, kron)
+    (
+        PhaseLedger {
+            compute,
+            comm,
+            distribution: kron,
+            io,
+        },
+        kron,
+    )
 }
 
 /// Estimate the mean ADMM rounds per (bootstrap, lambda) solve from an

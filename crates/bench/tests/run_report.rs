@@ -50,9 +50,12 @@ fn report_phase_totals_reconcile_with_sim_ledger() {
         .with_summary(summary.clone())
         .to_json_string();
     let parsed = Json::parse(&doc).expect("report must be valid JSON");
-    assert_eq!(parsed.get("schema").unwrap().as_str(), Some(RUN_REPORT_SCHEMA));
-    let round = RunSummary::from_json(parsed.get("summary").unwrap())
-        .expect("summary must deserialise");
+    assert_eq!(
+        parsed.get("schema").unwrap().as_str(),
+        Some(RUN_REPORT_SCHEMA)
+    );
+    let round =
+        RunSummary::from_json(parsed.get("summary").unwrap()).expect("summary must deserialise");
     assert!((round.phase_max.compute - lmax.compute).abs() < 1e-9);
     assert!((round.phase_max.comm - lmax.comm).abs() < 1e-9);
     assert!((round.phase_max.distribution - lmax.distribution).abs() < 1e-9);
@@ -79,9 +82,18 @@ fn emit_run_report_writes_schema_uniform_json() {
     let text = std::fs::read_to_string(&path).expect("report file must exist");
     let doc = Json::parse(&text).expect("must parse");
     assert_eq!(doc.get("schema").unwrap().as_str(), Some(RUN_REPORT_SCHEMA));
-    assert_eq!(doc.get("bench").unwrap().as_str(), Some("run_report_emit_check"));
+    assert_eq!(
+        doc.get("bench").unwrap().as_str(),
+        Some("run_report_emit_check")
+    );
     // The table's numeric cell arrives as a JSON number.
-    let rows = doc.get("table").unwrap().get("rows").unwrap().as_arr().unwrap();
+    let rows = doc
+        .get("table")
+        .unwrap()
+        .get("rows")
+        .unwrap()
+        .as_arr()
+        .unwrap();
     assert_eq!(rows[0].as_arr().unwrap()[0].as_num(), Some(256.0));
     // Summary carries the simulated makespan.
     let sum = RunSummary::from_json(doc.get("summary").unwrap()).unwrap();

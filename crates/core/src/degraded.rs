@@ -39,7 +39,10 @@ pub struct BootstrapFaultPlan {
 impl BootstrapFaultPlan {
     /// An empty plan carrying a seed for the random derivations.
     pub fn new(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 
     /// The plan's seed.
@@ -64,7 +67,8 @@ impl BootstrapFaultPlan {
     pub fn with_random_selection_failures(mut self, b1: usize, count: usize) -> Self {
         let mut rng = SplitMix64::new(self.seed ^ 0xDE6A_DED0_0B00_7001);
         while self.failed_selection.len() < count.min(b1) {
-            self.failed_selection.insert((rng.next_u64() % b1.max(1) as u64) as usize);
+            self.failed_selection
+                .insert((rng.next_u64() % b1.max(1) as u64) as usize);
         }
         self
     }
@@ -74,7 +78,8 @@ impl BootstrapFaultPlan {
     pub fn with_random_estimation_failures(mut self, b2: usize, count: usize) -> Self {
         let mut rng = SplitMix64::new(self.seed ^ 0xDE6A_DED0_0B00_7002);
         while self.failed_estimation.len() < count.min(b2) {
-            self.failed_estimation.insert((rng.next_u64() % b2.max(1) as u64) as usize);
+            self.failed_estimation
+                .insert((rng.next_u64() % b2.max(1) as u64) as usize);
         }
         self
     }
@@ -108,7 +113,10 @@ pub struct DegradationConfig {
 
 impl Default for DegradationConfig {
     fn default() -> Self {
-        Self { plan: None, min_quorum_frac: 0.5 }
+        Self {
+            plan: None,
+            min_quorum_frac: 0.5,
+        }
     }
 }
 
@@ -143,7 +151,11 @@ impl DegradationConfig {
     ) -> Result<(), UoiError> {
         let required = self.min_survivors(planned);
         if surviving < required {
-            return Err(UoiError::QuorumLost { stage, surviving, required });
+            return Err(UoiError::QuorumLost {
+                stage,
+                surviving,
+                required,
+            });
         }
         Ok(())
     }
@@ -211,7 +223,10 @@ pub struct CheckpointConfig {
 impl CheckpointConfig {
     /// Checkpoint into `dir`, never self-interrupting.
     pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into(), abort_after: None }
+        Self {
+            dir: dir.into(),
+            abort_after: None,
+        }
     }
 }
 
@@ -248,10 +263,12 @@ const CKPT_MAGIC: &str = "uoi-ckpt-v1";
 impl CheckpointStore {
     /// Open (creating the directory if needed) a store keyed by `fp`.
     pub fn open(dir: &Path, fp: u64) -> Result<Self, UoiError> {
-        std::fs::create_dir_all(dir).map_err(|e| {
-            UoiError::Checkpoint(format!("cannot create {}: {e}", dir.display()))
-        })?;
-        Ok(Self { dir: dir.to_path_buf(), fp })
+        std::fs::create_dir_all(dir)
+            .map_err(|e| UoiError::Checkpoint(format!("cannot create {}: {e}", dir.display())))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            fp,
+        })
     }
 
     fn path(&self, stage: &str, k: usize) -> PathBuf {
@@ -261,8 +278,7 @@ impl CheckpointStore {
     fn write_atomic(&self, stage: &str, k: usize, body: &str) -> Result<(), UoiError> {
         let final_path = self.path(stage, k);
         let tmp = self.dir.join(format!(".{stage}_{k:06}.tmp"));
-        let io_err =
-            |e: std::io::Error| UoiError::Checkpoint(format!("write {stage}/{k}: {e}"));
+        let io_err = |e: std::io::Error| UoiError::Checkpoint(format!("write {stage}/{k}: {e}"));
         {
             let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
             f.write_all(body.as_bytes()).map_err(io_err)?;
@@ -366,12 +382,19 @@ mod tests {
 
     #[test]
     fn quorum_rule() {
-        let cfg = DegradationConfig { plan: None, min_quorum_frac: 0.5 };
+        let cfg = DegradationConfig {
+            plan: None,
+            min_quorum_frac: 0.5,
+        };
         assert_eq!(cfg.min_survivors(10), 5);
         assert!(cfg.check_quorum("selection", 5, 10).is_ok());
         assert!(matches!(
             cfg.check_quorum("selection", 4, 10),
-            Err(UoiError::QuorumLost { stage: "selection", surviving: 4, required: 5 })
+            Err(UoiError::QuorumLost {
+                stage: "selection",
+                surviving: 4,
+                required: 5
+            })
         ));
     }
 
@@ -426,7 +449,10 @@ mod tests {
         let a = CheckpointStore::open(&dir, 1).unwrap();
         a.save_coeffs("est", 0, &[1.0]).unwrap();
         let b = CheckpointStore::open(&dir, 2).unwrap();
-        assert!(b.load_coeffs("est", 0, 1).is_none(), "foreign fp must be ignored");
+        assert!(
+            b.load_coeffs("est", 0, 1).is_none(),
+            "foreign fp must be ignored"
+        );
         assert!(a.load_coeffs("est", 0, 1).is_some());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -26,7 +26,11 @@ pub enum UoiError {
     InvalidConfig(String),
     /// Too few bootstraps survived fault injection for the named stage to
     /// proceed under the configured quorum rule.
-    QuorumLost { stage: &'static str, surviving: usize, required: usize },
+    QuorumLost {
+        stage: &'static str,
+        surviving: usize,
+        required: usize,
+    },
     /// The run was preempted after `completed` newly computed bootstrap
     /// tasks (checkpoint `abort_after` hook); completed work is on disk
     /// and a rerun resumes from it.
@@ -43,21 +47,34 @@ impl fmt::Display for UoiError {
                 write!(f, "need at least {min} samples, got {n}")
             }
             UoiError::DimensionMismatch { expected, got } => {
-                write!(f, "response length {got} does not match {expected} design rows")
+                write!(
+                    f,
+                    "response length {got} does not match {expected} design rows"
+                )
             }
             UoiError::NonFiniteInput(what) => {
                 write!(f, "non-finite value (NaN or infinity) in {what}")
             }
             UoiError::SeriesTooShort { n, min } => {
-                write!(f, "series of {n} observations is too short; need more than {min}")
+                write!(
+                    f,
+                    "series of {n} observations is too short; need more than {min}"
+                )
             }
             UoiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            UoiError::QuorumLost { stage, surviving, required } => write!(
+            UoiError::QuorumLost {
+                stage,
+                surviving,
+                required,
+            } => write!(
                 f,
                 "quorum lost in {stage}: only {surviving} bootstraps survived, need {required}"
             ),
             UoiError::Interrupted { completed } => {
-                write!(f, "run interrupted after {completed} bootstrap tasks (resumable)")
+                write!(
+                    f,
+                    "run interrupted after {completed} bootstrap tasks (resumable)"
+                )
             }
             UoiError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
@@ -84,12 +101,19 @@ mod tests {
     #[test]
     fn display_names_the_problem() {
         assert!(UoiError::EmptyDesign.to_string().contains("empty"));
-        assert!(UoiError::TooFewSamples { n: 2, min: 4 }.to_string().contains("at least 4"));
-        assert!(UoiError::DimensionMismatch { expected: 10, got: 7 }
+        assert!(UoiError::TooFewSamples { n: 2, min: 4 }
             .to_string()
-            .contains("7"));
+            .contains("at least 4"));
+        assert!(UoiError::DimensionMismatch {
+            expected: 10,
+            got: 7
+        }
+        .to_string()
+        .contains("7"));
         assert!(UoiError::NonFiniteInput("y").to_string().contains("y"));
-        assert!(UoiError::SeriesTooShort { n: 3, min: 5 }.to_string().contains("short"));
+        assert!(UoiError::SeriesTooShort { n: 3, min: 5 }
+            .to_string()
+            .contains("short"));
     }
 
     #[test]

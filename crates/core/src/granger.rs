@@ -48,7 +48,12 @@ impl GrangerNetwork {
                     }
                 }
                 if best.abs() > threshold {
-                    edges.push(Edge { from: j, to: i, weight: best, lag: best_lag });
+                    edges.push(Edge {
+                        from: j,
+                        to: i,
+                        weight: best,
+                        lag: best_lag,
+                    });
                 }
             }
         }
@@ -68,7 +73,11 @@ impl GrangerNetwork {
 
     /// Network density over the `p^2` possible directed edges.
     pub fn density(&self) -> f64 {
-        if self.p == 0 { 0.0 } else { self.edges.len() as f64 / (self.p * self.p) as f64 }
+        if self.p == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / (self.p * self.p) as f64
+        }
     }
 
     /// In-degree of each node (how many others it depends on).
@@ -139,10 +148,7 @@ impl GrangerNetwork {
         for e in &self.edges {
             if e.from != e.to {
                 let pw = 0.5 + 3.0 * e.weight.abs() / max_w;
-                s.push_str(&format!(
-                    "  n{} -> n{} [penwidth={pw:.2}];\n",
-                    e.from, e.to
-                ));
+                s.push_str(&format!("  n{} -> n{} [penwidth={pw:.2}];\n", e.from, e.to));
             }
         }
         s.push_str("}\n");
@@ -170,7 +176,15 @@ mod tests {
         assert_eq!(net.edge_count(), 3);
         assert_eq!(net.edge_count_no_loops(), 2);
         // Strongest edge first: 1 -> 0 with weight -0.8 at lag 2.
-        assert_eq!(net.edges[0], Edge { from: 1, to: 0, weight: -0.8, lag: 2 });
+        assert_eq!(
+            net.edges[0],
+            Edge {
+                from: 1,
+                to: 0,
+                weight: -0.8,
+                lag: 2
+            }
+        );
         assert_eq!(net.edges[2].lag, 2);
     }
 

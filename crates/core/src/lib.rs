@@ -10,8 +10,8 @@
 pub mod degraded;
 pub mod error;
 pub mod granger;
-pub mod parallelism;
 pub mod metrics;
+pub mod parallelism;
 pub mod support;
 pub mod uoi_lasso;
 pub mod uoi_lasso_dist;

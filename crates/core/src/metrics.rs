@@ -43,25 +43,41 @@ impl SelectionCounts {
     /// Precision = TP / (TP + FP); 1.0 when nothing was selected.
     pub fn precision(&self) -> f64 {
         let denom = self.true_positives + self.false_positives;
-        if denom == 0 { 1.0 } else { self.true_positives as f64 / denom as f64 }
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
     }
 
     /// Recall = TP / (TP + FN); 1.0 when the truth is empty.
     pub fn recall(&self) -> f64 {
         let denom = self.true_positives + self.false_negatives;
-        if denom == 0 { 1.0 } else { self.true_positives as f64 / denom as f64 }
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
     }
 
     /// F1 score.
     pub fn f1(&self) -> f64 {
         let (p, r) = (self.precision(), self.recall());
-        if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) }
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
     }
 
     /// False-positive rate FP / (FP + TN).
     pub fn false_positive_rate(&self) -> f64 {
         let denom = self.false_positives + self.true_negatives;
-        if denom == 0 { 0.0 } else { self.false_positives as f64 / denom as f64 }
+        if denom == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / denom as f64
+        }
     }
 
     /// Matthews correlation coefficient (0 when any margin is empty).
@@ -73,7 +89,11 @@ impl SelectionCounts {
             self.true_negatives as f64,
         );
         let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
-        if denom == 0.0 { 0.0 } else { (tp * tn - fp * fn_) / denom }
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
     }
 }
 
@@ -122,7 +142,11 @@ pub fn estimation_error(b: &[f64], b_star: &[f64]) -> EstimationError {
     EstimationError {
         l2,
         relative_l2: if tnorm > 0.0 { l2 / tnorm.sqrt() } else { l2 },
-        support_bias: if bias_n > 0 { bias_sum / bias_n as f64 } else { 0.0 },
+        support_bias: if bias_n > 0 {
+            bias_sum / bias_n as f64
+        } else {
+            0.0
+        },
         max_abs,
     }
 }
@@ -149,7 +173,12 @@ mod tests {
         // truth {0,1}, recovered {1,2}: TP=1 FP=1 FN=1 TN=1.
         let c = SelectionCounts::compare(&[1, 2], &[0, 1], 4);
         assert_eq!(
-            (c.true_positives, c.false_positives, c.false_negatives, c.true_negatives),
+            (
+                c.true_positives,
+                c.false_positives,
+                c.false_negatives,
+                c.true_negatives
+            ),
             (1, 1, 1, 1)
         );
         assert_eq!(c.precision(), 0.5);

@@ -18,7 +18,10 @@ impl ParallelLayout {
     /// runs ("no `P_B` and `P_lambda` parallelism and dedicating all the
     /// cores to distributed LASSO-ADMM computation").
     pub fn admm_only() -> Self {
-        Self { p_b: 1, p_lambda: 1 }
+        Self {
+            p_b: 1,
+            p_lambda: 1,
+        }
     }
 
     /// Number of ADMM cores per (bootstrap, lambda) group for a world of
@@ -26,7 +29,7 @@ impl ParallelLayout {
     pub fn admm_cores(&self, world_size: usize) -> usize {
         let groups = self.p_b * self.p_lambda;
         assert!(
-            world_size % groups == 0 && world_size >= groups,
+            world_size.is_multiple_of(groups) && world_size >= groups,
             "world size {world_size} not divisible into {}x{} groups",
             self.p_b,
             self.p_lambda
@@ -44,7 +47,12 @@ impl ParallelLayout {
         // The ADMM communicator: ranks sharing (b_group, l_group).
         let admm_color = (b_group * self.p_lambda + l_group) as i64;
         let admm_comm = world.split(ctx, admm_color, rank as i64);
-        LayoutComms { b_group, l_group, admm_comm, layout: *self }
+        LayoutComms {
+            b_group,
+            l_group,
+            admm_comm,
+            layout: *self,
+        }
     }
 
     /// Which bootstrap indices (of `total`) a bootstrap group owns
@@ -86,7 +94,10 @@ mod tests {
 
     #[test]
     fn admm_cores_division() {
-        let layout = ParallelLayout { p_b: 4, p_lambda: 2 };
+        let layout = ParallelLayout {
+            p_b: 4,
+            p_lambda: 2,
+        };
         assert_eq!(layout.admm_cores(32), 4);
         assert_eq!(ParallelLayout::admm_only().admm_cores(7), 7);
     }
@@ -94,12 +105,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "not divisible")]
     fn indivisible_world_rejected() {
-        ParallelLayout { p_b: 3, p_lambda: 2 }.admm_cores(8);
+        ParallelLayout {
+            p_b: 3,
+            p_lambda: 2,
+        }
+        .admm_cores(8);
     }
 
     #[test]
     fn round_robin_assignment_covers_everything() {
-        let layout = ParallelLayout { p_b: 3, p_lambda: 2 };
+        let layout = ParallelLayout {
+            p_b: 3,
+            p_lambda: 2,
+        };
         let mut all: Vec<usize> = (0..3).flat_map(|g| layout.bootstraps_for(g, 10)).collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
@@ -111,7 +129,10 @@ mod tests {
     #[test]
     fn split_produces_correct_groups() {
         // 8 ranks, 2x2 layout -> 4 groups of 2 ADMM cores.
-        let layout = ParallelLayout { p_b: 2, p_lambda: 2 };
+        let layout = ParallelLayout {
+            p_b: 2,
+            p_lambda: 2,
+        };
         let report = Cluster::new(8, MachineModel::deterministic()).run(|ctx, world| {
             let comms = layout.split(ctx, world);
             (

@@ -43,7 +43,11 @@ pub(crate) fn traced<R>(tel: &Telemetry, name: &str, body: impl FnOnce() -> R) -
     });
     let t0 = std::time::Instant::now();
     let out = body();
-    tel.record(TraceEvent::SpanEnd { id, rank: 0, t: t0.elapsed().as_secs_f64() });
+    tel.record(TraceEvent::SpanEnd {
+        id,
+        rank: 0,
+        t: t0.elapsed().as_secs_f64(),
+    });
     out
 }
 
@@ -313,17 +317,16 @@ pub fn fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
 /// Returns `Err` — and never panics — on an empty design, mismatched
 /// `x`/`y` lengths, too few samples to resample, non-finite inputs, or an
 /// invalid configuration.
-pub fn try_fit_uoi_lasso(
-    x: &Matrix,
-    y: &[f64],
-    cfg: &UoiLassoConfig,
-) -> Result<UoiFit, UoiError> {
+pub fn try_fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiError> {
     let (n, p) = x.shape();
     if n == 0 || p == 0 {
         return Err(UoiError::EmptyDesign);
     }
     if y.len() != n {
-        return Err(UoiError::DimensionMismatch { expected: n, got: y.len() });
+        return Err(UoiError::DimensionMismatch {
+            expected: n,
+            got: y.len(),
+        });
     }
     if n < 4 {
         return Err(UoiError::TooFewSamples { n, min: 4 });
@@ -432,12 +435,14 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
                 .collect::<Result<_, UoiError>>()
         })?;
     if interrupted.load(Ordering::SeqCst) {
-        return Err(UoiError::Interrupted { completed: computed.load(Ordering::SeqCst) });
+        return Err(UoiError::Interrupted {
+            completed: computed.load(Ordering::SeqCst),
+        });
     }
-    let supports_by_bootstrap: Vec<&Vec<Vec<usize>>> =
-        selection_results.iter().flatten().collect();
+    let supports_by_bootstrap: Vec<&Vec<Vec<usize>>> = selection_results.iter().flatten().collect();
     let effective_b1 = supports_by_bootstrap.len();
-    cfg.degradation.check_quorum("selection", effective_b1, cfg.b1)?;
+    cfg.degradation
+        .check_quorum("selection", effective_b1, cfg.b1)?;
 
     // Intersect across *surviving* bootstraps per lambda (eq. 3), with
     // the soft threshold generalisation: keep features present in at
@@ -464,11 +469,14 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
         .collect();
     let support_family = dedup_family(supports_per_lambda.clone());
 
-    cfg.telemetry.incr("uoi.selection.bootstraps", effective_b1 as u64);
+    cfg.telemetry
+        .incr("uoi.selection.bootstraps", effective_b1 as u64);
     for s in &supports_per_lambda {
-        cfg.telemetry.observe("uoi.selection.support_size", s.len() as f64);
+        cfg.telemetry
+            .observe("uoi.selection.support_size", s.len() as f64);
     }
-    cfg.telemetry.gauge("uoi.selection.family_size", support_family.len() as f64);
+    cfg.telemetry
+        .gauge("uoi.selection.family_size", support_family.len() as f64);
 
     // --- Model estimation: B2 train/eval resamples. ---
     // The candidate family only ever references the union of its
@@ -545,8 +553,7 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
                             }
                             EstimationScore::Bic => {
                                 let quad = dot(&beta_u, &gemv(&gram_u, &beta_u));
-                                let rss =
-                                    (quad - 2.0 * dot(&beta_u, &xty_u) + ysq_w).max(0.0);
+                                let rss = (quad - 2.0 * dot(&beta_u, &xty_u) + ysq_w).max(0.0);
                                 bic_from_rss(rss, n_train, support_u.len())
                             }
                         };
@@ -571,11 +578,14 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
                 .collect::<Result<_, UoiError>>()
         })?;
     if interrupted.load(Ordering::SeqCst) {
-        return Err(UoiError::Interrupted { completed: computed.load(Ordering::SeqCst) });
+        return Err(UoiError::Interrupted {
+            completed: computed.load(Ordering::SeqCst),
+        });
     }
     let best_estimates: Vec<&Vec<f64>> = est_results.iter().flatten().collect();
     let effective_b2 = best_estimates.len();
-    cfg.degradation.check_quorum("estimation", effective_b2, cfg.b2)?;
+    cfg.degradation
+        .check_quorum("estimation", effective_b2, cfg.b2)?;
 
     // Average the winners (eq. 4) over surviving estimation bootstraps.
     let mut beta = vec![0.0; p];
@@ -592,8 +602,10 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
     let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
     let support = support_of(&beta, cfg.support_tol);
 
-    cfg.telemetry.incr("uoi.estimation.bootstraps", effective_b2 as u64);
-    cfg.telemetry.gauge("uoi.support_size", support.len() as f64);
+    cfg.telemetry
+        .incr("uoi.estimation.bootstraps", effective_b2 as u64);
+    cfg.telemetry
+        .gauge("uoi.support_size", support.len() as f64);
 
     let degradation = plan.map(|pl| DegradationReport {
         b1_planned: cfg.b1,
@@ -700,8 +712,10 @@ pub(crate) fn fit_inner_materialized(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig
     let supports_per_lambda: Vec<Vec<usize>> = (0..cfg.q)
         .map(|j| {
             if needed == cfg.b1 {
-                let per_k: Vec<Vec<usize>> =
-                    supports_by_bootstrap.iter().map(|sk| sk[j].clone()).collect();
+                let per_k: Vec<Vec<usize>> = supports_by_bootstrap
+                    .iter()
+                    .map(|sk| sk[j].clone())
+                    .collect();
                 intersect_many(&per_k)
             } else {
                 let mut votes = vec![0usize; p];
@@ -788,7 +802,10 @@ mod tests {
             b2: 8,
             q: 14,
             lambda_min_ratio: 2e-2,
-            admm: AdmmConfig { max_iter: 800, ..Default::default() },
+            admm: AdmmConfig {
+                max_iter: 800,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -805,7 +822,11 @@ mod tests {
             fit.support,
             ds.support_true
         );
-        assert!(counts.false_positives <= 3, "FP = {}", counts.false_positives);
+        assert!(
+            counts.false_positives <= 3,
+            "FP = {}",
+            counts.false_positives
+        );
     }
 
     #[test]
@@ -845,7 +866,10 @@ mod tests {
         let ds = dataset();
         for cfg in [
             quick_cfg(),
-            UoiLassoConfig { score: EstimationScore::Bic, ..quick_cfg() },
+            UoiLassoConfig {
+                score: EstimationScore::Bic,
+                ..quick_cfg()
+            },
         ] {
             let fast = fit_uoi_lasso(&ds.x, &ds.y, &cfg);
             let reference = fit_inner_materialized(&ds.x, &ds.y, &cfg);
@@ -919,10 +943,17 @@ mod tests {
         let soft = fit_uoi_lasso(
             &ds.x,
             &ds.y,
-            &UoiLassoConfig { intersection_frac: 0.6, ..quick_cfg() },
+            &UoiLassoConfig {
+                intersection_frac: 0.6,
+                ..quick_cfg()
+            },
         );
         // Every strict lambda-support is contained in the soft one.
-        for (s, f) in strict.supports_per_lambda.iter().zip(&soft.supports_per_lambda) {
+        for (s, f) in strict
+            .supports_per_lambda
+            .iter()
+            .zip(&soft.supports_per_lambda)
+        {
             for j in s {
                 assert!(f.contains(j), "soft intersection must be a superset");
             }
@@ -947,11 +978,18 @@ mod tests {
         let fit = fit_uoi_lasso(
             &ds.x,
             &ds.y,
-            &UoiLassoConfig { score: EstimationScore::Bic, ..quick_cfg() },
+            &UoiLassoConfig {
+                score: EstimationScore::Bic,
+                ..quick_cfg()
+            },
         );
         let counts = SelectionCounts::compare(&fit.support, &ds.support_true, 30);
         assert!(counts.recall() >= 0.8, "BIC recall {}", counts.recall());
-        assert!(counts.false_positives <= 3, "BIC FP {}", counts.false_positives);
+        assert!(
+            counts.false_positives <= 3,
+            "BIC FP {}",
+            counts.false_positives
+        );
     }
 
     #[test]
@@ -967,8 +1005,7 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let beta_true_fit =
-            uoi_solvers::ols_on_support(&ds.x, &ds.y, &ds.support_true);
+        let beta_true_fit = uoi_solvers::ols_on_support(&ds.x, &ds.y, &ds.support_true);
         let mut padded = ds.support_true.clone();
         for j in 0..20 {
             if !padded.contains(&j) && padded.len() < 12 {
@@ -997,8 +1034,22 @@ mod tests {
     fn more_selection_bootstraps_never_grow_supports() {
         // Monotonicity of the intersection in B1 (same seed prefix).
         let ds = dataset();
-        let small = fit_uoi_lasso(&ds.x, &ds.y, &UoiLassoConfig { b1: 4, ..quick_cfg() });
-        let large = fit_uoi_lasso(&ds.x, &ds.y, &UoiLassoConfig { b1: 8, ..quick_cfg() });
+        let small = fit_uoi_lasso(
+            &ds.x,
+            &ds.y,
+            &UoiLassoConfig {
+                b1: 4,
+                ..quick_cfg()
+            },
+        );
+        let large = fit_uoi_lasso(
+            &ds.x,
+            &ds.y,
+            &UoiLassoConfig {
+                b1: 8,
+                ..quick_cfg()
+            },
+        );
         for (s_large, s_small) in large
             .supports_per_lambda
             .iter()

@@ -52,10 +52,14 @@ pub fn fit_uoi_lasso_dist(
     // the collectives stay aligned. Checkpointing is a serial-fit
     // feature; the distributed pipeline ignores it.
     let plan = cfg.degradation.plan.as_ref();
-    let effective_b1 =
-        cfg.b1 - (0..cfg.b1).filter(|&k| plan.is_some_and(|pl| pl.selection_failed(k))).count();
-    let effective_b2 =
-        cfg.b2 - (0..cfg.b2).filter(|&k| plan.is_some_and(|pl| pl.estimation_failed(k))).count();
+    let effective_b1 = cfg.b1
+        - (0..cfg.b1)
+            .filter(|&k| plan.is_some_and(|pl| pl.selection_failed(k)))
+            .count();
+    let effective_b2 = cfg.b2
+        - (0..cfg.b2)
+            .filter(|&k| plan.is_some_and(|pl| pl.estimation_failed(k)))
+            .count();
     cfg.degradation
         .check_quorum("selection", effective_b1, cfg.b1)
         .unwrap_or_else(|e| panic!("fit_uoi_lasso_dist: {e}"));
@@ -116,8 +120,7 @@ pub fn fit_uoi_lasso_dist(
         let mut rng = substream(cfg.seed, k as u64);
         let idx = row_bootstrap(&mut rng, n, n);
         let my_slice = &idx[block_range(n, c, admm_rank)];
-        let (data, _t) =
-            tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, my_slice);
+        let (data, _t) = tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, my_slice);
         let (xb, yb) = split_block(&data, p);
         let solver = DistLassoAdmm::new(ctx, &comms.admm_comm, xb, cfg.admm.clone());
         let my_lambda_ids = layout.lambdas_for(comms.l_group, cfg.q);
@@ -134,8 +137,7 @@ pub fn fit_uoi_lasso_dist(
     // Reduce: one world allreduce realises eq. 3 for every lambda at once
     // (soft threshold: >= ceil(frac * B1) votes).
     world.allreduce_sum(ctx, &mut votes);
-    let needed =
-        crate::uoi_lasso::required_votes(cfg.intersection_frac, effective_b1) as f64;
+    let needed = crate::uoi_lasso::required_votes(cfg.intersection_frac, effective_b1) as f64;
     let supports_per_lambda: Vec<Vec<usize>> = (0..cfg.q)
         .map(|j| {
             (0..p)
@@ -174,15 +176,14 @@ pub fn fit_uoi_lasso_dist(
         let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
         // Shuffle this rank's share of both resamples.
         let my_train = my_share(&train_idx, c, admm_rank);
-        let (train, _) =
-            tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, &my_train);
+        let (train, _) = tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, &my_train);
         let my_eval = my_share(&eval_idx, c, admm_rank);
-        let (eval, _) =
-            tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, &my_eval);
+        let (eval, _) = tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, &my_eval);
         let (xt, yt) = split_block(&train, p);
         let (xe, ye) = split_block(&eval, p);
 
         // Per-bootstrap local union-Gram cache.
+        let sp_gram = ctx.span_enter("gram_build.union");
         let xt_u = xt.gather_cols(&union);
         let gram_u = uoi_linalg::syrk_t(&xt_u);
         let xty_u = uoi_linalg::gemv_t(&xt_u, &yt);
@@ -190,6 +191,7 @@ pub fn fit_uoi_lasso_dist(
             (xt_u.rows() * union.len() * (union.len() + 2)) as f64,
             (xt_u.len() * 8) as f64,
         );
+        ctx.span_exit(sp_gram);
         let xe_u = xe.gather_cols(&union);
 
         let mut best: Option<(f64, Vec<f64>)> = None;
@@ -213,16 +215,21 @@ pub fn fit_uoi_lasso_dist(
                 beta_u[union_pos[f]] = b;
             }
             // Distributed evaluation loss: local SSE, allreduce 2 scalars.
+            let sp_score = ctx.span_enter("scoring.eval");
             uoi_linalg::gemv_into(&xe_u, &beta_u, &mut pred);
             ctx.compute_flops(
                 2.0 * (xe_u.rows() * union.len()) as f64,
                 (xe_u.len() * 8) as f64,
             );
             let mut stats = vec![
-                pred.iter().zip(&ye).map(|(a, b)| (a - b) * (a - b)).sum::<f64>(),
+                pred.iter()
+                    .zip(&ye)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>(),
                 ye.len() as f64,
             ];
             comms.admm_comm.allreduce_sum(ctx, &mut stats);
+            ctx.span_exit(sp_score);
             let loss = stats[0] / stats[1].max(1.0);
             if best.as_ref().is_none_or(|(l, _)| loss < *l) {
                 best = Some((loss, beta));
@@ -295,7 +302,12 @@ mod tests {
             b2: 6,
             q: 10,
             lambda_min_ratio: 2e-2,
-            admm: AdmmConfig { max_iter: 3000, abstol: 1e-9, reltol: 1e-8, ..Default::default() },
+            admm: AdmmConfig {
+                max_iter: 3000,
+                abstol: 1e-9,
+                reltol: 1e-8,
+                ..Default::default()
+            },
             support_tol: 1e-6,
             seed: 7,
             ..Default::default()
@@ -325,7 +337,12 @@ mod tests {
         // Recovery quality matches.
         let cs = SelectionCounts::compare(&serial.support, &ds.support_true, 20);
         let cd = SelectionCounts::compare(&dist.support, &ds.support_true, 20);
-        assert!(cd.f1() >= cs.f1() - 0.15, "dist f1 {} vs serial {}", cd.f1(), cs.f1());
+        assert!(
+            cd.f1() >= cs.f1() - 0.15,
+            "dist f1 {} vs serial {}",
+            cd.f1(),
+            cs.f1()
+        );
         // Coefficients close.
         for (a, b) in dist.beta.iter().zip(&serial.beta) {
             assert!((a - b).abs() < 0.05, "dist {a} vs serial {b}");
@@ -344,8 +361,7 @@ mod tests {
         .generate();
         let (x, y) = (ds.x.clone(), ds.y.clone());
         let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, world| {
-            let fit =
-                fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), ParallelLayout::admm_only());
+            let fit = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), ParallelLayout::admm_only());
             (fit.beta, fit.support)
         });
         for r in 1..4 {
@@ -366,14 +382,15 @@ mod tests {
         let run = |layout: ParallelLayout| {
             let (x, y) = (ds.x.clone(), ds.y.clone());
             Cluster::new(8, MachineModel::deterministic())
-                .run(move |ctx, world| {
-                    fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), layout)
-                })
+                .run(move |ctx, world| fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), layout))
                 .results
                 .remove(0)
         };
         let flat = run(ParallelLayout::admm_only());
-        let nested = run(ParallelLayout { p_b: 2, p_lambda: 2 });
+        let nested = run(ParallelLayout {
+            p_b: 2,
+            p_lambda: 2,
+        });
         assert_eq!(flat.supports_per_lambda, nested.supports_per_lambda);
         for (a, b) in flat.beta.iter().zip(&nested.beta) {
             assert!((a - b).abs() < 0.05, "{a} vs {b}");
@@ -398,6 +415,9 @@ mod tests {
         let l = report.phase_max();
         assert!(l.get(Phase::Compute) > 0.0, "compute time must be recorded");
         assert!(l.get(Phase::Comm) > 0.0, "allreduce time must be recorded");
-        assert!(l.get(Phase::Distribution) > 0.0, "tier-2 shuffles must be recorded");
+        assert!(
+            l.get(Phase::Distribution) > 0.0,
+            "tier-2 shuffles must be recorded"
+        );
     }
 }

@@ -15,16 +15,16 @@
 
 use crate::degraded::{data_words, fingerprint, CheckpointStore, DegradationReport};
 use crate::error::{all_finite, UoiError};
+use crate::granger::GrangerNetwork;
 use crate::support::{dedup_family, intersect_many};
 use crate::uoi_lasso::UoiLassoConfig;
 use crate::var_matrices::{partition_coefficients, VarRegression};
-use crate::granger::GrangerNetwork;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use uoi_data::bootstrap::{block_bootstrap, default_block_len, resample_weights};
 use uoi_data::rng::substream;
 use uoi_linalg::{dot, gemv_t_weighted, syrk_t_weighted, Matrix};
-use uoi_solvers::{geometric_grid, ols_on_support, ols_on_support_gram, support_of, LassoAdmm};
+use uoi_solvers::{geometric_grid, ols_on_support_gram, support_of, LassoAdmm};
 
 /// Hyperparameters of `UoI_VAR`.
 #[derive(Debug, Clone)]
@@ -39,7 +39,11 @@ pub struct UoiVarConfig {
 
 impl Default for UoiVarConfig {
     fn default() -> Self {
-        Self { order: 1, block_len: None, base: UoiLassoConfig::default() }
+        Self {
+            order: 1,
+            block_len: None,
+            base: UoiLassoConfig::default(),
+        }
     }
 }
 
@@ -302,7 +306,10 @@ pub fn try_fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit,
     cfg.validate()?;
     let d = cfg.order;
     if n_raw <= d + 4 {
-        return Err(UoiError::SeriesTooShort { n: n_raw, min: d + 4 });
+        return Err(UoiError::SeriesTooShort {
+            n: n_raw,
+            min: d + 4,
+        });
     }
     if !all_finite(series.as_slice()) {
         return Err(UoiError::NonFiniteInput("series"));
@@ -389,7 +396,8 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
                 .into_par_iter()
                 .map(|k| {
                     if plan.is_some_and(|pl| pl.selection_failed(k)) {
-                        base.telemetry.incr("uoi_var.degraded.selection_failures", 1);
+                        base.telemetry
+                            .incr("uoi_var.degraded.selection_failures", 1);
                         return Ok(None);
                     }
                     if let Some(st) = &store {
@@ -436,19 +444,23 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
                 .collect::<Result<_, UoiError>>()
         })?;
     if interrupted.load(Ordering::SeqCst) {
-        return Err(UoiError::Interrupted { completed: computed.load(Ordering::SeqCst) });
+        return Err(UoiError::Interrupted {
+            completed: computed.load(Ordering::SeqCst),
+        });
     }
-    let supports_by_bootstrap: Vec<&Vec<Vec<usize>>> =
-        selection_results.iter().flatten().collect();
+    let supports_by_bootstrap: Vec<&Vec<Vec<usize>>> = selection_results.iter().flatten().collect();
     let effective_b1 = supports_by_bootstrap.len();
-    base.degradation.check_quorum("selection", effective_b1, base.b1)?;
+    base.degradation
+        .check_quorum("selection", effective_b1, base.b1)?;
 
     let needed = crate::uoi_lasso::required_votes(base.intersection_frac, effective_b1);
     let supports_per_lambda: Vec<Vec<usize>> = (0..lambdas.len())
         .map(|j| {
             if needed == effective_b1 {
-                let per_k: Vec<Vec<usize>> =
-                    supports_by_bootstrap.iter().map(|sk| sk[j].clone()).collect();
+                let per_k: Vec<Vec<usize>> = supports_by_bootstrap
+                    .iter()
+                    .map(|sk| sk[j].clone())
+                    .collect();
                 intersect_many(&per_k)
             } else {
                 let mut votes = vec![0usize; total_coef];
@@ -463,11 +475,14 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
         .collect();
     let support_family = dedup_family(supports_per_lambda.clone());
 
-    base.telemetry.incr("uoi_var.selection.bootstraps", effective_b1 as u64);
+    base.telemetry
+        .incr("uoi_var.selection.bootstraps", effective_b1 as u64);
     for s in &supports_per_lambda {
-        base.telemetry.observe("uoi_var.selection.support_size", s.len() as f64);
+        base.telemetry
+            .observe("uoi_var.selection.support_size", s.len() as f64);
     }
-    base.telemetry.gauge("uoi_var.selection.family_size", support_family.len() as f64);
+    base.telemetry
+        .gauge("uoi_var.selection.family_size", support_family.len() as f64);
 
     // --- Model estimation (lines 14-30). ---
     // Gram-space scoring: the family only touches the union of its lag
@@ -512,7 +527,8 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
                 .into_par_iter()
                 .map(|k| {
                     if plan.is_some_and(|pl| pl.estimation_failed(k)) {
-                        base.telemetry.incr("uoi_var.degraded.estimation_failures", 1);
+                        base.telemetry
+                            .incr("uoi_var.degraded.estimation_failures", 1);
                         return Ok(None);
                     }
                     if let (Some(st), Some(stage)) = (&store, &est_stage) {
@@ -525,8 +541,7 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
                         return Ok(None);
                     }
                     let mut rng = substream(base.seed, 20_000 + k as u64);
-                    let (train_rows, eval_rows) =
-                        block_bootstrap_with_oob(&mut rng, n, block_len);
+                    let (train_rows, eval_rows) = block_bootstrap_with_oob(&mut rng, n, block_len);
                     let n_train = train_rows.len();
                     let w = resample_weights(&train_rows, n);
                     let gram_u = syrk_t_weighted(&xu, &w);
@@ -577,11 +592,14 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
                 .collect::<Result<_, UoiError>>()
         })?;
     if interrupted.load(Ordering::SeqCst) {
-        return Err(UoiError::Interrupted { completed: computed.load(Ordering::SeqCst) });
+        return Err(UoiError::Interrupted {
+            completed: computed.load(Ordering::SeqCst),
+        });
     }
     let best_estimates: Vec<&Vec<f64>> = est_results.iter().flatten().collect();
     let effective_b2 = best_estimates.len();
-    base.degradation.check_quorum("estimation", effective_b2, base.b2)?;
+    base.degradation
+        .check_quorum("estimation", effective_b2, base.b2)?;
 
     let mut vec_beta = vec![0.0; total_coef];
     for est in &best_estimates {
@@ -603,9 +621,12 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
         }
     }
 
-    base.telemetry.incr("uoi_var.estimation.bootstraps", effective_b2 as u64);
     base.telemetry
-        .gauge("uoi_var.nnz", vec_beta.iter().filter(|v| v.abs() > 0.0).count() as f64);
+        .incr("uoi_var.estimation.bootstraps", effective_b2 as u64);
+    base.telemetry.gauge(
+        "uoi_var.nnz",
+        vec_beta.iter().filter(|v| v.abs() > 0.0).count() as f64,
+    );
 
     let degradation = plan.map(|pl| DegradationReport {
         b1_planned: base.b1,
@@ -651,7 +672,7 @@ pub(crate) fn var_ols_on_support(
             continue;
         }
         let yi = reg.y.col(i);
-        let bi = ols_on_support(&reg.x, &yi, cols);
+        let bi = uoi_solvers::ols_on_support(&reg.x, &yi, cols);
         beta[i * dp..(i + 1) * dp].copy_from_slice(&bi);
     }
     beta
@@ -744,8 +765,10 @@ pub(crate) fn fit_inner_materialized(series: &Matrix, cfg: &UoiVarConfig) -> Uoi
     let supports_per_lambda: Vec<Vec<usize>> = (0..lambdas.len())
         .map(|j| {
             if needed == base.b1 {
-                let per_k: Vec<Vec<usize>> =
-                    supports_by_bootstrap.iter().map(|sk| sk[j].clone()).collect();
+                let per_k: Vec<Vec<usize>> = supports_by_bootstrap
+                    .iter()
+                    .map(|sk| sk[j].clone())
+                    .collect();
                 intersect_many(&per_k)
             } else {
                 let mut votes = vec![0usize; total_coef];
@@ -775,7 +798,8 @@ pub(crate) fn fit_inner_materialized(series: &Matrix, cfg: &UoiVarConfig) -> Uoi
                     best = Some((loss, beta));
                 }
             }
-            best.map(|(_, b)| b).unwrap_or_else(|| vec![0.0; total_coef])
+            best.map(|(_, b)| b)
+                .unwrap_or_else(|| vec![0.0; total_coef])
         })
         .collect();
 
@@ -829,7 +853,10 @@ mod tests {
                 // stops before the near-saturated tail that would flood
                 // the candidate family with false positives.
                 lambda_min_ratio: 5e-2,
-                admm: AdmmConfig { max_iter: 600, ..Default::default() },
+                admm: AdmmConfig {
+                    max_iter: 600,
+                    ..Default::default()
+                },
                 support_tol: 1e-7,
                 seed: 11,
                 ..Default::default()
@@ -921,7 +948,10 @@ mod tests {
             seed: 8,
         });
         let series = proc.simulate(600, 100, 3);
-        let cfg = UoiVarConfig { order: 2, ..quick_cfg() };
+        let cfg = UoiVarConfig {
+            order: 2,
+            ..quick_cfg()
+        };
         let fit = fit_uoi_var(&series, &cfg);
         assert_eq!(fit.a_mats.len(), 2);
         assert_eq!(fit.a_mats[0].shape(), (6, 6));
@@ -988,9 +1018,11 @@ mod tests {
         // (variance of the series).
         let holdout = proc.simulate(300, 650, 43);
         let mse_fit = fit.one_step_mse(&holdout);
-        let var: f64 = holdout.as_slice().iter().map(|v| v * v).sum::<f64>()
-            / holdout.len() as f64;
-        assert!(mse_fit < var, "one-step MSE {mse_fit} vs series variance {var}");
+        let var: f64 = holdout.as_slice().iter().map(|v| v * v).sum::<f64>() / holdout.len() as f64;
+        assert!(
+            mse_fit < var,
+            "one-step MSE {mse_fit} vs series variance {var}"
+        );
     }
 
     #[test]

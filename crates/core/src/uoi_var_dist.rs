@@ -27,9 +27,7 @@ use uoi_data::bootstrap::{block_bootstrap, default_block_len, resample_weights};
 use uoi_data::rng::substream;
 use uoi_linalg::{gemv_t_weighted, syrk_t_weighted, Matrix};
 use uoi_mpisim::{Comm, Phase, RankCtx, Window};
-use uoi_solvers::{
-    admm_iter_flops, geometric_grid, ols_on_support_gram, support_of, LassoAdmm,
-};
+use uoi_solvers::{admm_iter_flops, geometric_grid, ols_on_support_gram, support_of, LassoAdmm};
 use uoi_tieredio::distribution::{block_owner, block_range};
 
 /// Configuration of the distributed fit.
@@ -137,9 +135,13 @@ pub fn fit_uoi_var_dist(
     // so all ranks skip the same tasks and collectives stay aligned.
     let plan = base.degradation.plan.as_ref();
     let effective_b1 = base.b1
-        - (0..base.b1).filter(|&k| plan.is_some_and(|pl| pl.selection_failed(k))).count();
+        - (0..base.b1)
+            .filter(|&k| plan.is_some_and(|pl| pl.selection_failed(k)))
+            .count();
     let effective_b2 = base.b2
-        - (0..base.b2).filter(|&k| plan.is_some_and(|pl| pl.estimation_failed(k))).count();
+        - (0..base.b2)
+            .filter(|&k| plan.is_some_and(|pl| pl.estimation_failed(k)))
+            .count();
     base.degradation
         .check_quorum("selection", effective_b1, base.b1)
         .unwrap_or_else(|e| panic!("fit_uoi_var_dist: {e}"));
@@ -185,8 +187,7 @@ pub fn fit_uoi_var_dist(
         }
     }
     world.allreduce_sum(ctx, &mut votes);
-    let needed =
-        crate::uoi_lasso::required_votes(base.intersection_frac, effective_b1) as f64;
+    let needed = crate::uoi_lasso::required_votes(base.intersection_frac, effective_b1) as f64;
     let supports_per_lambda: Vec<Vec<usize>> = (0..base.q)
         .map(|j| {
             (0..total_coef)
@@ -203,8 +204,7 @@ pub fn fit_uoi_var_dist(
     // bootstrap builds one union-Gram from its pulled training block and
     // every candidate's per-column OLS is a sub-Gram extraction.
     let est_span = ctx.span_enter("uoi_var.estimation");
-    let mut union_cols: Vec<usize> =
-        support_family.iter().flatten().map(|&s| s % dp).collect();
+    let mut union_cols: Vec<usize> = support_family.iter().flatten().map(|&s| s % dp).collect();
     union_cols.sort_unstable();
     union_cols.dedup();
     let u_len = union_cols.len();
@@ -225,11 +225,20 @@ pub fn fit_uoi_var_dist(
         }
         let mut rng = substream(base.seed, 20_000 + k as u64);
         let (train_rows, eval_rows) = block_bootstrap_with_oob(&mut rng, n, block_len);
-        let train =
-            pull_regression(ctx, &win, &train_rows, n, readers, p, dp, stagger, &mut kron);
-        let eval =
-            pull_regression(ctx, &win, &eval_rows, n, readers, p, dp, stagger, &mut kron);
+        let train = pull_regression(
+            ctx,
+            &win,
+            &train_rows,
+            n,
+            readers,
+            p,
+            dp,
+            stagger,
+            &mut kron,
+        );
+        let eval = pull_regression(ctx, &win, &eval_rows, n, readers, p, dp, stagger, &mut kron);
         let n_train = train.samples();
+        let sp_gram = ctx.span_enter("gram_build.union");
         let xu_t = train.x.gather_cols(&union_cols);
         let gram_u = uoi_linalg::syrk_t(&xu_t);
         ctx.compute_flops(
@@ -244,6 +253,7 @@ pub fn fit_uoi_var_dist(
                 uoi_linalg::gemv_t(&xu_t, &yi)
             })
             .collect();
+        ctx.span_exit(sp_gram);
         let xe_u = eval.x.gather_cols(&union_cols);
 
         let mut best: Option<(f64, Vec<f64>)> = None;
@@ -260,16 +270,19 @@ pub fn fit_uoi_var_dist(
                     .collect();
                 let mut bu = vec![0.0; u_len];
                 if !cols.is_empty() {
+                    let sp_ols = ctx.span_enter("ols_estimation.col");
                     bu = ols_on_support_gram(&gram_u, &xty_u[slot], &cols, n_train);
                     ctx.compute_flops(
                         (cols.len() * cols.len()) as f64
                             + (cols.len() * cols.len() * cols.len()) as f64 / 3.0,
                         (cols.len() * cols.len() * 8) as f64,
                     );
+                    ctx.span_exit(sp_ols);
                     for (a, &cq) in union_cols.iter().enumerate() {
                         beta_local[i * dp + cq] = bu[a];
                     }
                 }
+                let sp_score = ctx.span_enter("scoring.eval");
                 let ye = eval.y.col(i);
                 uoi_linalg::gemv_into(&xe_u, &bu, &mut pred);
                 ctx.compute_flops(2.0 * (xe_u.rows() * u_len) as f64, 0.0);
@@ -279,13 +292,16 @@ pub fn fit_uoi_var_dist(
                     .map(|(a, b)| (a - b) * (a - b))
                     .sum::<f64>();
                 local_cnt += ye.len() as f64;
+                ctx.span_exit(sp_score);
             }
             // Assemble the full estimate and the global loss in one
             // allreduce (disjoint ownership sums correctly).
+            let sp_red = ctx.span_enter("scoring.reduce");
             let mut payload = beta_local;
             payload.push(local_sse);
             payload.push(local_cnt);
             comms.admm_comm.allreduce_sum(ctx, &mut payload);
+            ctx.span_exit(sp_red);
             let cnt = payload.pop().unwrap();
             let sse = payload.pop().unwrap();
             let loss = sse / cnt.max(1.0);
@@ -356,6 +372,7 @@ fn pull_regression(
     kron: &mut KronStats,
 ) -> VarRegression {
     let width = p + dp;
+    let sp = ctx.span_enter("shuffle_t2.pull");
     let t0 = ctx.ledger().get(Phase::Distribution);
     let mut y = Matrix::zeros(rows.len(), p);
     let mut x = Matrix::zeros(rows.len(), dp);
@@ -374,9 +391,14 @@ fn pull_regression(
         x.row_mut(dst).copy_from_slice(&buf[p..]);
     }
     epoch.finish(ctx);
+    ctx.span_exit(sp);
     kron.rows_pulled += m;
     kron.kron_seconds += ctx.ledger().get(Phase::Distribution) - t0;
-    VarRegression { y, x, order: dp / p }
+    VarRegression {
+        y,
+        x,
+        order: dp / p,
+    }
 }
 
 /// Lockstep distributed LASSO path over the vectorised problem: each rank
@@ -403,6 +425,7 @@ fn dist_lasso_path(
     // Zero-copy resample: the weighted Gram / rhs over the shared
     // regression equal X_b^T X_b and X_b^T y_b of the pulled block
     // exactly, without cloning the design into the solver.
+    let sp_gram = ctx.span_enter("gram_build.weighted");
     let gram = syrk_t_weighted(&reg.x, w);
     let mut solver = LassoAdmm::from_gram(gram, base.admm.clone());
     // Per-column convergence lands in the shared registry via `step`;
@@ -410,10 +433,7 @@ fn dist_lasso_path(
     if let Some(m) = ctx.telemetry().metrics() {
         solver = solver.with_metrics(m);
     }
-    ctx.compute_flops(
-        uoi_solvers::admm_factor_flops(n, dp),
-        (n * dp * 8) as f64,
-    );
+    ctx.compute_flops(uoi_solvers::admm_factor_flops(n, dp), (n * dp * 8) as f64);
     let rhs: Vec<Vec<f64>> = my_cols
         .clone()
         .map(|i| {
@@ -422,11 +442,15 @@ fn dist_lasso_path(
             gemv_t_weighted(&reg.x, w, &yi)
         })
         .collect();
+    ctx.span_exit(sp_gram);
 
     let mut out = Vec::with_capacity(lambdas.len());
     // Warm-start z across the path, fresh duals per lambda.
     let mut states: Vec<uoi_solvers::AdmmState> =
         my_cols.clone().map(|_| solver.init_state()).collect();
+    // `admm`-tagged span: the profiler splits its charges into
+    // admm_local (compute) vs admm_consensus (allreduce) by ledger.
+    let sp_admm = ctx.span_enter("admm.path");
     for &lam in lambdas {
         for st in &mut states {
             st.converged = false;
@@ -454,9 +478,7 @@ fn dist_lasso_path(
             }
             // Allreduce the full estimate + convergence counter — the
             // paper's per-iteration "communicate the estimates" call.
-            for v in &mut payload {
-                *v = 0.0;
-            }
+            payload.fill(0.0);
             for (slot, i) in my_cols.clone().enumerate() {
                 payload[i * dp..(i + 1) * dp].copy_from_slice(&states[slot].z);
             }
@@ -470,6 +492,7 @@ fn dist_lasso_path(
         }
         out.push(full);
     }
+    ctx.span_exit(sp_admm);
     out
 }
 
@@ -569,7 +592,10 @@ mod tests {
                 .remove(0)
         };
         let flat = run(ParallelLayout::admm_only());
-        let nested = run(ParallelLayout { p_b: 2, p_lambda: 2 });
+        let nested = run(ParallelLayout {
+            p_b: 2,
+            p_lambda: 2,
+        });
         assert_eq!(flat.supports_per_lambda, nested.supports_per_lambda);
         for (a, b) in flat.vec_beta.iter().zip(&nested.vec_beta) {
             assert!((a - b).abs() < 5e-3, "{a} vs {b}");

@@ -141,12 +141,7 @@ mod tests {
     #[test]
     fn build_small_var1() {
         // Series rows X_0..X_3, p = 2.
-        let series = Matrix::from_rows(&[
-            &[1.0, 10.0],
-            &[2.0, 20.0],
-            &[3.0, 30.0],
-            &[4.0, 40.0],
-        ]);
+        let series = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0], &[4.0, 40.0]]);
         let reg = VarRegression::build(&series, 1);
         assert_eq!(reg.samples(), 3);
         assert_eq!(reg.y.row(0), &[2.0, 20.0]); // X_1
@@ -157,12 +152,7 @@ mod tests {
 
     #[test]
     fn build_var2_lag_layout() {
-        let series = Matrix::from_rows(&[
-            &[1.0, -1.0],
-            &[2.0, -2.0],
-            &[3.0, -3.0],
-            &[4.0, -4.0],
-        ]);
+        let series = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, -2.0], &[3.0, -3.0], &[4.0, -4.0]]);
         let reg = VarRegression::build(&series, 2);
         assert_eq!(reg.samples(), 2);
         assert_eq!(reg.x.cols(), 4);

@@ -23,7 +23,12 @@ fn lasso_cfg() -> uoi_core::UoiLassoConfigBuilder {
         .b2(B2)
         .q(8)
         .lambda_min_ratio(3e-2)
-        .admm(AdmmConfig { max_iter: 1500, abstol: 1e-8, reltol: 1e-7, ..Default::default() })
+        .admm(AdmmConfig {
+            max_iter: 1500,
+            abstol: 1e-8,
+            reltol: 1e-7,
+            ..Default::default()
+        })
         .support_tol(1e-6)
         .seed(13)
 }
@@ -57,7 +62,10 @@ fn degraded_fit_completes_and_matches_fault_free_supports() {
         .with_random_selection_failures(B1, B1 / 2)
         .with_random_estimation_failures(B2, 2);
     let degraded_cfg = lasso_cfg()
-        .degradation(DegradationConfig { plan: Some(plan), min_quorum_frac: 0.5 })
+        .degradation(DegradationConfig {
+            plan: Some(plan),
+            min_quorum_frac: 0.5,
+        })
         .build()
         .unwrap();
     let clean_cfg = lasso_cfg().build().unwrap();
@@ -65,7 +73,10 @@ fn degraded_fit_completes_and_matches_fault_free_supports() {
     let degraded = try_fit_uoi_lasso(&ds.x, &ds.y, &degraded_cfg).expect("quorum holds");
     let clean = try_fit_uoi_lasso(&ds.x, &ds.y, &clean_cfg).unwrap();
 
-    let report = degraded.degradation.as_ref().expect("plan given => report attached");
+    let report = degraded
+        .degradation
+        .as_ref()
+        .expect("plan given => report attached");
     assert!(report.is_degraded());
     assert_eq!(report.b1_planned, B1);
     assert_eq!(report.b1_effective, B1 - B1 / 2);
@@ -79,13 +90,19 @@ fn degraded_fit_completes_and_matches_fault_free_supports() {
         report.to_json().to_string_compact(),
         rerun.degradation.unwrap().to_json().to_string_compact()
     );
-    assert_eq!(degraded.beta, rerun.beta, "degraded fit must be deterministic");
+    assert_eq!(
+        degraded.beta, rerun.beta,
+        "degraded fit must be deterministic"
+    );
 
     // The clean fit carries no report, and half the bootstraps dying must
     // not change which features survive the intersection on this
     // well-conditioned problem.
     assert!(clean.degradation.is_none());
-    assert_eq!(degraded.support, clean.support, "supports must match fault-free run");
+    assert_eq!(
+        degraded.support, clean.support,
+        "supports must match fault-free run"
+    );
     let counts = SelectionCounts::compare(&degraded.support, &ds.support_true, 16);
     assert!(counts.recall() >= 0.75, "recall {}", counts.recall());
 }
@@ -100,11 +117,18 @@ fn quorum_loss_is_a_typed_error() {
         plan = plan.fail_selection(k);
     }
     let cfg = lasso_cfg()
-        .degradation(DegradationConfig { plan: Some(plan), min_quorum_frac: 0.5 })
+        .degradation(DegradationConfig {
+            plan: Some(plan),
+            min_quorum_frac: 0.5,
+        })
         .build()
         .unwrap();
     match try_fit_uoi_lasso(&ds.x, &ds.y, &cfg) {
-        Err(UoiError::QuorumLost { stage: "selection", surviving: 1, required: 4 }) => {}
+        Err(UoiError::QuorumLost {
+            stage: "selection",
+            surviving: 1,
+            required: 4,
+        }) => {}
         other => panic!("expected QuorumLost, got {other:?}"),
     }
 }
@@ -123,19 +147,28 @@ fn interrupted_checkpoint_run_resumes_bit_identical() {
 
     // Phase 1: budget of B1/2 freshly computed tasks, then interruption.
     let interrupted_cfg = lasso_cfg()
-        .checkpoint(CheckpointConfig { abort_after: Some(B1 / 2), ..CheckpointConfig::in_dir(&dir) })
+        .checkpoint(CheckpointConfig {
+            abort_after: Some(B1 / 2),
+            ..CheckpointConfig::in_dir(&dir)
+        })
         .build()
         .unwrap();
     match try_fit_uoi_lasso(&ds.x, &ds.y, &interrupted_cfg) {
         Err(UoiError::Interrupted { completed }) => {
-            assert!(completed >= B1 / 2, "budget must be spent before interrupting");
+            assert!(
+                completed >= B1 / 2,
+                "budget must be spent before interrupting"
+            );
         }
         other => panic!("expected Interrupted, got {other:?}"),
     }
 
     // Phase 2: resume without a budget; checkpointed bootstraps are
     // loaded, the rest computed fresh.
-    let resume_cfg = lasso_cfg().checkpoint(CheckpointConfig::in_dir(&dir)).build().unwrap();
+    let resume_cfg = lasso_cfg()
+        .checkpoint(CheckpointConfig::in_dir(&dir))
+        .build()
+        .unwrap();
     let resumed = try_fit_uoi_lasso(&ds.x, &ds.y, &resume_cfg).unwrap();
 
     assert_eq!(resumed.beta, reference.beta, "resume must be bit-identical");
@@ -165,12 +198,18 @@ fn checkpoints_are_invalidated_by_data_changes() {
     }
     .generate();
     let dir = temp_ckpt_dir("lasso_fp");
-    let cfg = lasso_cfg().checkpoint(CheckpointConfig::in_dir(&dir)).build().unwrap();
+    let cfg = lasso_cfg()
+        .checkpoint(CheckpointConfig::in_dir(&dir))
+        .build()
+        .unwrap();
 
     let _ = try_fit_uoi_lasso(&ds_a.x, &ds_a.y, &cfg).unwrap();
     let fresh = try_fit_uoi_lasso(&ds_b.x, &ds_b.y, &cfg).unwrap();
     let clean = try_fit_uoi_lasso(&ds_b.x, &ds_b.y, &lasso_cfg().build().unwrap()).unwrap();
-    assert_eq!(fresh.beta, clean.beta, "stale checkpoints must not leak across datasets");
+    assert_eq!(
+        fresh.beta, clean.beta,
+        "stale checkpoints must not leak across datasets"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -197,14 +236,22 @@ fn var_checkpoint_resume_bit_identical() {
             .b2(4)
             .q(6)
             .lambda_min_ratio(5e-2)
-            .admm(AdmmConfig { max_iter: 800, abstol: 1e-7, reltol: 1e-6, ..Default::default() })
+            .admm(AdmmConfig {
+                max_iter: 800,
+                abstol: 1e-7,
+                reltol: 1e-6,
+                ..Default::default()
+            })
             .seed(21)
             .block_len(Some(12))
     };
     let reference = try_fit_uoi_var(&series, &base().build().unwrap()).unwrap();
 
     let interrupted = base()
-        .checkpoint(CheckpointConfig { abort_after: Some(2), ..CheckpointConfig::in_dir(&dir) })
+        .checkpoint(CheckpointConfig {
+            abort_after: Some(2),
+            ..CheckpointConfig::in_dir(&dir)
+        })
         .build()
         .unwrap();
     match try_fit_uoi_var(&series, &interrupted) {
@@ -212,10 +259,18 @@ fn var_checkpoint_resume_bit_identical() {
         other => panic!("expected Interrupted, got {other:?}"),
     }
 
-    let resumed =
-        try_fit_uoi_var(&series, &base().checkpoint(CheckpointConfig::in_dir(&dir)).build().unwrap())
-            .unwrap();
-    assert_eq!(resumed.vec_beta, reference.vec_beta, "VAR resume must be bit-identical");
+    let resumed = try_fit_uoi_var(
+        &series,
+        &base()
+            .checkpoint(CheckpointConfig::in_dir(&dir))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        resumed.vec_beta, reference.vec_beta,
+        "VAR resume must be bit-identical"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -2,9 +2,7 @@
 //! returns `Err` (never panics), the panicking wrappers preserve their
 //! old contract, and the builders reject bad configurations.
 
-use uoi_core::{
-    try_fit_uoi_lasso, try_fit_uoi_var, UoiError, UoiLassoConfig, UoiVarConfig,
-};
+use uoi_core::{try_fit_uoi_lasso, try_fit_uoi_var, UoiError, UoiLassoConfig, UoiVarConfig};
 use uoi_data::LinearConfig;
 use uoi_linalg::Matrix;
 
@@ -21,12 +19,7 @@ fn small_ds() -> (Matrix, Vec<f64>) {
 }
 
 fn quick_cfg() -> UoiLassoConfig {
-    UoiLassoConfig::builder()
-        .b1(3)
-        .b2(3)
-        .q(5)
-        .build()
-        .unwrap()
+    UoiLassoConfig::builder().b1(3).b2(3).q(5).build().unwrap()
 }
 
 #[test]
@@ -49,7 +42,10 @@ fn mismatched_lengths_are_an_error() {
     y.pop();
     assert_eq!(
         try_fit_uoi_lasso(&x, &y, &quick_cfg()).unwrap_err(),
-        UoiError::DimensionMismatch { expected: 40, got: 39 }
+        UoiError::DimensionMismatch {
+            expected: 40,
+            got: 39
+        }
     );
 }
 
@@ -82,15 +78,30 @@ fn non_finite_inputs_are_an_error() {
 #[test]
 fn zero_bootstraps_is_an_error_not_a_panic() {
     let (x, y) = small_ds();
-    let cfg = UoiLassoConfig { b1: 0, ..quick_cfg() };
+    let cfg = UoiLassoConfig {
+        b1: 0,
+        ..quick_cfg()
+    };
     match try_fit_uoi_lasso(&x, &y, &cfg) {
         Err(UoiError::InvalidConfig(msg)) => assert!(msg.contains("b1")),
         other => panic!("expected InvalidConfig, got {other:?}"),
     }
-    let cfg = UoiLassoConfig { b2: 0, ..quick_cfg() };
-    assert!(matches!(try_fit_uoi_lasso(&x, &y, &cfg), Err(UoiError::InvalidConfig(_))));
-    let cfg = UoiLassoConfig { q: 0, ..quick_cfg() };
-    assert!(matches!(try_fit_uoi_lasso(&x, &y, &cfg), Err(UoiError::InvalidConfig(_))));
+    let cfg = UoiLassoConfig {
+        b2: 0,
+        ..quick_cfg()
+    };
+    assert!(matches!(
+        try_fit_uoi_lasso(&x, &y, &cfg),
+        Err(UoiError::InvalidConfig(_))
+    ));
+    let cfg = UoiLassoConfig {
+        q: 0,
+        ..quick_cfg()
+    };
+    assert!(matches!(
+        try_fit_uoi_lasso(&x, &y, &cfg),
+        Err(UoiError::InvalidConfig(_))
+    ));
 }
 
 #[test]
@@ -113,11 +124,26 @@ fn valid_input_fits_ok() {
 
 #[test]
 fn lasso_builder_rejects_bad_fields() {
-    assert!(UoiLassoConfig::builder().lambda_min_ratio(0.0).build().is_err());
-    assert!(UoiLassoConfig::builder().lambda_min_ratio(1.5).build().is_err());
-    assert!(UoiLassoConfig::builder().support_tol(f64::NAN).build().is_err());
-    assert!(UoiLassoConfig::builder().intersection_frac(0.0).build().is_err());
-    assert!(UoiLassoConfig::builder().intersection_frac(1.1).build().is_err());
+    assert!(UoiLassoConfig::builder()
+        .lambda_min_ratio(0.0)
+        .build()
+        .is_err());
+    assert!(UoiLassoConfig::builder()
+        .lambda_min_ratio(1.5)
+        .build()
+        .is_err());
+    assert!(UoiLassoConfig::builder()
+        .support_tol(f64::NAN)
+        .build()
+        .is_err());
+    assert!(UoiLassoConfig::builder()
+        .intersection_frac(0.0)
+        .build()
+        .is_err());
+    assert!(UoiLassoConfig::builder()
+        .intersection_frac(1.1)
+        .build()
+        .is_err());
     assert!(UoiLassoConfig::builder().b1(0).build().is_err());
     // The happy path round-trips all fields.
     let cfg = UoiLassoConfig::builder()
@@ -135,7 +161,13 @@ fn lasso_builder_rejects_bad_fields() {
 #[test]
 fn var_series_too_short_is_an_error() {
     let series = Matrix::zeros(5, 3);
-    let cfg = UoiVarConfig::builder().order(1).b1(2).b2(2).q(3).build().unwrap();
+    let cfg = UoiVarConfig::builder()
+        .order(1)
+        .b1(2)
+        .b2(2)
+        .q(3)
+        .build()
+        .unwrap();
     assert_eq!(
         try_fit_uoi_var(&series, &cfg).unwrap_err(),
         UoiError::SeriesTooShort { n: 5, min: 5 }
@@ -155,7 +187,13 @@ fn var_non_finite_series_is_an_error() {
         }
     }
     series[(30, 1)] = f64::NEG_INFINITY;
-    let cfg = UoiVarConfig::builder().order(1).b1(2).b2(2).q(3).build().unwrap();
+    let cfg = UoiVarConfig::builder()
+        .order(1)
+        .b1(2)
+        .b2(2)
+        .q(3)
+        .build()
+        .unwrap();
     assert_eq!(
         try_fit_uoi_var(&series, &cfg).unwrap_err(),
         UoiError::NonFiniteInput("series")
@@ -185,5 +223,8 @@ fn panicking_wrapper_still_panics() {
         let x = Matrix::zeros(2, 2);
         uoi_core::fit_uoi_lasso(&x, &[0.0, 0.0], &quick_cfg())
     });
-    assert!(result.is_err(), "fit_uoi_lasso must keep its panicking contract");
+    assert!(
+        result.is_err(),
+        "fit_uoi_lasso must keep its panicking contract"
+    );
 }

@@ -44,13 +44,23 @@ fn lasso_fit_is_bit_identical_with_and_without_telemetry() {
     assert_eq!(plain.support, observed.support);
     assert_eq!(plain.beta.len(), observed.beta.len());
     for (a, b) in plain.beta.iter().zip(&observed.beta) {
-        assert_eq!(a.to_bits(), b.to_bits(), "beta must not drift under observation");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "beta must not drift under observation"
+        );
     }
     assert_eq!(plain.support_family, observed.support_family);
 
     // ... and the observation actually happened.
-    assert!(!sink.is_empty(), "tracing sink must have received spans/events");
-    assert!(metrics.counter("admm.solves") > 0, "ADMM solve counter must advance");
+    assert!(
+        !sink.is_empty(),
+        "tracing sink must have received spans/events"
+    );
+    assert!(
+        metrics.counter("admm.solves") > 0,
+        "ADMM solve counter must advance"
+    );
     assert!(metrics.counter("uoi.estimation.bootstraps") > 0);
 }
 
@@ -83,10 +93,17 @@ fn var_fit_is_bit_identical_with_and_without_telemetry() {
 
     let sink = Arc::new(MemorySink::new());
     let metrics = Arc::new(MetricsRegistry::new());
-    let observed = fit_uoi_var(&series, &base(Telemetry::new(sink.clone(), metrics.clone())));
+    let observed = fit_uoi_var(
+        &series,
+        &base(Telemetry::new(sink.clone(), metrics.clone())),
+    );
 
     for (a, b) in plain.vec_beta.iter().zip(&observed.vec_beta) {
-        assert_eq!(a.to_bits(), b.to_bits(), "vec_beta must not drift under observation");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "vec_beta must not drift under observation"
+        );
     }
     assert!(!sink.is_empty());
     assert!(metrics.counter("admm.solves") > 0);

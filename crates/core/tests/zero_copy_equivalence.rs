@@ -17,6 +17,7 @@ use uoi_solvers::{lambda_path, ols_on_support, support_of, LassoAdmm};
 
 /// The paper's original materialising pipeline, reconstructed from the
 /// public API only. Mirrors `fit_uoi_lasso`'s RNG substreams exactly.
+#[allow(clippy::type_complexity)]
 fn materialized_fit(
     x: &Matrix,
     y: &[f64],
@@ -50,8 +51,10 @@ fn materialized_fit(
     // Strict intersection (the test pins intersection_frac = 1.0).
     let supports_per_lambda: Vec<Vec<usize>> = (0..cfg.q)
         .map(|j| {
-            let per_k: Vec<Vec<usize>> =
-                supports_by_bootstrap.iter().map(|sk| sk[j].clone()).collect();
+            let per_k: Vec<Vec<usize>> = supports_by_bootstrap
+                .iter()
+                .map(|sk| sk[j].clone())
+                .collect();
             intersect_many(&per_k)
         })
         .collect();
@@ -67,7 +70,10 @@ fn materialized_fit(
             in_train[i] = true;
         }
         let eval_idx: Vec<usize> = (0..n).filter(|&i| !in_train[i]).collect();
-        assert!(!eval_idx.is_empty(), "test sizes must leave out-of-bag rows");
+        assert!(
+            !eval_idx.is_empty(),
+            "test sizes must leave out-of-bag rows"
+        );
 
         let xt = xc.gather_rows(&train_idx);
         let yt: Vec<f64> = train_idx.iter().map(|&i| yc[i]).collect();
@@ -135,14 +141,26 @@ fn check(score: EstimationScore) {
     let (ref_spl, ref_family, ref_beta, ref_icpt) = materialized_fit(&ds.x, &ds.y, &cfg);
 
     // The weighted-Gram path must select the identical model.
-    assert_eq!(fit.supports_per_lambda, ref_spl, "supports diverged ({score:?})");
-    assert_eq!(fit.support_family, ref_family, "family diverged ({score:?})");
+    assert_eq!(
+        fit.supports_per_lambda, ref_spl,
+        "supports diverged ({score:?})"
+    );
+    assert_eq!(
+        fit.support_family, ref_family,
+        "family diverged ({score:?})"
+    );
 
     // Coefficients agree to summation-order tolerance.
     for (a, b) in fit.beta.iter().zip(&ref_beta) {
-        assert!((a - b).abs() < 1e-6, "beta diverged ({score:?}): {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-6,
+            "beta diverged ({score:?}): {a} vs {b}"
+        );
     }
-    assert!((fit.intercept - ref_icpt).abs() < 1e-6, "intercept diverged ({score:?})");
+    assert!(
+        (fit.intercept - ref_icpt).abs() < 1e-6,
+        "intercept diverged ({score:?})"
+    );
 }
 
 #[test]

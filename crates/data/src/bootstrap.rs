@@ -67,7 +67,10 @@ pub fn train_eval_split(rng: &mut StdRng, n: usize, train_frac: f64) -> (Vec<usi
 /// Contiguous train/eval split for time series: the first `train_frac` of
 /// the series trains, the remainder evaluates (no shuffling — temporal
 /// order preserved).
-pub fn temporal_split(n: usize, train_frac: f64) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+pub fn temporal_split(
+    n: usize,
+    train_frac: f64,
+) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
     let cut = (((n as f64) * train_frac).round() as usize).clamp(1, n.saturating_sub(1).max(1));
     (0..cut, cut..n)
 }

@@ -103,7 +103,11 @@ impl FinanceConfig {
                     continue;
                 }
                 let same = sectors[i] == sectors[j];
-                let mut prob = if same { self.intra_density } else { self.inter_density };
+                let mut prob = if same {
+                    self.intra_density
+                } else {
+                    self.inter_density
+                };
                 if i < self.n_hubs {
                     // Hubs depend on firms everywhere: row i (incoming
                     // edges j -> i) gets a density boost.
@@ -133,7 +137,11 @@ impl FinanceConfig {
         let base = 100.0;
         for w in 0..self.weeks {
             for c in 0..p {
-                let prev = if w == 0 { base } else { weekly_closes[(w - 1, c)] };
+                let prev = if w == 0 {
+                    base
+                } else {
+                    weekly_closes[(w - 1, c)]
+                };
                 weekly_closes[(w, c)] = prev + weekly_diffs[(w, c)];
             }
         }
@@ -160,7 +168,12 @@ impl FinanceConfig {
             }
         }
 
-        FinanceDataset { daily_closes: daily, tickers, truth: proc, sectors }
+        FinanceDataset {
+            daily_closes: daily,
+            tickers,
+            truth: proc,
+            sectors,
+        }
     }
 }
 
@@ -181,7 +194,11 @@ mod tests {
 
     #[test]
     fn weekly_aggregation_recovers_var_differences() {
-        let cfg = FinanceConfig { weeks: 60, seed: 7, ..Default::default() };
+        let cfg = FinanceConfig {
+            weeks: 60,
+            seed: 7,
+            ..Default::default()
+        };
         let ds = cfg.generate();
         let weekly = aggregate_last(&ds.daily_closes, DAYS_PER_WEEK);
         assert_eq!(weekly.rows(), 60);
@@ -206,7 +223,12 @@ mod tests {
 
     #[test]
     fn hubs_have_elevated_in_degree() {
-        let ds = FinanceConfig { n_companies: 60, seed: 3, ..Default::default() }.generate();
+        let ds = FinanceConfig {
+            n_companies: 60,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
         let a = &ds.truth.coeffs[0];
         let in_degree = |i: usize| (0..60).filter(|&j| j != i && a[(i, j)] != 0.0).count();
         let hub_deg = in_degree(0) + in_degree(1);

@@ -68,7 +68,10 @@ pub struct LinearDataset {
 impl LinearConfig {
     /// Generate the dataset.
     pub fn generate(&self) -> LinearDataset {
-        assert!(self.n_nonzero <= self.n_features, "support larger than feature count");
+        assert!(
+            self.n_nonzero <= self.n_features,
+            "support larger than feature count"
+        );
         assert!(self.snr > 0.0, "snr must be positive");
         let mut rng = seeded(self.seed);
 
@@ -86,10 +89,7 @@ impl LinearConfig {
         let x = if self.rho_design == 0.0 {
             Matrix::from_vec(self.n_samples, self.n_features, raw)
         } else {
-            assert!(
-                self.rho_design.abs() < 1.0,
-                "rho_design must be in (-1, 1)"
-            );
+            assert!(self.rho_design.abs() < 1.0, "rho_design must be in (-1, 1)");
             let rho = self.rho_design;
             let scale = (1.0 - rho * rho).sqrt();
             let mut m = Matrix::from_vec(self.n_samples, self.n_features, raw);
@@ -111,7 +111,13 @@ impl LinearConfig {
             .map(|s| s + noise_std * normal(&mut rng))
             .collect();
 
-        LinearDataset { x, y, beta_true: beta, support_true: support, noise_std }
+        LinearDataset {
+            x,
+            y,
+            beta_true: beta,
+            support_true: support,
+            noise_std,
+        }
     }
 }
 
@@ -142,8 +148,13 @@ mod tests {
 
     #[test]
     fn shapes_and_support() {
-        let ds = LinearConfig { n_samples: 60, n_features: 30, n_nonzero: 7, ..Default::default() }
-            .generate();
+        let ds = LinearConfig {
+            n_samples: 60,
+            n_features: 30,
+            n_nonzero: 7,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(ds.x.shape(), (60, 30));
         assert_eq!(ds.y.len(), 60);
         assert_eq!(ds.support_true.len(), 7);
@@ -166,23 +177,46 @@ mod tests {
         let b = LinearConfig::default().generate();
         assert_eq!(a.y, b.y);
         assert_eq!(a.beta_true, b.beta_true);
-        let c = LinearConfig { seed: 99, ..Default::default() }.generate();
+        let c = LinearConfig {
+            seed: 99,
+            ..Default::default()
+        }
+        .generate();
         assert_ne!(a.y, c.y);
     }
 
     #[test]
     fn snr_controls_noise() {
-        let noisy = LinearConfig { snr: 0.5, seed: 5, ..Default::default() }.generate();
-        let clean = LinearConfig { snr: 100.0, seed: 5, ..Default::default() }.generate();
+        let noisy = LinearConfig {
+            snr: 0.5,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
+        let clean = LinearConfig {
+            snr: 100.0,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate();
         assert!(noisy.noise_std > clean.noise_std * 5.0);
     }
 
     #[test]
     fn high_snr_residual_small() {
-        let ds = LinearConfig { snr: 1e6, seed: 2, ..Default::default() }.generate();
+        let ds = LinearConfig {
+            snr: 1e6,
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
         let pred = uoi_linalg::gemv(&ds.x, &ds.beta_true);
         let resid_var = variance(
-            &pred.iter().zip(&ds.y).map(|(p, y)| y - p).collect::<Vec<_>>(),
+            &pred
+                .iter()
+                .zip(&ds.y)
+                .map(|(p, y)| y - p)
+                .collect::<Vec<_>>(),
         );
         let sig_var = variance(&pred);
         assert!(resid_var < sig_var * 1e-4);

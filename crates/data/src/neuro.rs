@@ -78,7 +78,11 @@ impl NeuroConfig {
                 counts[(t, c)] = poisson(&mut rng, rate) as f64;
             }
         }
-        NeuroDataset { counts, truth: proc, latent }
+        NeuroDataset {
+            counts,
+            truth: proc,
+            latent,
+        }
     }
 }
 
@@ -87,7 +91,11 @@ mod tests {
     use super::*;
 
     fn small() -> NeuroConfig {
-        NeuroConfig { n_channels: 24, n_samples: 800, ..Default::default() }
+        NeuroConfig {
+            n_channels: 24,
+            n_samples: 800,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -95,7 +103,11 @@ mod tests {
         let ds = small().generate();
         assert_eq!(ds.counts.shape(), (800, 24));
         assert_eq!(ds.latent.shape(), (800, 24));
-        assert!(ds.counts.as_slice().iter().all(|&c| c >= 0.0 && c.fract() == 0.0));
+        assert!(ds
+            .counts
+            .as_slice()
+            .iter()
+            .all(|&c| c >= 0.0 && c.fract() == 0.0));
     }
 
     #[test]

@@ -7,7 +7,10 @@ use uoi_linalg::Matrix;
 /// First differences down the rows: output row `t` = `x[t+1] - x[t]`.
 /// An `n x p` series becomes `(n-1) x p`.
 pub fn first_differences(x: &Matrix) -> Matrix {
-    assert!(x.rows() >= 2, "need at least two observations to difference");
+    assert!(
+        x.rows() >= 2,
+        "need at least two observations to difference"
+    );
     let mut out = Matrix::zeros(x.rows() - 1, x.cols());
     for t in 0..x.rows() - 1 {
         let (a, b) = (x.row(t), x.row(t + 1));
@@ -156,6 +159,10 @@ mod tests {
         let x = Matrix::from_fn(10, 1, |_, _| 3.0);
         let s = Standardizer::fit(&x);
         let z = s.transform(&x);
-        assert!(z.max_abs() < 1e-6, "constant column must map to ~0, got {}", z.max_abs());
+        assert!(
+            z.max_abs() < 1e-6,
+            "constant column must map to ~0, got {}",
+            z.max_abs()
+        );
     }
 }

@@ -95,8 +95,7 @@ mod tests {
         let mut rng = seeded(3);
         for &rate in &[0.5, 4.0, 50.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| poisson(&mut rng, rate) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| poisson(&mut rng, rate) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - rate).abs() < 0.15 * rate.max(1.0),
                 "rate {rate}: mean {mean}"

@@ -27,7 +27,14 @@ pub struct VarConfig {
 
 impl Default for VarConfig {
     fn default() -> Self {
-        Self { p: 20, order: 1, density: 0.1, target_radius: 0.7, noise_std: 1.0, seed: 1 }
+        Self {
+            p: 20,
+            order: 1,
+            density: 0.1,
+            target_radius: 0.7,
+            noise_std: 1.0,
+            seed: 1,
+        }
     }
 }
 
@@ -54,7 +61,11 @@ impl VarProcess {
                 Matrix::from_fn(cfg.p, cfg.p, |_, _| {
                     if rng.random::<f64>() < cfg.density {
                         let mag: f64 = rng.random_range(0.3..1.0);
-                        if rng.random::<bool>() { mag } else { -mag }
+                        if rng.random::<bool>() {
+                            mag
+                        } else {
+                            -mag
+                        }
                     } else {
                         0.0
                     }
@@ -82,7 +93,10 @@ impl VarProcess {
                 a.scale(s);
             }
         }
-        VarProcess { coeffs, noise_std: cfg.noise_std }
+        VarProcess {
+            coeffs,
+            noise_std: cfg.noise_std,
+        }
     }
 
     /// Build directly from known coefficients (checked square, same `p`).
@@ -120,7 +134,11 @@ impl VarProcess {
     pub fn true_adjacency(&self) -> Matrix {
         let p = self.dim();
         Matrix::from_fn(p, p, |i, j| {
-            if self.coeffs.iter().any(|a| a[(i, j)] != 0.0) { 1.0 } else { 0.0 }
+            if self.coeffs.iter().any(|a| a[(i, j)] != 0.0) {
+                1.0
+            } else {
+                0.0
+            }
         })
     }
 
@@ -158,16 +176,29 @@ mod tests {
     #[test]
     fn generated_process_is_stable() {
         for seed in 0..5 {
-            let proc = VarProcess::generate(&VarConfig { seed, p: 15, ..Default::default() });
+            let proc = VarProcess::generate(&VarConfig {
+                seed,
+                p: 15,
+                ..Default::default()
+            });
             assert!(proc.is_stable(), "seed {seed}: radius {}", proc.radius());
             let r = proc.radius();
-            assert!((r - 0.7).abs() < 0.1, "radius {r} should be near target 0.7");
+            assert!(
+                (r - 0.7).abs() < 0.1,
+                "radius {r} should be near target 0.7"
+            );
         }
     }
 
     #[test]
     fn var2_stability() {
-        let cfg = VarConfig { order: 2, p: 10, density: 0.2, seed: 3, ..Default::default() };
+        let cfg = VarConfig {
+            order: 2,
+            p: 10,
+            density: 0.2,
+            seed: 3,
+            ..Default::default()
+        };
         let proc = VarProcess::generate(&cfg);
         assert_eq!(proc.order(), 2);
         assert!(proc.is_stable(), "radius {}", proc.radius());
@@ -187,9 +218,16 @@ mod tests {
     #[test]
     fn simulated_series_bounded() {
         // A stable process must not blow up over a long horizon.
-        let proc = VarProcess::generate(&VarConfig { seed: 9, ..Default::default() });
+        let proc = VarProcess::generate(&VarConfig {
+            seed: 9,
+            ..Default::default()
+        });
         let series = proc.simulate(2000, 100, 1);
-        assert!(series.max_abs() < 100.0, "series exploded: {}", series.max_abs());
+        assert!(
+            series.max_abs() < 100.0,
+            "series exploded: {}",
+            series.max_abs()
+        );
     }
 
     #[test]
@@ -211,7 +249,10 @@ mod tests {
             den += (v - mean) * (v - mean);
         }
         let rho = num / den;
-        assert!(rho > 0.75, "lag-1 autocorrelation {rho} too small for a=0.9");
+        assert!(
+            rho > 0.75,
+            "lag-1 autocorrelation {rho} too small for a=0.9"
+        );
     }
 
     #[test]
@@ -229,10 +270,18 @@ mod tests {
 
     #[test]
     fn density_controls_sparsity() {
-        let sparse = VarProcess::generate(&VarConfig { density: 0.05, p: 40, seed: 1, ..Default::default() });
-        let dense = VarProcess::generate(&VarConfig { density: 0.5, p: 40, seed: 1, ..Default::default() });
-        assert!(
-            dense.coeffs[0].count_nonzero(0.0) > 3 * sparse.coeffs[0].count_nonzero(0.0)
-        );
+        let sparse = VarProcess::generate(&VarConfig {
+            density: 0.05,
+            p: 40,
+            seed: 1,
+            ..Default::default()
+        });
+        let dense = VarProcess::generate(&VarConfig {
+            density: 0.5,
+            p: 40,
+            seed: 1,
+            ..Default::default()
+        });
+        assert!(dense.coeffs[0].count_nonzero(0.0) > 3 * sparse.coeffs[0].count_nonzero(0.0));
     }
 }

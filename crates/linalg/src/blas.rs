@@ -233,8 +233,7 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
             let k_end = (k_panel + KC).min(k);
             for i in i_panel..i_end {
                 let a_row = a.row(i);
-                let c_row =
-                    &mut c_panel[(i - i_panel) * n..(i - i_panel) * n + n];
+                let c_row = &mut c_panel[(i - i_panel) * n..(i - i_panel) * n + n];
                 for kk in k_panel..k_end {
                     let aik = a_row[kk];
                     if aik != 0.0 {
@@ -279,7 +278,10 @@ pub fn syrk_t(a: &Matrix) -> Matrix {
         let bands: Vec<(usize, usize)> = {
             let nb = (rayon::current_num_threads() * 2).max(1);
             let band = p.div_ceil(nb).max(1);
-            (0..p).step_by(band).map(|s| (s, (s + band).min(p))).collect()
+            (0..p)
+                .step_by(band)
+                .map(|s| (s, (s + band).min(p)))
+                .collect()
         };
         let partials: Vec<(usize, usize, Vec<f64>)> = bands
             .into_par_iter()
@@ -375,7 +377,10 @@ pub fn syrk_t_weighted(a: &Matrix, w: &[f64]) -> Matrix {
         let bands: Vec<(usize, usize)> = {
             let nb = (rayon::current_num_threads() * 2).max(1);
             let band = p.div_ceil(nb).max(1);
-            (0..p).step_by(band).map(|s| (s, (s + band).min(p))).collect()
+            (0..p)
+                .step_by(band)
+                .map(|s| (s, (s + band).min(p)))
+                .collect()
         };
         let partials: Vec<(usize, usize, Vec<f64>)> = bands
             .into_par_iter()
@@ -499,7 +504,11 @@ pub fn mse(x: &Matrix, beta: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.rows(), y.len());
     let pred = gemv(x, beta);
     let n = y.len().max(1) as f64;
-    pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n
+    pred.iter()
+        .zip(y)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n
 }
 
 /// [`mse`] with a caller-owned prediction buffer: bit-identical result,
@@ -508,7 +517,11 @@ pub fn mse_into(x: &Matrix, beta: &[f64], y: &[f64], pred: &mut Vec<f64>) -> f64
     assert_eq!(x.rows(), y.len());
     gemv_into(x, beta, pred);
     let n = y.len().max(1) as f64;
-    pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n
+    pred.iter()
+        .zip(y)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n
 }
 
 /// Coefficient of determination R^2 on (`x`,`y`) for `beta`.
@@ -522,7 +535,11 @@ pub fn r_squared(x: &Matrix, beta: &[f64], y: &[f64]) -> f64 {
     let pred = gemv(x, beta);
     let ss_res: f64 = pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum();
     if ss_tot == 0.0 {
-        if ss_res == 0.0 { 1.0 } else { 0.0 }
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
     } else {
         1.0 - ss_res / ss_tot
     }
@@ -540,7 +557,11 @@ pub fn r_squared_into(x: &Matrix, beta: &[f64], y: &[f64], pred: &mut Vec<f64>) 
     gemv_into(x, beta, pred);
     let ss_res: f64 = pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum();
     if ss_tot == 0.0 {
-        if ss_res == 0.0 { 1.0 } else { 0.0 }
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
     } else {
         1.0 - ss_res / ss_tot
     }
@@ -645,8 +666,9 @@ mod tests {
     fn weighted_syrk_large_parallel_path() {
         let a = Matrix::from_fn(120, 64, |i, j| ((i * 13 + j * 29) % 17) as f64 * 0.1);
         let w: Vec<f64> = (0..120).map(|i| ((i * 7) % 4) as f64).collect();
-        let idx: Vec<usize> =
-            (0..120).flat_map(|i| std::iter::repeat(i).take((i * 7) % 4)).collect();
+        let idx: Vec<usize> = (0..120)
+            .flat_map(|i| std::iter::repeat(i).take((i * 7) % 4))
+            .collect();
         let expected = syrk_t(&a.gather_rows(&idx));
         assert!(syrk_t_weighted(&a, &w).approx_eq(&expected, 1e-9));
     }
@@ -666,9 +688,7 @@ mod tests {
         for (g, e) in got.iter().zip(&expected) {
             assert!((g - e).abs() < 1e-10, "{g} vs {e}");
         }
-        assert!(
-            (weighted_sumsq(&w, &y) - yb.iter().map(|v| v * v).sum::<f64>()).abs() < 1e-10
-        );
+        assert!((weighted_sumsq(&w, &y) - yb.iter().map(|v| v * v).sum::<f64>()).abs() < 1e-10);
     }
 
     #[test]
@@ -685,12 +705,19 @@ mod tests {
 
     #[test]
     fn fused_norms_bit_identical() {
-        let a: Vec<f64> = (0..37).map(|i| ((i * 13 + 5) % 11) as f64 * 0.37 - 2.0).collect();
-        let b: Vec<f64> = (0..37).map(|i| ((i * 7 + 2) % 9) as f64 * 0.51 - 1.3).collect();
+        let a: Vec<f64> = (0..37)
+            .map(|i| ((i * 13 + 5) % 11) as f64 * 0.37 - 2.0)
+            .collect();
+        let b: Vec<f64> = (0..37)
+            .map(|i| ((i * 7 + 2) % 9) as f64 * 0.51 - 1.3)
+            .collect();
         let rho = 1.7;
         assert_eq!(norm2_diff(&a, &b).to_bits(), norm2(&vsub(&a, &b)).to_bits());
         let scaled: Vec<f64> = a.iter().zip(&b).map(|(x, y)| rho * (x - y)).collect();
-        assert_eq!(norm2_scaled_diff(rho, &a, &b).to_bits(), norm2(&scaled).to_bits());
+        assert_eq!(
+            norm2_scaled_diff(rho, &a, &b).to_bits(),
+            norm2(&scaled).to_bits()
+        );
         let ra: Vec<f64> = a.iter().map(|v| rho * v).collect();
         assert_eq!(norm2_scaled(rho, &a).to_bits(), norm2(&ra).to_bits());
     }

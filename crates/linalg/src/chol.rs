@@ -350,12 +350,7 @@ mod tests {
     #[test]
     fn normal_equations_exact_fit() {
         // y = 2 x0 - 3 x1 exactly.
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[2.0, 1.0],
-        ]);
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]]);
         let y = [2.0, -3.0, -1.0, 1.0];
         let beta = solve_normal_equations(&x, &y, 0.0).unwrap();
         assert!((beta[0] - 2.0).abs() < 1e-10);

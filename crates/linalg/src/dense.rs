@@ -24,12 +24,20 @@ pub struct Matrix {
 impl Matrix {
     /// Create a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -64,7 +72,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build an `n x p` matrix by evaluating `f(i, j)`.
@@ -141,7 +153,11 @@ impl Matrix {
 
     /// Copy column `j` into a fresh vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -185,7 +201,11 @@ impl Matrix {
     pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
         for (r, &i) in idx.iter().enumerate() {
-            assert!(i < self.rows, "gather_rows: index {i} out of bounds ({})", self.rows);
+            assert!(
+                i < self.rows,
+                "gather_rows: index {i} out of bounds ({})",
+                self.rows
+            );
             out.row_mut(r).copy_from_slice(self.row(i));
         }
         out
@@ -314,7 +334,11 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "vcat: col mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Approximate elementwise equality within `tol` (test helper).
@@ -351,8 +375,7 @@ impl fmt::Debug for Matrix {
         let show_rows = self.rows.min(8);
         for i in 0..show_rows {
             let row = self.row(i);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|x| format!("{x:>10.4}")).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|x| format!("{x:>10.4}")).collect();
             let ell = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ell)?;
         }

@@ -80,7 +80,11 @@ pub fn companion_matrix(a_mats: &[Matrix]) -> Matrix {
     assert!(!a_mats.is_empty(), "companion_matrix: need at least one A");
     let p = a_mats[0].rows();
     for a in a_mats {
-        assert_eq!(a.shape(), (p, p), "companion_matrix: A matrices must be p x p");
+        assert_eq!(
+            a.shape(),
+            (p, p),
+            "companion_matrix: A matrices must be p x p"
+        );
     }
     let d = a_mats.len();
     let mut c = Matrix::zeros(d * p, d * p);

@@ -51,14 +51,22 @@ impl IdentityKron {
     /// Sparsity of the explicit block-diagonal form: `1 - 1/m`
     /// (the paper's `1 - 1/p` with square-ish blocks).
     pub fn sparsity(&self) -> f64 {
-        if self.copies == 0 { 0.0 } else { 1.0 - 1.0 / self.copies as f64 }
+        if self.copies == 0 {
+            0.0
+        } else {
+            1.0 - 1.0 / self.copies as f64
+        }
     }
 
     /// `(I ⊗ X) v` without materialising the operator: applies `X` to each
     /// of the `m` contiguous segments of `v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         let (n, q) = self.x.shape();
-        assert_eq!(v.len(), self.copies * q, "IdentityKron::matvec: length mismatch");
+        assert_eq!(
+            v.len(),
+            self.copies * q,
+            "IdentityKron::matvec: length mismatch"
+        );
         let mut out = Vec::with_capacity(self.copies * n);
         for k in 0..self.copies {
             out.extend(gemv(&self.x, &v[k * q..(k + 1) * q]));
@@ -69,7 +77,11 @@ impl IdentityKron {
     /// `(I ⊗ X)^T v`.
     pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
         let (n, q) = self.x.shape();
-        assert_eq!(v.len(), self.copies * n, "IdentityKron::matvec_t: length mismatch");
+        assert_eq!(
+            v.len(),
+            self.copies * n,
+            "IdentityKron::matvec_t: length mismatch"
+        );
         let mut out = Vec::with_capacity(self.copies * q);
         for k in 0..self.copies {
             out.extend(gemv_t(&self.x, &v[k * n..(k + 1) * n]));

@@ -31,9 +31,9 @@ pub mod qr;
 pub mod sparse;
 
 pub use blas::{
-    axpy, dot, gemm, gemv, gemv_into, gemv_t, gemv_t_into, gemv_t_weighted, mse, mse_into,
-    norm1, norm2, norm2_diff, norm2_scaled, norm2_scaled_diff, norm_inf, r_squared,
-    r_squared_into, syrk_t, syrk_t_weighted, weighted_sumsq,
+    axpy, dot, gemm, gemv, gemv_into, gemv_t, gemv_t_into, gemv_t_weighted, mse, mse_into, norm1,
+    norm2, norm2_diff, norm2_scaled, norm2_scaled_diff, norm_inf, r_squared, r_squared_into,
+    syrk_t, syrk_t_weighted, weighted_sumsq,
 };
 pub use chol::{solve_normal_equations, solve_spd, Cholesky, NotPositiveDefinite};
 pub use dense::Matrix;

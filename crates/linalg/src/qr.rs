@@ -150,7 +150,9 @@ mod tests {
 
     #[test]
     fn least_squares_matches_normal_equations() {
-        let a = Matrix::from_fn(25, 6, |i, j| (((i + 2) * (j + 3) * 97) % 41) as f64 / 20.0 - 1.0);
+        let a = Matrix::from_fn(25, 6, |i, j| {
+            (((i + 2) * (j + 3) * 97) % 41) as f64 / 20.0 - 1.0
+        });
         let b: Vec<f64> = (0..25).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
         let via_qr = qr_least_squares(&a, &b).unwrap();
         let via_ne = crate::chol::solve_normal_equations(&a, &b, 0.0).unwrap();

@@ -26,7 +26,13 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Empty matrix with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: vec![], values: vec![] }
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: vec![],
+            values: vec![],
+        }
     }
 
     /// Build from `(row, col, value)` triplets. Duplicate entries are summed;
@@ -64,7 +70,13 @@ impl CsrMatrix {
             current_row += 1;
             row_ptr[current_row] = col_idx.len();
         }
-        let mut m = Self { rows, cols, row_ptr, col_idx, values };
+        let mut m = Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
         m.prune(0.0);
         m
     }
@@ -85,7 +97,13 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Block-diagonal matrix with `copies` copies of `block` — the explicit
@@ -107,7 +125,13 @@ impl CsrMatrix {
                 row_ptr.push(col_idx.len());
             }
         }
-        Self { rows: br * copies, cols: bc * copies, row_ptr, col_idx, values }
+        Self {
+            rows: br * copies,
+            cols: bc * copies,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -134,7 +158,11 @@ impl CsrMatrix {
     /// Kronecker design matrix).
     pub fn sparsity(&self) -> f64 {
         let total = (self.rows * self.cols) as f64;
-        if total == 0.0 { 0.0 } else { 1.0 - self.nnz() as f64 / total }
+        if total == 0.0 {
+            0.0
+        } else {
+            1.0 - self.nnz() as f64 / total
+        }
     }
 
     /// Column indices and values of row `i`.
@@ -241,9 +269,7 @@ impl CsrMatrix {
             let mut entries: Vec<(usize, f64)> = cs
                 .iter()
                 .zip(vs)
-                .filter_map(|(&c, &v)| {
-                    (remap[c] != usize::MAX).then_some((remap[c], v))
-                })
+                .filter_map(|(&c, &v)| (remap[c] != usize::MAX).then_some((remap[c], v)))
                 .collect();
             entries.sort_by_key(|&(c, _)| c);
             for (c, v) in entries {
@@ -252,7 +278,13 @@ impl CsrMatrix {
             }
             row_ptr[i + 1] = col_idx.len();
         }
-        CsrMatrix { rows: self.rows, cols: idx.len(), row_ptr, col_idx, values }
+        CsrMatrix {
+            rows: self.rows,
+            cols: idx.len(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -262,11 +294,8 @@ mod tests {
 
     #[test]
     fn triplets_roundtrip_with_duplicates() {
-        let m = CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 0, 1.0), (1, 2, 2.0), (1, 2, 3.0), (2, 1, -1.0)],
-        );
+        let m =
+            CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 2, 2.0), (1, 2, 3.0), (2, 1, -1.0)]);
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.get(1, 2), 5.0);
         assert_eq!(m.get(2, 1), -1.0);
@@ -284,7 +313,13 @@ mod tests {
 
     #[test]
     fn spmv_matches_dense() {
-        let d = Matrix::from_fn(6, 4, |i, j| if (i + j) % 3 == 0 { (i + 1) as f64 } else { 0.0 });
+        let d = Matrix::from_fn(6, 4, |i, j| {
+            if (i + j) % 3 == 0 {
+                (i + 1) as f64
+            } else {
+                0.0
+            }
+        });
         let s = CsrMatrix::from_dense(&d, 0.0);
         let x = [1.0, -2.0, 0.5, 3.0];
         assert_eq!(s.spmv(&x), crate::blas::gemv(&d, &x));

@@ -72,7 +72,11 @@ impl std::fmt::Display for SimError {
             self.root_cause()
         )?;
         if self.drained_messages > 0 {
-            write!(f, "; {} undelivered message(s) drained", self.drained_messages)?;
+            write!(
+                f,
+                "; {} undelivered message(s) drained",
+                self.drained_messages
+            )?;
         }
         Ok(())
     }
@@ -193,12 +197,15 @@ impl Cluster {
     {
         let events: Arc<Mutex<Vec<CollectiveEvent>>> = Arc::new(Mutex::new(Vec::new()));
         let abort = Arc::new(AbortState::new());
-        let world = Arc::new(CommInner::new(self.exec_ranks, events.clone(), abort.clone()));
+        let world = Arc::new(CommInner::new(
+            self.exec_ranks,
+            events.clone(),
+            abort.clone(),
+        ));
         let oversub = self.modeled_ranks as f64 / self.exec_ranks as f64;
 
         type RankOutcome<T> = Result<(T, PhaseLedger, f64), RankFailure>;
-        let mut results: Vec<Option<RankOutcome<T>>> =
-            (0..self.exec_ranks).map(|_| None).collect();
+        let mut results: Vec<Option<RankOutcome<T>>> = (0..self.exec_ranks).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.exec_ranks);
@@ -216,13 +223,12 @@ impl Cluster {
                     .unwrap_or_default();
                 let watchdog = self.watchdog;
                 handles.push(scope.spawn(move || -> RankOutcome<T> {
-                    let mut ctx = RankCtx::new(
-                        rank, exec, model, oversub, telemetry, faults, watchdog,
-                    );
+                    let mut ctx =
+                        RankCtx::new(rank, exec, model, oversub, telemetry, faults, watchdog);
                     let comm = Comm::from_inner(world, rank);
-                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || f(&mut ctx, &comm),
-                    ));
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f(&mut ctx, &comm)
+                    }));
                     match out {
                         Ok(out) => {
                             let (ledger, clock) = ctx.into_parts();
@@ -252,8 +258,7 @@ impl Cluster {
                     Ok(outcome) => outcome,
                     Err(_) => Err(RankFailure {
                         rank,
-                        message: "rank thread panicked outside the guarded body"
-                            .to_string(),
+                        message: "rank thread panicked outside the guarded body".to_string(),
                         span_stack: Vec::new(),
                         error: None,
                     }),
@@ -268,7 +273,10 @@ impl Cluster {
         if !failures.is_empty() {
             let drained_messages = world.drain_mailboxes();
             self.telemetry.flush();
-            return Err(SimError { failures, drained_messages });
+            return Err(SimError {
+                failures,
+                drained_messages,
+            });
         }
 
         let mut report = SimReport {
@@ -295,9 +303,7 @@ impl Cluster {
 /// Render a panic payload into a message plus a structured [`MpiError`]
 /// when the payload carries one (fallible collectives escalate via
 /// `panic_any(MpiError)`).
-fn describe_panic(
-    payload: Box<dyn std::any::Any + Send>,
-) -> (String, Option<MpiError>) {
+fn describe_panic(payload: Box<dyn std::any::Any + Send>) -> (String, Option<MpiError>) {
     let payload = match payload.downcast::<MpiError>() {
         Ok(e) => return (e.to_string(), Some(*e)),
         Err(p) => p,
@@ -313,7 +319,12 @@ fn describe_panic(
 }
 
 fn phase_totals(l: &PhaseLedger) -> PhaseTotals {
-    PhaseTotals { compute: l.compute, comm: l.comm, distribution: l.distribution, io: l.io }
+    PhaseTotals {
+        compute: l.compute,
+        comm: l.comm,
+        distribution: l.distribution,
+        io: l.io,
+    }
 }
 
 /// Result of a cluster run: per-rank outputs, phase ledgers, final virtual
@@ -446,7 +457,11 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let report = det_cluster(5).run(|ctx, world| {
-            let mut v = if world.rank() == 3 { vec![7.0, 8.0] } else { vec![0.0, 0.0] };
+            let mut v = if world.rank() == 3 {
+                vec![7.0, 8.0]
+            } else {
+                vec![0.0, 0.0]
+            };
             world.bcast(ctx, 3, &mut v);
             v
         });
@@ -483,9 +498,8 @@ mod tests {
 
     #[test]
     fn allgather_collects_everything() {
-        let report = det_cluster(3).run(|ctx, world| {
-            world.allgather(ctx, &[world.rank() as f64 * 10.0])
-        });
+        let report =
+            det_cluster(3).run(|ctx, world| world.allgather(ctx, &[world.rank() as f64 * 10.0]));
         for all in &report.results {
             assert_eq!(all, &vec![vec![0.0], vec![10.0], vec![20.0]]);
         }
@@ -504,7 +518,11 @@ mod tests {
         for (wr, &(sr, ss, sum)) in report.results.iter().enumerate() {
             assert_eq!(ss, 3);
             assert_eq!(sr, wr / 2);
-            let expected = if wr % 2 == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+            let expected = if wr % 2 == 0 {
+                0.0 + 2.0 + 4.0
+            } else {
+                1.0 + 3.0 + 5.0
+            };
             assert_eq!(sum, expected);
         }
     }
@@ -576,7 +594,11 @@ mod tests {
             0
         });
         for (c, l) in report.clocks.iter().zip(&report.ledgers) {
-            assert!((c - l.total()).abs() < 1e-12, "clock {c} != ledger {}", l.total());
+            assert!(
+                (c - l.total()).abs() < 1e-12,
+                "clock {c} != ledger {}",
+                l.total()
+            );
         }
     }
 
@@ -591,11 +613,7 @@ mod tests {
             world.allreduce_sum(ctx, &mut v);
             (pre, ctx.clock())
         });
-        let max_pre = report
-            .results
-            .iter()
-            .map(|&(p, _)| p)
-            .fold(0.0, f64::max);
+        let max_pre = report.results.iter().map(|&(p, _)| p).fold(0.0, f64::max);
         for &(_, post) in &report.results {
             assert!(post >= max_pre, "collective must synchronise clocks");
         }
@@ -617,7 +635,10 @@ mod tests {
             });
         let s = small.results.iter().copied().fold(0.0, f64::max);
         let b = big.results.iter().copied().fold(0.0, f64::max);
-        assert!(b > s, "modeled 131072 ranks must cost more than 4: {b} vs {s}");
+        assert!(
+            b > s,
+            "modeled 131072 ranks must cost more than 4: {b} vs {s}"
+        );
     }
 
     #[test]
@@ -626,7 +647,11 @@ mod tests {
             Cluster::new(8, MachineModel::deterministic())
                 .modeled_ranks(modeled)
                 .run(|ctx, world| {
-                    let local = if world.rank() == 0 { vec![1.0; 4096] } else { vec![] };
+                    let local = if world.rank() == 0 {
+                        vec![1.0; 4096]
+                    } else {
+                        vec![]
+                    };
                     let win = Window::create(ctx, world, local);
                     let _ = win.get(ctx, 0, 0..4096);
                     win.fence(ctx, world);

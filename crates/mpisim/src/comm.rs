@@ -185,7 +185,11 @@ impl RankCtx {
         }
         debug_assert_eq!(self.span_stack.last(), Some(&id), "spans must close LIFO");
         self.span_stack.retain(|&s| s != id);
-        self.telemetry.record(TraceEvent::SpanEnd { id, rank: self.world_rank, t: self.clock });
+        self.telemetry.record(TraceEvent::SpanEnd {
+            id,
+            rank: self.world_rank,
+            t: self.clock,
+        });
     }
 
     /// Run `f` inside a named span.
@@ -215,7 +219,11 @@ impl RankCtx {
         self.charge(Phase::DataIo, seconds);
         if !self.trace_mute {
             let (rank, clock) = (self.world_rank, self.clock);
-            self.telemetry.record_with(|| TraceEvent::Io { rank, seconds, t: clock });
+            self.telemetry.record_with(|| TraceEvent::Io {
+                rank,
+                seconds,
+                t: clock,
+            });
         }
     }
 
@@ -237,8 +245,36 @@ impl RankCtx {
         if !self.trace_mute {
             let (rank, t) = (self.world_rank, self.clock);
             let kind = kind.to_string();
-            self.telemetry.record_with(|| TraceEvent::Fault { rank, kind, detail, t });
+            self.telemetry.record_with(|| TraceEvent::Fault {
+                rank,
+                kind,
+                detail,
+                t,
+            });
         }
+    }
+
+    /// Record this rank's view of a collective it is completing:
+    /// `wait` is the idle time spent blocked until the last participant
+    /// arrived (`sync_start - clock`, clamped at zero — the straggler
+    /// itself waits 0), `cost` the modeled transfer paid after the sync.
+    /// Emitted immediately before the clock jumps to
+    /// `sync_start + cost`, so the Comm charge at the collective equals
+    /// `wait + cost` exactly and profilers can split communication into
+    /// load-imbalance idle vs. genuine transfer.
+    pub(crate) fn trace_collective_wait(&mut self, op: &'static str, sync_start: f64, cost: f64) {
+        if self.trace_mute {
+            return;
+        }
+        let wait = (sync_start - self.clock).max(0.0);
+        let (rank, t) = (self.world_rank, self.clock);
+        self.telemetry.record_with(|| TraceEvent::CollectiveWait {
+            rank,
+            op: op.to_string(),
+            wait,
+            cost,
+            t,
+        });
     }
 
     /// Count one fault-eligible collective op; panics with an injected
@@ -514,7 +550,9 @@ impl Comm {
     /// Failure-aware barrier wait: `Ok(is_leader)`, or `Err` when a peer
     /// died or the watchdog expired.
     fn bwait(&self, ctx: &RankCtx, op: &'static str) -> Result<bool, MpiError> {
-        self.inner.barrier.wait(&self.inner.abort, ctx.watchdog(), op)
+        self.inner
+            .barrier
+            .wait(&self.inner.abort, ctx.watchdog(), op)
     }
 
     /// Escalate an [`MpiError`] on the infallible legacy API: unwind
@@ -567,6 +605,7 @@ impl Comm {
             self.inner.coll.lock().count = 0;
         }
         self.bwait(ctx, "barrier")?;
+        ctx.trace_collective_wait("barrier", sync_start, cost);
         ctx.advance_to(sync_start + cost, phase);
         Ok(())
     }
@@ -582,11 +621,7 @@ impl Comm {
 
     /// Fallible allreduce: a dead peer or watchdog expiry surfaces as an
     /// [`MpiError`] on every surviving rank instead of a deadlock.
-    pub fn try_allreduce_sum(
-        &self,
-        ctx: &mut RankCtx,
-        data: &mut [f64],
-    ) -> Result<(), MpiError> {
+    pub fn try_allreduce_sum(&self, ctx: &mut RankCtx, data: &mut [f64]) -> Result<(), MpiError> {
         ctx.collective_step("allreduce");
         let bytes = data.len() * 8;
         let base = ctx.model.allreduce_time(self.modeled_size(ctx), bytes);
@@ -627,9 +662,7 @@ impl Comm {
                 *v = 0.0;
             }
             for slot in &st.slots {
-                let payload = slot
-                    .as_ref()
-                    .expect("allreduce: missing rank contribution");
+                let payload = slot.as_ref().expect("allreduce: missing rank contribution");
                 assert_eq!(
                     payload.len(),
                     data.len(),
@@ -673,6 +706,7 @@ impl Comm {
             st.reset(size);
         }
         self.bwait(ctx, "allreduce")?;
+        ctx.trace_collective_wait("allreduce", sync_start, cost);
         ctx.advance_to(sync_start + cost, Phase::Comm);
         Ok(())
     }
@@ -727,21 +761,24 @@ impl Comm {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
-            self.trace_collective(ctx, "bcast", self.size, bytes, sync_start, (cost, cost, cost));
+            self.trace_collective(
+                ctx,
+                "bcast",
+                self.size,
+                bytes,
+                sync_start,
+                (cost, cost, cost),
+            );
         }
         self.bwait(ctx, "bcast")?;
+        ctx.trace_collective_wait("bcast", sync_start, cost);
         ctx.advance_to(sync_start + cost, Phase::Comm);
         Ok(())
     }
 
     /// Gather each rank's `data` to `root`; returns `Some(per-rank
     /// payloads)` on the root, `None` elsewhere.
-    pub fn gather(
-        &self,
-        ctx: &mut RankCtx,
-        root: usize,
-        data: &[f64],
-    ) -> Option<Vec<Vec<f64>>> {
+    pub fn gather(&self, ctx: &mut RankCtx, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         match self.try_gather(ctx, root, data) {
             Ok(res) => res,
             Err(e) => Self::escalate(e),
@@ -793,9 +830,17 @@ impl Comm {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
-            self.trace_collective(ctx, "gather", self.size, bytes, sync_start, (cost, cost, cost));
+            self.trace_collective(
+                ctx,
+                "gather",
+                self.size,
+                bytes,
+                sync_start,
+                (cost, cost, cost),
+            );
         }
         self.bwait(ctx, "gather")?;
+        ctx.trace_collective_wait("gather", sync_start, cost);
         ctx.advance_to(sync_start + cost, Phase::Comm);
         Ok(result)
     }
@@ -862,6 +907,7 @@ impl Comm {
             );
         }
         self.bwait(ctx, "allgather")?;
+        ctx.trace_collective_wait("allgather", sync_start, cost);
         ctx.advance_to(sync_start + cost, Phase::Comm);
         Ok(result)
     }
@@ -893,8 +939,7 @@ impl Comm {
             let mut chunks = chunks.expect("scatter: root must supply chunks");
             assert_eq!(chunks.len(), 1);
             let bytes = chunks[0].len() * 8;
-            let cost =
-                ctx.model.gather_time(self.modeled_size(ctx), bytes) * ctx.noise_factor();
+            let cost = ctx.model.gather_time(self.modeled_size(ctx), bytes) * ctx.noise_factor();
             ctx.charge(Phase::Comm, cost);
             return Ok(chunks.swap_remove(0));
         }
@@ -927,9 +972,17 @@ impl Comm {
             let mut st = self.inner.coll.lock();
             let size = self.size;
             st.reset(size);
-            self.trace_collective(ctx, "scatter", self.size, bytes, sync_start, (cost, cost, cost));
+            self.trace_collective(
+                ctx,
+                "scatter",
+                self.size,
+                bytes,
+                sync_start,
+                (cost, cost, cost),
+            );
         }
         self.bwait(ctx, "scatter")?;
+        ctx.trace_collective_wait("scatter", sync_start, cost);
         ctx.advance_to(sync_start + cost, Phase::Comm);
         Ok(mine)
     }
@@ -986,23 +1039,25 @@ impl Comm {
         loop {
             {
                 let mut mb = self.inner.mailboxes[self.rank].lock();
-                let pos = mb.iter().position(|m| {
-                    src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag)
-                });
+                let pos = mb
+                    .iter()
+                    .position(|m| src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag));
                 if let Some(i) = pos {
                     let msg = mb.remove(i);
                     drop(mb);
                     drop(gate);
                     let bytes = msg.payload.len() * 8;
-                    let arrival =
-                        msg.sent_at + ctx.model.alpha + bytes as f64 * ctx.model.beta;
+                    let arrival = msg.sent_at + ctx.model.alpha + bytes as f64 * ctx.model.beta;
                     ctx.advance_to(arrival, Phase::Comm);
                     return Ok((msg.src, msg.payload));
                 }
             }
             if self.inner.abort.is_aborted() {
                 let rank = self.inner.abort.first_failure().unwrap_or(usize::MAX);
-                return Err(MpiError::RankFailed { rank, phase: "recv" });
+                return Err(MpiError::RankFailed {
+                    rank,
+                    phase: "recv",
+                });
             }
             if start.elapsed() >= ctx.watchdog() {
                 return Err(MpiError::WatchdogTimeout {
@@ -1061,11 +1116,7 @@ impl Comm {
         }
     }
 
-    fn try_deposit_slot(
-        &self,
-        ctx: &mut RankCtx,
-        payload: Vec<f64>,
-    ) -> Result<(), MpiError> {
+    fn try_deposit_slot(&self, ctx: &mut RankCtx, payload: Vec<f64>) -> Result<(), MpiError> {
         if self.single_rank() {
             self.inner.coll.lock().slots[0] = Some(payload);
             return Ok(());
@@ -1086,6 +1137,7 @@ impl Comm {
             self.inner.coll.lock().count = 0;
         }
         self.bwait(ctx, "window_create")?;
+        ctx.trace_collective_wait("window_create", sync_start, 0.0);
         ctx.advance_to(sync_start, Phase::Distribution);
         Ok(())
     }
@@ -1094,7 +1146,10 @@ impl Comm {
     /// deposits yield empty buffers.
     pub(crate) fn take_slots(&self) -> Vec<Vec<f64>> {
         let mut st = self.inner.coll.lock();
-        st.slots.iter_mut().map(|s| s.take().unwrap_or_default()).collect()
+        st.slots
+            .iter_mut()
+            .map(|s| s.take().unwrap_or_default())
+            .collect()
     }
 
     /// Split the communicator into disjoint subcommunicators by `color`;
@@ -1109,12 +1164,7 @@ impl Comm {
 
     /// Fallible variant of [`Comm::split`]; surfaces peer failures and
     /// watchdog expiry instead of deadlocking on the split barriers.
-    pub fn try_split(
-        &self,
-        ctx: &mut RankCtx,
-        color: i64,
-        key: i64,
-    ) -> Result<Comm, MpiError> {
+    pub fn try_split(&self, ctx: &mut RankCtx, color: i64, key: i64) -> Result<Comm, MpiError> {
         ctx.collective_step("split");
         if self.single_rank() {
             // Trivial: a fresh single-rank communicator.
@@ -1163,10 +1213,7 @@ impl Comm {
                 self.inner.events.clone(),
                 self.inner.abort.clone(),
             ));
-            self.inner
-                .splits
-                .lock()
-                .insert((generation, color), inner);
+            self.inner.splits.lock().insert((generation, color), inner);
         }
         self.bwait(ctx, "split")?;
         let sub_inner = self
@@ -1191,6 +1238,7 @@ impl Comm {
         self.bwait(ctx, "split")?;
         // Cost: an allgather of 16 bytes + subgroup setup barrier.
         let cost = ctx.model.gather_time(self.modeled_size(ctx), 16) * ctx.noise_factor();
+        ctx.trace_collective_wait("split", sync_start, cost);
         ctx.advance_to(sync_start + cost, Phase::Comm);
         Ok(Comm::from_inner(sub_inner, my_pos))
     }

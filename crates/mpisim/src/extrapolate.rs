@@ -68,12 +68,19 @@ impl WorkloadProfile {
         };
 
         let io = if self.io_read_bytes > 0.0 {
-            model.io.parallel_read_time(self.io_readers.max(1), self.io_read_bytes)
+            model
+                .io
+                .parallel_read_time(self.io_readers.max(1), self.io_read_bytes)
         } else {
             0.0
         };
 
-        PhaseLedger { compute, comm, distribution, io }
+        PhaseLedger {
+            compute,
+            comm,
+            distribution,
+            io,
+        }
     }
 
     /// Weak-scaling series: per-rank work fixed, aggregate traffic grows
@@ -140,21 +147,19 @@ mod tests {
             n_readers: 32,
             io_read_bytes: 16e9,
             io_readers: 128,
-            ..Default::default()
         }
     }
 
     #[test]
     fn weak_scaling_compute_flat_comm_grows() {
         let m = MachineModel::deterministic();
-        let series = base_profile().weak_scaling(
-            128,
-            &[128, 256, 512, 1024, 4096],
-            &m,
-        );
+        let series = base_profile().weak_scaling(128, &[128, 256, 512, 1024, 4096], &m);
         let first = series.first().unwrap().1;
         let last = series.last().unwrap().1;
-        assert!((first.compute - last.compute).abs() < 1e-12, "ideal weak compute");
+        assert!(
+            (first.compute - last.compute).abs() < 1e-12,
+            "ideal weak compute"
+        );
         assert!(last.comm > first.comm, "comm grows with log p");
         assert!(last.distribution > first.distribution, "distribution grows");
     }

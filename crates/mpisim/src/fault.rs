@@ -127,7 +127,10 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan carrying `seed` for the `with_random_*` derivations.
     pub fn new(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 
     /// The plan's seed.
@@ -215,8 +218,7 @@ impl FaultPlan {
         for &(r, step) in &self.crashes {
             if r == rank {
                 // Earliest crash wins if several were scheduled.
-                out.crash_at_step =
-                    Some(out.crash_at_step.map_or(step, |s: u64| s.min(step)));
+                out.crash_at_step = Some(out.crash_at_step.map_or(step, |s: u64| s.min(step)));
             }
         }
         for &(r, f) in &self.stragglers {
@@ -293,7 +295,10 @@ impl FtBarrier {
     pub(crate) fn new(n: usize) -> Self {
         Self {
             n,
-            state: Mutex::new(BarrierState { count: 0, generation: 0 }),
+            state: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+            }),
             cvar: Condvar::new(),
         }
     }
@@ -348,8 +353,12 @@ mod tests {
 
     #[test]
     fn fault_plan_is_deterministic() {
-        let a = FaultPlan::new(42).with_random_crash(8, 10).with_random_straggler(8, 2.0);
-        let b = FaultPlan::new(42).with_random_crash(8, 10).with_random_straggler(8, 2.0);
+        let a = FaultPlan::new(42)
+            .with_random_crash(8, 10)
+            .with_random_straggler(8, 2.0);
+        let b = FaultPlan::new(42)
+            .with_random_crash(8, 10)
+            .with_random_straggler(8, 2.0);
         for r in 0..8 {
             let (fa, fb) = (a.faults_for(r), b.faults_for(r));
             assert_eq!(fa.crash_at_step, fb.crash_at_step);
@@ -357,10 +366,12 @@ mod tests {
         }
         // Different seeds shuffle the schedule.
         let c = FaultPlan::new(43).with_random_crash(8, 10);
-        let crashed_a: Vec<usize> =
-            (0..8).filter(|&r| a.faults_for(r).crash_at_step.is_some()).collect();
-        let crashed_c: Vec<usize> =
-            (0..8).filter(|&r| c.faults_for(r).crash_at_step.is_some()).collect();
+        let crashed_a: Vec<usize> = (0..8)
+            .filter(|&r| a.faults_for(r).crash_at_step.is_some())
+            .collect();
+        let crashed_c: Vec<usize> = (0..8)
+            .filter(|&r| c.faults_for(r).crash_at_step.is_some())
+            .collect();
         assert_eq!(crashed_a.len(), 1);
         assert_eq!(crashed_c.len(), 1);
     }
@@ -392,7 +403,13 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         abort.mark_failed(1, "injected".into());
         let got = h.join().unwrap();
-        assert_eq!(got, Err(MpiError::RankFailed { rank: 1, phase: "barrier" }));
+        assert_eq!(
+            got,
+            Err(MpiError::RankFailed {
+                rank: 1,
+                phase: "barrier"
+            })
+        );
     }
 
     #[test]
@@ -401,7 +418,10 @@ mod tests {
         let abort = AbortState::new();
         let got = barrier.wait(&abort, Duration::from_millis(30), "barrier");
         match got {
-            Err(MpiError::WatchdogTimeout { phase: "barrier", waited_ms }) => {
+            Err(MpiError::WatchdogTimeout {
+                phase: "barrier",
+                waited_ms,
+            }) => {
                 assert!(waited_ms >= 30);
             }
             other => panic!("expected watchdog timeout, got {other:?}"),
@@ -410,9 +430,15 @@ mod tests {
 
     #[test]
     fn mpi_error_displays_structured_fields() {
-        let e = MpiError::RankFailed { rank: 5, phase: "allreduce" };
+        let e = MpiError::RankFailed {
+            rank: 5,
+            phase: "allreduce",
+        };
         assert_eq!(e.to_string(), "rank 5 failed while peers were in allreduce");
-        let t = MpiError::WatchdogTimeout { phase: "recv", waited_ms: 250 };
+        let t = MpiError::WatchdogTimeout {
+            phase: "recv",
+            waited_ms: 250,
+        };
         assert!(t.to_string().contains("250ms"));
     }
 }

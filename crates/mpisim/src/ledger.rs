@@ -24,8 +24,12 @@ pub enum Phase {
 
 impl Phase {
     /// All phases in display order.
-    pub const ALL: [Phase; 4] =
-        [Phase::Compute, Phase::Comm, Phase::Distribution, Phase::DataIo];
+    pub const ALL: [Phase; 4] = [
+        Phase::Compute,
+        Phase::Comm,
+        Phase::Distribution,
+        Phase::DataIo,
+    ];
 
     /// Human-readable label matching the paper's figure legends.
     pub fn label(self) -> &'static str {

@@ -42,8 +42,8 @@ pub mod window;
 
 pub use cluster::{Cluster, RankFailure, SimError, SimReport, DEFAULT_WATCHDOG};
 pub use comm::{Comm, PendingReduce, RankCtx};
-pub use fault::{FaultPlan, MpiError, RankFaults};
 pub use extrapolate::WorkloadProfile;
+pub use fault::{FaultPlan, MpiError, RankFaults};
 pub use ledger::{CollectiveEvent, Phase, PhaseLedger};
 pub use model::{IoModel, MachineModel, NoiseModel, SplitMix64};
 pub use window::{Window, WindowEpoch};

@@ -67,7 +67,10 @@ pub struct NoiseModel {
 
 impl Default for NoiseModel {
     fn default() -> Self {
-        Self { sigma: 0.18, seed: 0xC0FFEE }
+        Self {
+            sigma: 0.18,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -161,9 +164,7 @@ impl MachineModel {
             return 0.0;
         }
         let lg = (p as f64).log2().ceil();
-        2.0 * lg * self.alpha
-            + 2.0 * bytes as f64 * self.beta
-            + p as f64 * self.gamma_collective
+        2.0 * lg * self.alpha + 2.0 * bytes as f64 * self.beta + p as f64 * self.gamma_collective
     }
 
     /// Binomial-tree broadcast.
@@ -188,8 +189,7 @@ impl MachineModel {
         if p <= 1 {
             return 0.0;
         }
-        (p as f64).log2().ceil() * self.alpha
-            + (p - 1) as f64 * bytes_per_rank as f64 * self.beta
+        (p as f64).log2().ceil() * self.alpha + (p - 1) as f64 * bytes_per_rank as f64 * self.beta
     }
 
     /// One one-sided `get`/`put` of `bytes` against a window (excluding
@@ -255,8 +255,7 @@ mod tests {
         assert!(t2 < t1024 && t1024 < t1m);
         // Going 1024 -> 1M adds 10 alpha-doublings plus the linear
         // software-overhead term the paper's measurements motivate.
-        let expected_delta =
-            2.0 * 10.0 * m.alpha + ((1 << 20) - 1024) as f64 * m.gamma_collective;
+        let expected_delta = 2.0 * 10.0 * m.alpha + ((1 << 20) - 1024) as f64 * m.gamma_collective;
         assert!((t1m - t1024 - expected_delta).abs() < 1e-12);
     }
 

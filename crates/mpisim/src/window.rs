@@ -55,8 +55,14 @@ impl Window {
                 busy: vec![Mutex::new(0.0)],
                 occ_multiplier: 1.0,
             });
-            ctx.charge(Phase::Distribution, ctx.model().barrier_time(comm.modeled_size(ctx)));
-            return Window { inner, comm_size: 1 };
+            ctx.charge(
+                Phase::Distribution,
+                ctx.model().barrier_time(comm.modeled_size(ctx)),
+            );
+            return Window {
+                inner,
+                comm_size: 1,
+            };
         }
         // Each rank deposits its exposed buffer into the communicator's
         // collective slots *by move* — window creation registers memory, it
@@ -68,8 +74,7 @@ impl Window {
         if comm.rank() == 0 {
             let buffers = comm.take_slots();
             let exposers = buffers.iter().filter(|b| !b.is_empty()).count();
-            let occ_multiplier =
-                if exposers >= size { 1.0 } else { ctx.oversub() };
+            let occ_multiplier = if exposers >= size { 1.0 } else { ctx.oversub() };
             let seq = comm
                 .inner
                 .window_seq
@@ -94,7 +99,10 @@ impl Window {
             .get(&key)
             .expect("window registry missing fresh window")
             .clone();
-        Window { inner, comm_size: size }
+        Window {
+            inner,
+            comm_size: size,
+        }
     }
 
     /// Number of ranks exposing buffers.
@@ -198,14 +206,15 @@ impl Window {
         };
         ctx.advance_to(start + service, Phase::Distribution);
         let rank = ctx.world_rank();
-        ctx.telemetry().record_with(|| uoi_telemetry::TraceEvent::WindowTransfer {
-            rank,
-            kind,
-            target,
-            bytes,
-            t_start: start,
-            t_end: start + service,
-        });
+        ctx.telemetry()
+            .record_with(|| uoi_telemetry::TraceEvent::WindowTransfer {
+                rank,
+                kind,
+                target,
+                bytes,
+                t_start: start,
+                t_end: start + service,
+            });
     }
 
     /// Synchronise all window users (an `MPI_Win_fence` analogue); charged
@@ -222,7 +231,11 @@ impl Window {
     /// delays requests to others. Call [`WindowEpoch::finish`] to close
     /// the epoch and charge the elapsed distribution time.
     pub fn epoch<'w>(&'w self, ctx: &RankCtx) -> WindowEpoch<'w> {
-        WindowEpoch { win: self, issue_clock: ctx.clock(), max_end: ctx.clock() }
+        WindowEpoch {
+            win: self,
+            issue_clock: ctx.clock(),
+            max_end: ctx.clock(),
+        }
     }
 }
 
@@ -269,14 +282,15 @@ impl WindowEpoch<'_> {
             self.max_end = end;
         }
         let rank = ctx.world_rank();
-        ctx.telemetry().record_with(|| uoi_telemetry::TraceEvent::WindowTransfer {
-            rank,
-            kind: "get_async",
-            target,
-            bytes,
-            t_start: start,
-            t_end: end,
-        });
+        ctx.telemetry()
+            .record_with(|| uoi_telemetry::TraceEvent::WindowTransfer {
+                rank,
+                kind: "get_async",
+                target,
+                bytes,
+                t_start: start,
+                t_end: end,
+            });
     }
 
     /// Complete the epoch: the rank's clock advances to the completion of

@@ -44,7 +44,10 @@ fn killed_rank_mid_allreduce_surfaces_rank_failed() {
 
     // No hang: failure detection is condvar-slice bounded, far under the
     // 5s watchdog.
-    assert!(started.elapsed() < Duration::from_secs(5), "run must not hang");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "run must not hang"
+    );
 
     let err = res.err().expect("a killed rank must fail the run");
     assert_eq!(err.failures.len(), 1, "only the injected crash panicked");
@@ -60,7 +63,11 @@ fn killed_rank_mid_allreduce_surfaces_rank_failed() {
     let seen = observed.lock().unwrap();
     let mut ranks: Vec<usize> = seen.iter().map(|&(r, _)| r).collect();
     ranks.sort_unstable();
-    assert_eq!(ranks, vec![0, 1, 3], "all three survivors observe the failure");
+    assert_eq!(
+        ranks,
+        vec![0, 1, 3],
+        "all three survivors observe the failure"
+    );
     for (_, e) in seen.iter() {
         match e {
             MpiError::RankFailed { rank, .. } => assert_eq!(*rank, 2),
@@ -119,20 +126,34 @@ fn straggler_scales_local_compute() {
 fn window_drop_and_corrupt_faults_apply_per_op() {
     let report = det_cluster(3)
         .with_fault_plan(
-            FaultPlan::new(0).drop_window_op(1, 0).corrupt_window_op(2, 0),
+            FaultPlan::new(0)
+                .drop_window_op(1, 0)
+                .corrupt_window_op(2, 0),
         )
         .run(|ctx, world| {
-            let local = if world.rank() == 0 { vec![5.0; 4] } else { Vec::new() };
+            let local = if world.rank() == 0 {
+                vec![5.0; 4]
+            } else {
+                Vec::new()
+            };
             let win = Window::create(ctx, world, local);
             let got = win.get(ctx, 0, 0..4);
             win.fence(ctx, world);
             got
         });
-    assert_eq!(report.results[0], vec![5.0; 4], "healthy rank reads clean data");
+    assert_eq!(
+        report.results[0],
+        vec![5.0; 4],
+        "healthy rank reads clean data"
+    );
     assert_eq!(report.results[1], vec![0.0; 4], "dropped op reads zeros");
     let corrupted = &report.results[2];
     assert_ne!(corrupted[0], 5.0, "corrupt op must flip a bit in element 0");
-    assert_eq!(&corrupted[1..], &[5.0; 3][..], "only element 0 is corrupted");
+    assert_eq!(
+        &corrupted[1..],
+        &[5.0; 3][..],
+        "only element 0 is corrupted"
+    );
 }
 
 /// One CI fault-matrix cell: seed and fault kind come from the
@@ -166,7 +187,9 @@ fn fault_matrix_cell() {
                     })
             };
             let a = run().err().expect("a random crash must fail the run");
-            let b = run().err().expect("rerun with the same seed must fail identically");
+            let b = run()
+                .err()
+                .expect("rerun with the same seed must fail identically");
             assert_eq!(a.root_cause().rank, b.root_cause().rank);
             assert_eq!(a.root_cause().message, b.root_cause().message);
             assert!(a.root_cause().message.contains("fault injection"));
@@ -184,15 +207,16 @@ fn fault_matrix_cell() {
             let a = run();
             let b = run();
             assert_eq!(a, b, "straggler charge must be deterministic");
-            let slow = a.iter().filter(|&&t| t > a.iter().cloned().fold(f64::MAX, f64::min)).count();
+            let slow = a
+                .iter()
+                .filter(|&&t| t > a.iter().cloned().fold(f64::MAX, f64::min))
+                .count();
             assert_eq!(slow, 1, "exactly one rank straggles");
         }
         "window_drop" => {
             let run = || {
                 det_cluster(WORLD)
-                    .with_fault_plan(
-                        FaultPlan::new(seed).with_random_window_drops(WORLD, 2, 3),
-                    )
+                    .with_fault_plan(FaultPlan::new(seed).with_random_window_drops(WORLD, 2, 3))
                     .run(|ctx, world| {
                         let local = if world.rank() == 0 {
                             (0..8).map(|x| x as f64 + 1.0).collect()

@@ -55,7 +55,9 @@ fn deterministic_allreduce_data_with_noncommutative_floats() {
     let run = || {
         Cluster::new(16, MachineModel::deterministic())
             .run(|ctx, world| {
-                let x = 0.1 * (world.rank() as f64 + 1.0) * 1e10_f64.powi((world.rank() % 3) as i32 - 1);
+                let x = 0.1
+                    * (world.rank() as f64 + 1.0)
+                    * 1e10_f64.powi((world.rank() % 3) as i32 - 1);
                 let mut v = vec![x];
                 world.allreduce_sum(ctx, &mut v);
                 v[0]
@@ -98,8 +100,9 @@ fn window_churn_many_windows() {
     let report = Cluster::new(6, MachineModel::deterministic()).run(|ctx, world| {
         let mut total = 0.0;
         for round in 0..8 {
-            let local: Vec<f64> =
-                (0..4).map(|i| (world.rank() * 100 + round * 10 + i) as f64).collect();
+            let local: Vec<f64> = (0..4)
+                .map(|i| (world.rank() * 100 + round * 10 + i) as f64)
+                .collect();
             let win = Window::create(ctx, world, local);
             win.fence(ctx, world);
             let peer = (world.rank() + 1) % world.size();
@@ -133,7 +136,11 @@ fn concurrent_sibling_groups_do_not_interfere() {
         last
     });
     for (r, &v) in report.results.iter().enumerate() {
-        let expected = if r < 4 { 0.0 + 1.0 + 2.0 + 3.0 } else { 4.0 + 5.0 + 6.0 + 7.0 };
+        let expected = if r < 4 {
+            0.0 + 1.0 + 2.0 + 3.0
+        } else {
+            4.0 + 5.0 + 6.0 + 7.0
+        };
         assert_eq!(v, expected);
     }
 }
@@ -145,7 +152,11 @@ fn ledger_phases_partition_the_clock() {
         .run(|ctx, world| {
             ctx.charge_io(0.25);
             ctx.compute_flops(1e8, 1e7);
-            let local = if world.rank() == 0 { vec![0.5; 128] } else { vec![] };
+            let local = if world.rank() == 0 {
+                vec![0.5; 128]
+            } else {
+                vec![]
+            };
             let win = Window::create(ctx, world, local);
             let _ = win.get(ctx, 0, 0..64);
             win.fence(ctx, world);

@@ -60,7 +60,12 @@ pub struct AdmmConfig {
 
 impl Default for AdmmConfig {
     fn default() -> Self {
-        Self { rho: 1.0, max_iter: 500, abstol: 1e-6, reltol: 1e-5 }
+        Self {
+            rho: 1.0,
+            max_iter: 500,
+            abstol: 1e-6,
+            reltol: 1e-5,
+        }
     }
 }
 
@@ -74,7 +79,10 @@ impl AdmmConfig {
     /// Check every field; `Err` names the first offending one.
     pub fn validate(&self) -> Result<(), InvalidConfig> {
         if !(self.rho.is_finite() && self.rho > 0.0) {
-            return Err(InvalidConfig(format!("rho must be finite and > 0, got {}", self.rho)));
+            return Err(InvalidConfig(format!(
+                "rho must be finite and > 0, got {}",
+                self.rho
+            )));
         }
         if self.max_iter == 0 {
             return Err(InvalidConfig("max_iter must be >= 1".to_string()));
@@ -181,26 +189,22 @@ pub(crate) fn factorize(x: &Matrix, rho: f64) -> Factorization {
         for i in 0..n {
             small[(i, i)] += rho;
         }
-        Factorization::Woodbury(
-            Cholesky::factor(&small).expect("rho I + X X^T must be SPD"),
-        )
+        Factorization::Woodbury(Cholesky::factor(&small).expect("rho I + X X^T must be SPD"))
     }
 }
 
 /// Apply `(X^T X + rho I)^{-1}` to `v` through a cached factorisation.
-pub(crate) fn apply_inverse(
-    x: &Matrix,
-    factor: &Factorization,
-    rho: f64,
-    v: &[f64],
-) -> Vec<f64> {
+pub(crate) fn apply_inverse(x: &Matrix, factor: &Factorization, rho: f64, v: &[f64]) -> Vec<f64> {
     match factor {
         Factorization::Primal(ch) => ch.solve(v),
         Factorization::Woodbury(ch) => {
             let xv = gemv(x, v);
             let inner = ch.solve(&xv);
             let xt_inner = gemv_t(x, &inner);
-            v.iter().zip(&xt_inner).map(|(vi, wi)| (vi - wi) / rho).collect()
+            v.iter()
+                .zip(&xt_inner)
+                .map(|(vi, wi)| (vi - wi) / rho)
+                .collect()
         }
     }
 }
@@ -301,9 +305,8 @@ impl LassoAdmm {
             for i in 0..p {
                 gram[(i, i)] += rho;
             }
-            let factor = Factorization::Primal(
-                Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"),
-            );
+            let factor =
+                Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"));
             (rho, factor)
         } else {
             // Woodbury path never forms the p x p Gram; its diagonal is
@@ -312,7 +315,13 @@ impl LassoAdmm {
             let rho = effective_rho(cfg.rho, diag_sum, p);
             (rho, factorize(&x, rho))
         };
-        Self { design: DesignStore::Dense(x), factor, cfg, rho, metrics: None }
+        Self {
+            design: DesignStore::Dense(x),
+            factor,
+            cfg,
+            rho,
+            metrics: None,
+        }
     }
 
     /// Build the solver from a precomputed Gram matrix `X^T X` (consumed;
@@ -333,10 +342,15 @@ impl LassoAdmm {
         for i in 0..p {
             gram[(i, i)] += rho;
         }
-        let factor = Factorization::Primal(
-            Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"),
-        );
-        Self { design: DesignStore::Gram { p }, factor, cfg, rho, metrics: None }
+        let factor =
+            Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"));
+        Self {
+            design: DesignStore::Gram { p },
+            factor,
+            cfg,
+            rho,
+            metrics: None,
+        }
     }
 
     /// The effective (data-scaled) penalty in force; see [`effective_rho`].
@@ -411,7 +425,13 @@ impl LassoAdmm {
         let p = z.len();
         let rho = self.rho;
         let kappa = lambda / rho;
-        let AdmmWorkspace { rhs, x_var, z_old, wn, wt } = ws;
+        let AdmmWorkspace {
+            rhs,
+            x_var,
+            z_old,
+            wn,
+            wt,
+        } = ws;
 
         // x-update: (X^T X + rho I)^{-1} (X^T y + rho (z - u)).
         rhs.clear();
@@ -457,8 +477,7 @@ impl LassoAdmm {
         let r_norm = norm2_diff(x_var, z);
         let s_norm = norm2_scaled_diff(rho, z, z_old);
         let sqrt_p = (p as f64).sqrt();
-        let eps_pri =
-            sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(x_var).max(norm2(z));
+        let eps_pri = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(x_var).max(norm2(z));
         let eps_dual = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2_scaled(rho, u);
         (r_norm, s_norm, r_norm <= eps_pri && s_norm <= eps_dual)
     }
@@ -498,7 +517,12 @@ impl LassoAdmm {
             }
         }
         self.note_solve(iterations, converged, r_norm, s_norm);
-        AdmmStatus { iterations, primal_residual: r_norm, dual_residual: s_norm, converged }
+        AdmmStatus {
+            iterations,
+            primal_residual: r_norm,
+            dual_residual: s_norm,
+            converged,
+        }
     }
 
     /// Solve for one `lambda` from a cold start.
@@ -636,18 +660,15 @@ impl LassoAdmm {
             }
             let r: Vec<f64> = x_var.iter().zip(&z).map(|(a, b)| a - b).collect();
             r_norm = norm2(&r);
-            let s: Vec<f64> =
-                z.iter().zip(&z_old).map(|(a, b)| rho * (a - b)).collect();
+            let s: Vec<f64> = z.iter().zip(&z_old).map(|(a, b)| rho * (a - b)).collect();
             s_norm = norm2(&s);
             let sqrt_p = (p as f64).sqrt();
-            let eps_pri = sqrt_p * self.cfg.abstol
-                + self.cfg.reltol * norm2(&x_var).max(norm2(&z));
+            let eps_pri = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(&x_var).max(norm2(&z));
             let mut rho_u = u.clone();
             for v in &mut rho_u {
                 *v *= rho;
             }
-            let eps_dual =
-                sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(&rho_u);
+            let eps_dual = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(&rho_u);
             if r_norm <= eps_pri && s_norm <= eps_dual {
                 converged = true;
                 break;
@@ -676,7 +697,13 @@ impl LassoAdmm {
             m.observe("admm.adaptive.refactors", refactors as f64);
         }
         self.note_solve(iterations, converged, r_norm, s_norm);
-        AdmmSolution { beta: z, iterations, primal_residual: r_norm, dual_residual: s_norm, converged }
+        AdmmSolution {
+            beta: z,
+            iterations,
+            primal_residual: r_norm,
+            dual_residual: s_norm,
+            converged,
+        }
     }
 
     /// Solve an entire lambda path (largest lambda first) with warm
@@ -820,21 +847,26 @@ mod tests {
             let s: Vec<f64> = z.iter().zip(&z_old).map(|(a, b)| rho * (a - b)).collect();
             s_norm = norm2(&s);
             let sqrt_p = (p as f64).sqrt();
-            let eps_pri = sqrt_p * solver.cfg.abstol
-                + solver.cfg.reltol * norm2(&x_var).max(norm2(&z));
+            let eps_pri =
+                sqrt_p * solver.cfg.abstol + solver.cfg.reltol * norm2(&x_var).max(norm2(&z));
             let mut rho_u = u.clone();
             for v in &mut rho_u {
                 *v *= rho;
             }
-            let eps_dual =
-                sqrt_p * solver.cfg.abstol + solver.cfg.reltol * norm2(&rho_u);
+            let eps_dual = sqrt_p * solver.cfg.abstol + solver.cfg.reltol * norm2(&rho_u);
             if r_norm <= eps_pri && s_norm <= eps_dual {
                 converged = true;
                 break;
             }
         }
         let _ = &x_var;
-        AdmmSolution { beta: z, iterations, primal_residual: r_norm, dual_residual: s_norm, converged }
+        AdmmSolution {
+            beta: z,
+            iterations,
+            primal_residual: r_norm,
+            dual_residual: s_norm,
+            converged,
+        }
     }
 
     #[test]
@@ -842,7 +874,12 @@ mod tests {
         let (x, y) = toy_problem();
         let solver = LassoAdmm::new(
             x,
-            AdmmConfig { max_iter: 4000, abstol: 1e-9, reltol: 1e-8, ..Default::default() },
+            AdmmConfig {
+                max_iter: 4000,
+                abstol: 1e-9,
+                reltol: 1e-8,
+                ..Default::default()
+            },
         );
         let p = solver.n_coefficients();
         for lam in [0.0, 0.1, 0.5, 2.0] {
@@ -850,8 +887,14 @@ mod tests {
             let new = solver.solve(&y, lam);
             assert_eq!(new.iterations, reference.iterations, "lambda {lam}");
             assert_eq!(new.converged, reference.converged);
-            assert_eq!(new.primal_residual.to_bits(), reference.primal_residual.to_bits());
-            assert_eq!(new.dual_residual.to_bits(), reference.dual_residual.to_bits());
+            assert_eq!(
+                new.primal_residual.to_bits(),
+                reference.primal_residual.to_bits()
+            );
+            assert_eq!(
+                new.dual_residual.to_bits(),
+                reference.dual_residual.to_bits()
+            );
             for (a, b) in new.beta.iter().zip(&reference.beta) {
                 assert_eq!(a.to_bits(), b.to_bits(), "lambda {lam}: {a} vs {b}");
             }
@@ -865,7 +908,13 @@ mod tests {
         let p = 25;
         let x = Matrix::from_fn(n, p, |i, j| (((i * 31 + j * 17) % 13) as f64 - 6.0) / 6.0);
         let y: Vec<f64> = (0..n).map(|i| x[(i, 1)] * 3.0 - x[(i, 4)]).collect();
-        let solver = LassoAdmm::new(x, AdmmConfig { max_iter: 3000, ..Default::default() });
+        let solver = LassoAdmm::new(
+            x,
+            AdmmConfig {
+                max_iter: 3000,
+                ..Default::default()
+            },
+        );
         for lam in [0.05, 0.3] {
             let reference = solve_warm_reference(&solver, &y, lam, vec![0.0; p], vec![0.0; p]);
             let new = solver.solve(&y, lam);
@@ -881,7 +930,12 @@ mod tests {
         // For p <= n the dense constructor builds exactly syrk_t(x) + rho I,
         // so the Gram-built solver must reproduce every solve bit-for-bit.
         let (x, y) = toy_problem();
-        let cfg = AdmmConfig { max_iter: 4000, abstol: 1e-9, reltol: 1e-8, ..Default::default() };
+        let cfg = AdmmConfig {
+            max_iter: 4000,
+            abstol: 1e-9,
+            reltol: 1e-8,
+            ..Default::default()
+        };
         let dense = LassoAdmm::new(x.clone(), cfg.clone());
         let gram_solver = LassoAdmm::from_gram(syrk_t(&x), cfg);
         let xty = dense.prepare_rhs(&y);
@@ -915,7 +969,13 @@ mod tests {
     #[test]
     fn ols_matches_normal_equations() {
         let (x, y) = toy_problem();
-        let solver = LassoAdmm::new(x.clone(), AdmmConfig { max_iter: 2000, ..Default::default() });
+        let solver = LassoAdmm::new(
+            x.clone(),
+            AdmmConfig {
+                max_iter: 2000,
+                ..Default::default()
+            },
+        );
         let sol = solver.solve_ols(&y);
         let exact = solve_normal_equations(&x, &y, 0.0).unwrap();
         for (a, b) in sol.beta.iter().zip(&exact) {
@@ -928,8 +988,15 @@ mod tests {
     fn lasso_satisfies_kkt() {
         let (x, y) = toy_problem();
         let lambda = 0.5;
-        let solver =
-            LassoAdmm::new(x.clone(), AdmmConfig { max_iter: 5000, abstol: 1e-9, reltol: 1e-8, ..Default::default() });
+        let solver = LassoAdmm::new(
+            x.clone(),
+            AdmmConfig {
+                max_iter: 5000,
+                abstol: 1e-9,
+                reltol: 1e-8,
+                ..Default::default()
+            },
+        );
         let sol = solver.solve(&y, lambda);
         assert!(sol.converged);
         let viol = lasso_kkt_violation(&x, &y, &sol.beta, lambda);
@@ -948,7 +1015,13 @@ mod tests {
     #[test]
     fn sparsity_increases_with_lambda() {
         let (x, y) = toy_problem();
-        let solver = LassoAdmm::new(x, AdmmConfig { max_iter: 2000, ..Default::default() });
+        let solver = LassoAdmm::new(
+            x,
+            AdmmConfig {
+                max_iter: 2000,
+                ..Default::default()
+            },
+        );
         let nnz = |lam: f64| {
             solver
                 .solve(&y, lam)
@@ -972,7 +1045,12 @@ mod tests {
         let lam = 0.3;
         let wood = LassoAdmm::new(
             x.clone(),
-            AdmmConfig { max_iter: 8000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
+            AdmmConfig {
+                max_iter: 8000,
+                abstol: 1e-10,
+                reltol: 1e-9,
+                ..Default::default()
+            },
         );
         let sol = wood.solve(&y, lam);
         let viol = lasso_kkt_violation(&x, &y, &sol.beta, lam);
@@ -984,7 +1062,12 @@ mod tests {
         let (x, y) = toy_problem();
         let solver = LassoAdmm::new(
             x,
-            AdmmConfig { max_iter: 4000, abstol: 1e-9, reltol: 1e-8, ..Default::default() },
+            AdmmConfig {
+                max_iter: 4000,
+                abstol: 1e-9,
+                reltol: 1e-8,
+                ..Default::default()
+            },
         );
         let lambdas = [2.0, 1.0, 0.5, 0.25];
         let path = solver.solve_path(&y, &lambdas);
@@ -1000,7 +1083,12 @@ mod tests {
     fn adaptive_rho_matches_fixed_rho_solution() {
         let (x, y) = toy_problem();
         let lam = 0.5;
-        let cfg = AdmmConfig { max_iter: 5000, abstol: 1e-9, reltol: 1e-8, ..Default::default() };
+        let cfg = AdmmConfig {
+            max_iter: 5000,
+            abstol: 1e-9,
+            reltol: 1e-8,
+            ..Default::default()
+        };
         let solver = LassoAdmm::new(x.clone(), cfg);
         let fixed = solver.solve(&y, lam);
         let adaptive = solver.solve_adaptive(&y, lam, 10.0, 2.0, 6);
@@ -1024,7 +1112,12 @@ mod tests {
         });
         let y: Vec<f64> = (0..n).map(|i| x[(i, 2)] * 3.0 - x[(i, 4)] * 0.5).collect();
         let lam = crate::lambda::lambda_max(&x, &y) * 0.01;
-        let cfg = AdmmConfig { max_iter: 20000, abstol: 1e-8, reltol: 1e-7, ..Default::default() };
+        let cfg = AdmmConfig {
+            max_iter: 20000,
+            abstol: 1e-8,
+            reltol: 1e-7,
+            ..Default::default()
+        };
         let solver = LassoAdmm::new(x.clone(), cfg);
         let fixed = solver.solve(&y, lam);
         let adaptive = solver.solve_adaptive(&y, lam, 10.0, 2.0, 10);
@@ -1041,7 +1134,12 @@ mod tests {
     fn stepping_api_matches_solve() {
         let (x, y) = toy_problem();
         let lam = 0.6;
-        let cfg = AdmmConfig { max_iter: 5000, abstol: 1e-9, reltol: 1e-8, ..Default::default() };
+        let cfg = AdmmConfig {
+            max_iter: 5000,
+            abstol: 1e-9,
+            reltol: 1e-8,
+            ..Default::default()
+        };
         let solver = LassoAdmm::new(x, cfg);
         let direct = solver.solve(&y, lam);
         let xty = solver.prepare_rhs(&y);
@@ -1066,7 +1164,12 @@ mod tests {
 
     #[test]
     fn builder_validates_and_chains() {
-        let cfg = AdmmConfig::builder().rho(2.0).max_iter(1000).abstol(1e-8).build().unwrap();
+        let cfg = AdmmConfig::builder()
+            .rho(2.0)
+            .max_iter(1000)
+            .abstol(1e-8)
+            .build()
+            .unwrap();
         assert_eq!(cfg.rho, 2.0);
         assert_eq!(cfg.max_iter, 1000);
         assert_eq!(cfg.abstol, 1e-8);
@@ -1086,7 +1189,12 @@ mod tests {
         let metrics = Arc::new(MetricsRegistry::new());
         let solver = LassoAdmm::new(
             x,
-            AdmmConfig { max_iter: 4000, abstol: 1e-9, reltol: 1e-8, ..Default::default() },
+            AdmmConfig {
+                max_iter: 4000,
+                abstol: 1e-9,
+                reltol: 1e-8,
+                ..Default::default()
+            },
         )
         .with_metrics(metrics.clone());
         let lambdas = [2.0, 1.0, 0.5, 0.25];
@@ -1099,8 +1207,14 @@ mod tests {
         assert_eq!(metrics.samples("admm.iterations").len(), lambdas.len());
         // Residual curves hold one sample per iteration performed.
         let total_iters: usize = path.iter().map(|s| s.iterations).sum();
-        assert_eq!(metrics.samples("admm.residual_curve.primal").len(), total_iters);
-        assert_eq!(metrics.samples("admm.residual_curve.dual").len(), total_iters);
+        assert_eq!(
+            metrics.samples("admm.residual_curve.primal").len(),
+            total_iters
+        );
+        assert_eq!(
+            metrics.samples("admm.residual_curve.dual").len(),
+            total_iters
+        );
     }
 
     #[test]

@@ -63,7 +63,13 @@ impl DistLassoAdmm {
     /// Allreduce the local Gram-diagonal sum and derive the shared
     /// effective penalty — a 1-scalar collective, so every rank factors
     /// its block with the same data-scaled `rho`.
-    fn global_rho(ctx: &mut RankCtx, comm: &Comm, local_diag_sum: f64, p: usize, cfg_rho: f64) -> f64 {
+    fn global_rho(
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        local_diag_sum: f64,
+        p: usize,
+        cfg_rho: f64,
+    ) -> f64 {
         let mut v = vec![local_diag_sum];
         comm.allreduce_sum(ctx, &mut v);
         effective_rho(cfg_rho, v[0], p)
@@ -74,6 +80,7 @@ impl DistLassoAdmm {
     /// diagonal of the global Gram, allreduced so all ranks agree.
     pub fn new(ctx: &mut RankCtx, comm: &Comm, x_local: Matrix, cfg: AdmmConfig) -> Self {
         assert!(cfg.rho > 0.0);
+        let sp = ctx.span_enter("gram_build.factor");
         let (n, p) = x_local.shape();
         ctx.compute_flops(admm_factor_flops(n, p), (n * p * 8) as f64);
         let (rho, factor) = if p <= n {
@@ -86,9 +93,8 @@ impl DistLassoAdmm {
             for i in 0..p {
                 gram[(i, i)] += rho;
             }
-            let factor = Factorization::Primal(
-                Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"),
-            );
+            let factor =
+                Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"));
             (rho, factor)
         } else {
             let local_diag: f64 = x_local.as_slice().iter().map(|v| v * v).sum();
@@ -96,7 +102,14 @@ impl DistLassoAdmm {
             (rho, factorize(&x_local, rho))
         };
         let metrics = ctx.telemetry().metrics();
-        Self { local: LocalStore::Dense(x_local), factor, cfg, rho, metrics }
+        ctx.span_exit(sp);
+        Self {
+            local: LocalStore::Dense(x_local),
+            factor,
+            cfg,
+            rho,
+            metrics,
+        }
     }
 
     /// Build from a precomputed local Gram `X_i^T X_i` (consumed; the
@@ -113,6 +126,7 @@ impl DistLassoAdmm {
         cfg: AdmmConfig,
     ) -> Self {
         assert!(cfg.rho > 0.0);
+        let sp = ctx.span_enter("gram_build.cholesky");
         let p = gram.rows();
         assert_eq!(p, gram.cols(), "from_gram: Gram matrix must be square");
         ctx.compute_flops((p * p * p) as f64 / 3.0, (p * p * 8) as f64);
@@ -124,7 +138,14 @@ impl DistLassoAdmm {
         let factor =
             Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"));
         let metrics = ctx.telemetry().metrics();
-        Self { local: LocalStore::Gram { n_rows, p }, factor, cfg, rho, metrics }
+        ctx.span_exit(sp);
+        Self {
+            local: LocalStore::Gram { n_rows, p },
+            factor,
+            cfg,
+            rho,
+            metrics,
+        }
     }
 
     fn local_dense(&self) -> &Matrix {
@@ -294,8 +315,7 @@ impl DistLassoAdmm {
             s_norm = rho * dz * b.sqrt();
 
             let sqrt_np = (b * p as f64).sqrt();
-            let eps_pri = sqrt_np * self.cfg.abstol
-                + self.cfg.reltol * x_norm.max(z_norm);
+            let eps_pri = sqrt_np * self.cfg.abstol + self.cfg.reltol * x_norm.max(z_norm);
             let eps_dual = sqrt_np * self.cfg.abstol + self.cfg.reltol * u_norm;
             if r_norm <= eps_pri && s_norm <= eps_dual {
                 converged = true;
@@ -327,19 +347,22 @@ impl DistLassoAdmm {
     }
 
     /// Distributed OLS (`lambda = 0`) — the paper's estimation solver.
+    /// Wrapped in an `ols_estimation` span so profilers attribute the
+    /// inner ADMM iterations to the estimation phase, not to LASSO.
     pub fn solve_ols(&self, ctx: &mut RankCtx, comm: &Comm, y_local: &[f64]) -> AdmmSolution {
-        self.solve(ctx, comm, y_local, 0.0)
+        let sp = ctx.span_enter("ols_estimation.solve");
+        let sol = self.solve(ctx, comm, y_local, 0.0);
+        ctx.span_exit(sp);
+        sol
     }
 
     /// Distributed OLS against a precomputed local rhs (Gram-built solvers).
-    pub fn solve_ols_with_rhs(
-        &self,
-        ctx: &mut RankCtx,
-        comm: &Comm,
-        xty: &[f64],
-    ) -> AdmmSolution {
+    pub fn solve_ols_with_rhs(&self, ctx: &mut RankCtx, comm: &Comm, xty: &[f64]) -> AdmmSolution {
         let p = self.local_shape().1;
-        self.solve_warm_with_rhs(ctx, comm, xty, 0.0, vec![0.0; p], vec![0.0; p])
+        let sp = ctx.span_enter("ols_estimation.solve");
+        let sol = self.solve_warm_with_rhs(ctx, comm, xty, 0.0, vec![0.0; p], vec![0.0; p]);
+        ctx.span_exit(sp);
+        sol
     }
 
     /// Solve a whole lambda path (largest first) with warm starts.
@@ -394,7 +417,12 @@ mod tests {
                 ctx,
                 comm,
                 x_local,
-                AdmmConfig { max_iter: 6000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
+                AdmmConfig {
+                    max_iter: 6000,
+                    abstol: 1e-10,
+                    reltol: 1e-9,
+                    ..Default::default()
+                },
             );
             solver.solve(ctx, comm, &y_local, lambda).beta
         });
@@ -407,7 +435,12 @@ mod tests {
         let (beta_dist, x, y) = dist_solve(4, lambda);
         let serial = LassoAdmm::new(
             x.clone(),
-            AdmmConfig { max_iter: 6000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
+            AdmmConfig {
+                max_iter: 6000,
+                abstol: 1e-10,
+                reltol: 1e-9,
+                ..Default::default()
+            },
         )
         .solve(&y, lambda);
         for (a, b) in beta_dist.iter().zip(&serial.beta) {
@@ -444,7 +477,12 @@ mod tests {
                 ctx,
                 comm,
                 x_local,
-                AdmmConfig { max_iter: 8000, abstol: 1e-11, reltol: 1e-10, ..Default::default() },
+                AdmmConfig {
+                    max_iter: 8000,
+                    abstol: 1e-11,
+                    reltol: 1e-10,
+                    ..Default::default()
+                },
             );
             solver.solve_ols(ctx, comm, &y_local).beta
         });
@@ -511,14 +549,22 @@ mod tests {
     fn gram_built_solver_panics_on_design_access() {
         let report = Cluster::new(1, MachineModel::deterministic()).run(move |ctx, comm| {
             let x = Matrix::identity(3);
-            let solver =
-                DistLassoAdmm::from_gram(ctx, comm, uoi_linalg::syrk_t(&x), 3, AdmmConfig::default());
+            let solver = DistLassoAdmm::from_gram(
+                ctx,
+                comm,
+                uoi_linalg::syrk_t(&x),
+                3,
+                AdmmConfig::default(),
+            );
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let _ = solver.local_design();
             }))
             .is_err()
         });
-        assert!(report.results[0], "local_design must panic for Gram-built solver");
+        assert!(
+            report.results[0],
+            "local_design must panic for Gram-built solver"
+        );
     }
 
     #[test]
@@ -534,7 +580,12 @@ mod tests {
                 ctx,
                 comm,
                 x_local,
-                AdmmConfig { max_iter: 6000, abstol: 1e-10, reltol: 1e-9, ..Default::default() },
+                AdmmConfig {
+                    max_iter: 6000,
+                    abstol: 1e-10,
+                    reltol: 1e-9,
+                    ..Default::default()
+                },
             );
             solver
                 .solve_path(ctx, comm, &y_local, &lambdas)

@@ -21,7 +21,10 @@ pub struct CdConfig {
 
 impl Default for CdConfig {
     fn default() -> Self {
-        Self { max_sweeps: 1000, tol: 1e-8 }
+        Self {
+            max_sweeps: 1000,
+            tol: 1e-8,
+        }
     }
 }
 
@@ -159,8 +162,7 @@ pub fn scad_cd(x: &Matrix, y: &[f64], lambda: f64, gamma: f64, cfg: &CdConfig) -
 
 /// Ridge regression closed form: `(X^T X + alpha I)^{-1} X^T y`.
 pub fn ridge(x: &Matrix, y: &[f64], alpha: f64) -> Vec<f64> {
-    uoi_linalg::solve_normal_equations(x, y, alpha)
-        .expect("ridge system must be SPD for alpha > 0")
+    uoi_linalg::solve_normal_equations(x, y, alpha).expect("ridge system must be SPD for alpha > 0")
 }
 
 #[cfg(test)]
@@ -209,7 +211,15 @@ mod tests {
     #[test]
     fn cd_zero_lambda_is_least_squares() {
         let (x, y) = toy();
-        let beta = lasso_cd(&x, &y, 0.0, &CdConfig { max_sweeps: 5000, tol: 1e-12 });
+        let beta = lasso_cd(
+            &x,
+            &y,
+            0.0,
+            &CdConfig {
+                max_sweeps: 5000,
+                tol: 1e-12,
+            },
+        );
         assert!(crate::diagnostics::ols_gradient_norm(&x, &y, &beta) < 1e-6);
     }
 

@@ -28,7 +28,11 @@ pub fn lasso_kkt_violation(x: &Matrix, y: &[f64], beta: &[f64], lambda: f64) -> 
 /// The LASSO objective value `1/2 ||y - X b||^2 + lambda ||b||_1`.
 pub fn lasso_objective(x: &Matrix, y: &[f64], beta: &[f64], lambda: f64) -> f64 {
     let pred = gemv(x, beta);
-    let rss: f64 = y.iter().zip(&pred).map(|(yi, pi)| (yi - pi) * (yi - pi)).sum();
+    let rss: f64 = y
+        .iter()
+        .zip(&pred)
+        .map(|(yi, pi)| (yi - pi) * (yi - pi))
+        .sum();
     0.5 * rss + lambda * norm1(beta)
 }
 

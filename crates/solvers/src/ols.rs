@@ -23,14 +23,12 @@ pub fn ols_on_support(x: &Matrix, y: &[f64], support: &[usize]) -> Vec<f64> {
     let coef = if xs.rows() >= xs.cols() {
         match solve_normal_equations(&xs, y, 0.0) {
             Ok(c) => c,
-            Err(_) => qr_least_squares(&xs, y)
-                .expect("rows >= cols checked above"),
+            Err(_) => qr_least_squares(&xs, y).expect("rows >= cols checked above"),
         }
     } else {
         // Over-wide support (possible for tiny evaluation folds): a small
         // ridge keeps the system determined.
-        solve_normal_equations(&xs, y, 1e-6)
-            .expect("ridge-regularised system must be SPD")
+        solve_normal_equations(&xs, y, 1e-6).expect("ridge-regularised system must be SPD")
     };
     for (&j, &c) in support.iter().zip(&coef) {
         beta[j] = c;
@@ -119,7 +117,9 @@ mod tests {
     #[test]
     fn exact_recovery_on_true_support() {
         let n = 30;
-        let x = Matrix::from_fn(n, 5, |i, j| (((i + 1) * (j + 2) * 2654435761_usize) % 97) as f64 / 48.5 - 1.0);
+        let x = Matrix::from_fn(n, 5, |i, j| {
+            (((i + 1) * (j + 2) * 2654435761_usize) % 97) as f64 / 48.5 - 1.0
+        });
         let y: Vec<f64> = (0..n).map(|i| 3.0 * x[(i, 1)] - 2.0 * x[(i, 3)]).collect();
         let beta = ols_on_support(&x, &y, &[1, 3]);
         assert!((beta[1] - 3.0).abs() < 1e-8);
@@ -170,10 +170,17 @@ mod tests {
         let x = Matrix::from_fn(n, 6, |i, j| {
             (((i + 1) * (j + 2) * 2654435761_usize) % 97) as f64 / 48.5 - 1.0
         });
-        let y: Vec<f64> = (0..n).map(|i| 3.0 * x[(i, 1)] - 2.0 * x[(i, 3)] + 0.5 * x[(i, 5)]).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 3.0 * x[(i, 1)] - 2.0 * x[(i, 3)] + 0.5 * x[(i, 5)])
+            .collect();
         let gram = uoi_linalg::syrk_t(&x);
         let xty = uoi_linalg::gemv_t(&x, &y);
-        for support in [vec![1, 3], vec![0, 1, 3, 5], vec![2], (0..6).collect::<Vec<_>>()] {
+        for support in [
+            vec![1, 3],
+            vec![0, 1, 3, 5],
+            vec![2],
+            (0..6).collect::<Vec<_>>(),
+        ] {
             let a = ols_on_support(&x, &y, &support);
             let b = ols_on_support_gram(&gram, &xty, &support, n);
             for (va, vb) in a.iter().zip(&b) {

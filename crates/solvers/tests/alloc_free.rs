@@ -66,7 +66,10 @@ fn warm_solve_is_allocation_free_primal() {
     let xty = solver.prepare_rhs(&y);
 
     let allocs = warm_then_count(&solver, &xty, p);
-    assert_eq!(allocs, 0, "primal solve_warm_with allocated on the warm path");
+    assert_eq!(
+        allocs, 0,
+        "primal solve_warm_with allocated on the warm path"
+    );
 }
 
 #[test]
@@ -79,7 +82,10 @@ fn warm_solve_is_allocation_free_from_gram() {
     let solver = LassoAdmm::from_gram(gram, AdmmConfig::default());
 
     let allocs = warm_then_count(&solver, &xty, p);
-    assert_eq!(allocs, 0, "gram-built solve_warm_with allocated on the warm path");
+    assert_eq!(
+        allocs, 0,
+        "gram-built solve_warm_with allocated on the warm path"
+    );
 }
 
 #[test]
@@ -92,5 +98,8 @@ fn warm_solve_is_allocation_free_woodbury() {
     let xty = solver.prepare_rhs(&y);
 
     let allocs = warm_then_count(&solver, &xty, p);
-    assert_eq!(allocs, 0, "woodbury solve_warm_with allocated on the warm path");
+    assert_eq!(
+        allocs, 0,
+        "woodbury solve_warm_with allocated on the warm path"
+    );
 }

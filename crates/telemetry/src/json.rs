@@ -356,12 +356,20 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Copy a full UTF-8 scalar, not just one byte.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| JsonError::UnexpectedChar(*pos))?;
-                let c = rest.chars().next().ok_or(JsonError::UnexpectedEnd)?;
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run up to the next quote or escape and
+                // validate it as UTF-8 once. Validating per character would
+                // rescan the remaining input each time — quadratic on
+                // multi-megabyte documents like merged Chrome traces.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| JsonError::UnexpectedChar(start))?;
+                out.push_str(chunk);
             }
         }
     }
@@ -453,8 +461,7 @@ mod tests {
 
     #[test]
     fn non_finite_serialises_as_null() {
-        let s = Json::Arr(vec![Json::Num(f64::NAN), Json::Num(f64::INFINITY)])
-            .to_string_compact();
+        let s = Json::Arr(vec![Json::Num(f64::NAN), Json::Num(f64::INFINITY)]).to_string_compact();
         assert_eq!(s, "[null,null]");
     }
 
@@ -477,5 +484,22 @@ mod tests {
     fn unicode_survives() {
         let v = Json::str("λ-path ε≤1e-9");
         assert_eq!(Json::parse(&v.to_string_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_runs_parse_in_chunks() {
+        // Escapes adjacent to multibyte characters exercise every chunk
+        // boundary of the run-based string scanner.
+        let v = Json::str("α\\β\"γ\nδ\tε\u{1F600}\\\\tail");
+        assert_eq!(Json::parse(&v.to_string_compact()).unwrap(), v);
+        // A large document parses in linear time; this is a correctness
+        // backstop (the perf property is covered by the traced-pipeline
+        // integration test converting multi-MB Chrome traces).
+        let big = Json::Arr(
+            (0..2000)
+                .map(|i| Json::obj(vec![("name", Json::str(&format!("admm.iter λ{i}")))]))
+                .collect(),
+        );
+        assert_eq!(Json::parse(&big.to_string_compact()).unwrap(), big);
     }
 }

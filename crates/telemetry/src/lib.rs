@@ -13,20 +13,33 @@
 //!   curves);
 //! * [`report`] — the `uoi.run_report/v1` JSON schema every bench
 //!   binary writes under `results/`;
+//! * [`timeline`] / [`analysis`] — the profiling layer: replay a
+//!   trace into per-rank interval timelines tagged with the pipeline
+//!   phase taxonomy (`read_t1`, `shuffle_t2`, `gram_build`,
+//!   `admm_local`, `admm_consensus`, `ols_estimation`, `scoring`,
+//!   `checkpoint`), then compute per-phase breakdowns, collective
+//!   idle time, load-imbalance ratios, and a critical-path estimate;
+//! * [`chrome`] — Chrome trace-format export (Perfetto-loadable);
 //! * [`Telemetry`] — the cheap, cloneable handle threaded through the
 //!   simulator and fitters. A default handle is *disabled*: recording
 //!   through it is a branch on a `None` and nothing more, so
 //!   uninstrumented runs pay near-zero overhead.
 
+pub mod analysis;
+pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod timeline;
 pub mod trace;
 
+pub use analysis::{analyze, Breakdown, PhaseAggregate, PhaseSlice, BREAKDOWN_SCHEMA};
+pub use chrome::to_chrome_trace;
 pub use json::{Json, JsonError};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use report::{PhaseTotals, RunReport, RunSummary, RUN_REPORT_SCHEMA};
-pub use trace::{JsonlSink, MemorySink, TraceEvent, TraceSink};
+pub use timeline::{build_timeline, PipelinePhase, Timeline};
+pub use trace::{JsonlSink, MemorySink, TeeSink, TraceEvent, TraceSink};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -60,17 +73,26 @@ impl Telemetry {
 
     /// A handle that traces into `sink`.
     pub fn with_sink(sink: Arc<dyn TraceSink>) -> Self {
-        Telemetry { sink: Some(sink), metrics: None }
+        Telemetry {
+            sink: Some(sink),
+            metrics: None,
+        }
     }
 
     /// A handle that only records metrics.
     pub fn with_metrics(metrics: Arc<MetricsRegistry>) -> Self {
-        Telemetry { sink: None, metrics: Some(metrics) }
+        Telemetry {
+            sink: None,
+            metrics: Some(metrics),
+        }
     }
 
     /// A handle that traces and records metrics.
     pub fn new(sink: Arc<dyn TraceSink>, metrics: Arc<MetricsRegistry>) -> Self {
-        Telemetry { sink: Some(sink), metrics: Some(metrics) }
+        Telemetry {
+            sink: Some(sink),
+            metrics: Some(metrics),
+        }
     }
 
     /// Attach a metrics registry to an existing handle (chainable).
@@ -164,7 +186,11 @@ mod tests {
         assert!(!t.metrics_enabled());
         assert_eq!(t.next_span_id(), 0);
         // These must all be harmless no-ops.
-        t.record(TraceEvent::Io { rank: 0, seconds: 1.0, t: 1.0 });
+        t.record(TraceEvent::Io {
+            rank: 0,
+            seconds: 1.0,
+            t: 1.0,
+        });
         t.incr("x", 1);
         t.gauge("g", 1.0);
         t.observe("h", 1.0);
@@ -177,7 +203,11 @@ mod tests {
         let mut called = false;
         t.record_with(|| {
             called = true;
-            TraceEvent::Io { rank: 0, seconds: 0.0, t: 0.0 }
+            TraceEvent::Io {
+                rank: 0,
+                seconds: 0.0,
+                t: 0.0,
+            }
         });
         assert!(!called, "payload closure must not run when disabled");
     }
@@ -188,7 +218,11 @@ mod tests {
         let metrics = Arc::new(MetricsRegistry::new());
         let t = Telemetry::new(sink.clone(), metrics.clone());
         assert!(t.tracing_enabled() && t.metrics_enabled());
-        t.record(TraceEvent::Io { rank: 2, seconds: 0.5, t: 0.5 });
+        t.record(TraceEvent::Io {
+            rank: 2,
+            seconds: 0.5,
+            t: 0.5,
+        });
         t.incr("reads", 1);
         assert_eq!(sink.len(), 1);
         assert_eq!(metrics.counter("reads"), 1);

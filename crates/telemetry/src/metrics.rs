@@ -48,13 +48,19 @@ impl MetricsRegistry {
     /// Append one observation to a histogram/series.
     pub fn observe(&self, name: &str, value: f64) {
         let mut g = self.lock();
-        g.histograms.entry(name.to_string()).or_default().push(value);
+        g.histograms
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
     }
 
     /// Append many observations at once (single lock acquisition).
     pub fn observe_all(&self, name: &str, values: &[f64]) {
         let mut g = self.lock();
-        g.histograms.entry(name.to_string()).or_default().extend_from_slice(values);
+        g.histograms
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(values);
     }
 
     /// Current counter value (0 if never incremented).
@@ -69,7 +75,11 @@ impl MetricsRegistry {
 
     /// The raw samples of a histogram, in insertion order.
     pub fn samples(&self, name: &str) -> Vec<f64> {
-        self.lock().histograms.get(name).cloned().unwrap_or_default()
+        self.lock()
+            .histograms
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Summarise everything recorded so far.
@@ -109,12 +119,22 @@ impl MetricsSnapshot {
     /// sections (the `metrics` block of a `RunReport`).
     pub fn to_json(&self) -> Json {
         let counters = Json::Obj(
-            self.counters.iter().map(|(k, v)| (k.clone(), Json::num(*v as f64))).collect(),
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::num(*v as f64)))
+                .collect(),
         );
-        let gauges =
-            Json::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), Json::num(*v))).collect());
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::num(*v)))
+                .collect(),
+        );
         let histograms = Json::Obj(
-            self.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect(),
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_json()))
+                .collect(),
         );
         Json::obj(vec![
             ("counters", counters),
@@ -125,6 +145,13 @@ impl MetricsSnapshot {
 }
 
 /// Order statistics of one histogram.
+///
+/// Percentiles use linear interpolation between closest ranks
+/// (Hyndman–Fan type 7, the R/NumPy default): for quantile `q` over
+/// `n` sorted samples, `h = (n - 1) q` and the result interpolates
+/// between `sorted[floor(h)]` and `sorted[ceil(h)]`. The previous
+/// nearest-rank rounding biased small-sample percentiles by up to half
+/// a sample spacing (e.g. p50 of `[1, 2, 3, 4]` reported 3.0, not 2.5).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
     pub count: usize,
@@ -133,7 +160,19 @@ pub struct HistogramSummary {
     pub mean: f64,
     pub p50: f64,
     pub p90: f64,
+    pub p95: f64,
     pub p99: f64,
+}
+
+/// Type-7 interpolated quantile of an already-sorted, non-empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let n = sorted.len();
+    let h = (n as f64 - 1.0) * q.clamp(0.0, 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi.min(n - 1)] - sorted[lo]) * frac
 }
 
 impl HistogramSummary {
@@ -146,6 +185,7 @@ impl HistogramSummary {
                 mean: 0.0,
                 p50: 0.0,
                 p90: 0.0,
+                p95: 0.0,
                 p99: 0.0,
             };
         }
@@ -153,18 +193,15 @@ impl HistogramSummary {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
-        let pct = |q: f64| -> f64 {
-            let idx = ((count as f64 - 1.0) * q).round() as usize;
-            sorted[idx.min(count - 1)]
-        };
         HistogramSummary {
             count,
             min: sorted[0],
             max: sorted[count - 1],
             mean,
-            p50: pct(0.50),
-            p90: pct(0.90),
-            p99: pct(0.99),
+            p50: quantile_sorted(&sorted, 0.50),
+            p90: quantile_sorted(&sorted, 0.90),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
         }
     }
 
@@ -176,6 +213,7 @@ impl HistogramSummary {
             ("mean", Json::num(self.mean)),
             ("p50", Json::num(self.p50)),
             ("p90", Json::num(self.p90)),
+            ("p95", Json::num(self.p95)),
             ("p99", Json::num(self.p99)),
         ])
     }
@@ -205,7 +243,10 @@ mod tests {
         for v in [1.0, 0.5, 0.25, 0.125] {
             m.observe("admm.primal_residual", v);
         }
-        assert_eq!(m.samples("admm.primal_residual"), vec![1.0, 0.5, 0.25, 0.125]);
+        assert_eq!(
+            m.samples("admm.primal_residual"),
+            vec![1.0, 0.5, 0.25, 0.125]
+        );
         let snap = m.snapshot();
         let h = &snap.histograms["admm.primal_residual"];
         assert_eq!(h.count, 4);
@@ -242,10 +283,22 @@ mod tests {
         m.gauge("g", 1.5);
         m.observe("h", 3.0);
         let j = m.snapshot().to_json();
-        assert_eq!(j.get("counters").unwrap().get("c").unwrap().as_num(), Some(2.0));
-        assert_eq!(j.get("gauges").unwrap().get("g").unwrap().as_num(), Some(1.5));
         assert_eq!(
-            j.get("histograms").unwrap().get("h").unwrap().get("count").unwrap().as_num(),
+            j.get("counters").unwrap().get("c").unwrap().as_num(),
+            Some(2.0)
+        );
+        assert_eq!(
+            j.get("gauges").unwrap().get("g").unwrap().as_num(),
+            Some(1.5)
+        );
+        assert_eq!(
+            j.get("histograms")
+                .unwrap()
+                .get("h")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_num(),
             Some(1.0)
         );
     }
@@ -255,5 +308,38 @@ mod tests {
         let h = HistogramSummary::from_samples(&[]);
         assert_eq!(h.count, 0);
         assert_eq!(h.max, 0.0);
+    }
+
+    /// Exact type-7 values for 1..=100: h = 99 q lands at 49.5, 94.05,
+    /// and 98.01, so p50 = 50.5, p95 = 95.05, p99 = 99.01.
+    #[test]
+    fn percentiles_interpolate_exactly_on_1_to_100() {
+        let samples: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let h = HistogramSummary::from_samples(&samples);
+        assert!((h.p50 - 50.5).abs() < 1e-12, "p50 = {}", h.p50);
+        assert!((h.p90 - 90.1).abs() < 1e-12, "p90 = {}", h.p90);
+        assert!((h.p95 - 95.05).abs() < 1e-12, "p95 = {}", h.p95);
+        assert!((h.p99 - 99.01).abs() < 1e-12, "p99 = {}", h.p99);
+    }
+
+    /// The regression the fix targets: nearest-rank rounding reported
+    /// p50 of [1, 2, 3, 4] as 3.0; the median must be 2.5.
+    #[test]
+    fn median_of_four_is_interpolated() {
+        let h = HistogramSummary::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert!((h.p50 - 2.5).abs() < 1e-12, "p50 = {}", h.p50);
+    }
+
+    #[test]
+    fn percentiles_degenerate_cases() {
+        // Single sample: every percentile is that sample.
+        let h = HistogramSummary::from_samples(&[7.0]);
+        assert_eq!((h.p50, h.p95, h.p99), (7.0, 7.0, 7.0));
+        // Two samples: p50 is the midpoint, p99 nearly the max.
+        let h = HistogramSummary::from_samples(&[0.0, 10.0]);
+        assert!((h.p50 - 5.0).abs() < 1e-12);
+        assert!((h.p99 - 9.9).abs() < 1e-12);
+        // Percentiles never exceed the observed range.
+        assert!(h.p99 <= h.max && h.p50 >= h.min);
     }
 }

@@ -119,6 +119,15 @@ pub struct RunReport {
     /// Degraded-mode outcome (fault-injected or fault-tolerant runs):
     /// the JSON form of a `DegradationReport`. `null` for clean runs.
     pub degradation: Option<Json>,
+    /// Per-phase wall/comm/idle decomposition (the JSON form of an
+    /// `analysis::Breakdown`, schema `uoi.breakdown/v1`). `null` when
+    /// the run was not traced.
+    pub breakdown: Option<Json>,
+    /// Telemetry self-health: currently `dropped_records`, the number
+    /// of trace lines lost to sink I/O errors. `null` when no sink was
+    /// installed; a non-zero count means the trace file is incomplete
+    /// and breakdown numbers may under-report.
+    pub telemetry_health: Option<Json>,
     /// The result table: column headers plus rows of cells. Numeric
     /// cells are stored as JSON numbers.
     pub headers: Vec<String>,
@@ -134,6 +143,8 @@ impl RunReport {
             summary: None,
             metrics: None,
             degradation: None,
+            breakdown: None,
+            telemetry_health: None,
             headers: Vec::new(),
             rows: Vec::new(),
         }
@@ -162,6 +173,25 @@ impl RunReport {
         self
     }
 
+    /// Attach a per-phase breakdown (already serialised, e.g. via
+    /// `analysis::Breakdown::to_json`).
+    pub fn with_breakdown(mut self, breakdown: Json) -> Self {
+        self.breakdown = Some(breakdown);
+        self
+    }
+
+    /// Record telemetry self-health. Call with
+    /// `JsonlSink::dropped_records()` after the final flush so record
+    /// loss is visible in the report instead of silently truncating
+    /// the trace.
+    pub fn with_dropped_records(mut self, dropped: u64) -> Self {
+        self.telemetry_health = Some(Json::obj(vec![(
+            "dropped_records",
+            Json::num(dropped as f64),
+        )]));
+        self
+    }
+
     /// Attach the result table. String cells that parse as numbers are
     /// stored as JSON numbers so downstream tooling gets real scalars.
     pub fn with_table<S: AsRef<str>>(mut self, headers: &[S], rows: &[Vec<String>]) -> Self {
@@ -180,19 +210,35 @@ impl RunReport {
             ("title", Json::str(self.title.clone())),
             (
                 "params",
-                Json::Obj(self.params.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+                Json::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                ),
             ),
             (
                 "summary",
-                self.summary.as_ref().map(RunSummary::to_json).unwrap_or(Json::Null),
+                self.summary
+                    .as_ref()
+                    .map(RunSummary::to_json)
+                    .unwrap_or(Json::Null),
             ),
             (
                 "metrics",
-                self.metrics.as_ref().map(MetricsSnapshot::to_json).unwrap_or(Json::Null),
+                self.metrics
+                    .as_ref()
+                    .map(MetricsSnapshot::to_json)
+                    .unwrap_or(Json::Null),
             ),
             (
                 "degradation",
                 self.degradation.clone().unwrap_or(Json::Null),
+            ),
+            ("breakdown", self.breakdown.clone().unwrap_or(Json::Null)),
+            (
+                "telemetry",
+                self.telemetry_health.clone().unwrap_or(Json::Null),
             ),
             (
                 "table",
@@ -216,7 +262,10 @@ impl RunReport {
     }
 
     /// Write the report to `<dir>/<bench>.json`, returning the path.
-    pub fn write_to_dir(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<std::path::PathBuf> {
+    pub fn write_to_dir(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<std::path::PathBuf> {
         let path = dir.as_ref().join(format!("{}.json", self.bench));
         std::fs::write(&path, self.to_json_string())?;
         Ok(path)
@@ -243,7 +292,12 @@ mod tests {
             exec_ranks: 8,
             modeled_ranks: 64,
             makespan: 1.25,
-            phase_max: PhaseTotals { compute: 1.0, comm: 0.125, distribution: 0.0625, io: 0.0625 },
+            phase_max: PhaseTotals {
+                compute: 1.0,
+                comm: 0.125,
+                distribution: 0.0625,
+                io: 0.0625,
+            },
             phase_mean: PhaseTotals {
                 compute: 0.9,
                 comm: 0.1,
@@ -264,7 +318,12 @@ mod tests {
 
     #[test]
     fn phase_totals_total() {
-        let p = PhaseTotals { compute: 1.0, comm: 2.0, distribution: 3.0, io: 4.0 };
+        let p = PhaseTotals {
+            compute: 1.0,
+            comm: 2.0,
+            distribution: 3.0,
+            io: 4.0,
+        };
         assert_eq!(p.total(), 10.0);
     }
 
@@ -286,16 +345,35 @@ mod tests {
             );
         let doc = Json::parse(&report.to_json_string()).unwrap();
         assert_eq!(doc.get("schema").unwrap().as_str(), Some(RUN_REPORT_SCHEMA));
-        assert_eq!(doc.get("bench").unwrap().as_str(), Some("fig6_lasso_strong"));
         assert_eq!(
-            doc.get("params").unwrap().get("exec_ranks").unwrap().as_num(),
+            doc.get("bench").unwrap().as_str(),
+            Some("fig6_lasso_strong")
+        );
+        assert_eq!(
+            doc.get("params")
+                .unwrap()
+                .get("exec_ranks")
+                .unwrap()
+                .as_num(),
             Some(8.0)
         );
         // Numeric cells arrive as numbers, not strings.
-        let rows = doc.get("table").unwrap().get("rows").unwrap().as_arr().unwrap();
+        let rows = doc
+            .get("table")
+            .unwrap()
+            .get("rows")
+            .unwrap()
+            .as_arr()
+            .unwrap();
         assert_eq!(rows[0].as_arr().unwrap()[0].as_num(), Some(64.0));
         assert_eq!(
-            doc.get("metrics").unwrap().get("counters").unwrap().get("admm.solves").unwrap().as_num(),
+            doc.get("metrics")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("admm.solves")
+                .unwrap()
+                .as_num(),
             Some(5.0)
         );
         // Summary reconciles.
@@ -310,6 +388,36 @@ mod tests {
         assert_eq!(doc.get("summary"), Some(&Json::Null));
         assert_eq!(doc.get("metrics"), Some(&Json::Null));
         assert_eq!(doc.get("degradation"), Some(&Json::Null));
+        assert_eq!(doc.get("breakdown"), Some(&Json::Null));
+        assert_eq!(doc.get("telemetry"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn breakdown_and_dropped_records_sections_serialise() {
+        let bd = Json::obj(vec![
+            ("schema", Json::str("uoi.breakdown/v1")),
+            ("makespan", Json::num(2.5)),
+        ]);
+        let report = RunReport::new("traced", "t")
+            .with_breakdown(bd)
+            .with_dropped_records(3);
+        let doc = Json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(
+            doc.get("breakdown")
+                .unwrap()
+                .get("makespan")
+                .unwrap()
+                .as_num(),
+            Some(2.5)
+        );
+        assert_eq!(
+            doc.get("telemetry")
+                .unwrap()
+                .get("dropped_records")
+                .unwrap()
+                .as_num(),
+            Some(3.0)
+        );
     }
 
     #[test]
@@ -320,9 +428,16 @@ mod tests {
         ]);
         let report = RunReport::new("fault_demo", "faults").with_degradation(deg);
         let doc = Json::parse(&report.to_json_string()).unwrap();
-        assert_eq!(doc.get("degradation").unwrap().get("degraded"), Some(&Json::Bool(true)));
         assert_eq!(
-            doc.get("degradation").unwrap().get("b1_completed").unwrap().as_num(),
+            doc.get("degradation").unwrap().get("degraded"),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(
+            doc.get("degradation")
+                .unwrap()
+                .get("b1_completed")
+                .unwrap()
+                .as_num(),
             Some(18.0)
         );
     }
@@ -331,7 +446,9 @@ mod tests {
     fn write_to_dir_lands_named_file() {
         let dir = std::env::temp_dir().join("uoi_report_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = RunReport::new("unit_check", "t").write_to_dir(&dir).unwrap();
+        let path = RunReport::new("unit_check", "t")
+            .write_to_dir(&dir)
+            .unwrap();
         assert!(path.ends_with("unit_check.json"));
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(Json::parse(&text).is_ok());

@@ -57,6 +57,24 @@ pub enum TraceEvent {
         t_max: f64,
         t_mean: f64,
     },
+    /// One rank's view of a collective: how long it idled at the
+    /// rendezvous waiting for the last rank to arrive (`wait`), and the
+    /// modeled cost it then paid for the operation itself (`cost`).
+    /// Recorded once per rank per collective — the per-operation
+    /// [`TraceEvent::Collective`] summary only carries min/max/mean
+    /// entry skew, so this event is what makes exact per-rank idle-time
+    /// accounting possible.
+    CollectiveWait {
+        rank: usize,
+        /// Operation label ("allreduce", "barrier", "bcast", ...).
+        op: String,
+        /// Virtual seconds blocked before the slowest rank arrived.
+        wait: f64,
+        /// Virtual seconds of modeled collective cost after sync.
+        cost: f64,
+        /// Rank clock at entry (before waiting).
+        t: f64,
+    },
     /// A one-sided window transfer (get/put) against a target rank.
     WindowTransfer {
         rank: usize,
@@ -92,6 +110,7 @@ impl TraceEvent {
             TraceEvent::SpanStart { rank, .. }
             | TraceEvent::SpanEnd { rank, .. }
             | TraceEvent::PhaseCharge { rank, .. }
+            | TraceEvent::CollectiveWait { rank, .. }
             | TraceEvent::WindowTransfer { rank, .. }
             | TraceEvent::Io { rank, .. }
             | TraceEvent::Fault { rank, .. } => Some(*rank),
@@ -106,6 +125,7 @@ impl TraceEvent {
             TraceEvent::SpanEnd { .. } => "span_end",
             TraceEvent::PhaseCharge { .. } => "phase_charge",
             TraceEvent::Collective { .. } => "collective",
+            TraceEvent::CollectiveWait { .. } => "collective_wait",
             TraceEvent::WindowTransfer { .. } => "window_transfer",
             TraceEvent::Io { .. } => "io",
             TraceEvent::Fault { .. } => "fault",
@@ -115,7 +135,13 @@ impl TraceEvent {
     /// Encode as a JSON object (one JSONL line, sans newline).
     pub fn to_json(&self) -> Json {
         match self {
-            TraceEvent::SpanStart { id, parent, name, rank, t } => Json::obj(vec![
+            TraceEvent::SpanStart {
+                id,
+                parent,
+                name,
+                rank,
+                t,
+            } => Json::obj(vec![
                 ("ev", Json::str("span_start")),
                 ("id", Json::num(*id as f64)),
                 (
@@ -132,7 +158,12 @@ impl TraceEvent {
                 ("rank", Json::num(*rank as f64)),
                 ("t", Json::num(*t)),
             ]),
-            TraceEvent::PhaseCharge { rank, phase, seconds, t } => Json::obj(vec![
+            TraceEvent::PhaseCharge {
+                rank,
+                phase,
+                seconds,
+                t,
+            } => Json::obj(vec![
                 ("ev", Json::str("phase_charge")),
                 ("rank", Json::num(*rank as f64)),
                 ("phase", Json::str(*phase)),
@@ -161,24 +192,48 @@ impl TraceEvent {
                 ("t_max", Json::num(*t_max)),
                 ("t_mean", Json::num(*t_mean)),
             ]),
-            TraceEvent::WindowTransfer { rank, kind, target, bytes, t_start, t_end } => {
-                Json::obj(vec![
-                    ("ev", Json::str("window_transfer")),
-                    ("rank", Json::num(*rank as f64)),
-                    ("kind", Json::str(*kind)),
-                    ("target", Json::num(*target as f64)),
-                    ("bytes", Json::num(*bytes as f64)),
-                    ("t_start", Json::num(*t_start)),
-                    ("t_end", Json::num(*t_end)),
-                ])
-            }
+            TraceEvent::CollectiveWait {
+                rank,
+                op,
+                wait,
+                cost,
+                t,
+            } => Json::obj(vec![
+                ("ev", Json::str("collective_wait")),
+                ("rank", Json::num(*rank as f64)),
+                ("op", Json::str(op.clone())),
+                ("wait", Json::num(*wait)),
+                ("cost", Json::num(*cost)),
+                ("t", Json::num(*t)),
+            ]),
+            TraceEvent::WindowTransfer {
+                rank,
+                kind,
+                target,
+                bytes,
+                t_start,
+                t_end,
+            } => Json::obj(vec![
+                ("ev", Json::str("window_transfer")),
+                ("rank", Json::num(*rank as f64)),
+                ("kind", Json::str(*kind)),
+                ("target", Json::num(*target as f64)),
+                ("bytes", Json::num(*bytes as f64)),
+                ("t_start", Json::num(*t_start)),
+                ("t_end", Json::num(*t_end)),
+            ]),
             TraceEvent::Io { rank, seconds, t } => Json::obj(vec![
                 ("ev", Json::str("io")),
                 ("rank", Json::num(*rank as f64)),
                 ("seconds", Json::num(*seconds)),
                 ("t", Json::num(*t)),
             ]),
-            TraceEvent::Fault { rank, kind, detail, t } => Json::obj(vec![
+            TraceEvent::Fault {
+                rank,
+                kind,
+                detail,
+                t,
+            } => Json::obj(vec![
                 ("ev", Json::str("fault")),
                 ("rank", Json::num(*rank as f64)),
                 ("kind", Json::str(kind.clone())),
@@ -222,6 +277,13 @@ impl TraceEvent {
                 t_min: num("t_min")?,
                 t_max: num("t_max")?,
                 t_mean: num("t_mean")?,
+            }),
+            "collective_wait" => Some(TraceEvent::CollectiveWait {
+                rank: idx("rank")?,
+                op: v.get("op")?.as_str()?.to_string(),
+                wait: num("wait")?,
+                cost: num("cost")?,
+                t: num("t")?,
             }),
             "window_transfer" => Some(TraceEvent::WindowTransfer {
                 rank: idx("rank")?,
@@ -291,7 +353,10 @@ impl MemorySink {
 
     /// Copy of all events recorded so far.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Drain all events, leaving the sink empty.
@@ -310,7 +375,36 @@ impl MemorySink {
 
 impl TraceSink for MemorySink {
     fn record(&self, event: &TraceEvent) {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(event.clone());
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+/// Fans every event out to several sinks (e.g. a [`JsonlSink`] for the
+/// on-disk trace plus a [`MemorySink`] the process analyses in-place).
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    pub fn new(sinks: Vec<std::sync::Arc<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: &TraceEvent) {
+        for s in &self.sinks {
+            s.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
     }
 }
 
@@ -348,7 +442,10 @@ impl JsonlSink {
 
     /// Attach a metrics registry; dropped records are mirrored into
     /// its `telemetry.dropped_records` counter.
-    pub fn with_metrics(mut self, metrics: std::sync::Arc<crate::metrics::MetricsRegistry>) -> Self {
+    pub fn with_metrics(
+        mut self,
+        metrics: std::sync::Arc<crate::metrics::MetricsRegistry>,
+    ) -> Self {
         self.metrics = Some(metrics);
         self
     }
@@ -362,7 +459,8 @@ impl JsonlSink {
         if n == 0 {
             return;
         }
-        self.dropped.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        self.dropped
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
         if let Some(m) = &self.metrics {
             m.incr("telemetry.dropped_records", n);
         }
@@ -442,6 +540,13 @@ mod tests {
                 t_max: 0.25,
                 t_mean: 0.2,
             },
+            TraceEvent::CollectiveWait {
+                rank: 1,
+                op: "allreduce".into(),
+                wait: 0.15,
+                cost: 0.25,
+                t: 0.1,
+            },
             TraceEvent::WindowTransfer {
                 rank: 3,
                 kind: "get",
@@ -450,14 +555,22 @@ mod tests {
                 t_start: 0.5,
                 t_end: 0.75,
             },
-            TraceEvent::Io { rank: 0, seconds: 0.125, t: 0.875 },
+            TraceEvent::Io {
+                rank: 0,
+                seconds: 0.125,
+                t: 0.875,
+            },
             TraceEvent::Fault {
                 rank: 2,
                 kind: "window_drop".into(),
                 detail: "op=4 target=0".into(),
                 t: 0.9,
             },
-            TraceEvent::SpanEnd { id: 1, rank: 0, t: 1.0 },
+            TraceEvent::SpanEnd {
+                id: 1,
+                rank: 0,
+                t: 1.0,
+            },
         ]
     }
 
@@ -489,10 +602,24 @@ mod tests {
         for ev in sample_events() {
             sink.record(&ev);
         }
-        assert_eq!(sink.len(), 7);
+        let n = sample_events().len();
+        assert_eq!(sink.len(), n);
         assert_eq!(sink.snapshot(), sample_events());
-        assert_eq!(sink.take().len(), 7);
+        assert_eq!(sink.take().len(), n);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_all_children() {
+        let a = std::sync::Arc::new(MemorySink::new());
+        let b = std::sync::Arc::new(MemorySink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        for ev in sample_events() {
+            tee.record(&ev);
+        }
+        tee.flush();
+        assert_eq!(a.snapshot(), sample_events());
+        assert_eq!(b.snapshot(), sample_events());
     }
 
     #[test]
@@ -517,7 +644,9 @@ mod tests {
     fn write_failures_are_counted_not_panicked() {
         use crate::metrics::MetricsRegistry;
         let metrics = std::sync::Arc::new(MetricsRegistry::new());
-        let sink = JsonlSink::create("/dev/full").unwrap().with_metrics(metrics.clone());
+        let sink = JsonlSink::create("/dev/full")
+            .unwrap()
+            .with_metrics(metrics.clone());
         let n = sample_events().len() as u64;
         for ev in sample_events() {
             sink.record(&ev);

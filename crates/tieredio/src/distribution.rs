@@ -48,7 +48,10 @@ pub struct ConventionalConfig {
 
 impl Default for ConventionalConfig {
     fn default() -> Self {
-        Self { chunk_bytes: 64 << 20, passes: 1 }
+        Self {
+            chunk_bytes: 64 << 20,
+            passes: 1,
+        }
     }
 }
 
@@ -83,12 +86,11 @@ pub fn conventional(
     let cols = ds.cols();
 
     // --- Read stage: rank 0 pays the serial chunked read. ---
+    let sp_read = ctx.span_enter("read_t1.serial");
     let full = if comm.rank() == 0 {
         let passes = cfg.passes.max(1);
         let bytes = ds.payload_bytes() as f64 * passes as f64;
-        let chunks = (ds.payload_bytes().div_ceil(cfg.chunk_bytes.max(1))).max(1)
-            as usize
-            * passes;
+        let chunks = (ds.payload_bytes().div_ceil(cfg.chunk_bytes.max(1))).max(1) as usize * passes;
         let t = ctx.model().io.serial_chunked_read_time(bytes, chunks);
         ctx.charge_io(t);
         Some(ds.read_all().expect("conventional: read failed"))
@@ -97,9 +99,11 @@ pub fn conventional(
     };
     // All ranks wait for the reader before distribution starts.
     comm.barrier_phase(ctx, Phase::DataIo);
+    ctx.span_exit(sp_read);
     let read_time = ctx.ledger().io - ledger0.io;
 
     // --- Distribution stage: gather requests, scatter rows. ---
+    let sp_dist = ctx.span_enter("shuffle_t2.scatter");
     let ledger1 = ctx.ledger();
     let encoded: Vec<f64> = my_rows.iter().map(|&r| r as f64).collect();
     let requests = comm.gather(ctx, 0, &encoded);
@@ -113,13 +117,17 @@ pub fn conventional(
             .collect::<Vec<_>>()
     });
     let mine = comm.scatter(ctx, 0, chunks);
+    ctx.span_exit(sp_dist);
     let distribute_time =
         (ctx.ledger().distribution - ledger1.distribution) + (ctx.ledger().comm - ledger1.comm);
 
     let rows = my_rows.len();
     (
         Matrix::from_vec(rows, cols, mine),
-        DistTiming { read: read_time, distribute: distribute_time },
+        DistTiming {
+            read: read_time,
+            distribute: distribute_time,
+        },
     )
 }
 
@@ -135,25 +143,38 @@ pub fn randomized(
     let n = ds.rows();
     let p = comm.size();
 
-
     // --- Tier 1: contiguous parallel hyperslab read (transient failures
     // retried with bounded backoff; see `retry`). ---
+    let sp_read = ctx.span_enter("read_t1.hyperslab");
     let my_range = block_range(n, p, comm.rank());
-    let local = read_rows_retrying(ctx, ds, my_range.start, my_range.end, &RetryPolicy::default())
-        .expect("randomized: tier-1 read failed");
+    let local = read_rows_retrying(
+        ctx,
+        ds,
+        my_range.start,
+        my_range.end,
+        &RetryPolicy::default(),
+    )
+    .expect("randomized: tier-1 read failed");
     let modeled_readers = comm.modeled_size(ctx);
     let t_read = ctx
         .model()
         .io
         .parallel_read_time(modeled_readers, ds.payload_bytes() as f64);
     ctx.charge_io(t_read);
+    ctx.span_exit(sp_read);
     let read_time = ctx.ledger().io - ledger0.io;
 
     // --- Tier 2: one-sided shuffle through a window. ---
 
     let (out, distribute_time) = tier2_shuffle(ctx, comm, local, n, my_rows);
 
-    (out, DistTiming { read: read_time, distribute: distribute_time })
+    (
+        out,
+        DistTiming {
+            read: read_time,
+            distribute: distribute_time,
+        },
+    )
 }
 
 /// The Tier-2 shuffle alone, starting from in-memory Tier-1 blocks: each
@@ -178,6 +199,7 @@ pub fn tier2_shuffle(
         "tier2_shuffle: local block must match the block-striped layout"
     );
     let d0 = ctx.ledger().distribution;
+    let sp = ctx.span_enter("shuffle_t2.window");
     let win = Window::create(ctx, comm, local_block.into_vec());
     win.fence(ctx, comm);
     let mut out = Matrix::zeros(my_rows.len(), cols);
@@ -186,10 +208,16 @@ pub fn tier2_shuffle(
     let mut epoch = win.epoch(ctx);
     for (dst, &row) in my_rows.iter().enumerate() {
         let (owner, offset) = block_owner(n_total, p, row);
-        epoch.get_into(ctx, owner, offset * cols..(offset + 1) * cols, out.row_mut(dst));
+        epoch.get_into(
+            ctx,
+            owner,
+            offset * cols..(offset + 1) * cols,
+            out.row_mut(dst),
+        );
     }
     epoch.finish(ctx);
     win.fence(ctx, comm);
+    ctx.span_exit(sp);
     (out, ctx.ledger().distribution - d0)
 }
 
@@ -250,7 +278,10 @@ mod tests {
             m
         });
         for rank in 0..4 {
-            assert_eq!(conv.results[rank], rand.results[rank], "rank {rank} mismatch");
+            assert_eq!(
+                conv.results[rank], rand.results[rank],
+                "rank {rank} mismatch"
+            );
             // And both equal the ground truth gather.
             let expected = src.gather_rows(&rows_for_rank(rank));
             assert_eq!(conv.results[rank], expected);

@@ -28,7 +28,11 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        Self { max_attempts: 4, base_backoff_s: 1e-3, multiplier: 2.0 }
+        Self {
+            max_attempts: 4,
+            base_backoff_s: 1e-3,
+            multiplier: 2.0,
+        }
     }
 }
 
@@ -66,7 +70,10 @@ pub fn read_rows_retrying(
             Err(e) if e.is_transient() && attempt + 1 < max_attempts => {
                 ctx.record_fault(
                     "io_retry",
-                    format!("attempt={} rows={row_start}..{row_end} err={e}", attempt + 1),
+                    format!(
+                        "attempt={} rows={row_start}..{row_end} err={e}",
+                        attempt + 1
+                    ),
                 );
                 ctx.charge_io(policy.backoff_s(attempt));
                 attempt += 1;
@@ -129,9 +136,7 @@ mod tests {
         let plan = FaultPlan::new(7).transient_io(0, 10);
         let report = Cluster::new(1, MachineModel::deterministic())
             .with_fault_plan(plan)
-            .run(|ctx, _| {
-                read_rows_retrying(ctx, &ds, 0, 4, &RetryPolicy::default()).err()
-            });
+            .run(|ctx, _| read_rows_retrying(ctx, &ds, 0, 4, &RetryPolicy::default()).err());
         let err = report.results[0].as_ref().expect("must fail");
         assert!(err.is_transient());
         std::fs::remove_file(&path).ok();
@@ -149,7 +154,10 @@ mod tests {
         });
         let (failed, io_time) = report.results[0];
         assert!(failed);
-        assert_eq!(io_time, 0.0, "no backoff may be charged for permanent errors");
+        assert_eq!(
+            io_time, 0.0,
+            "no backoff may be charged for permanent errors"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -76,7 +76,10 @@ impl std::fmt::Display for ShfError {
             ShfError::Io(e) => write!(f, "shf io error: {e}"),
             ShfError::BadMagic => write!(f, "not an SHF file (bad magic)"),
             ShfError::Truncated { expected, actual } => {
-                write!(f, "truncated SHF file: need {expected} bytes, have {actual}")
+                write!(
+                    f,
+                    "truncated SHF file: need {expected} bytes, have {actual}"
+                )
             }
             ShfError::OutOfBounds { what } => write!(f, "hyperslab out of bounds: {what}"),
         }
@@ -126,7 +129,10 @@ impl ShfDataset {
         let mut f = File::open(path)?;
         let file_len = f.metadata()?.len();
         if file_len < HEADER_LEN {
-            return Err(ShfError::Truncated { expected: HEADER_LEN, actual: file_len });
+            return Err(ShfError::Truncated {
+                expected: HEADER_LEN,
+                actual: file_len,
+            });
         }
         let mut header = [0u8; HEADER_LEN as usize];
         f.read_exact(&mut header)?;
@@ -145,14 +151,27 @@ impl ShfDataset {
             .checked_mul(cols64)
             .and_then(|c| c.checked_mul(8))
             .and_then(|b| b.checked_add(HEADER_LEN))
-            .ok_or(ShfError::Truncated { expected: u64::MAX, actual: file_len })?;
+            .ok_or(ShfError::Truncated {
+                expected: u64::MAX,
+                actual: file_len,
+            })?;
         if file_len < payload {
-            return Err(ShfError::Truncated { expected: payload, actual: file_len });
+            return Err(ShfError::Truncated {
+                expected: payload,
+                actual: file_len,
+            });
         }
         if rows64 > usize::MAX as u64 || cols64 > usize::MAX as u64 {
-            return Err(ShfError::Truncated { expected: payload, actual: file_len });
+            return Err(ShfError::Truncated {
+                expected: payload,
+                actual: file_len,
+            });
         }
-        Ok(Self { path: path.to_path_buf(), rows: rows64 as usize, cols: cols64 as usize })
+        Ok(Self {
+            path: path.to_path_buf(),
+            rows: rows64 as usize,
+            cols: cols64 as usize,
+        })
     }
 
     /// Dataset row count.
@@ -187,11 +206,7 @@ impl ShfDataset {
                 // The file shrank after `open` validated it.
                 ShfError::Truncated {
                     expected: HEADER_LEN + (row_end * self.cols * 8) as u64,
-                    actual: self
-                        .path
-                        .metadata()
-                        .map(|m| m.len())
-                        .unwrap_or(0),
+                    actual: self.path.metadata().map(|m| m.len()).unwrap_or(0),
                 }
             } else {
                 ShfError::Io(e)
@@ -381,7 +396,11 @@ mod tests {
         assert!(ShfError::Io(io::Error::from(io::ErrorKind::TimedOut)).is_transient());
         assert!(!ShfError::Io(io::Error::from(io::ErrorKind::NotFound)).is_transient());
         assert!(!ShfError::BadMagic.is_transient());
-        assert!(!ShfError::Truncated { expected: 24, actual: 0 }.is_transient());
+        assert!(!ShfError::Truncated {
+            expected: 24,
+            actual: 0
+        }
+        .is_transient());
         assert!(!ShfError::OutOfBounds { what: "row range" }.is_transient());
     }
 }

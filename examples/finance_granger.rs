@@ -38,7 +38,13 @@ fn main() {
     let cfg = UoiVarConfig {
         order: 1,
         block_len: None,
-        base: UoiLassoConfig { b1: 20, b2: 5, q: 16, seed: 7, ..Default::default() },
+        base: UoiLassoConfig {
+            b1: 20,
+            b2: 5,
+            q: 16,
+            seed: 7,
+            ..Default::default()
+        },
     };
     let fit = fit_uoi_var(&diffs, &cfg);
     let net = fit.network(0.0);
@@ -58,8 +64,7 @@ fn main() {
     }
 
     // Degree profile: hubs should surface.
-    let mut by_degree: Vec<(usize, usize)> =
-        net.degrees().into_iter().enumerate().collect();
+    let mut by_degree: Vec<(usize, usize)> = net.degrees().into_iter().enumerate().collect();
     by_degree.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
     println!("\nhighest-degree companies:");
     for &(i, d) in by_degree.iter().take(5) {

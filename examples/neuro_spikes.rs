@@ -37,7 +37,13 @@ fn main() {
     let cfg = UoiVarConfig {
         order: 1,
         block_len: None,
-        base: UoiLassoConfig { b1: 10, b2: 8, q: 14, seed: 5, ..Default::default() },
+        base: UoiLassoConfig {
+            b1: 10,
+            b2: 8,
+            q: 14,
+            seed: 5,
+            ..Default::default()
+        },
     };
     let fit = fit_uoi_var(&z, &cfg);
     let net = fit.network(0.0);
@@ -56,7 +62,9 @@ fn main() {
         .collect();
     let recovered: Vec<usize> = {
         let adj = net.adjacency();
-        (0..32 * 32).filter(|&k| adj[(k / 32, k % 32)] != 0.0).collect()
+        (0..32 * 32)
+            .filter(|&k| adj[(k / 32, k % 32)] != 0.0)
+            .collect()
     };
     let c = SelectionCounts::compare(&recovered, &truth, 32 * 32);
     println!(

@@ -28,7 +28,12 @@ fn main() {
 
     // 2. Fit. B1 bootstraps drive the support intersection (selection);
     //    B2 train/eval resamples drive the OLS-averaged union (estimation).
-    let cfg = UoiLassoConfig::builder().b1(15).b2(15).q(20).build().expect("valid config");
+    let cfg = UoiLassoConfig::builder()
+        .b1(15)
+        .b2(15)
+        .q(20)
+        .build()
+        .expect("valid config");
     let fit = try_fit_uoi_lasso(&ds.x, &ds.y, &cfg).expect("well-formed inputs");
 
     // 3. What did UoI select?
@@ -46,21 +51,26 @@ fn main() {
     //    truth on the true support.
     println!("\ncoefficients on the true support (truth -> estimate):");
     for &j in &ds.support_true {
-        println!("  feature {j:>2}: {:+.3} -> {:+.3}", ds.beta_true[j], fit.beta[j]);
+        println!(
+            "  feature {j:>2}: {:+.3} -> {:+.3}",
+            ds.beta_true[j], fit.beta[j]
+        );
     }
 
     // 5. The candidate-support family the intersection produced (one entry
     //    per lambda, deduplicated) — the interpretable middle product.
     println!(
         "\nsupport family sizes across the lambda path: {:?}",
-        fit.support_family.iter().map(|s| s.len()).collect::<Vec<_>>()
+        fit.support_family
+            .iter()
+            .map(|s| s.len())
+            .collect::<Vec<_>>()
     );
     let r2 = {
         let pred = fit.predict(&ds.x);
         let mean = ds.y.iter().sum::<f64>() / ds.y.len() as f64;
         let ss_tot: f64 = ds.y.iter().map(|v| (v - mean) * (v - mean)).sum();
-        let ss_res: f64 =
-            pred.iter().zip(&ds.y).map(|(p, y)| (p - y) * (p - y)).sum();
+        let ss_res: f64 = pred.iter().zip(&ds.y).map(|(p, y)| (p - y) * (p - y)).sum();
         1.0 - ss_res / ss_tot
     };
     println!("in-sample R^2: {r2:.4}");

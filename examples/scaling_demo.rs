@@ -18,7 +18,13 @@ fn main() {
         ..Default::default()
     }
     .generate();
-    let cfg = UoiLassoConfig { b1: 8, b2: 8, q: 10, seed: 3, ..Default::default() };
+    let cfg = UoiLassoConfig {
+        b1: 8,
+        b2: 8,
+        q: 10,
+        seed: 3,
+        ..Default::default()
+    };
 
     // 1. Run on 8 simulated ranks "as themselves".
     let (x, y) = (ds.x.clone(), ds.y.clone());
@@ -40,8 +46,7 @@ fn main() {
     let report_big = Cluster::new(8, MachineModel::deterministic())
         .modeled_ranks(8_704)
         .run(move |ctx, world| {
-            let fit =
-                fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg2, ParallelLayout::admm_only());
+            let fit = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg2, ParallelLayout::admm_only());
             (fit.support, ctx.ledger())
         });
     println!("same run, modeled as 8,704 cores:");

@@ -12,7 +12,10 @@ use uoi::solvers::{lasso_cd, support_of, CdConfig};
 
 fn main() {
     let p = 50;
-    println!("{:<12} {:>4} {:>4} {:>6} {:>14}", "method", "FP", "FN", "F1", "support bias");
+    println!(
+        "{:<12} {:>4} {:>4} {:>6} {:>14}",
+        "method", "FP", "FN", "F1", "support bias"
+    );
     let trials = 5;
     let (mut uoi_stats, mut lasso_stats) = ([0.0; 4], [0.0; 4]);
 
@@ -31,7 +34,13 @@ fn main() {
         let fit = fit_uoi_lasso(
             &ds.x,
             &ds.y,
-            &UoiLassoConfig { b1: 12, b2: 12, q: 16, seed: trial, ..Default::default() },
+            &UoiLassoConfig {
+                b1: 12,
+                b2: 12,
+                q: 16,
+                seed: trial,
+                ..Default::default()
+            },
         );
         accumulate(&mut uoi_stats, &fit.beta, &ds, p);
 

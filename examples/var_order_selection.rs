@@ -32,10 +32,29 @@ fn main() {
     println!("BIC-selected order: {d}");
 
     // 2. UoI fit at the selected order vs a deliberately wrong order.
-    let base = UoiLassoConfig { b1: 8, b2: 6, q: 12, seed: 1, ..Default::default() };
-    let fit_d =
-        fit_uoi_var(&series, &UoiVarConfig { order: d, block_len: None, base: base.clone() });
-    let fit_1 = fit_uoi_var(&series, &UoiVarConfig { order: 1, block_len: None, base });
+    let base = UoiLassoConfig {
+        b1: 8,
+        b2: 6,
+        q: 12,
+        seed: 1,
+        ..Default::default()
+    };
+    let fit_d = fit_uoi_var(
+        &series,
+        &UoiVarConfig {
+            order: d,
+            block_len: None,
+            base: base.clone(),
+        },
+    );
+    let fit_1 = fit_uoi_var(
+        &series,
+        &UoiVarConfig {
+            order: 1,
+            block_len: None,
+            base,
+        },
+    );
 
     println!(
         "\nheld-out one-step MSE: order {d} -> {:.4}, order 1 -> {:.4}",

@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
-# Wall-clock snapshot of the two end-to-end pipeline binaries the
-# zero-copy bootstrap work is gated on (Fig 2 LASSO, Fig 7 VAR).
+# Wall-clock + per-phase snapshot of the two end-to-end pipeline
+# binaries the zero-copy bootstrap work is gated on (Fig 2 LASSO,
+# Fig 7 VAR).
 #
-# Runs each binary REPS times, takes the minimum wall-clock, and writes a
-# schema-versioned BENCH_PIPELINE.json at the repo root. Pass a baseline
-# JSON (a previous snapshot) as $1 to record before/after speedups:
+# Runs each binary REPS times untraced, takes the minimum wall-clock,
+# then runs REPS traced reps (UOI_TRACE=1) and folds the per-phase
+# minimum modeled times from the run reports into a schema-versioned
+# BENCH_PIPELINE.json at the repo root (schema_version 2). Per-phase
+# minima are the same estimator as the walls: the modeled time of a
+# phase varies run to run with thread scheduling (one-sided serving
+# order), and the minimum is the stable best case.
 #
-#   scripts/bench_snapshot.sh                  # fresh snapshot
-#   scripts/bench_snapshot.sh old.json         # snapshot + speedup vs old
+#   scripts/bench_snapshot.sh                    # fresh snapshot
+#   scripts/bench_snapshot.sh old.json           # snapshot + speedup vs old
+#   scripts/bench_snapshot.sh --compare old.json # snapshot + per-phase diff;
+#                                                # exits 1 on a >15% regression
+#
+# --compare diffs the modeled per-phase seconds (virtual clock, so
+# deterministic across machines) against a previous snapshot and fails
+# when any phase that mattered in the baseline (>= 1% of its makespan)
+# slowed down by more than 15%. Baselines written by the v1 script have
+# no phase data; comparing against them only checks wall-clock and
+# always exits 0.
 #
 # Environment: REPS (default 3), BINDIR (prebuilt binaries; defaults to
 # target/release via cargo build).
@@ -16,7 +30,19 @@ cd "$(dirname "$0")/.."
 
 REPS="${REPS:-3}"
 BINS=(fig2_lasso_single_node fig7_var_single_node)
-BASELINE="${1:-}"
+BASELINE=""
+COMPARE=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --compare)
+      [[ $# -ge 2 ]] || { echo "--compare needs a snapshot path" >&2; exit 2; }
+      COMPARE="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *)
+      BASELINE="$1"; shift ;;
+  esac
+done
 
 if [[ -z "${BINDIR:-}" ]]; then
   cargo build -p uoi-bench --release --bin fig2_lasso_single_node \
@@ -24,7 +50,10 @@ if [[ -z "${BINDIR:-}" ]]; then
   BINDIR=target/release
 fi
 
-declare -A MIN_MS
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+
+SPECS=()
 for bin in "${BINS[@]}"; do
   best=""
   for _ in $(seq "$REPS"); do
@@ -34,42 +63,100 @@ for bin in "${BINS[@]}"; do
     if [[ -z "$best" || "$elapsed" -lt "$best" ]]; then best=$elapsed; fi
     echo "  $bin: ${elapsed} ms" >&2
   done
-  MIN_MS[$bin]=$best
+  # Traced reps land in per-rep subdirs so each run report survives;
+  # the snapshot takes per-phase minima across them.
+  for rep in $(seq "$REPS"); do
+    mkdir -p "$TRACE_DIR/rep$rep"
+    UOI_TRACE=1 UOI_RESULTS_DIR="$TRACE_DIR/rep$rep" "$BINDIR/$bin" > /dev/null 2>&1
+  done
+  SPECS+=("$bin=$best")
 done
 
-baseline_ms() { # $1 = bin name; echoes baseline min_ms or empty
-  [[ -n "$BASELINE" ]] || return 0
-  python3 - "$BASELINE" "$1" <<'EOF'
-import json, sys
-doc = json.load(open(sys.argv[1]))
-for e in doc.get("pipelines", []):
-    if e["name"] == sys.argv[2]:
-        print(e["min_wall_ms"])
-EOF
-}
+python3 - "$REPS" "$TRACE_DIR" "$BASELINE" "${SPECS[@]}" <<'EOF'
+import json, os, sys
 
-{
-  echo '{'
-  echo '  "schema_version": 1,'
-  echo "  \"reps\": $REPS,"
-  echo "  \"generated_by\": \"scripts/bench_snapshot.sh\","
-  echo '  "pipelines": ['
-  sep=''
-  for bin in "${BINS[@]}"; do
-    base=$(baseline_ms "$bin")
-    extra=''
-    if [[ -n "$base" ]]; then
-      speedup=$(python3 -c "print(f'{$base/${MIN_MS[$bin]}:.2f}')")
-      extra=", \"baseline_wall_ms\": $base, \"speedup\": $speedup"
-    fi
-    printf '%s    { "name": "%s", "min_wall_ms": %s%s }' \
-      "$sep" "$bin" "${MIN_MS[$bin]}" "$extra"
-    sep=$',\n'
-  done
-  echo
-  echo '  ]'
-  echo '}'
-} > BENCH_PIPELINE.json
+reps, trace_dir, baseline = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+base_doc = json.load(open(baseline)) if baseline else {}
+base_by_name = {e["name"]: e for e in base_doc.get("pipelines", [])}
+
+doc = {
+    "schema_version": 2,
+    "reps": reps,
+    "generated_by": "scripts/bench_snapshot.sh",
+    "pipelines": [],
+}
+for spec in sys.argv[4:]:
+    name, min_ms = spec.rsplit("=", 1)
+    entry = {"name": name, "min_wall_ms": int(min_ms)}
+    makespans, phases = [], {}
+    for rep in range(1, reps + 1):
+        report_path = os.path.join(trace_dir, f"rep{rep}", f"{name}.json")
+        try:
+            breakdown = json.load(open(report_path)).get("breakdown")
+        except (OSError, ValueError):
+            continue
+        if not breakdown:
+            continue
+        makespans.append(breakdown["makespan"])
+        for phase, agg in breakdown.get("aggregate", {}).items():
+            t = agg["max"]
+            phases[phase] = min(phases.get(phase, t), t)
+    if makespans:
+        entry["makespan_model_s"] = min(makespans)
+        entry["phases_model_s"] = phases
+    else:
+        print(f"warning: no breakdown for {name}; phases omitted", file=sys.stderr)
+    base = base_by_name.get(name)
+    if base and base.get("min_wall_ms"):
+        entry["baseline_wall_ms"] = base["min_wall_ms"]
+        entry["speedup"] = round(base["min_wall_ms"] / max(entry["min_wall_ms"], 1), 2)
+    doc["pipelines"].append(entry)
+
+with open("BENCH_PIPELINE.json", "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+EOF
 
 echo "wrote BENCH_PIPELINE.json" >&2
 cat BENCH_PIPELINE.json
+
+if [[ -n "$COMPARE" ]]; then
+  python3 - "$COMPARE" <<'EOF'
+import json, sys
+
+THRESHOLD = 0.15   # fail on >15% slowdown
+FLOOR = 0.01       # ignore phases under 1% of the baseline makespan
+
+old = json.load(open(sys.argv[1]))
+new = json.load(open("BENCH_PIPELINE.json"))
+old_by_name = {e["name"]: e for e in old.get("pipelines", [])}
+
+failed = False
+for entry in new["pipelines"]:
+    base = old_by_name.get(entry["name"])
+    if base is None:
+        print(f"{entry['name']}: not in baseline, skipped")
+        continue
+    wall_new, wall_old = entry["min_wall_ms"], base.get("min_wall_ms")
+    if wall_old:
+        print(f"{entry['name']}: wall {wall_old} ms -> {wall_new} ms "
+              f"({wall_new / wall_old - 1.0:+.1%})")
+    old_phases = base.get("phases_model_s")
+    if not old_phases:
+        print(f"{entry['name']}: baseline has no phase data (schema v1?); "
+              "phase comparison skipped")
+        continue
+    floor = FLOOR * base.get("makespan_model_s", 0.0)
+    for phase, t_old in sorted(old_phases.items()):
+        t_new = entry.get("phases_model_s", {}).get(phase)
+        if t_new is None or t_old < floor:
+            continue
+        delta = t_new / t_old - 1.0
+        flag = ""
+        if delta > THRESHOLD:
+            flag = f"  REGRESSION (> {THRESHOLD:.0%})"
+            failed = True
+        print(f"  {phase:16s} {t_old:12.6f}s -> {t_new:12.6f}s ({delta:+.1%}){flag}")
+sys.exit(1 if failed else 0)
+EOF
+fi

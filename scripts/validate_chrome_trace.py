@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a `uoi-trace` Chrome trace export against the checked-in
+schema (schemas/chrome_trace.schema.json).
+
+    scripts/validate_chrome_trace.py results/fig2_lasso_single_node.trace.chrome.json
+
+Uses the `jsonschema` package when available; otherwise falls back to a
+built-in structural validator that enforces the same constraints (keep
+it in sync with the schema file by hand — the CI trace-validate job
+runs whichever is installed). Exits 0 when the trace validates,
+1 otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "schemas" / "chrome_trace.schema.json"
+
+PH_KINDS = {"X", "i", "M"}
+REQUIRED_BY_PH = {
+    "X": ("ts", "dur", "tid", "cat", "args"),
+    "i": ("ts", "tid", "s"),
+    "M": ("args",),
+}
+
+
+def _fail(errors, path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def _check_nonneg_num(errors, path, obj, key):
+    if key in obj:
+        v = obj[key]
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            _fail(errors, f"{path}.{key}", f"expected a number, got {type(v).__name__}")
+        elif v < 0:
+            _fail(errors, f"{path}.{key}", f"must be >= 0, got {v}")
+
+
+def builtin_validate(doc):
+    """Mirror of schemas/chrome_trace.schema.json for hosts without
+    `jsonschema`. Returns a list of error strings (empty = valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["$: top level must be an object"]
+    if "traceEvents" not in doc:
+        return ["$: missing required key 'traceEvents'"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["$.traceEvents: must be an array"]
+    if "displayTimeUnit" in doc and doc["displayTimeUnit"] not in ("ms", "ns"):
+        _fail(errors, "$.displayTimeUnit", f"must be 'ms' or 'ns', got {doc['displayTimeUnit']!r}")
+    for i, ev in enumerate(events):
+        path = f"$.traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            _fail(errors, path, "event must be an object")
+            continue
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                _fail(errors, path, f"missing required key '{key}'")
+        ph = ev.get("ph")
+        if ph is not None and ph not in PH_KINDS:
+            _fail(errors, f"{path}.ph", f"must be one of {sorted(PH_KINDS)}, got {ph!r}")
+        for key in ("name", "cat"):
+            if key in ev and not isinstance(ev[key], str):
+                _fail(errors, f"{path}.{key}", "must be a string")
+        if "s" in ev and ev["s"] not in ("t", "p", "g"):
+            _fail(errors, f"{path}.s", f"must be 't', 'p' or 'g', got {ev['s']!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            _fail(errors, f"{path}.args", "must be an object")
+        for key in ("ts", "dur", "pid", "tid"):
+            _check_nonneg_num(errors, path, ev, key)
+        for key in REQUIRED_BY_PH.get(ph, ()):
+            if key not in ev:
+                _fail(errors, path, f"ph={ph!r} events require key '{key}'")
+        if len(errors) > 20:
+            errors.append("... (truncated)")
+            break
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trace_path = Path(sys.argv[1])
+    try:
+        doc = json.loads(trace_path.read_text())
+    except (OSError, ValueError) as e:
+        print(f"{trace_path}: cannot load: {e}", file=sys.stderr)
+        return 1
+
+    try:
+        import jsonschema
+    except ImportError:
+        jsonschema = None
+
+    if jsonschema is not None:
+        schema = json.loads(SCHEMA_PATH.read_text())
+        validator = jsonschema.Draft7Validator(schema)
+        errors = [
+            f"$.{'.'.join(str(p) for p in err.absolute_path)}: {err.message}"
+            for err in validator.iter_errors(doc)
+        ]
+        mode = "jsonschema"
+    else:
+        errors = builtin_validate(doc)
+        mode = "builtin validator (jsonschema not installed)"
+
+    n = len(doc.get("traceEvents", [])) if isinstance(doc, dict) else 0
+    if errors:
+        print(f"{trace_path}: INVALID ({mode}):", file=sys.stderr)
+        for err in errors[:20]:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"{trace_path}: valid Chrome trace ({n} events, {mode})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,12 @@ fn cfg() -> UoiLassoConfig {
         .b2(6)
         .q(10)
         .lambda_min_ratio(2e-2)
-        .admm(AdmmConfig { max_iter: 2500, abstol: 1e-9, reltol: 1e-8, ..Default::default() })
+        .admm(AdmmConfig {
+            max_iter: 2500,
+            abstol: 1e-9,
+            reltol: 1e-8,
+            ..Default::default()
+        })
         .support_tol(1e-6)
         .seed(11)
         .build()
@@ -135,6 +140,12 @@ fn modeled_scale_changes_time_not_statistics() {
     };
     let (beta_small, comm_small) = run(4);
     let (beta_big, comm_big) = run(4096);
-    assert_eq!(beta_small, beta_big, "modeled scale must not affect results");
-    assert!(comm_big > comm_small, "modeled scale must affect virtual comm time");
+    assert_eq!(
+        beta_small, beta_big,
+        "modeled scale must not affect results"
+    );
+    assert!(
+        comm_big > comm_small,
+        "modeled scale must affect virtual comm time"
+    );
 }

@@ -3,8 +3,7 @@
 //! fit → network), plus serial/distributed agreement on spike-count data.
 
 use uoi::core::{
-    fit_uoi_var, fit_uoi_var_dist, ParallelLayout, UoiLassoConfig, UoiVarConfig,
-    UoiVarDistConfig,
+    fit_uoi_var, fit_uoi_var_dist, ParallelLayout, UoiLassoConfig, UoiVarConfig, UoiVarDistConfig,
 };
 use uoi::data::preprocess::{aggregate_last, first_differences, Standardizer};
 use uoi::data::{FinanceConfig, NeuroConfig, DAYS_PER_WEEK};
@@ -17,7 +16,12 @@ fn base(seed: u64) -> UoiLassoConfig {
         .b2(4)
         .q(12)
         .lambda_min_ratio(5e-2)
-        .admm(AdmmConfig { max_iter: 1500, abstol: 1e-8, reltol: 1e-7, ..Default::default() })
+        .admm(AdmmConfig {
+            max_iter: 1500,
+            abstol: 1e-8,
+            reltol: 1e-7,
+            ..Default::default()
+        })
         .support_tol(1e-6)
         .seed(seed)
         .build()
@@ -40,7 +44,11 @@ fn finance_pipeline_recovers_sparse_network() {
 
     let fit = fit_uoi_var(
         &diffs,
-        &UoiVarConfig { order: 1, block_len: None, base: base(3) },
+        &UoiVarConfig {
+            order: 1,
+            block_len: None,
+            base: base(3),
+        },
     );
     let net = fit.network(0.0);
 
@@ -86,7 +94,11 @@ fn neuro_counts_serial_vs_distributed() {
     .generate();
     let z = Standardizer::fit(&rec.counts).transform(&rec.counts);
 
-    let var_cfg = UoiVarConfig { order: 1, block_len: None, base: base(7) };
+    let var_cfg = UoiVarConfig {
+        order: 1,
+        block_len: None,
+        base: base(7),
+    };
     let serial = fit_uoi_var(&z, &var_cfg);
 
     let dist_cfg = UoiVarDistConfig {
@@ -119,7 +131,11 @@ fn var2_pipeline_works_end_to_end() {
     let series = proc.simulate(600, 80, 30);
     let fit = fit_uoi_var(
         &series,
-        &UoiVarConfig { order: 2, block_len: Some(12), base: base(11) },
+        &UoiVarConfig {
+            order: 2,
+            block_len: Some(12),
+            base: base(11),
+        },
     );
     assert_eq!(fit.a_mats.len(), 2);
     let net = fit.network(0.0);

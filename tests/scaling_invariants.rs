@@ -102,11 +102,17 @@ fn io_strategy_law() {
     let conv_128 = model.io.serial_chunked_read_time(128.0 * gb, 2048);
     let conv_1024 = model.io.serial_chunked_read_time(1024.0 * gb, 16_384);
     let ratio = conv_1024 / conv_128;
-    assert!((ratio - 8.0).abs() < 0.5, "conventional must scale linearly: {ratio}");
+    assert!(
+        (ratio - 8.0).abs() < 0.5,
+        "conventional must scale linearly: {ratio}"
+    );
 
     let rand_128 = model.io.parallel_read_time(4_352, 128.0 * gb);
     let rand_1024 = model.io.parallel_read_time(34_816, 1024.0 * gb);
-    assert!(rand_1024 < conv_1024 / 100.0, "randomized must beat conventional >100x");
+    assert!(
+        rand_1024 < conv_1024 / 100.0,
+        "randomized must beat conventional >100x"
+    );
     assert!(rand_128 > 0.0 && rand_1024 / rand_128 < 10.0);
 }
 
@@ -118,7 +124,10 @@ fn var_problem_explosion_law() {
     let small = uoi::core::VarRegression::build(&series_small, 1).vectorized_problem_bytes();
     let big = uoi::core::VarRegression::build(&series_big, 1).vectorized_problem_bytes();
     let ratio = big as f64 / small as f64;
-    assert!((ratio - 8.0).abs() < 0.5, "fixed-N doubling of p must 8x the problem: {ratio}");
+    assert!(
+        (ratio - 8.0).abs() < 0.5,
+        "fixed-N doubling of p must 8x the problem: {ratio}"
+    );
 }
 
 /// Virtual-clock conservation: every rank's final clock equals its phase

@@ -10,7 +10,14 @@ use uoi::data::{LinearConfig, VarConfig, VarProcess};
 use uoi::solvers::{lasso_cd, support_of, CdConfig};
 
 fn uoi_cfg(seed: u64) -> UoiLassoConfig {
-    UoiLassoConfig { b1: 10, b2: 10, q: 16, lambda_min_ratio: 2e-2, seed, ..Default::default() }
+    UoiLassoConfig {
+        b1: 10,
+        b2: 10,
+        q: 16,
+        lambda_min_ratio: 2e-2,
+        seed,
+        ..Default::default()
+    }
 }
 
 /// Averaged over seeds, UoI must not exceed the cross-validated LASSO's
@@ -87,7 +94,10 @@ fn uoi_estimates_less_biased() {
         e_uoi.support_bias,
         e_lasso.support_bias
     );
-    assert!(e_lasso.support_bias < 0.0, "LASSO must show shrinkage for this check");
+    assert!(
+        e_lasso.support_bias < 0.0,
+        "LASSO must show shrinkage for this check"
+    );
 }
 
 /// The intersection is conservative by construction: the final UoI
@@ -112,7 +122,10 @@ fn union_support_subset_of_family_union() {
         u
     };
     for j in &fit.support {
-        assert!(family_union.contains(j), "feature {j} appeared from nowhere");
+        assert!(
+            family_union.contains(j),
+            "feature {j} appeared from nowhere"
+        );
     }
 }
 
@@ -131,7 +144,11 @@ fn uoi_var_network_precision() {
     let series = proc.simulate(900, 100, 20);
     let fit = fit_uoi_var(
         &series,
-        &UoiVarConfig { order: 1, block_len: None, base: uoi_cfg(3) },
+        &UoiVarConfig {
+            order: 1,
+            block_len: None,
+            base: uoi_cfg(3),
+        },
     );
     let truth: Vec<usize> = uoi::core::flatten_coefficients(&proc.coeffs)
         .iter()
