@@ -137,8 +137,22 @@ impl DegradationConfig {
 
     /// Minimum surviving count out of `planned` under the quorum rule
     /// (at least 1).
+    ///
+    /// "Exactly at quorum" passes by `>=`, never by float luck: when
+    /// `frac * planned` is an intended integer that lands a few ulps off
+    /// (`0.7 * 10 = 7.000000000000001` would otherwise ceil to 8), the
+    /// product is snapped to the nearest integer before ceiling, so a
+    /// survivor count meeting the configured fraction exactly is always
+    /// sufficient.
     pub fn min_survivors(&self, planned: usize) -> usize {
-        ((self.min_quorum_frac * planned as f64).ceil() as usize).clamp(1, planned.max(1))
+        let target = self.min_quorum_frac * planned as f64;
+        let nearest = target.round();
+        let required = if (target - nearest).abs() <= 1e-9 * (planned as f64).max(1.0) {
+            nearest as usize
+        } else {
+            target.ceil() as usize
+        };
+        required.clamp(1, planned.max(1))
     }
 
     /// Check the quorum for a stage; `Err(QuorumLost)` when too few
@@ -354,6 +368,41 @@ impl CheckpointStore {
         }
         Some(out)
     }
+
+    /// Persist bootstrap `k`'s weighted Gram matrix and right-hand side,
+    /// bit-exact. Recovery re-solves from these instead of re-running the
+    /// `O(n p^2)` Gram accumulation when a task is re-executed after a
+    /// rank failure.
+    pub fn save_gram(&self, stage: &str, k: usize, gram: &[f64], rhs: &[f64]) -> Result<(), UoiError> {
+        let mut body = format!("{CKPT_MAGIC} fp={:016x}\n", self.fp);
+        body.push_str(&format!("gram={} rhs={}\n", gram.len(), rhs.len()));
+        for v in gram.iter().chain(rhs) {
+            body.push_str(&format!("{:016x}\n", v.to_bits()));
+        }
+        self.write_atomic(stage, k, &body)
+    }
+
+    /// Load a Gram checkpoint saved by [`CheckpointStore::save_gram`];
+    /// `None` when missing, stale, or shaped differently (recompute).
+    pub fn load_gram(
+        &self,
+        stage: &str,
+        k: usize,
+        gram_len: usize,
+        rhs_len: usize,
+    ) -> Option<(Vec<f64>, Vec<f64>)> {
+        let lines = self.read_validated(stage, k)?;
+        let (dims, words) = lines.split_first()?;
+        if dims != &format!("gram={gram_len} rhs={rhs_len}") || words.len() != gram_len + rhs_len {
+            return None;
+        }
+        let mut all = Vec::with_capacity(words.len());
+        for line in words {
+            all.push(f64::from_bits(u64::from_str_radix(line.trim(), 16).ok()?));
+        }
+        let rhs = all.split_off(gram_len);
+        Some((all, rhs))
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +445,68 @@ mod tests {
                 required: 5
             })
         ));
+    }
+
+    /// Satellite check: "exactly at quorum" must pass by `>=` semantics
+    /// for every planned count, even when `frac * planned` lands a few
+    /// ulps above the intended integer (`0.7 * 10 = 7.000000000000001`).
+    #[test]
+    fn quorum_boundary_is_exact_not_float_fuzzy() {
+        for planned in [3usize, 10, 33] {
+            for num in 1..=planned {
+                // A fraction whose product *should* be exactly `num`.
+                let cfg = DegradationConfig {
+                    plan: None,
+                    min_quorum_frac: num as f64 / planned as f64,
+                };
+                assert_eq!(
+                    cfg.min_survivors(planned),
+                    num,
+                    "frac {num}/{planned} must require exactly {num} survivors"
+                );
+                assert!(
+                    cfg.check_quorum("selection", num, planned).is_ok(),
+                    "exactly-at-quorum ({num}/{planned}) must pass"
+                );
+                if num > 1 {
+                    assert!(
+                        cfg.check_quorum("selection", num - 1, planned).is_err(),
+                        "one under quorum ({}/{planned}) must fail",
+                        num - 1
+                    );
+                }
+            }
+        }
+        // The decimal fractions users actually write.
+        let at = |frac: f64, planned: usize| {
+            DegradationConfig {
+                plan: None,
+                min_quorum_frac: frac,
+            }
+            .min_survivors(planned)
+        };
+        assert_eq!(at(0.7, 10), 7, "0.7 * 10 must not ceil to 8");
+        assert_eq!(at(0.3, 10), 3);
+        assert_eq!(at(0.9, 33), 30, "29.7 genuinely rounds up");
+        assert_eq!(at(1.0, 33), 33);
+        assert_eq!(at(0.5, 3), 2, "1.5 genuinely rounds up");
+    }
+
+    #[test]
+    fn gram_checkpoints_roundtrip_bit_exact() {
+        let dir = temp_dir("gram");
+        let store = CheckpointStore::open(&dir, 0x5EED).unwrap();
+        let gram = vec![1.5, -0.0, 2.0f64.sqrt(), 4e-300];
+        let rhs = vec![-7.25, f64::MIN_POSITIVE];
+        store.save_gram("selgram", 2, &gram, &rhs).unwrap();
+        let (g, r) = store.load_gram("selgram", 2, 4, 2).unwrap();
+        for (a, b) in gram.iter().zip(&g).chain(rhs.iter().zip(&r)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Shape mismatch → miss, not corruption.
+        assert!(store.load_gram("selgram", 2, 2, 4).is_none());
+        assert!(store.load_gram("selgram", 0, 4, 2).is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub enum UoiError {
     Interrupted { completed: usize },
     /// A checkpoint file could not be written.
     Checkpoint(String),
+    /// A recovering fit hit an unrecoverable failure: the fault could
+    /// not be attributed to a specific rank, or a runtime invariant
+    /// broke mid-recovery. Re-executing cannot help.
+    Unrecoverable(String),
 }
 
 impl fmt::Display for UoiError {
@@ -77,6 +81,7 @@ impl fmt::Display for UoiError {
                 )
             }
             UoiError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            UoiError::Unrecoverable(msg) => write!(f, "unrecoverable failure: {msg}"),
         }
     }
 }

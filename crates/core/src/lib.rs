@@ -12,11 +12,14 @@ pub mod error;
 pub mod granger;
 pub mod metrics;
 pub mod parallelism;
+pub mod recovery;
 pub mod support;
 pub mod uoi_lasso;
 pub mod uoi_lasso_dist;
+pub mod uoi_lasso_recovering;
 pub mod uoi_var;
 pub mod uoi_var_dist;
+pub mod uoi_var_recovering;
 pub mod var_matrices;
 
 pub use degraded::{
@@ -26,13 +29,18 @@ pub use error::UoiError;
 pub use granger::{Edge, GrangerNetwork};
 pub use metrics::{estimation_error, EstimationError, SelectionCounts};
 pub use parallelism::{LayoutComms, ParallelLayout};
+pub use recovery::{
+    degraded_fallback_plan, RecoveryConfig, RecoveryReport, TaskOwnership, UOI_RECOVERY_ENV,
+};
 pub use uoi_lasso::{
     bic, fit_uoi_lasso, try_fit_uoi_lasso, EstimationScore, UoiFit, UoiLassoConfig,
     UoiLassoConfigBuilder,
 };
 pub use uoi_lasso_dist::fit_uoi_lasso_dist;
+pub use uoi_lasso_recovering::fit_uoi_lasso_recovering;
 pub use uoi_var::{
     fit_uoi_var, select_var_order, try_fit_uoi_var, UoiVarConfig, UoiVarConfigBuilder, UoiVarFit,
 };
 pub use uoi_var_dist::{fit_uoi_var_dist, KronStats, UoiVarDistConfig};
+pub use uoi_var_recovering::fit_uoi_var_recovering;
 pub use var_matrices::{flatten_coefficients, partition_coefficients, VarRegression};

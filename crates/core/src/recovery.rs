@@ -1,0 +1,453 @@
+//! Shrink-and-recover execution for the UoI pipelines.
+//!
+//! Control plane lives in `uoi-mpisim` (`revoke → agree → shrink` and
+//! [`Cluster::try_run_recovering`](uoi_mpisim::Cluster::try_run_recovering));
+//! data plane in `uoi-tieredio` (checksummed exchange, re-striping). This
+//! module is the *task* plane: a deterministic per-task ownership map, a
+//! checksummed whole-blob result exchange, the degraded-mode fallback
+//! plan for when the round budget runs out, and the [`RecoveryReport`]
+//! that accounts for all of it.
+//!
+//! The invariant the recovering pipelines build on: task bodies are pure
+//! functions of `(data, config, task index)`, so *who* executes a task —
+//! original owner, stash replay, or a reassigned survivor — cannot
+//! change its bits.
+
+use crate::degraded::BootstrapFaultPlan;
+use std::time::Duration;
+use uoi_mpisim::{Comm, FaultPlan, MpiError, RankCtx, SplitMix64, Window, DEFAULT_WATCHDOG};
+use uoi_telemetry::Json;
+use uoi_tieredio::{row_checksum, verify_row, DEFAULT_GET_ATTEMPTS};
+
+/// Environment variable that switches the recovering pipelines on
+/// (`1`/`true`); anything else leaves plain degraded-mode execution.
+pub const UOI_RECOVERY_ENV: &str = "UOI_RECOVERY";
+
+/// Deterministic round-robin task → original-rank assignment with
+/// failure-aware reassignment.
+///
+/// The home rank of task `k` is `(rotation + k) % world`, with `rotation`
+/// drawn from the run seed so different seeds exercise different
+/// placements. When ranks fail, a task probes *forward over original
+/// ranks* from its home until it hits a survivor: assignment is sticky
+/// (survivors keep every task they already owned) and independent of the
+/// dense re-ranking, so re-execution rounds recompute only what died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskOwnership {
+    world: usize,
+    rotation: usize,
+}
+
+impl TaskOwnership {
+    /// Ownership over `world` original ranks, rotated by the run seed.
+    pub fn new(world: usize, seed: u64) -> Self {
+        assert!(world >= 1, "ownership needs at least one rank");
+        let rotation = (SplitMix64::new(seed).next_u64() % world as u64) as usize;
+        Self { world, rotation }
+    }
+
+    /// Original world size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// The original rank that owns `task` given the (sorted) failed set.
+    /// Panics if every rank failed — the driver never asks in that state.
+    pub fn owner(&self, task: usize, failed: &[usize]) -> usize {
+        let home = (self.rotation + task) % self.world;
+        for off in 0..self.world {
+            let r = (home + off) % self.world;
+            if !failed.contains(&r) {
+                return r;
+            }
+        }
+        panic!("no surviving rank to own task {task}");
+    }
+
+    /// Tasks in `0..total` owned by original rank `orig` under `failed`.
+    pub fn owned_tasks(&self, orig: usize, total: usize, failed: &[usize]) -> Vec<usize> {
+        (0..total)
+            .filter(|&k| self.owner(k, failed) == orig)
+            .collect()
+    }
+}
+
+/// Knobs of a recovering fit: the simulated world it runs on, the fault
+/// plan injected into it, and the recovery round budget.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Master switch; off → the caller should use the plain serial fit.
+    pub enabled: bool,
+    /// Simulated world size (original, before any shrink).
+    pub world: usize,
+    /// Re-execution rounds allowed after the initial attempt; `0` means
+    /// any failure falls straight back to degraded-mode execution.
+    pub max_rounds: usize,
+    /// Faults injected into the simulated run (None → fault-free).
+    pub plan: Option<FaultPlan>,
+    /// Watchdog for hung collectives inside the simulated run.
+    pub watchdog: Duration,
+    /// Retry budget per verified blob fetch in the result exchange.
+    pub get_attempts: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            world: 4,
+            max_rounds: 2,
+            plan: None,
+            watchdog: DEFAULT_WATCHDOG,
+            get_attempts: DEFAULT_GET_ATTEMPTS,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Default config with `enabled` taken from the `UOI_RECOVERY`
+    /// environment variable (`1` or `true`, case-insensitive).
+    pub fn from_env() -> Self {
+        let enabled = std::env::var(UOI_RECOVERY_ENV)
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "1" || v == "true"
+            })
+            .unwrap_or(false);
+        Self {
+            enabled,
+            ..Self::default()
+        }
+    }
+}
+
+/// What a recovering fit did: rounds attempted, which ranks died, which
+/// tasks moved, and whether the round budget was exhausted into the
+/// degraded-mode fallback. Fully determined by `(config, fault plan)`,
+/// so [`RecoveryReport::to_json`] is byte-identical across same-seed
+/// reruns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Original simulated world size.
+    pub world: usize,
+    /// Re-execution round budget.
+    pub max_rounds: usize,
+    /// Rounds attempted (1 = fault-free single attempt).
+    pub rounds_attempted: usize,
+    /// Original ranks that failed over the whole execution, sorted.
+    pub failed_ranks: Vec<usize>,
+    /// Selection tasks whose round-0 owner failed (reassigned or, on
+    /// fallback, dropped), ascending.
+    pub reassigned_selection: Vec<usize>,
+    /// Estimation tasks whose round-0 owner failed, ascending.
+    pub reassigned_estimation: Vec<usize>,
+    /// True when the round budget ran out and the fit fell back to
+    /// degraded-mode execution over the survivors' tasks.
+    pub degraded_fallback: bool,
+}
+
+impl RecoveryReport {
+    /// Deterministic JSON rendering (stable key order, integer-valued
+    /// numbers) — byte-identical across reruns of the same configuration.
+    pub fn to_json(&self) -> Json {
+        let ids = |v: &[usize]| Json::Arr(v.iter().map(|&k| Json::num(k as f64)).collect());
+        Json::obj(vec![
+            ("world", Json::num(self.world as f64)),
+            ("max_rounds", Json::num(self.max_rounds as f64)),
+            ("rounds_attempted", Json::num(self.rounds_attempted as f64)),
+            ("failed_ranks", ids(&self.failed_ranks)),
+            ("reassigned_selection", ids(&self.reassigned_selection)),
+            ("reassigned_estimation", ids(&self.reassigned_estimation)),
+            ("degraded_fallback", Json::Bool(self.degraded_fallback)),
+        ])
+    }
+}
+
+/// The degraded-mode fallback plan for an exhausted recovery: every task
+/// whose *round-0* owner is in the failed set is marked failed, exactly
+/// as if those bootstraps had been lost to the dead ranks — so a
+/// `max_rounds = 0` recovering fit reproduces the plain degraded fit.
+pub fn degraded_fallback_plan(
+    failed: &[usize],
+    ownership: &TaskOwnership,
+    b1: usize,
+    b2: usize,
+    seed: u64,
+) -> BootstrapFaultPlan {
+    let mut plan = BootstrapFaultPlan::new(seed);
+    for k in 0..b1 {
+        if failed.contains(&ownership.owner(k, &[])) {
+            plan = plan.fail_selection(k);
+        }
+    }
+    for k in 0..b2 {
+        if failed.contains(&ownership.owner(k, &[])) {
+            plan = plan.fail_estimation(k);
+        }
+    }
+    plan
+}
+
+// --- Task-result blob encoding -----------------------------------------
+//
+// A rank's per-stage results travel as one flat f64 blob:
+//   [task_id, payload_len, payload...]*
+// with a trailing whole-blob checksum keyed by the *original* rank (so a
+// dropped or corrupted transfer can never verify, and a blob fetched from
+// the wrong rank fails closed).
+
+/// Append one task record to a blob under construction.
+pub(crate) fn push_task_record(blob: &mut Vec<f64>, task: usize, payload: &[f64]) {
+    blob.push(task as f64);
+    blob.push(payload.len() as f64);
+    blob.extend_from_slice(payload);
+}
+
+/// Split a blob back into `(task, payload)` records.
+pub(crate) fn parse_task_records(blob: &[f64]) -> Vec<(usize, Vec<f64>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < blob.len() {
+        let task = blob[i] as usize;
+        let len = blob[i + 1] as usize;
+        out.push((task, blob[i + 2..i + 2 + len].to_vec()));
+        i += 2 + len;
+    }
+    out
+}
+
+/// Encode a list of index lists (per-lambda supports) as a flat payload:
+/// `[n_lists, len_0, items..., len_1, items..., ...]`.
+pub(crate) fn encode_index_lists(lists: &[Vec<usize>]) -> Vec<f64> {
+    let mut out = vec![lists.len() as f64];
+    for l in lists {
+        out.push(l.len() as f64);
+        out.extend(l.iter().map(|&v| v as f64));
+    }
+    out
+}
+
+/// Inverse of [`encode_index_lists`].
+pub(crate) fn decode_index_lists(payload: &[f64]) -> Vec<Vec<usize>> {
+    let n = payload[0] as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut i = 1;
+    for _ in 0..n {
+        let len = payload[i] as usize;
+        out.push(payload[i + 1..i + 1 + len].iter().map(|&v| v as usize).collect());
+        i += 1 + len;
+    }
+    out
+}
+
+/// Exchange per-rank result blobs through a one-sided window with
+/// whole-blob checksum verification and bounded retries.
+///
+/// Every rank exposes `my_blob` plus a trailing
+/// [`row_checksum`] keyed by its *original* rank; each peer blob is
+/// fetched and verified up to `max_attempts` times (each retry consumes
+/// the next injected window-op fault, so transient drop/corrupt
+/// injections are survived). Returns the verified payloads indexed by
+/// dense rank. Budget exhaustion is a runtime invariant violation —
+/// escalated as a typed internal error, which the recovery driver maps
+/// to [`uoi_mpisim::RecoveryError::Fatal`] (retrying a round cannot fix
+/// a peer that never serves a clean blob).
+pub(crate) fn exchange_blobs(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    my_blob: Vec<f64>,
+    rank_map: &[usize],
+    max_attempts: u32,
+) -> Vec<Vec<f64>> {
+    let me = comm.rank();
+    let my_orig = rank_map[me];
+    let mut exposed = my_blob.clone();
+    exposed.push(row_checksum(&my_blob, my_orig));
+    let win = Window::create(ctx, comm, exposed);
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(rank_map.len());
+    for (dense, &orig) in rank_map.iter().enumerate() {
+        if dense == me {
+            out.push(my_blob.clone());
+            continue;
+        }
+        let len = win.len_of(dense);
+        let mut got = None;
+        for attempt in 0..max_attempts.max(1) {
+            let buf = win.get(ctx, dense, 0..len);
+            if verify_row(&buf, orig) {
+                let mut payload = buf;
+                payload.pop();
+                got = Some(payload);
+                break;
+            }
+            ctx.record_fault(
+                "recovery_blob_retry",
+                format!("blob from rank {orig} failed checksum (attempt {attempt})"),
+            );
+        }
+        match got {
+            Some(p) => out.push(p),
+            None => {
+                // Close the epoch before escalating so peers are not left
+                // waiting on a fence that never comes.
+                win.fence(ctx, comm);
+                std::panic::panic_any(MpiError::Internal {
+                    what: format!(
+                        "result blob from original rank {orig} failed verification \
+                         {max_attempts} times"
+                    ),
+                });
+            }
+        }
+    }
+    win.fence(ctx, comm);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uoi_mpisim::{Cluster, MachineModel};
+
+    #[test]
+    fn ownership_is_sticky_and_survivor_only() {
+        let own = TaskOwnership::new(4, 13);
+        // Fault-free: a rotation of round-robin covering all ranks.
+        let homes: Vec<usize> = (0..8).map(|k| own.owner(k, &[])).collect();
+        for r in 0..4 {
+            assert!(homes.contains(&r), "rank {r} owns nothing");
+        }
+        // Kill rank homes[2]: only its tasks move, everyone else's stay.
+        let dead = homes[2];
+        for (k, &h) in homes.iter().enumerate() {
+            let now = own.owner(k, &[dead]);
+            if h == dead {
+                assert_ne!(now, dead, "task {k} still owned by dead rank");
+            } else {
+                assert_eq!(now, h, "task {k} moved although its owner survived");
+            }
+        }
+        // Reassignment is deterministic and survivor-valued.
+        assert_eq!(own.owner(2, &[dead]), own.owner(2, &[dead]));
+        // owned_tasks partitions the task range.
+        let failed = [dead];
+        let mut all: Vec<usize> = (0..4)
+            .filter(|r| !failed.contains(r))
+            .flat_map(|r| own.owned_tasks(r, 8, &failed))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+        assert!(own.owned_tasks(dead, 8, &failed).is_empty());
+    }
+
+    #[test]
+    fn different_seeds_rotate_the_assignment() {
+        // Small adjacent seeds can hash to the same rotation mod world;
+        // assert instead that *some* seed in a small spread rotates away
+        // from seed 1's assignment.
+        let a = TaskOwnership::new(5, 1);
+        let map_a: Vec<usize> = (0..5).map(|k| a.owner(k, &[])).collect();
+        let rotated = (2u64..10).any(|s| {
+            let b = TaskOwnership::new(5, s);
+            (0..5).map(|k| b.owner(k, &[])).collect::<Vec<_>>() != map_a
+        });
+        assert!(rotated, "seed spread 2..10 should produce a different rotation");
+    }
+
+    #[test]
+    fn fallback_plan_matches_round0_ownership() {
+        let own = TaskOwnership::new(3, 7);
+        let plan = degraded_fallback_plan(&[1], &own, 6, 6, 7);
+        for k in 0..6 {
+            assert_eq!(plan.selection_failed(k), own.owner(k, &[]) == 1);
+            assert_eq!(plan.estimation_failed(k), own.owner(k, &[]) == 1);
+        }
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_complete() {
+        let rep = RecoveryReport {
+            world: 4,
+            max_rounds: 2,
+            rounds_attempted: 2,
+            failed_ranks: vec![1],
+            reassigned_selection: vec![0, 3],
+            reassigned_estimation: vec![2],
+            degraded_fallback: false,
+        };
+        let a = rep.to_json().to_string_compact();
+        let b = rep.clone().to_json().to_string_compact();
+        assert_eq!(a, b);
+        for key in [
+            "world",
+            "max_rounds",
+            "rounds_attempted",
+            "failed_ranks",
+            "reassigned_selection",
+            "reassigned_estimation",
+            "degraded_fallback",
+        ] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+    }
+
+    #[test]
+    fn blob_records_roundtrip() {
+        let mut blob = Vec::new();
+        push_task_record(&mut blob, 3, &[1.5, -2.0]);
+        push_task_record(&mut blob, 0, &encode_index_lists(&[vec![1, 4], vec![], vec![2]]));
+        let recs = parse_task_records(&blob);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], (3, vec![1.5, -2.0]));
+        assert_eq!(
+            decode_index_lists(&recs[1].1),
+            vec![vec![1, 4], vec![], vec![2]]
+        );
+    }
+
+    #[test]
+    fn exchange_survives_transient_window_faults() {
+        // Rank 1's first get is dropped and rank 2's first is corrupted;
+        // both retries verify, and every rank ends with all three blobs.
+        let plan = FaultPlan::new(0)
+            .drop_window_op(1, 0)
+            .corrupt_window_op(2, 0);
+        let cluster = Cluster::new(3, MachineModel::deterministic()).with_fault_plan(plan);
+        let report = cluster.run(|ctx, comm| {
+            let rank = comm.rank();
+            let blob = vec![rank as f64 * 10.0, 1.0 + rank as f64];
+            let rank_map: Vec<usize> = (0..3).collect();
+            exchange_blobs(ctx, comm, blob, &rank_map, 4)
+        });
+        for blobs in &report.results {
+            assert_eq!(blobs.len(), 3);
+            for (r, b) in blobs.iter().enumerate() {
+                assert_eq!(b, &vec![r as f64 * 10.0, 1.0 + r as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_exhaustion_is_a_typed_internal_error() {
+        // Rank 1 drops every one of its 3 attempts against rank 0's blob:
+        // the budget exhausts and the failure surfaces as Internal (which
+        // the recovery driver treats as fatal, not retryable).
+        let plan = FaultPlan::new(0)
+            .drop_window_op(1, 0)
+            .drop_window_op(1, 1)
+            .drop_window_op(1, 2);
+        let cluster = Cluster::new(2, MachineModel::deterministic()).with_fault_plan(plan);
+        let err = match cluster.try_run(|ctx, comm| {
+            let rank = comm.rank();
+            let rank_map: Vec<usize> = (0..2).collect();
+            exchange_blobs(ctx, comm, vec![rank as f64], &rank_map, 3)
+        }) {
+            Ok(_) => panic!("exhausted budget must fail the run"),
+            Err(e) => e,
+        };
+        assert!(err
+            .failures
+            .iter()
+            .any(|f| matches!(f.error, Some(MpiError::Internal { .. }))));
+    }
+}

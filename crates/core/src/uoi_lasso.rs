@@ -287,6 +287,9 @@ pub struct UoiFit {
     /// Degraded-execution account, present when a fault plan was active:
     /// which tasks failed and the effective bootstrap counts used.
     pub degradation: Option<DegradationReport>,
+    /// Shrink-and-recover account, present when the fit ran through
+    /// [`fit_uoi_lasso_recovering`](crate::uoi_lasso_recovering::fit_uoi_lasso_recovering).
+    pub recovery: Option<crate::recovery::RecoveryReport>,
 }
 
 impl UoiFit {
@@ -318,6 +321,17 @@ pub fn fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
 /// `x`/`y` lengths, too few samples to resample, non-finite inputs, or an
 /// invalid configuration.
 pub fn try_fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiError> {
+    validate_lasso_inputs(x, y, cfg)?;
+    fit_inner(x, y, cfg)
+}
+
+/// Input validation shared by the serial and recovering fits; `Ok` means
+/// `fit_inner` (or a recovering re-execution of its tasks) may run.
+pub(crate) fn validate_lasso_inputs(
+    x: &Matrix,
+    y: &[f64],
+    cfg: &UoiLassoConfig,
+) -> Result<(), UoiError> {
     let (n, p) = x.shape();
     if n == 0 || p == 0 {
         return Err(UoiError::EmptyDesign);
@@ -337,13 +351,203 @@ pub fn try_fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<
     if !all_finite(y) {
         return Err(UoiError::NonFiniteInput("response y"));
     }
-    cfg.validate()?;
-    fit_inner(x, y, cfg)
+    cfg.validate()
+}
+
+/// Column-centre `(x, y)`: returns `(xc, yc, x_means, y_mean)`. Shared
+/// verbatim by the serial fit and the recovering pipeline so both centre
+/// bit-identically.
+pub(crate) fn centre_data(x: &Matrix, y: &[f64]) -> (Matrix, Vec<f64>, Vec<f64>, f64) {
+    let n = x.rows();
+    let x_means = x.col_means();
+    let y_mean = y.iter().sum::<f64>() / n as f64;
+    let mut xc = x.clone();
+    xc.center_cols(&x_means);
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+    (xc, yc, x_means, y_mean)
+}
+
+/// Selection bootstrap `k`'s weighted Gram and right-hand side — the
+/// `O(n p^2)` half of the task, checkpointable for recovery re-solves.
+pub(crate) fn selection_gram(xc: &Matrix, yc: &[f64], seed: u64, k: usize) -> (Matrix, Vec<f64>) {
+    let n = xc.rows();
+    let mut rng = substream(seed, k as u64);
+    let idx = row_bootstrap(&mut rng, n, n);
+    let w = resample_weights(&idx, n);
+    (syrk_t_weighted(xc, &w), gemv_t_weighted(xc, &w, yc))
+}
+
+/// Solve selection bootstrap `k`'s lambda path from its (possibly
+/// checkpoint-restored) Gram, yielding the per-lambda supports.
+pub(crate) fn selection_solve(
+    gram: Matrix,
+    xty: &[f64],
+    lambdas: &[f64],
+    cfg: &UoiLassoConfig,
+) -> Vec<Vec<usize>> {
+    let mut solver = LassoAdmm::from_gram(gram, cfg.admm.clone());
+    if let Some(m) = cfg.telemetry.metrics() {
+        solver = solver.with_metrics(m);
+    }
+    solver
+        .solve_path_with_rhs(xty, lambdas)
+        .into_iter()
+        .map(|sol| support_of(&sol.beta, cfg.support_tol))
+        .collect()
+}
+
+/// The full selection task body for bootstrap `k` (Algorithm 1 lines
+/// 2–10): shared by the serial rayon loop and the recovering pipeline's
+/// per-rank task execution, so re-executed tasks are bit-identical.
+pub(crate) fn selection_task(
+    xc: &Matrix,
+    yc: &[f64],
+    lambdas: &[f64],
+    cfg: &UoiLassoConfig,
+    k: usize,
+) -> Vec<Vec<usize>> {
+    let (gram, xty) = selection_gram(xc, yc, cfg.seed, k);
+    selection_solve(gram, &xty, lambdas, cfg)
+}
+
+/// Intersect per-lambda supports across surviving bootstraps (eq. 3 with
+/// the soft-threshold generalisation).
+pub(crate) fn intersect_per_lambda(
+    supports_by_bootstrap: &[&Vec<Vec<usize>>],
+    q: usize,
+    p: usize,
+    needed: usize,
+) -> Vec<Vec<usize>> {
+    let effective = supports_by_bootstrap.len();
+    (0..q)
+        .map(|j| {
+            if needed == effective {
+                let per_k: Vec<Vec<usize>> = supports_by_bootstrap
+                    .iter()
+                    .map(|sk| sk[j].clone())
+                    .collect();
+                intersect_many(&per_k)
+            } else {
+                let mut votes = vec![0usize; p];
+                for sk in supports_by_bootstrap {
+                    for &f in &sk[j] {
+                        votes[f] += 1;
+                    }
+                }
+                (0..p).filter(|&f| votes[f] >= needed).collect()
+            }
+        })
+        .collect()
+}
+
+/// Project the centred design onto the candidate family's feature union:
+/// returns `(union, xu, family_u)` with the family re-indexed into union
+/// coordinates.
+pub(crate) fn estimation_setup(
+    support_family: &[Vec<usize>],
+    p: usize,
+    xc: &Matrix,
+) -> (Vec<usize>, Matrix, Vec<Vec<usize>>) {
+    let mut union: Vec<usize> = support_family.iter().flatten().copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    let mut union_pos = vec![usize::MAX; p];
+    for (a, &f) in union.iter().enumerate() {
+        union_pos[f] = a;
+    }
+    let xu = xc.gather_cols(&union);
+    let family_u: Vec<Vec<usize>> = support_family
+        .iter()
+        .map(|s| s.iter().map(|&f| union_pos[f]).collect())
+        .collect();
+    (union, xu, family_u)
+}
+
+/// The full estimation task body for resample `k` (Algorithm 1 lines
+/// 13–23): scores every candidate support and returns the winner
+/// embedded in full-`p` coordinates. Shared by the serial loop and the
+/// recovering pipeline.
+pub(crate) fn estimation_task(
+    xu: &Matrix,
+    yc: &[f64],
+    family_u: &[Vec<usize>],
+    union: &[usize],
+    p: usize,
+    cfg: &UoiLassoConfig,
+    k: usize,
+) -> Vec<f64> {
+    let n = xu.rows();
+    let mut rng = substream(cfg.seed, 10_000 + k as u64);
+    let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
+    let n_train = train_idx.len();
+    let w = resample_weights(&train_idx, n);
+    let gram_u = syrk_t_weighted(xu, &w);
+    let xty_u = gemv_t_weighted(xu, &w, yc);
+    // Weighted training RSS identity for BIC:
+    // ||X_b b - y_b||^2 = b'Gb - 2 b'(X^T y)_w + sum_i w_i y_i^2.
+    let ysq_w = match cfg.score {
+        EstimationScore::Bic => weighted_sumsq(&w, yc),
+        EstimationScore::Mse => 0.0,
+    };
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for support_u in family_u {
+        let beta_u = ols_on_support_gram(&gram_u, &xty_u, support_u, n_train);
+        let loss = match cfg.score {
+            EstimationScore::Mse => {
+                let mut sum = 0.0;
+                for &e in &eval_idx {
+                    let d = dot(xu.row(e), &beta_u) - yc[e];
+                    sum += d * d;
+                }
+                sum / eval_idx.len() as f64
+            }
+            EstimationScore::Bic => {
+                let quad = dot(&beta_u, &gemv(&gram_u, &beta_u));
+                let rss = (quad - 2.0 * dot(&beta_u, &xty_u) + ysq_w).max(0.0);
+                bic_from_rss(rss, n_train, support_u.len())
+            }
+        };
+        if best.as_ref().is_none_or(|(l, _)| loss < *l) {
+            best = Some((loss, beta_u));
+        }
+    }
+    // Embed the winner back into full-p coordinates; an empty family (or
+    // all-empty supports) estimates zero.
+    let mut full = vec![0.0; p];
+    if let Some((_, bu)) = best {
+        for (&f, &v) in union.iter().zip(&bu) {
+            full[f] = v;
+        }
+    }
+    full
+}
+
+/// Average the winning estimates (eq. 4) and restore the intercept:
+/// `y ≈ (x - x̄) b + ȳ  =>  icpt = ȳ - x̄·b`.
+pub(crate) fn average_and_intercept(
+    best_estimates: &[&Vec<f64>],
+    p: usize,
+    x_means: &[f64],
+    y_mean: f64,
+) -> (Vec<f64>, f64) {
+    let effective_b2 = best_estimates.len();
+    let mut beta = vec![0.0; p];
+    for est in best_estimates {
+        for (b, e) in beta.iter_mut().zip(est.iter()) {
+            *b += e;
+        }
+    }
+    for b in &mut beta {
+        *b /= effective_b2 as f64;
+    }
+    let intercept = y_mean - uoi_linalg::dot(x_means, &beta);
+    (beta, intercept)
 }
 
 /// The validated fit body (inputs already checked).
-fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiError> {
-    let (n, p) = x.shape();
+pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiError> {
+    let p = x.cols();
 
     // Degraded-mode / checkpoint machinery. All of it is inert (and
     // free) in the default configuration.
@@ -376,11 +580,7 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
     };
 
     // Centre.
-    let x_means = x.col_means();
-    let y_mean = y.iter().sum::<f64>() / n as f64;
-    let mut xc = x.clone();
-    xc.center_cols(&x_means);
-    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+    let (xc, yc, x_means, y_mean) = centre_data(x, y);
 
     // Shared lambda grid from the full centred data.
     let lambdas = lambda_path(&xc, &yc, cfg.q, cfg.lambda_min_ratio);
@@ -412,20 +612,7 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
                     if !reserve() {
                         return Ok(None);
                     }
-                    let mut rng = substream(cfg.seed, k as u64);
-                    let idx = row_bootstrap(&mut rng, n, n);
-                    let w = resample_weights(&idx, n);
-                    let gram = syrk_t_weighted(&xc, &w);
-                    let xty = gemv_t_weighted(&xc, &w, &yc);
-                    let mut solver = LassoAdmm::from_gram(gram, cfg.admm.clone());
-                    if let Some(m) = cfg.telemetry.metrics() {
-                        solver = solver.with_metrics(m);
-                    }
-                    let supports: Vec<Vec<usize>> = solver
-                        .solve_path_with_rhs(&xty, &lambdas)
-                        .into_iter()
-                        .map(|sol| support_of(&sol.beta, cfg.support_tol))
-                        .collect();
+                    let supports = selection_task(&xc, &yc, &lambdas, cfg, k);
                     if let Some(st) = &store {
                         st.save_supports("sel", k, &supports)?;
                     }
@@ -448,25 +635,7 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
     // the soft threshold generalisation: keep features present in at
     // least `ceil(frac * B1_effective)` surviving supports.
     let needed = required_votes(cfg.intersection_frac, effective_b1);
-    let supports_per_lambda: Vec<Vec<usize>> = (0..cfg.q)
-        .map(|j| {
-            if needed == effective_b1 {
-                let per_k: Vec<Vec<usize>> = supports_by_bootstrap
-                    .iter()
-                    .map(|sk| sk[j].clone())
-                    .collect();
-                intersect_many(&per_k)
-            } else {
-                let mut votes = vec![0usize; p];
-                for sk in &supports_by_bootstrap {
-                    for &f in &sk[j] {
-                        votes[f] += 1;
-                    }
-                }
-                (0..p).filter(|&f| votes[f] >= needed).collect()
-            }
-        })
-        .collect();
+    let supports_per_lambda = intersect_per_lambda(&supports_by_bootstrap, cfg.q, p, needed);
     let support_family = dedup_family(supports_per_lambda.clone());
 
     cfg.telemetry
@@ -484,18 +653,7 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
     // fit; each resample then builds one weighted union-Gram and every
     // support's OLS is an |S|x|S| sub-Gram extraction + factor, with no
     // per-resample (or per-support) row gathering.
-    let mut union: Vec<usize> = support_family.iter().flatten().copied().collect();
-    union.sort_unstable();
-    union.dedup();
-    let mut union_pos = vec![usize::MAX; p];
-    for (a, &f) in union.iter().enumerate() {
-        union_pos[f] = a;
-    }
-    let xu = xc.gather_cols(&union);
-    let family_u: Vec<Vec<usize>> = support_family
-        .iter()
-        .map(|s| s.iter().map(|&f| union_pos[f]).collect())
-        .collect();
+    let (union, xu, family_u) = estimation_setup(&support_family, p, &xc);
 
     // Estimation checkpoints additionally depend on the candidate family
     // (which shifts when B1 or the fault plan changes), so the family is
@@ -526,49 +684,7 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
                     if !reserve() {
                         return Ok(None);
                     }
-                    let mut rng = substream(cfg.seed, 10_000 + k as u64);
-                    let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
-                    let n_train = train_idx.len();
-                    let w = resample_weights(&train_idx, n);
-                    let gram_u = syrk_t_weighted(&xu, &w);
-                    let xty_u = gemv_t_weighted(&xu, &w, &yc);
-                    // Weighted training RSS identity for BIC:
-                    // ||X_b b - y_b||^2 = b'Gb - 2 b'(X^T y)_w + sum_i w_i y_i^2.
-                    let ysq_w = match cfg.score {
-                        EstimationScore::Bic => weighted_sumsq(&w, &yc),
-                        EstimationScore::Mse => 0.0,
-                    };
-
-                    let mut best: Option<(f64, Vec<f64>)> = None;
-                    for support_u in &family_u {
-                        let beta_u = ols_on_support_gram(&gram_u, &xty_u, support_u, n_train);
-                        let loss = match cfg.score {
-                            EstimationScore::Mse => {
-                                let mut sum = 0.0;
-                                for &e in &eval_idx {
-                                    let d = dot(xu.row(e), &beta_u) - yc[e];
-                                    sum += d * d;
-                                }
-                                sum / eval_idx.len() as f64
-                            }
-                            EstimationScore::Bic => {
-                                let quad = dot(&beta_u, &gemv(&gram_u, &beta_u));
-                                let rss = (quad - 2.0 * dot(&beta_u, &xty_u) + ysq_w).max(0.0);
-                                bic_from_rss(rss, n_train, support_u.len())
-                            }
-                        };
-                        if best.as_ref().is_none_or(|(l, _)| loss < *l) {
-                            best = Some((loss, beta_u));
-                        }
-                    }
-                    // Embed the winner back into full-p coordinates; an
-                    // empty family (or all-empty supports) estimates zero.
-                    let mut full = vec![0.0; p];
-                    if let Some((_, bu)) = best {
-                        for (&f, &v) in union.iter().zip(&bu) {
-                            full[f] = v;
-                        }
-                    }
+                    let full = estimation_task(&xu, &yc, &family_u, &union, p, cfg, k);
                     if let (Some(st), Some(stage)) = (&store, &est_stage) {
                         st.save_coeffs(stage, k, &full)?;
                     }
@@ -587,19 +703,9 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
     cfg.degradation
         .check_quorum("estimation", effective_b2, cfg.b2)?;
 
-    // Average the winners (eq. 4) over surviving estimation bootstraps.
-    let mut beta = vec![0.0; p];
-    for est in &best_estimates {
-        for (b, e) in beta.iter_mut().zip(est.iter()) {
-            *b += e;
-        }
-    }
-    for b in &mut beta {
-        *b /= effective_b2 as f64;
-    }
-
-    // Restore intercept: y ≈ (x - x̄) b + ȳ  =>  icpt = ȳ - x̄·b.
-    let intercept = y_mean - uoi_linalg::dot(&x_means, &beta);
+    // Average the winners (eq. 4) over surviving estimation bootstraps and
+    // restore the intercept.
+    let (beta, intercept) = average_and_intercept(&best_estimates, p, &x_means, y_mean);
     let support = support_of(&beta, cfg.support_tol);
 
     cfg.telemetry
@@ -626,6 +732,7 @@ fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiE
         supports_per_lambda,
         support_family,
         degradation,
+        recovery: None,
     })
 }
 
@@ -775,6 +882,7 @@ pub(crate) fn fit_inner_materialized(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig
         supports_per_lambda,
         support_family,
         degradation: None,
+        recovery: None,
     }
 }
 

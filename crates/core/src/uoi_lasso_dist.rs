@@ -268,6 +268,7 @@ pub fn fit_uoi_lasso_dist(
         supports_per_lambda,
         support_family,
         degradation,
+        recovery: None,
     }
 }
 

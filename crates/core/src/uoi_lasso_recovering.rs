@@ -1,0 +1,269 @@
+//! Shrink-and-recover `UoI_LASSO`: rank-failure agreement, communicator
+//! rebuild, and lossless task re-execution on the simulated cluster.
+//!
+//! Every rank holds the full `(x, y)` by shared reference and replicates
+//! the cheap glue (centring, lambda grid, intersection, union
+//! projection, averaging) through the *same* `pub(crate)` helpers the
+//! serial fit uses; the expensive selection/estimation tasks are
+//! partitioned by the deterministic [`TaskOwnership`] map and their
+//! results exchanged through checksummed one-sided window blobs. When a
+//! rank dies the cluster agrees on the culprits, shrinks, and re-runs
+//! the closure: survivors replay their finished tasks from the recovery
+//! stash (or re-solve from per-bootstrap Gram checkpoints when a
+//! [`CheckpointStore`](crate::degraded::CheckpointStore) is configured)
+//! while the dead rank's tasks probe forward to their new sticky owners.
+//! Because every task body is a pure function of `(data, config, k)`,
+//! the recovered fit is bit-identical to the fault-free serial fit.
+//!
+//! When the recovery round budget is exhausted the fit falls back to
+//! degraded-mode execution: the failed ranks' round-0 tasks become a
+//! [`BootstrapFaultPlan`](crate::degraded::BootstrapFaultPlan) and the
+//! plain serial degraded fit runs, so `max_rounds = 0` reproduces the
+//! degradation-tolerant pipeline exactly.
+
+use crate::degraded::CheckpointStore;
+use crate::error::UoiError;
+use crate::recovery::{
+    degraded_fallback_plan, exchange_blobs, parse_task_records, push_task_record, RecoveryConfig,
+    RecoveryReport, TaskOwnership,
+};
+use crate::recovery::{decode_index_lists, encode_index_lists};
+use crate::uoi_lasso::{
+    average_and_intercept, centre_data, estimation_setup, estimation_task, fit_inner,
+    intersect_per_lambda, required_votes, selection_gram, selection_solve, selection_task,
+    validate_lasso_inputs, UoiFit, UoiLassoConfig,
+};
+use uoi_linalg::Matrix;
+use uoi_mpisim::{
+    Cluster, Comm, MachineModel, MpiError, RankCtx, RecoveryContext, RecoveryError,
+};
+use uoi_solvers::{lambda_path, support_of};
+
+/// Fit `UoI_LASSO` with shrink-and-recover execution over a simulated
+/// `rcfg.world`-rank cluster. Returns a fit whose `recovery` field
+/// accounts for the rounds, failures, and reassignments; coefficients
+/// and supports are bit-identical to the serial [`fit_inner`] whenever
+/// recovery succeeds (and to the degraded fit on fallback).
+pub fn fit_uoi_lasso_recovering(
+    x: &Matrix,
+    y: &[f64],
+    cfg: &UoiLassoConfig,
+    rcfg: &RecoveryConfig,
+) -> Result<UoiFit, UoiError> {
+    validate_lasso_inputs(x, y, cfg)?;
+    if rcfg.world == 0 {
+        return Err(UoiError::InvalidConfig("recovery world must be >= 1".into()));
+    }
+    if !rcfg.enabled {
+        return fit_inner(x, y, cfg);
+    }
+
+    let ownership = TaskOwnership::new(rcfg.world, cfg.seed);
+    let mut cluster = Cluster::new(rcfg.world, MachineModel::deterministic())
+        .with_watchdog(rcfg.watchdog)
+        .with_telemetry(cfg.telemetry.clone());
+    if let Some(plan) = &rcfg.plan {
+        cluster = cluster.with_fault_plan(plan.clone());
+    }
+
+    let outcome = cluster.try_run_recovering(rcfg.max_rounds, |ctx, comm, rctx| {
+        lasso_round(ctx, comm, rctx, x, y, cfg, rcfg, &ownership)
+    });
+
+    match outcome {
+        Ok((report, log)) => {
+            let mut fits = report.results;
+            let mut fit = fits.swap_remove(0);
+            fit.recovery = Some(build_report(&log.failed_ranks(), log.rounds.len(), cfg, rcfg, &ownership, false));
+            Ok(fit)
+        }
+        Err(RecoveryError::Exhausted { rounds, failed, .. }) => {
+            let plan = degraded_fallback_plan(&failed, &ownership, cfg.b1, cfg.b2, cfg.seed);
+            let mut degraded_cfg = cfg.clone();
+            degraded_cfg.degradation.plan = Some(plan);
+            let mut fit = fit_inner(x, y, &degraded_cfg)?;
+            fit.recovery = Some(build_report(&failed, rounds, cfg, rcfg, &ownership, true));
+            Ok(fit)
+        }
+        Err(RecoveryError::Fatal(sim)) => Err(UoiError::Unrecoverable(sim.to_string())),
+    }
+}
+
+fn build_report(
+    failed: &[usize],
+    rounds_attempted: usize,
+    cfg: &UoiLassoConfig,
+    rcfg: &RecoveryConfig,
+    ownership: &TaskOwnership,
+    degraded_fallback: bool,
+) -> RecoveryReport {
+    let reassigned = |total: usize| -> Vec<usize> {
+        (0..total)
+            .filter(|&k| failed.contains(&ownership.owner(k, &[])))
+            .collect()
+    };
+    RecoveryReport {
+        world: rcfg.world,
+        max_rounds: rcfg.max_rounds,
+        rounds_attempted,
+        failed_ranks: failed.to_vec(),
+        reassigned_selection: reassigned(cfg.b1),
+        reassigned_estimation: reassigned(cfg.b2),
+        degraded_fallback,
+    }
+}
+
+/// One SPMD round of the recovering fit. Pure with respect to the
+/// recovery state: given the same `(x, y, cfg)` any surviving subset of
+/// ranks produces the same [`UoiFit`] bits.
+#[allow(clippy::too_many_arguments)]
+fn lasso_round(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    rctx: &RecoveryContext,
+    x: &Matrix,
+    y: &[f64],
+    cfg: &UoiLassoConfig,
+    rcfg: &RecoveryConfig,
+    ownership: &TaskOwnership,
+) -> UoiFit {
+    let span = if rctx.is_recovery_round() {
+        Some(ctx.span_enter("recovery.reexec"))
+    } else {
+        None
+    };
+
+    let p = x.cols();
+    let my_orig = rctx.original_rank(comm.rank());
+    let stash = rctx.stash();
+
+    // Replicated glue: every rank centres and grids identically.
+    let (xc, yc, x_means, y_mean) = centre_data(x, y);
+    let lambdas = lambda_path(&xc, &yc, cfg.q, cfg.lambda_min_ratio);
+
+    // Optional Gram checkpointing: recovery re-solves skip the O(n p^2)
+    // accumulation. Store failures are runtime invariant violations in
+    // this simulated setting — escalate as fatal rather than degrade.
+    let store = cfg.checkpoint.as_ref().map(|ck| {
+        match CheckpointStore::open(&ck.dir, cfg.ckpt_fingerprint(x, y)) {
+            Ok(st) => st,
+            Err(e) => std::panic::panic_any(MpiError::Internal {
+                what: format!("checkpoint store: {e}"),
+            }),
+        }
+    });
+
+    // --- Selection: execute owned tasks, exchange, replicate glue. ---
+    let mut sel_blob = Vec::new();
+    for k in ownership.owned_tasks(my_orig, cfg.b1, &rctx.failed) {
+        let key = format!("lasso.sel.{k}");
+        let payload = match lookup_stash(rctx, &key) {
+            Some(p) => p,
+            None => {
+                let supports = match &store {
+                    Some(st) => match st.load_gram("selgram", k, p * p, p) {
+                        Some((gram, xty)) => {
+                            ctx.telemetry().incr("uoi.recovery.gram_hits", 1);
+                            selection_solve(Matrix::from_vec(p, p, gram), &xty, &lambdas, cfg)
+                        }
+                        None => {
+                            let (gram, xty) = selection_gram(&xc, &yc, cfg.seed, k);
+                            if let Err(e) = st.save_gram("selgram", k, gram.as_slice(), &xty) {
+                                std::panic::panic_any(MpiError::Internal {
+                                    what: format!("gram checkpoint: {e}"),
+                                });
+                            }
+                            selection_solve(gram, &xty, &lambdas, cfg)
+                        }
+                    },
+                    None => selection_task(&xc, &yc, &lambdas, cfg, k),
+                };
+                let payload = encode_index_lists(&supports);
+                stash.put(my_orig, &key, payload.clone());
+                payload
+            }
+        };
+        push_task_record(&mut sel_blob, k, &payload);
+    }
+    let blobs = ctx.span("recovery.exchange_sel", |ctx| {
+        exchange_blobs(ctx, comm, sel_blob, &rctx.rank_map, rcfg.get_attempts)
+    });
+    let selection = collect_results(&blobs, cfg.b1, "selection");
+    let selection: Vec<Vec<Vec<usize>>> = selection
+        .into_iter()
+        .map(|payload| decode_index_lists(&payload))
+        .collect();
+
+    let supports_by_bootstrap: Vec<&Vec<Vec<usize>>> = selection.iter().collect();
+    let needed = required_votes(cfg.intersection_frac, cfg.b1);
+    let supports_per_lambda = intersect_per_lambda(&supports_by_bootstrap, cfg.q, p, needed);
+    let support_family = crate::support::dedup_family(supports_per_lambda.clone());
+
+    // --- Estimation: same owner/exchange/replicate pattern. ---
+    let (union, xu, family_u) = estimation_setup(&support_family, p, &xc);
+    let mut est_blob = Vec::new();
+    for k in ownership.owned_tasks(my_orig, cfg.b2, &rctx.failed) {
+        let key = format!("lasso.est.{k}");
+        let payload = match lookup_stash(rctx, &key) {
+            Some(p) => p,
+            None => {
+                let full = estimation_task(&xu, &yc, &family_u, &union, p, cfg, k);
+                stash.put(my_orig, &key, full.clone());
+                full
+            }
+        };
+        push_task_record(&mut est_blob, k, &payload);
+    }
+    let blobs = ctx.span("recovery.exchange_est", |ctx| {
+        exchange_blobs(ctx, comm, est_blob, &rctx.rank_map, rcfg.get_attempts)
+    });
+    let estimates = collect_results(&blobs, cfg.b2, "estimation");
+
+    let best_estimates: Vec<&Vec<f64>> = estimates.iter().collect();
+    let (beta, intercept) = average_and_intercept(&best_estimates, p, &x_means, y_mean);
+    let support = support_of(&beta, cfg.support_tol);
+
+    if let Some(id) = span {
+        ctx.span_exit(id);
+    }
+
+    UoiFit {
+        beta,
+        intercept,
+        support,
+        lambdas,
+        supports_per_lambda,
+        support_family,
+        degradation: None,
+        recovery: None,
+    }
+}
+
+/// Probe the cross-round stash for `key` under every original rank: the
+/// task's owner may have changed between rounds, but a surviving
+/// producer's entry is always reusable (entries of failed ranks are
+/// dropped by the driver).
+pub(crate) fn lookup_stash(rctx: &RecoveryContext, key: &str) -> Option<Vec<f64>> {
+    (0..rctx.original_world).find_map(|r| rctx.stash().get(r, key))
+}
+
+/// Merge exchanged blobs into dense task order; a hole means the
+/// ownership map and the blobs disagree — a runtime invariant violation.
+pub(crate) fn collect_results(blobs: &[Vec<f64>], total: usize, stage: &str) -> Vec<Vec<f64>> {
+    let mut slots: Vec<Option<Vec<f64>>> = vec![None; total];
+    for blob in blobs {
+        for (k, payload) in parse_task_records(blob) {
+            slots[k] = Some(payload);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(k, s)| match s {
+            Some(p) => p,
+            None => std::panic::panic_any(MpiError::Internal {
+                what: format!("{stage} task {k} has no owner result"),
+            }),
+        })
+        .collect()
+}

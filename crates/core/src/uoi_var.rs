@@ -16,7 +16,9 @@
 use crate::degraded::{data_words, fingerprint, CheckpointStore, DegradationReport};
 use crate::error::{all_finite, UoiError};
 use crate::granger::GrangerNetwork;
-use crate::support::{dedup_family, intersect_many};
+use crate::support::dedup_family;
+#[cfg(test)]
+use crate::support::intersect_many;
 use crate::uoi_lasso::UoiLassoConfig;
 use crate::var_matrices::{partition_coefficients, VarRegression};
 use rayon::prelude::*;
@@ -170,6 +172,9 @@ pub struct UoiVarFit {
     pub support_family: Vec<Vec<usize>>,
     /// Degraded-execution account, present when a fault plan was active.
     pub degradation: Option<DegradationReport>,
+    /// Shrink-and-recover account, present when the fit ran through
+    /// [`fit_uoi_var_recovering`](crate::uoi_var_recovering::fit_uoi_var_recovering).
+    pub recovery: Option<crate::recovery::RecoveryReport>,
 }
 
 impl UoiVarFit {
@@ -299,6 +304,12 @@ pub fn fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
 /// short for the requested order, non-finite values, or an invalid
 /// configuration.
 pub fn try_fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError> {
+    validate_var_inputs(series, cfg)?;
+    fit_inner(series, cfg)
+}
+
+/// Input validation shared by the serial and recovering fits.
+pub(crate) fn validate_var_inputs(series: &Matrix, cfg: &UoiVarConfig) -> Result<(), UoiError> {
     let (n_raw, p) = series.shape();
     if n_raw == 0 || p == 0 {
         return Err(UoiError::EmptyDesign);
@@ -314,18 +325,29 @@ pub fn try_fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit,
     if !all_finite(series.as_slice()) {
         return Err(UoiError::NonFiniteInput("series"));
     }
-    fit_inner(series, cfg)
+    Ok(())
 }
 
-/// The validated fit body (inputs already checked).
-fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError> {
+/// The shared per-fit precomputation: centred regression block, sampling
+/// geometry, and lambda grid. Built identically by the serial fit and by
+/// every rank of the recovering pipeline, so all downstream task bodies
+/// see bit-identical inputs.
+pub(crate) struct VarProblem {
+    pub(crate) means: Vec<f64>,
+    pub(crate) reg: VarRegression,
+    pub(crate) n: usize,
+    pub(crate) dp: usize,
+    pub(crate) total_coef: usize,
+    pub(crate) block_len: usize,
+    pub(crate) lambdas: Vec<f64>,
+}
+
+pub(crate) fn build_var_problem(series: &Matrix, cfg: &UoiVarConfig) -> VarProblem {
     let (_, p) = series.shape();
     let d = cfg.order;
-
     let means = series.col_means();
     let mut centred = series.clone();
     centred.center_cols(&means);
-
     let reg = VarRegression::build(&centred, d);
     let n = reg.samples();
     let dp = d * p;
@@ -341,6 +363,205 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
     }
     let lmax = lmax.max(1e-12);
     let lambdas = geometric_grid(lmax, base.lambda_min_ratio * lmax, base.q);
+
+    VarProblem {
+        means,
+        reg,
+        n,
+        dp,
+        total_coef,
+        block_len,
+        lambdas,
+    }
+}
+
+/// The full VAR selection task body for bootstrap `k` (Algorithm 2 lines
+/// 1–13): one shared factorisation, `p` column paths, vectorised support
+/// indices. Shared by the serial rayon loop and the recovering pipeline.
+pub(crate) fn var_selection_task(
+    prob: &VarProblem,
+    base: &UoiLassoConfig,
+    p: usize,
+    k: usize,
+) -> Vec<Vec<usize>> {
+    let mut rng = substream(base.seed, k as u64);
+    let rows = block_bootstrap(&mut rng, prob.n, prob.n, prob.block_len);
+    let w = resample_weights(&rows, prob.n);
+    let gram = syrk_t_weighted(&prob.reg.x, &w);
+    let mut solver = LassoAdmm::from_gram(gram, base.admm.clone());
+    if let Some(m) = base.telemetry.metrics() {
+        solver = solver.with_metrics(m);
+    }
+    // supports[j] = vectorised support at lambda_j.
+    let mut supports = vec![Vec::new(); prob.lambdas.len()];
+    for i in 0..p {
+        let yi = prob.reg.y.col(i);
+        let xty = gemv_t_weighted(&prob.reg.x, &w, &yi);
+        for (j, sol) in solver
+            .solve_path_with_rhs(&xty, &prob.lambdas)
+            .into_iter()
+            .enumerate()
+        {
+            for idx in support_of(&sol.beta, base.support_tol) {
+                supports[j].push(i * prob.dp + idx);
+            }
+        }
+    }
+    for s in &mut supports {
+        s.sort_unstable();
+    }
+    supports
+}
+
+/// Union-projected estimation inputs (Algorithm 2 lines 14–30 setup):
+/// the regression design gathered onto the family's union of lag columns
+/// plus the family re-indexed per response column.
+pub(crate) struct VarEstimationCtx {
+    pub(crate) union_cols: Vec<usize>,
+    pub(crate) u: usize,
+    pub(crate) xu: Matrix,
+    pub(crate) ys: Vec<Vec<f64>>,
+    pub(crate) family_cols: Vec<Vec<Vec<usize>>>,
+}
+
+pub(crate) fn var_estimation_setup(
+    support_family: &[Vec<usize>],
+    prob: &VarProblem,
+    p: usize,
+) -> VarEstimationCtx {
+    let dp = prob.dp;
+    let mut union_cols: Vec<usize> = support_family.iter().flatten().map(|&s| s % dp).collect();
+    union_cols.sort_unstable();
+    union_cols.dedup();
+    let u = union_cols.len();
+    let mut col_pos = vec![usize::MAX; dp];
+    for (a, &c) in union_cols.iter().enumerate() {
+        col_pos[c] = a;
+    }
+    let xu = prob.reg.x.gather_cols(&union_cols);
+    let ys: Vec<Vec<f64>> = (0..p).map(|i| prob.reg.y.col(i)).collect();
+    // family_cols[f][i] = union-space support of response column i.
+    let family_cols: Vec<Vec<Vec<usize>>> = support_family
+        .iter()
+        .map(|support| {
+            let mut per_col = vec![Vec::new(); p];
+            for &s in support {
+                per_col[s / dp].push(col_pos[s % dp]);
+            }
+            per_col
+        })
+        .collect();
+    VarEstimationCtx {
+        union_cols,
+        u,
+        xu,
+        ys,
+        family_cols,
+    }
+}
+
+/// The full VAR estimation task body for resample `k` (Algorithm 2 lines
+/// 17–28): scores every candidate per-column support on out-of-bag rows
+/// and returns the winner in vectorised coordinates.
+pub(crate) fn var_estimation_task(
+    ctx: &VarEstimationCtx,
+    prob: &VarProblem,
+    base: &UoiLassoConfig,
+    p: usize,
+    k: usize,
+) -> Vec<f64> {
+    let u = ctx.u;
+    let mut rng = substream(base.seed, 20_000 + k as u64);
+    let (train_rows, eval_rows) = block_bootstrap_with_oob(&mut rng, prob.n, prob.block_len);
+    let n_train = train_rows.len();
+    let w = resample_weights(&train_rows, prob.n);
+    let gram_u = syrk_t_weighted(&ctx.xu, &w);
+    let xty_u: Vec<Vec<f64>> = ctx
+        .ys
+        .iter()
+        .map(|yi| gemv_t_weighted(&ctx.xu, &w, yi))
+        .collect();
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for per_col in &ctx.family_cols {
+        // Column i's union-space coefficients at i*u..(i+1)*u.
+        let mut beta_u = vec![0.0; p * u];
+        for (i, cols) in per_col.iter().enumerate() {
+            if cols.is_empty() {
+                continue;
+            }
+            let bi = ols_on_support_gram(&gram_u, &xty_u[i], cols, n_train);
+            beta_u[i * u..(i + 1) * u].copy_from_slice(&bi);
+        }
+        let mut total = 0.0;
+        for i in 0..p {
+            let bi = &beta_u[i * u..(i + 1) * u];
+            let mut sse = 0.0;
+            for &e in &eval_rows {
+                let d = dot(ctx.xu.row(e), bi) - ctx.ys[i][e];
+                sse += d * d;
+            }
+            total += sse / eval_rows.len() as f64;
+        }
+        let loss = total / p as f64;
+        if best.as_ref().is_none_or(|(l, _)| loss < *l) {
+            best = Some((loss, beta_u));
+        }
+    }
+    // Embed the winner back into vectorised coordinates.
+    let mut full = vec![0.0; prob.total_coef];
+    if let Some((_, bu)) = best {
+        for i in 0..p {
+            for (a, &c) in ctx.union_cols.iter().enumerate() {
+                full[i * prob.dp + c] = bu[i * u + a];
+            }
+        }
+    }
+    full
+}
+
+/// Average the winning vectorised estimates and derive the lag matrices
+/// and process-mean term `μ = (I - Σ A_j) x̄`.
+pub(crate) fn var_average(
+    best_estimates: &[&Vec<f64>],
+    total_coef: usize,
+    p: usize,
+    d: usize,
+    means: &[f64],
+) -> (Vec<f64>, Vec<Matrix>, Vec<f64>) {
+    let effective_b2 = best_estimates.len();
+    let mut vec_beta = vec![0.0; total_coef];
+    for est in best_estimates {
+        for (b, e) in vec_beta.iter_mut().zip(est.iter()) {
+            *b += e;
+        }
+    }
+    for b in &mut vec_beta {
+        *b /= effective_b2 as f64;
+    }
+    let a_mats = partition_coefficients(&vec_beta, p, d);
+    // mu = (I - sum A_j) * mean.
+    let mut mu = means.to_vec();
+    for a in &a_mats {
+        let shift = uoi_linalg::gemv(a, means);
+        for (m, s) in mu.iter_mut().zip(&shift) {
+            *m -= s;
+        }
+    }
+    (vec_beta, a_mats, mu)
+}
+
+/// The validated fit body (inputs already checked).
+pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError> {
+    let (_, p) = series.shape();
+    let d = cfg.order;
+    let base = &cfg.base;
+
+    let prob = build_var_problem(series, cfg);
+    let means = prob.means.clone();
+    let total_coef = prob.total_coef;
+    let block_len = prob.block_len;
+    let lambdas = prob.lambdas.clone();
 
     // Degraded-mode / checkpoint machinery (mirrors `uoi_lasso`; the
     // "var_" stage prefix keeps the two algorithms' checkpoints apart).
@@ -409,32 +630,7 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
                     if !reserve() {
                         return Ok(None);
                     }
-                    let mut rng = substream(base.seed, k as u64);
-                    let rows = block_bootstrap(&mut rng, n, n, block_len);
-                    let w = resample_weights(&rows, n);
-                    let gram = syrk_t_weighted(&reg.x, &w);
-                    let mut solver = LassoAdmm::from_gram(gram, base.admm.clone());
-                    if let Some(m) = base.telemetry.metrics() {
-                        solver = solver.with_metrics(m);
-                    }
-                    // supports[j] = vectorised support at lambda_j.
-                    let mut supports = vec![Vec::new(); lambdas.len()];
-                    for i in 0..p {
-                        let yi = reg.y.col(i);
-                        let xty = gemv_t_weighted(&reg.x, &w, &yi);
-                        for (j, sol) in solver
-                            .solve_path_with_rhs(&xty, &lambdas)
-                            .into_iter()
-                            .enumerate()
-                        {
-                            for idx in support_of(&sol.beta, base.support_tol) {
-                                supports[j].push(i * dp + idx);
-                            }
-                        }
-                    }
-                    for s in &mut supports {
-                        s.sort_unstable();
-                    }
+                    let supports = var_selection_task(&prob, base, p, k);
                     if let Some(st) = &store {
                         st.save_supports("var_sel", k, &supports)?;
                     }
@@ -454,25 +650,12 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
         .check_quorum("selection", effective_b1, base.b1)?;
 
     let needed = crate::uoi_lasso::required_votes(base.intersection_frac, effective_b1);
-    let supports_per_lambda: Vec<Vec<usize>> = (0..lambdas.len())
-        .map(|j| {
-            if needed == effective_b1 {
-                let per_k: Vec<Vec<usize>> = supports_by_bootstrap
-                    .iter()
-                    .map(|sk| sk[j].clone())
-                    .collect();
-                intersect_many(&per_k)
-            } else {
-                let mut votes = vec![0usize; total_coef];
-                for sk in &supports_by_bootstrap {
-                    for &f in &sk[j] {
-                        votes[f] += 1;
-                    }
-                }
-                (0..total_coef).filter(|&f| votes[f] >= needed).collect()
-            }
-        })
-        .collect();
+    let supports_per_lambda = crate::uoi_lasso::intersect_per_lambda(
+        &supports_by_bootstrap,
+        lambdas.len(),
+        total_coef,
+        needed,
+    );
     let support_family = dedup_family(supports_per_lambda.clone());
 
     base.telemetry
@@ -490,27 +673,7 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
     // each resample builds one weighted union-Gram plus p rhs vectors and
     // every candidate is solved/scored by sub-Gram extraction, with no
     // train/eval row gathering.
-    let mut union_cols: Vec<usize> = support_family.iter().flatten().map(|&s| s % dp).collect();
-    union_cols.sort_unstable();
-    union_cols.dedup();
-    let u = union_cols.len();
-    let mut col_pos = vec![usize::MAX; dp];
-    for (a, &c) in union_cols.iter().enumerate() {
-        col_pos[c] = a;
-    }
-    let xu = reg.x.gather_cols(&union_cols);
-    let ys: Vec<Vec<f64>> = (0..p).map(|i| reg.y.col(i)).collect();
-    // family_cols[f][i] = union-space support of response column i.
-    let family_cols: Vec<Vec<Vec<usize>>> = support_family
-        .iter()
-        .map(|support| {
-            let mut per_col = vec![Vec::new(); p];
-            for &s in support {
-                per_col[s / dp].push(col_pos[s % dp]);
-            }
-            per_col
-        })
-        .collect();
+    let est_ctx = var_estimation_setup(&support_family, &prob, p);
 
     // Fold the candidate family into the estimation stage name so a
     // family change (different B1 or fault plan) invalidates the cache.
@@ -540,49 +703,7 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
                     if !reserve() {
                         return Ok(None);
                     }
-                    let mut rng = substream(base.seed, 20_000 + k as u64);
-                    let (train_rows, eval_rows) = block_bootstrap_with_oob(&mut rng, n, block_len);
-                    let n_train = train_rows.len();
-                    let w = resample_weights(&train_rows, n);
-                    let gram_u = syrk_t_weighted(&xu, &w);
-                    let xty_u: Vec<Vec<f64>> =
-                        ys.iter().map(|yi| gemv_t_weighted(&xu, &w, yi)).collect();
-
-                    let mut best: Option<(f64, Vec<f64>)> = None;
-                    for per_col in &family_cols {
-                        // Column i's union-space coefficients at i*u..(i+1)*u.
-                        let mut beta_u = vec![0.0; p * u];
-                        for (i, cols) in per_col.iter().enumerate() {
-                            if cols.is_empty() {
-                                continue;
-                            }
-                            let bi = ols_on_support_gram(&gram_u, &xty_u[i], cols, n_train);
-                            beta_u[i * u..(i + 1) * u].copy_from_slice(&bi);
-                        }
-                        let mut total = 0.0;
-                        for i in 0..p {
-                            let bi = &beta_u[i * u..(i + 1) * u];
-                            let mut sse = 0.0;
-                            for &e in &eval_rows {
-                                let d = dot(xu.row(e), bi) - ys[i][e];
-                                sse += d * d;
-                            }
-                            total += sse / eval_rows.len() as f64;
-                        }
-                        let loss = total / p as f64;
-                        if best.as_ref().is_none_or(|(l, _)| loss < *l) {
-                            best = Some((loss, beta_u));
-                        }
-                    }
-                    // Embed the winner back into vectorised coordinates.
-                    let mut full = vec![0.0; total_coef];
-                    if let Some((_, bu)) = best {
-                        for i in 0..p {
-                            for (a, &c) in union_cols.iter().enumerate() {
-                                full[i * dp + c] = bu[i * u + a];
-                            }
-                        }
-                    }
+                    let full = var_estimation_task(&est_ctx, &prob, base, p, k);
                     if let (Some(st), Some(stage)) = (&store, &est_stage) {
                         st.save_coeffs(stage, k, &full)?;
                     }
@@ -601,25 +722,7 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
     base.degradation
         .check_quorum("estimation", effective_b2, base.b2)?;
 
-    let mut vec_beta = vec![0.0; total_coef];
-    for est in &best_estimates {
-        for (b, e) in vec_beta.iter_mut().zip(est.iter()) {
-            *b += e;
-        }
-    }
-    for b in &mut vec_beta {
-        *b /= effective_b2 as f64;
-    }
-
-    let a_mats = partition_coefficients(&vec_beta, p, d);
-    // mu = (I - sum A_j) * mean.
-    let mut mu = means.clone();
-    for a in &a_mats {
-        let shift = uoi_linalg::gemv(a, &means);
-        for (m, s) in mu.iter_mut().zip(&shift) {
-            *m -= s;
-        }
-    }
+    let (vec_beta, a_mats, mu) = var_average(&best_estimates, total_coef, p, d, &means);
 
     base.telemetry
         .incr("uoi_var.estimation.bootstraps", effective_b2 as u64);
@@ -647,6 +750,7 @@ fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError>
         supports_per_lambda,
         support_family,
         degradation,
+        recovery: None,
     })
 }
 
@@ -830,6 +934,7 @@ pub(crate) fn fit_inner_materialized(series: &Matrix, cfg: &UoiVarConfig) -> Uoi
         supports_per_lambda,
         support_family,
         degradation: None,
+        recovery: None,
     }
 }
 

@@ -350,6 +350,7 @@ pub fn fit_uoi_var_dist(
             supports_per_lambda,
             support_family,
             degradation,
+            recovery: None,
         },
         kron,
     )

@@ -1,0 +1,203 @@
+//! Shrink-and-recover `UoI_VAR`: the [`crate::uoi_lasso_recovering`]
+//! execution pattern applied to Algorithm 2.
+//!
+//! Every rank builds the same [`VarProblem`] (centred regression block,
+//! block-bootstrap geometry, lambda grid) from the shared series, owns a
+//! deterministic slice of the selection/estimation bootstraps through
+//! [`TaskOwnership`], and exchanges results through checksummed window
+//! blobs. Replay (stash) and sticky reassignment make the recovered fit
+//! bit-identical to the fault-free serial fit; an exhausted round budget
+//! falls back to the degraded-mode serial fit over the survivors' tasks.
+
+use crate::error::UoiError;
+use crate::recovery::{
+    degraded_fallback_plan, exchange_blobs, push_task_record, RecoveryConfig, RecoveryReport,
+    TaskOwnership,
+};
+use crate::recovery::{decode_index_lists, encode_index_lists};
+use crate::support::dedup_family;
+use crate::uoi_lasso::{intersect_per_lambda, required_votes};
+use crate::uoi_lasso_recovering::{collect_results, lookup_stash};
+use crate::uoi_var::{
+    build_var_problem, fit_inner, validate_var_inputs, var_average, var_estimation_setup,
+    var_estimation_task, var_selection_task, UoiVarConfig, UoiVarFit,
+};
+use uoi_linalg::Matrix;
+use uoi_mpisim::{Cluster, Comm, MachineModel, RankCtx, RecoveryContext, RecoveryError};
+
+/// Fit `UoI_VAR` with shrink-and-recover execution over a simulated
+/// `rcfg.world`-rank cluster; see
+/// [`fit_uoi_lasso_recovering`](crate::uoi_lasso_recovering::fit_uoi_lasso_recovering)
+/// for the execution model.
+pub fn fit_uoi_var_recovering(
+    series: &Matrix,
+    cfg: &UoiVarConfig,
+    rcfg: &RecoveryConfig,
+) -> Result<UoiVarFit, UoiError> {
+    validate_var_inputs(series, cfg)?;
+    if rcfg.world == 0 {
+        return Err(UoiError::InvalidConfig("recovery world must be >= 1".into()));
+    }
+    if !rcfg.enabled {
+        return fit_inner(series, cfg);
+    }
+
+    let base = &cfg.base;
+    let ownership = TaskOwnership::new(rcfg.world, base.seed);
+    let mut cluster = Cluster::new(rcfg.world, MachineModel::deterministic())
+        .with_watchdog(rcfg.watchdog)
+        .with_telemetry(base.telemetry.clone());
+    if let Some(plan) = &rcfg.plan {
+        cluster = cluster.with_fault_plan(plan.clone());
+    }
+
+    let outcome = cluster.try_run_recovering(rcfg.max_rounds, |ctx, comm, rctx| {
+        var_round(ctx, comm, rctx, series, cfg, rcfg, &ownership)
+    });
+
+    match outcome {
+        Ok((report, log)) => {
+            let mut fits = report.results;
+            let mut fit = fits.swap_remove(0);
+            fit.recovery = Some(build_report(
+                &log.failed_ranks(),
+                log.rounds.len(),
+                cfg,
+                rcfg,
+                &ownership,
+                false,
+            ));
+            Ok(fit)
+        }
+        Err(RecoveryError::Exhausted { rounds, failed, .. }) => {
+            let plan = degraded_fallback_plan(&failed, &ownership, base.b1, base.b2, base.seed);
+            let mut degraded_cfg = cfg.clone();
+            degraded_cfg.base.degradation.plan = Some(plan);
+            let mut fit = fit_inner(series, &degraded_cfg)?;
+            fit.recovery = Some(build_report(&failed, rounds, cfg, rcfg, &ownership, true));
+            Ok(fit)
+        }
+        Err(RecoveryError::Fatal(sim)) => Err(UoiError::Unrecoverable(sim.to_string())),
+    }
+}
+
+fn build_report(
+    failed: &[usize],
+    rounds_attempted: usize,
+    cfg: &UoiVarConfig,
+    rcfg: &RecoveryConfig,
+    ownership: &TaskOwnership,
+    degraded_fallback: bool,
+) -> RecoveryReport {
+    let reassigned = |total: usize| -> Vec<usize> {
+        (0..total)
+            .filter(|&k| failed.contains(&ownership.owner(k, &[])))
+            .collect()
+    };
+    RecoveryReport {
+        world: rcfg.world,
+        max_rounds: rcfg.max_rounds,
+        rounds_attempted,
+        failed_ranks: failed.to_vec(),
+        reassigned_selection: reassigned(cfg.base.b1),
+        reassigned_estimation: reassigned(cfg.base.b2),
+        degraded_fallback,
+    }
+}
+
+/// One SPMD round of the recovering VAR fit.
+fn var_round(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    rctx: &RecoveryContext,
+    series: &Matrix,
+    cfg: &UoiVarConfig,
+    rcfg: &RecoveryConfig,
+    ownership: &TaskOwnership,
+) -> UoiVarFit {
+    let span = if rctx.is_recovery_round() {
+        Some(ctx.span_enter("recovery.reexec"))
+    } else {
+        None
+    };
+
+    let (_, p) = series.shape();
+    let d = cfg.order;
+    let base = &cfg.base;
+    let my_orig = rctx.original_rank(comm.rank());
+    let stash = rctx.stash();
+
+    // Replicated glue: identical problem construction on every rank.
+    let prob = build_var_problem(series, cfg);
+
+    // --- Selection ---
+    let mut sel_blob = Vec::new();
+    for k in ownership.owned_tasks(my_orig, base.b1, &rctx.failed) {
+        let key = format!("var.sel.{k}");
+        let payload = match lookup_stash(rctx, &key) {
+            Some(pl) => pl,
+            None => {
+                let supports = var_selection_task(&prob, base, p, k);
+                let payload = encode_index_lists(&supports);
+                stash.put(my_orig, &key, payload.clone());
+                payload
+            }
+        };
+        push_task_record(&mut sel_blob, k, &payload);
+    }
+    let blobs = ctx.span("recovery.exchange_sel", |ctx| {
+        exchange_blobs(ctx, comm, sel_blob, &rctx.rank_map, rcfg.get_attempts)
+    });
+    let selection: Vec<Vec<Vec<usize>>> = collect_results(&blobs, base.b1, "var selection")
+        .into_iter()
+        .map(|payload| decode_index_lists(&payload))
+        .collect();
+
+    let supports_by_bootstrap: Vec<&Vec<Vec<usize>>> = selection.iter().collect();
+    let needed = required_votes(base.intersection_frac, base.b1);
+    let supports_per_lambda = intersect_per_lambda(
+        &supports_by_bootstrap,
+        prob.lambdas.len(),
+        prob.total_coef,
+        needed,
+    );
+    let support_family = dedup_family(supports_per_lambda.clone());
+
+    // --- Estimation ---
+    let est_ctx = var_estimation_setup(&support_family, &prob, p);
+    let mut est_blob = Vec::new();
+    for k in ownership.owned_tasks(my_orig, base.b2, &rctx.failed) {
+        let key = format!("var.est.{k}");
+        let payload = match lookup_stash(rctx, &key) {
+            Some(pl) => pl,
+            None => {
+                let full = var_estimation_task(&est_ctx, &prob, base, p, k);
+                stash.put(my_orig, &key, full.clone());
+                full
+            }
+        };
+        push_task_record(&mut est_blob, k, &payload);
+    }
+    let blobs = ctx.span("recovery.exchange_est", |ctx| {
+        exchange_blobs(ctx, comm, est_blob, &rctx.rank_map, rcfg.get_attempts)
+    });
+    let estimates = collect_results(&blobs, base.b2, "var estimation");
+
+    let best_estimates: Vec<&Vec<f64>> = estimates.iter().collect();
+    let (vec_beta, a_mats, mu) = var_average(&best_estimates, prob.total_coef, p, d, &prob.means);
+
+    if let Some(id) = span {
+        ctx.span_exit(id);
+    }
+
+    UoiVarFit {
+        a_mats,
+        mu,
+        vec_beta,
+        lambdas: prob.lambdas.clone(),
+        supports_per_lambda,
+        support_family,
+        degradation: None,
+        recovery: None,
+    }
+}

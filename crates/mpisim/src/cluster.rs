@@ -6,6 +6,7 @@ use crate::fault::{AbortState, FaultPlan, MpiError};
 use crate::ledger::{CollectiveEvent, Phase, PhaseLedger};
 use crate::model::MachineModel;
 use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 use uoi_telemetry::{PhaseTotals, RunSummary, Telemetry};
@@ -50,6 +51,10 @@ pub struct SimError {
     pub failures: Vec<RankFailure>,
     /// Undelivered point-to-point messages drained after the abort.
     pub drained_messages: usize,
+    /// Ranks that declared themselves unable to progress (injected
+    /// hangs) without dying: the culprits behind otherwise-anonymous
+    /// watchdog timeouts. Sorted.
+    pub suspected: Vec<usize>,
 }
 
 impl SimError {
@@ -195,36 +200,48 @@ impl Cluster {
         T: Send,
         F: Fn(&mut RankCtx, &Comm) -> T + Sync,
     {
+        let identity: Vec<usize> = (0..self.exec_ranks).collect();
+        self.try_run_mapped(&identity, f)
+    }
+
+    /// SPMD run over a subset of the original world: thread `j` executes
+    /// as (dense) rank `j` of a `rank_map.len()`-rank world, but draws
+    /// its injected faults from the fault plan entry of *original* rank
+    /// `rank_map[j]`. `try_run` is the identity-mapped special case;
+    /// [`Cluster::try_run_recovering`] shrinks the map between rounds.
+    fn try_run_mapped<T, F>(&self, rank_map: &[usize], f: F) -> Result<SimReport<T>, SimError>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx, &Comm) -> T + Sync,
+    {
+        let exec = rank_map.len();
+        assert!(exec >= 1, "cluster run needs at least one rank");
         let events: Arc<Mutex<Vec<CollectiveEvent>>> = Arc::new(Mutex::new(Vec::new()));
         let abort = Arc::new(AbortState::new());
-        let world = Arc::new(CommInner::new(
-            self.exec_ranks,
-            events.clone(),
-            abort.clone(),
-        ));
-        let oversub = self.modeled_ranks as f64 / self.exec_ranks as f64;
+        let world = Arc::new(CommInner::new(exec, events.clone(), abort.clone()));
+        let oversub = self.modeled_ranks as f64 / exec as f64;
 
         type RankOutcome<T> = Result<(T, PhaseLedger, f64), RankFailure>;
-        let mut results: Vec<Option<RankOutcome<T>>> = (0..self.exec_ranks).map(|_| None).collect();
+        let mut results: Vec<Option<RankOutcome<T>>> = (0..exec).map(|_| None).collect();
 
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.exec_ranks);
-            for rank in 0..self.exec_ranks {
+            let mut handles = Vec::with_capacity(exec);
+            for rank in 0..exec {
                 let world = world.clone();
                 let abort = abort.clone();
                 let model = self.model.clone();
                 let f = &f;
-                let exec = self.exec_ranks;
                 let telemetry = self.telemetry.clone();
                 let faults = self
                     .fault_plan
                     .as_ref()
-                    .map(|p| p.faults_for(rank))
+                    .map(|p| p.faults_for(rank_map[rank]))
                     .unwrap_or_default();
                 let watchdog = self.watchdog;
                 handles.push(scope.spawn(move || -> RankOutcome<T> {
                     let mut ctx =
                         RankCtx::new(rank, exec, model, oversub, telemetry, faults, watchdog);
+                    ctx.set_abort(abort.clone());
                     let comm = Comm::from_inner(world, rank);
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         f(&mut ctx, &comm)
@@ -266,6 +283,7 @@ impl Cluster {
             }
         });
 
+        let suspected = abort.suspects();
         let failures: Vec<RankFailure> = results
             .iter()
             .filter_map(|r| r.as_ref().and_then(|r| r.as_ref().err().cloned()))
@@ -276,29 +294,302 @@ impl Cluster {
             return Err(SimError {
                 failures,
                 drained_messages,
+                suspected,
             });
         }
 
         let mut report = SimReport {
-            results: Vec::with_capacity(self.exec_ranks),
-            ledgers: Vec::with_capacity(self.exec_ranks),
-            clocks: Vec::with_capacity(self.exec_ranks),
+            results: Vec::with_capacity(exec),
+            ledgers: Vec::with_capacity(exec),
+            clocks: Vec::with_capacity(exec),
             events: std::mem::take(&mut *events.lock()),
-            exec_ranks: self.exec_ranks,
+            exec_ranks: exec,
             modeled_ranks: self.modeled_ranks,
         };
-        for r in results {
-            let (out, ledger, clock) = r
-                .expect("missing rank result")
-                .unwrap_or_else(|f| unreachable!("unreported failure on rank {}", f.rank));
-            report.results.push(out);
-            report.ledgers.push(ledger);
-            report.clocks.push(clock);
+        for (rank, r) in results.into_iter().enumerate() {
+            // A lost or unreported outcome is a runtime bug, not a rank
+            // fault; surface it as a typed internal error rather than an
+            // `unwrap` panic so recovery logic can refuse to retry it.
+            match r {
+                Some(Ok((out, ledger, clock))) => {
+                    report.results.push(out);
+                    report.ledgers.push(ledger);
+                    report.clocks.push(clock);
+                }
+                Some(Err(_)) | None => {
+                    self.telemetry.flush();
+                    return Err(SimError {
+                        failures: vec![RankFailure {
+                            rank,
+                            message: format!("internal: outcome for rank {rank} lost after join"),
+                            span_stack: Vec::new(),
+                            error: Some(MpiError::Internal {
+                                what: format!("missing or unreported outcome for rank {rank}"),
+                            }),
+                        }],
+                        drained_messages: world.drain_mailboxes(),
+                        suspected,
+                    });
+                }
+            }
         }
         self.telemetry.flush();
         Ok(report)
     }
+
+    /// Shrink-and-recover SPMD execution: run `f`, and when ranks fail,
+    /// agree on the culprit set, shrink the world to the survivors
+    /// (densely re-ranked), and re-run — up to `max_recovery_rounds`
+    /// re-executions. The closure receives a [`RecoveryContext`] telling
+    /// it which round it is in, which original ranks are gone, and the
+    /// dense-rank → original-rank map, plus a [`RecoveryStash`] that
+    /// persists across rounds so survivors can skip redoing work they
+    /// already completed (entries stored by newly-failed ranks are
+    /// dropped between rounds).
+    ///
+    /// Failure attribution is deterministic: the culprit set is the
+    /// union of self-declared suspects (injected hangs) and ranks that
+    /// died of their own accord (crash injections, user panics). A
+    /// failure with no attributable culprit — e.g. a pure watchdog
+    /// timeout with no suspect, or a typed internal error — is
+    /// [`RecoveryError::Fatal`]; exceeding the round budget is
+    /// [`RecoveryError::Exhausted`].
+    pub fn try_run_recovering<T, F>(
+        &self,
+        max_recovery_rounds: usize,
+        f: F,
+    ) -> Result<(SimReport<T>, RecoveryLog), RecoveryError>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx, &Comm, &RecoveryContext) -> T + Sync,
+    {
+        let stash = RecoveryStash::default();
+        let original = self.exec_ranks;
+        let mut failed: BTreeSet<usize> = BTreeSet::new();
+        let mut rounds: Vec<RecoveryRound> = Vec::new();
+        for round in 0..=max_recovery_rounds {
+            let rank_map: Vec<usize> = (0..original).filter(|r| !failed.contains(r)).collect();
+            let rctx = RecoveryContext {
+                round,
+                original_world: original,
+                rank_map: rank_map.clone(),
+                failed: failed.iter().copied().collect(),
+                stash: stash.clone(),
+            };
+            match self.try_run_mapped(&rank_map, |ctx, comm| f(ctx, comm, &rctx)) {
+                Ok(report) => {
+                    rounds.push(RecoveryRound {
+                        round,
+                        world: rank_map.len(),
+                        newly_failed: Vec::new(),
+                    });
+                    return Ok((report, RecoveryLog { rounds }));
+                }
+                Err(sim) => {
+                    let internal = sim
+                        .failures
+                        .iter()
+                        .any(|f| matches!(f.error, Some(MpiError::Internal { .. })));
+                    let culprits = culprit_ranks(&sim, rank_map.len());
+                    if internal || culprits.is_empty() {
+                        return Err(RecoveryError::Fatal(sim));
+                    }
+                    let newly: Vec<usize> = culprits.iter().map(|&nr| rank_map[nr]).collect();
+                    for &orig in &newly {
+                        failed.insert(orig);
+                        stash.drop_rank(orig);
+                    }
+                    rounds.push(RecoveryRound {
+                        round,
+                        world: rank_map.len(),
+                        newly_failed: newly,
+                    });
+                    if failed.len() >= original || round == max_recovery_rounds {
+                        return Err(RecoveryError::Exhausted {
+                            rounds: round + 1,
+                            failed: failed.iter().copied().collect(),
+                            last: sim,
+                        });
+                    }
+                }
+            }
+        }
+        unreachable!("recovery loop always returns within its round budget")
+    }
 }
+
+/// Deterministic failure attribution: self-declared suspects (injected
+/// hangs) plus ranks that died of their own accord (no structured error,
+/// i.e. crash injections and user panics). Peers' `RankFailed`
+/// observations are deliberately *not* trusted: a watchdog-timeout
+/// observer marks itself failed to wake the others, so the rank those
+/// observations name can be an innocent bystander. Returns dense-rank
+/// indices of the world the [`SimError`] came from, sorted.
+fn culprit_ranks(sim: &SimError, world: usize) -> Vec<usize> {
+    let mut culprits: BTreeSet<usize> = sim
+        .suspected
+        .iter()
+        .copied()
+        .filter(|&r| r < world)
+        .collect();
+    for failure in &sim.failures {
+        if failure.error.is_none() {
+            culprits.insert(failure.rank);
+        }
+    }
+    culprits.into_iter().collect()
+}
+
+/// What one recovering execution saw: passed to the SPMD closure each
+/// round by [`Cluster::try_run_recovering`].
+#[derive(Debug, Clone)]
+pub struct RecoveryContext {
+    /// 0 for the initial attempt, `k` for the k-th re-execution.
+    pub round: usize,
+    /// Rank count of the original (round-0) world.
+    pub original_world: usize,
+    /// Dense rank → original world rank (identity in round 0).
+    pub rank_map: Vec<usize>,
+    /// Cumulative failed original ranks, sorted.
+    pub failed: Vec<usize>,
+    stash: RecoveryStash,
+}
+
+impl RecoveryContext {
+    /// The original world rank behind dense rank `rank`.
+    pub fn original_rank(&self, rank: usize) -> usize {
+        self.rank_map[rank]
+    }
+
+    /// The cross-round stash surviving ranks persist work into.
+    pub fn stash(&self) -> &RecoveryStash {
+        &self.stash
+    }
+
+    /// True on re-execution rounds (some rank has already failed).
+    pub fn is_recovery_round(&self) -> bool {
+        self.round > 0
+    }
+}
+
+/// Stash entries keyed by (original world rank, label).
+type StashMap = HashMap<(usize, String), Vec<f64>>;
+
+/// Cross-round key-value store for [`Cluster::try_run_recovering`]:
+/// entries are keyed by (original world rank, label) so the driver can
+/// invalidate everything a newly-failed rank stored. Values are flat
+/// `f64` buffers — everything the pipelines persist (per-task results,
+/// staged data shards) serialises to one.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStash {
+    inner: Arc<Mutex<StashMap>>,
+}
+
+impl RecoveryStash {
+    /// Store `data` under `(original_rank, key)`, replacing any previous
+    /// entry.
+    pub fn put(&self, original_rank: usize, key: &str, data: Vec<f64>) {
+        self.inner.lock().insert((original_rank, key.to_string()), data);
+    }
+
+    /// Fetch a copy of the entry under `(original_rank, key)`.
+    pub fn get(&self, original_rank: usize, key: &str) -> Option<Vec<f64>> {
+        self.inner.lock().get(&(original_rank, key.to_string())).cloned()
+    }
+
+    /// Drop every entry stored by `original_rank` (driver cleanup when
+    /// the rank fails: its stashed work cannot be trusted).
+    pub fn drop_rank(&self, original_rank: usize) {
+        self.inner.lock().retain(|&(r, _), _| r != original_rank);
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the stash is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// One attempted round of a recovering execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryRound {
+    /// Round index (0 = initial attempt).
+    pub round: usize,
+    /// World size the round ran with.
+    pub world: usize,
+    /// Original ranks newly detected failed in this round (empty for
+    /// the successful final round).
+    pub newly_failed: Vec<usize>,
+}
+
+/// The recovery history of a successful [`Cluster::try_run_recovering`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryLog {
+    /// All attempted rounds, in order; the last entry is the successful
+    /// one.
+    pub rounds: Vec<RecoveryRound>,
+}
+
+impl RecoveryLog {
+    /// Number of re-execution rounds that were needed (0 = fault-free).
+    pub fn recovery_rounds(&self) -> usize {
+        self.rounds.len().saturating_sub(1)
+    }
+
+    /// All original ranks that failed over the whole execution, sorted.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let mut all: Vec<usize> = self
+            .rounds
+            .iter()
+            .flat_map(|r| r.newly_failed.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+/// Error of [`Cluster::try_run_recovering`].
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The round budget ran out with ranks still failing. Carries the
+    /// cumulative failed set so callers can fall back to degraded-mode
+    /// execution over the survivors.
+    Exhausted {
+        /// Attempts made (1 + re-executions).
+        rounds: usize,
+        /// Cumulative failed original ranks, sorted.
+        failed: Vec<usize>,
+        /// The last attempt's failure report.
+        last: SimError,
+    },
+    /// The failure could not be attributed to a specific rank (pure
+    /// watchdog timeout with no suspect) or a runtime invariant broke
+    /// (typed internal error); re-executing cannot help.
+    Fatal(SimError),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Exhausted {
+                rounds,
+                failed,
+                last,
+            } => write!(
+                f,
+                "recovery exhausted after {rounds} round(s); failed ranks {failed:?}; last: {last}"
+            ),
+            RecoveryError::Fatal(e) => write!(f, "unrecoverable failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// Render a panic payload into a message plus a structured [`MpiError`]
 /// when the payload carries one (fallible collectives escalate via

@@ -20,10 +20,10 @@ use crate::fault::{AbortState, FtBarrier, MpiError, RankFaults, WAIT_SLICE};
 use crate::ledger::{CollectiveEvent, Phase, PhaseLedger};
 use crate::model::{MachineModel, SplitMix64};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use uoi_telemetry::{Telemetry, TraceEvent};
 
 /// Outcome of consulting the fault plan for one window operation.
@@ -67,6 +67,10 @@ pub struct RankCtx {
     window_op: u64,
     /// Remaining injected transient I/O failures.
     io_faults_left: u64,
+    /// Cluster-wide abort state, installed by the cluster runner so
+    /// injected hangs can mark themselves suspect and wait for the
+    /// watchdog verdict instead of dying immediately.
+    abort: Option<Arc<AbortState>>,
 }
 
 impl RankCtx {
@@ -101,7 +105,13 @@ impl RankCtx {
             coll_step: 0,
             window_op: 0,
             io_faults_left,
+            abort: None,
         }
+    }
+
+    /// Install the cluster-wide abort handle (cluster runner only).
+    pub(crate) fn set_abort(&mut self, abort: Arc<AbortState>) {
+        self.abort = Some(abort);
     }
 
     /// This rank's id in the world communicator.
@@ -291,6 +301,26 @@ impl RankCtx {
                 self.world_rank
             ));
         }
+        if self.faults.hang_at_step == Some(step) {
+            self.record_fault("rank_hang", format!("phase={phase} step={step}"));
+            // A hung rank stops participating without dying: it declares
+            // itself suspect, waits for the cluster to notice (peers'
+            // watchdogs expire and raise the abort flag), then unwinds as
+            // a victim — RankFailed naming itself — so the recovery
+            // driver can exclude it without it ever being a root cause.
+            if let Some(abort) = self.abort.clone() {
+                abort.mark_suspect(self.world_rank);
+                let start = Instant::now();
+                let limit = self.watchdog.saturating_mul(2);
+                while !abort.is_aborted() && !abort.is_revoked() && start.elapsed() < limit {
+                    std::thread::sleep(WAIT_SLICE);
+                }
+            }
+            std::panic::panic_any(MpiError::RankFailed {
+                rank: self.world_rank,
+                phase,
+            });
+        }
     }
 
     /// Count one one-sided window op and report the injected outcome.
@@ -419,6 +449,31 @@ struct P2pMessage {
     sent_at: f64,
 }
 
+/// Scratch state for the failure-agreement collective
+/// (`MPI_Comm_agree` analogue). Deliberately separate from [`CollState`]:
+/// agreement must make progress on a communicator whose ordinary
+/// collective state is poisoned by an abort.
+#[derive(Default)]
+struct AgreeState {
+    /// Per-depositor local views of the failed-rank set.
+    views: HashMap<usize, Vec<usize>>,
+    /// The frozen agreed set, once some survivor observed every rank
+    /// accounted for (deposited, failed, or suspect).
+    result: Option<Vec<usize>>,
+    /// Survivors that have read the result (last one resets the state).
+    fetched: BTreeSet<usize>,
+}
+
+/// Scratch state for the shrink collective (`MPI_Comm_shrink` analogue).
+#[derive(Default)]
+struct ShrinkState {
+    /// The replacement communicator plus the survivor list it was built
+    /// for, created by the survivor leader.
+    ready: Option<(Arc<CommInner>, Vec<usize>)>,
+    /// Survivors that have fetched it (last one resets the state).
+    fetched: BTreeSet<usize>,
+}
+
 pub(crate) struct CommInner {
     size: usize,
     barrier: FtBarrier,
@@ -426,6 +481,10 @@ pub(crate) struct CommInner {
     /// every split derived from it.
     pub(crate) abort: Arc<AbortState>,
     coll: Mutex<CollState>,
+    /// Failure-agreement scratch (usable after an abort).
+    agree: Mutex<AgreeState>,
+    /// Shrink scratch (usable after an abort).
+    shrink: Mutex<ShrinkState>,
     /// Per-destination mailboxes for point-to-point messages.
     mailboxes: Vec<Mutex<Vec<P2pMessage>>>,
     mailbox_signal: parking_lot::Condvar,
@@ -452,6 +511,8 @@ impl CommInner {
             barrier: FtBarrier::new(size),
             abort,
             coll: Mutex::new(CollState::new(size)),
+            agree: Mutex::new(AgreeState::default()),
+            shrink: Mutex::new(ShrinkState::default()),
             mailboxes: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
             mailbox_signal: parking_lot::Condvar::new(),
             mailbox_gate: Mutex::new(()),
@@ -1052,6 +1113,9 @@ impl Comm {
                     return Ok((msg.src, msg.payload));
                 }
             }
+            if self.inner.abort.is_revoked() {
+                return Err(MpiError::Revoked { phase: "recv" });
+            }
             if self.inner.abort.is_aborted() {
                 let rank = self.inner.abort.first_failure().unwrap_or(usize::MAX);
                 return Err(MpiError::RankFailed {
@@ -1241,6 +1305,165 @@ impl Comm {
         ctx.trace_collective_wait("split", sync_start, cost);
         ctx.advance_to(sync_start + cost, Phase::Comm);
         Ok(Comm::from_inner(sub_inner, my_pos))
+    }
+
+    /// Revoke this communicator (ULFM `MPI_Comm_revoke` analogue): every
+    /// pending and future wait on it — and on every communicator sharing
+    /// its abort tree (splits inherit the parent's abort state) — fails
+    /// fast with [`MpiError::Revoked`]. Survivors then run
+    /// [`Comm::try_agree_failed`] and [`Comm::try_shrink`] to resume on
+    /// a fresh communicator.
+    pub fn revoke(&self) {
+        self.inner.abort.revoke();
+    }
+
+    /// Whether this communicator has been revoked.
+    pub fn is_revoked(&self) -> bool {
+        self.inner.abort.is_revoked()
+    }
+
+    /// Deterministic agreement on the failed-rank set (`MPI_Comm_agree`
+    /// analogue). Each survivor contributes its local view
+    /// (`known_failed`, ranks of this communicator); the call returns the
+    /// sorted union of all survivor views, the runtime's recorded
+    /// failures, and the suspect set, identically on every survivor.
+    ///
+    /// Unlike the ordinary collectives this works on an *aborted or
+    /// revoked* communicator: it uses dedicated scratch state and polls
+    /// until every rank is accounted for — deposited, recorded failed,
+    /// or suspect. SPMD discipline: every survivor must call it, at most
+    /// one agreement in flight per communicator.
+    pub fn try_agree_failed(
+        &self,
+        ctx: &mut RankCtx,
+        known_failed: &[usize],
+    ) -> Result<Vec<usize>, MpiError> {
+        let cost =
+            ctx.model.allreduce_time(self.modeled_size(ctx), self.size * 8) * ctx.noise_factor();
+        if self.single_rank() {
+            ctx.charge(Phase::Comm, cost);
+            let mut v: Vec<usize> = known_failed.iter().copied().filter(|&r| r < 1).collect();
+            v.sort_unstable();
+            v.dedup();
+            return Ok(v);
+        }
+        {
+            let mut st = self.inner.agree.lock();
+            st.views.insert(self.rank, known_failed.to_vec());
+        }
+        let start = Instant::now();
+        loop {
+            {
+                let mut st = self.inner.agree.lock();
+                if st.result.is_none() {
+                    let failed: BTreeSet<usize> =
+                        self.inner.abort.failed_ranks().into_iter().collect();
+                    let suspects: BTreeSet<usize> =
+                        self.inner.abort.suspects().into_iter().collect();
+                    let accounted = (0..self.size).all(|r| {
+                        st.views.contains_key(&r) || failed.contains(&r) || suspects.contains(&r)
+                    });
+                    if accounted {
+                        // Freeze the union so every survivor returns the
+                        // same set even if more state arrives later.
+                        let mut agreed: BTreeSet<usize> = failed;
+                        agreed.extend(suspects);
+                        for v in st.views.values() {
+                            agreed.extend(v.iter().copied());
+                        }
+                        st.result =
+                            Some(agreed.into_iter().filter(|&r| r < self.size).collect());
+                    }
+                }
+                if let Some(res) = st.result.clone() {
+                    st.fetched.insert(self.rank);
+                    let all_fetched = st.views.keys().all(|r| st.fetched.contains(r));
+                    if all_fetched {
+                        st.views.clear();
+                        st.fetched.clear();
+                        st.result = None;
+                    }
+                    drop(st);
+                    ctx.charge(Phase::Comm, cost);
+                    return Ok(res);
+                }
+            }
+            if start.elapsed() >= ctx.watchdog() {
+                return Err(MpiError::WatchdogTimeout {
+                    phase: "agree",
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            std::thread::sleep(WAIT_SLICE);
+        }
+    }
+
+    /// Rebuild a working communicator over the survivors of `failed`
+    /// (`MPI_Comm_shrink` analogue): a fresh inner state — including a
+    /// fresh, un-aborted failure flag — with survivors densely re-ranked
+    /// in ascending old-rank order. Every survivor must call it with the
+    /// same agreed `failed` set (use [`Comm::try_agree_failed`] first);
+    /// collectives on the returned communicator work normally even
+    /// though this one stays poisoned.
+    pub fn try_shrink(&self, ctx: &mut RankCtx, failed: &[usize]) -> Result<Comm, MpiError> {
+        let failed: BTreeSet<usize> = failed.iter().copied().collect();
+        let survivors: Vec<usize> = (0..self.size).filter(|r| !failed.contains(r)).collect();
+        let Some(my_pos) = survivors.iter().position(|&r| r == self.rank) else {
+            return Err(MpiError::Internal {
+                what: format!("shrink: caller rank {} is in the failed set", self.rank),
+            });
+        };
+        let cost = ctx.model.gather_time(self.modeled_size(ctx), 16) * ctx.noise_factor();
+        if survivors.len() == 1 {
+            let inner = Arc::new(CommInner::new(
+                1,
+                self.inner.events.clone(),
+                Arc::new(AbortState::new()),
+            ));
+            ctx.charge(Phase::Comm, cost);
+            return Ok(Comm::from_inner(inner, 0));
+        }
+        if my_pos == 0 {
+            let mut st = self.inner.shrink.lock();
+            if st.ready.is_none() {
+                let inner = Arc::new(CommInner::new(
+                    survivors.len(),
+                    self.inner.events.clone(),
+                    Arc::new(AbortState::new()),
+                ));
+                st.ready = Some((inner, survivors.clone()));
+            }
+        }
+        let start = Instant::now();
+        loop {
+            {
+                let mut st = self.inner.shrink.lock();
+                if let Some((inner, built_for)) = st.ready.clone() {
+                    if built_for != survivors {
+                        return Err(MpiError::Internal {
+                            what: format!(
+                                "shrink: survivor sets disagree ({built_for:?} vs {survivors:?})"
+                            ),
+                        });
+                    }
+                    st.fetched.insert(self.rank);
+                    if survivors.iter().all(|r| st.fetched.contains(r)) {
+                        st.ready = None;
+                        st.fetched.clear();
+                    }
+                    drop(st);
+                    ctx.charge(Phase::Comm, cost);
+                    return Ok(Comm::from_inner(inner, my_pos));
+                }
+            }
+            if start.elapsed() >= ctx.watchdog() {
+                return Err(MpiError::WatchdogTimeout {
+                    phase: "shrink",
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            std::thread::sleep(WAIT_SLICE);
+        }
     }
 }
 

@@ -51,6 +51,23 @@ pub enum MpiError {
         /// How long it waited, in milliseconds.
         waited_ms: u64,
     },
+    /// The communicator was revoked (ULFM `MPI_Comm_revoke` analogue):
+    /// a survivor invalidated it so every pending and future collective
+    /// on it fails fast. Recovery code agrees on the failed set and
+    /// shrinks to a fresh communicator instead of retrying on this one.
+    Revoked {
+        /// The operation the observer was blocked in when the
+        /// revocation surfaced.
+        phase: &'static str,
+    },
+    /// An internal runtime invariant was violated (lost rank result,
+    /// missing window registration, poisoned channel). Carried as a
+    /// typed error instead of a bare `unwrap()` panic so recovery
+    /// logic can distinguish runtime bugs from injected rank faults.
+    Internal {
+        /// What went wrong.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for MpiError {
@@ -61,6 +78,12 @@ impl std::fmt::Display for MpiError {
             }
             MpiError::WatchdogTimeout { phase, waited_ms } => {
                 write!(f, "watchdog timeout after {waited_ms}ms in {phase}")
+            }
+            MpiError::Revoked { phase } => {
+                write!(f, "communicator revoked while in {phase}")
+            }
+            MpiError::Internal { what } => {
+                write!(f, "internal runtime error: {what}")
             }
         }
     }
@@ -75,6 +98,12 @@ pub struct RankFaults {
     /// Panic at entry of the N-th fault-eligible collective op
     /// (0-based, counted per rank).
     pub crash_at_step: Option<u64>,
+    /// Hang (stop participating) at entry of the N-th fault-eligible
+    /// collective op: the rank marks itself suspect, waits for the
+    /// cluster abort/watchdog, then dies. Peers observe a
+    /// [`MpiError::WatchdogTimeout`]; the recovery driver identifies
+    /// the hung rank through the suspect set.
+    pub hang_at_step: Option<u64>,
     /// Multiplier applied to this rank's local compute and I/O charges
     /// (1.0 = healthy, 3.0 = three times slower).
     pub straggle_factor: f64,
@@ -93,6 +122,7 @@ impl Default for RankFaults {
     fn default() -> Self {
         Self {
             crash_at_step: None,
+            hang_at_step: None,
             straggle_factor: 1.0,
             window_drop_ops: BTreeSet::new(),
             window_corrupt_ops: BTreeSet::new(),
@@ -118,6 +148,7 @@ impl RankFaults {
 pub struct FaultPlan {
     seed: u64,
     crashes: Vec<(usize, u64)>,
+    hangs: Vec<(usize, u64)>,
     stragglers: Vec<(usize, f64)>,
     window_drops: Vec<(usize, u64)>,
     window_corrupts: Vec<(usize, u64)>,
@@ -141,6 +172,15 @@ impl FaultPlan {
     /// Crash `rank` at its `step`-th collective operation (0-based).
     pub fn crash_rank(mut self, rank: usize, step: u64) -> Self {
         self.crashes.push((rank, step));
+        self
+    }
+
+    /// Hang `rank` at its `step`-th collective operation (0-based): the
+    /// rank stops participating without dying, the straggler-timeout
+    /// failure mode. Peers see the epoch watchdog expire; the hung rank
+    /// marks itself suspect so recovery can exclude it deterministically.
+    pub fn hang_rank(mut self, rank: usize, step: u64) -> Self {
+        self.hangs.push((rank, step));
         self
     }
 
@@ -206,6 +246,7 @@ impl FaultPlan {
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
         self.crashes.is_empty()
+            && self.hangs.is_empty()
             && self.stragglers.is_empty()
             && self.window_drops.is_empty()
             && self.window_corrupts.is_empty()
@@ -219,6 +260,11 @@ impl FaultPlan {
             if r == rank {
                 // Earliest crash wins if several were scheduled.
                 out.crash_at_step = Some(out.crash_at_step.map_or(step, |s: u64| s.min(step)));
+            }
+        }
+        for &(r, step) in &self.hangs {
+            if r == rank {
+                out.hang_at_step = Some(out.hang_at_step.map_or(step, |s: u64| s.min(step)));
             }
         }
         for &(r, f) in &self.stragglers {
@@ -251,7 +297,12 @@ impl FaultPlan {
 #[derive(Debug, Default)]
 pub(crate) struct AbortState {
     aborted: AtomicBool,
+    revoked: AtomicBool,
     failed: Mutex<Vec<(usize, String)>>,
+    /// Ranks that declared themselves unable to make progress (injected
+    /// hangs) without dying outright. The recovery driver treats them
+    /// as the culprits behind otherwise-anonymous watchdog timeouts.
+    suspects: Mutex<BTreeSet<usize>>,
 }
 
 impl AbortState {
@@ -273,6 +324,32 @@ impl AbortState {
     /// The first recorded failure, if any.
     pub(crate) fn first_failure(&self) -> Option<usize> {
         self.failed.lock().first().map(|&(r, _)| r)
+    }
+
+    /// All ranks recorded as failed, in report order.
+    pub(crate) fn failed_ranks(&self) -> Vec<usize> {
+        self.failed.lock().iter().map(|&(r, _)| r).collect()
+    }
+
+    /// Declare `rank` suspect: unable to progress but not (yet) dead.
+    pub(crate) fn mark_suspect(&self, rank: usize) {
+        self.suspects.lock().insert(rank);
+    }
+
+    /// The current suspect set, sorted.
+    pub(crate) fn suspects(&self) -> Vec<usize> {
+        self.suspects.lock().iter().copied().collect()
+    }
+
+    /// Revoke the communicator tree sharing this state: every pending
+    /// and future wait fails fast with [`MpiError::Revoked`].
+    pub(crate) fn revoke(&self) {
+        self.revoked.store(true, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn is_revoked(&self) -> bool {
+        self.revoked.load(Ordering::SeqCst)
     }
 }
 
@@ -327,6 +404,10 @@ impl FtBarrier {
         loop {
             if st.generation != gen {
                 return Ok(false);
+            }
+            if abort.is_revoked() {
+                st.count = st.count.saturating_sub(1);
+                return Err(MpiError::Revoked { phase });
             }
             if abort.is_aborted() {
                 // Undo our arrival so the generation count is not left

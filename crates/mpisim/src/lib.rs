@@ -40,7 +40,10 @@ pub mod ledger;
 pub mod model;
 pub mod window;
 
-pub use cluster::{Cluster, RankFailure, SimError, SimReport, DEFAULT_WATCHDOG};
+pub use cluster::{
+    Cluster, RankFailure, RecoveryContext, RecoveryError, RecoveryLog, RecoveryRound,
+    RecoveryStash, SimError, SimReport, DEFAULT_WATCHDOG,
+};
 pub use comm::{Comm, PendingReduce, RankCtx};
 pub use extrapolate::WorkloadProfile;
 pub use fault::{FaultPlan, MpiError, RankFaults};

@@ -14,6 +14,7 @@
 //! with `P_model / n_readers` exactly as Figs 9–10 report.
 
 use crate::comm::{Comm, RankCtx, WindowFault};
+use crate::fault::MpiError;
 use crate::ledger::Phase;
 use parking_lot::{Mutex, RwLock};
 
@@ -92,13 +93,15 @@ impl Window {
             .window_seq
             .load(std::sync::atomic::Ordering::SeqCst)
             - 1;
-        let inner = comm
-            .inner
-            .windows
-            .lock()
-            .get(&key)
-            .expect("window registry missing fresh window")
-            .clone();
+        // A missing registration is a runtime invariant violation, not a
+        // rank fault: escalate a typed internal error (caught by the
+        // cluster's panic capture) instead of an anonymous `expect`.
+        let inner = match comm.inner.windows.lock().get(&key) {
+            Some(inner) => inner.clone(),
+            None => std::panic::panic_any(MpiError::Internal {
+                what: format!("window registry missing fresh window {key}"),
+            }),
+        };
         Window {
             inner,
             comm_size: size,

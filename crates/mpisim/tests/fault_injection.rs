@@ -156,6 +156,57 @@ fn window_drop_and_corrupt_faults_apply_per_op() {
     );
 }
 
+/// Two ranks crashing at the *same* collective step must both surface in
+/// the failure set, with a deterministic root cause — the lowest-ranked
+/// own-accord death — regardless of thread scheduling. Crash injection
+/// fires at collective *entry*, before any shared state is touched, so
+/// neither crash can mask the other.
+#[test]
+fn double_fault_same_step_surfaces_both_deterministically() {
+    let run = || {
+        det_cluster(6)
+            .with_fault_plan(FaultPlan::new(0).crash_rank(1, 2).crash_rank(3, 2))
+            .with_watchdog(Duration::from_secs(5))
+            .try_run(|ctx, world| {
+                for _ in 0..4 {
+                    let mut v = vec![world.rank() as f64];
+                    if world.try_allreduce_sum(ctx, &mut v).is_err() {
+                        return;
+                    }
+                }
+            })
+            .err()
+            .expect("two injected crashes must fail the run")
+    };
+    let a = run();
+    let b = run();
+    for err in [&a, &b] {
+        // Both own-accord deaths are present, ordered by rank, and both
+        // carry no structured error (they died, they did not observe).
+        let own: Vec<usize> = err
+            .failures
+            .iter()
+            .filter(|f| f.error.is_none())
+            .map(|f| f.rank)
+            .collect();
+        assert_eq!(own, vec![1, 3], "both crashed ranks surface, rank-ordered");
+        for f in &err.failures {
+            if f.error.is_none() {
+                assert!(
+                    f.message.contains("crash at collective step 2"),
+                    "crash message names the step: {}",
+                    f.message
+                );
+            }
+        }
+        // Root cause is deterministic: failures are rank-ordered, so the
+        // first own-accord death (rank 1) wins both runs.
+        assert_eq!(err.root_cause().rank, 1);
+    }
+    assert_eq!(a.root_cause().message, b.root_cause().message);
+    assert_eq!(a.failures.len(), b.failures.len());
+}
+
 /// One CI fault-matrix cell: seed and fault kind come from the
 /// environment (`FAULT_SEED`, `FAULT_KIND` in {crash, straggler,
 /// window_drop}), so the workflow can sweep the grid without recompiling.

@@ -1,0 +1,280 @@
+//! Shrink-and-recover protocol tests (ISSUE 5 tentpole, mpisim layer).
+//!
+//! Two levels are exercised:
+//!
+//! * the in-runtime ULFM-style protocol — survivors of a crashed
+//!   collective `revoke` the communicator, run the deterministic
+//!   failed-set agreement, `try_shrink` to a densely re-ranked
+//!   replacement, and resume collectives on it without deadlock;
+//! * the cluster-level driver [`Cluster::try_run_recovering`] — bounded
+//!   recovery rounds that re-execute the SPMD closure on the shrunken
+//!   world, with deterministic failure attribution (crashes by
+//!   own-accord death, stragglers by the suspect set), a cross-round
+//!   [`uoi_mpisim::RecoveryStash`], and typed exhaustion/fatal errors.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use uoi_mpisim::{Cluster, FaultPlan, MachineModel, MpiError, RecoveryError};
+
+fn det_cluster(n: usize) -> Cluster {
+    Cluster::new(n, MachineModel::deterministic())
+}
+
+/// Survivors of a mid-allreduce crash revoke, agree on the failed set,
+/// shrink to a 3-rank communicator with dense re-ranking, and complete a
+/// collective on it — all within one `try_run` whose overall result
+/// still reports the crash.
+#[test]
+fn revoke_agree_shrink_resumes_collectives() {
+    // (old rank) -> (agreed failed set, new rank, new size, allreduce sum)
+    type Out = BTreeMap<usize, (Vec<usize>, usize, usize, f64)>;
+    let out: Arc<Mutex<Out>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = out.clone();
+
+    let res = det_cluster(4)
+        .with_fault_plan(FaultPlan::new(11).crash_rank(2, 0))
+        .with_watchdog(Duration::from_secs(5))
+        .try_run(|ctx, world| {
+            let mut v = vec![world.rank() as f64 + 1.0];
+            let err = world
+                .try_allreduce_sum(ctx, &mut v)
+                .expect_err("rank 2 dies entering this collective");
+            let seen = match err {
+                MpiError::RankFailed { rank, .. } if rank < world.size() => vec![rank],
+                _ => Vec::new(),
+            };
+            // ULFM sequence: revoke -> agree -> shrink -> resume.
+            world.revoke();
+            assert!(world.is_revoked());
+            let failed = world
+                .try_agree_failed(ctx, &seen)
+                .expect("agreement must complete on survivors");
+            let sub = world
+                .try_shrink(ctx, &failed)
+                .expect("shrink must produce a working communicator");
+            let mut w = vec![1.0];
+            sub.try_allreduce_sum(ctx, &mut w)
+                .expect("collectives on the shrunken communicator must work");
+            sink.lock()
+                .unwrap()
+                .insert(world.rank(), (failed, sub.rank(), sub.size(), w[0]));
+        });
+
+    // The run as a whole still reports the crashed rank.
+    let err = res.err().expect("the crashed rank fails the run");
+    assert_eq!(err.root_cause().rank, 2);
+
+    let got = out.lock().unwrap();
+    assert_eq!(
+        got.keys().copied().collect::<Vec<_>>(),
+        vec![0, 1, 3],
+        "all three survivors complete the recovery sequence"
+    );
+    for (&old_rank, (failed, new_rank, new_size, sum)) in got.iter() {
+        assert_eq!(failed, &vec![2], "agreed failed set is exactly rank 2");
+        assert_eq!(*new_size, 3);
+        // Dense re-ranking in ascending old-rank order: 0->0, 1->1, 3->2.
+        let expect_new = if old_rank < 2 { old_rank } else { old_rank - 1 };
+        assert_eq!(*new_rank, expect_new);
+        assert_eq!(*sum, 3.0, "3-rank allreduce of ones");
+    }
+}
+
+/// A revoked communicator fails fast: a pending barrier on another
+/// thread wakes with `MpiError::Revoked` instead of blocking until the
+/// watchdog.
+#[test]
+fn revoke_wakes_pending_collectives() {
+    let report = det_cluster(3)
+        .with_watchdog(Duration::from_secs(5))
+        .run(|ctx, world| {
+            if world.rank() == 0 {
+                // Let peers park in the barrier, then revoke.
+                std::thread::sleep(Duration::from_millis(50));
+                world.revoke();
+                None
+            } else {
+                world.try_barrier(ctx).err()
+            }
+        });
+    for r in 1..3 {
+        match report.results[r] {
+            Some(MpiError::Revoked { .. }) => {}
+            ref other => panic!("rank {r} must see Revoked, got {other:?}"),
+        }
+    }
+}
+
+/// An injected hang (straggler-timeout fault) surfaces deterministically:
+/// the hung rank marks itself suspect, peers trip the watchdog, and the
+/// `SimError` carries the suspect set for attribution.
+#[test]
+fn hang_marks_suspect_and_trips_watchdog() {
+    let started = Instant::now();
+    let res = det_cluster(3)
+        .with_fault_plan(FaultPlan::new(7).hang_rank(1, 0))
+        .with_watchdog(Duration::from_millis(200))
+        .try_run(|ctx, world| {
+            let mut v = vec![1.0];
+            let _ = world.try_allreduce_sum(ctx, &mut v);
+            // Escalate so the run reports failure on timeout.
+            if let Err(e) = world.try_barrier(ctx) {
+                std::panic::panic_any(e);
+            }
+        });
+    let err = res.err().expect("a hung rank must fail the run");
+    assert_eq!(err.suspected, vec![1], "the hung rank declared itself");
+    assert!(
+        err.failures
+            .iter()
+            .any(|f| matches!(f.error, Some(MpiError::WatchdogTimeout { .. }))),
+        "peers observe the hang as a watchdog timeout"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "hang resolution is watchdog-bounded"
+    );
+}
+
+/// The recovery driver re-executes after a crash: round 0 loses rank 2,
+/// round 1 runs the closure on the shrunken 3-rank world and succeeds.
+/// The stash persists surviving ranks' entries and drops the dead
+/// rank's.
+#[test]
+fn try_run_recovering_recovers_from_crash() {
+    let (report, log) = det_cluster(4)
+        .with_fault_plan(FaultPlan::new(5).crash_rank(2, 1))
+        .with_watchdog(Duration::from_secs(5))
+        .try_run_recovering(2, |ctx, world, rctx| {
+            let orig = rctx.original_rank(world.rank());
+            rctx.stash().put(orig, "mark", vec![orig as f64]);
+            let mut v = vec![orig as f64 + 1.0];
+            world.allreduce_sum(ctx, &mut v); // step 0: everyone survives
+            let mut w = vec![orig as f64 + 1.0];
+            world.allreduce_sum(ctx, &mut w); // step 1: rank 2 dies (round 0)
+            if rctx.is_recovery_round() {
+                // Survivors' round-0 stash entries persist; the failed
+                // rank's were dropped by the driver.
+                assert!(rctx.stash().get(0, "mark").is_some());
+                assert!(rctx.stash().get(2, "mark").is_none());
+                assert_eq!(rctx.failed, vec![2]);
+            }
+            w[0]
+        })
+        .expect("one crash within a 2-round budget must recover");
+
+    assert_eq!(log.rounds.len(), 2, "one failed round plus one success");
+    assert_eq!(log.rounds[0].world, 4);
+    assert_eq!(log.rounds[0].newly_failed, vec![2]);
+    assert_eq!(log.rounds[1].world, 3);
+    assert!(log.rounds[1].newly_failed.is_empty());
+    assert_eq!(log.recovery_rounds(), 1);
+    assert_eq!(log.failed_ranks(), vec![2]);
+    // Survivors 0, 1, 3: sum of (orig + 1) = 1 + 2 + 4 = 7.
+    assert_eq!(report.results, vec![7.0, 7.0, 7.0]);
+}
+
+/// Straggler-timeout recovery: the hung rank is attributed through the
+/// suspect set and excluded; the re-execution completes.
+#[test]
+fn try_run_recovering_recovers_from_hang() {
+    let (report, log) = det_cluster(4)
+        .with_fault_plan(FaultPlan::new(9).hang_rank(1, 0))
+        .with_watchdog(Duration::from_millis(250))
+        .try_run_recovering(1, |ctx, world, rctx| {
+            let orig = rctx.original_rank(world.rank());
+            let mut v = vec![orig as f64];
+            world.allreduce_sum(ctx, &mut v);
+            v[0]
+        })
+        .expect("a hang must be attributed and recovered");
+    assert_eq!(log.failed_ranks(), vec![1]);
+    assert_eq!(log.rounds[0].newly_failed, vec![1]);
+    // Survivors 0, 2, 3: sum of originals = 5.
+    assert_eq!(report.results, vec![5.0, 5.0, 5.0]);
+}
+
+/// `max_recovery_rounds = 0` never re-executes: the first failure comes
+/// back as typed exhaustion carrying the failed set, so callers can fall
+/// back to degraded mode.
+#[test]
+fn try_run_recovering_zero_rounds_exhausts() {
+    let err = det_cluster(4)
+        .with_fault_plan(FaultPlan::new(5).crash_rank(2, 0))
+        .with_watchdog(Duration::from_secs(5))
+        .try_run_recovering(0, |ctx, world, _rctx| {
+            let mut v = vec![1.0];
+            world.allreduce_sum(ctx, &mut v);
+            v[0]
+        })
+        .err()
+        .expect("zero rounds cannot absorb a crash");
+    match err {
+        RecoveryError::Exhausted {
+            rounds,
+            failed,
+            last,
+        } => {
+            assert_eq!(rounds, 1);
+            assert_eq!(failed, vec![2]);
+            assert_eq!(last.root_cause().rank, 2);
+        }
+        other => panic!("expected Exhausted, got {other}"),
+    }
+}
+
+/// A failure with no attributable culprit (pure SPMD mismatch: a rank
+/// leaves the program early, the peer times out, nobody is suspect) is
+/// fatal — re-executing the same program cannot help.
+#[test]
+fn try_run_recovering_unattributable_failure_is_fatal() {
+    let err = det_cluster(2)
+        .with_watchdog(Duration::from_millis(150))
+        .try_run_recovering(3, |ctx, world, _rctx| {
+            if world.rank() == 1 {
+                return 0.0; // Protocol mismatch: skips the collective.
+            }
+            let mut v = vec![1.0];
+            if let Err(e) = world.try_allreduce_sum(ctx, &mut v) {
+                std::panic::panic_any(e);
+            }
+            v[0]
+        })
+        .err()
+        .expect("an unattributable failure must not be retried");
+    match err {
+        RecoveryError::Fatal(sim) => {
+            assert!(sim
+                .failures
+                .iter()
+                .all(|f| matches!(f.error, Some(MpiError::WatchdogTimeout { .. }))));
+            assert!(sim.suspected.is_empty());
+        }
+        other => panic!("expected Fatal, got {other}"),
+    }
+}
+
+/// Two sequential faults within the budget: each round loses one more
+/// rank, and the third round's two survivors finish the job.
+#[test]
+fn try_run_recovering_handles_sequential_faults() {
+    let (report, log) = det_cluster(4)
+        .with_fault_plan(FaultPlan::new(3).crash_rank(3, 0).crash_rank(1, 1))
+        .with_watchdog(Duration::from_secs(5))
+        .try_run_recovering(2, |ctx, world, rctx| {
+            let orig = rctx.original_rank(world.rank());
+            let mut v = vec![orig as f64];
+            world.allreduce_sum(ctx, &mut v); // step 0: rank 3 dies (round 0)
+            let mut w = vec![orig as f64];
+            world.allreduce_sum(ctx, &mut w); // step 1: rank 1 dies (round 1)
+            w[0]
+        })
+        .expect("two sequential crashes fit in a 2-round budget");
+    assert_eq!(log.rounds.len(), 3);
+    assert_eq!(log.rounds[0].newly_failed, vec![3]);
+    assert_eq!(log.rounds[1].newly_failed, vec![1]);
+    assert_eq!(log.failed_ranks(), vec![1, 3]);
+    // Survivors 0 and 2: 0 + 2 = 2.
+    assert_eq!(report.results, vec![2.0, 2.0]);
+}

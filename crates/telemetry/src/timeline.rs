@@ -56,6 +56,9 @@ pub enum PipelinePhase {
     Scoring,
     /// Checkpoint writes and resume reads.
     Checkpoint,
+    /// Shrink-and-recover execution: failed-set agreement, communicator
+    /// rebuild, re-striping, and task re-execution after a rank failure.
+    Recovery,
     /// Anything not under a tagged span (setup, centring, barriers
     /// between stages).
     Other,
@@ -63,7 +66,7 @@ pub enum PipelinePhase {
 
 impl PipelinePhase {
     /// Every taxonomy phase, in report order.
-    pub const ALL: [PipelinePhase; 9] = [
+    pub const ALL: [PipelinePhase; 10] = [
         PipelinePhase::ReadT1,
         PipelinePhase::ShuffleT2,
         PipelinePhase::GramBuild,
@@ -72,6 +75,7 @@ impl PipelinePhase {
         PipelinePhase::OlsEstimation,
         PipelinePhase::Scoring,
         PipelinePhase::Checkpoint,
+        PipelinePhase::Recovery,
         PipelinePhase::Other,
     ];
 
@@ -86,6 +90,7 @@ impl PipelinePhase {
             PipelinePhase::OlsEstimation => "ols_estimation",
             PipelinePhase::Scoring => "scoring",
             PipelinePhase::Checkpoint => "checkpoint",
+            PipelinePhase::Recovery => "recovery",
             PipelinePhase::Other => "other",
         }
     }
@@ -141,6 +146,7 @@ fn span_tag(name: &str) -> Option<SpanTag> {
         "ols_estimation" => Some(SpanTag::Direct(PipelinePhase::OlsEstimation)),
         "scoring" => Some(SpanTag::Direct(PipelinePhase::Scoring)),
         "checkpoint" => Some(SpanTag::Direct(PipelinePhase::Checkpoint)),
+        "recovery" => Some(SpanTag::Direct(PipelinePhase::Recovery)),
         "admm" | "admm_dist" => Some(SpanTag::Admm),
         _ => None,
     }
@@ -448,6 +454,30 @@ mod tests {
         assert_eq!(
             classify(&s(&["scoring:eval"]), LedgerKind::Compute),
             PipelinePhase::Scoring
+        );
+    }
+
+    #[test]
+    fn recovery_spans_classify_to_recovery() {
+        // The shrink-and-recover instrumentation names: agreement,
+        // communicator rebuild, re-striping, and task re-execution.
+        for name in [
+            "recovery.agree",
+            "recovery.shrink",
+            "recovery.restripe",
+            "recovery.reexec",
+        ] {
+            assert_eq!(
+                classify(&s(&[name]), LedgerKind::Comm),
+                PipelinePhase::Recovery,
+                "{name} must tag the recovery phase"
+            );
+        }
+        // An inner tagged span (the Tier-1 re-read inside recovery)
+        // still wins, as for every other phase.
+        assert_eq!(
+            classify(&s(&["recovery.restripe", "read_t1.hyperslab"]), LedgerKind::Io),
+            PipelinePhase::ReadT1
         );
     }
 

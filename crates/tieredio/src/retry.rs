@@ -3,7 +3,10 @@
 //! At thousands of concurrent reader ranks against a parallel filesystem,
 //! transient read failures (interrupted syscalls, busy OSTs) are routine.
 //! Tier-1 hyperslab reads therefore retry *transient* errors with bounded
-//! exponential backoff — charged to the rank's virtual Data I/O time —
+//! exponential backoff — charged to the rank's virtual Data I/O time and
+//! decorrelated by a deterministic seeded jitter (see
+//! [`RetryPolicy::jittered_backoff_s`]) so thundering-herd retries spread
+//! out without sacrificing rerun reproducibility —
 //! while *permanent* errors (truncated files, bad magic, out-of-bounds
 //! hyperslabs) surface immediately; see [`ShfError::is_transient`].
 //!
@@ -13,7 +16,11 @@
 
 use crate::shf::{ShfDataset, ShfError};
 use uoi_linalg::Matrix;
-use uoi_mpisim::RankCtx;
+use uoi_mpisim::{RankCtx, SplitMix64};
+
+/// Default seed for [`RetryPolicy::jitter_seed`]; any fixed value works —
+/// only determinism matters, not the value itself.
+pub const DEFAULT_JITTER_SEED: u64 = 0x5EED_BA5E_B007_57A9;
 
 /// Bounded exponential backoff for transient read failures.
 #[derive(Debug, Clone)]
@@ -24,6 +31,15 @@ pub struct RetryPolicy {
     pub base_backoff_s: f64,
     /// Backoff growth factor per retry.
     pub multiplier: f64,
+    /// Fractional decorrelation jitter: each backoff is inflated by a
+    /// deterministic factor in `[1, 1 + jitter_frac)` so a fleet of
+    /// ranks that hit the same busy OST do not retry in lock-step.
+    /// Zero disables jitter.
+    pub jitter_frac: f64,
+    /// Seed of the jitter stream (see [`RetryPolicy::jittered_backoff_s`]
+    /// for the exact derivation). Same seed + same read -> same backoff,
+    /// which keeps virtual-time ledgers bit-identical across reruns.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -32,14 +48,54 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base_backoff_s: 1e-3,
             multiplier: 2.0,
+            jitter_frac: 0.25,
+            jitter_seed: DEFAULT_JITTER_SEED,
         }
     }
 }
 
 impl RetryPolicy {
-    /// Backoff charged before retry number `attempt` (0-based).
+    /// Un-jittered backoff before retry number `attempt` (0-based).
     pub fn backoff_s(&self, attempt: u32) -> f64 {
         self.base_backoff_s * self.multiplier.powi(attempt as i32)
+    }
+
+    /// Deterministic jittered backoff before retry number `attempt` of a
+    /// read of `[row_start, row_end)` issued by world rank `rank`.
+    ///
+    /// Seed derivation (documented so callers can reproduce the charge
+    /// exactly): a fresh [`SplitMix64`] stream is keyed by
+    ///
+    /// ```text
+    /// jitter_seed
+    ///   ^ rank      * 0x9E37_79B9_7F4A_7C15   (golden-ratio odd const)
+    ///   ^ row_start * 0xBF58_476D_1CE4_E5B9   (SplitMix64 mix const 1)
+    ///   ^ row_end   * 0x94D0_49BB_1331_11EB   (SplitMix64 mix const 2)
+    ///   ^ attempt                              (retry ordinal, 0-based)
+    /// ```
+    ///
+    /// (all multiplications wrapping) and its first `next_f64()` draw `u ∈
+    /// [0, 1)` scales the exponential backoff by `1 + jitter_frac * u`.
+    /// The derivation depends only on the policy seed and the identity of
+    /// the read, never on wall-clock state, so reruns charge identical
+    /// virtual I/O time.
+    pub fn jittered_backoff_s(
+        &self,
+        attempt: u32,
+        rank: usize,
+        row_start: usize,
+        row_end: usize,
+    ) -> f64 {
+        if self.jitter_frac == 0.0 {
+            return self.backoff_s(attempt);
+        }
+        let key = self.jitter_seed
+            ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (row_start as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ (row_end as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
+            ^ u64::from(attempt);
+        let u = SplitMix64::new(key).next_f64();
+        self.backoff_s(attempt) * (1.0 + self.jitter_frac * u)
     }
 }
 
@@ -75,7 +131,12 @@ pub fn read_rows_retrying(
                         attempt + 1
                     ),
                 );
-                ctx.charge_io(policy.backoff_s(attempt));
+                ctx.charge_io(policy.jittered_backoff_s(
+                    attempt,
+                    ctx.world_rank(),
+                    row_start,
+                    row_end,
+                ));
                 attempt += 1;
             }
             Err(e) => return Err(e),
@@ -106,6 +167,34 @@ mod tests {
     }
 
     #[test]
+    fn jitter_is_deterministic_bounded_and_keyed() {
+        let p = RetryPolicy::default();
+        for attempt in 0..3 {
+            let base = p.backoff_s(attempt);
+            let j = p.jittered_backoff_s(attempt, 1, 2, 9);
+            // Bounded in [base, base * (1 + jitter_frac)).
+            assert!(j >= base, "jitter must not shrink the backoff");
+            assert!(j < base * (1.0 + p.jitter_frac));
+            // Deterministic: same key, same draw, bit-identical.
+            assert_eq!(
+                j.to_bits(),
+                p.jittered_backoff_s(attempt, 1, 2, 9).to_bits()
+            );
+        }
+        // Keyed on the read identity: a different rank decorrelates.
+        assert_ne!(
+            p.jittered_backoff_s(0, 1, 2, 9).to_bits(),
+            p.jittered_backoff_s(0, 3, 2, 9).to_bits()
+        );
+        // jitter_frac = 0 reproduces the bare exponential schedule.
+        let bare = RetryPolicy {
+            jitter_frac: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(bare.jittered_backoff_s(2, 5, 0, 7), bare.backoff_s(2));
+    }
+
+    #[test]
     fn injected_transients_are_retried_to_success() {
         let src = Matrix::from_fn(12, 3, |i, j| (i * 3 + j) as f64);
         let path = temp_file("transient", &src);
@@ -122,8 +211,17 @@ mod tests {
             });
         let (m, io_time) = &report.results[0];
         assert_eq!(*m, src.rows_range(2, 9));
-        // Two backoffs charged: 1e-3 + 2e-3.
-        assert!((io_time - 3e-3).abs() < 1e-12, "backoff io time {io_time}");
+        // Two jittered backoffs charged, reproducible from the documented
+        // derivation: attempts 0 and 1 of rank 0's read of rows 2..9.
+        let p = RetryPolicy::default();
+        let expected = p.jittered_backoff_s(0, 0, 2, 9) + p.jittered_backoff_s(1, 0, 2, 9);
+        assert!(
+            (io_time - expected).abs() < 1e-15,
+            "backoff io time {io_time} != derived {expected}"
+        );
+        // Sanity: jitter inflates the bare 1e-3 + 2e-3 schedule by at most
+        // the configured fraction.
+        assert!(*io_time >= 3e-3 && *io_time < 3e-3 * (1.0 + p.jitter_frac));
         std::fs::remove_file(&path).ok();
     }
 

@@ -89,8 +89,9 @@ pub use uoi_tieredio as tieredio;
 /// run reports).
 pub mod prelude {
     pub use uoi_core::{
-        fit_uoi_lasso, fit_uoi_lasso_dist, fit_uoi_var, fit_uoi_var_dist, try_fit_uoi_lasso,
-        try_fit_uoi_var, ParallelLayout, SelectionCounts, UoiError, UoiLassoConfig,
+        fit_uoi_lasso, fit_uoi_lasso_dist, fit_uoi_lasso_recovering, fit_uoi_var,
+        fit_uoi_var_dist, fit_uoi_var_recovering, try_fit_uoi_lasso, try_fit_uoi_var,
+        ParallelLayout, RecoveryConfig, SelectionCounts, UoiError, UoiLassoConfig,
         UoiLassoConfigBuilder, UoiVarConfig, UoiVarConfigBuilder, UoiVarDistConfig,
     };
     pub use uoi_data::{FinanceConfig, LinearConfig, NeuroConfig, VarConfig, VarProcess};
