@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use uoi_linalg::{gemm, gemv, gemv_t, syrk_t, Cholesky, CsrMatrix, IdentityKron, Matrix};
+use uoi_linalg::{gemm, gemv, gemv_t, kernels, syrk_t, Cholesky, CsrMatrix, IdentityKron, Matrix};
 
 fn matrix(n: usize, p: usize, seed: usize) -> Matrix {
     Matrix::from_fn(n, p, |i, j| {
@@ -80,9 +80,90 @@ fn bench_sparse(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_inner_kernels(c: &mut Criterion) {
+    // The ADMM inner-loop primitives from `uoi_linalg::kernels`: these are
+    // the hot loops the `admm_local` phase spends its modeled time in.
+    let mut g = c.benchmark_group("inner_kernels");
+    for &n in &[256usize, 4096] {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).cos()).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("dot", n), &n, |bench, _| {
+            bench.iter(|| kernels::dot(black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("axpy", n), &n, |bench, _| {
+            let mut y = b.clone();
+            bench.iter(|| kernels::axpy(black_box(1.7), black_box(&a), black_box(&mut y)))
+        });
+        g.bench_with_input(BenchmarkId::new("soft_threshold", n), &n, |bench, _| {
+            let mut out = vec![0.0; n];
+            bench.iter(|| kernels::soft_threshold(black_box(&a), black_box(0.4), &mut out))
+        });
+    }
+    g.finish();
+}
+
+fn bench_symv(c: &mut Criterion) {
+    // Blocked symmetric matvec of the x-update vs the general gemv it
+    // replaces — the win is halved memory traffic on the Gram matrix.
+    let mut g = c.benchmark_group("symv");
+    for &p in &[128usize, 512] {
+        let x = matrix(2 * p, p, 9);
+        let gram = syrk_t(&x);
+        let v: Vec<f64> = (0..p).map(|i| (i as f64 * 0.29).sin()).collect();
+        g.throughput(Throughput::Elements((p * p) as u64));
+        g.bench_with_input(BenchmarkId::new("symv", p), &p, |b, _| {
+            let mut out = vec![0.0; p];
+            b.iter(|| kernels::symv(black_box(&gram), black_box(&v), &mut out))
+        });
+        g.bench_with_input(BenchmarkId::new("gemv", p), &p, |b, _| {
+            b.iter(|| gemv(black_box(&gram), black_box(&v)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_multi_rhs_solve(c: &mut Criterion) {
+    // Fused multi-RHS triangular solves over one shared Cholesky factor
+    // (the multi-lambda lockstep round) vs one substitution per RHS.
+    let mut g = c.benchmark_group("multi_rhs_solve");
+    for &(p, nrhs) in &[(64usize, 8usize), (128, 16), (256, 33)] {
+        let x = matrix(2 * p, p, 11);
+        let mut gram = syrk_t(&x);
+        for i in 0..p {
+            gram[(i, i)] += 1.0;
+        }
+        let ch = Cholesky::factor(&gram).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..nrhs)
+            .map(|k| (0..p).map(|i| ((i + k) as f64 * 0.19).sin()).collect())
+            .collect();
+        g.throughput(Throughput::Elements((p * p * nrhs) as u64));
+        let id = format!("{p}x{nrhs}");
+        g.bench_with_input(BenchmarkId::new("fused", &id), &p, |b, _| {
+            b.iter(|| {
+                let mut work = rhs.clone();
+                let mut cols: Vec<&mut [f64]> = work.iter_mut().map(|c| c.as_mut_slice()).collect();
+                ch.solve_multi_in_place(black_box(&mut cols));
+                work
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("per_rhs", &id), &p, |b, _| {
+            b.iter(|| {
+                let mut work = rhs.clone();
+                for col in &mut work {
+                    ch.solve_in_place(black_box(col));
+                }
+                work
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_gemm, bench_gemv, bench_cholesky, bench_sparse
+    targets = bench_gemm, bench_gemv, bench_cholesky, bench_sparse,
+        bench_inner_kernels, bench_symv, bench_multi_rhs_solve
 }
 criterion_main!(kernels);

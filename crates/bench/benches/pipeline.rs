@@ -2,6 +2,10 @@
 //! serial `UoI_LASSO` and `UoI_VAR` fits, the VAR lag-matrix build, the
 //! SHF hyperslab read, and the simulated cluster's collective round-trip.
 
+// Pins the deprecated free-function fit surface deliberately; new code
+// uses `UoiFitter`/`UoiVarFitter` (see crates/core/src/fitter.rs).
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use uoi_core::uoi_lasso::{fit_uoi_lasso, UoiLassoConfig};

@@ -13,9 +13,8 @@
 use uoi_bench::setups::machine;
 use uoi_bench::{emit_run_report, quick_mode, BenchTrace, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
-use uoi_core::uoi_var::{fit_uoi_var, UoiVarConfig};
-use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
-use uoi_core::ParallelLayout;
+use uoi_core::uoi_var::UoiVarConfig;
+use uoi_core::{DistOptions, ExecMode, ParallelLayout, UoiVarFitter};
 use uoi_data::{VarConfig, VarProcess};
 use uoi_mpisim::{Cluster, Phase};
 use uoi_solvers::AdmmConfig;
@@ -55,22 +54,24 @@ fn main() {
 
     // Communication-avoiding path (serial column decomposition).
     let t0 = std::time::Instant::now();
-    let ca_fit = fit_uoi_var(&series, &var_cfg);
+    let ca_fit = UoiVarFitter::new(var_cfg.clone())
+        .fit(&series)
+        .expect("serial VAR fit");
     let ca_wall = t0.elapsed().as_secs_f64();
 
     // Distributed-Kronecker path on a simulated partition.
-    let cfg = UoiVarDistConfig {
-        var: var_cfg.clone(),
-        n_readers: 4,
-        layout: ParallelLayout::admm_only(),
-    };
+    let fitter = UoiVarFitter::new(var_cfg).mode(ExecMode::Dist(
+        DistOptions::default()
+            .layout(ParallelLayout::admm_only())
+            .n_readers(4),
+    ));
     let series2 = series.clone();
     let trace = BenchTrace::from_env("ablation_comm_avoiding");
     let report = Cluster::new(8, machine())
         .modeled_ranks(1024)
         .with_telemetry(trace.telemetry())
         .run(move |ctx, world| {
-            let (fit, kron) = fit_uoi_var_dist(ctx, world, &series2, &cfg);
+            let (fit, kron) = fitter.fit_on(ctx, world, &series2);
             (fit, kron.kron_seconds, ctx.ledger())
         });
     let (dist_fit, kron, ledger) = &report.results[0];

@@ -6,8 +6,8 @@
 
 use std::sync::Arc;
 use uoi_bench::{emit_run_report, quick_mode, Table};
-use uoi_core::uoi_lasso::{fit_uoi_lasso, UoiLassoConfig};
-use uoi_core::SelectionCounts;
+use uoi_core::uoi_lasso::UoiLassoConfig;
+use uoi_core::{SelectionCounts, UoiFitter};
 use uoi_data::LinearConfig;
 use uoi_solvers::{lasso_cd, support_of, CdConfig};
 use uoi_telemetry::{MetricsRegistry, Telemetry};
@@ -42,20 +42,18 @@ fn main() {
         }
         .generate();
         for (row, &frac) in rows.iter_mut().zip(&fracs) {
-            let fit = fit_uoi_lasso(
-                &ds.x,
-                &ds.y,
-                &UoiLassoConfig {
-                    b1: 12,
-                    b2: 10,
-                    q: 16,
-                    lambda_min_ratio: 2e-2,
-                    intersection_frac: frac,
-                    seed: trial as u64,
-                    telemetry: Telemetry::with_metrics(metrics.clone()),
-                    ..Default::default()
-                },
-            );
+            let fit = UoiFitter::new(UoiLassoConfig {
+                b1: 12,
+                b2: 10,
+                q: 16,
+                lambda_min_ratio: 2e-2,
+                intersection_frac: frac,
+                seed: trial as u64,
+                telemetry: Telemetry::with_metrics(metrics.clone()),
+                ..Default::default()
+            })
+            .fit(&ds.x, &ds.y)
+            .expect("UoI_LASSO fit");
             let c = SelectionCounts::compare(&fit.support, &ds.support_true, p);
             row.1 += c.false_positives as f64;
             row.2 += c.false_negatives as f64;

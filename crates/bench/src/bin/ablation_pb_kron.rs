@@ -11,8 +11,7 @@ use uoi_bench::setups::machine;
 use uoi_bench::{emit_run_report, quick_mode, BenchTrace, RunSummary, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::UoiVarConfig;
-use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
-use uoi_core::ParallelLayout;
+use uoi_core::{DistOptions, ExecMode, ParallelLayout, UoiVarFitter};
 use uoi_data::{VarConfig, VarProcess};
 use uoi_mpisim::Cluster;
 use uoi_solvers::AdmmConfig;
@@ -23,27 +22,28 @@ fn run_case(
     n_readers: usize,
     b: usize,
 ) -> (f64, f64, RunSummary, BenchTrace) {
-    let cfg = UoiVarDistConfig {
-        var: UoiVarConfig {
-            order: 1,
-            block_len: None,
-            base: UoiLassoConfig {
-                b1: b,
-                b2: b / 2,
-                q: 4,
-                lambda_min_ratio: 5e-2,
-                admm: AdmmConfig {
-                    max_iter: 200,
-                    ..Default::default()
-                },
-                support_tol: 1e-6,
-                seed: 83,
+    let var_cfg = UoiVarConfig {
+        order: 1,
+        block_len: None,
+        base: UoiLassoConfig {
+            b1: b,
+            b2: b / 2,
+            q: 4,
+            lambda_min_ratio: 5e-2,
+            admm: AdmmConfig {
+                max_iter: 200,
                 ..Default::default()
             },
+            support_tol: 1e-6,
+            seed: 83,
+            ..Default::default()
         },
-        n_readers,
-        layout: ParallelLayout { p_b, p_lambda: 1 },
     };
+    let fitter = UoiVarFitter::new(var_cfg).mode(ExecMode::Dist(
+        DistOptions::default()
+            .layout(ParallelLayout { p_b, p_lambda: 1 })
+            .n_readers(n_readers),
+    ));
     let series = series.clone();
     // Separate trace per sweep point: virtual clocks restart at zero
     // for every cluster, so merged timelines would overlap.
@@ -52,7 +52,7 @@ fn run_case(
         .modeled_ranks(8 * 512)
         .with_telemetry(trace.telemetry())
         .run(move |ctx, world| {
-            let (_, kron) = fit_uoi_var_dist(ctx, world, &series, &cfg);
+            let (_, kron) = fitter.fit_on(ctx, world, &series);
             (kron.kron_seconds, ctx.clock())
         });
     let kron = report.results.iter().map(|&(k, _)| k).fold(0.0, f64::max);

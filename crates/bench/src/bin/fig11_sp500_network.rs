@@ -12,8 +12,8 @@
 use std::sync::Arc;
 use uoi_bench::{emit_run_report, quick_mode, save_artifact, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
-use uoi_core::uoi_var::{fit_uoi_var, UoiVarConfig};
-use uoi_core::SelectionCounts;
+use uoi_core::uoi_var::UoiVarConfig;
+use uoi_core::{SelectionCounts, UoiVarFitter};
 use uoi_data::preprocess::{aggregate_last, first_differences};
 use uoi_data::{FinanceConfig, DAYS_PER_WEEK};
 use uoi_solvers::AdmmConfig;
@@ -59,7 +59,7 @@ fn main() {
             ..Default::default()
         },
     };
-    let fit = fit_uoi_var(&diffs, &cfg);
+    let fit = UoiVarFitter::new(cfg).fit(&diffs).expect("UoI_VAR fit");
     let net = fit.network(0.0);
 
     let mut t = Table::new(

@@ -11,11 +11,10 @@ use uoi_bench::setups::{machine, single_node};
 use uoi_bench::{
     emit_run_report, exec_ranks, fmt_bytes, quick_mode, scale_divisor, BenchTrace, Table,
 };
-use uoi_core::uoi_lasso_dist::fit_uoi_lasso_dist;
-use uoi_core::{ParallelLayout, UoiLassoConfig};
+use uoi_core::{DistOptions, ExecMode, ParallelLayout, UoiFitter, UoiLassoConfig};
 use uoi_data::LinearConfig;
 use uoi_mpisim::{Cluster, Phase};
-use uoi_solvers::AdmmConfig;
+use uoi_solvers::{AdmmConfig, PathSchedule};
 
 fn main() {
     let point = single_node();
@@ -44,6 +43,15 @@ fn main() {
     }
     .generate();
 
+    // In-rank ADMM workers over the lambda path: UOI_THREADS overrides,
+    // and any multi-threaded run switches to the fused lockstep schedule
+    // so adjacent lambdas share one factorisation per round.
+    let threads = AdmmConfig::env_threads(4);
+    let schedule = if threads > 1 {
+        PathSchedule::Fused
+    } else {
+        PathSchedule::Sequential
+    };
     let cfg = UoiLassoConfig {
         b1: 5,
         b2: 5,
@@ -51,6 +59,8 @@ fn main() {
         lambda_min_ratio: 5e-2,
         admm: AdmmConfig {
             max_iter: 150,
+            threads,
+            schedule,
             ..Default::default()
         },
         support_tol: 1e-6,
@@ -73,7 +83,10 @@ fn main() {
                     .parallel_read_time(world.modeled_size(ctx), paper_bytes);
                 ctx.charge_io(t_read);
             });
-            let fit = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg, ParallelLayout::admm_only());
+            let fitter = UoiFitter::new(cfg.clone()).mode(ExecMode::Dist(
+                DistOptions::default().layout(ParallelLayout::admm_only()),
+            ));
+            let fit = fitter.fit_on(ctx, world, &x, &y);
             ctx.span("checkpoint.save", |ctx| {
                 let t_save = ctx
                     .model()
@@ -103,6 +116,8 @@ fn main() {
         &trace.annotate(
             t.run_report("fig2_lasso_single_node")
                 .param("modeled_cores", point.cores)
+                .param("threads", threads)
+                .param("admm_schedule", format!("{schedule:?}"))
                 .with_summary(report.run_summary()),
         ),
     );

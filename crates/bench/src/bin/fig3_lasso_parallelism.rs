@@ -10,8 +10,7 @@
 
 use uoi_bench::setups::{machine, LASSO_FEATURES};
 use uoi_bench::{emit_run_report, fmt_bytes, quick_mode, BenchTrace, Table};
-use uoi_core::uoi_lasso_dist::fit_uoi_lasso_dist;
-use uoi_core::{ParallelLayout, UoiLassoConfig};
+use uoi_core::{DistOptions, ExecMode, ParallelLayout, UoiFitter, UoiLassoConfig};
 use uoi_data::LinearConfig;
 use uoi_mpisim::{Cluster, Phase};
 use uoi_solvers::AdmmConfig;
@@ -81,7 +80,9 @@ fn main() {
                 .modeled_ranks(cores)
                 .with_telemetry(trace.telemetry())
                 .run(move |ctx, world| {
-                    let _ = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg, layout);
+                    let fitter = UoiFitter::new(cfg.clone())
+                        .mode(ExecMode::Dist(DistOptions::default().layout(layout)));
+                    let _ = fitter.fit_on(ctx, world, &x, &y);
                     ctx.ledger()
                 });
             let l = report.phase_max();

@@ -10,6 +10,7 @@ use uoi_bench::setups::{machine, single_node, var_features};
 use uoi_bench::workload::VarScalingRun;
 use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, BenchTrace, Table};
 use uoi_mpisim::Phase;
+use uoi_solvers::AdmmConfig;
 
 fn main() {
     let point = single_node();
@@ -23,6 +24,10 @@ fn main() {
         exec_ranks(),
         point.cores,
     );
+    // In-rank ADMM workers over the response columns (UOI_THREADS
+    // overrides): each lockstep round charges ceil(columns/threads)
+    // column-updates of modeled compute instead of all of them.
+    let threads = AdmmConfig::env_threads(4);
     let run = VarScalingRun {
         features: p,
         samples: 2 * p,
@@ -32,6 +37,7 @@ fn main() {
         b1: 5,
         b2: 5,
         q: 8,
+        threads,
         model: machine(),
         seed: 13,
     };
@@ -66,6 +72,7 @@ fn main() {
         &trace.annotate(
             t.run_report("fig7_var_single_node")
                 .param("exec_p", p)
+                .param("threads", threads)
                 .with_summary(out.report.run_summary()),
         ),
     );

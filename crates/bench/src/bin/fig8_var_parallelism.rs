@@ -11,8 +11,7 @@ use uoi_bench::setups::machine;
 use uoi_bench::{emit_run_report, fmt_bytes, quick_mode, BenchTrace, Table};
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::UoiVarConfig;
-use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
-use uoi_core::ParallelLayout;
+use uoi_core::{DistOptions, ExecMode, ParallelLayout, UoiVarFitter};
 use uoi_data::{VarConfig, VarProcess};
 use uoi_mpisim::{Cluster, Phase};
 use uoi_solvers::AdmmConfig;
@@ -55,27 +54,28 @@ fn main() {
         });
         let series = proc.simulate(2 * p, 50, 41);
         for &(p_b, p_l) in configs {
-            let cfg = UoiVarDistConfig {
-                var: UoiVarConfig {
-                    order: 1,
-                    block_len: None,
-                    base: UoiLassoConfig {
-                        b1: b,
-                        b2: b,
-                        q,
-                        lambda_min_ratio: 5e-2,
-                        admm: AdmmConfig {
-                            max_iter: 150,
-                            ..Default::default()
-                        },
-                        support_tol: 1e-6,
-                        seed: 17,
+            let var_cfg = UoiVarConfig {
+                order: 1,
+                block_len: None,
+                base: UoiLassoConfig {
+                    b1: b,
+                    b2: b,
+                    q,
+                    lambda_min_ratio: 5e-2,
+                    admm: AdmmConfig {
+                        max_iter: 150,
                         ..Default::default()
                     },
+                    support_tol: 1e-6,
+                    seed: 17,
+                    ..Default::default()
                 },
-                n_readers: 4,
-                layout: ParallelLayout { p_b, p_lambda: p_l },
             };
+            let fitter = UoiVarFitter::new(var_cfg).mode(ExecMode::Dist(
+                DistOptions::default()
+                    .layout(ParallelLayout { p_b, p_lambda: p_l })
+                    .n_readers(4),
+            ));
             let series = series.clone();
             let trace =
                 BenchTrace::from_env(&format!("fig8_var_parallelism.c{cores}_pb{p_b}_pl{p_l}"));
@@ -83,7 +83,7 @@ fn main() {
                 .modeled_ranks(cores)
                 .with_telemetry(trace.telemetry())
                 .run(move |ctx, world| {
-                    let (_, kron) = fit_uoi_var_dist(ctx, world, &series, &cfg);
+                    let (_, kron) = fitter.fit_on(ctx, world, &series);
                     (ctx.ledger(), kron.kron_seconds)
                 });
             let l = report.results.iter().map(|&(l, _)| l).fold(

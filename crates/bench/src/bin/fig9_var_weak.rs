@@ -47,6 +47,7 @@ fn main() {
             b1,
             b2,
             q,
+            threads: 1,
             model: machine(),
             seed: 19,
         };

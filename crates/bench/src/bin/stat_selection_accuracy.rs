@@ -10,9 +10,9 @@
 
 use std::sync::Arc;
 use uoi_bench::{emit_run_report, quick_mode, Table};
-use uoi_core::uoi_lasso::{fit_uoi_lasso, UoiLassoConfig};
-use uoi_core::uoi_var::{fit_uoi_var, UoiVarConfig};
-use uoi_core::{estimation_error, SelectionCounts};
+use uoi_core::uoi_lasso::UoiLassoConfig;
+use uoi_core::uoi_var::UoiVarConfig;
+use uoi_core::{estimation_error, SelectionCounts, UoiFitter, UoiVarFitter};
 use uoi_data::{LinearConfig, VarConfig, VarProcess};
 use uoi_solvers::{lasso_cd, mcp_cd, ridge, support_of, AdmmConfig, CdConfig};
 use uoi_telemetry::{MetricsRegistry, Telemetry};
@@ -44,24 +44,22 @@ fn linear_comparison(trials: usize) {
         .generate();
 
         // UoI.
-        let uoi = fit_uoi_lasso(
-            &ds.x,
-            &ds.y,
-            &UoiLassoConfig {
-                b1: 10,
-                b2: 10,
-                q: 16,
-                lambda_min_ratio: 2e-2,
-                admm: AdmmConfig {
-                    max_iter: 800,
-                    ..Default::default()
-                },
-                support_tol: 1e-7,
-                seed: trial as u64,
-                telemetry: Telemetry::with_metrics(metrics.clone()),
+        let uoi = UoiFitter::new(UoiLassoConfig {
+            b1: 10,
+            b2: 10,
+            q: 16,
+            lambda_min_ratio: 2e-2,
+            admm: AdmmConfig {
+                max_iter: 800,
                 ..Default::default()
             },
-        );
+            support_tol: 1e-7,
+            seed: trial as u64,
+            telemetry: Telemetry::with_metrics(metrics.clone()),
+            ..Default::default()
+        })
+        .fit(&ds.x, &ds.y)
+        .expect("UoI_LASSO fit");
         // LASSO with a small held-out lambda selection (the standard
         // practical baseline).
         let beta_lasso = lasso_cv(&ds.x, &ds.y);
@@ -135,27 +133,26 @@ fn var_comparison(trials: usize) {
                 .collect()
         };
         // UoI_VAR.
-        let fit = fit_uoi_var(
-            &series,
-            &UoiVarConfig {
-                order: 1,
-                block_len: None,
-                base: UoiLassoConfig {
-                    b1: 8,
-                    b2: 6,
-                    q: 12,
-                    lambda_min_ratio: 2e-2,
-                    admm: AdmmConfig {
-                        max_iter: 600,
-                        ..Default::default()
-                    },
-                    support_tol: 1e-7,
-                    seed: trial as u64,
-                    telemetry: Telemetry::with_metrics(metrics.clone()),
+        let fit = UoiVarFitter::new(UoiVarConfig {
+            order: 1,
+            block_len: None,
+            base: UoiLassoConfig {
+                b1: 8,
+                b2: 6,
+                q: 12,
+                lambda_min_ratio: 2e-2,
+                admm: AdmmConfig {
+                    max_iter: 600,
                     ..Default::default()
                 },
+                support_tol: 1e-7,
+                seed: trial as u64,
+                telemetry: Telemetry::with_metrics(metrics.clone()),
+                ..Default::default()
             },
-        );
+        })
+        .fit(&series)
+        .expect("UoI_VAR fit");
         // Plain LASSO / MCP per-column on the lag regression at a fixed
         // moderate lambda (ratio chosen generously for the baselines).
         let reg = uoi_core::VarRegression::build(&series, 1);

@@ -12,7 +12,7 @@
 
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::UoiVarConfig;
-use uoi_core::uoi_var_dist::{fit_uoi_var_dist, UoiVarDistConfig};
+use uoi_core::{DistOptions, ExecMode, UoiVarFitter};
 use uoi_data::rng::{normal_vec, substream};
 use uoi_data::{VarConfig, VarProcess};
 use uoi_linalg::Matrix;
@@ -185,6 +185,9 @@ pub struct VarScalingRun {
     pub b2: usize,
     /// Lambda count.
     pub q: usize,
+    /// In-rank ADMM worker threads over the response columns; only the
+    /// modeled wall-clock depends on it, never the fitted numbers.
+    pub threads: usize,
     /// Machine model.
     pub model: MachineModel,
     /// Seed.
@@ -245,32 +248,34 @@ impl VarScalingRun {
             seed: self.seed,
         });
         let series = proc.simulate(self.samples, 50, self.seed ^ 0x5E);
-        let cfg = UoiVarDistConfig {
-            var: UoiVarConfig {
-                order: 1,
-                block_len: None,
-                base: UoiLassoConfig {
-                    b1: self.b1,
-                    b2: self.b2,
-                    q: self.q,
-                    lambda_min_ratio: 5e-2,
-                    admm: AdmmConfig {
-                        max_iter: 200,
-                        ..Default::default()
-                    },
-                    support_tol: 1e-6,
-                    seed: self.seed,
+        let var_cfg = UoiVarConfig {
+            order: 1,
+            block_len: None,
+            base: UoiLassoConfig {
+                b1: self.b1,
+                b2: self.b2,
+                q: self.q,
+                lambda_min_ratio: 5e-2,
+                admm: AdmmConfig {
+                    max_iter: 200,
+                    threads: self.threads.max(1),
                     ..Default::default()
                 },
+                support_tol: 1e-6,
+                seed: self.seed,
+                ..Default::default()
             },
-            n_readers: self.n_readers,
-            layout: uoi_core::ParallelLayout::admm_only(),
         };
+        let fitter = UoiVarFitter::new(var_cfg).mode(ExecMode::Dist(
+            DistOptions::default()
+                .layout(uoi_core::ParallelLayout::admm_only())
+                .n_readers(self.n_readers),
+        ));
         let report = Cluster::new(self.exec_ranks, self.model.clone())
             .modeled_ranks(self.modeled_cores)
             .with_telemetry(telemetry)
             .run(move |ctx, world| {
-                let (_fit, kron) = fit_uoi_var_dist(ctx, world, &series, &cfg);
+                let (_fit, kron) = fitter.fit_on(ctx, world, &series);
                 (ctx.ledger(), kron.kron_seconds)
             });
         VarRunOutcome { report }

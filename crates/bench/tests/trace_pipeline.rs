@@ -6,6 +6,10 @@
 //! expose an injected straggler as collective-wait *idle* on the
 //! healthy ranks.
 
+// Pins the deprecated free-function fit surface deliberately; new code
+// uses `UoiFitter`/`UoiVarFitter` (see crates/core/src/fitter.rs).
+#![allow(deprecated)]
+
 use uoi_bench::BenchTrace;
 use uoi_core::uoi_lasso_dist::fit_uoi_lasso_dist;
 use uoi_core::{ParallelLayout, UoiLassoConfig};

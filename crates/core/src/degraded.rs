@@ -373,7 +373,13 @@ impl CheckpointStore {
     /// bit-exact. Recovery re-solves from these instead of re-running the
     /// `O(n p^2)` Gram accumulation when a task is re-executed after a
     /// rank failure.
-    pub fn save_gram(&self, stage: &str, k: usize, gram: &[f64], rhs: &[f64]) -> Result<(), UoiError> {
+    pub fn save_gram(
+        &self,
+        stage: &str,
+        k: usize,
+        gram: &[f64],
+        rhs: &[f64],
+    ) -> Result<(), UoiError> {
         let mut body = format!("{CKPT_MAGIC} fp={:016x}\n", self.fp);
         body.push_str(&format!("gram={} rhs={}\n", gram.len(), rhs.len()));
         for v in gram.iter().chain(rhs) {

@@ -9,6 +9,7 @@
 
 pub mod degraded;
 pub mod error;
+pub mod fitter;
 pub mod granger;
 pub mod metrics;
 pub mod parallelism;
@@ -26,21 +27,28 @@ pub use degraded::{
     BootstrapFaultPlan, CheckpointConfig, CheckpointStore, DegradationConfig, DegradationReport,
 };
 pub use error::UoiError;
+pub use fitter::{DistOptions, ExecMode, UoiFitter, UoiVarFitter};
 pub use granger::{Edge, GrangerNetwork};
 pub use metrics::{estimation_error, EstimationError, SelectionCounts};
 pub use parallelism::{LayoutComms, ParallelLayout};
 pub use recovery::{
     degraded_fallback_plan, RecoveryConfig, RecoveryReport, TaskOwnership, UOI_RECOVERY_ENV,
 };
-pub use uoi_lasso::{
-    bic, fit_uoi_lasso, try_fit_uoi_lasso, EstimationScore, UoiFit, UoiLassoConfig,
-    UoiLassoConfigBuilder,
-};
+pub use uoi_lasso::{bic, EstimationScore, UoiFit, UoiLassoConfig, UoiLassoConfigBuilder};
+pub use uoi_var::{select_var_order, UoiVarConfig, UoiVarConfigBuilder, UoiVarFit};
+pub use uoi_var_dist::{KronStats, UoiVarDistConfig};
+// The legacy 8-way fit surface stays re-exported for source compatibility;
+// new code goes through `UoiFitter` / `UoiVarFitter`.
+#[allow(deprecated)]
+pub use uoi_lasso::{fit_uoi_lasso, try_fit_uoi_lasso};
+#[allow(deprecated)]
 pub use uoi_lasso_dist::fit_uoi_lasso_dist;
+#[allow(deprecated)]
 pub use uoi_lasso_recovering::fit_uoi_lasso_recovering;
-pub use uoi_var::{
-    fit_uoi_var, select_var_order, try_fit_uoi_var, UoiVarConfig, UoiVarConfigBuilder, UoiVarFit,
-};
-pub use uoi_var_dist::{fit_uoi_var_dist, KronStats, UoiVarDistConfig};
+#[allow(deprecated)]
+pub use uoi_var::{fit_uoi_var, try_fit_uoi_var};
+#[allow(deprecated)]
+pub use uoi_var_dist::fit_uoi_var_dist;
+#[allow(deprecated)]
 pub use uoi_var_recovering::fit_uoi_var_recovering;
 pub use var_matrices::{flatten_coefficients, partition_coefficients, VarRegression};

@@ -234,7 +234,12 @@ pub(crate) fn decode_index_lists(payload: &[f64]) -> Vec<Vec<usize>> {
     let mut i = 1;
     for _ in 0..n {
         let len = payload[i] as usize;
-        out.push(payload[i + 1..i + 1 + len].iter().map(|&v| v as usize).collect());
+        out.push(
+            payload[i + 1..i + 1 + len]
+                .iter()
+                .map(|&v| v as usize)
+                .collect(),
+        );
         i += 1 + len;
     }
     out
@@ -351,7 +356,10 @@ mod tests {
             let b = TaskOwnership::new(5, s);
             (0..5).map(|k| b.owner(k, &[])).collect::<Vec<_>>() != map_a
         });
-        assert!(rotated, "seed spread 2..10 should produce a different rotation");
+        assert!(
+            rotated,
+            "seed spread 2..10 should produce a different rotation"
+        );
     }
 
     #[test]
@@ -395,7 +403,11 @@ mod tests {
     fn blob_records_roundtrip() {
         let mut blob = Vec::new();
         push_task_record(&mut blob, 3, &[1.5, -2.0]);
-        push_task_record(&mut blob, 0, &encode_index_lists(&[vec![1, 4], vec![], vec![2]]));
+        push_task_record(
+            &mut blob,
+            0,
+            &encode_index_lists(&[vec![1, 4], vec![], vec![2]]),
+        );
         let recs = parse_task_records(&blob);
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0], (3, vec![1.5, -2.0]));

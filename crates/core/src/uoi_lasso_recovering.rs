@@ -23,20 +23,18 @@
 
 use crate::degraded::CheckpointStore;
 use crate::error::UoiError;
+use crate::recovery::{decode_index_lists, encode_index_lists};
 use crate::recovery::{
     degraded_fallback_plan, exchange_blobs, parse_task_records, push_task_record, RecoveryConfig,
     RecoveryReport, TaskOwnership,
 };
-use crate::recovery::{decode_index_lists, encode_index_lists};
 use crate::uoi_lasso::{
     average_and_intercept, centre_data, estimation_setup, estimation_task, fit_inner,
     intersect_per_lambda, required_votes, selection_gram, selection_solve, selection_task,
     validate_lasso_inputs, UoiFit, UoiLassoConfig,
 };
 use uoi_linalg::Matrix;
-use uoi_mpisim::{
-    Cluster, Comm, MachineModel, MpiError, RankCtx, RecoveryContext, RecoveryError,
-};
+use uoi_mpisim::{Cluster, Comm, MachineModel, MpiError, RankCtx, RecoveryContext, RecoveryError};
 use uoi_solvers::{lambda_path, support_of};
 
 /// Fit `UoI_LASSO` with shrink-and-recover execution over a simulated
@@ -44,6 +42,10 @@ use uoi_solvers::{lambda_path, support_of};
 /// accounts for the rounds, failures, and reassignments; coefficients
 /// and supports are bit-identical to the serial [`fit_inner`] whenever
 /// recovery succeeds (and to the degraded fit on fallback).
+#[deprecated(
+    since = "0.6.0",
+    note = "use `uoi_core::UoiFitter` with `ExecMode::Recovering` instead"
+)]
 pub fn fit_uoi_lasso_recovering(
     x: &Matrix,
     y: &[f64],
@@ -52,7 +54,9 @@ pub fn fit_uoi_lasso_recovering(
 ) -> Result<UoiFit, UoiError> {
     validate_lasso_inputs(x, y, cfg)?;
     if rcfg.world == 0 {
-        return Err(UoiError::InvalidConfig("recovery world must be >= 1".into()));
+        return Err(UoiError::InvalidConfig(
+            "recovery world must be >= 1".into(),
+        ));
     }
     if !rcfg.enabled {
         return fit_inner(x, y, cfg);
@@ -74,7 +78,14 @@ pub fn fit_uoi_lasso_recovering(
         Ok((report, log)) => {
             let mut fits = report.results;
             let mut fit = fits.swap_remove(0);
-            fit.recovery = Some(build_report(&log.failed_ranks(), log.rounds.len(), cfg, rcfg, &ownership, false));
+            fit.recovery = Some(build_report(
+                &log.failed_ranks(),
+                log.rounds.len(),
+                cfg,
+                rcfg,
+                &ownership,
+                false,
+            ));
             Ok(fit)
         }
         Err(RecoveryError::Exhausted { rounds, failed, .. }) => {

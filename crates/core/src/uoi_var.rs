@@ -292,6 +292,11 @@ pub fn select_var_order(series: &Matrix, max_order: usize) -> usize {
 ///
 /// Thin wrapper over [`try_fit_uoi_var`] for callers that prefer the
 /// assert-style contract; library code should use the fallible form.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `uoi_core::UoiVarFitter::new(cfg).fit(series)` instead"
+)]
+#[allow(deprecated)]
 pub fn fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
     try_fit_uoi_var(series, cfg).unwrap_or_else(|e| panic!("fit_uoi_var: {e}"))
 }
@@ -303,6 +308,10 @@ pub fn fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
 /// Returns `Err` — and never panics — on an empty series, a series too
 /// short for the requested order, non-finite values, or an invalid
 /// configuration.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `uoi_core::UoiVarFitter::new(cfg).fit(series)` instead"
+)]
 pub fn try_fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError> {
     validate_var_inputs(series, cfg)?;
     fit_inner(series, cfg)
@@ -939,6 +948,9 @@ pub(crate) fn fit_inner_materialized(series: &Matrix, cfg: &UoiVarConfig) -> Uoi
 }
 
 #[cfg(test)]
+// Exercises the deprecated free-function fit surface on purpose: these
+// tests pin its behaviour for as long as the wrappers exist.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::metrics::SelectionCounts;

@@ -10,11 +10,11 @@
 //! falls back to the degraded-mode serial fit over the survivors' tasks.
 
 use crate::error::UoiError;
+use crate::recovery::{decode_index_lists, encode_index_lists};
 use crate::recovery::{
     degraded_fallback_plan, exchange_blobs, push_task_record, RecoveryConfig, RecoveryReport,
     TaskOwnership,
 };
-use crate::recovery::{decode_index_lists, encode_index_lists};
 use crate::support::dedup_family;
 use crate::uoi_lasso::{intersect_per_lambda, required_votes};
 use crate::uoi_lasso_recovering::{collect_results, lookup_stash};
@@ -29,6 +29,10 @@ use uoi_mpisim::{Cluster, Comm, MachineModel, RankCtx, RecoveryContext, Recovery
 /// `rcfg.world`-rank cluster; see
 /// [`fit_uoi_lasso_recovering`](crate::uoi_lasso_recovering::fit_uoi_lasso_recovering)
 /// for the execution model.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `uoi_core::UoiVarFitter` with `ExecMode::Recovering` instead"
+)]
 pub fn fit_uoi_var_recovering(
     series: &Matrix,
     cfg: &UoiVarConfig,
@@ -36,7 +40,9 @@ pub fn fit_uoi_var_recovering(
 ) -> Result<UoiVarFit, UoiError> {
     validate_var_inputs(series, cfg)?;
     if rcfg.world == 0 {
-        return Err(UoiError::InvalidConfig("recovery world must be >= 1".into()));
+        return Err(UoiError::InvalidConfig(
+            "recovery world must be >= 1".into(),
+        ));
     }
     if !rcfg.enabled {
         return fit_inner(series, cfg);

@@ -7,6 +7,10 @@
 //! * A checkpointed run killed at ~50% of the bootstraps resumes
 //!   bit-identically to an uninterrupted run with the same seed.
 
+// Pins the deprecated free-function fit surface deliberately; new code
+// uses `UoiFitter`/`UoiVarFitter` (see crates/core/src/fitter.rs).
+#![allow(deprecated)]
+
 use uoi_core::{
     try_fit_uoi_lasso, try_fit_uoi_var, BootstrapFaultPlan, CheckpointConfig, DegradationConfig,
     SelectionCounts, UoiError, UoiLassoConfig,

@@ -2,6 +2,10 @@
 //! returns `Err` (never panics), the panicking wrappers preserve their
 //! old contract, and the builders reject bad configurations.
 
+// Pins the deprecated free-function fit surface deliberately; new code
+// uses `UoiFitter`/`UoiVarFitter` (see crates/core/src/fitter.rs).
+#![allow(deprecated)]
+
 use uoi_core::{try_fit_uoi_lasso, try_fit_uoi_var, UoiError, UoiLassoConfig, UoiVarConfig};
 use uoi_data::LinearConfig;
 use uoi_linalg::Matrix;
@@ -31,7 +35,7 @@ fn empty_design_is_an_error() {
     );
     let no_cols = Matrix::zeros(10, 0);
     assert_eq!(
-        try_fit_uoi_lasso(&no_cols, &vec![0.0; 10], &quick_cfg()).unwrap_err(),
+        try_fit_uoi_lasso(&no_cols, &[0.0; 10], &quick_cfg()).unwrap_err(),
         UoiError::EmptyDesign
     );
 }

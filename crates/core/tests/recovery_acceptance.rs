@@ -12,6 +12,10 @@
 //! * `recovery_matrix_cell` is the env-driven CI entry point
 //!   (`RECOVERY_FAULT_KIND` × `RECOVERY_FAULT_SEED` × `UOI_RECOVERY`).
 
+// Pins the deprecated free-function fit surface deliberately; new code
+// uses `UoiFitter`/`UoiVarFitter` (see crates/core/src/fitter.rs).
+#![allow(deprecated)]
+
 use std::sync::Arc;
 use std::time::Duration;
 use uoi_core::{
@@ -22,7 +26,9 @@ use uoi_core::{
 use uoi_data::{LinearConfig, VarConfig, VarProcess};
 use uoi_mpisim::FaultPlan;
 use uoi_solvers::AdmmConfig;
-use uoi_telemetry::{analyze, build_timeline, MemorySink, MetricsRegistry, PipelinePhase, Telemetry};
+use uoi_telemetry::{
+    analyze, build_timeline, MemorySink, MetricsRegistry, PipelinePhase, Telemetry,
+};
 
 const B1: usize = 8;
 const B2: usize = 8;
@@ -269,8 +275,17 @@ fn max_rounds_zero_reproduces_degraded_mode_exactly() {
 
     assert_lasso_bits(&fit, &direct, "fallback");
     assert_eq!(
-        fit.degradation.as_ref().unwrap().to_json().to_string_compact(),
-        direct.degradation.as_ref().unwrap().to_json().to_string_compact(),
+        fit.degradation
+            .as_ref()
+            .unwrap()
+            .to_json()
+            .to_string_compact(),
+        direct
+            .degradation
+            .as_ref()
+            .unwrap()
+            .to_json()
+            .to_string_compact(),
         "fallback must carry the same degradation report"
     );
 }

@@ -2,6 +2,10 @@
 //! and metrics attached is bit-identical to the same seeded fit with
 //! telemetry disabled, and the instrumentation actually fires.
 
+// Pins the deprecated free-function fit surface deliberately; new code
+// uses `UoiFitter`/`UoiVarFitter` (see crates/core/src/fitter.rs).
+#![allow(deprecated)]
+
 use std::sync::Arc;
 use uoi_core::{fit_uoi_lasso, fit_uoi_var, UoiLassoConfig, UoiVarConfig};
 use uoi_data::{LinearConfig, VarConfig, VarProcess};

@@ -7,6 +7,10 @@
 //! union-Gram estimation) selects the identical supports and agrees on
 //! the coefficients to floating-point summation-order tolerance.
 
+// Pins the deprecated free-function fit surface deliberately; new code
+// uses `UoiFitter`/`UoiVarFitter` (see crates/core/src/fitter.rs).
+#![allow(deprecated)]
+
 use uoi_core::support::{dedup_family, intersect_many};
 use uoi_core::{fit_uoi_lasso, EstimationScore, UoiLassoConfig};
 use uoi_data::bootstrap::row_bootstrap;

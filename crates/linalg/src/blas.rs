@@ -18,34 +18,19 @@ const MC: usize = 64;
 const KC: usize = 128;
 
 /// Dot product of two equal-length slices.
+///
+/// Delegates to [`crate::kernels::dot`], whose lane-unrolled accumulation
+/// is bit-identical to the historical 4-way unrolled loop here.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    // 4-way unrolled accumulation: lets LLVM vectorise without fast-math.
-    let n = a.len();
-    let chunks = n / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for c in 0..chunks {
-        let i = c * 4;
-        s0 += a[i] * b[i];
-        s1 += a[i + 1] * b[i + 1];
-        s2 += a[i + 2] * b[i + 2];
-        s3 += a[i + 3] * b[i + 3];
-    }
-    let mut s = s0 + s1 + s2 + s3;
-    for i in chunks * 4..n {
-        s += a[i] * b[i];
-    }
-    s
+    crate::kernels::dot(a, b)
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x`. Delegates to [`crate::kernels::axpy`] (elementwise,
+/// so bit-identical to the historical scalar loop).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::kernels::axpy(alpha, x, y)
 }
 
 /// Euclidean norm.
@@ -667,7 +652,7 @@ mod tests {
         let a = Matrix::from_fn(120, 64, |i, j| ((i * 13 + j * 29) % 17) as f64 * 0.1);
         let w: Vec<f64> = (0..120).map(|i| ((i * 7) % 4) as f64).collect();
         let idx: Vec<usize> = (0..120)
-            .flat_map(|i| std::iter::repeat(i).take((i * 7) % 4))
+            .flat_map(|i| std::iter::repeat_n(i, (i * 7) % 4))
             .collect();
         let expected = syrk_t(&a.gather_rows(&idx));
         assert!(syrk_t_weighted(&a, &w).approx_eq(&expected, 1e-9));

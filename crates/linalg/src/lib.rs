@@ -8,6 +8,9 @@
 //!   support gather operations the UoI maps use;
 //! * [`blas`] — dot/axpy, `gemv`/`gemv_t`, a blocked rayon-parallel `gemm`,
 //!   and `syrk_t` for Gram matrices;
+//! * [`kernels`] — the explicitly lane-unrolled inner-loop kernels of the
+//!   ADMM hot path (dot, axpy, add, soft-threshold, blocked `symv`) with
+//!   one coherent naming scheme; `blas::dot`/`blas::axpy` delegate here;
 //! * [`chol`] — Cholesky factorisation with cached solves (the ADMM
 //!   x-update) and regularised normal equations;
 //! * [`sparse::CsrMatrix`] — CSR kernels for the block-diagonal `UoI_VAR`
@@ -26,6 +29,7 @@ pub mod blas;
 pub mod chol;
 pub mod dense;
 pub mod eig;
+pub mod kernels;
 pub mod kron;
 pub mod qr;
 pub mod sparse;

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use uoi_linalg::{
-    gemm, gemv, gemv_t, gemv_t_weighted, kron_dense, mse, mse_into, syrk_t, syrk_t_weighted,
-    weighted_sumsq, Cholesky, CsrMatrix, IdentityKron, Matrix,
+    gemm, gemv, gemv_t, gemv_t_weighted, kernels, kron_dense, mse, mse_into, syrk_t,
+    syrk_t_weighted, weighted_sumsq, Cholesky, CsrMatrix, IdentityKron, Matrix,
 };
 
 /// Strategy: a rows x cols matrix with bounded entries.
@@ -210,6 +210,151 @@ proptest! {
                 }
                 prop_assert!((s - a[(i, j)]).abs() < 1e-8 * (n as f64));
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD inner-loop kernels vs their scalar references. Lengths are drawn
+// from `0..40`, so every remainder class mod `kernels::LANES` is hit, and
+// the equality claims are the ones the module documents: bitwise for
+// `dot`/`axpy`/`add`/`soft_threshold` (kappa > 0), ~1e-12 relative for the
+// blocked `symv`.
+// ---------------------------------------------------------------------------
+
+/// Finite values plus the special cases the prox must handle (the vendored
+/// proptest stub has no `prop_oneof!`, so weighting goes through a tag).
+fn lane_value() -> impl Strategy<Value = f64> {
+    (-100.0..100.0f64, 0u64..15).prop_map(|(v, tag)| match tag {
+        8 => 0.0,
+        9 => -0.0,
+        10 => 1e300,
+        11 => -1e300,
+        12 => f64::INFINITY,
+        13 => f64::NEG_INFINITY,
+        14 => f64::NAN,
+        _ => v,
+    })
+}
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0..50.0f64, 0..max_len)
+}
+
+/// The historical scalar branching prox the vectorised kernel must match.
+fn branch_shrink(a: f64, k: f64) -> f64 {
+    if a > k {
+        a - k
+    } else if a < -k {
+        a + k
+    } else {
+        0.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // `dot` keeps the exact four-accumulator reduction order of the
+    // historical loop, so it is bit-identical for every length, including
+    // each remainder lane.
+    #[test]
+    fn kernel_dot_bit_identical_to_reference(a in finite_vec(40), seed in 0u64..100) {
+        let b: Vec<f64> = (0..a.len())
+            .map(|i| (((i * 29) as f64 + seed as f64) * 0.41).sin() * 7.0)
+            .collect();
+        let main = a.len() - a.len() % kernels::LANES;
+        let mut acc = [0.0f64; 4];
+        for (i, ch) in a[..main].chunks_exact(kernels::LANES).enumerate() {
+            for l in 0..kernels::LANES {
+                acc[l] += ch[l] * b[i * kernels::LANES + l];
+            }
+        }
+        let mut reference = acc[0] + acc[1] + acc[2] + acc[3];
+        for i in main..a.len() {
+            reference += a[i] * b[i];
+        }
+        prop_assert_eq!(kernels::dot(&a, &b).to_bits(), reference.to_bits());
+    }
+
+    // `axpy` and `add` are elementwise: lane order cannot change the
+    // result, so they are bit-identical to plain scalar loops even with
+    // non-finite inputs in arbitrary lanes.
+    #[test]
+    fn kernel_axpy_bit_identical_any_lane(
+        x in prop::collection::vec(lane_value(), 0..40),
+        alpha in -10.0..10.0f64,
+        seed in 0u64..100,
+    ) {
+        let mut y: Vec<f64> = (0..x.len())
+            .map(|i| (((i * 7) as f64 + seed as f64) * 0.53).cos() * 3.0)
+            .collect();
+        let mut reference = y.clone();
+        for (r, xi) in reference.iter_mut().zip(&x) {
+            *r += alpha * xi;
+        }
+        kernels::axpy(alpha, &x, &mut y);
+        for (got, want) in y.iter().zip(&reference) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_add_bit_identical_any_lane(
+        a in prop::collection::vec(lane_value(), 0..40),
+        seed in 0u64..100,
+    ) {
+        let b: Vec<f64> = (0..a.len())
+            .map(|i| (((i * 11) as f64 + seed as f64) * 0.67).sin())
+            .collect();
+        let mut out = vec![0.0; a.len()];
+        kernels::add(&a, &b, &mut out);
+        for i in 0..a.len() {
+            prop_assert_eq!(out[i].to_bits(), (a[i] + b[i]).to_bits());
+        }
+    }
+
+    // The branchless prox agrees bit-for-bit with the branching form for
+    // kappa > 0: NaN maps to 0.0, infinities pass through, remainder
+    // lanes (positions >= len - len % LANES) behave like the main body.
+    #[test]
+    fn kernel_soft_threshold_matches_branch_prox(
+        src in prop::collection::vec(lane_value(), 0..40),
+        kappa in (0usize..4).prop_map(|i| [1e-12, 0.3, 2.0, 1e6][i]),
+    ) {
+        let mut out = vec![f64::MAX; src.len()];
+        kernels::soft_threshold(&src, kappa, &mut out);
+        for (o, &s) in out.iter().zip(&src) {
+            let want = if s.is_nan() { 0.0 } else { branch_shrink(s, kappa) };
+            prop_assert_eq!(o.to_bits(), want.to_bits(), "S_{}({})", kappa, s);
+        }
+    }
+
+    // Blocked symv vs dense gemv on a symmetrised Gram-like matrix: the
+    // accumulation orders differ, so the documented contract is ~1e-12
+    // relative agreement, with sizes straddling the 128-column block edge.
+    #[test]
+    fn kernel_symv_matches_gemv(
+        // Small sizes plus sizes straddling the 128-column block edge.
+        p in (0usize..24).prop_map(|i| if i < 20 { i + 1 } else { [127, 128, 129, 250][i - 20] }),
+        seed in 0u64..50,
+    ) {
+        let base = Matrix::from_fn(p, p, |i, j| {
+            (((i * 31 + j * 17) as f64 + seed as f64) * 0.23).sin() * 2.0
+        });
+        let mut a = Matrix::zeros(p, p);
+        for i in 0..p {
+            for j in 0..p {
+                a[(i, j)] = base[(i, j)] + base[(j, i)];
+            }
+        }
+        let x: Vec<f64> = (0..p).map(|i| (((i * 13) as f64 + seed as f64) * 0.71).cos()).collect();
+        let expected = gemv(&a, &x);
+        let mut got = vec![0.0; p];
+        kernels::symv(&a, &x, &mut got);
+        for (g, e) in got.iter().zip(&expected) {
+            let scale = e.abs().max(1.0);
+            prop_assert!((g - e).abs() <= 1e-11 * scale, "p={}: {} vs {}", p, g, e);
         }
     }
 }

@@ -489,12 +489,17 @@ impl RecoveryStash {
     /// Store `data` under `(original_rank, key)`, replacing any previous
     /// entry.
     pub fn put(&self, original_rank: usize, key: &str, data: Vec<f64>) {
-        self.inner.lock().insert((original_rank, key.to_string()), data);
+        self.inner
+            .lock()
+            .insert((original_rank, key.to_string()), data);
     }
 
     /// Fetch a copy of the entry under `(original_rank, key)`.
     pub fn get(&self, original_rank: usize, key: &str) -> Option<Vec<f64>> {
-        self.inner.lock().get(&(original_rank, key.to_string())).cloned()
+        self.inner
+            .lock()
+            .get(&(original_rank, key.to_string()))
+            .cloned()
     }
 
     /// Drop every entry stored by `original_rank` (driver cleanup when

@@ -1338,8 +1338,10 @@ impl Comm {
         ctx: &mut RankCtx,
         known_failed: &[usize],
     ) -> Result<Vec<usize>, MpiError> {
-        let cost =
-            ctx.model.allreduce_time(self.modeled_size(ctx), self.size * 8) * ctx.noise_factor();
+        let cost = ctx
+            .model
+            .allreduce_time(self.modeled_size(ctx), self.size * 8)
+            * ctx.noise_factor();
         if self.single_rank() {
             ctx.charge(Phase::Comm, cost);
             let mut v: Vec<usize> = known_failed.iter().copied().filter(|&r| r < 1).collect();
@@ -1371,8 +1373,7 @@ impl Comm {
                         for v in st.views.values() {
                             agreed.extend(v.iter().copied());
                         }
-                        st.result =
-                            Some(agreed.into_iter().filter(|&r| r < self.size).collect());
+                        st.result = Some(agreed.into_iter().filter(|&r| r < self.size).collect());
                     }
                 }
                 if let Some(res) = st.result.clone() {

@@ -19,11 +19,11 @@
 //! turns the z-update into the identity and the iteration converges to
 //! OLS, exactly how the paper implements model estimation (§II-C).
 
-use crate::prox::{soft_threshold, soft_threshold_vec};
+use crate::prox::soft_threshold_vec;
 use std::sync::Arc;
 use uoi_linalg::{
-    gemv, gemv_into, gemv_t, gemv_t_into, norm2, norm2_diff, norm2_scaled, norm2_scaled_diff,
-    syrk_t, Cholesky, Matrix,
+    gemv, gemv_into, gemv_t, gemv_t_into, kernels, norm2, norm2_diff, norm2_scaled,
+    norm2_scaled_diff, syrk_t, Cholesky, Matrix,
 };
 use uoi_telemetry::MetricsRegistry;
 
@@ -41,6 +41,24 @@ impl std::fmt::Display for InvalidConfig {
 
 impl std::error::Error for InvalidConfig {}
 
+/// How a lambda-path entry point schedules its per-lambda solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathSchedule {
+    /// Solve the path largest-lambda-first, warm-starting each lambda from
+    /// the previous one's `z`. This is the historical behaviour and the
+    /// default; with `threads = 1` it reproduces today's numbers bit for
+    /// bit.
+    #[default]
+    Sequential,
+    /// Solve every lambda in lockstep from a cold start, fusing the
+    /// per-iteration triangular solves of all still-active lambdas into one
+    /// multi-RHS substitution over the shared Cholesky factor. Each
+    /// lambda's iterates are bit-identical to its own cold
+    /// [`LassoAdmm::solve_with_rhs`] — but *not* to the warm-started
+    /// `Sequential` path, which couples lambdas through the carried `z`.
+    Fused,
+}
+
 /// ADMM hyperparameters.
 #[derive(Debug, Clone)]
 pub struct AdmmConfig {
@@ -56,6 +74,15 @@ pub struct AdmmConfig {
     pub abstol: f64,
     /// Relative tolerance.
     pub reltol: f64,
+    /// In-rank worker count assumed by the lockstep/fused paths: modeled
+    /// time is charged as `ceil(active / threads)` fused iterations per
+    /// round, and real-parallel stages split their columns this many ways.
+    /// `1` (the default) reproduces the historical per-column charging
+    /// exactly. Numerical results never depend on this value — per-column
+    /// arithmetic and reduction order are fixed regardless of `threads`.
+    pub threads: usize,
+    /// Lambda-path schedule; see [`PathSchedule`].
+    pub schedule: PathSchedule,
 }
 
 impl Default for AdmmConfig {
@@ -65,6 +92,8 @@ impl Default for AdmmConfig {
             max_iter: 500,
             abstol: 1e-6,
             reltol: 1e-5,
+            threads: 1,
+            schedule: PathSchedule::Sequential,
         }
     }
 }
@@ -99,7 +128,27 @@ impl AdmmConfig {
                 self.reltol
             )));
         }
+        if self.threads == 0 {
+            return Err(InvalidConfig("threads must be >= 1".to_string()));
+        }
         Ok(())
+    }
+
+    /// Worker count from the `UOI_THREADS` environment variable, falling
+    /// back to `default` when unset, unparsable, or zero.
+    pub fn env_threads(default: usize) -> usize {
+        std::env::var("UOI_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(default)
+    }
+
+    /// Apply the `UOI_THREADS` override (if set) on top of the configured
+    /// thread count.
+    pub fn with_env_threads(mut self) -> Self {
+        self.threads = Self::env_threads(self.threads);
+        self
     }
 }
 
@@ -127,6 +176,16 @@ impl AdmmConfigBuilder {
 
     pub fn reltol(mut self, reltol: f64) -> Self {
         self.cfg.reltol = reltol;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    pub fn schedule(mut self, schedule: PathSchedule) -> Self {
+        self.cfg.schedule = schedule;
         self
     }
 
@@ -225,6 +284,8 @@ pub struct AdmmWorkspace {
     wn: Vec<f64>,
     /// Woodbury scratch: `X^T inner` (p).
     wt: Vec<f64>,
+    /// z-update argument `x + u` (p), fed to the vectorised prox.
+    xu: Vec<f64>,
 }
 
 impl AdmmWorkspace {
@@ -264,6 +325,17 @@ pub struct AdmmState {
     pub dual_residual: f64,
     /// Scratch reused across steps so stepping never allocates.
     scratch: AdmmWorkspace,
+}
+
+/// One column of a lockstep [`LassoAdmm::step_many`] round: a per-column
+/// right-hand side and penalty plus the iteration state advanced in place.
+pub struct StepTask<'a> {
+    /// Precomputed `X^T y` for this column.
+    pub xty: &'a [f64],
+    /// L1 penalty for this column.
+    pub lambda: f64,
+    /// Iteration state (advanced in place; no-op once converged).
+    pub state: &'a mut AdmmState,
 }
 
 /// How the solver holds its problem: a dense design matrix, or just the
@@ -422,23 +494,29 @@ impl LassoAdmm {
         u: &mut [f64],
         ws: &mut AdmmWorkspace,
     ) -> (f64, f64, bool) {
-        let p = z.len();
-        let rho = self.rho;
-        let kappa = lambda / rho;
-        let AdmmWorkspace {
-            rhs,
-            x_var,
-            z_old,
-            wn,
-            wt,
-        } = ws;
+        self.build_rhs(xty, z, u, ws);
+        self.x_update(ws);
+        self.finish_iterate(lambda / self.rho, z, u, ws)
+    }
 
-        // x-update: (X^T X + rho I)^{-1} (X^T y + rho (z - u)).
-        rhs.clear();
-        rhs.extend_from_slice(xty);
-        for ((r, zi), ui) in rhs.iter_mut().zip(&*z).zip(&*u) {
+    /// Iteration stage 1: the x-update right-hand side
+    /// `X^T y + rho (z - u)`, built into `ws.rhs`.
+    fn build_rhs(&self, xty: &[f64], z: &[f64], u: &[f64], ws: &mut AdmmWorkspace) {
+        let rho = self.rho;
+        ws.rhs.clear();
+        ws.rhs.extend_from_slice(xty);
+        for ((r, zi), ui) in ws.rhs.iter_mut().zip(z).zip(u) {
             *r += rho * (zi - ui);
         }
+    }
+
+    /// Iteration stage 2 (single-column form): apply
+    /// `(X^T X + rho I)^{-1}` to `ws.rhs`, leaving the result in `ws.x_var`.
+    fn x_update(&self, ws: &mut AdmmWorkspace) {
+        let rho = self.rho;
+        let AdmmWorkspace {
+            rhs, x_var, wn, wt, ..
+        } = ws;
         match &self.factor {
             Factorization::Primal(ch) => {
                 x_var.clear();
@@ -454,18 +532,34 @@ impl LassoAdmm {
                 x_var.extend(rhs.iter().zip(&*wt).map(|(vi, wi)| (vi - wi) / rho));
             }
         }
+    }
+
+    /// Iteration stage 3: z-/u-updates, residual norms (Boyd §3.3.1, fused
+    /// — no r/s/rho_u temporaries), and the convergence decision, given a
+    /// fresh `ws.x_var`. The vectorised prox is bit-identical to the
+    /// historical scalar z-update loop (see `uoi_linalg::kernels`).
+    fn finish_iterate(
+        &self,
+        kappa: f64,
+        z: &mut [f64],
+        u: &mut [f64],
+        ws: &mut AdmmWorkspace,
+    ) -> (f64, f64, bool) {
+        let p = z.len();
+        let rho = self.rho;
+        let AdmmWorkspace {
+            x_var, z_old, xu, ..
+        } = ws;
 
         // z-update with over-relaxation omitted (plain ADMM).
         z_old.clear();
         z_old.extend_from_slice(z);
+        xu.resize(p, 0.0);
+        kernels::add(x_var, u, xu);
         if kappa > 0.0 {
-            for (zi, (xi, ui)) in z.iter_mut().zip(x_var.iter().zip(&*u)) {
-                *zi = soft_threshold(xi + ui, kappa);
-            }
+            kernels::soft_threshold(xu, kappa, z);
         } else {
-            for (zi, (xi, ui)) in z.iter_mut().zip(x_var.iter().zip(&*u)) {
-                *zi = xi + ui;
-            }
+            z.copy_from_slice(xu);
         }
 
         // u-update.
@@ -473,7 +567,6 @@ impl LassoAdmm {
             *ui += xi - zi;
         }
 
-        // Residuals and stopping (Boyd §3.3.1), fused: no r/s/rho_u temporaries.
         let r_norm = norm2_diff(x_var, z);
         let s_norm = norm2_scaled_diff(rho, z, z_old);
         let sqrt_p = (p as f64).sqrt();
@@ -619,6 +712,110 @@ impl LassoAdmm {
         }
     }
 
+    /// Run one per-task iteration stage, splitting across rayon workers
+    /// when more than one in-rank thread is configured. Tasks touch
+    /// disjoint state and each column's arithmetic is self-contained, so
+    /// the results are bit-identical regardless of execution order (and of
+    /// `threads`).
+    fn for_each_task<F>(&self, tasks: &mut [StepTask<'_>], f: F)
+    where
+        F: Fn(&mut StepTask<'_>) + Sync,
+    {
+        if self.cfg.threads > 1 {
+            use rayon::prelude::*;
+            tasks.par_iter_mut().for_each(&f);
+        } else {
+            tasks.iter_mut().for_each(f);
+        }
+    }
+
+    /// Advance every unconverged task one ADMM iteration in lockstep,
+    /// fusing the round's triangular solves into a single multi-RHS
+    /// substitution over the shared Cholesky factor (the factorisation is
+    /// streamed through the cache once per round instead of once per
+    /// column).
+    ///
+    /// Per column the arithmetic matches [`LassoAdmm::step`] in order and
+    /// association, so iterates, residuals, and convergence decisions are
+    /// bit-identical to stepping each task individually — only the memory
+    /// schedule (and hence the constant factor) changes. See DESIGN.md §3.
+    pub fn step_many(&self, tasks: &mut [StepTask<'_>]) {
+        // Stage 1: rhs builds, per column.
+        self.for_each_task(tasks, |t| {
+            if t.state.converged {
+                return;
+            }
+            t.state.iterations += 1;
+            let AdmmState { z, u, scratch, .. } = &mut *t.state;
+            self.build_rhs(t.xty, z, u, scratch);
+        });
+
+        // Stage 2: fused x-update across the active columns.
+        match &self.factor {
+            Factorization::Primal(ch) => {
+                self.for_each_task(tasks, |t| {
+                    if t.state.converged {
+                        return;
+                    }
+                    let AdmmWorkspace { rhs, x_var, .. } = &mut t.state.scratch;
+                    x_var.clear();
+                    x_var.extend_from_slice(rhs);
+                });
+                let mut cols: Vec<&mut [f64]> = tasks
+                    .iter_mut()
+                    .filter(|t| !t.state.converged)
+                    .map(|t| t.state.scratch.x_var.as_mut_slice())
+                    .collect();
+                ch.solve_multi_in_place(&mut cols);
+            }
+            Factorization::Woodbury(ch) => {
+                self.for_each_task(tasks, |t| {
+                    if t.state.converged {
+                        return;
+                    }
+                    let AdmmWorkspace { rhs, wn, .. } = &mut t.state.scratch;
+                    gemv_into(self.dense(), rhs, wn);
+                });
+                let mut cols: Vec<&mut [f64]> = tasks
+                    .iter_mut()
+                    .filter(|t| !t.state.converged)
+                    .map(|t| t.state.scratch.wn.as_mut_slice())
+                    .collect();
+                ch.solve_multi_in_place(&mut cols);
+                let rho = self.rho;
+                self.for_each_task(tasks, |t| {
+                    if t.state.converged {
+                        return;
+                    }
+                    let AdmmWorkspace {
+                        rhs, x_var, wn, wt, ..
+                    } = &mut t.state.scratch;
+                    gemv_t_into(self.dense(), wn, wt);
+                    x_var.clear();
+                    x_var.extend(rhs.iter().zip(&*wt).map(|(vi, wi)| (vi - wi) / rho));
+                });
+            }
+        }
+
+        // Stage 3: z-/u-updates, residuals, convergence — per column.
+        self.for_each_task(tasks, |t| {
+            if t.state.converged {
+                return;
+            }
+            let kappa = t.lambda / self.rho;
+            let (r_norm, s_norm, conv) = {
+                let AdmmState { z, u, scratch, .. } = &mut *t.state;
+                self.finish_iterate(kappa, z, u, scratch)
+            };
+            t.state.primal_residual = r_norm;
+            t.state.dual_residual = s_norm;
+            if conv {
+                t.state.converged = true;
+                self.note_solve(t.state.iterations, true, r_norm, s_norm);
+            }
+        });
+    }
+
     /// Solve with residual-balancing adaptive `rho` (Boyd §3.4.1):
     /// `rho` is multiplied (divided) by `tau` whenever the primal (dual)
     /// residual exceeds `mu` times the other, re-factoring the x-update
@@ -724,6 +921,9 @@ impl LassoAdmm {
     /// point for solvers built with [`LassoAdmm::from_gram`], where the rhs
     /// comes from a weighted `gemv_t` over the unsampled design.
     pub fn solve_path_with_rhs(&self, xty: &[f64], lambdas: &[f64]) -> Vec<AdmmSolution> {
+        if self.cfg.schedule == PathSchedule::Fused {
+            return self.solve_path_fused_with_rhs(xty, lambdas);
+        }
         let p = self.n_coefficients();
         let mut z = vec![0.0; p];
         let mut u = vec![0.0; p];
@@ -757,6 +957,61 @@ impl LassoAdmm {
         out
     }
 
+    /// Solve the whole lambda path in lockstep from cold starts
+    /// ([`PathSchedule::Fused`]): every still-active lambda advances one
+    /// iteration per round, and each round's triangular solves collapse
+    /// into a single multi-RHS substitution over the shared Cholesky
+    /// factor via [`LassoAdmm::step_many`].
+    ///
+    /// Per lambda the returned solution is bit-identical (supports and
+    /// `f64::to_bits` coefficients) to a cold [`LassoAdmm::solve_with_rhs`]
+    /// at that lambda, for any `threads` setting. Solutions come back in
+    /// path order. With metrics attached, records `admm.path.solves`,
+    /// `admm.path.iterations`, and `admm.path.fused_rounds`.
+    pub fn solve_path_fused_with_rhs(&self, xty: &[f64], lambdas: &[f64]) -> Vec<AdmmSolution> {
+        let p = self.n_coefficients();
+        assert_eq!(xty.len(), p, "rhs length mismatch");
+        for &lam in lambdas {
+            assert!(lam >= 0.0);
+        }
+        let mut states: Vec<AdmmState> = lambdas.iter().map(|_| self.init_state()).collect();
+        let mut rounds = 0usize;
+        for _ in 0..self.cfg.max_iter {
+            if states.iter().all(|s| s.converged) {
+                break;
+            }
+            rounds += 1;
+            let mut tasks: Vec<StepTask<'_>> = states
+                .iter_mut()
+                .zip(lambdas)
+                .map(|(state, &lambda)| StepTask { xty, lambda, state })
+                .collect();
+            self.step_many(&mut tasks);
+        }
+        if let Some(m) = &self.metrics {
+            m.observe("admm.path.fused_rounds", rounds as f64);
+        }
+        let mut out = Vec::with_capacity(lambdas.len());
+        for st in states {
+            if !st.converged {
+                // Converged columns were already noted by `step_many`.
+                self.note_solve(st.iterations, false, st.primal_residual, st.dual_residual);
+            }
+            if let Some(m) = &self.metrics {
+                m.incr("admm.path.solves", 1);
+                m.observe("admm.path.iterations", st.iterations as f64);
+            }
+            out.push(AdmmSolution {
+                beta: st.z,
+                iterations: st.iterations,
+                primal_residual: st.primal_residual,
+                dual_residual: st.dual_residual,
+                converged: st.converged,
+            });
+        }
+        out
+    }
+
     /// OLS through the same machinery (`lambda = 0`), as the paper's
     /// estimation step does.
     pub fn solve_ols(&self, y: &[f64]) -> AdmmSolution {
@@ -777,6 +1032,15 @@ pub fn admm_iter_flops(n: usize, p: usize) -> f64 {
     }
 }
 
+/// Number of per-column iteration charges for one lockstep round over
+/// `active` columns with `threads` in-rank workers: `ceil(active /
+/// threads)`. With `threads = 1` this equals `active` — exactly the
+/// historical one-charge-per-column accounting, so single-thread runs
+/// reproduce today's modeled timelines bit for bit.
+pub fn lockstep_round_charges(active: usize, threads: usize) -> usize {
+    active.div_ceil(threads.max(1))
+}
+
 /// Approximate flop count of the one-time factorisation.
 pub fn admm_factor_flops(n: usize, p: usize) -> f64 {
     let m = p.min(n) as f64;
@@ -795,8 +1059,7 @@ mod tests {
         let n = 40;
         let p = 6;
         let x = Matrix::from_fn(n, p, |i, j| {
-            let z = ((i * (j + 3) * 2654435761) % 1000) as f64 / 500.0 - 1.0;
-            z
+            ((i * (j + 3) * 2654435761) % 1000) as f64 / 500.0 - 1.0
         });
         let y: Vec<f64> = (0..n)
             .map(|i| 2.0 * x[(i, 0)] - 1.5 * x[(i, 2)] + 0.01 * ((i * 37 % 10) as f64 - 4.5))
@@ -1225,5 +1488,193 @@ mod tests {
         let wood = admm_iter_flops(10, 10_000);
         let primal_equiv = 2.0 * (10_000.0 * 10_000.0);
         assert!(wood < primal_equiv);
+    }
+
+    #[test]
+    fn lockstep_charges_match_per_column_at_one_thread() {
+        for active in [0, 1, 5, 16] {
+            assert_eq!(lockstep_round_charges(active, 1), active);
+        }
+        assert_eq!(lockstep_round_charges(10, 4), 3);
+        assert_eq!(lockstep_round_charges(8, 4), 2);
+        assert_eq!(lockstep_round_charges(1, 4), 1);
+        // Degenerate threads = 0 is clamped rather than dividing by zero.
+        assert_eq!(lockstep_round_charges(7, 0), 7);
+    }
+
+    #[test]
+    fn config_validates_threads_and_env_override() {
+        assert!(AdmmConfig::builder().threads(0).build().is_err());
+        let cfg = AdmmConfig::builder()
+            .threads(4)
+            .schedule(PathSchedule::Fused)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.schedule, PathSchedule::Fused);
+        // Unset/garbage UOI_THREADS falls back to the default.
+        assert_eq!(AdmmConfig::env_threads(3), {
+            match std::env::var("UOI_THREADS") {
+                Ok(v) => v
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or(3),
+                Err(_) => 3,
+            }
+        });
+    }
+
+    fn assert_solutions_bit_identical(a: &[AdmmSolution], b: &[AdmmSolution]) {
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.iter().zip(b) {
+            assert_eq!(sa.iterations, sb.iterations);
+            assert_eq!(sa.converged, sb.converged);
+            assert_eq!(sa.primal_residual.to_bits(), sb.primal_residual.to_bits());
+            assert_eq!(sa.dual_residual.to_bits(), sb.dual_residual.to_bits());
+            for (va, vb) in sa.beta.iter().zip(&sb.beta) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_path_bit_identical_to_cold_per_lambda() {
+        let (x, y) = toy_problem();
+        let lambdas = [2.0, 1.0, 0.5, 0.1, 0.0];
+        let cfg = AdmmConfig {
+            max_iter: 4000,
+            abstol: 1e-9,
+            reltol: 1e-8,
+            ..Default::default()
+        };
+        let solver = LassoAdmm::new(x, cfg);
+        let xty = solver.prepare_rhs(&y);
+        let cold: Vec<AdmmSolution> = lambdas
+            .iter()
+            .map(|&lam| solver.solve_with_rhs(&xty, lam))
+            .collect();
+        let fused = solver.solve_path_fused_with_rhs(&xty, &lambdas);
+        assert_solutions_bit_identical(&fused, &cold);
+        // Supports agree exactly as a consequence.
+        for (sf, sc) in fused.iter().zip(&cold) {
+            let supp = |s: &AdmmSolution| -> Vec<usize> {
+                s.beta
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v != 0.0)
+                    .map(|(i, _)| i)
+                    .collect()
+            };
+            assert_eq!(supp(sf), supp(sc));
+        }
+    }
+
+    #[test]
+    fn fused_path_bit_identical_to_cold_per_lambda_woodbury() {
+        let n = 10;
+        let p = 25;
+        let x = Matrix::from_fn(n, p, |i, j| (((i * 31 + j * 17) % 13) as f64 - 6.0) / 6.0);
+        let y: Vec<f64> = (0..n).map(|i| x[(i, 1)] * 3.0 - x[(i, 4)]).collect();
+        let solver = LassoAdmm::new(
+            x,
+            AdmmConfig {
+                max_iter: 3000,
+                ..Default::default()
+            },
+        );
+        let xty = solver.prepare_rhs(&y);
+        let lambdas = [0.5, 0.3, 0.05];
+        let cold: Vec<AdmmSolution> = lambdas
+            .iter()
+            .map(|&lam| solver.solve_with_rhs(&xty, lam))
+            .collect();
+        let fused = solver.solve_path_fused_with_rhs(&xty, &lambdas);
+        assert_solutions_bit_identical(&fused, &cold);
+    }
+
+    #[test]
+    fn fused_schedule_invariant_to_thread_count() {
+        let (x, y) = toy_problem();
+        let lambdas = [1.0, 0.5, 0.1, 0.02];
+        let fit = |threads: usize| {
+            let solver = LassoAdmm::new(
+                x.clone(),
+                AdmmConfig {
+                    max_iter: 4000,
+                    threads,
+                    schedule: PathSchedule::Fused,
+                    ..Default::default()
+                },
+            );
+            solver.solve_path(&y, &lambdas)
+        };
+        assert_solutions_bit_identical(&fit(1), &fit(4));
+    }
+
+    #[test]
+    fn fused_schedule_routes_solve_path() {
+        let (x, y) = toy_problem();
+        let lambdas = [1.0, 0.25, 0.0];
+        let sequential = LassoAdmm::new(x.clone(), AdmmConfig::default()).solve_path(&y, &lambdas);
+        let fused_cfg = AdmmConfig {
+            schedule: PathSchedule::Fused,
+            ..Default::default()
+        };
+        let solver = LassoAdmm::new(x, fused_cfg);
+        let routed = solver.solve_path(&y, &lambdas);
+        let direct = solver.solve_path_fused_with_rhs(&solver.prepare_rhs(&y), &lambdas);
+        assert_solutions_bit_identical(&routed, &direct);
+        // Same problems, so both schedules land on the same (near-)solutions
+        // even though the iterates differ.
+        for (sa, sb) in routed.iter().zip(&sequential) {
+            for (va, vb) in sa.beta.iter().zip(&sb.beta) {
+                assert!((va - vb).abs() < 1e-4, "{va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_many_bit_identical_to_individual_steps() {
+        let (x, y) = toy_problem();
+        let solver = LassoAdmm::new(x, AdmmConfig::default());
+        let xty = solver.prepare_rhs(&y);
+        // Distinct per-column problems: scaled rhs, distinct lambdas.
+        let rhs_cols: Vec<Vec<f64>> = (0..5)
+            .map(|k| xty.iter().map(|v| v * (1.0 + 0.2 * k as f64)).collect())
+            .collect();
+        let lambdas = [0.8, 0.4, 0.2, 0.1, 0.0];
+
+        let mut lockstep: Vec<AdmmState> = (0..5).map(|_| solver.init_state()).collect();
+        let mut individual = lockstep.clone();
+        for _ in 0..solver.config().max_iter {
+            if lockstep.iter().all(|s| s.converged) {
+                break;
+            }
+            let mut tasks: Vec<StepTask<'_>> = lockstep
+                .iter_mut()
+                .zip(rhs_cols.iter())
+                .zip(lambdas.iter())
+                .map(|((state, xty), &lambda)| StepTask { xty, lambda, state })
+                .collect();
+            solver.step_many(&mut tasks);
+            for ((st, xty), &lam) in individual.iter_mut().zip(&rhs_cols).zip(&lambdas) {
+                solver.step(xty, lam, st);
+            }
+        }
+        for (a, b) in lockstep.iter().zip(&individual) {
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.converged, b.converged);
+            assert!(a.converged, "toy problems should converge");
+            assert_eq!(a.primal_residual.to_bits(), b.primal_residual.to_bits());
+            assert_eq!(a.dual_residual.to_bits(), b.dual_residual.to_bits());
+            for (va, vb) in a.z.iter().zip(&b.z) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+            for (va, vb) in a.u.iter().zip(&b.u) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
     }
 }

@@ -27,8 +27,9 @@ pub mod ols;
 pub mod prox;
 
 pub use admm::{
-    admm_factor_flops, admm_iter_flops, AdmmConfig, AdmmConfigBuilder, AdmmSolution, AdmmState,
-    AdmmStatus, AdmmWorkspace, InvalidConfig, LassoAdmm,
+    admm_factor_flops, admm_iter_flops, lockstep_round_charges, AdmmConfig, AdmmConfigBuilder,
+    AdmmSolution, AdmmState, AdmmStatus, AdmmWorkspace, InvalidConfig, LassoAdmm, PathSchedule,
+    StepTask,
 };
 pub use admm_dist::DistLassoAdmm;
 pub use cd::{lasso_cd, lasso_cd_warm, mcp_cd, ridge, scad_cd, CdConfig};

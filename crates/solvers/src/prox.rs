@@ -15,10 +15,19 @@ pub fn soft_threshold(a: f64, k: f64) -> f64 {
 }
 
 /// Elementwise soft threshold into `out`.
+///
+/// Delegates to the vectorised `uoi_linalg::kernels::soft_threshold` for
+/// `k > 0`, which is bit-identical to the scalar loop (see that module's
+/// equivalence argument). The scalar loop remains for `k == 0`, where the
+/// branchless form would not preserve the sign of a negative-zero input.
 pub fn soft_threshold_vec(a: &[f64], k: f64, out: &mut [f64]) {
     debug_assert_eq!(a.len(), out.len());
-    for (o, &x) in out.iter_mut().zip(a) {
-        *o = soft_threshold(x, k);
+    if k > 0.0 {
+        uoi_linalg::kernels::soft_threshold(a, k, out);
+    } else {
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = soft_threshold(x, k);
+        }
     }
 }
 

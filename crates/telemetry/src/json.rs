@@ -497,7 +497,7 @@ mod tests {
         // integration test converting multi-MB Chrome traces).
         let big = Json::Arr(
             (0..2000)
-                .map(|i| Json::obj(vec![("name", Json::str(&format!("admm.iter λ{i}")))]))
+                .map(|i| Json::obj(vec![("name", Json::str(format!("admm.iter λ{i}")))]))
                 .collect(),
         );
         assert_eq!(Json::parse(&big.to_string_compact()).unwrap(), big);

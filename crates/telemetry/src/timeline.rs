@@ -476,7 +476,10 @@ mod tests {
         // An inner tagged span (the Tier-1 re-read inside recovery)
         // still wins, as for every other phase.
         assert_eq!(
-            classify(&s(&["recovery.restripe", "read_t1.hyperslab"]), LedgerKind::Io),
+            classify(
+                &s(&["recovery.restripe", "read_t1.hyperslab"]),
+                LedgerKind::Io
+            ),
             PipelinePhase::ReadT1
         );
     }

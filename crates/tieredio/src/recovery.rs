@@ -74,8 +74,8 @@ pub const DEFAULT_GET_ATTEMPTS: u32 = 4;
 pub fn row_checksum(payload: &[f64], global_row: usize) -> f64 {
     // Non-zero init: an all-zero payload at row 0 must not checksum to
     // 0.0, or a dropped (zero-filled) transfer would verify clean.
-    let mut acc = 0x5EED_C0DE_0DD5_EED1u64
-        ^ (global_row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut acc =
+        0x5EED_C0DE_0DD5_EED1u64 ^ (global_row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     for &x in payload {
         acc = acc.rotate_left(7) ^ x.to_bits();
     }
@@ -275,7 +275,8 @@ pub fn restripe_after_shrink(
         ctx.span_exit(sp);
         let shard = shard?;
         for r in start..end {
-            out.row_mut(r - my_new.start).copy_from_slice(shard.row(r - start));
+            out.row_mut(r - my_new.start)
+                .copy_from_slice(shard.row(r - start));
         }
     }
     Ok(out)

@@ -46,7 +46,9 @@ fn main() {
             ..Default::default()
         },
     };
-    let fit = fit_uoi_var(&diffs, &cfg);
+    let fit = UoiVarFitter::new(cfg)
+        .fit(&diffs)
+        .expect("well-formed series");
     let net = fit.network(0.0);
 
     println!(

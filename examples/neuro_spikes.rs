@@ -45,7 +45,7 @@ fn main() {
             ..Default::default()
         },
     };
-    let fit = fit_uoi_var(&z, &cfg);
+    let fit = UoiVarFitter::new(cfg).fit(&z).expect("well-formed series");
     let net = fit.network(0.0);
 
     println!(

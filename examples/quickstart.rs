@@ -34,7 +34,9 @@ fn main() {
         .q(20)
         .build()
         .expect("valid config");
-    let fit = try_fit_uoi_lasso(&ds.x, &ds.y, &cfg).expect("well-formed inputs");
+    let fit = UoiFitter::new(cfg)
+        .fit(&ds.x, &ds.y)
+        .expect("well-formed inputs");
 
     // 3. What did UoI select?
     println!("\nselected support: {:?}", fit.support);

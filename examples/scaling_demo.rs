@@ -26,11 +26,17 @@ fn main() {
         ..Default::default()
     };
 
+    // The unified fitter drives every execution mode; inside a cluster
+    // closure, `fit_on` runs the distributed pipeline on that rank.
+    let fitter = UoiFitter::new(cfg.clone()).mode(ExecMode::Dist(
+        DistOptions::default().layout(ParallelLayout::admm_only()),
+    ));
+
     // 1. Run on 8 simulated ranks "as themselves".
     let (x, y) = (ds.x.clone(), ds.y.clone());
-    let cfg1 = cfg.clone();
+    let fitter1 = fitter.clone();
     let report = Cluster::new(8, MachineModel::deterministic()).run(move |ctx, world| {
-        let fit = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg1, ParallelLayout::admm_only());
+        let fit = fitter1.fit_on(ctx, world, &x, &y);
         (fit.support.len(), ctx.ledger())
     });
     println!("8 simulated ranks:");
@@ -42,11 +48,11 @@ fn main() {
     //    row). Statistical output is identical; the virtual clock shows
     //    how the phase balance shifts at scale.
     let (x, y) = (ds.x.clone(), ds.y.clone());
-    let cfg2 = cfg.clone();
+    let fitter2 = fitter.clone();
     let report_big = Cluster::new(8, MachineModel::deterministic())
         .modeled_ranks(8_704)
         .run(move |ctx, world| {
-            let fit = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg2, ParallelLayout::admm_only());
+            let fit = fitter2.fit_on(ctx, world, &x, &y);
             (fit.support, ctx.ledger())
         });
     println!("same run, modeled as 8,704 cores:");

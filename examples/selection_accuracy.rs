@@ -31,17 +31,15 @@ fn main() {
         .generate();
 
         // UoI_LASSO.
-        let fit = fit_uoi_lasso(
-            &ds.x,
-            &ds.y,
-            &UoiLassoConfig {
-                b1: 12,
-                b2: 12,
-                q: 16,
-                seed: trial,
-                ..Default::default()
-            },
-        );
+        let fit = UoiFitter::new(UoiLassoConfig {
+            b1: 12,
+            b2: 12,
+            q: 16,
+            seed: trial,
+            ..Default::default()
+        })
+        .fit(&ds.x, &ds.y)
+        .expect("well-formed inputs");
         accumulate(&mut uoi_stats, &fit.beta, &ds, p);
 
         // Plain LASSO at a hold-out-selected lambda.

@@ -39,22 +39,20 @@ fn main() {
         seed: 1,
         ..Default::default()
     };
-    let fit_d = fit_uoi_var(
-        &series,
-        &UoiVarConfig {
-            order: d,
-            block_len: None,
-            base: base.clone(),
-        },
-    );
-    let fit_1 = fit_uoi_var(
-        &series,
-        &UoiVarConfig {
-            order: 1,
-            block_len: None,
-            base,
-        },
-    );
+    let fit_d = UoiVarFitter::new(UoiVarConfig {
+        order: d,
+        block_len: None,
+        base: base.clone(),
+    })
+    .fit(&series)
+    .expect("well-formed series");
+    let fit_1 = UoiVarFitter::new(UoiVarConfig {
+        order: 1,
+        block_len: None,
+        base,
+    })
+    .fit(&series)
+    .expect("well-formed series");
 
     println!(
         "\nheld-out one-step MSE: order {d} -> {:.4}, order 1 -> {:.4}",

@@ -6,10 +6,13 @@
 # Runs each binary REPS times untraced, takes the minimum wall-clock,
 # then runs REPS traced reps (UOI_TRACE=1) and folds the per-phase
 # minimum modeled times from the run reports into a schema-versioned
-# BENCH_PIPELINE.json at the repo root (schema_version 2). Per-phase
+# BENCH_PIPELINE.json at the repo root (schema_version 3). Per-phase
 # minima are the same estimator as the walls: the modeled time of a
 # phase varies run to run with thread scheduling (one-sided serving
-# order), and the minimum is the stable best case.
+# order), and the minimum is the stable best case. Since schema 3 each
+# pipeline entry also records the run parameters that shape the modeled
+# admm_local time (in-rank `threads`, `admm_schedule`) so a snapshot is
+# self-describing about the configuration that produced it.
 #
 #   scripts/bench_snapshot.sh                    # fresh snapshot
 #   scripts/bench_snapshot.sh old.json           # snapshot + speedup vs old
@@ -19,9 +22,10 @@
 # --compare diffs the modeled per-phase seconds (virtual clock, so
 # deterministic across machines) against a previous snapshot and fails
 # when any phase that mattered in the baseline (>= 1% of its makespan)
-# slowed down by more than 15%. Baselines written by the v1 script have
-# no phase data; comparing against them only checks wall-clock and
-# always exits 0.
+# slowed down by more than 15%. The `admm_local` phase — the solver
+# inner loop the kernel work targets — is always gated, floor or no
+# floor. Baselines written by the v1 script have no phase data;
+# comparing against them only checks wall-clock and always exits 0.
 #
 # Environment: REPS (default 3), BINDIR (prebuilt binaries; defaults to
 # target/release via cargo build).
@@ -80,7 +84,7 @@ base_doc = json.load(open(baseline)) if baseline else {}
 base_by_name = {e["name"]: e for e in base_doc.get("pipelines", [])}
 
 doc = {
-    "schema_version": 2,
+    "schema_version": 3,
     "reps": reps,
     "generated_by": "scripts/bench_snapshot.sh",
     "pipelines": [],
@@ -92,9 +96,14 @@ for spec in sys.argv[4:]:
     for rep in range(1, reps + 1):
         report_path = os.path.join(trace_dir, f"rep{rep}", f"{name}.json")
         try:
-            breakdown = json.load(open(report_path)).get("breakdown")
+            report = json.load(open(report_path))
         except (OSError, ValueError):
             continue
+        for key in ("threads", "admm_schedule"):
+            val = report.get("params", {}).get(key)
+            if val is not None:
+                entry[key] = val
+        breakdown = report.get("breakdown")
         if not breakdown:
             continue
         makespans.append(breakdown["makespan"])
@@ -126,6 +135,7 @@ import json, sys
 
 THRESHOLD = 0.15   # fail on >15% slowdown
 FLOOR = 0.01       # ignore phases under 1% of the baseline makespan
+ALWAYS_GATED = {"admm_local"}  # solver inner loop: gated regardless of FLOOR
 
 old = json.load(open(sys.argv[1]))
 new = json.load(open("BENCH_PIPELINE.json"))
@@ -149,7 +159,7 @@ for entry in new["pipelines"]:
     floor = FLOOR * base.get("makespan_model_s", 0.0)
     for phase, t_old in sorted(old_phases.items()):
         t_new = entry.get("phases_model_s", {}).get(phase)
-        if t_new is None or t_old < floor:
+        if t_new is None or (t_old < floor and phase not in ALWAYS_GATED):
             continue
         delta = t_new / t_old - 1.0
         flag = ""

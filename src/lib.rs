@@ -7,22 +7,21 @@
 //!
 //! ## The two algorithms
 //!
-//! * [`core::fit_uoi_lasso`] — `UoI_LASSO` (paper Algorithm 1): sparse
+//! * [`core::UoiFitter`] — `UoI_LASSO` (paper Algorithm 1): sparse
 //!   linear regression with bootstrap-intersection selection and
 //!   OLS-union estimation;
-//! * [`core::fit_uoi_var`] — `UoI_VAR` (paper Algorithm 2): Granger-causal
+//! * [`core::UoiVarFitter`] — `UoI_VAR` (paper Algorithm 2): Granger-causal
 //!   network inference for VAR(d) time series via the vectorised
 //!   `vec Y = (I ⊗ X) vec B` rearrangement and block bootstrap.
 //!
-//! Both have distributed counterparts ([`core::fit_uoi_lasso_dist`],
-//! [`core::fit_uoi_var_dist`]) that run on the simulated cluster in
-//! [`mpisim`], reproducing the paper's 100k-core scaling behaviour through
-//! a virtual-time machine model.
+//! Both fitters also run distributed ([`core::ExecMode::Dist`]) on the
+//! simulated cluster in [`mpisim`], reproducing the paper's 100k-core
+//! scaling behaviour through a virtual-time machine model.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use uoi::core::{fit_uoi_lasso, UoiLassoConfig};
+//! use uoi::core::{UoiFitter, UoiLassoConfig};
 //! use uoi::data::LinearConfig;
 //!
 //! // A small synthetic problem with 4 active features out of 20.
@@ -37,7 +36,7 @@
 //! .generate();
 //!
 //! let cfg = UoiLassoConfig { b1: 6, b2: 6, q: 10, ..Default::default() };
-//! let fit = fit_uoi_lasso(&ds.x, &ds.y, &cfg);
+//! let fit = UoiFitter::new(cfg).fit(&ds.x, &ds.y).unwrap();
 //!
 //! // The union support contains few features, and every true feature
 //! // should usually be recovered at this SNR.
@@ -79,25 +78,32 @@ pub use uoi_tieredio as tieredio;
 /// let ds = LinearConfig { n_samples: 60, n_features: 12, n_nonzero: 3, ..Default::default() }
 ///     .generate();
 /// let cfg = UoiLassoConfig::builder().b1(4).b2(4).q(6).build().unwrap();
-/// let fit = try_fit_uoi_lasso(&ds.x, &ds.y, &cfg).unwrap();
+/// let fit = UoiFitter::new(cfg).fit(&ds.x, &ds.y).unwrap();
 /// assert!(fit.support.len() <= 12);
 /// ```
 ///
-/// Covers the fitters (fallible and panicking), their validated config
-/// builders, the error type, the simulated cluster, the synthetic data
-/// generators, and the telemetry types (tracing sinks, metrics registry,
-/// run reports).
+/// Covers the unified fitters (plus the deprecated free-function fit
+/// surface for source compatibility), their validated config builders,
+/// the error type, the simulated cluster, the synthetic data generators,
+/// the vectorised [`kernels`] module, and the telemetry types (tracing
+/// sinks, metrics registry, run reports).
 pub mod prelude {
     pub use uoi_core::{
-        fit_uoi_lasso, fit_uoi_lasso_dist, fit_uoi_lasso_recovering, fit_uoi_var,
-        fit_uoi_var_dist, fit_uoi_var_recovering, try_fit_uoi_lasso, try_fit_uoi_var,
-        ParallelLayout, RecoveryConfig, SelectionCounts, UoiError, UoiLassoConfig,
-        UoiLassoConfigBuilder, UoiVarConfig, UoiVarConfigBuilder, UoiVarDistConfig,
+        DistOptions, ExecMode, ParallelLayout, RecoveryConfig, SelectionCounts, UoiError,
+        UoiFitter, UoiLassoConfig, UoiLassoConfigBuilder, UoiVarConfig, UoiVarConfigBuilder,
+        UoiVarDistConfig, UoiVarFitter,
+    };
+    // Deprecated 8-way fit surface, kept so downstream `use uoi::prelude::*`
+    // code migrates on its own schedule.
+    #[allow(deprecated)]
+    pub use uoi_core::{
+        fit_uoi_lasso, fit_uoi_lasso_dist, fit_uoi_lasso_recovering, fit_uoi_var, fit_uoi_var_dist,
+        fit_uoi_var_recovering, try_fit_uoi_lasso, try_fit_uoi_var,
     };
     pub use uoi_data::{FinanceConfig, LinearConfig, NeuroConfig, VarConfig, VarProcess};
-    pub use uoi_linalg::Matrix;
+    pub use uoi_linalg::{kernels, Matrix};
     pub use uoi_mpisim::{Cluster, MachineModel, Phase, PhaseLedger, SimReport};
-    pub use uoi_solvers::{AdmmConfig, AdmmConfigBuilder, InvalidConfig, LassoAdmm};
+    pub use uoi_solvers::{AdmmConfig, AdmmConfigBuilder, InvalidConfig, LassoAdmm, PathSchedule};
     pub use uoi_telemetry::{
         JsonlSink, MemorySink, MetricsRegistry, RunReport, RunSummary, Telemetry, TraceEvent,
         TraceSink,

@@ -3,7 +3,7 @@
 //! agreement with the serial fit and with the ground truth.
 
 use uoi::core::{
-    fit_uoi_lasso, fit_uoi_lasso_dist, ParallelLayout, SelectionCounts, UoiLassoConfig,
+    DistOptions, ExecMode, ParallelLayout, SelectionCounts, UoiFitter, UoiLassoConfig,
 };
 use uoi::data::LinearConfig;
 use uoi::mpisim::{Cluster, MachineModel};
@@ -62,7 +62,11 @@ fn file_to_distributed_fit_roundtrip() {
         assert!(timing.read > 0.0);
         let x = full.gather_cols(&(0..24).collect::<Vec<_>>());
         let y = full.col(24);
-        fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), ParallelLayout::admm_only())
+        UoiFitter::new(cfg())
+            .mode(ExecMode::Dist(
+                DistOptions::default().layout(ParallelLayout::admm_only()),
+            ))
+            .fit_on(ctx, world, &x, &y)
     });
     std::fs::remove_file(&path).ok();
 
@@ -72,7 +76,7 @@ fn file_to_distributed_fit_roundtrip() {
     }
 
     // Matches the serial reference statistically.
-    let serial = fit_uoi_lasso(&ds.x, &ds.y, &cfg());
+    let serial = UoiFitter::new(cfg()).fit(&ds.x, &ds.y).unwrap();
     assert_eq!(dist.supports_per_lambda, serial.supports_per_lambda);
 
     // And recovers the planted support.
@@ -95,14 +99,11 @@ fn nested_layout_preserves_statistics() {
         let (x, y) = (ds.x.clone(), ds.y.clone());
         Cluster::new(8, MachineModel::deterministic())
             .run(move |ctx, world| {
-                fit_uoi_lasso_dist(
-                    ctx,
-                    world,
-                    &x,
-                    &y,
-                    &cfg(),
-                    ParallelLayout { p_b, p_lambda: p_l },
-                )
+                UoiFitter::new(cfg())
+                    .mode(ExecMode::Dist(
+                        DistOptions::default().layout(ParallelLayout { p_b, p_lambda: p_l }),
+                    ))
+                    .fit_on(ctx, world, &x, &y)
             })
             .results
             .remove(0)
@@ -132,8 +133,11 @@ fn modeled_scale_changes_time_not_statistics() {
         let report = Cluster::new(4, MachineModel::deterministic())
             .modeled_ranks(modeled)
             .run(move |ctx, world| {
-                let fit =
-                    fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), ParallelLayout::admm_only());
+                let fit = UoiFitter::new(cfg())
+                    .mode(ExecMode::Dist(
+                        DistOptions::default().layout(ParallelLayout::admm_only()),
+                    ))
+                    .fit_on(ctx, world, &x, &y);
                 (fit.beta, ctx.ledger().comm)
             });
         report.results[0].clone()

@@ -3,7 +3,7 @@
 //! fit → network), plus serial/distributed agreement on spike-count data.
 
 use uoi::core::{
-    fit_uoi_var, fit_uoi_var_dist, ParallelLayout, UoiLassoConfig, UoiVarConfig, UoiVarDistConfig,
+    DistOptions, ExecMode, ParallelLayout, UoiLassoConfig, UoiVarConfig, UoiVarFitter,
 };
 use uoi::data::preprocess::{aggregate_last, first_differences, Standardizer};
 use uoi::data::{FinanceConfig, NeuroConfig, DAYS_PER_WEEK};
@@ -42,14 +42,13 @@ fn finance_pipeline_recovers_sparse_network() {
     assert_eq!(weekly.rows(), 156);
     let diffs = first_differences(&weekly);
 
-    let fit = fit_uoi_var(
-        &diffs,
-        &UoiVarConfig {
-            order: 1,
-            block_len: None,
-            base: base(3),
-        },
-    );
+    let fit = UoiVarFitter::new(UoiVarConfig {
+        order: 1,
+        block_len: None,
+        base: base(3),
+    })
+    .fit(&diffs)
+    .unwrap();
     let net = fit.network(0.0);
 
     // Sparse and non-trivial.
@@ -99,16 +98,16 @@ fn neuro_counts_serial_vs_distributed() {
         block_len: None,
         base: base(7),
     };
-    let serial = fit_uoi_var(&z, &var_cfg);
+    let serial = UoiVarFitter::new(var_cfg.clone()).fit(&z).unwrap();
 
-    let dist_cfg = UoiVarDistConfig {
-        var: var_cfg,
-        n_readers: 2,
-        layout: ParallelLayout::admm_only(),
-    };
+    let fitter = UoiVarFitter::new(var_cfg).mode(ExecMode::Dist(
+        DistOptions::default()
+            .layout(ParallelLayout::admm_only())
+            .n_readers(2),
+    ));
     let z2 = z.clone();
     let report = Cluster::new(5, MachineModel::deterministic())
-        .run(move |ctx, world| fit_uoi_var_dist(ctx, world, &z2, &dist_cfg).0);
+        .run(move |ctx, world| fitter.fit_on(ctx, world, &z2).0);
     let dist = &report.results[0];
 
     assert_eq!(serial.supports_per_lambda, dist.supports_per_lambda);
@@ -129,14 +128,13 @@ fn var2_pipeline_works_end_to_end() {
         seed: 29,
     });
     let series = proc.simulate(600, 80, 30);
-    let fit = fit_uoi_var(
-        &series,
-        &UoiVarConfig {
-            order: 2,
-            block_len: Some(12),
-            base: base(11),
-        },
-    );
+    let fit = UoiVarFitter::new(UoiVarConfig {
+        order: 2,
+        block_len: Some(12),
+        base: base(11),
+    })
+    .fit(&series)
+    .unwrap();
     assert_eq!(fit.a_mats.len(), 2);
     let net = fit.network(0.0);
     assert!(net.edge_count() > 0);

@@ -1,0 +1,249 @@
+//! Offline stand-in for `rand` (see `vendor/README.md`).
+//!
+//! Provides the narrow surface the workspace uses: `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], and the [`RngExt`] sampling methods
+//! (`random::<f64/bool>()`, `random_range` over float and integer ranges).
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — fully deterministic
+//! per seed, but **not** stream-compatible with upstream `rand`'s ChaCha12
+//! `StdRng`. Benchmark baselines committed in this repository were
+//! generated against this stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: everything is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+    }
+}
+
+/// Seedable construction, with the SplitMix64-expanded `seed_from_u64`
+/// convenience mirroring `rand_core`.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_exact_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniform sampling over a range type; backs [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types samplable by [`RngExt::random`].
+pub trait StandardSample: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// Unbiased integer sampling in `[0, width)` by rejection above the last
+/// full multiple of `width`.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    let zone = u64::MAX - u64::MAX % width;
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % width;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, width) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "random_range: empty range");
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_u64(rng, width + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(usize, u64, u32, i64, i32, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "random_range: empty range");
+        let u = f64::sample(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range: empty range");
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+/// The user-facing sampling extension trait (`rand`'s `Rng`/`RngExt`).
+pub trait RngExt: RngCore {
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic standard generator: xoshiro256++.
+    ///
+    /// Not stream-compatible with upstream `rand`'s ChaCha12 `StdRng`; see
+    /// the crate docs.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // All-zero state is a fixed point of xoshiro; redirect it.
+            if s.iter().all(|&w| w == 0) {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>().to_bits(), b.random::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&u));
+            let x = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let i = rng.random_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let j = rng.random_range(0u64..=5);
+            assert!(j <= 5);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.random::<f64>() == b.random::<f64>()).count();
+        assert!(same < 4);
+    }
+}

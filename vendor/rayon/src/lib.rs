@@ -1,0 +1,167 @@
+//! Sequential stand-in for `rayon` (offline builds; see `vendor/README.md`).
+//!
+//! The adapters wrap a plain [`std::iter::Iterator`] and execute eagerly in
+//! order, so every reduction is performed in ascending index order — a
+//! strict subset of the behaviours real rayon permits, and exactly the
+//! deterministic order the workspace's `to_bits` reproducibility contracts
+//! assume. Code written against this shim compiles unchanged against real
+//! rayon.
+
+/// Number of worker threads the "pool" would have. The shim is sequential,
+/// so this reports the machine's available parallelism purely as a sizing
+/// hint for block decompositions.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The parallel-iterator wrapper. Adapters mirror the `rayon` names but
+/// delegate to the inner sequential iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    #[inline]
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    #[inline]
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    #[inline]
+    pub fn step_by(self, step: usize) -> ParIter<std::iter::StepBy<I>> {
+        ParIter(self.0.step_by(step))
+    }
+
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    #[inline]
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+        ParIter(self.0.zip(other.into_iter()))
+    }
+
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// `reduce(identity, op)` with rayon's signature; sequential fold from
+    /// the identity, in iterator order.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    #[inline]
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    #[inline]
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Collect into a caller-owned vector, replacing its contents.
+    #[inline]
+    pub fn collect_into_vec(self, out: &mut Vec<I::Item>) {
+        out.clear();
+        out.extend(self.0);
+    }
+}
+
+/// `into_par_iter()` for anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` / `par_chunks()` over shared slices.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk))
+    }
+}
+
+/// `par_iter_mut()` / `par_chunks_mut()` over mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_folds_in_order() {
+        let s: Vec<usize> = (0..5)
+            .into_par_iter()
+            .map(|i| vec![i])
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            });
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate() {
+        let mut buf = vec![0usize; 9];
+        buf.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for v in c {
+                *v = i;
+            }
+        });
+        assert_eq!(buf, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+}
