@@ -65,7 +65,7 @@ fn main() {
             .layout(ParallelLayout::admm_only())
             .n_readers(4),
     ));
-    let series2 = series.clone();
+    let series2 = series;
     let trace = BenchTrace::from_env("ablation_comm_avoiding");
     let report = Cluster::new(8, machine())
         .modeled_ranks(1024)

@@ -67,7 +67,7 @@ fn main() {
         seed: 11,
         ..Default::default()
     };
-    let (x, y) = (ds.x.clone(), ds.y.clone());
+    let (x, y) = (ds.x.clone(), ds.y);
     let paper_bytes = point.bytes;
     let trace = BenchTrace::from_env("fig2_lasso_single_node");
     let report = Cluster::new(exec_ranks(), machine())
@@ -118,6 +118,7 @@ fn main() {
                 .param("modeled_cores", point.cores)
                 .param("threads", threads)
                 .param("admm_schedule", format!("{schedule:?}"))
+                .param("gram_kernel", uoi_linalg::gram::KERNEL_VARIANT)
                 .with_summary(report.run_summary()),
         ),
     );

@@ -73,6 +73,7 @@ fn main() {
             t.run_report("fig7_var_single_node")
                 .param("exec_p", p)
                 .param("threads", threads)
+                .param("gram_kernel", uoi_linalg::gram::KERNEL_VARIANT)
                 .with_summary(out.report.run_summary()),
         ),
     );

@@ -47,7 +47,7 @@ fn report_phase_totals_reconcile_with_sim_ledger() {
     }
     let doc = t
         .run_report("run_report_reconciliation")
-        .with_summary(summary.clone())
+        .with_summary(summary)
         .to_json_string();
     let parsed = Json::parse(&doc).expect("report must be valid JSON");
     assert_eq!(

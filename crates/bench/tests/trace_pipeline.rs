@@ -52,7 +52,7 @@ fn traced_fig2_style_run_produces_consistent_artifacts() {
     }
     .generate();
     let cfg = small_cfg();
-    let (x, y) = (ds.x.clone(), ds.y.clone());
+    let (x, y) = (ds.x.clone(), ds.y);
 
     // --- Traced run with an injected 4x straggler on rank 1. ---
     let trace = BenchTrace::enabled("trace_pipeline_test");

@@ -528,7 +528,7 @@ mod tests {
             min_quorum_frac: 0.5,
         };
         let s1 = r.to_json().to_string_compact();
-        let s2 = r.clone().to_json().to_string_compact();
+        let s2 = r.to_json().to_string_compact();
         assert_eq!(s1, s2);
         assert!(s1.contains("\"failed_selection\":[2,7]"), "{s1}");
         assert!(r.is_degraded());

@@ -384,7 +384,7 @@ mod tests {
             degraded_fallback: false,
         };
         let a = rep.to_json().to_string_compact();
-        let b = rep.clone().to_json().to_string_compact();
+        let b = rep.to_json().to_string_compact();
         assert_eq!(a, b);
         for key in [
             "world",

@@ -22,7 +22,7 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use uoi_data::bootstrap::{resample_weights, row_bootstrap};
 use uoi_data::rng::substream;
-use uoi_linalg::{dot, gemv_t_weighted, kernels, syrk_t_weighted, weighted_sumsq, Matrix};
+use uoi_linalg::{dot, kernels, weighted_sumsq, Matrix};
 use uoi_solvers::{lambda_path, ols_on_support_gram, support_of, AdmmConfig, LassoAdmm};
 use uoi_telemetry::{Telemetry, TraceEvent};
 
@@ -380,14 +380,29 @@ pub(crate) fn centre_data(x: &Matrix, y: &[f64]) -> (Matrix, Vec<f64>, Vec<f64>,
     (xc, yc, x_means, y_mean)
 }
 
-/// Selection bootstrap `k`'s weighted Gram and right-hand side — the
-/// `O(n p^2)` half of the task, checkpointable for recovery re-solves.
-pub(crate) fn selection_gram(xc: &Matrix, yc: &[f64], seed: u64, k: usize) -> (Matrix, Vec<f64>) {
-    let n = xc.rows();
+/// Selection bootstrap `k`'s resample multiplicities — the zero-copy
+/// weight vector that stands in for the materialised resample.
+pub(crate) fn selection_weights(n: usize, seed: u64, k: usize) -> Vec<f64> {
     let mut rng = substream(seed, k as u64);
     let idx = row_bootstrap(&mut rng, n, n);
-    let w = resample_weights(&idx, n);
-    (syrk_t_weighted(xc, &w), gemv_t_weighted(xc, &w, yc))
+    resample_weights(&idx, n)
+}
+
+/// Selection bootstrap `k`'s weighted Gram and right-hand side — the
+/// `O(n p^2)` half of the task, checkpointable for recovery re-solves.
+///
+/// A batch of one through the batched Gram engine: per-resample results
+/// are independent of batch composition, so this is bit-identical to the
+/// same bootstrap inside `fit_inner`'s batched pass. The Gram comes back
+/// upper-stored (strict lower zero); every consumer — `from_gram`,
+/// `ols_on_support_gram`, `symv`, the checkpoint round-trip — reads only
+/// the upper triangle.
+pub(crate) fn selection_gram(xc: &Matrix, yc: &[f64], seed: u64, k: usize) -> (Matrix, Vec<f64>) {
+    let w = selection_weights(xc.rows(), seed, k);
+    let (gram, xty) = uoi_linalg::gram_rhs_batch(xc, yc, &[&w])
+        .pop()
+        .expect("batch of one");
+    (gram.into_upper(), xty)
 }
 
 /// Solve selection bootstrap `k`'s lambda path from its (possibly
@@ -476,10 +491,36 @@ pub(crate) fn estimation_setup(
     (union, xu, family_u)
 }
 
+/// Estimation resample `k`'s train/eval split: the zero-copy train
+/// weights, the out-of-bag evaluation rows, and the train count.
+pub(crate) fn estimation_resample(n: usize, seed: u64, k: usize) -> (Vec<f64>, Vec<usize>, usize) {
+    let mut rng = substream(seed, 10_000 + k as u64);
+    let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
+    let n_train = train_idx.len();
+    let w = resample_weights(&train_idx, n);
+    (w, eval_idx, n_train)
+}
+
+/// One estimation resample's linear system plus its split — everything
+/// [`estimation_score`] needs beyond the shared projected design.
+pub(crate) struct EstimationSystem {
+    /// Upper-stored weighted union Gram `X_u^T diag(w) X_u`.
+    pub gram_u: Matrix,
+    /// `X_u^T diag(w) y`.
+    pub xty_u: Vec<f64>,
+    /// Train multiplicities.
+    pub w: Vec<f64>,
+    /// Out-of-bag evaluation rows.
+    pub eval_idx: Vec<usize>,
+    /// Training sample count.
+    pub n_train: usize,
+}
+
 /// The full estimation task body for resample `k` (Algorithm 1 lines
 /// 13–23): scores every candidate support and returns the winner
 /// embedded in full-`p` coordinates. Shared by the serial loop and the
-/// recovering pipeline.
+/// recovering pipeline; a batch of one through the batched Gram engine,
+/// bit-identical to the same resample inside `fit_inner`'s batched pass.
 pub(crate) fn estimation_task(
     xu: &Matrix,
     yc: &[f64],
@@ -489,27 +530,55 @@ pub(crate) fn estimation_task(
     cfg: &UoiLassoConfig,
     k: usize,
 ) -> Vec<f64> {
-    let n = xu.rows();
-    let mut rng = substream(cfg.seed, 10_000 + k as u64);
-    let (train_idx, eval_idx) = bootstrap_with_oob(&mut rng, n);
-    let n_train = train_idx.len();
-    let w = resample_weights(&train_idx, n);
-    let gram_u = syrk_t_weighted(xu, &w);
-    let xty_u = gemv_t_weighted(xu, &w, yc);
+    let (w, eval_idx, n_train) = estimation_resample(xu.rows(), cfg.seed, k);
+    let (gram_u, xty_u) = uoi_linalg::gram_rhs_batch(xu, yc, &[&w])
+        .pop()
+        .expect("batch of one");
+    let sys = EstimationSystem {
+        gram_u: gram_u.into_upper(),
+        xty_u,
+        w,
+        eval_idx,
+        n_train,
+    };
+    estimation_score(xu, yc, family_u, union, p, cfg, &sys)
+}
+
+/// Score every candidate support on one resample's system and return the
+/// winner embedded in full-`p` coordinates. All Gram reads (sub-Gram
+/// extraction, `symv` quad form) touch only the upper triangle, so the
+/// upper-stored batched Gram needs no mirror.
+pub(crate) fn estimation_score(
+    xu: &Matrix,
+    yc: &[f64],
+    family_u: &[Vec<usize>],
+    union: &[usize],
+    p: usize,
+    cfg: &UoiLassoConfig,
+    sys: &EstimationSystem,
+) -> Vec<f64> {
+    let EstimationSystem {
+        gram_u,
+        xty_u,
+        w,
+        eval_idx,
+        n_train,
+    } = sys;
+    let (eval_idx, n_train) = (eval_idx.as_slice(), *n_train);
     // Weighted training RSS identity for BIC:
     // ||X_b b - y_b||^2 = b'Gb - 2 b'(X^T y)_w + sum_i w_i y_i^2.
     let ysq_w = match cfg.score {
-        EstimationScore::Bic => weighted_sumsq(&w, yc),
+        EstimationScore::Bic => weighted_sumsq(w, yc),
         EstimationScore::Mse => 0.0,
     };
 
     let mut best: Option<(f64, Vec<f64>)> = None;
     for support_u in family_u {
-        let beta_u = ols_on_support_gram(&gram_u, &xty_u, support_u, n_train);
+        let beta_u = ols_on_support_gram(gram_u, xty_u, support_u, n_train);
         let loss = match cfg.score {
             EstimationScore::Mse => {
                 let mut sum = 0.0;
-                for &e in &eval_idx {
+                for &e in eval_idx {
                     let d = dot(xu.row(e), &beta_u) - yc[e];
                     sum += d * d;
                 }
@@ -520,9 +589,9 @@ pub(crate) fn estimation_task(
                 // the memory traffic of the quad-form against a general
                 // gemv (agreement ~1e-12, well inside BIC's resolution).
                 let mut gb = vec![0.0; beta_u.len()];
-                kernels::symv(&gram_u, &beta_u, &mut gb);
+                kernels::symv(gram_u, &beta_u, &mut gb);
                 let quad = dot(&beta_u, &gb);
-                let rss = (quad - 2.0 * dot(&beta_u, &xty_u) + ysq_w).max(0.0);
+                let rss = (quad - 2.0 * dot(&beta_u, xty_u) + ysq_w).max(0.0);
                 bic_from_rss(rss, n_train, support_u.len())
             }
         };
@@ -609,35 +678,55 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
     // X_b^T y_b = sum_i c_i y_i x_i, so each bootstrap accumulates a
     // weighted Gram + rhs over the shared centred design and solves the
     // whole lambda path from those.
-    // Each task yields `Ok(Some(supports))` on success, `Ok(None)` when
-    // the fault plan kills it (or the preemption budget ran dry), and
-    // `Err` only for checkpoint write failures.
+    // Triage first (fault plan, checkpoint hits, preemption budget — all
+    // sequential in ascending k, so budget consumption is deterministic),
+    // then one batched Gram + rhs pass over the centred design covers
+    // every bootstrap still to compute: the design streams from memory
+    // once instead of once per bootstrap. A slot holds `Some(supports)`
+    // on success and `None` when the fault plan killed the task or the
+    // preemption budget ran dry; `Err` only for checkpoint write failures.
     let selection_results: Vec<Option<Vec<Vec<usize>>>> =
         traced(&cfg.telemetry, "uoi_lasso.selection", || {
-            (0..cfg.b1)
+            let mut slots: Vec<Option<Vec<Vec<usize>>>> = (0..cfg.b1).map(|_| None).collect();
+            let mut to_compute: Vec<usize> = Vec::new();
+            for k in 0..cfg.b1 {
+                if plan.is_some_and(|pl| pl.selection_failed(k)) {
+                    cfg.telemetry.incr("uoi.degraded.selection_failures", 1);
+                    continue;
+                }
+                if let Some(st) = &store {
+                    if let Some(loaded) = st.load_supports("sel", k, cfg.q) {
+                        cfg.telemetry.incr("uoi.ckpt.selection_hits", 1);
+                        slots[k] = Some(loaded);
+                        continue;
+                    }
+                }
+                if reserve() {
+                    to_compute.push(k);
+                }
+            }
+            let weights: Vec<Vec<f64>> = to_compute
+                .iter()
+                .map(|&k| selection_weights(xc.rows(), cfg.seed, k))
+                .collect();
+            let wrefs: Vec<&[f64]> = weights.iter().map(|w| w.as_slice()).collect();
+            let systems = uoi_linalg::gram_rhs_batch(&xc, &yc, &wrefs);
+            let work: Vec<_> = to_compute.iter().copied().zip(systems).collect();
+            let solved = work
                 .into_par_iter()
-                .map(|k| {
-                    if plan.is_some_and(|pl| pl.selection_failed(k)) {
-                        cfg.telemetry.incr("uoi.degraded.selection_failures", 1);
-                        return Ok(None);
-                    }
-                    if let Some(st) = &store {
-                        if let Some(loaded) = st.load_supports("sel", k, cfg.q) {
-                            cfg.telemetry.incr("uoi.ckpt.selection_hits", 1);
-                            return Ok(Some(loaded));
-                        }
-                    }
-                    if !reserve() {
-                        return Ok(None);
-                    }
-                    let supports = selection_task(&xc, &yc, &lambdas, cfg, k);
+                .map(|(k, (gram, xty))| {
+                    let supports = selection_solve(gram.into_upper(), &xty, &lambdas, cfg);
                     if let Some(st) = &store {
                         st.save_supports("sel", k, &supports)?;
                     }
                     computed.fetch_add(1, Ordering::SeqCst);
-                    Ok(Some(supports))
+                    Ok((k, supports))
                 })
-                .collect::<Result<_, UoiError>>()
+                .collect::<Result<Vec<_>, UoiError>>()?;
+            for (k, supports) in solved {
+                slots[k] = Some(supports);
+            }
+            Ok::<_, UoiError>(slots)
         })?;
     if interrupted.load(Ordering::SeqCst) {
         return Err(UoiError::Interrupted {
@@ -684,32 +773,62 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
         format!("est_{:016x}", fingerprint(fam_words))
     });
 
+    // Same triage-then-batch shape as selection: one batched pass over
+    // the projected design builds every surviving resample's union Gram
+    // and rhs together.
     let est_results: Vec<Option<Vec<f64>>> =
         traced(&cfg.telemetry, "uoi_lasso.estimation", || {
-            (0..cfg.b2)
+            let mut slots: Vec<Option<Vec<f64>>> = (0..cfg.b2).map(|_| None).collect();
+            let mut to_compute: Vec<usize> = Vec::new();
+            for k in 0..cfg.b2 {
+                if plan.is_some_and(|pl| pl.estimation_failed(k)) {
+                    cfg.telemetry.incr("uoi.degraded.estimation_failures", 1);
+                    continue;
+                }
+                if let (Some(st), Some(stage)) = (&store, &est_stage) {
+                    if let Some(loaded) = st.load_coeffs(stage, k, p) {
+                        cfg.telemetry.incr("uoi.ckpt.estimation_hits", 1);
+                        slots[k] = Some(loaded);
+                        continue;
+                    }
+                }
+                if reserve() {
+                    to_compute.push(k);
+                }
+            }
+            let resamples: Vec<(Vec<f64>, Vec<usize>, usize)> = to_compute
+                .iter()
+                .map(|&k| estimation_resample(xu.rows(), cfg.seed, k))
+                .collect();
+            let wrefs: Vec<&[f64]> = resamples.iter().map(|(w, _, _)| w.as_slice()).collect();
+            let systems = uoi_linalg::gram_rhs_batch(&xu, &yc, &wrefs);
+            let work: Vec<_> = to_compute
+                .iter()
+                .copied()
+                .zip(resamples.into_iter().zip(systems))
+                .collect();
+            let solved = work
                 .into_par_iter()
-                .map(|k| {
-                    if plan.is_some_and(|pl| pl.estimation_failed(k)) {
-                        cfg.telemetry.incr("uoi.degraded.estimation_failures", 1);
-                        return Ok(None);
-                    }
-                    if let (Some(st), Some(stage)) = (&store, &est_stage) {
-                        if let Some(loaded) = st.load_coeffs(stage, k, p) {
-                            cfg.telemetry.incr("uoi.ckpt.estimation_hits", 1);
-                            return Ok(Some(loaded));
-                        }
-                    }
-                    if !reserve() {
-                        return Ok(None);
-                    }
-                    let full = estimation_task(&xu, &yc, &family_u, &union, p, cfg, k);
+                .map(|(k, ((w, eval_idx, n_train), (gram_u, xty_u)))| {
+                    let sys = EstimationSystem {
+                        gram_u: gram_u.into_upper(),
+                        xty_u,
+                        w,
+                        eval_idx,
+                        n_train,
+                    };
+                    let full = estimation_score(&xu, &yc, &family_u, &union, p, cfg, &sys);
                     if let (Some(st), Some(stage)) = (&store, &est_stage) {
                         st.save_coeffs(stage, k, &full)?;
                     }
                     computed.fetch_add(1, Ordering::SeqCst);
-                    Ok(Some(full))
+                    Ok((k, full))
                 })
-                .collect::<Result<_, UoiError>>()
+                .collect::<Result<Vec<_>, UoiError>>()?;
+            for (k, full) in solved {
+                slots[k] = Some(full);
+            }
+            Ok::<_, UoiError>(slots)
         })?;
     if interrupted.load(Ordering::SeqCst) {
         return Err(UoiError::Interrupted {

@@ -186,14 +186,19 @@ pub fn fit_uoi_lasso_dist(
         let (xt, yt) = split_block(&train, p);
         let (xe, ye) = split_block(&eval, p);
 
-        // Per-bootstrap local union-Gram cache.
+        // Per-bootstrap local union-Gram cache. Upper-stored: every
+        // consumer below reads canonical (min, max) coordinates, so the
+        // O(u^2) mirror pass is skipped. Charged as one streaming read of
+        // the projected design plus cache-resident tiled flops (the
+        // batched kernel's panel working set).
         let sp_gram = ctx.span_enter("gram_build.union");
         let xt_u = xt.gather_cols(&union);
-        let gram_u = uoi_linalg::syrk_t(&xt_u);
+        let gram_u = uoi_linalg::syrk_t_upper(&xt_u).into_upper();
         let xty_u = uoi_linalg::gemv_t(&xt_u, &yt);
+        ctx.compute_membound((xt_u.len() * 8) as f64);
         ctx.compute_flops(
             (xt_u.rows() * union.len() * (union.len() + 2)) as f64,
-            (xt_u.len() * 8) as f64,
+            uoi_linalg::gram::gram_kernel_ws(union.len()),
         );
         ctx.span_exit(sp_gram);
         let xe_u = xe.gather_cols(&union);
@@ -204,7 +209,12 @@ pub fn fit_uoi_lasso_dist(
             // sub-Gram, as the paper's estimation step does.
             let s = support.len();
             let sub = Matrix::from_fn(s, s, |a, b| {
-                gram_u[(union_pos[support[a]], union_pos[support[b]])]
+                let (i, j) = (union_pos[support[a]], union_pos[support[b]]);
+                if i <= j {
+                    gram_u[(i, j)]
+                } else {
+                    gram_u[(j, i)]
+                }
             });
             let rhs: Vec<f64> = support.iter().map(|&f| xty_u[union_pos[f]]).collect();
             let solver =
@@ -367,7 +377,7 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let (x, y) = (ds.x.clone(), ds.y.clone());
+        let (x, y) = (ds.x.clone(), ds.y);
         let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, world| {
             let fit = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), ParallelLayout::admm_only());
             (fit.beta, fit.support)
@@ -415,7 +425,7 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let (x, y) = (ds.x.clone(), ds.y.clone());
+        let (x, y) = (ds.x.clone(), ds.y);
         let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, world| {
             let _ = fit_uoi_lasso_dist(ctx, world, &x, &y, &cfg(), ParallelLayout::admm_only());
             ctx.ledger()

@@ -25,7 +25,7 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use uoi_data::bootstrap::{block_bootstrap, default_block_len, resample_weights};
 use uoi_data::rng::substream;
-use uoi_linalg::{dot, gemv_t_weighted, syrk_t_weighted, Matrix};
+use uoi_linalg::{dot, gemv_t_weighted_multi, Matrix};
 use uoi_solvers::{geometric_grid, ols_on_support_gram, support_of, LassoAdmm};
 
 /// Hyperparameters of `UoI_VAR`.
@@ -384,30 +384,43 @@ pub(crate) fn build_var_problem(series: &Matrix, cfg: &UoiVarConfig) -> VarProbl
     }
 }
 
-/// The full VAR selection task body for bootstrap `k` (Algorithm 2 lines
-/// 1–13): one shared factorisation, `p` column paths, vectorised support
-/// indices. Shared by the serial rayon loop and the recovering pipeline.
-pub(crate) fn var_selection_task(
+/// The block-bootstrap multiplicity weights of VAR selection bootstrap
+/// `k` — the resampling half of [`var_selection_task`], split out so the
+/// batched fit can draw every resample up front and build all Grams in
+/// one pass over the regression block.
+pub(crate) fn var_selection_weights(
+    prob: &VarProblem,
+    base: &UoiLassoConfig,
+    k: usize,
+) -> Vec<f64> {
+    let mut rng = substream(base.seed, k as u64);
+    let rows = block_bootstrap(&mut rng, prob.n, prob.n, prob.block_len);
+    resample_weights(&rows, prob.n)
+}
+
+/// The solve half of [`var_selection_task`]: one shared factorisation of
+/// the (upper-stored) weighted Gram, `p` column paths sharing one pass
+/// over the regression block for their rhs vectors, vectorised support
+/// indices.
+pub(crate) fn var_selection_solve(
     prob: &VarProblem,
     base: &UoiLassoConfig,
     p: usize,
-    k: usize,
+    gram: Matrix,
+    w: &[f64],
 ) -> Vec<Vec<usize>> {
-    let mut rng = substream(base.seed, k as u64);
-    let rows = block_bootstrap(&mut rng, prob.n, prob.n, prob.block_len);
-    let w = resample_weights(&rows, prob.n);
-    let gram = syrk_t_weighted(&prob.reg.x, &w);
     let mut solver = LassoAdmm::from_gram(gram, base.admm.clone());
     if let Some(m) = base.telemetry.metrics() {
         solver = solver.with_metrics(m);
     }
+    let ys: Vec<Vec<f64>> = (0..p).map(|i| prob.reg.y.col(i)).collect();
+    let yrefs: Vec<&[f64]> = ys.iter().map(|v| v.as_slice()).collect();
+    let xtys = gemv_t_weighted_multi(&prob.reg.x, w, &yrefs);
     // supports[j] = vectorised support at lambda_j.
     let mut supports = vec![Vec::new(); prob.lambdas.len()];
-    for i in 0..p {
-        let yi = prob.reg.y.col(i);
-        let xty = gemv_t_weighted(&prob.reg.x, &w, &yi);
+    for (i, xty) in xtys.iter().enumerate() {
         for (j, sol) in solver
-            .solve_path_with_rhs(&xty, &prob.lambdas)
+            .solve_path_with_rhs(xty, &prob.lambdas)
             .into_iter()
             .enumerate()
         {
@@ -420,6 +433,24 @@ pub(crate) fn var_selection_task(
         s.sort_unstable();
     }
     supports
+}
+
+/// The full VAR selection task body for bootstrap `k` (Algorithm 2 lines
+/// 1–13). A batch-of-one through the batched Gram engine, so it stays
+/// bit-identical to the fit's multi-bootstrap path; shared with the
+/// recovering pipeline, which re-executes bootstraps one at a time.
+pub(crate) fn var_selection_task(
+    prob: &VarProblem,
+    base: &UoiLassoConfig,
+    p: usize,
+    k: usize,
+) -> Vec<Vec<usize>> {
+    let w = var_selection_weights(prob, base, k);
+    let gram = uoi_linalg::gram_batch(&prob.reg.x, &[Some(w.as_slice())])
+        .pop()
+        .expect("batch of one")
+        .into_upper();
+    var_selection_solve(prob, base, p, gram, &w)
 }
 
 /// Union-projected estimation inputs (Algorithm 2 lines 14–30 setup):
@@ -469,28 +500,36 @@ pub(crate) fn var_estimation_setup(
     }
 }
 
-/// The full VAR estimation task body for resample `k` (Algorithm 2 lines
-/// 17–28): scores every candidate per-column support on out-of-bag rows
-/// and returns the winner in vectorised coordinates.
-pub(crate) fn var_estimation_task(
-    ctx: &VarEstimationCtx,
+/// The resampling half of [`var_estimation_task`]: block-bootstrap
+/// multiplicity weights, out-of-bag evaluation rows, and the training row
+/// count of estimation resample `k`.
+pub(crate) fn var_estimation_resample(
     prob: &VarProblem,
     base: &UoiLassoConfig,
-    p: usize,
     k: usize,
-) -> Vec<f64> {
-    let u = ctx.u;
+) -> (Vec<f64>, Vec<usize>, usize) {
     let mut rng = substream(base.seed, 20_000 + k as u64);
     let (train_rows, eval_rows) = block_bootstrap_with_oob(&mut rng, prob.n, prob.block_len);
     let n_train = train_rows.len();
     let w = resample_weights(&train_rows, prob.n);
-    let gram_u = syrk_t_weighted(&ctx.xu, &w);
-    let xty_u: Vec<Vec<f64>> = ctx
-        .ys
-        .iter()
-        .map(|yi| gemv_t_weighted(&ctx.xu, &w, yi))
-        .collect();
+    (w, eval_rows, n_train)
+}
 
+/// The scoring half of [`var_estimation_task`] (Algorithm 2 lines 20–28):
+/// given the (upper-stored) weighted union-Gram and per-column rhs
+/// vectors, solve every candidate per-column support by sub-Gram
+/// extraction, score on the out-of-bag rows, and return the winner in
+/// vectorised coordinates.
+pub(crate) fn var_estimation_score(
+    ctx: &VarEstimationCtx,
+    prob: &VarProblem,
+    p: usize,
+    gram_u: &Matrix,
+    xty_u: &[Vec<f64>],
+    eval_rows: &[usize],
+    n_train: usize,
+) -> Vec<f64> {
+    let u = ctx.u;
     let mut best: Option<(f64, Vec<f64>)> = None;
     for per_col in &ctx.family_cols {
         // Column i's union-space coefficients at i*u..(i+1)*u.
@@ -499,14 +538,14 @@ pub(crate) fn var_estimation_task(
             if cols.is_empty() {
                 continue;
             }
-            let bi = ols_on_support_gram(&gram_u, &xty_u[i], cols, n_train);
+            let bi = ols_on_support_gram(gram_u, &xty_u[i], cols, n_train);
             beta_u[i * u..(i + 1) * u].copy_from_slice(&bi);
         }
         let mut total = 0.0;
         for i in 0..p {
             let bi = &beta_u[i * u..(i + 1) * u];
             let mut sse = 0.0;
-            for &e in &eval_rows {
+            for &e in eval_rows {
                 let d = dot(ctx.xu.row(e), bi) - ctx.ys[i][e];
                 sse += d * d;
             }
@@ -527,6 +566,26 @@ pub(crate) fn var_estimation_task(
         }
     }
     full
+}
+
+/// The full VAR estimation task body for resample `k` (Algorithm 2 lines
+/// 17–28). A batch-of-one through the batched Gram engine, bit-identical
+/// to the fit's multi-resample path; shared with the recovering pipeline.
+pub(crate) fn var_estimation_task(
+    ctx: &VarEstimationCtx,
+    prob: &VarProblem,
+    base: &UoiLassoConfig,
+    p: usize,
+    k: usize,
+) -> Vec<f64> {
+    let (w, eval_rows, n_train) = var_estimation_resample(prob, base, k);
+    let gram_u = uoi_linalg::gram_batch(&ctx.xu, &[Some(w.as_slice())])
+        .pop()
+        .expect("batch of one")
+        .into_upper();
+    let yrefs: Vec<&[f64]> = ctx.ys.iter().map(|v| v.as_slice()).collect();
+    let xty_u = gemv_t_weighted_multi(&ctx.xu, &w, &yrefs);
+    var_estimation_score(ctx, prob, p, &gram_u, &xty_u, &eval_rows, n_train)
 }
 
 /// Average the winning vectorised estimates and derive the lag matrices
@@ -619,34 +678,56 @@ pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit
     // Per bootstrap: one shared factorisation, p column paths. The block
     // bootstrap also yields integer row multiplicities, so the resampled
     // regression block is never materialised — one weighted dp x dp Gram
-    // and p weighted rhs vectors replace the gather.
+    // and p weighted rhs vectors replace the gather. Bootstraps are first
+    // triaged (fault plan, checkpoint, budget), then every surviving Gram
+    // is built in ONE pass over the regression block by the batched
+    // engine, and only the solves fan out.
     let selection_results: Vec<Option<Vec<Vec<usize>>>> =
         crate::uoi_lasso::traced(&base.telemetry, "uoi_var.selection", || {
-            (0..base.b1)
+            let mut slots: Vec<Option<Vec<Vec<usize>>>> = (0..base.b1).map(|_| None).collect();
+            let mut to_compute: Vec<usize> = Vec::new();
+            for k in 0..base.b1 {
+                if plan.is_some_and(|pl| pl.selection_failed(k)) {
+                    base.telemetry
+                        .incr("uoi_var.degraded.selection_failures", 1);
+                    continue;
+                }
+                if let Some(st) = &store {
+                    if let Some(loaded) = st.load_supports("var_sel", k, lambdas.len()) {
+                        base.telemetry.incr("uoi_var.ckpt.selection_hits", 1);
+                        slots[k] = Some(loaded);
+                        continue;
+                    }
+                }
+                if reserve() {
+                    to_compute.push(k);
+                }
+            }
+            let weights: Vec<Vec<f64>> = to_compute
+                .iter()
+                .map(|&k| var_selection_weights(&prob, base, k))
+                .collect();
+            let wopts: Vec<Option<&[f64]>> = weights.iter().map(|w| Some(w.as_slice())).collect();
+            let grams = uoi_linalg::gram_batch(&prob.reg.x, &wopts);
+            let work: Vec<_> = to_compute
+                .into_iter()
+                .zip(weights.into_iter().zip(grams))
+                .collect();
+            let solved = work
                 .into_par_iter()
-                .map(|k| {
-                    if plan.is_some_and(|pl| pl.selection_failed(k)) {
-                        base.telemetry
-                            .incr("uoi_var.degraded.selection_failures", 1);
-                        return Ok(None);
-                    }
-                    if let Some(st) = &store {
-                        if let Some(loaded) = st.load_supports("var_sel", k, lambdas.len()) {
-                            base.telemetry.incr("uoi_var.ckpt.selection_hits", 1);
-                            return Ok(Some(loaded));
-                        }
-                    }
-                    if !reserve() {
-                        return Ok(None);
-                    }
-                    let supports = var_selection_task(&prob, base, p, k);
+                .map(|(k, (w, gram))| {
+                    let supports = var_selection_solve(&prob, base, p, gram.into_upper(), &w);
                     if let Some(st) = &store {
                         st.save_supports("var_sel", k, &supports)?;
                     }
                     computed.fetch_add(1, Ordering::SeqCst);
-                    Ok(Some(supports))
+                    Ok((k, supports))
                 })
-                .collect::<Result<_, UoiError>>()
+                .collect::<Result<Vec<_>, UoiError>>()?;
+            for (k, supports) in solved {
+                slots[k] = Some(supports);
+            }
+            Ok::<_, UoiError>(slots)
         })?;
     if interrupted.load(Ordering::SeqCst) {
         return Err(UoiError::Interrupted {
@@ -695,31 +776,58 @@ pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit
 
     let est_results: Vec<Option<Vec<f64>>> =
         crate::uoi_lasso::traced(&base.telemetry, "uoi_var.estimation", || {
-            (0..base.b2)
+            let mut slots: Vec<Option<Vec<f64>>> = (0..base.b2).map(|_| None).collect();
+            let mut to_compute: Vec<usize> = Vec::new();
+            for k in 0..base.b2 {
+                if plan.is_some_and(|pl| pl.estimation_failed(k)) {
+                    base.telemetry
+                        .incr("uoi_var.degraded.estimation_failures", 1);
+                    continue;
+                }
+                if let (Some(st), Some(stage)) = (&store, &est_stage) {
+                    if let Some(loaded) = st.load_coeffs(stage, k, total_coef) {
+                        base.telemetry.incr("uoi_var.ckpt.estimation_hits", 1);
+                        slots[k] = Some(loaded);
+                        continue;
+                    }
+                }
+                if reserve() {
+                    to_compute.push(k);
+                }
+            }
+            let resamples: Vec<_> = to_compute
+                .iter()
+                .map(|&k| var_estimation_resample(&prob, base, k))
+                .collect();
+            let wopts: Vec<Option<&[f64]>> = resamples
+                .iter()
+                .map(|(w, _, _)| Some(w.as_slice()))
+                .collect();
+            let grams = uoi_linalg::gram_batch(&est_ctx.xu, &wopts);
+            let work: Vec<_> = to_compute
+                .into_iter()
+                .zip(resamples.into_iter().zip(grams))
+                .collect();
+            let solved = work
                 .into_par_iter()
-                .map(|k| {
-                    if plan.is_some_and(|pl| pl.estimation_failed(k)) {
-                        base.telemetry
-                            .incr("uoi_var.degraded.estimation_failures", 1);
-                        return Ok(None);
-                    }
-                    if let (Some(st), Some(stage)) = (&store, &est_stage) {
-                        if let Some(loaded) = st.load_coeffs(stage, k, total_coef) {
-                            base.telemetry.incr("uoi_var.ckpt.estimation_hits", 1);
-                            return Ok(Some(loaded));
-                        }
-                    }
-                    if !reserve() {
-                        return Ok(None);
-                    }
-                    let full = var_estimation_task(&est_ctx, &prob, base, p, k);
+                .map(|(k, ((w, eval_rows, n_train), gram))| {
+                    let gram_u = gram.into_upper();
+                    let yrefs: Vec<&[f64]> = est_ctx.ys.iter().map(|v| v.as_slice()).collect();
+                    let xty_u = gemv_t_weighted_multi(&est_ctx.xu, &w, &yrefs);
+                    let full = var_estimation_score(
+                        &est_ctx, &prob, p, &gram_u, &xty_u, &eval_rows, n_train,
+                    );
                     if let (Some(st), Some(stage)) = (&store, &est_stage) {
                         st.save_coeffs(stage, k, &full)?;
                     }
                     computed.fetch_add(1, Ordering::SeqCst);
-                    Ok(Some(full))
+                    Ok((k, full))
                 })
-                .collect::<Result<_, UoiError>>()
+                .collect::<Result<Vec<_>, UoiError>>()?;
+            for (k, full) in solved {
+                slots[k] = Some(full);
+            }
+            Ok::<_, UoiError>(slots)
         })?;
     if interrupted.load(Ordering::SeqCst) {
         return Err(UoiError::Interrupted {

@@ -25,7 +25,7 @@ use crate::uoi_var::{block_bootstrap_with_oob, UoiVarConfig, UoiVarFit};
 use crate::var_matrices::{partition_coefficients, VarRegression};
 use uoi_data::bootstrap::{block_bootstrap, default_block_len, resample_weights};
 use uoi_data::rng::substream;
-use uoi_linalg::{gemv_t_weighted, syrk_t_weighted, Matrix};
+use uoi_linalg::{gemv_t_weighted_multi, syrk_t_upper, syrk_t_weighted_upper, Matrix};
 use uoi_mpisim::{Comm, Phase, RankCtx, Window};
 use uoi_solvers::{admm_iter_flops, geometric_grid, ols_on_support_gram, support_of, LassoAdmm};
 use uoi_tieredio::distribution::{block_owner, block_range};
@@ -242,21 +242,26 @@ pub fn fit_uoi_var_dist(
         );
         let eval = pull_regression(ctx, &win, &eval_rows, n, readers, p, dp, stagger, &mut kron);
         let n_train = train.samples();
+        // Upper-stored union-Gram (the sub-Gram OLS below reads canonical
+        // coordinates) plus all owned rhs vectors in one pass over the
+        // projected training block.
         let sp_gram = ctx.span_enter("gram_build.union");
         let xu_t = train.x.gather_cols(&union_cols);
-        let gram_u = uoi_linalg::syrk_t(&xu_t);
+        let gram_u = syrk_t_upper(&xu_t).into_upper();
+        ctx.compute_membound((n_train * u_len * 8) as f64);
         ctx.compute_flops(
             (n_train * u_len * u_len) as f64,
-            (n_train * u_len * 8) as f64,
+            uoi_linalg::gram::gram_kernel_ws(u_len),
         );
-        let xty_u: Vec<Vec<f64>> = my_cols
-            .clone()
-            .map(|i| {
-                let yi = train.y.col(i);
-                ctx.compute_flops(2.0 * (n_train * u_len) as f64, 0.0);
-                uoi_linalg::gemv_t(&xu_t, &yi)
-            })
-            .collect();
+        let ones = vec![1.0; n_train];
+        let yts: Vec<Vec<f64>> = my_cols.clone().map(|i| train.y.col(i)).collect();
+        let ytrefs: Vec<&[f64]> = yts.iter().map(|v| v.as_slice()).collect();
+        let xty_u = gemv_t_weighted_multi(&xu_t, &ones, &ytrefs);
+        ctx.compute_membound((n_train * u_len * 8) as f64);
+        ctx.compute_flops(
+            (2 * n_train * u_len * ytrefs.len()) as f64,
+            (ytrefs.len() * u_len * 8) as f64,
+        );
         ctx.span_exit(sp_gram);
         let xe_u = eval.x.gather_cols(&union_cols);
 
@@ -381,19 +386,40 @@ fn pull_regression(
     let t0 = ctx.ledger().get(Phase::Distribution);
     let mut y = Matrix::zeros(rows.len(), p);
     let mut x = Matrix::zeros(rows.len(), dp);
-    let mut buf = vec![0.0; width];
+    let mut buf: Vec<f64> = Vec::new();
     // Non-blocking epoch (MPI_Get + fence): all pulls are in flight
     // together; staggered start positions spread the first requests over
-    // the reader windows.
+    // the reader windows. Successive destinations (no wrap) requesting
+    // consecutive global rows from the same reader coalesce into one
+    // block-granular get — block-bootstrap resamples are contiguous runs,
+    // so the per-get latency drops from O(rows) to O(blocks).
     let m = rows.len();
     let mut epoch = win.epoch(ctx);
-    for j in 0..m {
+    let mut j = 0;
+    while j < m {
         let dst = (j + stagger) % m;
         let row = rows[dst];
         let (owner, offset) = block_owner(n, readers, row);
-        epoch.get_into(ctx, owner, offset * width..(offset + 1) * width, &mut buf);
-        y.row_mut(dst).copy_from_slice(&buf[..p]);
-        x.row_mut(dst).copy_from_slice(&buf[p..]);
+        let mut len = 1;
+        while j + len < m && (j + len + stagger) % m == dst + len {
+            let r2 = rows[dst + len];
+            if r2 != row + len {
+                break;
+            }
+            let (o2, _) = block_owner(n, readers, r2);
+            if o2 != owner {
+                break;
+            }
+            len += 1;
+        }
+        buf.resize(len * width, 0.0);
+        epoch.get_into(ctx, owner, offset * width..(offset + len) * width, &mut buf);
+        for t in 0..len {
+            let b = &buf[t * width..(t + 1) * width];
+            y.row_mut(dst + t).copy_from_slice(&b[..p]);
+            x.row_mut(dst + t).copy_from_slice(&b[p..]);
+        }
+        j += len;
     }
     epoch.finish(ctx);
     ctx.span_exit(sp);
@@ -429,24 +455,35 @@ fn dist_lasso_path(
 
     // Zero-copy resample: the weighted Gram / rhs over the shared
     // regression equal X_b^T X_b and X_b^T y_b of the pulled block
-    // exactly, without cloning the design into the solver.
+    // exactly, without cloning the design into the solver. Upper-stored:
+    // the solver factors from the upper triangle, skipping the mirror.
+    // Charged as one streaming read of the regression block plus
+    // cache-resident tiled Gram flops and a blocked Cholesky — the
+    // batched kernel's cost model.
     let sp_gram = ctx.span_enter("gram_build.weighted");
-    let gram = syrk_t_weighted(&reg.x, w);
+    let gram = syrk_t_weighted_upper(&reg.x, w).into_upper();
     let mut solver = LassoAdmm::from_gram(gram, base.admm.clone());
     // Per-column convergence lands in the shared registry via `step`;
     // columns are disjointly owned, so counts are not duplicated.
     if let Some(m) = ctx.telemetry().metrics() {
         solver = solver.with_metrics(m);
     }
-    ctx.compute_flops(uoi_solvers::admm_factor_flops(n, dp), (n * dp * 8) as f64);
-    let rhs: Vec<Vec<f64>> = my_cols
-        .clone()
-        .map(|i| {
-            let yi = reg.y.col(i);
-            ctx.compute_flops(2.0 * (n * dp) as f64, (n * dp * 8) as f64);
-            gemv_t_weighted(&reg.x, w, &yi)
-        })
-        .collect();
+    let dim = n.min(dp);
+    ctx.compute_membound((n * dp * 8) as f64);
+    ctx.compute_flops((n * dp * dim) as f64, uoi_linalg::gram::gram_kernel_ws(dp));
+    ctx.compute_flops(
+        (dim * dim * dim) as f64 / 3.0,
+        uoi_linalg::gram::gram_kernel_ws(dim),
+    );
+    // All owned rhs vectors in ONE pass over the shared regression block.
+    let ys: Vec<Vec<f64>> = my_cols.clone().map(|i| reg.y.col(i)).collect();
+    let yrefs: Vec<&[f64]> = ys.iter().map(|v| v.as_slice()).collect();
+    let rhs = gemv_t_weighted_multi(&reg.x, w, &yrefs);
+    ctx.compute_membound((n * dp * 8) as f64);
+    ctx.compute_flops(
+        (2 * n * dp * yrefs.len()) as f64,
+        (yrefs.len() * dp * 8) as f64,
+    );
     ctx.span_exit(sp_gram);
 
     let mut out = Vec::with_capacity(lambdas.len());
@@ -569,7 +606,7 @@ mod tests {
         let s = series();
         let serial_cfg = cfg().var;
         let serial = fit_uoi_var(&s, &serial_cfg);
-        let s2 = s.clone();
+        let s2 = s;
         let report = Cluster::new(4, MachineModel::deterministic())
             .run(move |ctx, world| fit_uoi_var_dist(ctx, world, &s2, &cfg()).0);
         let dist = &report.results[0];

@@ -200,7 +200,7 @@ fn var_round(
         a_mats,
         mu,
         vec_beta,
-        lambdas: prob.lambdas.clone(),
+        lambdas: prob.lambdas,
         supports_per_lambda,
         support_family,
         degradation: None,

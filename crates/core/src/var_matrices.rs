@@ -182,7 +182,7 @@ mod tests {
         // identity by reconstructing Y - X B ≈ U (bounded, uncorrelated
         // with X). Sanity: with the true A the residual variance per entry
         // ≈ 1.
-        let mut resid = reg.y.clone();
+        let mut resid = reg.y;
         resid.sub_assign(&pred);
         let var = resid.frobenius_norm().powi(2) / resid.len() as f64;
         assert!((var - 1.0).abs() < 0.2, "residual variance {var}");

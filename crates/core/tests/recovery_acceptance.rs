@@ -269,7 +269,7 @@ fn max_rounds_zero_reproduces_degraded_mode_exactly() {
     // The directly-constructed degraded fit is the ground truth.
     let ownership = TaskOwnership::new(WORLD, cfg.seed);
     let plan = degraded_fallback_plan(&[v], &ownership, B1, B2, cfg.seed);
-    let mut degraded_cfg = cfg.clone();
+    let mut degraded_cfg = cfg;
     degraded_cfg.degradation.plan = Some(plan);
     let direct = try_fit_uoi_lasso(&ds.x, &ds.y, &degraded_cfg).unwrap();
 

@@ -87,7 +87,7 @@ mod tests {
         assert_eq!(idx.len(), 80);
         assert!(idx.iter().all(|&i| i < 50));
         // With replacement: 80 draws from 50 must repeat something.
-        let mut uniq = idx.clone();
+        let mut uniq = idx;
         uniq.sort_unstable();
         uniq.dedup();
         assert!(uniq.len() < 80);

@@ -251,69 +251,12 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
 /// Symmetric rank-k update computing the Gram matrix `A^T * A`
 /// (the `X^T X` of the ADMM x-update).
 ///
-/// Only the upper triangle is computed directly; the result is mirrored so
-/// callers get a full symmetric matrix.
+/// Only the upper triangle is computed directly (by the packed, tiled
+/// engine in [`crate::gram`]); the result is mirrored so callers get a
+/// full symmetric matrix. Callers that only read the upper triangle
+/// should use [`crate::gram::syrk_t_upper`] and skip the mirror.
 pub fn syrk_t(a: &Matrix) -> Matrix {
-    let (n, p) = a.shape();
-    let mut g = Matrix::zeros(p, p);
-    let flops = n * p * p;
-
-    if flops >= PAR_FLOP_THRESHOLD && p >= 32 {
-        // Each task owns a contiguous band of output rows (j dimension).
-        let bands: Vec<(usize, usize)> = {
-            let nb = (rayon::current_num_threads() * 2).max(1);
-            let band = p.div_ceil(nb).max(1);
-            (0..p)
-                .step_by(band)
-                .map(|s| (s, (s + band).min(p)))
-                .collect()
-        };
-        let partials: Vec<(usize, usize, Vec<f64>)> = bands
-            .into_par_iter()
-            .map(|(j0, j1)| {
-                let width = j1 - j0;
-                let mut block = vec![0.0; width * p];
-                for i in 0..n {
-                    let row = a.row(i);
-                    for j in j0..j1 {
-                        let v = row[j];
-                        if v != 0.0 {
-                            let out = &mut block[(j - j0) * p + j..(j - j0) * p + p];
-                            axpy(v, &row[j..], out);
-                        }
-                    }
-                }
-                (j0, j1, block)
-            })
-            .collect();
-        for (j0, j1, block) in partials {
-            for j in j0..j1 {
-                let src = &block[(j - j0) * p + j..(j - j0) * p + p];
-                for (off, &v) in src.iter().enumerate() {
-                    g[(j, j + off)] = v;
-                }
-            }
-        }
-    } else {
-        for i in 0..n {
-            let row = a.row(i);
-            for j in 0..p {
-                let v = row[j];
-                if v != 0.0 {
-                    for jj in j..p {
-                        g[(j, jj)] += v * row[jj];
-                    }
-                }
-            }
-        }
-    }
-    // Mirror upper to lower.
-    for i in 0..p {
-        for j in (i + 1)..p {
-            g[(j, i)] = g[(i, j)];
-        }
-    }
-    g
+    crate::gram::syrk_t_upper(a).into_full()
 }
 
 /// Matrix-vector product `A * x` written into a caller-owned buffer.
@@ -351,75 +294,13 @@ pub fn gemv_t_into(a: &Matrix, x: &[f64], out: &mut Vec<f64>) {
 /// With `w` the integer multiplicities of a bootstrap resample this equals
 /// the Gram of the materialised resample (`gather_rows` + [`syrk_t`]) without
 /// ever copying the design matrix; rows with `w_i == 0` (out-of-bag) are
-/// skipped entirely.
+/// skipped entirely. Routed through the packed, tiled engine in
+/// [`crate::gram`] (one `w` is a batch of one); batching several resamples
+/// through [`crate::gram::syrk_t_weighted_batch`] amortizes one pass over
+/// `a` across all of them.
 pub fn syrk_t_weighted(a: &Matrix, w: &[f64]) -> Matrix {
-    let (n, p) = a.shape();
-    assert_eq!(n, w.len(), "syrk_t_weighted: weight length mismatch");
-    let mut g = Matrix::zeros(p, p);
-    let flops = n * p * p;
-
-    if flops >= PAR_FLOP_THRESHOLD && p >= 32 {
-        let bands: Vec<(usize, usize)> = {
-            let nb = (rayon::current_num_threads() * 2).max(1);
-            let band = p.div_ceil(nb).max(1);
-            (0..p)
-                .step_by(band)
-                .map(|s| (s, (s + band).min(p)))
-                .collect()
-        };
-        let partials: Vec<(usize, usize, Vec<f64>)> = bands
-            .into_par_iter()
-            .map(|(j0, j1)| {
-                let width = j1 - j0;
-                let mut block = vec![0.0; width * p];
-                for i in 0..n {
-                    let wi = w[i];
-                    if wi == 0.0 {
-                        continue;
-                    }
-                    let row = a.row(i);
-                    for j in j0..j1 {
-                        let v = wi * row[j];
-                        if v != 0.0 {
-                            let out = &mut block[(j - j0) * p + j..(j - j0) * p + p];
-                            axpy(v, &row[j..], out);
-                        }
-                    }
-                }
-                (j0, j1, block)
-            })
-            .collect();
-        for (j0, j1, block) in partials {
-            for j in j0..j1 {
-                let src = &block[(j - j0) * p + j..(j - j0) * p + p];
-                for (off, &v) in src.iter().enumerate() {
-                    g[(j, j + off)] = v;
-                }
-            }
-        }
-    } else {
-        for i in 0..n {
-            let wi = w[i];
-            if wi == 0.0 {
-                continue;
-            }
-            let row = a.row(i);
-            for j in 0..p {
-                let v = wi * row[j];
-                if v != 0.0 {
-                    for jj in j..p {
-                        g[(j, jj)] += v * row[jj];
-                    }
-                }
-            }
-        }
-    }
-    for i in 0..p {
-        for j in (i + 1)..p {
-            g[(j, i)] = g[(i, j)];
-        }
-    }
-    g
+    assert_eq!(a.rows(), w.len(), "syrk_t_weighted: weight length mismatch");
+    crate::gram::syrk_t_weighted_upper(a, w).into_full()
 }
 
 /// Weighted transposed matrix-vector product `A^T diag(w) x = Σ_i w_i x_i a_i`.

@@ -52,19 +52,51 @@ impl Cholesky {
     pub fn factor(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
         let n = a.rows();
         assert_eq!(n, a.cols(), "Cholesky: matrix must be square");
-        if n < CHOL_BLOCK_THRESHOLD {
-            Self::factor_unblocked(a)
+        // Copy the lower triangle; the factorisation proceeds in place.
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
+        }
+        Self::factor_in_place(l)
+    }
+
+    /// Like [`Cholesky::factor`], but reading only the **upper** triangle
+    /// of `a` (i.e. factoring `a`'s transpose image, which for a symmetric
+    /// matrix is the same thing).
+    ///
+    /// This is the entry point for upper-stored Grams from
+    /// [`crate::gram`]: the batched SYRK engine never writes the strict
+    /// lower triangle, and this constructor lets the solver consume such a
+    /// matrix without the O(p²) mirror pass. For a fully symmetric input
+    /// the result is bit-identical to [`Cholesky::factor`].
+    pub fn factor_upper(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        let n = a.rows();
+        assert_eq!(n, a.cols(), "Cholesky: matrix must be square");
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            let row = l.row_mut(i);
+            for k in 0..=i {
+                row[k] = a[(k, i)];
+            }
+        }
+        Self::factor_in_place(l)
+    }
+
+    /// Dispatch on order once the lower triangle has been staged in `l`.
+    fn factor_in_place(l: Matrix) -> Result<Self, NotPositiveDefinite> {
+        if l.rows() < CHOL_BLOCK_THRESHOLD {
+            Self::factor_unblocked(l)
         } else {
-            Self::factor_blocked(a)
+            Self::factor_blocked(l)
         }
     }
 
-    fn factor_unblocked(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
-        let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+    fn factor_unblocked(mut l: Matrix) -> Result<Self, NotPositiveDefinite> {
+        let n = l.rows();
         for j in 0..n {
-            // Diagonal entry.
-            let mut d = a[(j, j)];
+            // Diagonal entry: the original value survives at (j, j) until
+            // this very step overwrites it.
+            let mut d = l[(j, j)];
             for k in 0..j {
                 d -= l[(j, k)] * l[(j, k)];
             }
@@ -75,7 +107,7 @@ impl Cholesky {
             l[(j, j)] = dsqrt;
             // Column below the diagonal.
             for i in (j + 1)..n {
-                let mut s = a[(i, j)];
+                let mut s = l[(i, j)];
                 // Dot of rows i and j of L restricted to [0, j).
                 let (ri, rj) = (l.row(i), l.row(j));
                 for k in 0..j {
@@ -90,13 +122,8 @@ impl Cholesky {
     /// Blocked right-looking variant: factor an NB-wide diagonal panel,
     /// triangular-solve the column panel below it, then apply the rank-NB
     /// trailing update with rows distributed across rayon workers.
-    fn factor_blocked(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
-        let n = a.rows();
-        // Copy the lower triangle; the factorisation proceeds in place.
-        let mut l = Matrix::zeros(n, n);
-        for i in 0..n {
-            l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
-        }
+    fn factor_blocked(mut l: Matrix) -> Result<Self, NotPositiveDefinite> {
+        let n = l.rows();
         let mut panel = Vec::new();
         for k in (0..n).step_by(CHOL_NB) {
             let kb = CHOL_NB.min(n - k);
@@ -362,7 +389,11 @@ mod tests {
         // reference on the same matrix.
         let a = spd_test_matrix(150);
         let blocked = Cholesky::factor(&a).unwrap();
-        let reference = Cholesky::factor_unblocked(&a).unwrap();
+        let mut staged = Matrix::zeros(150, 150);
+        for i in 0..150 {
+            staged.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
+        }
+        let reference = Cholesky::factor_unblocked(staged).unwrap();
         assert!(blocked.factor_l().approx_eq(reference.factor_l(), 1e-8));
         let rec = gemm(blocked.factor_l(), &blocked.factor_l().transpose());
         assert!(rec.approx_eq(&a, 1e-7));
@@ -384,6 +415,47 @@ mod tests {
         let err = Cholesky::factor(&a).unwrap_err();
         assert!(err.pivot <= 133);
         assert!(err.value <= 0.0 || !err.value.is_finite());
+    }
+
+    #[test]
+    fn factor_upper_bit_identical_on_symmetric_input() {
+        // Both the unblocked (n < 128) and blocked dispatch, on a fully
+        // symmetric matrix: reading the upper triangle must reproduce the
+        // lower-triangle factorisation bit for bit.
+        for n in [1, 9, 57, 150] {
+            let a = spd_test_matrix(n);
+            let lower = Cholesky::factor(&a).unwrap();
+            let upper = Cholesky::factor_upper(&a).unwrap();
+            for (g, w) in upper
+                .factor_l()
+                .as_slice()
+                .iter()
+                .zip(lower.factor_l().as_slice())
+            {
+                assert_eq!(g.to_bits(), w.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_upper_ignores_strict_lower_garbage() {
+        let a = spd_test_matrix(40);
+        let mut upper_only = a.clone();
+        for i in 0..40 {
+            for j in 0..i {
+                upper_only[(i, j)] = f64::NAN;
+            }
+        }
+        let from_full = Cholesky::factor_upper(&a).unwrap();
+        let from_upper = Cholesky::factor_upper(&upper_only).unwrap();
+        for (g, w) in from_upper
+            .factor_l()
+            .as_slice()
+            .iter()
+            .zip(from_full.factor_l().as_slice())
+        {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
     }
 
     #[test]

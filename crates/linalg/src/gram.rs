@@ -1,0 +1,613 @@
+//! Batched multi-bootstrap Gram engine.
+//!
+//! The UoI maps build `X_b^T X_b` (and the paired `X_b^T y_b`) once per
+//! bootstrap resample. With the zero-copy representation a resample is a
+//! weight vector `w` over the rows of the *shared* design matrix `X`, so
+//! the Gram of resample `b` is `X^T diag(w_b) X`. Computing each of these
+//! independently streams all of `X` from DRAM `B` times. This module
+//! instead packs `X` into cache-resident panels **once** and reuses each
+//! packed panel across every resample in the batch, so the design matrix
+//! makes a single trip from memory no matter how many bootstraps ride on
+//! it.
+//!
+//! ## Packing layout and tiling
+//!
+//! The upper triangle of each `p × p` Gram is partitioned into horizontal
+//! *bands* of [`GRAM_BAND`] rows. One parallel task owns band `j0..j1` of
+//! **all** `B` outputs. Within a task, the rows of `X` are consumed in
+//! *panels* of [`GRAM_PANEL_ROWS`]; the panel's column suffix `[j0..p)` is
+//! copied into a contiguous packed buffer (stride `p - j0`), and a 4×4
+//! register-tiled micro-kernel (the same lane width as [`crate::kernels`])
+//! then sweeps the band's tiles once per resample, reading only the packed
+//! copy. For the fig2 shape (`p = 512`) a packed panel is
+//! `64 × 512 × 8 B = 256 KiB` — inside L2 — so the `B - 1` extra sweeps
+//! hit cache instead of DRAM.
+//!
+//! ## Determinism
+//!
+//! Every `(Gram row, resample)` output element has exactly one owning
+//! task, and each task walks panels in ascending row order, accumulating
+//! a fresh register tile per `(panel, tile)` that is added to the output
+//! block before the next panel. The floating-point bracketing of every
+//! element is therefore a function of the matrix shape alone: it does not
+//! depend on the rayon thread count, on which other resamples share the
+//! batch, or on whether the serial fallback ran. `batch([w])` is
+//! bit-identical to the same `w` inside a larger batch.
+
+use crate::dense::Matrix;
+use crate::kernels;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Height (in rows of `X`) of one packed panel.
+///
+/// Chosen so a packed panel of the fig2 design (`p = 512`) is 256 KiB:
+/// comfortably cache-resident, which is what earns the batched sweeps
+/// their DRAM amortization.
+pub const GRAM_PANEL_ROWS: usize = 64;
+
+/// Width (in Gram rows) of one band; a band is the unit of parallelism.
+pub const GRAM_BAND: usize = 64;
+
+/// Register tile edge — matches the 4-lane unroll of [`crate::kernels`].
+const TILE: usize = 4;
+
+/// Kernel identifier recorded in run reports so a benchmark snapshot is
+/// self-describing about which Gram engine produced it.
+pub const KERNEL_VARIANT: &str = "gram-batched-tiled-v1";
+
+/// Modeled working set of the tiled kernel: one packed panel. Used by the
+/// pipeline charge sites; the 2.2x cache-resident discount of the machine
+/// model only applies while a panel actually fits (`p <~ 1024`).
+pub fn gram_kernel_ws(p: usize) -> f64 {
+    (GRAM_PANEL_ROWS * p * 8) as f64
+}
+
+static PACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of panel-pack operations performed since process start.
+///
+/// Test hook for the batch amortization contract: a batch of `B`
+/// resamples packs each `(band, panel)` exactly once, so the count is
+/// independent of `B`.
+pub fn pack_count() -> u64 {
+    PACKS.load(Ordering::Relaxed)
+}
+
+/// A Gram matrix with only its upper triangle populated (strict lower is
+/// zero). Produced by the batched kernel so consumers that only read the
+/// upper triangle (Cholesky, `symv`, sub-Gram extraction) can skip the
+/// O(p²) mirror.
+#[derive(Clone, Debug)]
+pub struct UpperGram(Matrix);
+
+impl UpperGram {
+    /// Wrap an upper-stored matrix. Debug-asserts squareness.
+    pub fn from_upper(m: Matrix) -> Self {
+        debug_assert_eq!(m.rows(), m.cols());
+        UpperGram(m)
+    }
+
+    pub fn order(&self) -> usize {
+        self.0.rows()
+    }
+
+    /// The upper-stored backing matrix (strict lower triangle is zero).
+    pub fn upper(&self) -> &Matrix {
+        &self.0
+    }
+
+    pub fn into_upper(self) -> Matrix {
+        self.0
+    }
+
+    /// Canonical element access: `get(i, j) == get(j, i)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i <= j {
+            self.0[(i, j)]
+        } else {
+            self.0[(j, i)]
+        }
+    }
+
+    /// Mirror the upper triangle into the strict lower half, producing a
+    /// full symmetric matrix for consumers that read both triangles.
+    pub fn into_full(self) -> Matrix {
+        let mut m = self.0;
+        let p = m.rows();
+        for i in 1..p {
+            for j in 0..i {
+                m[(i, j)] = m[(j, i)];
+            }
+        }
+        m
+    }
+}
+
+/// One parallel unit: band `j0..j1` of every output in the batch.
+struct BandTask<'a> {
+    j0: usize,
+    j1: usize,
+    /// Per resample: the band's rows of the output Gram (`(j1-j0) * p`).
+    blocks: Vec<&'a mut [f64]>,
+    /// Per resample: the band's segment of `X^T diag(w) y` (`j1 - j0`).
+    rhs: Vec<&'a mut [f64]>,
+}
+
+/// Weight view for one resample: `None` means unit weights (plain SYRK).
+type WeightOpt<'a> = Option<&'a [f64]>;
+
+/// Compute band `j0..j1` of every resample's Gram (and rhs segment) by
+/// packing each row panel once and sweeping it `B` times from cache.
+fn band_body(a: &Matrix, weights: &[WeightOpt<'_>], y: Option<&[f64]>, task: &mut BandTask<'_>) {
+    let (n, p) = a.shape();
+    let (j0, j1) = (task.j0, task.j1);
+    let stride = p - j0;
+    let b = weights.len();
+    let mut packed = vec![0.0f64; GRAM_PANEL_ROWS.min(n.max(1)) * stride];
+    // Nonzero (local row, weight) pairs of the current panel, per resample.
+    let mut nz: Vec<Vec<(u32, f64)>> = vec![Vec::new(); b];
+
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + GRAM_PANEL_ROWS).min(n);
+        let rows = i1 - i0;
+        for r in 0..rows {
+            packed[r * stride..(r + 1) * stride].copy_from_slice(&a.row(i0 + r)[j0..]);
+        }
+        PACKS.fetch_add(1, Ordering::Relaxed);
+        for (k, w) in weights.iter().enumerate() {
+            nz[k].clear();
+            match w {
+                None => nz[k].extend((0..rows).map(|r| (r as u32, 1.0))),
+                Some(w) => {
+                    for r in 0..rows {
+                        let wv = w[i0 + r];
+                        if wv != 0.0 {
+                            nz[k].push((r as u32, wv));
+                        }
+                    }
+                }
+            }
+        }
+        for k in 0..b {
+            if nz[k].is_empty() {
+                continue;
+            }
+            tile_sweep(&packed, stride, &nz[k], j0, j1, p, task.blocks[k]);
+            if let Some(y) = y {
+                let seg = &mut *task.rhs[k];
+                for &(r, wv) in &nz[k] {
+                    let c = wv * y[i0 + r as usize];
+                    if c != 0.0 {
+                        let row = &packed[r as usize * stride..r as usize * stride + (j1 - j0)];
+                        kernels::axpy(c, row, seg);
+                    }
+                }
+            }
+        }
+        i0 = i1;
+    }
+}
+
+/// 4×4 register-tiled sweep of one packed panel over the band's upper
+/// triangle tiles for a single resample.
+fn tile_sweep(
+    packed: &[f64],
+    stride: usize,
+    nz: &[(u32, f64)],
+    j0: usize,
+    j1: usize,
+    p: usize,
+    block: &mut [f64],
+) {
+    let mut jt = j0;
+    while jt < j1 {
+        let jh = (jt + TILE).min(j1);
+        let mh = jh - jt;
+        let mut ct = jt;
+        while ct < p {
+            let ch = (ct + TILE).min(p);
+            let nw = ch - ct;
+            if mh == TILE && nw == TILE {
+                // Full tile: 16 register accumulators, unrolled lanes.
+                let mut acc = [[0.0f64; TILE]; TILE];
+                for &(r, wv) in nz {
+                    let base = r as usize * stride;
+                    let lj = &packed[base + (jt - j0)..base + (jt - j0) + TILE];
+                    let lc = &packed[base + (ct - j0)..base + (ct - j0) + TILE];
+                    for rr in 0..TILE {
+                        let s = wv * lj[rr];
+                        acc[rr][0] += s * lc[0];
+                        acc[rr][1] += s * lc[1];
+                        acc[rr][2] += s * lc[2];
+                        acc[rr][3] += s * lc[3];
+                    }
+                }
+                for rr in 0..TILE {
+                    let j = jt + rr;
+                    let row = &mut block[(j - j0) * p..(j - j0) * p + p];
+                    if ct >= j {
+                        row[ct] += acc[rr][0];
+                        row[ct + 1] += acc[rr][1];
+                        row[ct + 2] += acc[rr][2];
+                        row[ct + 3] += acc[rr][3];
+                    } else {
+                        // Diagonal tile: keep only the upper part.
+                        for cc in 0..TILE {
+                            if ct + cc >= j {
+                                row[ct + cc] += acc[rr][cc];
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Ragged edge tile: same bracketing, generic bounds.
+                let mut acc = [[0.0f64; TILE]; TILE];
+                for &(r, wv) in nz {
+                    let base = r as usize * stride;
+                    for rr in 0..mh {
+                        let s = wv * packed[base + (jt - j0) + rr];
+                        for cc in 0..nw {
+                            acc[rr][cc] += s * packed[base + (ct - j0) + cc];
+                        }
+                    }
+                }
+                for rr in 0..mh {
+                    let j = jt + rr;
+                    let row = &mut block[(j - j0) * p..(j - j0) * p + p];
+                    for cc in 0..nw {
+                        if ct + cc >= j {
+                            row[ct + cc] += acc[rr][cc];
+                        }
+                    }
+                }
+            }
+            ct = ch;
+        }
+        jt = jh;
+    }
+}
+
+/// Core batch driver: one pass over `X` for all resamples, returning the
+/// upper-stored Grams and (when `y` is given) the paired rhs vectors.
+fn batch_core(
+    a: &Matrix,
+    weights: &[WeightOpt<'_>],
+    y: Option<&[f64]>,
+) -> (Vec<UpperGram>, Vec<Vec<f64>>) {
+    batch_core_scheduled(a, weights, y, None)
+}
+
+/// Like [`batch_core`], but with an optional explicit band execution
+/// order (test hook): because each band of each output has exactly one
+/// owning task, any schedule — any thread count, any completion order —
+/// must produce bit-identical results.
+fn batch_core_scheduled(
+    a: &Matrix,
+    weights: &[WeightOpt<'_>],
+    y: Option<&[f64]>,
+    order: Option<&[usize]>,
+) -> (Vec<UpperGram>, Vec<Vec<f64>>) {
+    let (n, p) = a.shape();
+    let b = weights.len();
+    for w in weights.iter().flatten() {
+        assert_eq!(w.len(), n, "weight length must match row count");
+    }
+    if let Some(y) = y {
+        assert_eq!(y.len(), n, "response length must match row count");
+    }
+    let mut grams: Vec<Vec<f64>> = (0..b).map(|_| vec![0.0f64; p * p]).collect();
+    let mut rhs: Vec<Vec<f64>> = if y.is_some() {
+        (0..b).map(|_| vec![0.0f64; p]).collect()
+    } else {
+        Vec::new()
+    };
+
+    if p > 0 && n > 0 {
+        let n_bands = p.div_ceil(GRAM_BAND);
+        let mut tasks: Vec<BandTask<'_>> = (0..n_bands)
+            .map(|bi| BandTask {
+                j0: bi * GRAM_BAND,
+                j1: ((bi + 1) * GRAM_BAND).min(p),
+                blocks: Vec::with_capacity(b),
+                rhs: Vec::with_capacity(b),
+            })
+            .collect();
+        for buf in grams.iter_mut() {
+            for (bi, chunk) in buf.chunks_mut(GRAM_BAND * p).enumerate() {
+                tasks[bi].blocks.push(chunk);
+            }
+        }
+        for rbuf in rhs.iter_mut() {
+            let mut rest: &mut [f64] = rbuf;
+            for task in tasks.iter_mut() {
+                let (seg, tail) = rest.split_at_mut(task.j1 - task.j0);
+                task.rhs.push(seg);
+                rest = tail;
+            }
+        }
+        let flops = b.saturating_mul(n).saturating_mul(p).saturating_mul(p);
+        if let Some(order) = order {
+            debug_assert_eq!(order.len(), tasks.len());
+            for &ti in order {
+                band_body(a, weights, y, &mut tasks[ti]);
+            }
+        } else if flops >= 1 << 18 && tasks.len() > 1 {
+            tasks
+                .par_iter_mut()
+                .for_each(|t| band_body(a, weights, y, t));
+        } else {
+            for t in tasks.iter_mut() {
+                band_body(a, weights, y, t);
+            }
+        }
+    }
+
+    let grams = grams
+        .into_iter()
+        .map(|g| UpperGram::from_upper(Matrix::from_vec(p, p, g)))
+        .collect();
+    (grams, rhs)
+}
+
+/// Compute `X^T diag(w_b) X` for every resample in one pass over `X`.
+/// `None` weights mean the unweighted Gram `X^T X`.
+pub fn gram_batch(a: &Matrix, weights: &[WeightOpt<'_>]) -> Vec<UpperGram> {
+    batch_core(a, weights, None).0
+}
+
+/// Compute `(X^T diag(w_b) X, X^T diag(w_b) y)` for every resample in one
+/// pass over `X`.
+pub fn gram_rhs_batch(a: &Matrix, y: &[f64], weights: &[&[f64]]) -> Vec<(UpperGram, Vec<f64>)> {
+    let opts: Vec<WeightOpt<'_>> = weights.iter().map(|w| Some(*w)).collect();
+    let (grams, rhs) = batch_core(a, &opts, Some(y));
+    grams.into_iter().zip(rhs).collect()
+}
+
+/// Batch entry point with the legacy full-symmetric output contract:
+/// every Gram is mirrored into both triangles.
+pub fn syrk_t_weighted_batch(a: &Matrix, weights: &[&[f64]]) -> Vec<Matrix> {
+    let opts: Vec<WeightOpt<'_>> = weights.iter().map(|w| Some(*w)).collect();
+    gram_batch(a, &opts)
+        .into_iter()
+        .map(UpperGram::into_full)
+        .collect()
+}
+
+/// Upper-stored `X^T X` (no mirror).
+pub fn syrk_t_upper(a: &Matrix) -> UpperGram {
+    gram_batch(a, &[None]).pop().expect("batch of one")
+}
+
+/// Upper-stored `X^T diag(w) X` (no mirror).
+pub fn syrk_t_weighted_upper(a: &Matrix, w: &[f64]) -> UpperGram {
+    gram_batch(a, &[Some(w)]).pop().expect("batch of one")
+}
+
+/// `X^T diag(w) y_c` for every response column in one pass over `X`.
+///
+/// The VAR pipelines solve the same lag-stacked design against `d`
+/// response series; sharing the row sweep keeps the design matrix read
+/// once instead of `d` times.
+pub fn gemv_t_weighted_multi(a: &Matrix, w: &[f64], ys: &[&[f64]]) -> Vec<Vec<f64>> {
+    let (n, p) = a.shape();
+    assert_eq!(w.len(), n, "weight length must match row count");
+    for y in ys {
+        assert_eq!(y.len(), n, "response length must match row count");
+    }
+    let mut out = vec![vec![0.0f64; p]; ys.len()];
+    for i in 0..n {
+        let wi = w[i];
+        if wi == 0.0 {
+            continue;
+        }
+        let row = a.row(i);
+        for (c, y) in ys.iter().enumerate() {
+            let coeff = wi * y[i];
+            if coeff != 0.0 {
+                kernels::axpy(coeff, row, &mut out[c]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas;
+
+    fn demo_matrix(n: usize, p: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        Matrix::from_fn(n, p, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    fn demo_weights(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0xD134_2543_DE82_EF95).max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 4) as f64
+            })
+            .collect()
+    }
+
+    /// Reference: materialize the resample by repeating rows and run the
+    /// row-at-a-time oracle. Integer multiplicities only.
+    fn materialized_gram(a: &Matrix, w: &[f64]) -> Matrix {
+        let mut idx = Vec::new();
+        for (i, &wi) in w.iter().enumerate() {
+            for _ in 0..wi as usize {
+                idx.push(i);
+            }
+        }
+        blas::syrk_t(&a.gather_rows(&idx))
+    }
+
+    #[test]
+    fn batch_matches_materialized_oracle() {
+        let a = demo_matrix(97, 37, 3);
+        let ws: Vec<Vec<f64>> = (0..4).map(|k| demo_weights(97, 10 + k)).collect();
+        let refs: Vec<&[f64]> = ws.iter().map(|w| w.as_slice()).collect();
+        let grams = syrk_t_weighted_batch(&a, &refs);
+        for (k, g) in grams.iter().enumerate() {
+            let want = materialized_gram(&a, &ws[k]);
+            assert!(g.approx_eq(&want, 1e-9), "bootstrap {k} disagrees");
+        }
+    }
+
+    #[test]
+    fn rhs_matches_gemv_oracle() {
+        let a = demo_matrix(71, 23, 5);
+        let y: Vec<f64> = (0..71).map(|i| (i as f64 * 0.37).sin()).collect();
+        let ws: Vec<Vec<f64>> = (0..3).map(|k| demo_weights(71, 40 + k)).collect();
+        let refs: Vec<&[f64]> = ws.iter().map(|w| w.as_slice()).collect();
+        for (k, (_, rhs)) in gram_rhs_batch(&a, &y, &refs).iter().enumerate() {
+            let want = blas::gemv_t_weighted(&a, &ws[k], &y);
+            for (got, want) in rhs.iter().zip(&want) {
+                assert!((got - want).abs() <= 1e-9, "bootstrap {k} rhs disagrees");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_bit_identical_to_larger_batch() {
+        let a = demo_matrix(130, 61, 7);
+        let ws: Vec<Vec<f64>> = (0..5).map(|k| demo_weights(130, 70 + k)).collect();
+        let refs: Vec<&[f64]> = ws.iter().map(|w| w.as_slice()).collect();
+        let batched = syrk_t_weighted_batch(&a, &refs);
+        for (k, w) in refs.iter().enumerate() {
+            let solo = syrk_t_weighted_batch(&a, &[w]);
+            assert_eq!(
+                solo[0].as_slice(),
+                batched[k].as_slice(),
+                "bootstrap {k} depends on batch composition"
+            );
+        }
+    }
+
+    #[test]
+    fn unweighted_specialization_matches_unit_weights() {
+        let a = demo_matrix(83, 29, 11);
+        let ones = vec![1.0; 83];
+        let upper = syrk_t_upper(&a);
+        let weighted = syrk_t_weighted_upper(&a, &ones);
+        assert_eq!(upper.upper().as_slice(), weighted.upper().as_slice());
+    }
+
+    #[test]
+    fn upper_gram_mirror_and_canonical_access() {
+        let a = demo_matrix(40, 13, 13);
+        let ug = syrk_t_upper(&a);
+        for i in 0..13 {
+            for j in 0..i {
+                assert_eq!(ug.upper()[(i, j)], 0.0, "strict lower must be zero");
+                assert_eq!(ug.get(i, j), ug.get(j, i));
+            }
+        }
+        let full = ug.clone().into_full();
+        for i in 0..13 {
+            for j in 0..13 {
+                let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+                assert_eq!(full[(i, j)], ug.upper()[(lo, hi)]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        let empty = Matrix::zeros(0, 4);
+        let grams = gram_batch(&empty, &[None, Some(&[])]);
+        for g in &grams {
+            assert_eq!(g.order(), 4);
+            assert!(g.upper().as_slice().iter().all(|&v| v == 0.0));
+        }
+        let zero_w = vec![0.0; 9];
+        let a = demo_matrix(9, 3, 17);
+        let g = syrk_t_weighted_upper(&a, &zero_w);
+        assert!(g.upper().as_slice().iter().all(|&v| v == 0.0));
+        let y = vec![1.0; 9];
+        let (_, rhs) = &gram_rhs_batch(&a, &y, &[&zero_w])[0];
+        assert!(rhs.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn multi_rhs_matches_per_column_oracle() {
+        let a = demo_matrix(57, 19, 19);
+        let w = demo_weights(57, 23);
+        let y1: Vec<f64> = (0..57).map(|i| (i as f64 * 0.11).cos()).collect();
+        let y2: Vec<f64> = (0..57).map(|i| (i as f64 * 0.29).sin()).collect();
+        let multi = gemv_t_weighted_multi(&a, &w, &[&y1, &y2]);
+        for (got, y) in multi.iter().zip([&y1, &y2]) {
+            let want = blas::gemv_t_weighted(&a, &w, y);
+            for (g, w_) in got.iter().zip(&want) {
+                assert!((g - w_).abs() <= 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_sweep_bit_identical() {
+        // Several bands, large enough to cross the parallel threshold.
+        let a = demo_matrix(300, 160, 29);
+        let ws: Vec<Vec<f64>> = (0..3).map(|k| demo_weights(300, 90 + k)).collect();
+        let opts: Vec<WeightOpt<'_>> = ws.iter().map(|w| Some(w.as_slice())).collect();
+        let y: Vec<f64> = (0..300).map(|i| (i as f64 * 0.07).sin()).collect();
+        let n_bands = 160usize.div_ceil(GRAM_BAND);
+        assert!(n_bands >= 3, "test shape must span several bands");
+        let reference = batch_core_scheduled(&a, &opts, Some(&y), None);
+        let want: Vec<(Vec<f64>, Vec<f64>)> = reference
+            .0
+            .into_iter()
+            .zip(reference.1)
+            .map(|(g, r)| (g.into_upper().into_vec(), r))
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            // Emulate a T-thread schedule: bands are dealt round-robin to
+            // the workers and each worker drains its share back-to-back,
+            // so the global completion order differs for every T.
+            let mut order = Vec::with_capacity(n_bands);
+            for t in 0..threads {
+                order.extend((t..n_bands).step_by(threads));
+            }
+            let got = batch_core_scheduled(&a, &opts, Some(&y), Some(&order));
+            let got: Vec<(Vec<f64>, Vec<f64>)> = got
+                .0
+                .into_iter()
+                .zip(got.1)
+                .map(|(g, r)| (g.into_upper().into_vec(), r))
+                .collect();
+            assert_eq!(got, want, "{threads}-thread schedule diverged");
+        }
+    }
+
+    #[test]
+    fn packs_each_panel_exactly_once_regardless_of_batch_size() {
+        let a = demo_matrix(200, 96, 31);
+        let ws: Vec<Vec<f64>> = (0..8).map(|k| demo_weights(200, 50 + k)).collect();
+        let one: Vec<&[f64]> = vec![ws[0].as_slice()];
+        let eight: Vec<&[f64]> = ws.iter().map(|w| w.as_slice()).collect();
+        let before = pack_count();
+        let _ = syrk_t_weighted_batch(&a, &one);
+        let solo_packs = pack_count() - before;
+        let before = pack_count();
+        let _ = syrk_t_weighted_batch(&a, &eight);
+        let batch_packs = pack_count() - before;
+        assert_eq!(
+            solo_packs, batch_packs,
+            "batch must pack each (band, panel) once, independent of B"
+        );
+        // Sanity: the expected grid of (band, panel) pairs.
+        let bands = 96usize.div_ceil(GRAM_BAND);
+        let panels = 200usize.div_ceil(GRAM_PANEL_ROWS);
+        assert_eq!(solo_packs, (bands * panels) as u64);
+    }
+}

@@ -180,7 +180,7 @@ mod tests {
     #[test]
     fn gram_block_identity() {
         let x = Matrix::from_fn(5, 3, |i, j| ((i * 7 + j) % 4) as f64 - 1.5);
-        let op = IdentityKron::new(x.clone(), 3);
+        let op = IdentityKron::new(x, 3);
         // Full Gram of the explicit operator should be I ⊗ (X^T X).
         let explicit = op.explicit().to_dense();
         let full_gram = crate::blas::gemm(&explicit.transpose(), &explicit);

@@ -29,6 +29,7 @@ pub mod blas;
 pub mod chol;
 pub mod dense;
 pub mod eig;
+pub mod gram;
 pub mod kernels;
 pub mod kron;
 pub mod qr;
@@ -42,6 +43,10 @@ pub use blas::{
 pub use chol::{solve_normal_equations, solve_spd, Cholesky, NotPositiveDefinite};
 pub use dense::Matrix;
 pub use eig::{companion_matrix, spectral_radius, var_is_stable};
+pub use gram::{
+    gemv_t_weighted_multi, gram_batch, gram_rhs_batch, syrk_t_upper, syrk_t_weighted_batch,
+    syrk_t_weighted_upper, UpperGram,
+};
 pub use kron::{kron_dense, IdentityKron};
 pub use qr::{qr_least_squares, Qr};
 pub use sparse::CsrMatrix;

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use uoi_linalg::{
-    gemm, gemv, gemv_t, gemv_t_weighted, kernels, kron_dense, mse, mse_into, syrk_t,
-    syrk_t_weighted, weighted_sumsq, Cholesky, CsrMatrix, IdentityKron, Matrix,
+    gemm, gemv, gemv_t, gemv_t_weighted, gram_rhs_batch, kernels, kron_dense, mse, mse_into,
+    syrk_t, syrk_t_weighted, syrk_t_weighted_batch, weighted_sumsq, Cholesky, CsrMatrix,
+    IdentityKron, Matrix,
 };
 
 /// Strategy: a rows x cols matrix with bounded entries.
@@ -186,6 +187,69 @@ proptest! {
         let buffered = mse_into(&m, &b, &y, &mut pred);
         prop_assert!((direct - buffered).abs() < 1e-12);
         prop_assert_eq!(pred.len(), 9);
+    }
+
+    // The batched Gram engine vs the materialized `gather_rows` + `syrk_t`
+    // oracle, to 1e-9. Shapes deliberately sweep the kernel's edge cases:
+    // B = 1, n below one packed panel (64 rows), p below one register tile
+    // (4 cols), ragged final panels/tiles, multi-band outputs (p > 64),
+    // and resamples whose weight vector is all zero (empty draw).
+    #[test]
+    fn gram_batch_matches_materialized_oracle(
+        (n, p) in (1usize..150, 1usize..80),
+        b in 1usize..5,
+        seed in 0u64..300,
+    ) {
+        let x = Matrix::from_fn(n, p, |i, j| {
+            (((i * 31 + j * 17) as f64 + seed as f64) * 0.37).sin() * 3.0
+        });
+        let y: Vec<f64> = (0..n).map(|i| ((i as f64 + seed as f64) * 0.73).cos()).collect();
+        // Deterministic per-resample multiplicity draws; draw counts span
+        // 0 (the empty resample) up to 2n.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut step = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut ws: Vec<Vec<f64>> = Vec::new();
+        let mut idxs: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..b {
+            let draws = (step() as usize) % (2 * n + 1);
+            let idx: Vec<usize> = (0..draws).map(|_| step() as usize % n).collect();
+            let mut w = vec![0.0; n];
+            for &i in &idx {
+                w[i] += 1.0;
+            }
+            ws.push(w);
+            idxs.push(idx);
+        }
+        let refs: Vec<&[f64]> = ws.iter().map(|w| w.as_slice()).collect();
+
+        let batched = gram_rhs_batch(&x, &y, &refs);
+        let mirrored = syrk_t_weighted_batch(&x, &refs);
+        for (k, (gram, rhs)) in batched.iter().enumerate() {
+            let xb = x.gather_rows(&idxs[k]);
+            let yb: Vec<f64> = idxs[k].iter().map(|&i| y[i]).collect();
+            let gram_m = syrk_t(&xb);
+            for i in 0..p {
+                for j in 0..p {
+                    prop_assert!(
+                        (gram.get(i, j) - gram_m[(i, j)]).abs() < 1e-9,
+                        "bootstrap {} gram ({}, {})", k, i, j
+                    );
+                    prop_assert!(
+                        (mirrored[k][(i, j)] - gram_m[(i, j)]).abs() < 1e-9,
+                        "bootstrap {} mirrored gram ({}, {})", k, i, j
+                    );
+                }
+            }
+            let xty_m = gemv_t(&xb, &yb);
+            for (a, b_) in rhs.iter().zip(&xty_m) {
+                prop_assert!((a - b_).abs() < 1e-9, "rhs {} vs {}", a, b_);
+            }
+        }
     }
 
     // The blocked right-looking factorisation (n >= 128 dispatch) agrees

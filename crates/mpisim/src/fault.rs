@@ -447,14 +447,14 @@ mod tests {
         }
         // Different seeds shuffle the schedule.
         let c = FaultPlan::new(43).with_random_crash(8, 10);
-        let crashed_a: Vec<usize> = (0..8)
+        let crashed_a = (0..8)
             .filter(|&r| a.faults_for(r).crash_at_step.is_some())
-            .collect();
-        let crashed_c: Vec<usize> = (0..8)
+            .count();
+        let crashed_c = (0..8)
             .filter(|&r| c.faults_for(r).crash_at_step.is_some())
-            .collect();
-        assert_eq!(crashed_a.len(), 1);
-        assert_eq!(crashed_c.len(), 1);
+            .count();
+        assert_eq!(crashed_a, 1);
+        assert_eq!(crashed_c, 1);
     }
 
     #[test]
@@ -479,7 +479,7 @@ mod tests {
     fn barrier_surfaces_peer_failure_not_deadlock() {
         let barrier = std::sync::Arc::new(FtBarrier::new(2));
         let abort = std::sync::Arc::new(AbortState::new());
-        let (b2, a2) = (barrier.clone(), abort.clone());
+        let (b2, a2) = (barrier, abort.clone());
         let h = std::thread::spawn(move || b2.wait(&a2, Duration::from_secs(5), "barrier"));
         std::thread::sleep(Duration::from_millis(10));
         abort.mark_failed(1, "injected".into());

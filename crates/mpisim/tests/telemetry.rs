@@ -267,7 +267,7 @@ fn jsonl_trace_round_trips_through_disk() {
                 });
             })
     };
-    run(Telemetry::with_sink(sink.clone()));
+    run(Telemetry::with_sink(sink));
     run(Telemetry::with_sink(memory.clone()));
     let from_disk = JsonlSink::read_events(&path).unwrap();
     let from_memory = memory.snapshot();
@@ -381,7 +381,7 @@ fn crashed_rank_trace_is_flushed_and_parseable() {
     let path = std::env::temp_dir().join("uoi_mpisim_crash_trace.jsonl");
     let sink = Arc::new(JsonlSink::create(&path).unwrap());
     let result = Cluster::new(3, MachineModel::deterministic())
-        .with_telemetry(Telemetry::with_sink(sink.clone()))
+        .with_telemetry(Telemetry::with_sink(sink))
         .with_fault_plan(uoi_mpisim::FaultPlan::new(1).crash_rank(2, 1))
         .try_run(|ctx, world| {
             ctx.span("doomed", |ctx| {

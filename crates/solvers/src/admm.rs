@@ -23,7 +23,7 @@ use crate::prox::soft_threshold_vec;
 use std::sync::Arc;
 use uoi_linalg::{
     gemv, gemv_into, gemv_t, gemv_t_into, kernels, norm2, norm2_diff, norm2_scaled,
-    norm2_scaled_diff, syrk_t, Cholesky, Matrix,
+    norm2_scaled_diff, Cholesky, Matrix,
 };
 use uoi_telemetry::MetricsRegistry;
 
@@ -237,18 +237,21 @@ pub(crate) fn effective_rho(cfg_rho: f64, diag_sum: f64, p: usize) -> f64 {
 pub(crate) fn factorize(x: &Matrix, rho: f64) -> Factorization {
     let (n, p) = x.shape();
     if p <= n {
-        let mut gram = syrk_t(x);
+        // Upper-stored Gram straight from the batched engine; the mirror
+        // pass is skipped because the factorisation reads only the upper
+        // triangle.
+        let mut gram = uoi_linalg::syrk_t_upper(x).into_upper();
         for i in 0..p {
             gram[(i, i)] += rho;
         }
-        Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"))
+        Factorization::Primal(Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"))
     } else {
         let xt = x.transpose();
-        let mut small = syrk_t(&xt);
+        let mut small = uoi_linalg::syrk_t_upper(&xt).into_upper();
         for i in 0..n {
             small[(i, i)] += rho;
         }
-        Factorization::Woodbury(Cholesky::factor(&small).expect("rho I + X X^T must be SPD"))
+        Factorization::Woodbury(Cholesky::factor_upper(&small).expect("rho I + X X^T must be SPD"))
     }
 }
 
@@ -370,15 +373,18 @@ impl LassoAdmm {
             // Form the Gram here (rather than inside `factorize`) so its
             // diagonal sets the penalty before the ridge is added — the
             // exact sequence `from_gram(syrk_t(&x), cfg)` performs, which
-            // keeps the two constructors bit-identical for p <= n.
-            let mut gram = syrk_t(&x);
+            // keeps the two constructors bit-identical for p <= n. The
+            // upper-stored form suffices: both the ridge and the
+            // factorisation touch only the upper triangle.
+            let mut gram = uoi_linalg::syrk_t_upper(&x).into_upper();
             let diag_sum: f64 = (0..p).map(|i| gram[(i, i)]).sum();
             let rho = effective_rho(cfg.rho, diag_sum, p);
             for i in 0..p {
                 gram[(i, i)] += rho;
             }
-            let factor =
-                Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"));
+            let factor = Factorization::Primal(
+                Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"),
+            );
             (rho, factor)
         } else {
             // Woodbury path never forms the p x p Gram; its diagonal is
@@ -405,6 +411,11 @@ impl LassoAdmm {
     /// `from_gram(syrk_t(&x), cfg)` is bit-identical to `new(x, cfg)`: the
     /// same Gram is formed, the same penalty derived from its diagonal,
     /// and the same factorisation path taken.
+    ///
+    /// Only the **upper** triangle (and the diagonal) of `gram` is read,
+    /// so upper-stored matrices from the batched Gram engine
+    /// (`uoi_linalg::gram`) can be passed directly, mirror skipped; a full
+    /// symmetric matrix gives the same bits.
     pub fn from_gram(mut gram: Matrix, cfg: AdmmConfig) -> Self {
         assert!(cfg.rho > 0.0, "rho must be positive");
         let p = gram.rows();
@@ -414,8 +425,9 @@ impl LassoAdmm {
         for i in 0..p {
             gram[(i, i)] += rho;
         }
-        let factor =
-            Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"));
+        let factor = Factorization::Primal(
+            Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"),
+        );
         Self {
             design: DesignStore::Gram { p },
             factor,
@@ -1200,7 +1212,7 @@ mod tests {
             ..Default::default()
         };
         let dense = LassoAdmm::new(x.clone(), cfg.clone());
-        let gram_solver = LassoAdmm::from_gram(syrk_t(&x), cfg);
+        let gram_solver = LassoAdmm::from_gram(uoi_linalg::syrk_t(&x), cfg);
         let xty = dense.prepare_rhs(&y);
         let lambdas = [2.0, 1.0, 0.5, 0.25, 0.0];
         let a = dense.solve_path(&y, &lambdas);
@@ -1225,7 +1237,7 @@ mod tests {
     #[should_panic(expected = "holds no design")]
     fn from_gram_rejects_response_entry_points() {
         let (x, y) = toy_problem();
-        let solver = LassoAdmm::from_gram(syrk_t(&x), AdmmConfig::default());
+        let solver = LassoAdmm::from_gram(uoi_linalg::syrk_t(&x), AdmmConfig::default());
         let _ = solver.solve(&y, 0.1);
     }
 
@@ -1381,7 +1393,7 @@ mod tests {
             reltol: 1e-7,
             ..Default::default()
         };
-        let solver = LassoAdmm::new(x.clone(), cfg);
+        let solver = LassoAdmm::new(x, cfg);
         let fixed = solver.solve(&y, lam);
         let adaptive = solver.solve_adaptive(&y, lam, 10.0, 2.0, 10);
         assert!(adaptive.converged, "adaptive must converge");

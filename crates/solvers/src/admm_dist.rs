@@ -25,8 +25,8 @@
 //! the paper's model-estimation step does.
 
 use crate::admm::{
-    admm_factor_flops, admm_iter_flops, effective_rho, factorize, lockstep_round_charges,
-    AdmmConfig, AdmmSolution, Factorization, PathSchedule,
+    admm_iter_flops, effective_rho, factorize, lockstep_round_charges, AdmmConfig, AdmmSolution,
+    Factorization, PathSchedule,
 };
 use crate::prox::soft_threshold_vec;
 use std::sync::Arc;
@@ -82,19 +82,30 @@ impl DistLassoAdmm {
         assert!(cfg.rho > 0.0);
         let sp = ctx.span_enter("gram_build.factor");
         let (n, p) = x_local.shape();
-        ctx.compute_flops(admm_factor_flops(n, p), (n * p * 8) as f64);
+        // Packed-panel cost model: the design streams from DRAM once, the
+        // O(n p min) SYRK flops run register-tiled on cache-resident
+        // panels, and the blocked Cholesky works on CHOL_NB-wide panels
+        // with the same footprint.
+        let dim = n.min(p);
+        ctx.compute_membound((n * p * 8) as f64);
+        ctx.compute_flops((n * p * dim) as f64, uoi_linalg::gram::gram_kernel_ws(p));
+        ctx.compute_flops(
+            (dim * dim * dim) as f64 / 3.0,
+            uoi_linalg::gram::gram_kernel_ws(dim),
+        );
         let (rho, factor) = if p <= n {
             // Mirror `from_gram`: diagonal read off the local Gram before
             // the ridge is added, so `from_gram(syrk_t(&x_local), ..)`
             // stays bit-identical for p <= n_local blocks.
-            let mut gram = uoi_linalg::syrk_t(&x_local);
+            let mut gram = uoi_linalg::syrk_t_upper(&x_local).into_upper();
             let local_diag: f64 = (0..p).map(|i| gram[(i, i)]).sum();
             let rho = Self::global_rho(ctx, comm, local_diag, p, cfg.rho);
             for i in 0..p {
                 gram[(i, i)] += rho;
             }
-            let factor =
-                Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"));
+            let factor = Factorization::Primal(
+                Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"),
+            );
             (rho, factor)
         } else {
             let local_diag: f64 = x_local.as_slice().iter().map(|v| v * v).sum();
@@ -129,14 +140,24 @@ impl DistLassoAdmm {
         let sp = ctx.span_enter("gram_build.cholesky");
         let p = gram.rows();
         assert_eq!(p, gram.cols(), "from_gram: Gram matrix must be square");
-        ctx.compute_flops((p * p * p) as f64 / 3.0, (p * p * 8) as f64);
+        // One streaming read of the Gram plus panel-blocked factor flops
+        // (CHOL_NB-wide panels share the packed-kernel footprint).
+        ctx.compute_membound((p * p * 8) as f64);
+        ctx.compute_flops(
+            (p * p * p) as f64 / 3.0,
+            uoi_linalg::gram::gram_kernel_ws(p),
+        );
         let local_diag: f64 = (0..p).map(|i| gram[(i, i)]).sum();
         let rho = Self::global_rho(ctx, comm, local_diag, p, cfg.rho);
         for i in 0..p {
             gram[(i, i)] += rho;
         }
-        let factor =
-            Factorization::Primal(Cholesky::factor(&gram).expect("X^T X + rho I must be SPD"));
+        // Reads only the upper triangle: upper-stored Grams from the
+        // batched engine (and the checkpoint warm path that round-trips
+        // them) need no mirror.
+        let factor = Factorization::Primal(
+            Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"),
+        );
         let metrics = ctx.telemetry().metrics();
         ctx.span_exit(sp);
         Self {
@@ -771,7 +792,7 @@ mod tests {
     #[test]
     fn gram_built_solver_matches_dense() {
         let (x, y) = problem(40, 4);
-        let (x_ref, y_ref) = (x.clone(), y.clone());
+        let (x_ref, y_ref) = (x, y);
         let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, comm| {
             let r = comm.rank();
             let x_local = x_ref.rows_range(r * 10, (r + 1) * 10);
@@ -826,7 +847,7 @@ mod tests {
     fn path_warm_start_matches_cold() {
         let (x, y) = problem(48, 6);
         let lambdas = [3.0, 1.0, 0.3];
-        let (x_ref, y_ref) = (x.clone(), y.clone());
+        let (x_ref, y_ref) = (x, y);
         let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, comm| {
             let r = comm.rank();
             let x_local = x_ref.rows_range(r * 12, (r + 1) * 12);
@@ -860,7 +881,7 @@ mod tests {
     fn fused_path_bit_identical_to_cold_solves() {
         let (x, y) = problem(48, 6);
         let lambdas = [3.0, 1.0, 0.3, 0.0];
-        let (x_ref, y_ref) = (x.clone(), y.clone());
+        let (x_ref, y_ref) = (x, y);
         let report = Cluster::new(4, MachineModel::deterministic()).run(move |ctx, comm| {
             let r = comm.rank();
             let x_local = x_ref.rows_range(r * 12, (r + 1) * 12);

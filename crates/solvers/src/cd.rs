@@ -194,7 +194,7 @@ mod tests {
         let lam = 0.8;
         let beta_cd = lasso_cd(&x, &y, lam, &CdConfig::default());
         let admm = crate::admm::LassoAdmm::new(
-            x.clone(),
+            x,
             crate::admm::AdmmConfig {
                 max_iter: 8000,
                 abstol: 1e-10,

@@ -61,7 +61,17 @@ pub fn ols_on_support_gram(
         return beta;
     }
     let s = support.len();
-    let mut sub = Matrix::from_fn(s, s, |a, b| gram[(support[a], support[b])]);
+    // Canonical (min, max) indexing reads only the upper triangle of the
+    // Gram, so upper-stored matrices from the batched engine work without
+    // a mirror pass; for a full symmetric input the bits are the same.
+    let mut sub = Matrix::from_fn(s, s, |a, b| {
+        let (i, j) = (support[a], support[b]);
+        if i <= j {
+            gram[(i, j)]
+        } else {
+            gram[(j, i)]
+        }
+    });
     let rhs: Vec<f64> = support.iter().map(|&j| xty[j]).collect();
     if s > n_train {
         // Over-wide support: determined only with the same small ridge the

@@ -21,8 +21,9 @@ pub use distribution::{
     DistTiming,
 };
 pub use recovery::{
-    checksummed_rows, restripe_after_shrink, row_checksum, verified_get_row,
-    verified_tier2_shuffle, verify_row, RestripeError, DEFAULT_GET_ATTEMPTS,
+    checksummed_row_groups, checksummed_rows, restripe_after_shrink, row_checksum,
+    verified_get_row, verified_tier2_shuffle, verify_row, RestripeError, DEFAULT_GET_ATTEMPTS,
+    VERIFIED_GROUP_ROWS,
 };
 pub use retry::{read_rows_retrying, RetryPolicy, DEFAULT_JITTER_SEED};
 pub use shf::{write_matrix, ShfDataset, ShfError};

@@ -139,11 +139,90 @@ pub fn verified_get_row(
     })
 }
 
+/// Rows per checksum group in the block-granular verified layout used by
+/// [`verified_tier2_shuffle`]: one trailing checksum covers a whole
+/// `VERIFIED_GROUP_ROWS`-row group, so a contiguous run of requested rows
+/// costs one get and one verification instead of one per row.
+pub const VERIFIED_GROUP_ROWS: usize = 8;
+
+/// Flatten `block` into window-exposable form with ONE trailing checksum
+/// per `group_rows`-row group (the last group may be ragged). Group `g`
+/// spans local rows `g * group_rows ..`, its payload is stored
+/// contiguously, and its checksum is keyed by the group's first global
+/// row. `first_global_row` is the global id of the block's row 0.
+pub fn checksummed_row_groups(
+    block: &Matrix,
+    first_global_row: usize,
+    group_rows: usize,
+) -> Vec<f64> {
+    assert!(group_rows >= 1, "group_rows must be >= 1");
+    let cols = block.cols();
+    let n = block.rows();
+    let groups = n.div_ceil(group_rows);
+    let mut out = Vec::with_capacity(n * cols + groups);
+    for g in 0..groups {
+        let lo = g * group_rows;
+        let hi = (lo + group_rows).min(n);
+        let start = out.len();
+        for r in lo..hi {
+            out.extend_from_slice(block.row(r));
+        }
+        let ck = row_checksum(&out[start..], first_global_row + lo);
+        out.push(ck);
+    }
+    out
+}
+
+/// One checksum-verified one-sided *group* read with bounded retries
+/// against a [`checksummed_row_groups`] window. On success `out` holds
+/// the group's payload (`rows_in_group * cols` values).
+#[allow(clippy::too_many_arguments)]
+fn verified_get_group(
+    ctx: &mut RankCtx,
+    win: &Window,
+    target: usize,
+    group: usize,
+    group_rows: usize,
+    cols: usize,
+    target_block_rows: usize,
+    first_target_row: usize,
+    max_attempts: u32,
+    out: &mut Vec<f64>,
+) -> Result<(), RestripeError> {
+    let lo = group * group_rows;
+    let rows_in = group_rows.min(target_block_rows - lo);
+    // `group` earlier checksums precede this group's payload.
+    let start = lo * cols + group;
+    let len = rows_in * cols + 1;
+    let max_attempts = max_attempts.max(1);
+    for attempt in 0..max_attempts {
+        let got = win.get(ctx, target, start..start + len);
+        let (payload, tail) = got.split_at(len - 1);
+        if row_checksum(payload, first_target_row + lo).to_bits() == tail[0].to_bits() {
+            out.clear();
+            out.extend_from_slice(payload);
+            return Ok(());
+        }
+        ctx.record_fault(
+            "t2_checksum_retry",
+            format!("group={group} target={target} attempt={}", attempt + 1),
+        );
+    }
+    Err(RestripeError::Checksum {
+        target,
+        global_row: first_target_row + lo,
+        attempts: max_attempts,
+    })
+}
+
 /// Checksum-verified variant of `tier2_shuffle`: each rank exposes its
-/// contiguous block-striped rows *with trailing checksums* and pulls the
-/// rows in `my_rows` through verified gets, so dropped/corrupted
-/// transfers are retried instead of silently delivering zeros or flipped
-/// bits. Returns the delivered rows and the distribution time charged.
+/// contiguous block-striped rows in the block-granular checksummed layout
+/// ([`checksummed_row_groups`]) and pulls the rows in `my_rows` through
+/// verified *group* gets — one get and one checksum per
+/// [`VERIFIED_GROUP_ROWS`]-row group instead of one per row, so dropped
+/// or corrupted transfers are retried at block granularity and the
+/// per-get latency of a contiguous bootstrap run collapses by the group
+/// size. Returns the delivered rows and the distribution time charged.
 pub fn verified_tier2_shuffle(
     ctx: &mut RankCtx,
     comm: &Comm,
@@ -162,25 +241,55 @@ pub fn verified_tier2_shuffle(
     );
     let d0 = ctx.ledger().get(Phase::Distribution);
     let sp = ctx.span_enter("shuffle_t2.verified");
-    let win = Window::create(ctx, comm, checksummed_rows(&local_block, my_start));
+    let win = Window::create(
+        ctx,
+        comm,
+        checksummed_row_groups(&local_block, my_start, VERIFIED_GROUP_ROWS),
+    );
     win.fence(ctx, comm);
     let mut out = Matrix::zeros(my_rows.len(), cols);
+    let mut gbuf: Vec<f64> = Vec::new();
     let mut res = Ok(());
-    for (dst, &row) in my_rows.iter().enumerate() {
+    let m = my_rows.len();
+    let mut i = 0;
+    while i < m {
+        let row = my_rows[i];
         let (owner, offset) = block_owner(n_total, p, row);
-        if let Err(e) = verified_get_row(
+        let g = offset / VERIFIED_GROUP_ROWS;
+        // Every immediately-following request served by the same
+        // (owner, group) — contiguous runs, duplicates — shares the fetch.
+        let mut j = i + 1;
+        while j < m {
+            let (o2, off2) = block_owner(n_total, p, my_rows[j]);
+            if o2 == owner && off2 / VERIFIED_GROUP_ROWS == g {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let owner_range = block_range(n_total, p, owner);
+        if let Err(e) = verified_get_group(
             ctx,
             &win,
             owner,
-            offset,
+            g,
+            VERIFIED_GROUP_ROWS,
             cols,
-            row,
+            owner_range.len(),
+            owner_range.start,
             max_attempts,
-            out.row_mut(dst),
+            &mut gbuf,
         ) {
             res = Err(e);
             break;
         }
+        for (t, &row) in my_rows.iter().enumerate().take(j).skip(i) {
+            let (_, off) = block_owner(n_total, p, row);
+            let local = off - g * VERIFIED_GROUP_ROWS;
+            out.row_mut(t)
+                .copy_from_slice(&gbuf[local * cols..(local + 1) * cols]);
+        }
+        i = j;
     }
     // Keep the fence collective even on error so peers don't hang.
     win.fence(ctx, comm);
@@ -373,6 +482,63 @@ mod tests {
             ref other => panic!("expected Checksum error on rank 1, got {other:?}"),
         }
         assert!(report.results[0].is_none(), "rank 0's gets were clean");
+    }
+
+    /// The group layout stores every row bit-exactly (ragged last group
+    /// included) and its checksums detect single-bit payload corruption.
+    #[test]
+    fn group_layout_roundtrip_and_checksums() {
+        let block = Matrix::from_fn(11, 3, |i, j| (i * 13 + j) as f64 - 4.5);
+        let flat = checksummed_row_groups(&block, 20, 4);
+        // Groups of 4, 4, 3 rows -> payload + 3 checksums.
+        assert_eq!(flat.len(), 11 * 3 + 3);
+        let mut cursor = 0;
+        for (g, rows_in) in [(0usize, 4usize), (1, 4), (2, 3)] {
+            let payload = &flat[cursor..cursor + rows_in * 3];
+            for r in 0..rows_in {
+                assert_eq!(&payload[r * 3..(r + 1) * 3], block.row(g * 4 + r));
+            }
+            let ck = flat[cursor + rows_in * 3];
+            assert_eq!(
+                ck.to_bits(),
+                row_checksum(payload, 20 + g * 4).to_bits(),
+                "group {g} checksum"
+            );
+            // A flipped payload bit must break verification.
+            let mut bad = payload.to_vec();
+            bad[0] = f64::from_bits(bad[0].to_bits() ^ 1);
+            assert_ne!(row_checksum(&bad, 20 + g * 4).to_bits(), ck.to_bits());
+            cursor += rows_in * 3 + 1;
+        }
+    }
+
+    /// Block-granular fetches deliver ground truth across group and rank
+    /// boundaries, with duplicated and out-of-order requests, and still
+    /// absorb injected faults at group granularity.
+    #[test]
+    fn verified_shuffle_group_fetches_deliver_ground_truth() {
+        let n = 40;
+        let src = Matrix::from_fn(n, 3, |i, j| (i * 7 + j) as f64 + 0.125);
+        let plan = FaultPlan::new(0)
+            .drop_window_op(1, 0)
+            .corrupt_window_op(0, 1);
+        let report = Cluster::new(2, MachineModel::deterministic())
+            .with_fault_plan(plan)
+            .run(|ctx, comm| {
+                let mine = block_range(n, 2, comm.rank());
+                let local = Matrix::from_fn(mine.len(), 3, |i, j| {
+                    ((mine.start + i) * 7 + j) as f64 + 0.125
+                });
+                // A contiguous run spanning a group boundary, a run that
+                // crosses the rank boundary, duplicates, and a stray row.
+                let rows: Vec<usize> = (5..13).chain(18..23).chain([30, 30, 2]).collect();
+                let (m, _) = verified_tier2_shuffle(ctx, comm, local, n, &rows, 4)
+                    .expect("group retries must absorb the injected faults");
+                (rows, m)
+            });
+        for (rows, m) in &report.results {
+            assert_eq!(*m, src.gather_rows(rows));
+        }
     }
 
     /// The post-shrink re-stripe is loss-less: a 4-rank striping losing

@@ -28,7 +28,7 @@ fn main() {
 
     // The unified fitter drives every execution mode; inside a cluster
     // closure, `fit_on` runs the distributed pipeline on that rank.
-    let fitter = UoiFitter::new(cfg.clone()).mode(ExecMode::Dist(
+    let fitter = UoiFitter::new(cfg).mode(ExecMode::Dist(
         DistOptions::default().layout(ParallelLayout::admm_only()),
     ));
 
@@ -47,8 +47,8 @@ fn main() {
     //    costed as if the partition had 8,704 cores (a Cori-scale Table I
     //    row). Statistical output is identical; the virtual clock shows
     //    how the phase balance shifts at scale.
-    let (x, y) = (ds.x.clone(), ds.y.clone());
-    let fitter2 = fitter.clone();
+    let (x, y) = (ds.x.clone(), ds.y);
+    let fitter2 = fitter;
     let report_big = Cluster::new(8, MachineModel::deterministic())
         .modeled_ranks(8_704)
         .run(move |ctx, world| {

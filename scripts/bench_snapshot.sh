@@ -6,13 +6,14 @@
 # Runs each binary REPS times untraced, takes the minimum wall-clock,
 # then runs REPS traced reps (UOI_TRACE=1) and folds the per-phase
 # minimum modeled times from the run reports into a schema-versioned
-# BENCH_PIPELINE.json at the repo root (schema_version 3). Per-phase
+# BENCH_PIPELINE.json at the repo root (schema_version 4). Per-phase
 # minima are the same estimator as the walls: the modeled time of a
 # phase varies run to run with thread scheduling (one-sided serving
 # order), and the minimum is the stable best case. Since schema 3 each
 # pipeline entry also records the run parameters that shape the modeled
 # admm_local time (in-rank `threads`, `admm_schedule`) so a snapshot is
-# self-describing about the configuration that produced it.
+# self-describing about the configuration that produced it; schema 4
+# adds the Gram kernel variant (`gram_kernel`) the run was built with.
 #
 #   scripts/bench_snapshot.sh                    # fresh snapshot
 #   scripts/bench_snapshot.sh old.json           # snapshot + speedup vs old
@@ -22,8 +23,9 @@
 # --compare diffs the modeled per-phase seconds (virtual clock, so
 # deterministic across machines) against a previous snapshot and fails
 # when any phase that mattered in the baseline (>= 1% of its makespan)
-# slowed down by more than 15%. The `admm_local` phase — the solver
-# inner loop the kernel work targets — is always gated, floor or no
+# slowed down by more than 15%. The `admm_local` phase (solver inner
+# loop) and the `gram_build` phase (batched Gram engine) — the two
+# hot paths the kernel work targets — are always gated, floor or no
 # floor. Baselines written by the v1 script have no phase data;
 # comparing against them only checks wall-clock and always exits 0.
 #
@@ -84,7 +86,7 @@ base_doc = json.load(open(baseline)) if baseline else {}
 base_by_name = {e["name"]: e for e in base_doc.get("pipelines", [])}
 
 doc = {
-    "schema_version": 3,
+    "schema_version": 4,
     "reps": reps,
     "generated_by": "scripts/bench_snapshot.sh",
     "pipelines": [],
@@ -99,7 +101,7 @@ for spec in sys.argv[4:]:
             report = json.load(open(report_path))
         except (OSError, ValueError):
             continue
-        for key in ("threads", "admm_schedule"):
+        for key in ("threads", "admm_schedule", "gram_kernel"):
             val = report.get("params", {}).get(key)
             if val is not None:
                 entry[key] = val
@@ -135,7 +137,9 @@ import json, sys
 
 THRESHOLD = 0.15   # fail on >15% slowdown
 FLOOR = 0.01       # ignore phases under 1% of the baseline makespan
-ALWAYS_GATED = {"admm_local"}  # solver inner loop: gated regardless of FLOOR
+# Gated regardless of FLOOR: the solver inner loop and the batched
+# Gram engine — the two phases the kernel work optimises.
+ALWAYS_GATED = {"admm_local", "gram_build"}
 
 old = json.load(open(sys.argv[1]))
 new = json.load(open("BENCH_PIPELINE.json"))

@@ -105,7 +105,7 @@ fn neuro_counts_serial_vs_distributed() {
             .layout(ParallelLayout::admm_only())
             .n_readers(2),
     ));
-    let z2 = z.clone();
+    let z2 = z;
     let report = Cluster::new(5, MachineModel::deterministic())
         .run(move |ctx, world| fitter.fit_on(ctx, world, &z2).0);
     let dist = &report.results[0];
@@ -139,7 +139,7 @@ fn var2_pipeline_works_end_to_end() {
     let net = fit.network(0.0);
     assert!(net.edge_count() > 0);
     // The fitted model must itself be stable (sanity of the estimates).
-    let fitted = uoi::data::VarProcess::from_coeffs(fit.a_mats.clone(), 1.0);
+    let fitted = uoi::data::VarProcess::from_coeffs(fit.a_mats, 1.0);
     assert!(
         fitted.radius() < 1.1,
         "fitted dynamics wildly unstable: {}",
