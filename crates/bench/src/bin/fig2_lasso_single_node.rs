@@ -8,6 +8,7 @@
 //! evaluated at 68 cores and print the same four bars.
 
 use uoi_bench::setups::{machine, single_node};
+use uoi_bench::straggler::{annotate_with_study, StudyPipeline};
 use uoi_bench::{
     emit_run_report, exec_ranks, fmt_bytes, quick_mode, scale_divisor, BenchTrace, Table,
 };
@@ -113,14 +114,15 @@ fn main() {
     t.row(&["Total".into(), format!("{total:.4}"), "100.0%".into()]);
     t.emit("fig2_lasso_single_node");
     emit_run_report(
-        &trace.annotate(
+        &trace.annotate(annotate_with_study(
             t.run_report("fig2_lasso_single_node")
                 .param("modeled_cores", point.cores)
                 .param("threads", threads)
                 .param("admm_schedule", format!("{schedule:?}"))
                 .param("gram_kernel", uoi_linalg::gram::KERNEL_VARIANT)
                 .with_summary(report.run_summary()),
-        ),
+            StudyPipeline::Lasso,
+        )),
     );
 
     println!(

@@ -7,6 +7,7 @@
 //! vectorised problem-size explosion.
 
 use uoi_bench::setups::{machine, single_node, var_features};
+use uoi_bench::straggler::{annotate_with_study, StudyPipeline};
 use uoi_bench::workload::VarScalingRun;
 use uoi_bench::{emit_run_report, exec_ranks, fmt_bytes, quick_mode, BenchTrace, Table};
 use uoi_mpisim::Phase;
@@ -69,13 +70,14 @@ fn main() {
     t.row(&["Total".into(), format!("{total:.4}"), "100.0%".into()]);
     t.emit("fig7_var_single_node");
     emit_run_report(
-        &trace.annotate(
+        &trace.annotate(annotate_with_study(
             t.run_report("fig7_var_single_node")
                 .param("exec_p", p)
                 .param("threads", threads)
                 .param("gram_kernel", uoi_linalg::gram::KERNEL_VARIANT)
                 .with_summary(out.report.run_summary()),
-        ),
+            StudyPipeline::Var,
+        )),
     );
 
     println!(

@@ -21,6 +21,7 @@ use uoi_telemetry::{analyze, build_timeline, JsonlSink, MemorySink, TeeSink, Tel
 pub use uoi_telemetry::{RunReport, RunSummary, RUN_REPORT_SCHEMA};
 
 pub mod setups;
+pub mod straggler;
 pub mod workload;
 
 /// Executed rank count for the harnesses (`UOI_EXEC_RANKS`, default 8).

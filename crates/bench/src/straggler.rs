@@ -1,0 +1,198 @@
+//! Env-gated straggler hedging study for the single-node figure
+//! harnesses.
+//!
+//! `UOI_STRAGGLER=<factor>` attaches a compact recovering fit to the
+//! harness run: a 4-rank simulated cluster where one rank computes
+//! `factor`x slower, with speculative hedging gated by `UOI_SPECULATE`.
+//! The study asserts the hedged fit stays bit-identical to the serial
+//! fit and records the three modeled makespans — healthy, unhedged
+//! (straggler, no hedging), hedged — in the `RunReport` params, so a
+//! snapshot can gate "speculation recovers the straggler-induced
+//! slowdown" without a second run: all three numbers derive from the
+//! same observed task-timing record.
+//!
+//! The epoch-watchdog timeout in effect (`UOI_WATCHDOG_MS` or the
+//! default) is recorded unconditionally so every report is
+//! self-describing about its hang-detection budget.
+
+use std::time::Duration;
+
+use uoi_core::{
+    ExecMode, RecoveryConfig, SpeculationConfig, SpeculationReport, UoiFitter, UoiLassoConfig,
+    UoiVarConfig, UoiVarFitter,
+};
+use uoi_data::{LinearConfig, VarConfig, VarProcess};
+use uoi_mpisim::{watchdog_from_env, FaultPlan};
+use uoi_solvers::AdmmConfig;
+use uoi_telemetry::RunReport;
+
+/// Environment variable carrying the straggler slowdown factor; unset or
+/// not a finite factor > 1 means "no study".
+pub const UOI_STRAGGLER_ENV: &str = "UOI_STRAGGLER";
+
+const WORLD: usize = 4;
+const STRAGGLER_RANK: usize = 1;
+
+/// The requested straggler factor, when the study is switched on.
+pub fn straggler_factor() -> Option<f64> {
+    let factor: f64 = std::env::var(UOI_STRAGGLER_ENV).ok()?.trim().parse().ok()?;
+    (factor.is_finite() && factor > 1.0).then_some(factor)
+}
+
+/// Which pipeline the harness benchmarks; the study mirrors it.
+#[derive(Debug, Clone, Copy)]
+pub enum StudyPipeline {
+    Lasso,
+    Var,
+}
+
+fn study_rcfg(factor: f64) -> RecoveryConfig {
+    RecoveryConfig {
+        enabled: true,
+        world: WORLD,
+        max_rounds: 2,
+        plan: Some(FaultPlan::new(7).straggler(STRAGGLER_RANK, factor)),
+        watchdog: effective_watchdog(),
+        get_attempts: 4,
+        speculation: SpeculationConfig::from_env(),
+    }
+}
+
+/// The watchdog in effect: the validated `UOI_WATCHDOG_MS` override or
+/// the recovery default.
+fn effective_watchdog() -> Duration {
+    watchdog_from_env().unwrap_or(RecoveryConfig::default().watchdog)
+}
+
+fn lasso_study(rcfg: &RecoveryConfig) -> Option<SpeculationReport> {
+    let ds = LinearConfig {
+        n_samples: 160,
+        n_features: 16,
+        n_nonzero: 4,
+        snr: 16.0,
+        seed: 29,
+        ..Default::default()
+    }
+    .generate();
+    let cfg = UoiLassoConfig::builder()
+        .b1(8)
+        .b2(8)
+        .q(8)
+        .lambda_min_ratio(3e-2)
+        .admm(AdmmConfig {
+            max_iter: 1500,
+            abstol: 1e-8,
+            reltol: 1e-7,
+            ..Default::default()
+        })
+        .support_tol(1e-6)
+        .seed(13)
+        .build()
+        .expect("study lasso config");
+    let serial = UoiFitter::new(cfg.clone())
+        .fit(&ds.x, &ds.y)
+        .expect("study serial fit");
+    let hedged = UoiFitter::new(cfg)
+        .mode(ExecMode::Recovering(rcfg.clone()))
+        .fit(&ds.x, &ds.y)
+        .expect("study recovering fit");
+    for (a, b) in hedged.beta.iter().zip(&serial.beta) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "straggler study: hedged lasso fit must be bit-identical to serial"
+        );
+    }
+    hedged.speculation
+}
+
+fn var_study(rcfg: &RecoveryConfig) -> Option<SpeculationReport> {
+    let series = VarProcess::generate(&VarConfig {
+        p: 4,
+        order: 1,
+        density: 0.25,
+        target_radius: 0.6,
+        noise_std: 1.0,
+        seed: 5,
+    })
+    .simulate(150, 40, 7);
+    let cfg = UoiVarConfig::builder()
+        .b1(8)
+        .b2(8)
+        .q(6)
+        .lambda_min_ratio(5e-2)
+        .admm(AdmmConfig {
+            max_iter: 800,
+            abstol: 1e-7,
+            reltol: 1e-6,
+            ..Default::default()
+        })
+        .seed(21)
+        .block_len(Some(12))
+        .build()
+        .expect("study var config");
+    let serial = UoiVarFitter::new(cfg.clone())
+        .fit(&series)
+        .expect("study serial var fit");
+    let hedged = UoiVarFitter::new(cfg)
+        .mode(ExecMode::Recovering(rcfg.clone()))
+        .fit(&series)
+        .expect("study recovering var fit");
+    for (a, b) in hedged.vec_beta.iter().zip(&serial.vec_beta) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "straggler study: hedged var fit must be bit-identical to serial"
+        );
+    }
+    hedged.speculation
+}
+
+/// Record the effective watchdog and, when `UOI_STRAGGLER` is set, run
+/// the hedging study and fold its account into the report params.
+pub fn annotate_with_study(report: RunReport, pipeline: StudyPipeline) -> RunReport {
+    let mut report = report.param("watchdog_ms", effective_watchdog().as_millis() as u64);
+    let Some(factor) = straggler_factor() else {
+        return report;
+    };
+
+    let rcfg = study_rcfg(factor);
+    let speculate = rcfg.speculation.enabled;
+    report = report
+        .param("straggler_factor", factor)
+        .param("speculate", speculate);
+
+    let spec = match pipeline {
+        StudyPipeline::Lasso => lasso_study(&rcfg),
+        StudyPipeline::Var => var_study(&rcfg),
+    };
+    let Some(spec) = spec else {
+        println!(
+            "straggler study: factor {factor}x, speculation off — no hedging account \
+             (set UOI_SPECULATE=1 for makespan recovery)"
+        );
+        return report;
+    };
+
+    let recovered = spec.recovered_fraction().unwrap_or(0.0);
+    println!(
+        "straggler study: factor {factor}x, {} hedges ({} won, {} cancelled); modeled \
+         makespan healthy {:.4}s / unhedged {:.4}s / hedged {:.4}s -> recovered {:.0}%",
+        spec.hedges_spawned(),
+        spec.hedges_won(),
+        spec.hedges_cancelled(),
+        spec.makespan_healthy(),
+        spec.makespan_unhedged(),
+        spec.makespan_hedged(),
+        100.0 * recovered
+    );
+    report
+        .param("hedges_spawned", spec.hedges_spawned())
+        .param("hedges_won", spec.hedges_won())
+        .param("hedges_cancelled", spec.hedges_cancelled())
+        .param("speculation_heartbeats", spec.heartbeats())
+        .param("speculation_makespan_healthy", spec.makespan_healthy())
+        .param("speculation_makespan_unhedged", spec.makespan_unhedged())
+        .param("speculation_makespan_hedged", spec.makespan_hedged())
+        .param("speculation_recovered", recovered)
+}

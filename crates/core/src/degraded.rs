@@ -23,7 +23,7 @@ use std::collections::BTreeSet;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use uoi_mpisim::SplitMix64;
-use uoi_telemetry::Json;
+use uoi_telemetry::{Json, Telemetry};
 
 /// Which (bootstrap, stage) tasks fail. Deterministic: the same plan
 /// yields the same failures on every run, which is what makes degraded
@@ -266,13 +266,32 @@ pub fn data_words(data: &[f64]) -> impl Iterator<Item = u64> + '_ {
 /// config/data fingerprint so stale checkpoints from another run are
 /// ignored rather than corrupting results. `f64` values round-trip
 /// through `to_bits` hex, so resumed runs are *bit*-identical.
+///
+/// Every file carries a whole-body checksum in its header; a truncated
+/// or bit-flipped checkpoint fails the scrub on open and is treated as
+/// a cache miss (the caller recomputes and rewrites), counted under the
+/// `checkpoint.scrubbed` telemetry metric.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
     fp: u64,
+    telemetry: Telemetry,
 }
 
-const CKPT_MAGIC: &str = "uoi-ckpt-v1";
+const CKPT_MAGIC: &str = "uoi-ckpt-v2";
+
+/// Whole-body checksum: the [`fingerprint`] chain over the body bytes in
+/// 8-byte little-endian words (zero-padded tail), plus the length so a
+/// truncation at a word boundary cannot cancel out.
+fn body_sum(body: &str) -> u64 {
+    let bytes = body.as_bytes();
+    let words = bytes.chunks(8).map(|c| {
+        let mut w = [0u8; 8];
+        w[..c.len()].copy_from_slice(c);
+        u64::from_le_bytes(w)
+    });
+    fingerprint(std::iter::once(bytes.len() as u64).chain(words))
+}
 
 impl CheckpointStore {
     /// Open (creating the directory if needed) a store keyed by `fp`.
@@ -282,33 +301,55 @@ impl CheckpointStore {
         Ok(Self {
             dir: dir.to_path_buf(),
             fp,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Count scrub events (`checkpoint.scrubbed`) against `tel`.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.telemetry = tel.clone();
+        self
     }
 
     fn path(&self, stage: &str, k: usize) -> PathBuf {
         self.dir.join(format!("{stage}_{k:06}.ckpt"))
     }
 
+    /// Write `body` (payload lines, no header) under a header line
+    /// carrying the store fingerprint and the whole-body checksum.
     fn write_atomic(&self, stage: &str, k: usize, body: &str) -> Result<(), UoiError> {
         let final_path = self.path(stage, k);
         let tmp = self.dir.join(format!(".{stage}_{k:06}.tmp"));
         let io_err = |e: std::io::Error| UoiError::Checkpoint(format!("write {stage}/{k}: {e}"));
+        let text = format!(
+            "{CKPT_MAGIC} fp={:016x} sum={:016x}\n{body}",
+            self.fp,
+            body_sum(body)
+        );
         {
             let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
-            f.write_all(body.as_bytes()).map_err(io_err)?;
+            f.write_all(text.as_bytes()).map_err(io_err)?;
             f.sync_all().map_err(io_err)?;
         }
         std::fs::rename(&tmp, &final_path).map_err(io_err)
     }
 
+    /// Read + scrub a checkpoint. A foreign magic or fingerprint is an
+    /// ordinary miss (stale file from another config); a checksum
+    /// mismatch under *our* fingerprint is corruption — counted as
+    /// `checkpoint.scrubbed` — and is likewise treated as a miss, so the
+    /// caller recomputes and rewrites.
     fn read_validated(&self, stage: &str, k: usize) -> Option<Vec<String>> {
         let text = std::fs::read_to_string(self.path(stage, k)).ok()?;
-        let mut lines = text.lines();
-        let header = lines.next()?;
-        if header != format!("{CKPT_MAGIC} fp={:016x}", self.fp) {
-            return None; // stale or foreign checkpoint: recompute.
+        let (header, body) = text.split_once('\n')?;
+        let prefix = format!("{CKPT_MAGIC} fp={:016x} sum=", self.fp);
+        let sum_hex = header.strip_prefix(&prefix)?;
+        let stored = u64::from_str_radix(sum_hex, 16).ok()?;
+        if stored != body_sum(body) {
+            self.telemetry.incr("checkpoint.scrubbed", 1);
+            return None; // corrupt: recompute and rewrite.
         }
-        Some(lines.map(str::to_string).collect())
+        Some(body.lines().map(str::to_string).collect())
     }
 
     /// Persist a selection result: the per-lambda supports of bootstrap
@@ -319,7 +360,7 @@ impl CheckpointStore {
         k: usize,
         supports: &[Vec<usize>],
     ) -> Result<(), UoiError> {
-        let mut body = format!("{CKPT_MAGIC} fp={:016x}\n", self.fp);
+        let mut body = String::new();
         for s in supports {
             let line: Vec<String> = s.iter().map(|f| f.to_string()).collect();
             body.push_str(&line.join(" "));
@@ -349,7 +390,7 @@ impl CheckpointStore {
     /// Persist an estimation result: the winning coefficient vector of
     /// bootstrap `k`, bit-exact.
     pub fn save_coeffs(&self, stage: &str, k: usize, beta: &[f64]) -> Result<(), UoiError> {
-        let mut body = format!("{CKPT_MAGIC} fp={:016x}\n", self.fp);
+        let mut body = String::new();
         for v in beta {
             body.push_str(&format!("{:016x}\n", v.to_bits()));
         }
@@ -380,8 +421,7 @@ impl CheckpointStore {
         gram: &[f64],
         rhs: &[f64],
     ) -> Result<(), UoiError> {
-        let mut body = format!("{CKPT_MAGIC} fp={:016x}\n", self.fp);
-        body.push_str(&format!("gram={} rhs={}\n", gram.len(), rhs.len()));
+        let mut body = format!("gram={} rhs={}\n", gram.len(), rhs.len());
         for v in gram.iter().chain(rhs) {
             body.push_str(&format!("{:016x}\n", v.to_bits()));
         }
@@ -571,6 +611,55 @@ mod tests {
             "foreign fp must be ignored"
         );
         assert!(a.load_coeffs("est", 0, 1).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_is_scrubbed_as_a_cache_miss() {
+        use std::sync::Arc;
+        use uoi_telemetry::{MemorySink, MetricsRegistry};
+
+        let dir = temp_dir("scrub");
+        let metrics = Arc::new(MetricsRegistry::new());
+        let store = CheckpointStore::open(&dir, 0xC0FFEE)
+            .unwrap()
+            .with_telemetry(&Telemetry::new(
+                Arc::new(MemorySink::new()),
+                metrics.clone(),
+            ));
+        let beta = vec![1.5, -0.25, 3.0f64.sqrt()];
+        store.save_coeffs("est", 1, &beta).unwrap();
+        assert!(store.load_coeffs("est", 1, beta.len()).is_some());
+        assert_eq!(metrics.counter("checkpoint.scrubbed"), 0);
+
+        // Flip one bit of a payload byte (past the header line).
+        let path = dir.join("est_000001.ckpt");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[header_end + 3] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(
+            store.load_coeffs("est", 1, beta.len()).is_none(),
+            "a bit-flipped checkpoint must read as a miss"
+        );
+        assert_eq!(metrics.counter("checkpoint.scrubbed"), 1);
+
+        // Truncation is scrubbed too.
+        store.save_coeffs("est", 2, &beta).unwrap();
+        let path = dir.join("est_000002.ckpt");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(store.load_coeffs("est", 2, beta.len()).is_none());
+        assert_eq!(metrics.counter("checkpoint.scrubbed"), 2);
+
+        // The miss is recoverable: recompute + rewrite, then hit again.
+        store.save_coeffs("est", 1, &beta).unwrap();
+        let back = store.load_coeffs("est", 1, beta.len()).unwrap();
+        for (a, b) in beta.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(metrics.counter("checkpoint.scrubbed"), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -41,6 +41,11 @@ pub enum UoiError {
     /// not be attributed to a specific rank, or a runtime invariant
     /// broke mid-recovery. Re-executing cannot help.
     Unrecoverable(String),
+    /// A speculative replica's result differed bitwise from its owner's.
+    /// Tasks are pure functions of `(data, config, task index)`, so this
+    /// is never a scheduling artifact — it is silent corruption, and the
+    /// fit refuses to pick a winner.
+    SpeculationDivergence { stage: String, task: usize },
 }
 
 impl fmt::Display for UoiError {
@@ -82,6 +87,11 @@ impl fmt::Display for UoiError {
             }
             UoiError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
             UoiError::Unrecoverable(msg) => write!(f, "unrecoverable failure: {msg}"),
+            UoiError::SpeculationDivergence { stage, task } => write!(
+                f,
+                "speculative replica diverged from owner result for task {task} in {stage} \
+                 (silent corruption tripwire)"
+            ),
         }
     }
 }
@@ -119,6 +129,12 @@ mod tests {
         assert!(UoiError::SeriesTooShort { n: 3, min: 5 }
             .to_string()
             .contains("short"));
+        let div = UoiError::SpeculationDivergence {
+            stage: "lasso.sel".into(),
+            task: 4,
+        }
+        .to_string();
+        assert!(div.contains("task 4") && div.contains("lasso.sel"), "{div}");
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod granger;
 pub mod metrics;
 pub mod parallelism;
 pub mod recovery;
+pub mod speculation;
 pub mod support;
 pub mod uoi_lasso;
 pub mod uoi_lasso_dist;
@@ -34,6 +35,7 @@ pub use parallelism::{LayoutComms, ParallelLayout};
 pub use recovery::{
     degraded_fallback_plan, RecoveryConfig, RecoveryReport, TaskOwnership, UOI_RECOVERY_ENV,
 };
+pub use speculation::{SpeculationConfig, SpeculationReport, StageHedging, UOI_SPECULATE_ENV};
 pub use uoi_lasso::{bic, EstimationScore, UoiFit, UoiLassoConfig, UoiLassoConfigBuilder};
 pub use uoi_var::{select_var_order, UoiVarConfig, UoiVarConfigBuilder, UoiVarFit};
 pub use uoi_var_dist::{KronStats, UoiVarDistConfig};

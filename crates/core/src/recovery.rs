@@ -14,8 +14,11 @@
 //! change its bits.
 
 use crate::degraded::BootstrapFaultPlan;
+use crate::speculation::SpeculationConfig;
 use std::time::Duration;
-use uoi_mpisim::{Comm, FaultPlan, MpiError, RankCtx, SplitMix64, Window, DEFAULT_WATCHDOG};
+use uoi_mpisim::{
+    watchdog_from_env, Comm, FaultPlan, MpiError, RankCtx, SplitMix64, Window, DEFAULT_WATCHDOG,
+};
 use uoi_telemetry::Json;
 use uoi_tieredio::{row_checksum, verify_row, DEFAULT_GET_ATTEMPTS};
 
@@ -89,6 +92,8 @@ pub struct RecoveryConfig {
     pub watchdog: Duration,
     /// Retry budget per verified blob fetch in the result exchange.
     pub get_attempts: u32,
+    /// Speculative straggler hedging (deadline policy + master switch).
+    pub speculation: SpeculationConfig,
 }
 
 impl Default for RecoveryConfig {
@@ -100,13 +105,16 @@ impl Default for RecoveryConfig {
             plan: None,
             watchdog: DEFAULT_WATCHDOG,
             get_attempts: DEFAULT_GET_ATTEMPTS,
+            speculation: SpeculationConfig::default(),
         }
     }
 }
 
 impl RecoveryConfig {
     /// Default config with `enabled` taken from the `UOI_RECOVERY`
-    /// environment variable (`1` or `true`, case-insensitive).
+    /// environment variable (`1` or `true`, case-insensitive), the
+    /// watchdog from `UOI_WATCHDOG_MS` (positive integer milliseconds),
+    /// and speculation from `UOI_SPECULATE`.
     pub fn from_env() -> Self {
         let enabled = std::env::var(UOI_RECOVERY_ENV)
             .map(|v| {
@@ -116,6 +124,8 @@ impl RecoveryConfig {
             .unwrap_or(false);
         Self {
             enabled,
+            watchdog: watchdog_from_env().unwrap_or(DEFAULT_WATCHDOG),
+            speculation: SpeculationConfig::from_env(),
             ..Self::default()
         }
     }

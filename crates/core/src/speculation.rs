@@ -1,0 +1,591 @@
+//! Speculative task execution for the recovering pipelines: the policy
+//! layer over [`uoi_mpisim::SpeculationBoard`].
+//!
+//! A straggling rank drags every stage rendezvous without ever dying, so
+//! shrink-and-recover never triggers. Speculation hedges instead: owners
+//! heartbeat per-task modeled durations into the shared board, every rank
+//! replays the identical [`uoi_mpisim::plan_hedges`] schedule over the
+//! collected record, and laggard tasks get a replica on the
+//! earliest-available peer. First result wins; the loser is cancelled at
+//! its next heartbeat tick.
+//!
+//! Because every UoI task is a pure function of `(data, config, task
+//! index)`, a replica's payload must be bitwise equal to the owner's —
+//! the board bit-compares duplicate publications and a mismatch
+//! escalates as [`UoiError::SpeculationDivergence`], doubling as a
+//! silent-corruption tripwire. The owner's payload is always the one the
+//! pipeline consumes, so hedged fits stay bit-identical to the
+//! fault-free serial fit; hedging only shortens the *modeled* critical
+//! path, accounted in the [`SpeculationReport`] makespans.
+
+use crate::error::UoiError;
+use crate::recovery::{push_task_record, TaskOwnership};
+use uoi_mpisim::{
+    makespan_healthy, makespan_unhedged, plan_hedges, DeadlinePolicy, MpiError, Phase,
+    PublishOutcome, RankCtx, RecoveryContext, TaskHeartbeat,
+};
+use uoi_telemetry::{Json, TraceEvent};
+
+/// Environment variable that switches speculative hedging on (`1`/`true`,
+/// case-insensitive); anything else leaves it off.
+pub const UOI_SPECULATE_ENV: &str = "UOI_SPECULATE";
+
+/// Knobs of speculative task execution, carried by
+/// [`RecoveryConfig`](crate::recovery::RecoveryConfig).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculationConfig {
+    /// Master switch; off → the recovering pipelines run unhedged.
+    pub enabled: bool,
+    /// Quantile of observed task durations the deadline derives from.
+    pub quantile: f64,
+    /// Deadline = quantile duration × this multiplier.
+    pub multiplier: f64,
+    /// Absolute floor on the deadline (modeled seconds).
+    pub floor: f64,
+    /// Heartbeat ticks per deadline interval (detection/cancellation
+    /// granularity); `0` disables hedging outright.
+    pub heartbeats_per_deadline: u32,
+    /// Minimum observed task durations before a deadline is derived.
+    pub min_samples: usize,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        let p = DeadlinePolicy::default();
+        Self {
+            enabled: false,
+            quantile: p.quantile,
+            multiplier: p.multiplier,
+            floor: p.floor,
+            heartbeats_per_deadline: p.heartbeats_per_deadline,
+            min_samples: p.min_samples,
+        }
+    }
+}
+
+impl SpeculationConfig {
+    /// Default config with `enabled` taken from the `UOI_SPECULATE`
+    /// environment variable (`1` or `true`, case-insensitive).
+    pub fn from_env() -> Self {
+        let enabled = std::env::var(UOI_SPECULATE_ENV)
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "1" || v == "true"
+            })
+            .unwrap_or(false);
+        Self {
+            enabled,
+            ..Self::default()
+        }
+    }
+
+    /// Check every field; `Err` names the first offending one.
+    pub fn validate(&self) -> Result<(), UoiError> {
+        if !(self.quantile.is_finite() && self.quantile > 0.0 && self.quantile <= 1.0) {
+            return Err(UoiError::InvalidConfig(format!(
+                "speculation quantile must be in (0, 1], got {}",
+                self.quantile
+            )));
+        }
+        if !(self.multiplier.is_finite() && self.multiplier >= 1.0) {
+            return Err(UoiError::InvalidConfig(format!(
+                "speculation multiplier must be >= 1, got {}",
+                self.multiplier
+            )));
+        }
+        if !(self.floor.is_finite() && self.floor >= 0.0) {
+            return Err(UoiError::InvalidConfig(format!(
+                "speculation floor must be finite and >= 0, got {}",
+                self.floor
+            )));
+        }
+        Ok(())
+    }
+
+    /// The runtime deadline policy this config describes.
+    pub fn policy(&self) -> DeadlinePolicy {
+        DeadlinePolicy {
+            quantile: self.quantile,
+            multiplier: self.multiplier,
+            floor: self.floor,
+            heartbeats_per_deadline: self.heartbeats_per_deadline,
+            min_samples: self.min_samples,
+        }
+    }
+}
+
+/// One stage's hedging account: the derived deadline, the hedge ledger,
+/// and the three modeled makespans the acceptance gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageHedging {
+    /// Stage label (`"lasso.sel"`, `"var.est"`, ...).
+    pub stage: String,
+    /// The derived deadline (0.0 when hedging was not possible).
+    pub deadline: f64,
+    /// Replicas launched.
+    pub hedges_spawned: usize,
+    /// Replicas whose result arrived first.
+    pub hedges_won: usize,
+    /// Replicas cancelled because the owner finished first.
+    pub hedges_cancelled: usize,
+    /// Owner heartbeats observed for the stage.
+    pub heartbeats: u64,
+    /// Slowest rank under nominal (fault-free) durations.
+    pub makespan_healthy: f64,
+    /// Slowest rank with stragglers and no hedging.
+    pub makespan_unhedged: f64,
+    /// Slowest rank under the hedged schedule.
+    pub makespan_hedged: f64,
+}
+
+impl StageHedging {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("stage", Json::str(self.stage.clone())),
+            ("deadline", Json::num(self.deadline)),
+            ("hedges_spawned", Json::num(self.hedges_spawned as f64)),
+            ("hedges_won", Json::num(self.hedges_won as f64)),
+            ("hedges_cancelled", Json::num(self.hedges_cancelled as f64)),
+            ("heartbeats", Json::num(self.heartbeats as f64)),
+            ("makespan_healthy", Json::num(self.makespan_healthy)),
+            ("makespan_unhedged", Json::num(self.makespan_unhedged)),
+            ("makespan_hedged", Json::num(self.makespan_hedged)),
+        ])
+    }
+}
+
+/// What a speculating fit did, stage by stage. Fully determined by
+/// `(data, config, fault plan)`, so [`SpeculationReport::to_json`] is
+/// byte-identical across same-seed reruns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculationReport {
+    /// Whether hedging was switched on.
+    pub enabled: bool,
+    /// Per-stage hedging accounts, in pipeline order.
+    pub stages: Vec<StageHedging>,
+}
+
+impl SpeculationReport {
+    /// Total replicas launched across stages.
+    pub fn hedges_spawned(&self) -> usize {
+        self.stages.iter().map(|s| s.hedges_spawned).sum()
+    }
+
+    /// Total replica wins across stages.
+    pub fn hedges_won(&self) -> usize {
+        self.stages.iter().map(|s| s.hedges_won).sum()
+    }
+
+    /// Total replica cancellations across stages.
+    pub fn hedges_cancelled(&self) -> usize {
+        self.stages.iter().map(|s| s.hedges_cancelled).sum()
+    }
+
+    /// Total owner heartbeats across stages.
+    pub fn heartbeats(&self) -> u64 {
+        self.stages.iter().map(|s| s.heartbeats).sum()
+    }
+
+    /// Summed fault-free makespan across stages.
+    pub fn makespan_healthy(&self) -> f64 {
+        self.stages.iter().map(|s| s.makespan_healthy).sum()
+    }
+
+    /// Summed unhedged (straggler-afflicted) makespan across stages.
+    pub fn makespan_unhedged(&self) -> f64 {
+        self.stages.iter().map(|s| s.makespan_unhedged).sum()
+    }
+
+    /// Summed hedged makespan across stages.
+    pub fn makespan_hedged(&self) -> f64 {
+        self.stages.iter().map(|s| s.makespan_hedged).sum()
+    }
+
+    /// Fraction of the straggler-induced slowdown hedging recovered:
+    /// `(unhedged - hedged) / (unhedged - healthy)`. `None` when there
+    /// was no slowdown to recover.
+    pub fn recovered_fraction(&self) -> Option<f64> {
+        let slowdown = self.makespan_unhedged() - self.makespan_healthy();
+        if slowdown > 0.0 {
+            Some((self.makespan_unhedged() - self.makespan_hedged()) / slowdown)
+        } else {
+            None
+        }
+    }
+
+    /// Deterministic JSON rendering (stable key order) — byte-identical
+    /// across reruns of the same configuration.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("enabled", Json::Bool(self.enabled)),
+            (
+                "stages",
+                Json::Arr(self.stages.iter().map(StageHedging::to_json).collect()),
+            ),
+            ("hedges_spawned", Json::num(self.hedges_spawned() as f64)),
+            ("hedges_won", Json::num(self.hedges_won() as f64)),
+            (
+                "hedges_cancelled",
+                Json::num(self.hedges_cancelled() as f64),
+            ),
+            ("heartbeats", Json::num(self.heartbeats() as f64)),
+            ("makespan_healthy", Json::num(self.makespan_healthy())),
+            ("makespan_unhedged", Json::num(self.makespan_unhedged())),
+            ("makespan_hedged", Json::num(self.makespan_hedged())),
+        ])
+    }
+}
+
+/// Rough flop count of one LASSO selection task: the `O(n p^2)` weighted
+/// Gram accumulation plus the lambda path's iterate updates. Speculation
+/// needs a *consistent* nominal, not a precise one — every rank derives
+/// the same number from config and shape alone.
+pub(crate) fn lasso_selection_flops(n: usize, p: usize, q: usize) -> f64 {
+    const PATH_ITERS: f64 = 50.0;
+    2.0 * n as f64 * (p * p) as f64 + q as f64 * PATH_ITERS * (p * p) as f64
+}
+
+/// Rough flop count of one LASSO estimation task: the union Gram plus a
+/// sub-Gram OLS per candidate support.
+pub(crate) fn lasso_estimation_flops(n: usize, u: usize, family: usize) -> f64 {
+    let u3 = (u * u * u) as f64;
+    2.0 * n as f64 * (u * u) as f64 + family as f64 * u3 / 3.0
+}
+
+/// Rough flop count of one VAR selection task: the `(d p)^2` Gram plus
+/// `p` column paths.
+pub(crate) fn var_selection_flops(n: usize, dp: usize, p: usize, q: usize) -> f64 {
+    const PATH_ITERS: f64 = 50.0;
+    2.0 * n as f64 * (dp * dp) as f64 + (p * q) as f64 * PATH_ITERS * (dp * dp) as f64
+}
+
+/// Rough flop count of one VAR estimation task: the union Gram plus `p`
+/// response columns of sub-Gram OLS per candidate support.
+pub(crate) fn var_estimation_flops(n: usize, u: usize, p: usize, family: usize) -> f64 {
+    let u3 = (u * u * u) as f64;
+    2.0 * n as f64 * (u * u) as f64 + (family * p) as f64 * u3 / 3.0
+}
+
+/// Execute one owned-task stage of a recovering pipeline with optional
+/// speculative hedging, returning the stage's result blob (exactly what
+/// the unhedged loop would have built) plus the hedging account.
+///
+/// With speculation off this is the plain owned-task loop. With it on:
+///
+/// 1. every owned task runs via `payload_for` (stash/checkpoint logic
+///    included), publishes its payload to the board, and heartbeats its
+///    modeled duration (`nominal_seconds` × the rank's straggle factor);
+/// 2. ranks rendezvous on the board — no collective, so fault-matrix
+///    step numbering is untouched — and each replays the identical
+///    [`plan_hedges`] schedule over the full record;
+/// 3. ranks picked as winning replicas re-execute those tasks through
+///    `recompute` (the raw task body, never a stash replay, so the
+///    bit-compare is a real cross-check) and publish; a non-identical
+///    duplicate escalates as [`MpiError::SpeculationDivergence`]. Losing
+///    replicas cancel on the board and never publish;
+/// 4. each rank lump-charges its hedged finish time to the virtual clock
+///    under a `speculation.<stage>` span.
+///
+/// The blob always carries the *owner's* payloads, so the downstream
+/// exchange and every consumer see bits identical to the unhedged run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_speculative_stage(
+    ctx: &mut RankCtx,
+    rctx: &RecoveryContext,
+    ownership: &TaskOwnership,
+    scfg: &SpeculationConfig,
+    stage: &str,
+    total: usize,
+    my_orig: usize,
+    nominal_seconds: f64,
+    mut payload_for: impl FnMut(usize) -> Vec<f64>,
+    recompute: impl Fn(usize) -> Vec<f64>,
+) -> (Vec<f64>, Option<StageHedging>) {
+    let owned = ownership.owned_tasks(my_orig, total, &rctx.failed);
+    let mut blob = Vec::new();
+    if !scfg.enabled {
+        for k in owned {
+            let payload = payload_for(k);
+            push_task_record(&mut blob, k, &payload);
+        }
+        return (blob, None);
+    }
+
+    let board = rctx.speculation();
+    let round = rctx.round;
+    let straggle = ctx.straggle_factor();
+
+    // Owner pass: execute, publish, heartbeat. Task charges are deferred
+    // — the hedged finish is lump-charged once the schedule is known, so
+    // the virtual clock stays monotonic.
+    for k in owned {
+        let payload = payload_for(k);
+        board.heartbeat(
+            round,
+            stage,
+            my_orig,
+            TaskHeartbeat {
+                task: k,
+                nominal: nominal_seconds,
+                actual: nominal_seconds * straggle,
+            },
+        );
+        ctx.telemetry().incr("speculation.heartbeats", 1);
+        board.publish(round, stage, k, my_orig, &payload);
+        push_task_record(&mut blob, k, &payload);
+    }
+    board.finish(round, stage, my_orig, straggle);
+
+    // Failure-aware rendezvous on the board; every rank then replays the
+    // same deterministic schedule, so no agreement collective is needed.
+    let timings = match ctx.span("speculation.exchange", |ctx| {
+        board.wait_timings(ctx, round, stage, &rctx.rank_map)
+    }) {
+        Ok(t) => t,
+        Err(e) => std::panic::panic_any(e),
+    };
+    let schedule = plan_hedges(&timings, &scfg.policy());
+
+    // The schedule is identical on every rank; the lowest surviving rank
+    // alone emits the cluster-wide hedge counters and trace marks.
+    if my_orig == rctx.rank_map[0] {
+        let tel = ctx.telemetry();
+        tel.incr("speculation.spawned", schedule.events.len() as u64);
+        tel.incr("speculation.won", schedule.replica_wins() as u64);
+        tel.incr(
+            "speculation.cancelled",
+            schedule.replica_cancellations() as u64,
+        );
+        for ev in &schedule.events {
+            tel.record_with(|| TraceEvent::Hedge {
+                rank: ev.replica,
+                action: "spawn",
+                task: ev.task,
+                owner: ev.owner,
+                replica: ev.replica,
+                t: ev.replica_start,
+            });
+            tel.record_with(|| TraceEvent::Hedge {
+                rank: if ev.replica_wins {
+                    ev.replica
+                } else {
+                    ev.owner
+                },
+                action: if ev.replica_wins { "win" } else { "cancel" },
+                task: ev.task,
+                owner: ev.owner,
+                replica: ev.replica,
+                t: if ev.replica_wins {
+                    ev.replica_end
+                } else {
+                    ev.cancel_t
+                },
+            });
+        }
+    }
+
+    // Replica pass: winning replicas re-execute for real and publish
+    // (the bitwise cross-check); losing replicas cancel and never
+    // publish.
+    for ev in &schedule.events {
+        if ev.replica != my_orig {
+            continue;
+        }
+        if !ev.replica_wins {
+            board.cancel(round, stage, ev.task, my_orig);
+            continue;
+        }
+        let payload = ctx.span("speculation.hedge", |_| recompute(ev.task));
+        match board.publish(round, stage, ev.task, my_orig, &payload) {
+            PublishOutcome::Stored | PublishOutcome::Duplicate { identical: true } => {}
+            PublishOutcome::Rejected => {}
+            PublishOutcome::Duplicate { identical: false } => {
+                ctx.record_fault(
+                    "speculation_divergence",
+                    format!(
+                        "replica of task {} (owner {}) diverged from the owner's bits in {stage}",
+                        ev.task, ev.owner
+                    ),
+                );
+                ctx.telemetry().record_with(|| TraceEvent::Hedge {
+                    rank: my_orig,
+                    action: "diverge",
+                    task: ev.task,
+                    owner: ev.owner,
+                    replica: my_orig,
+                    t: ev.replica_end,
+                });
+                std::panic::panic_any(MpiError::SpeculationDivergence {
+                    stage: stage.to_string(),
+                    task: ev.task,
+                });
+            }
+        }
+    }
+
+    // Lump-charge this rank's hedged stage finish.
+    let finish = schedule.rank_finish.get(&my_orig).copied().unwrap_or(0.0);
+    ctx.span(&format!("speculation.{stage}"), |ctx| {
+        ctx.charge(Phase::Compute, finish)
+    });
+
+    let stats = StageHedging {
+        stage: stage.to_string(),
+        deadline: schedule.deadline,
+        hedges_spawned: schedule.events.len(),
+        hedges_won: schedule.replica_wins(),
+        hedges_cancelled: schedule.replica_cancellations(),
+        heartbeats: board.heartbeats(round, stage),
+        makespan_healthy: makespan_healthy(&timings),
+        makespan_unhedged: makespan_unhedged(&timings),
+        makespan_hedged: schedule.makespan,
+    };
+    (blob, Some(stats))
+}
+
+/// Map a fatal simulated failure onto the typed fit error: a speculation
+/// divergence keeps its identity (it is the silent-corruption tripwire);
+/// everything else stays [`UoiError::Unrecoverable`].
+pub(crate) fn fatal_to_uoi(sim: &uoi_mpisim::SimError) -> UoiError {
+    for f in &sim.failures {
+        if let Some(MpiError::SpeculationDivergence { stage, task }) = &f.error {
+            return UoiError::SpeculationDivergence {
+                stage: stage.clone(),
+                task: *task,
+            };
+        }
+    }
+    UoiError::Unrecoverable(sim.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_off_and_valid() {
+        let cfg = SpeculationConfig::default();
+        assert!(!cfg.enabled);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.policy(), DeadlinePolicy::default());
+    }
+
+    #[test]
+    fn config_validation_names_the_field() {
+        let bad = SpeculationConfig {
+            quantile: 1.5,
+            ..SpeculationConfig::default()
+        };
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("quantile"), "{msg}");
+        let bad = SpeculationConfig {
+            multiplier: 0.5,
+            ..SpeculationConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("multiplier"));
+        let bad = SpeculationConfig {
+            floor: f64::NAN,
+            ..SpeculationConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().to_string().contains("floor"));
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_complete() {
+        let rep = SpeculationReport {
+            enabled: true,
+            stages: vec![
+                StageHedging {
+                    stage: "lasso.sel".into(),
+                    deadline: 1.75,
+                    hedges_spawned: 3,
+                    hedges_won: 2,
+                    hedges_cancelled: 1,
+                    heartbeats: 8,
+                    makespan_healthy: 4.0,
+                    makespan_unhedged: 16.0,
+                    makespan_hedged: 7.0,
+                },
+                StageHedging {
+                    stage: "lasso.est".into(),
+                    deadline: 1.75,
+                    hedges_spawned: 1,
+                    hedges_won: 1,
+                    hedges_cancelled: 0,
+                    heartbeats: 8,
+                    makespan_healthy: 4.0,
+                    makespan_unhedged: 16.0,
+                    makespan_hedged: 6.0,
+                },
+            ],
+        };
+        let a = rep.to_json().to_string_compact();
+        let b = rep.to_json().to_string_compact();
+        assert_eq!(a, b);
+        for key in [
+            "enabled",
+            "stages",
+            "hedges_spawned",
+            "hedges_won",
+            "hedges_cancelled",
+            "heartbeats",
+            "makespan_healthy",
+            "makespan_unhedged",
+            "makespan_hedged",
+        ] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+        assert_eq!(rep.hedges_spawned(), 4);
+        assert_eq!(rep.hedges_won(), 3);
+        assert_eq!(rep.hedges_cancelled(), 1);
+        assert_eq!(rep.heartbeats(), 16);
+        // Summed makespans: 32 unhedged, 8 healthy, 13 hedged → 19/24.
+        let rec = rep.recovered_fraction().unwrap();
+        assert!((rec - 19.0 / 24.0).abs() < 1e-12, "{rec}");
+    }
+
+    #[test]
+    fn recovered_fraction_is_none_without_slowdown() {
+        let rep = SpeculationReport {
+            enabled: true,
+            stages: vec![StageHedging {
+                stage: "lasso.sel".into(),
+                deadline: 0.0,
+                hedges_spawned: 0,
+                hedges_won: 0,
+                hedges_cancelled: 0,
+                heartbeats: 4,
+                makespan_healthy: 4.0,
+                makespan_unhedged: 4.0,
+                makespan_hedged: 4.0,
+            }],
+        };
+        assert_eq!(rep.recovered_fraction(), None);
+    }
+
+    #[test]
+    fn env_gate_reads_uoi_speculate() {
+        // Serialised against other env tests via the distinct var name.
+        std::env::remove_var(UOI_SPECULATE_ENV);
+        assert!(!SpeculationConfig::from_env().enabled);
+        std::env::set_var(UOI_SPECULATE_ENV, "1");
+        assert!(SpeculationConfig::from_env().enabled);
+        std::env::set_var(UOI_SPECULATE_ENV, "TRUE");
+        assert!(SpeculationConfig::from_env().enabled);
+        std::env::set_var(UOI_SPECULATE_ENV, "0");
+        assert!(!SpeculationConfig::from_env().enabled);
+        std::env::remove_var(UOI_SPECULATE_ENV);
+    }
+
+    #[test]
+    fn flop_models_scale_with_problem_size() {
+        assert!(lasso_selection_flops(200, 40, 20) > lasso_selection_flops(100, 40, 20));
+        assert!(lasso_estimation_flops(100, 20, 6) > lasso_estimation_flops(100, 10, 6));
+        assert!(var_selection_flops(100, 60, 20, 20) > var_selection_flops(100, 30, 20, 20));
+        assert!(var_estimation_flops(100, 20, 10, 6) > var_estimation_flops(100, 20, 5, 6));
+    }
+}

@@ -294,6 +294,9 @@ pub struct UoiFit {
     /// Shrink-and-recover account, present when the fit ran through
     /// [`fit_uoi_lasso_recovering`](crate::uoi_lasso_recovering::fit_uoi_lasso_recovering).
     pub recovery: Option<crate::recovery::RecoveryReport>,
+    /// Speculative-hedging account, present when the fit ran through the
+    /// recovering pipeline with speculation enabled.
+    pub speculation: Option<crate::speculation::SpeculationReport>,
 }
 
 impl UoiFit {
@@ -640,7 +643,10 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
     // free) in the default configuration.
     let plan = cfg.degradation.plan.as_ref();
     let store = match &cfg.checkpoint {
-        Some(ck) => Some(CheckpointStore::open(&ck.dir, cfg.ckpt_fingerprint(x, y))?),
+        Some(ck) => Some(
+            CheckpointStore::open(&ck.dir, cfg.ckpt_fingerprint(x, y))?
+                .with_telemetry(&cfg.telemetry),
+        ),
         None => None,
     };
     // Preemption hook: a shared budget of newly computed tasks; once it
@@ -870,6 +876,7 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
         support_family,
         degradation,
         recovery: None,
+        speculation: None,
     })
 }
 
@@ -1020,6 +1027,7 @@ pub(crate) fn fit_inner_materialized(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig
         support_family,
         degradation: None,
         recovery: None,
+        speculation: None,
     }
 }
 

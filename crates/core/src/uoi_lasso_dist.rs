@@ -283,6 +283,7 @@ pub fn fit_uoi_lasso_dist(
         support_family,
         degradation,
         recovery: None,
+        speculation: None,
     }
 }
 

@@ -25,8 +25,11 @@ use crate::degraded::CheckpointStore;
 use crate::error::UoiError;
 use crate::recovery::{decode_index_lists, encode_index_lists};
 use crate::recovery::{
-    degraded_fallback_plan, exchange_blobs, parse_task_records, push_task_record, RecoveryConfig,
-    RecoveryReport, TaskOwnership,
+    degraded_fallback_plan, exchange_blobs, parse_task_records, RecoveryConfig, RecoveryReport,
+    TaskOwnership,
+};
+use crate::speculation::{
+    lasso_estimation_flops, lasso_selection_flops, run_speculative_stage, SpeculationReport,
 };
 use crate::uoi_lasso::{
     average_and_intercept, centre_data, estimation_setup, estimation_task, fit_inner,
@@ -53,6 +56,7 @@ pub fn fit_uoi_lasso_recovering(
     rcfg: &RecoveryConfig,
 ) -> Result<UoiFit, UoiError> {
     validate_lasso_inputs(x, y, cfg)?;
+    rcfg.speculation.validate()?;
     if rcfg.world == 0 {
         return Err(UoiError::InvalidConfig(
             "recovery world must be >= 1".into(),
@@ -96,7 +100,7 @@ pub fn fit_uoi_lasso_recovering(
             fit.recovery = Some(build_report(&failed, rounds, cfg, rcfg, &ownership, true));
             Ok(fit)
         }
-        Err(RecoveryError::Fatal(sim)) => Err(UoiError::Unrecoverable(sim.to_string())),
+        Err(RecoveryError::Fatal(sim)) => Err(crate::speculation::fatal_to_uoi(&sim)),
     }
 }
 
@@ -157,7 +161,7 @@ fn lasso_round(
     // this simulated setting — escalate as fatal rather than degrade.
     let store = cfg.checkpoint.as_ref().map(|ck| {
         match CheckpointStore::open(&ck.dir, cfg.ckpt_fingerprint(x, y)) {
-            Ok(st) => st,
+            Ok(st) => st.with_telemetry(&cfg.telemetry),
             Err(e) => std::panic::panic_any(MpiError::Internal {
                 what: format!("checkpoint store: {e}"),
             }),
@@ -165,37 +169,52 @@ fn lasso_round(
     });
 
     // --- Selection: execute owned tasks, exchange, replicate glue. ---
-    let mut sel_blob = Vec::new();
-    for k in ownership.owned_tasks(my_orig, cfg.b1, &rctx.failed) {
-        let key = format!("lasso.sel.{k}");
-        let payload = match lookup_stash(rctx, &key) {
-            Some(p) => p,
-            None => {
-                let supports = match &store {
-                    Some(st) => match st.load_gram("selgram", k, p * p, p) {
-                        Some((gram, xty)) => {
-                            ctx.telemetry().incr("uoi.recovery.gram_hits", 1);
-                            selection_solve(Matrix::from_vec(p, p, gram), &xty, &lambdas, cfg)
-                        }
-                        None => {
-                            let (gram, xty) = selection_gram(&xc, &yc, cfg.seed, k);
-                            if let Err(e) = st.save_gram("selgram", k, gram.as_slice(), &xty) {
-                                std::panic::panic_any(MpiError::Internal {
-                                    what: format!("gram checkpoint: {e}"),
-                                });
+    let n = x.rows();
+    let tel = ctx.telemetry().clone();
+    let sel_nominal = ctx.model().compute_time(
+        lasso_selection_flops(n, p, cfg.q),
+        ((n * p + p * p) * 8) as f64,
+    );
+    let (sel_blob, sel_stats) = run_speculative_stage(
+        ctx,
+        rctx,
+        ownership,
+        &rcfg.speculation,
+        "lasso.sel",
+        cfg.b1,
+        my_orig,
+        sel_nominal,
+        |k| {
+            let key = format!("lasso.sel.{k}");
+            match lookup_stash(rctx, &key) {
+                Some(p) => p,
+                None => {
+                    let supports = match &store {
+                        Some(st) => match st.load_gram("selgram", k, p * p, p) {
+                            Some((gram, xty)) => {
+                                tel.incr("uoi.recovery.gram_hits", 1);
+                                selection_solve(Matrix::from_vec(p, p, gram), &xty, &lambdas, cfg)
                             }
-                            selection_solve(gram, &xty, &lambdas, cfg)
-                        }
-                    },
-                    None => selection_task(&xc, &yc, &lambdas, cfg, k),
-                };
-                let payload = encode_index_lists(&supports);
-                stash.put(my_orig, &key, payload.clone());
-                payload
+                            None => {
+                                let (gram, xty) = selection_gram(&xc, &yc, cfg.seed, k);
+                                if let Err(e) = st.save_gram("selgram", k, gram.as_slice(), &xty) {
+                                    std::panic::panic_any(MpiError::Internal {
+                                        what: format!("gram checkpoint: {e}"),
+                                    });
+                                }
+                                selection_solve(gram, &xty, &lambdas, cfg)
+                            }
+                        },
+                        None => selection_task(&xc, &yc, &lambdas, cfg, k),
+                    };
+                    let payload = encode_index_lists(&supports);
+                    stash.put(my_orig, &key, payload.clone());
+                    payload
+                }
             }
-        };
-        push_task_record(&mut sel_blob, k, &payload);
-    }
+        },
+        |k| encode_index_lists(&selection_task(&xc, &yc, &lambdas, cfg, k)),
+    );
     let blobs = ctx.span("recovery.exchange_sel", |ctx| {
         exchange_blobs(ctx, comm, sel_blob, &rctx.rank_map, rcfg.get_attempts)
     });
@@ -212,19 +231,33 @@ fn lasso_round(
 
     // --- Estimation: same owner/exchange/replicate pattern. ---
     let (union, xu, family_u) = estimation_setup(&support_family, p, &xc);
-    let mut est_blob = Vec::new();
-    for k in ownership.owned_tasks(my_orig, cfg.b2, &rctx.failed) {
-        let key = format!("lasso.est.{k}");
-        let payload = match lookup_stash(rctx, &key) {
-            Some(p) => p,
-            None => {
-                let full = estimation_task(&xu, &yc, &family_u, &union, p, cfg, k);
-                stash.put(my_orig, &key, full.clone());
-                full
+    let u = union.len();
+    let est_nominal = ctx.model().compute_time(
+        lasso_estimation_flops(n, u, family_u.len()),
+        ((n * u + u * u) * 8) as f64,
+    );
+    let (est_blob, est_stats) = run_speculative_stage(
+        ctx,
+        rctx,
+        ownership,
+        &rcfg.speculation,
+        "lasso.est",
+        cfg.b2,
+        my_orig,
+        est_nominal,
+        |k| {
+            let key = format!("lasso.est.{k}");
+            match lookup_stash(rctx, &key) {
+                Some(p) => p,
+                None => {
+                    let full = estimation_task(&xu, &yc, &family_u, &union, p, cfg, k);
+                    stash.put(my_orig, &key, full.clone());
+                    full
+                }
             }
-        };
-        push_task_record(&mut est_blob, k, &payload);
-    }
+        },
+        |k| estimation_task(&xu, &yc, &family_u, &union, p, cfg, k),
+    );
     let blobs = ctx.span("recovery.exchange_est", |ctx| {
         exchange_blobs(ctx, comm, est_blob, &rctx.rank_map, rcfg.get_attempts)
     });
@@ -238,6 +271,16 @@ fn lasso_round(
         ctx.span_exit(id);
     }
 
+    // Both stages hedge together; every rank builds the identical report
+    // (the schedule is a pure function of the shared timing record).
+    let speculation = match (sel_stats, est_stats) {
+        (Some(sel), Some(est)) => Some(SpeculationReport {
+            enabled: true,
+            stages: vec![sel, est],
+        }),
+        _ => None,
+    };
+
     UoiFit {
         beta,
         intercept,
@@ -247,6 +290,7 @@ fn lasso_round(
         support_family,
         degradation: None,
         recovery: None,
+        speculation,
     }
 }
 

@@ -175,6 +175,9 @@ pub struct UoiVarFit {
     /// Shrink-and-recover account, present when the fit ran through
     /// [`fit_uoi_var_recovering`](crate::uoi_var_recovering::fit_uoi_var_recovering).
     pub recovery: Option<crate::recovery::RecoveryReport>,
+    /// Speculative-hedging account, present when the fit ran through the
+    /// recovering pipeline with speculation enabled.
+    pub speculation: Option<crate::speculation::SpeculationReport>,
 }
 
 impl UoiVarFit {
@@ -651,7 +654,7 @@ pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit
                 series.cols() as u64,
             ];
             let fp = fingerprint(words.into_iter().chain(data_words(series.as_slice())));
-            Some(CheckpointStore::open(&ck.dir, fp)?)
+            Some(CheckpointStore::open(&ck.dir, fp)?.with_telemetry(&base.telemetry))
         }
         None => None,
     };
@@ -868,6 +871,7 @@ pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit
         support_family,
         degradation,
         recovery: None,
+        speculation: None,
     })
 }
 
@@ -1052,6 +1056,7 @@ pub(crate) fn fit_inner_materialized(series: &Matrix, cfg: &UoiVarConfig) -> Uoi
         support_family,
         degradation: None,
         recovery: None,
+        speculation: None,
     }
 }
 

@@ -360,6 +360,7 @@ pub fn fit_uoi_var_dist(
             support_family,
             degradation,
             recovery: None,
+            speculation: None,
         },
         kron,
     )

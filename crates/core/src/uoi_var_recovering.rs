@@ -12,8 +12,10 @@
 use crate::error::UoiError;
 use crate::recovery::{decode_index_lists, encode_index_lists};
 use crate::recovery::{
-    degraded_fallback_plan, exchange_blobs, push_task_record, RecoveryConfig, RecoveryReport,
-    TaskOwnership,
+    degraded_fallback_plan, exchange_blobs, RecoveryConfig, RecoveryReport, TaskOwnership,
+};
+use crate::speculation::{
+    run_speculative_stage, var_estimation_flops, var_selection_flops, SpeculationReport,
 };
 use crate::support::dedup_family;
 use crate::uoi_lasso::{intersect_per_lambda, required_votes};
@@ -39,6 +41,7 @@ pub fn fit_uoi_var_recovering(
     rcfg: &RecoveryConfig,
 ) -> Result<UoiVarFit, UoiError> {
     validate_var_inputs(series, cfg)?;
+    rcfg.speculation.validate()?;
     if rcfg.world == 0 {
         return Err(UoiError::InvalidConfig(
             "recovery world must be >= 1".into(),
@@ -83,7 +86,7 @@ pub fn fit_uoi_var_recovering(
             fit.recovery = Some(build_report(&failed, rounds, cfg, rcfg, &ownership, true));
             Ok(fit)
         }
-        Err(RecoveryError::Fatal(sim)) => Err(UoiError::Unrecoverable(sim.to_string())),
+        Err(RecoveryError::Fatal(sim)) => Err(crate::speculation::fatal_to_uoi(&sim)),
     }
 }
 
@@ -137,20 +140,33 @@ fn var_round(
     let prob = build_var_problem(series, cfg);
 
     // --- Selection ---
-    let mut sel_blob = Vec::new();
-    for k in ownership.owned_tasks(my_orig, base.b1, &rctx.failed) {
-        let key = format!("var.sel.{k}");
-        let payload = match lookup_stash(rctx, &key) {
-            Some(pl) => pl,
-            None => {
-                let supports = var_selection_task(&prob, base, p, k);
-                let payload = encode_index_lists(&supports);
-                stash.put(my_orig, &key, payload.clone());
-                payload
+    let sel_nominal = ctx.model().compute_time(
+        var_selection_flops(prob.n, prob.dp, p, base.q),
+        ((prob.n * prob.dp + prob.dp * prob.dp) * 8) as f64,
+    );
+    let (sel_blob, sel_stats) = run_speculative_stage(
+        ctx,
+        rctx,
+        ownership,
+        &rcfg.speculation,
+        "var.sel",
+        base.b1,
+        my_orig,
+        sel_nominal,
+        |k| {
+            let key = format!("var.sel.{k}");
+            match lookup_stash(rctx, &key) {
+                Some(pl) => pl,
+                None => {
+                    let supports = var_selection_task(&prob, base, p, k);
+                    let payload = encode_index_lists(&supports);
+                    stash.put(my_orig, &key, payload.clone());
+                    payload
+                }
             }
-        };
-        push_task_record(&mut sel_blob, k, &payload);
-    }
+        },
+        |k| encode_index_lists(&var_selection_task(&prob, base, p, k)),
+    );
     let blobs = ctx.span("recovery.exchange_sel", |ctx| {
         exchange_blobs(ctx, comm, sel_blob, &rctx.rank_map, rcfg.get_attempts)
     });
@@ -171,19 +187,32 @@ fn var_round(
 
     // --- Estimation ---
     let est_ctx = var_estimation_setup(&support_family, &prob, p);
-    let mut est_blob = Vec::new();
-    for k in ownership.owned_tasks(my_orig, base.b2, &rctx.failed) {
-        let key = format!("var.est.{k}");
-        let payload = match lookup_stash(rctx, &key) {
-            Some(pl) => pl,
-            None => {
-                let full = var_estimation_task(&est_ctx, &prob, base, p, k);
-                stash.put(my_orig, &key, full.clone());
-                full
+    let est_nominal = ctx.model().compute_time(
+        var_estimation_flops(prob.n, est_ctx.u, p, est_ctx.family_cols.len()),
+        ((prob.n * est_ctx.u + est_ctx.u * est_ctx.u) * 8) as f64,
+    );
+    let (est_blob, est_stats) = run_speculative_stage(
+        ctx,
+        rctx,
+        ownership,
+        &rcfg.speculation,
+        "var.est",
+        base.b2,
+        my_orig,
+        est_nominal,
+        |k| {
+            let key = format!("var.est.{k}");
+            match lookup_stash(rctx, &key) {
+                Some(pl) => pl,
+                None => {
+                    let full = var_estimation_task(&est_ctx, &prob, base, p, k);
+                    stash.put(my_orig, &key, full.clone());
+                    full
+                }
             }
-        };
-        push_task_record(&mut est_blob, k, &payload);
-    }
+        },
+        |k| var_estimation_task(&est_ctx, &prob, base, p, k),
+    );
     let blobs = ctx.span("recovery.exchange_est", |ctx| {
         exchange_blobs(ctx, comm, est_blob, &rctx.rank_map, rcfg.get_attempts)
     });
@@ -196,6 +225,15 @@ fn var_round(
         ctx.span_exit(id);
     }
 
+    // Both stages hedge together; every rank builds the identical report.
+    let speculation = match (sel_stats, est_stats) {
+        (Some(sel), Some(est)) => Some(SpeculationReport {
+            enabled: true,
+            stages: vec![sel, est],
+        }),
+        _ => None,
+    };
+
     UoiVarFit {
         a_mats,
         mu,
@@ -205,5 +243,6 @@ fn var_round(
         support_family,
         degradation: None,
         recovery: None,
+        speculation,
     }
 }

@@ -125,6 +125,7 @@ fn rcfg(kind: &str, seed: u64) -> RecoveryConfig {
             Duration::from_secs(10)
         },
         get_attempts: 4,
+        speculation: Default::default(),
     }
 }
 

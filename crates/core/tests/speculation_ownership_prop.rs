@@ -1,0 +1,173 @@
+//! Property-based coverage of task ownership under speculation
+//! (ISSUE 8, satellite): hedging is a scheduling overlay — it never
+//! moves ownership, never lets a cancelled replica publish, and always
+//! derives the same schedule from the same observed record.
+
+use proptest::prelude::*;
+use uoi_core::{SpeculationConfig, TaskOwnership};
+use uoi_mpisim::{
+    plan_hedges, DeadlinePolicy, PublishOutcome, RankTimings, SpeculationBoard, TaskHeartbeat,
+};
+
+/// A world size, a seed, and a strict subset of failed ranks (derived
+/// from raw draws so it composes on the stub's range strategies).
+fn world_strategy() -> impl Strategy<Value = (usize, u64, Vec<usize>)> {
+    (
+        2usize..=6,
+        0u64..u64::MAX,
+        prop::collection::vec(0usize..6, 0..5),
+    )
+        .prop_map(|(world, seed, raw)| {
+            let mut failed: Vec<usize> = raw.into_iter().map(|r| r % world).collect();
+            failed.sort_unstable();
+            failed.dedup();
+            failed.truncate(world - 1); // always leave a survivor
+            (world, seed, failed)
+        })
+}
+
+const FACTORS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+/// Per-rank straggle factors and task counts for a synthetic stage.
+fn timings_strategy() -> impl Strategy<Value = Vec<RankTimings>> {
+    (
+        2usize..=5,
+        1usize..=4,
+        prop::collection::vec(0usize..FACTORS.len(), 5),
+    )
+        .prop_map(|(world, per_rank, factor_idx)| {
+            (0..world)
+                .map(|rank| {
+                    let straggle = FACTORS[factor_idx[rank]];
+                    RankTimings {
+                        rank,
+                        straggle,
+                        tasks: (0..per_rank)
+                            .map(|i| TaskHeartbeat {
+                                task: rank * per_rank + i,
+                                nominal: 1.0,
+                                actual: straggle,
+                            })
+                            .collect(),
+                    }
+                })
+                .collect()
+        })
+}
+
+fn policy_strategy() -> impl Strategy<Value = DeadlinePolicy> {
+    (0usize..3, 1.0f64..3.0, 0u32..=6, 1usize..=4).prop_map(
+        |(q_idx, multiplier, heartbeats_per_deadline, min_samples)| DeadlinePolicy {
+            quantile: [0.5, 0.75, 0.9][q_idx],
+            multiplier,
+            floor: 0.0,
+            heartbeats_per_deadline,
+            min_samples,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The owner assignment sequence is a pure function of
+    /// `(seed, fault plan)` — the speculation flag is not even an input
+    /// to [`TaskOwnership`], and reconstructing the map with speculation
+    /// configured on or off yields the identical sequence, a partition
+    /// of the task range that never names a failed rank.
+    #[test]
+    fn owner_sequence_is_invariant_under_speculation(
+        (world, seed, failed) in world_strategy(),
+        total in 0usize..=40,
+        speculate_raw in 0usize..2,
+    ) {
+        let scfg = SpeculationConfig {
+            enabled: speculate_raw == 1,
+            ..SpeculationConfig::default()
+        };
+        prop_assert!(scfg.validate().is_ok());
+
+        let a = TaskOwnership::new(world, seed);
+        let b = TaskOwnership::new(world, seed);
+        let seq_a: Vec<usize> = (0..total).map(|k| a.owner(k, &failed)).collect();
+        let seq_b: Vec<usize> = (0..total).map(|k| b.owner(k, &failed)).collect();
+        prop_assert_eq!(&seq_a, &seq_b, "ownership must be reconstruction-invariant");
+        for &o in &seq_a {
+            prop_assert!(o < world && !failed.contains(&o));
+        }
+
+        // owned_tasks partitions the range exactly once across survivors.
+        let mut seen = vec![0usize; total];
+        for r in 0..world {
+            let owned = a.owned_tasks(r, total, &failed);
+            if failed.contains(&r) {
+                prop_assert!(owned.is_empty(), "failed ranks own nothing");
+            }
+            for k in owned {
+                prop_assert_eq!(seq_a[k], r);
+                seen[k] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "every task exactly one owner");
+    }
+
+    /// The hedge schedule is deterministic in the observed record and
+    /// structurally sound: replicas are real other ranks, every rank has
+    /// a finish time, and hedging never lengthens the modeled makespan.
+    #[test]
+    fn hedge_schedule_is_deterministic_and_sound(
+        timings in timings_strategy(),
+        policy in policy_strategy(),
+    ) {
+        let s1 = plan_hedges(&timings, &policy);
+        let s2 = plan_hedges(&timings, &policy);
+        prop_assert_eq!(&s1, &s2, "same record, same schedule");
+
+        let ranks: Vec<usize> = timings.iter().map(|t| t.rank).collect();
+        for ev in &s1.events {
+            prop_assert!(ev.owner != ev.replica, "a rank never hedges itself");
+            prop_assert!(ranks.contains(&ev.owner) && ranks.contains(&ev.replica));
+            prop_assert!(ev.replica_end >= ev.replica_start);
+        }
+        for r in &ranks {
+            prop_assert!(s1.rank_finish.contains_key(r));
+        }
+        let unhedged = uoi_mpisim::makespan_unhedged(&timings);
+        prop_assert!(
+            s1.makespan <= unhedged + 1e-9,
+            "hedging must never lengthen the makespan: {} > {}",
+            s1.makespan, unhedged
+        );
+        if policy.heartbeats_per_deadline == 0 {
+            prop_assert!(s1.events.is_empty(), "zero ticks disables hedging");
+        }
+    }
+
+    /// A cancelled replica can never publish: its late result is
+    /// rejected and the board keeps serving the owner's bits.
+    #[test]
+    fn cancelled_replicas_never_publish(
+        payload in prop::collection::vec(-1e3f64..1e3, 1..16),
+        task in 0usize..32,
+        owner in 0usize..4,
+    ) {
+        let replica = (owner + 1) % 4;
+        let board = SpeculationBoard::default();
+        prop_assert!(matches!(
+            board.publish(0, "stage", task, owner, &payload),
+            PublishOutcome::Stored
+        ));
+        board.cancel(0, "stage", task, replica);
+        prop_assert!(matches!(
+            board.publish(0, "stage", task, replica, &payload),
+            PublishOutcome::Rejected
+        ), "a cancelled replica's publication must be rejected");
+
+        let (winner, bits) = board.result(0, "stage", task).unwrap();
+        prop_assert_eq!(winner, owner, "the owner's result must stand");
+        prop_assert_eq!(bits.len(), payload.len());
+        for (a, b) in bits.iter().zip(&payload) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -5,6 +5,7 @@ use crate::comm::{Comm, CommInner, RankCtx};
 use crate::fault::{AbortState, FaultPlan, MpiError};
 use crate::ledger::{CollectiveEvent, Phase, PhaseLedger};
 use crate::model::MachineModel;
+use crate::speculation::SpeculationBoard;
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -14,6 +15,29 @@ use uoi_telemetry::{PhaseTotals, RunSummary, Telemetry};
 /// Default epoch-watchdog timeout: generous enough that healthy test runs
 /// never trip it, short enough that a wedged collective surfaces quickly.
 pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
+
+/// Environment variable overriding the epoch-watchdog timeout, in whole
+/// milliseconds. Unset, unparsable, or zero values fall back to the
+/// builder-configured (or default) timeout.
+pub const UOI_WATCHDOG_ENV: &str = "UOI_WATCHDOG_MS";
+
+/// Parse a watchdog override in milliseconds. Returns `None` for values
+/// that are not a positive integer, so misconfiguration degrades to the
+/// default rather than producing a zero-length watchdog that trips on
+/// every collective.
+pub fn watchdog_from_str(s: &str) -> Option<Duration> {
+    match s.trim().parse::<u64>() {
+        Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
+        _ => None,
+    }
+}
+
+/// The `UOI_WATCHDOG_MS` override currently in the environment, if any.
+pub fn watchdog_from_env() -> Option<Duration> {
+    std::env::var(UOI_WATCHDOG_ENV)
+        .ok()
+        .and_then(|s| watchdog_from_str(&s))
+}
 
 /// One captured rank failure: which rank died, what it said, and the span
 /// stack it was inside when it went down.
@@ -134,6 +158,15 @@ impl Cluster {
     /// point-to-point wait (default [`DEFAULT_WATCHDOG`]).
     pub fn with_watchdog(mut self, timeout: Duration) -> Self {
         self.watchdog = timeout;
+        self
+    }
+
+    /// Apply the `UOI_WATCHDOG_MS` environment override, when present and
+    /// valid; otherwise keep the currently configured timeout.
+    pub fn with_env_watchdog(mut self) -> Self {
+        if let Some(timeout) = watchdog_from_env() {
+            self.watchdog = timeout;
+        }
         self
     }
 
@@ -364,6 +397,7 @@ impl Cluster {
         F: Fn(&mut RankCtx, &Comm, &RecoveryContext) -> T + Sync,
     {
         let stash = RecoveryStash::default();
+        let speculation = SpeculationBoard::default();
         let original = self.exec_ranks;
         let mut failed: BTreeSet<usize> = BTreeSet::new();
         let mut rounds: Vec<RecoveryRound> = Vec::new();
@@ -375,6 +409,7 @@ impl Cluster {
                 rank_map: rank_map.clone(),
                 failed: failed.iter().copied().collect(),
                 stash: stash.clone(),
+                speculation: speculation.clone(),
             };
             match self.try_run_mapped(&rank_map, |ctx, comm| f(ctx, comm, &rctx)) {
                 Ok(report) => {
@@ -386,12 +421,18 @@ impl Cluster {
                     return Ok((report, RecoveryLog { rounds }));
                 }
                 Err(sim) => {
-                    let internal = sim
-                        .failures
-                        .iter()
-                        .any(|f| matches!(f.error, Some(MpiError::Internal { .. })));
+                    // Internal invariant violations and speculation
+                    // divergences (silent corruption) are not rank
+                    // faults: re-executing cannot be trusted to help.
+                    let fatal = sim.failures.iter().any(|f| {
+                        matches!(
+                            f.error,
+                            Some(MpiError::Internal { .. })
+                                | Some(MpiError::SpeculationDivergence { .. })
+                        )
+                    });
                     let culprits = culprit_ranks(&sim, rank_map.len());
-                    if internal || culprits.is_empty() {
+                    if fatal || culprits.is_empty() {
                         return Err(RecoveryError::Fatal(sim));
                     }
                     let newly: Vec<usize> = culprits.iter().map(|&nr| rank_map[nr]).collect();
@@ -453,6 +494,7 @@ pub struct RecoveryContext {
     /// Cumulative failed original ranks, sorted.
     pub failed: Vec<usize>,
     stash: RecoveryStash,
+    speculation: SpeculationBoard,
 }
 
 impl RecoveryContext {
@@ -464,6 +506,13 @@ impl RecoveryContext {
     /// The cross-round stash surviving ranks persist work into.
     pub fn stash(&self) -> &RecoveryStash {
         &self.stash
+    }
+
+    /// The speculation progress board (heartbeats, result publication,
+    /// cancellations), shared by every rank of every round and
+    /// namespaced internally by `(round, stage)`.
+    pub fn speculation(&self) -> &SpeculationBoard {
+        &self.speculation
     }
 
     /// True on re-execution rounds (some rank has already failed).

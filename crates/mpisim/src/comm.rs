@@ -242,6 +242,19 @@ impl RankCtx {
         self.watchdog
     }
 
+    /// This rank's injected straggle factor (1.0 = healthy). Speculation
+    /// uses it to convert a nominal task cost into the duration the rank
+    /// actually experiences without charging the clock.
+    pub fn straggle_factor(&self) -> f64 {
+        self.faults.straggle_factor
+    }
+
+    /// The cluster-wide abort state, when running under a cluster
+    /// (failure-aware waits outside the collectives poll it).
+    pub(crate) fn abort_state(&self) -> Option<&Arc<AbortState>> {
+        self.abort.as_ref()
+    }
+
     /// Open span names at this instant, outermost first (failure
     /// reporting; empty unless the rank is inside `span`/`span_enter`).
     pub fn span_names(&self) -> &[String] {

@@ -68,6 +68,17 @@ pub enum MpiError {
         /// What went wrong.
         what: String,
     },
+    /// A speculative replica of a deterministic task completed with a
+    /// payload that was not bitwise equal to the owner's. UoI tasks are
+    /// pure functions of (data, config, task index), so a divergence is
+    /// never a scheduling artifact — it is silent corruption, and
+    /// re-executing cannot be trusted to fix it.
+    SpeculationDivergence {
+        /// The pipeline stage label ("lasso.sel", "var.est", ...).
+        stage: String,
+        /// The diverging task index.
+        task: usize,
+    },
 }
 
 impl std::fmt::Display for MpiError {
@@ -84,6 +95,12 @@ impl std::fmt::Display for MpiError {
             }
             MpiError::Internal { what } => {
                 write!(f, "internal runtime error: {what}")
+            }
+            MpiError::SpeculationDivergence { stage, task } => {
+                write!(
+                    f,
+                    "speculative replica diverged from owner result for task {task} in {stage}"
+                )
             }
         }
     }

@@ -38,17 +38,23 @@ pub mod extrapolate;
 pub mod fault;
 pub mod ledger;
 pub mod model;
+pub mod speculation;
 pub mod window;
 
 pub use cluster::{
-    Cluster, RankFailure, RecoveryContext, RecoveryError, RecoveryLog, RecoveryRound,
-    RecoveryStash, SimError, SimReport, DEFAULT_WATCHDOG,
+    watchdog_from_env, watchdog_from_str, Cluster, RankFailure, RecoveryContext, RecoveryError,
+    RecoveryLog, RecoveryRound, RecoveryStash, SimError, SimReport, DEFAULT_WATCHDOG,
+    UOI_WATCHDOG_ENV,
 };
 pub use comm::{Comm, PendingReduce, RankCtx};
 pub use extrapolate::WorkloadProfile;
 pub use fault::{FaultPlan, MpiError, RankFaults};
 pub use ledger::{CollectiveEvent, Phase, PhaseLedger};
 pub use model::{IoModel, MachineModel, NoiseModel, SplitMix64};
+pub use speculation::{
+    makespan_healthy, makespan_unhedged, plan_hedges, DeadlinePolicy, HedgeEvent, HedgeSchedule,
+    PublishOutcome, RankTimings, SpeculationBoard, TaskHeartbeat,
+};
 pub use window::{Window, WindowEpoch};
 // Telemetry types commonly needed alongside `Cluster::with_telemetry`.
 pub use uoi_telemetry::{

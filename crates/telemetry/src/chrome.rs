@@ -174,6 +174,28 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> Json {
                     args,
                 ));
             }
+            TraceEvent::Hedge {
+                rank,
+                action,
+                task,
+                owner,
+                replica,
+                t,
+            } => {
+                let args = Json::obj(vec![
+                    ("task", Json::num(*task as f64)),
+                    ("owner", Json::num(*owner as f64)),
+                    ("replica", Json::num(*replica as f64)),
+                ]);
+                out.push(instant_event(
+                    &format!("hedge:{action}"),
+                    "speculation",
+                    0,
+                    3 * *rank as u64,
+                    *t,
+                    args,
+                ));
+            }
             // Replayed through the timeline above.
             TraceEvent::SpanStart { .. }
             | TraceEvent::SpanEnd { .. }

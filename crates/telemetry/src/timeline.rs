@@ -59,6 +59,9 @@ pub enum PipelinePhase {
     /// Shrink-and-recover execution: failed-set agreement, communicator
     /// rebuild, re-striping, and task re-execution after a rank failure.
     Recovery,
+    /// Speculative task execution: heartbeat exchange, hedge replica
+    /// runs, and the lump-charged hedged stage schedule.
+    Speculation,
     /// Anything not under a tagged span (setup, centring, barriers
     /// between stages).
     Other,
@@ -66,7 +69,7 @@ pub enum PipelinePhase {
 
 impl PipelinePhase {
     /// Every taxonomy phase, in report order.
-    pub const ALL: [PipelinePhase; 10] = [
+    pub const ALL: [PipelinePhase; 11] = [
         PipelinePhase::ReadT1,
         PipelinePhase::ShuffleT2,
         PipelinePhase::GramBuild,
@@ -76,6 +79,7 @@ impl PipelinePhase {
         PipelinePhase::Scoring,
         PipelinePhase::Checkpoint,
         PipelinePhase::Recovery,
+        PipelinePhase::Speculation,
         PipelinePhase::Other,
     ];
 
@@ -91,6 +95,7 @@ impl PipelinePhase {
             PipelinePhase::Scoring => "scoring",
             PipelinePhase::Checkpoint => "checkpoint",
             PipelinePhase::Recovery => "recovery",
+            PipelinePhase::Speculation => "speculation",
             PipelinePhase::Other => "other",
         }
     }
@@ -147,6 +152,7 @@ fn span_tag(name: &str) -> Option<SpanTag> {
         "scoring" => Some(SpanTag::Direct(PipelinePhase::Scoring)),
         "checkpoint" => Some(SpanTag::Direct(PipelinePhase::Checkpoint)),
         "recovery" => Some(SpanTag::Direct(PipelinePhase::Recovery)),
+        "speculation" => Some(SpanTag::Direct(PipelinePhase::Speculation)),
         "admm" | "admm_dist" => Some(SpanTag::Admm),
         _ => None,
     }
@@ -353,10 +359,11 @@ pub fn build_timeline(events: &[TraceEvent]) -> Timeline {
                 collectives.push(ev.clone());
             }
             // Window transfers and I/O reads are already reflected in
-            // phase charges; faults don't carry time.
+            // phase charges; faults and hedge decisions don't carry time.
             TraceEvent::WindowTransfer { .. }
             | TraceEvent::Io { .. }
-            | TraceEvent::Fault { .. } => {}
+            | TraceEvent::Fault { .. }
+            | TraceEvent::Hedge { .. } => {}
         }
     }
 
@@ -481,6 +488,31 @@ mod tests {
                 LedgerKind::Io
             ),
             PipelinePhase::ReadT1
+        );
+    }
+
+    #[test]
+    fn speculation_spans_classify_to_speculation() {
+        // The hedging instrumentation names: the heartbeat exchange, the
+        // lump-charged hedged schedule, and replica re-execution.
+        for name in [
+            "speculation.exchange",
+            "speculation.schedule",
+            "speculation.hedge",
+        ] {
+            assert_eq!(
+                classify(&s(&[name]), LedgerKind::Compute),
+                PipelinePhase::Speculation,
+                "{name} must tag the speculation phase"
+            );
+        }
+        // Inside a recovery round, the innermost tag still wins.
+        assert_eq!(
+            classify(
+                &s(&["recovery.reexec", "speculation.schedule"]),
+                LedgerKind::Compute
+            ),
+            PipelinePhase::Speculation
         );
     }
 

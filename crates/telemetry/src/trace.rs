@@ -100,6 +100,23 @@ pub enum TraceEvent {
         /// Virtual time the fault fired.
         t: f64,
     },
+    /// A speculation decision on a straggling task: a hedge replica
+    /// spawned, the replica's result won, the losing party was
+    /// cancelled, or a replica's bits diverged from the owner's.
+    Hedge {
+        /// Rank recording the decision.
+        rank: usize,
+        /// "spawn", "win", "cancel", or "diverge".
+        action: &'static str,
+        /// The hedged task index.
+        task: usize,
+        /// Original rank owning the task.
+        owner: usize,
+        /// Original rank the replica ran on.
+        replica: usize,
+        /// Virtual time of the decision.
+        t: f64,
+    },
 }
 
 impl TraceEvent {
@@ -113,7 +130,8 @@ impl TraceEvent {
             | TraceEvent::CollectiveWait { rank, .. }
             | TraceEvent::WindowTransfer { rank, .. }
             | TraceEvent::Io { rank, .. }
-            | TraceEvent::Fault { rank, .. } => Some(*rank),
+            | TraceEvent::Fault { rank, .. }
+            | TraceEvent::Hedge { rank, .. } => Some(*rank),
             TraceEvent::Collective { .. } => None,
         }
     }
@@ -129,6 +147,7 @@ impl TraceEvent {
             TraceEvent::WindowTransfer { .. } => "window_transfer",
             TraceEvent::Io { .. } => "io",
             TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Hedge { .. } => "hedge",
         }
     }
 
@@ -240,6 +259,22 @@ impl TraceEvent {
                 ("detail", Json::str(detail.clone())),
                 ("t", Json::num(*t)),
             ]),
+            TraceEvent::Hedge {
+                rank,
+                action,
+                task,
+                owner,
+                replica,
+                t,
+            } => Json::obj(vec![
+                ("ev", Json::str("hedge")),
+                ("rank", Json::num(*rank as f64)),
+                ("action", Json::str(*action)),
+                ("task", Json::num(*task as f64)),
+                ("owner", Json::num(*owner as f64)),
+                ("replica", Json::num(*replica as f64)),
+                ("t", Json::num(*t)),
+            ]),
         }
     }
 
@@ -304,6 +339,14 @@ impl TraceEvent {
                 detail: v.get("detail")?.as_str()?.to_string(),
                 t: num("t")?,
             }),
+            "hedge" => Some(TraceEvent::Hedge {
+                rank: idx("rank")?,
+                action: intern_hedge_action(v.get("action")?.as_str()?),
+                task: idx("task")?,
+                owner: idx("owner")?,
+                replica: idx("replica")?,
+                t: num("t")?,
+            }),
             _ => None,
         }
     }
@@ -326,6 +369,16 @@ fn intern_kind(s: &str) -> &'static str {
         "get" => "get",
         "get_async" => "get_async",
         "put" => "put",
+        _ => "Unknown",
+    }
+}
+
+fn intern_hedge_action(s: &str) -> &'static str {
+    match s {
+        "spawn" => "spawn",
+        "win" => "win",
+        "cancel" => "cancel",
+        "diverge" => "diverge",
         _ => "Unknown",
     }
 }
@@ -565,6 +618,14 @@ mod tests {
                 kind: "window_drop".into(),
                 detail: "op=4 target=0".into(),
                 t: 0.9,
+            },
+            TraceEvent::Hedge {
+                rank: 0,
+                action: "spawn",
+                task: 5,
+                owner: 1,
+                replica: 0,
+                t: 0.95,
             },
             TraceEvent::SpanEnd {
                 id: 1,

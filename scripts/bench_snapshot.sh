@@ -6,7 +6,7 @@
 # Runs each binary REPS times untraced, takes the minimum wall-clock,
 # then runs REPS traced reps (UOI_TRACE=1) and folds the per-phase
 # minimum modeled times from the run reports into a schema-versioned
-# BENCH_PIPELINE.json at the repo root (schema_version 4). Per-phase
+# BENCH_PIPELINE.json at the repo root (schema_version 5). Per-phase
 # minima are the same estimator as the walls: the modeled time of a
 # phase varies run to run with thread scheduling (one-sided serving
 # order), and the minimum is the stable best case. Since schema 3 each
@@ -14,6 +14,15 @@
 # admm_local time (in-rank `threads`, `admm_schedule`) so a snapshot is
 # self-describing about the configuration that produced it; schema 4
 # adds the Gram kernel variant (`gram_kernel`) the run was built with.
+#
+# Schema 5 adds a `straggler` sub-object per pipeline from one extra
+# rep with UOI_STRAGGLER=4.0 UOI_SPECULATE=1: hedge counts plus the
+# modeled healthy/unhedged/hedged makespans of the speculative-hedging
+# study (crates/bench/src/straggler.rs), and the effective watchdog_ms.
+# The snapshot itself gates on the study recovering at least 50% of the
+# straggler-induced modeled slowdown — no baseline needed — so a hedging
+# regression fails the snapshot even on a fresh checkout. The straggler
+# rep runs after the wall-clock reps and never touches the walls.
 #
 #   scripts/bench_snapshot.sh                    # fresh snapshot
 #   scripts/bench_snapshot.sh old.json           # snapshot + speedup vs old
@@ -44,7 +53,7 @@ while [[ $# -gt 0 ]]; do
       [[ $# -ge 2 ]] || { echo "--compare needs a snapshot path" >&2; exit 2; }
       COMPARE="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+      sed -n '2,39p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     *)
       BASELINE="$1"; shift ;;
   esac
@@ -75,6 +84,11 @@ for bin in "${BINS[@]}"; do
     mkdir -p "$TRACE_DIR/rep$rep"
     UOI_TRACE=1 UOI_RESULTS_DIR="$TRACE_DIR/rep$rep" "$BINDIR/$bin" > /dev/null 2>&1
   done
+  # One hedging-study rep (schema 5): a 4x straggler with speculation
+  # on. Deterministic modeled numbers, so a single rep suffices.
+  mkdir -p "$TRACE_DIR/straggler"
+  UOI_STRAGGLER=4.0 UOI_SPECULATE=1 UOI_RESULTS_DIR="$TRACE_DIR/straggler" \
+    "$BINDIR/$bin" > /dev/null 2>&1
   SPECS+=("$bin=$best")
 done
 
@@ -86,11 +100,16 @@ base_doc = json.load(open(baseline)) if baseline else {}
 base_by_name = {e["name"]: e for e in base_doc.get("pipelines", [])}
 
 doc = {
-    "schema_version": 4,
+    "schema_version": 5,
     "reps": reps,
     "generated_by": "scripts/bench_snapshot.sh",
     "pipelines": [],
 }
+
+# The hedging study must recover at least this fraction of the
+# straggler-induced modeled slowdown or the snapshot fails.
+RECOVERY_FLOOR = 0.5
+gate_failed = False
 for spec in sys.argv[4:]:
     name, min_ms = spec.rsplit("=", 1)
     entry = {"name": name, "min_wall_ms": int(min_ms)}
@@ -117,6 +136,33 @@ for spec in sys.argv[4:]:
         entry["phases_model_s"] = phases
     else:
         print(f"warning: no breakdown for {name}; phases omitted", file=sys.stderr)
+    study_path = os.path.join(trace_dir, "straggler", f"{name}.json")
+    try:
+        study = json.load(open(study_path)).get("params", {})
+    except (OSError, ValueError):
+        study = {}
+    if "speculation_recovered" in study:
+        entry["watchdog_ms"] = study.get("watchdog_ms")
+        entry["straggler"] = {
+            "factor": study.get("straggler_factor"),
+            "hedges_spawned": study.get("hedges_spawned"),
+            "hedges_won": study.get("hedges_won"),
+            "hedges_cancelled": study.get("hedges_cancelled"),
+            "makespan_healthy_s": study.get("speculation_makespan_healthy"),
+            "makespan_unhedged_s": study.get("speculation_makespan_unhedged"),
+            "makespan_hedged_s": study.get("speculation_makespan_hedged"),
+            "recovered": study.get("speculation_recovered"),
+        }
+        recovered = study["speculation_recovered"]
+        if recovered < RECOVERY_FLOOR:
+            print(f"GATE: {name} hedging recovered {recovered:.0%} "
+                  f"< {RECOVERY_FLOOR:.0%} of the straggler slowdown",
+                  file=sys.stderr)
+            gate_failed = True
+    else:
+        print(f"GATE: {name} straggler rep produced no hedging account",
+              file=sys.stderr)
+        gate_failed = True
     base = base_by_name.get(name)
     if base and base.get("min_wall_ms"):
         entry["baseline_wall_ms"] = base["min_wall_ms"]
@@ -126,6 +172,7 @@ for spec in sys.argv[4:]:
 with open("BENCH_PIPELINE.json", "w") as fh:
     json.dump(doc, fh, indent=2)
     fh.write("\n")
+sys.exit(1 if gate_failed else 0)
 EOF
 
 echo "wrote BENCH_PIPELINE.json" >&2
