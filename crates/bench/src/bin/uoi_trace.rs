@@ -1,23 +1,30 @@
-//! `uoi-trace` — convert a JSONL trace captured with `UOI_TRACE=1` into
-//! a Chrome trace-format JSON (load it at <https://ui.perfetto.dev> or
-//! `chrome://tracing`) and print the per-rank / per-phase breakdown and
-//! load-imbalance report.
+//! `uoi-trace` — inspect a JSONL trace captured with `UOI_TRACE=1`.
 //!
 //! ```text
-//! uoi-trace results/fig2_lasso_single_node.trace.jsonl
-//! uoi-trace run.trace.jsonl --chrome out.json --no-report
+//! uoi-trace results/fig2_lasso_single_node.trace.jsonl   # legacy: chrome + report
+//! uoi-trace breakdown run.trace.jsonl --strict           # per-phase report, gate on drops
+//! uoi-trace convergence run.trace.jsonl [--json]         # solver-quality report
+//! uoi-trace progress run.trace.jsonl [--json]            # replayed progress/ETA
+//! uoi-trace export-metrics run.trace.jsonl [--out m.prom]
 //! ```
 //!
+//! The legacy single-argument form converts the trace into a Chrome
+//! trace-format JSON (load it at <https://ui.perfetto.dev> or
+//! `chrome://tracing`) and prints the per-rank / per-phase breakdown.
 //! By default the Chrome trace lands next to the input
-//! (`<stem>.chrome.json`) and the text report goes to stdout. When a
-//! sibling run report (`<bench>.json` for a `<bench>.trace.jsonl`
-//! input) records dropped trace records, a warning is printed — the
-//! timeline is then incomplete and per-phase sums undercount.
+//! (`<stem>.chrome.json`). When a sibling run report (`<bench>.json`
+//! for a `<bench>.trace.jsonl` input) records dropped trace records, a
+//! warning is printed — the timeline is then incomplete and per-phase
+//! sums undercount; `breakdown --strict` turns that warning into a
+//! nonzero exit for CI gates.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use uoi_telemetry::{analyze, build_timeline, to_chrome_trace, Json, JsonlSink};
+use uoi_telemetry::{
+    analyze, build_timeline, parse_openmetrics, render_openmetrics, to_chrome_trace,
+    ConvergenceReport, Json, JsonlSink, MetricsRegistry, ProgressPlan, ProgressTracker, TraceEvent,
+};
 
 struct Args {
     input: PathBuf,
@@ -29,17 +36,21 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: uoi-trace <trace.jsonl> [--chrome <out.json>] [--no-report] \
-         [--run-report <report.json>]"
+         [--run-report <report.json>]\n\
+         \x20      uoi-trace breakdown <trace.jsonl> [--strict] [--run-report <report.json>]\n\
+         \x20      uoi-trace convergence <trace.jsonl> [--json]\n\
+         \x20      uoi-trace progress <trace.jsonl> [--json]\n\
+         \x20      uoi-trace export-metrics <trace.jsonl> [--out <metrics.prom>]"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: &[String]) -> Args {
     let mut input = None;
     let mut chrome_out = None;
     let mut report = true;
     let mut run_report = None;
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--chrome" => chrome_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
@@ -79,22 +90,223 @@ fn dropped_records(path: &Path) -> Option<u64> {
     Some(n as u64)
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
-    let events = match JsonlSink::read_events(&args.input) {
+fn load_events(input: &Path) -> Result<Vec<TraceEvent>, ExitCode> {
+    let events = match JsonlSink::read_events(input) {
         Ok(ev) => ev,
         Err(e) => {
-            eprintln!("uoi-trace: cannot read {}: {e}", args.input.display());
-            return ExitCode::FAILURE;
+            eprintln!("uoi-trace: cannot read {}: {e}", input.display());
+            return Err(ExitCode::FAILURE);
         }
     };
     if events.is_empty() {
         eprintln!(
             "uoi-trace: {} holds no trace events (was the run started with UOI_TRACE=1?)",
-            args.input.display()
+            input.display()
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(events)
+}
+
+/// `(input, flag_present)` for the single-flag subcommands.
+fn subcommand_args(argv: &[String], flag: &str) -> (PathBuf, bool) {
+    let mut input = None;
+    let mut present = false;
+    for a in argv {
+        match a.as_str() {
+            s if s == flag => present = true,
+            "-h" | "--help" => usage(),
+            _ if input.is_none() => input = Some(PathBuf::from(a)),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    (input, present)
+}
+
+/// Replay the trace through a [`ProgressTracker`] whose plan is the
+/// observed task census (the completed trace knows its own totals).
+fn replay_progress(events: &[TraceEvent]) -> Option<ProgressTracker> {
+    let (mut sel, mut est) = (0usize, 0usize);
+    for e in events {
+        if let TraceEvent::Convergence { stage, .. } = e {
+            if *stage == "selection" {
+                sel += 1;
+            } else {
+                est += 1;
+            }
+        }
+    }
+    if sel + est == 0 {
+        return None;
+    }
+    let mut tracker = ProgressTracker::new(ProgressPlan {
+        selection_tasks: sel,
+        estimation_tasks: est,
+    });
+    for e in events {
+        tracker.observe(e);
+    }
+    Some(tracker)
+}
+
+fn cmd_convergence(argv: &[String]) -> ExitCode {
+    let (input, as_json) = subcommand_args(argv, "--json");
+    let events = match load_events(&input) {
+        Ok(ev) => ev,
+        Err(c) => return c,
+    };
+    let report = ConvergenceReport::from_events(&events);
+    if report.tasks == 0 {
+        eprintln!(
+            "uoi-trace: {} holds no convergence records (older trace, or telemetry \
+             was metrics-only)",
+            input.display()
         );
         return ExitCode::FAILURE;
     }
+    if as_json {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_progress(argv: &[String]) -> ExitCode {
+    let (input, as_json) = subcommand_args(argv, "--json");
+    let events = match load_events(&input) {
+        Ok(ev) => ev,
+        Err(c) => return c,
+    };
+    let Some(mut tracker) = replay_progress(&events) else {
+        eprintln!(
+            "uoi-trace: {} holds no convergence records to derive progress from",
+            input.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    let snap = tracker.snapshot();
+    if as_json {
+        println!("{}", snap.to_json().to_string_pretty());
+    } else {
+        println!("{}", snap.render());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_export_metrics(argv: &[String]) -> ExitCode {
+    // export-metrics takes `--out <path>`, not a boolean flag.
+    let mut input = None;
+    let mut out = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "-h" | "--help" => usage(),
+            _ if input.is_none() => input = Some(PathBuf::from(a)),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let events = match load_events(&input) {
+        Ok(ev) => ev,
+        Err(c) => return c,
+    };
+    // Rebuild the solver-health metrics a live run's registry would
+    // hold, from the convergence records alone.
+    let registry = MetricsRegistry::new();
+    for e in &events {
+        if let TraceEvent::Convergence {
+            stage,
+            iterations,
+            converged,
+            ..
+        } = e
+        {
+            registry.observe("solver.iterations", *iterations as f64);
+            registry.incr("solver.nonconverged", u64::from(!converged));
+            registry.incr(&format!("uoi.tasks.{stage}"), 1);
+        }
+    }
+    let snapshot = registry.snapshot();
+    let progress = replay_progress(&events).map(|mut t| t.snapshot());
+    let text = render_openmetrics(&snapshot, progress.as_ref());
+    if let Err(e) = parse_openmetrics(&text) {
+        eprintln!("uoi-trace: internal error: exposition fails its own lint: {e}");
+        return ExitCode::FAILURE;
+    }
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("uoi-trace: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("[saved {}]", path.display());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_breakdown(argv: &[String]) -> ExitCode {
+    let mut input = None;
+    let mut strict = false;
+    let mut run_report = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strict" => strict = true,
+            "--run-report" => {
+                run_report = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "-h" | "--help" => usage(),
+            _ if input.is_none() => input = Some(PathBuf::from(a)),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let events = match load_events(&input) {
+        Ok(ev) => ev,
+        Err(c) => return c,
+    };
+    let breakdown = analyze(&build_timeline(&events));
+    print!("{}", breakdown.render());
+
+    let report_path = run_report.or_else(|| sibling_run_report(&input));
+    match report_path.as_deref().and_then(dropped_records) {
+        Some(n) if n > 0 => {
+            eprintln!(
+                "uoi-trace: {} dropped trace record(s) recorded in {}; the timeline is \
+                 incomplete and per-phase sums undercount",
+                n,
+                report_path.as_deref().unwrap_or(&input).display()
+            );
+            if strict {
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(_) => {}
+        None => {
+            if strict {
+                eprintln!(
+                    "uoi-trace: --strict needs a run report with a telemetry.dropped_records \
+                     count (none found next to {})",
+                    input.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn legacy_main(argv: &[String]) -> ExitCode {
+    let args = parse_args(argv);
+    let events = match load_events(&args.input) {
+        Ok(ev) => ev,
+        Err(c) => return c,
+    };
 
     if let Some(report_path) = args
         .run_report
@@ -139,4 +351,15 @@ fn main() -> ExitCode {
         print!("{}", breakdown.render());
     }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(|s| s.as_str()) {
+        Some("convergence") => cmd_convergence(&argv[1..]),
+        Some("progress") => cmd_progress(&argv[1..]),
+        Some("export-metrics") => cmd_export_metrics(&argv[1..]),
+        Some("breakdown") => cmd_breakdown(&argv[1..]),
+        _ => legacy_main(&argv),
+    }
 }

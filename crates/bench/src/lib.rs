@@ -17,7 +17,10 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use uoi_telemetry::{analyze, build_timeline, JsonlSink, MemorySink, TeeSink, Telemetry};
+use uoi_telemetry::{
+    analyze, build_timeline, ConvergenceReport, JsonlSink, MemorySink, MetricsRegistry,
+    OpenMetricsExporter, ProgressPlan, ProgressTracker, TeeSink, Telemetry, TraceEvent,
+};
 pub use uoi_telemetry::{RunReport, RunSummary, RUN_REPORT_SCHEMA};
 
 pub mod setups;
@@ -199,9 +202,12 @@ pub fn emit_run_report(report: &RunReport) {
 /// and trace events cost one branch.
 pub struct BenchTrace {
     telemetry: Telemetry,
+    metrics: Option<Arc<MetricsRegistry>>,
     memory: Option<Arc<MemorySink>>,
     jsonl: Option<Arc<JsonlSink>>,
     trace_path: Option<PathBuf>,
+    prom_path: Option<PathBuf>,
+    exporter: Option<OpenMetricsExporter>,
 }
 
 impl BenchTrace {
@@ -215,28 +221,51 @@ impl BenchTrace {
         } else {
             Self {
                 telemetry: Telemetry::disabled(),
+                metrics: None,
                 memory: None,
                 jsonl: None,
                 trace_path: None,
+                prom_path: None,
+                exporter: None,
             }
         }
     }
 
     /// Build with tracing forced on (tests; `from_env` for harnesses).
+    ///
+    /// Alongside the JSONL trace, a shared [`MetricsRegistry`] collects
+    /// the solver counters and a background [`OpenMetricsExporter`]
+    /// rewrites `results/<bench>.metrics.prom` periodically (interval
+    /// from `UOI_METRICS_INTERVAL_MS`, default 1000), with a final
+    /// snapshot on shutdown — a Prometheus scrape target for the run.
     pub fn enabled(bench: &str) -> Self {
         let dir = results_dir();
         std::fs::create_dir_all(&dir).ok();
         let path = dir.join(format!("{bench}.trace.jsonl"));
+        let prom_path = dir.join(format!("{bench}.metrics.prom"));
+        let metrics = Arc::new(MetricsRegistry::new());
+        let interval = std::env::var("UOI_METRICS_INTERVAL_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000u64);
+        let exporter = OpenMetricsExporter::spawn(
+            prom_path.clone(),
+            metrics.clone(),
+            std::time::Duration::from_millis(interval.max(10)),
+        );
         let memory = Arc::new(MemorySink::new());
         match JsonlSink::create(&path) {
             Ok(file) => {
-                let file = Arc::new(file);
+                let file = Arc::new(file.with_metrics(metrics.clone()));
                 let tee = Arc::new(TeeSink::new(vec![memory.clone() as _, file.clone() as _]));
                 Self {
-                    telemetry: Telemetry::with_sink(tee),
+                    telemetry: Telemetry::new(tee, metrics.clone()),
+                    metrics: Some(metrics),
                     memory: Some(memory),
                     jsonl: Some(file),
                     trace_path: Some(path),
+                    prom_path: Some(prom_path),
+                    exporter: Some(exporter),
                 }
             }
             Err(e) => {
@@ -245,10 +274,13 @@ impl BenchTrace {
                     path.display()
                 );
                 Self {
-                    telemetry: Telemetry::with_sink(memory.clone() as _),
+                    telemetry: Telemetry::new(memory.clone() as _, metrics.clone()),
+                    metrics: Some(metrics),
                     memory: Some(memory),
                     jsonl: None,
                     trace_path: None,
+                    prom_path: Some(prom_path),
+                    exporter: Some(exporter),
                 }
             }
         }
@@ -264,9 +296,16 @@ impl BenchTrace {
         self.telemetry.clone()
     }
 
-    /// Flush sinks and attach the per-phase breakdown (plus the
-    /// dropped-record count, when a trace file is in play) to `report`.
-    /// A no-op passthrough when tracing is off.
+    /// The shared metrics registry, when tracing is live.
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.clone()
+    }
+
+    /// Flush sinks and attach the per-phase breakdown, the convergence
+    /// report, and the metrics snapshot (plus the dropped-record count,
+    /// when a trace file is in play) to `report`. Stops the periodic
+    /// exporter after a final snapshot, so the `.prom` file reflects the
+    /// completed run. A no-op passthrough when tracing is off.
     pub fn annotate(&self, report: RunReport) -> RunReport {
         let Some(memory) = &self.memory else {
             return report;
@@ -275,13 +314,60 @@ impl BenchTrace {
         let events = memory.snapshot();
         let breakdown = analyze(&build_timeline(&events));
         let mut report = report.with_breakdown(breakdown.to_json());
+        let convergence = ConvergenceReport::from_events(&events);
+        if convergence.tasks > 0 {
+            report = report.with_convergence(convergence.to_json());
+        }
+        if let Some(m) = &self.metrics {
+            report = report.with_metrics(m.snapshot());
+        }
         if let Some(file) = &self.jsonl {
             report = report.with_dropped_records(file.dropped_records());
+        }
+        if let Some(exporter) = &self.exporter {
+            exporter.stop();
+            // One more write with the final progress gauges folded in —
+            // the periodic exporter only sees the metrics registry.
+            if let (Some(path), Some(m)) = (&self.prom_path, &self.metrics) {
+                let progress = self.final_progress();
+                let _ = uoi_telemetry::write_openmetrics(path, &m.snapshot(), progress.as_ref());
+                println!("[saved {}]", path.display());
+            }
         }
         if let Some(path) = &self.trace_path {
             println!("[saved {}]", path.display());
         }
         report
+    }
+
+    /// Replay the in-memory trace through a [`ProgressTracker`] and
+    /// return the final snapshot (`None` when tracing is off or no
+    /// convergence records were emitted). The plan is derived from the
+    /// observed task census, so completion is exactly 1.0 at fit end.
+    pub fn final_progress(&self) -> Option<uoi_telemetry::ProgressSnapshot> {
+        let memory = self.memory.as_ref()?;
+        let events = memory.snapshot();
+        let (mut sel, mut est) = (0usize, 0usize);
+        for e in &events {
+            if let TraceEvent::Convergence { stage, .. } = e {
+                if *stage == "selection" {
+                    sel += 1;
+                } else {
+                    est += 1;
+                }
+            }
+        }
+        if sel + est == 0 {
+            return None;
+        }
+        let mut tracker = ProgressTracker::new(ProgressPlan {
+            selection_tasks: sel,
+            estimation_tasks: est,
+        });
+        for e in &events {
+            tracker.observe(e);
+        }
+        Some(tracker.snapshot())
     }
 }
 

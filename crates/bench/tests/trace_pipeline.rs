@@ -135,7 +135,10 @@ fn traced_fig2_style_run_produces_consistent_artifacts() {
     assert!(evs.len() > 4, "expected events, got {}", evs.len());
     for ev in evs {
         let ph = ev.get("ph").and_then(Json::as_str).unwrap();
-        assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase type {ph}");
+        assert!(
+            matches!(ph, "X" | "i" | "C" | "M"),
+            "unexpected phase type {ph}"
+        );
         if ph == "X" {
             assert!(ev.get("dur").and_then(Json::as_num).unwrap() >= 0.0);
         }

@@ -410,21 +410,67 @@ pub(crate) fn selection_gram(xc: &Matrix, yc: &[f64], seed: u64, k: usize) -> (M
 
 /// Solve selection bootstrap `k`'s lambda path from its (possibly
 /// checkpoint-restored) Gram, yielding the per-lambda supports.
+///
+/// When tracing is on, residual-curve capture is enabled on a local
+/// copy of the solver config (capture never changes the iterates) and
+/// one [`TraceEvent::Convergence`] is emitted per lambda.
 pub(crate) fn selection_solve(
     gram: Matrix,
     xty: &[f64],
     lambdas: &[f64],
     cfg: &UoiLassoConfig,
+    k: usize,
 ) -> Vec<Vec<usize>> {
-    let mut solver = LassoAdmm::from_gram(gram, cfg.admm.clone());
+    let mut admm = cfg.admm.clone();
+    admm.capture_curve = cfg.telemetry.tracing_enabled();
+    let mut solver = LassoAdmm::from_gram(gram, admm);
     if let Some(m) = cfg.telemetry.metrics() {
         solver = solver.with_metrics(m);
     }
-    solver
-        .solve_path_with_rhs(xty, lambdas)
-        .into_iter()
-        .map(|sol| support_of(&sol.beta, cfg.support_tol))
-        .collect()
+    let sols = solver.solve_path_with_rhs(xty, lambdas);
+    let mut supports = Vec::with_capacity(sols.len());
+    for (j, sol) in sols.into_iter().enumerate() {
+        let support = support_of(&sol.beta, cfg.support_tol);
+        cfg.telemetry.record_with(|| TraceEvent::Convergence {
+            rank: 0,
+            stage: "selection",
+            bootstrap: k,
+            lambda_idx: j,
+            lambda: lambdas[j],
+            iterations: sol.iterations,
+            max_iter: cfg.admm.max_iter,
+            converged: sol.converged,
+            primal_residual: sol.primal_residual,
+            dual_residual: sol.dual_residual,
+            support: support.clone(),
+            curve: sol.curve,
+            t: 0.0,
+        });
+        supports.push(support);
+    }
+    supports
+}
+
+/// Emit estimation resample `k`'s convergence record. The estimation
+/// step is a direct OLS solve — no iterative solver runs — so the task
+/// reports zero iterations and always converges; it exists so progress
+/// tracking and the task census cover both stages.
+pub(crate) fn record_estimation_convergence(tel: &Telemetry, k: usize) {
+    tel.record_with(|| TraceEvent::Convergence {
+        rank: 0,
+        stage: "estimation",
+        bootstrap: k,
+        lambda_idx: 0,
+        lambda: 0.0,
+        iterations: 0,
+        max_iter: 0,
+        converged: true,
+        primal_residual: 0.0,
+        dual_residual: 0.0,
+        support: Vec::new(),
+        curve: Vec::new(),
+        t: 0.0,
+    });
 }
 
 /// The full selection task body for bootstrap `k` (Algorithm 1 lines
@@ -438,7 +484,7 @@ pub(crate) fn selection_task(
     k: usize,
 ) -> Vec<Vec<usize>> {
     let (gram, xty) = selection_gram(xc, yc, cfg.seed, k);
-    selection_solve(gram, &xty, lambdas, cfg)
+    selection_solve(gram, &xty, lambdas, cfg, k)
 }
 
 /// Intersect per-lambda supports across surviving bootstraps (eq. 3 with
@@ -544,7 +590,9 @@ pub(crate) fn estimation_task(
         eval_idx,
         n_train,
     };
-    estimation_score(xu, yc, family_u, union, p, cfg, &sys)
+    let full = estimation_score(xu, yc, family_u, union, p, cfg, &sys);
+    record_estimation_convergence(&cfg.telemetry, k);
+    full
 }
 
 /// Score every candidate support on one resample's system and return the
@@ -721,7 +769,7 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
             let solved = work
                 .into_par_iter()
                 .map(|(k, (gram, xty))| {
-                    let supports = selection_solve(gram.into_upper(), &xty, &lambdas, cfg);
+                    let supports = selection_solve(gram.into_upper(), &xty, &lambdas, cfg, k);
                     if let Some(st) = &store {
                         st.save_supports("sel", k, &supports)?;
                     }
@@ -824,6 +872,7 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
                         n_train,
                     };
                     let full = estimation_score(&xu, &yc, &family_u, &union, p, cfg, &sys);
+                    record_estimation_convergence(&cfg.telemetry, k);
                     if let (Some(st), Some(stage)) = (&store, &est_stage) {
                         st.save_coeffs(stage, k, &full)?;
                     }

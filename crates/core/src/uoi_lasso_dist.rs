@@ -25,6 +25,7 @@ use uoi_data::rng::substream;
 use uoi_linalg::Matrix;
 use uoi_mpisim::{Comm, RankCtx};
 use uoi_solvers::{support_of, DistLassoAdmm};
+use uoi_telemetry::TraceEvent;
 use uoi_tieredio::distribution::{block_range, tier2_shuffle};
 
 /// Fit `UoI_LASSO` distributed over `world`.
@@ -126,13 +127,34 @@ pub fn fit_uoi_lasso_dist(
         let my_slice = &idx[block_range(n, c, admm_rank)];
         let (data, _t) = tier2_shuffle(ctx, &comms.admm_comm, resident.clone(), n, my_slice);
         let (xb, yb) = split_block(&data, p);
-        let solver = DistLassoAdmm::new(ctx, &comms.admm_comm, xb, cfg.admm.clone());
+        // Residual-curve capture is symmetric across ranks (it never
+        // touches a collective), and only group leaders emit the record.
+        let mut admm = cfg.admm.clone();
+        admm.capture_curve = ctx.telemetry().tracing_enabled();
+        let solver = DistLassoAdmm::new(ctx, &comms.admm_comm, xb, admm);
         let my_lambda_ids = layout.lambdas_for(comms.l_group, cfg.q);
         let my_lambdas: Vec<f64> = my_lambda_ids.iter().map(|&j| lambdas[j]).collect();
         let sols = solver.solve_path(ctx, &comms.admm_comm, &yb, &my_lambdas);
         if comms.is_group_leader() {
             for (&j, sol) in my_lambda_ids.iter().zip(&sols) {
-                for f in support_of(&sol.beta, cfg.support_tol) {
+                let support = support_of(&sol.beta, cfg.support_tol);
+                let (rank, t) = (ctx.world_rank(), ctx.clock());
+                ctx.telemetry().record_with(|| TraceEvent::Convergence {
+                    rank,
+                    stage: "selection",
+                    bootstrap: k,
+                    lambda_idx: j,
+                    lambda: lambdas[j],
+                    iterations: sol.iterations,
+                    max_iter: cfg.admm.max_iter,
+                    converged: sol.converged,
+                    primal_residual: sol.primal_residual,
+                    dual_residual: sol.dual_residual,
+                    support: support.clone(),
+                    curve: sol.curve.clone(),
+                    t,
+                });
+                for f in support {
                     votes[j * p + f] += 1.0;
                 }
             }
@@ -204,6 +226,9 @@ pub fn fit_uoi_lasso_dist(
         let xe_u = xe.gather_cols(&union);
 
         let mut best: Option<(f64, Vec<f64>)> = None;
+        // Worst-case OLS solver outcome across the candidate family —
+        // the estimation task's convergence record.
+        let (mut est_iters, mut est_conv) = (0usize, true);
         for support in &support_family {
             // Distributed OLS (ADMM at lambda = 0) on the |S|x|S|
             // sub-Gram, as the paper's estimation step does.
@@ -220,6 +245,8 @@ pub fn fit_uoi_lasso_dist(
             let solver =
                 DistLassoAdmm::from_gram(ctx, &comms.admm_comm, sub, xt.rows(), cfg.admm.clone());
             let sol = solver.solve_ols_with_rhs(ctx, &comms.admm_comm, &rhs);
+            est_iters = est_iters.max(sol.iterations);
+            est_conv &= sol.converged;
             // Embed into full coordinates, plus union coordinates for the
             // evaluation pass.
             let mut beta = vec![0.0; p];
@@ -250,6 +277,22 @@ pub fn fit_uoi_lasso_dist(
             }
         }
         if comms.is_group_leader() {
+            let (rank, t) = (ctx.world_rank(), ctx.clock());
+            ctx.telemetry().record_with(|| TraceEvent::Convergence {
+                rank,
+                stage: "estimation",
+                bootstrap: k,
+                lambda_idx: 0,
+                lambda: 0.0,
+                iterations: est_iters,
+                max_iter: cfg.admm.max_iter,
+                converged: est_conv,
+                primal_residual: 0.0,
+                dual_residual: 0.0,
+                support: Vec::new(),
+                curve: Vec::new(),
+                t,
+            });
             if let Some((_, beta)) = best {
                 for (s, b) in est_sum.iter_mut().zip(&beta) {
                     *s += b;

@@ -193,7 +193,13 @@ fn lasso_round(
                         Some(st) => match st.load_gram("selgram", k, p * p, p) {
                             Some((gram, xty)) => {
                                 tel.incr("uoi.recovery.gram_hits", 1);
-                                selection_solve(Matrix::from_vec(p, p, gram), &xty, &lambdas, cfg)
+                                selection_solve(
+                                    Matrix::from_vec(p, p, gram),
+                                    &xty,
+                                    &lambdas,
+                                    cfg,
+                                    k,
+                                )
                             }
                             None => {
                                 let (gram, xty) = selection_gram(&xc, &yc, cfg.seed, k);
@@ -202,7 +208,7 @@ fn lasso_round(
                                         what: format!("gram checkpoint: {e}"),
                                     });
                                 }
-                                selection_solve(gram, &xty, &lambdas, cfg)
+                                selection_solve(gram, &xty, &lambdas, cfg, k)
                             }
                         },
                         None => selection_task(&xc, &yc, &lambdas, cfg, k),

@@ -27,6 +27,7 @@ use uoi_data::bootstrap::{block_bootstrap, default_block_len, resample_weights};
 use uoi_data::rng::substream;
 use uoi_linalg::{dot, gemv_t_weighted_multi, Matrix};
 use uoi_solvers::{geometric_grid, ols_on_support_gram, support_of, LassoAdmm};
+use uoi_telemetry::TraceEvent;
 
 /// Hyperparameters of `UoI_VAR`.
 #[derive(Debug, Clone)]
@@ -411,22 +412,45 @@ pub(crate) fn var_selection_solve(
     p: usize,
     gram: Matrix,
     w: &[f64],
+    k: usize,
 ) -> Vec<Vec<usize>> {
-    let mut solver = LassoAdmm::from_gram(gram, base.admm.clone());
+    let tracing = base.telemetry.tracing_enabled();
+    let mut admm = base.admm.clone();
+    admm.capture_curve = tracing;
+    let mut solver = LassoAdmm::from_gram(gram, admm);
     if let Some(m) = base.telemetry.metrics() {
         solver = solver.with_metrics(m);
     }
     let ys: Vec<Vec<f64>> = (0..p).map(|i| prob.reg.y.col(i)).collect();
     let yrefs: Vec<&[f64]> = ys.iter().map(|v| v.as_slice()).collect();
     let xtys = gemv_t_weighted_multi(&prob.reg.x, w, &yrefs);
-    // supports[j] = vectorised support at lambda_j.
+    // supports[j] = vectorised support at lambda_j. A VAR selection
+    // bootstrap is p column paths; the convergence record for lambda_j
+    // aggregates across them: worst-case iteration count and residuals,
+    // converged only when every column converged, and the residual curve
+    // of the slowest column.
     let mut supports = vec![Vec::new(); prob.lambdas.len()];
+    let mut aggs: Vec<(usize, bool, f64, f64, Vec<f64>)> = if tracing {
+        vec![(0, true, 0.0, 0.0, Vec::new()); prob.lambdas.len()]
+    } else {
+        Vec::new()
+    };
     for (i, xty) in xtys.iter().enumerate() {
         for (j, sol) in solver
             .solve_path_with_rhs(xty, &prob.lambdas)
             .into_iter()
             .enumerate()
         {
+            if tracing {
+                let a = &mut aggs[j];
+                if i == 0 || sol.iterations > a.0 {
+                    a.0 = sol.iterations;
+                    a.4 = sol.curve;
+                }
+                a.1 &= sol.converged;
+                a.2 = a.2.max(sol.primal_residual);
+                a.3 = a.3.max(sol.dual_residual);
+            }
             for idx in support_of(&sol.beta, base.support_tol) {
                 supports[j].push(i * prob.dp + idx);
             }
@@ -434,6 +458,25 @@ pub(crate) fn var_selection_solve(
     }
     for s in &mut supports {
         s.sort_unstable();
+    }
+    if tracing {
+        for (j, (iterations, converged, primal, dual, curve)) in aggs.into_iter().enumerate() {
+            base.telemetry.record_with(|| TraceEvent::Convergence {
+                rank: 0,
+                stage: "selection",
+                bootstrap: k,
+                lambda_idx: j,
+                lambda: prob.lambdas[j],
+                iterations,
+                max_iter: base.admm.max_iter,
+                converged,
+                primal_residual: primal,
+                dual_residual: dual,
+                support: supports[j].clone(),
+                curve,
+                t: 0.0,
+            });
+        }
     }
     supports
 }
@@ -453,7 +496,7 @@ pub(crate) fn var_selection_task(
         .pop()
         .expect("batch of one")
         .into_upper();
-    var_selection_solve(prob, base, p, gram, &w)
+    var_selection_solve(prob, base, p, gram, &w, k)
 }
 
 /// Union-projected estimation inputs (Algorithm 2 lines 14–30 setup):
@@ -588,7 +631,9 @@ pub(crate) fn var_estimation_task(
         .into_upper();
     let yrefs: Vec<&[f64]> = ctx.ys.iter().map(|v| v.as_slice()).collect();
     let xty_u = gemv_t_weighted_multi(&ctx.xu, &w, &yrefs);
-    var_estimation_score(ctx, prob, p, &gram_u, &xty_u, &eval_rows, n_train)
+    let full = var_estimation_score(ctx, prob, p, &gram_u, &xty_u, &eval_rows, n_train);
+    crate::uoi_lasso::record_estimation_convergence(&base.telemetry, k);
+    full
 }
 
 /// Average the winning vectorised estimates and derive the lag matrices
@@ -719,7 +764,7 @@ pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit
             let solved = work
                 .into_par_iter()
                 .map(|(k, (w, gram))| {
-                    let supports = var_selection_solve(&prob, base, p, gram.into_upper(), &w);
+                    let supports = var_selection_solve(&prob, base, p, gram.into_upper(), &w, k);
                     if let Some(st) = &store {
                         st.save_supports("var_sel", k, &supports)?;
                     }
@@ -820,6 +865,7 @@ pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit
                     let full = var_estimation_score(
                         &est_ctx, &prob, p, &gram_u, &xty_u, &eval_rows, n_train,
                     );
+                    crate::uoi_lasso::record_estimation_convergence(&base.telemetry, k);
                     if let (Some(st), Some(stage)) = (&store, &est_stage) {
                         st.save_coeffs(stage, k, &full)?;
                     }

@@ -28,6 +28,7 @@ use uoi_data::rng::substream;
 use uoi_linalg::{gemv_t_weighted_multi, syrk_t_upper, syrk_t_weighted_upper, Matrix};
 use uoi_mpisim::{Comm, Phase, RankCtx, Window};
 use uoi_solvers::{admm_iter_flops, geometric_grid, ols_on_support_gram, support_of, LassoAdmm};
+use uoi_telemetry::TraceEvent;
 use uoi_tieredio::distribution::{block_owner, block_range};
 
 /// Configuration of the distributed fit.
@@ -171,7 +172,7 @@ pub fn fit_uoi_var_dist(
         // serial zero-copy path.
         let boot = pull_regression(ctx, &win, &rows, n, readers, p, dp, stagger, &mut kron);
         let w = resample_weights(&rows, n);
-        let full_vec = dist_lasso_path(
+        let (full_vec, path_stats) = dist_lasso_path(
             ctx,
             &comms.admm_comm,
             &reg_full,
@@ -181,10 +182,32 @@ pub fn fit_uoi_var_dist(
             &my_lambdas,
             base,
         );
-        // full_vec[jj] = full vectorised estimate at my lambda jj.
+        // full_vec[jj] = full vectorised estimate at my lambda jj. The
+        // lockstep round counts come from the allreduced convergence
+        // counter, so they are globally consistent and one leader per
+        // group can emit the convergence record.
         if comms.is_group_leader() {
-            for (&j, vec_z) in my_lambda_ids.iter().zip(&full_vec) {
-                for f in support_of(vec_z, base.support_tol) {
+            for ((&j, vec_z), &(rounds, conv)) in
+                my_lambda_ids.iter().zip(&full_vec).zip(&path_stats)
+            {
+                let support = support_of(vec_z, base.support_tol);
+                let (rank, t) = (ctx.world_rank(), ctx.clock());
+                ctx.telemetry().record_with(|| TraceEvent::Convergence {
+                    rank,
+                    stage: "selection",
+                    bootstrap: k,
+                    lambda_idx: j,
+                    lambda: lambdas[j],
+                    iterations: rounds,
+                    max_iter: base.admm.max_iter,
+                    converged: conv,
+                    primal_residual: 0.0,
+                    dual_residual: 0.0,
+                    support: support.clone(),
+                    curve: Vec::new(),
+                    t,
+                });
+                for f in support {
                     votes[j * total_coef + f] += 1.0;
                 }
             }
@@ -319,6 +342,24 @@ pub fn fit_uoi_var_dist(
             }
         }
         if comms.is_group_leader() {
+            // The estimation step is direct per-column OLS — no iterative
+            // solver — so the record reports zero iterations, converged.
+            let (rank, t) = (ctx.world_rank(), ctx.clock());
+            ctx.telemetry().record_with(|| TraceEvent::Convergence {
+                rank,
+                stage: "estimation",
+                bootstrap: k,
+                lambda_idx: 0,
+                lambda: 0.0,
+                iterations: 0,
+                max_iter: 0,
+                converged: true,
+                primal_residual: 0.0,
+                dual_residual: 0.0,
+                support: Vec::new(),
+                curve: Vec::new(),
+                t,
+            });
             if let Some((_, beta)) = best {
                 for (s, b) in est_sum.iter_mut().zip(&beta) {
                     *s += b;
@@ -437,7 +478,9 @@ fn pull_regression(
 /// iterates per-column ADMM on its owned diagonal blocks; every round the
 /// full `d p^2` estimate (owned blocks, zeros elsewhere) plus a
 /// convergence counter is allreduced. Returns, per lambda, the full
-/// vectorised estimate (identical on all ranks).
+/// vectorised estimate (identical on all ranks) and the `(rounds,
+/// converged)` outcome of the lockstep loop — also identical on all
+/// ranks, because both derive from the allreduced convergence counter.
 #[allow(clippy::too_many_arguments)]
 fn dist_lasso_path(
     ctx: &mut RankCtx,
@@ -448,7 +491,7 @@ fn dist_lasso_path(
     my_cols: &std::ops::Range<usize>,
     lambdas: &[f64],
     base: &crate::uoi_lasso::UoiLassoConfig,
-) -> Vec<Vec<f64>> {
+) -> (Vec<Vec<f64>>, Vec<(usize, bool)>) {
     let p = reg.dim();
     let dp = reg.x.cols();
     let total = dp * p;
@@ -488,6 +531,7 @@ fn dist_lasso_path(
     ctx.span_exit(sp_gram);
 
     let mut out = Vec::with_capacity(lambdas.len());
+    let mut path_stats = Vec::with_capacity(lambdas.len());
     // Warm-start z across the path, fresh duals per lambda.
     let mut states: Vec<uoi_solvers::AdmmState> =
         my_cols.clone().map(|_| solver.init_state()).collect();
@@ -501,10 +545,13 @@ fn dist_lasso_path(
             st.iterations = 0;
         }
         let mut full = vec![0.0; total];
+        let mut rounds = 0usize;
+        let mut lam_converged = false;
         // Round payload reused across iterations: non-owned sections are
         // re-zeroed each round (they carry the previous allreduce sums).
         let mut payload = vec![0.0; total + 1];
         for _round in 0..base.admm.max_iter {
+            rounds += 1;
             // One lockstep round over the owned columns: the per-column
             // triangular solves fuse into a single multi-RHS substitution
             // (`step_many`), and the modeled charge is `ceil(active /
@@ -543,13 +590,15 @@ fn dist_lasso_path(
             let all_unconverged = payload[total];
             full.copy_from_slice(&payload[..total]);
             if all_unconverged == 0.0 {
+                lam_converged = true;
                 break;
             }
         }
         out.push(full);
+        path_stats.push((rounds, lam_converged));
     }
     ctx.span_exit(sp_admm);
-    out
+    (out, path_stats)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use uoi_core::{fit_uoi_lasso, fit_uoi_var, UoiLassoConfig, UoiVarConfig};
 use uoi_data::{LinearConfig, VarConfig, VarProcess};
-use uoi_telemetry::{MemorySink, MetricsRegistry, Telemetry};
+use uoi_telemetry::{MemorySink, MetricsRegistry, Telemetry, TraceEvent};
 
 fn lasso_cfg(telemetry: Telemetry) -> UoiLassoConfig {
     UoiLassoConfig::builder()
@@ -66,6 +66,25 @@ fn lasso_fit_is_bit_identical_with_and_without_telemetry() {
         "ADMM solve counter must advance"
     );
     assert!(metrics.counter("uoi.estimation.bootstraps") > 0);
+
+    // Convergence records: one per (bootstrap, λ) selection solve plus
+    // one per estimation bootstrap, with the solver-health metrics
+    // advanced alongside.
+    let (mut sel, mut est) = (0usize, 0usize);
+    for e in sink.snapshot() {
+        if let TraceEvent::Convergence { stage, .. } = e {
+            match stage {
+                "selection" => sel += 1,
+                _ => est += 1,
+            }
+        }
+    }
+    assert_eq!(sel, 6 * 8, "one selection record per (bootstrap, λ)");
+    assert_eq!(est, 5, "one estimation record per estimation bootstrap");
+    assert!(
+        !metrics.samples("solver.iterations").is_empty(),
+        "solver.iterations histogram must have samples"
+    );
 }
 
 #[test]
@@ -111,6 +130,15 @@ fn var_fit_is_bit_identical_with_and_without_telemetry() {
     }
     assert!(!sink.is_empty());
     assert!(metrics.counter("admm.solves") > 0);
+
+    // VAR aggregates the per-column solves into one convergence record
+    // per (bootstrap, λ), plus one per estimation bootstrap.
+    let conv = sink
+        .snapshot()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Convergence { .. }))
+        .count();
+    assert_eq!(conv, 5 * 6 + 4);
 }
 
 #[test]

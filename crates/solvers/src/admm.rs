@@ -83,6 +83,13 @@ pub struct AdmmConfig {
     pub threads: usize,
     /// Lambda-path schedule; see [`PathSchedule`].
     pub schedule: PathSchedule,
+    /// Record the per-iteration primal-residual curve of each solve
+    /// and return it (decimated to [`CURVE_MAX_POINTS`] samples) in
+    /// [`AdmmSolution::curve`]. Off by default: capture is the only
+    /// part of the solve that allocates per iteration, and the
+    /// telemetry layer enables it only when a trace sink is installed.
+    /// Never affects iterates or convergence decisions.
+    pub capture_curve: bool,
 }
 
 impl Default for AdmmConfig {
@@ -94,6 +101,7 @@ impl Default for AdmmConfig {
             reltol: 1e-5,
             threads: 1,
             schedule: PathSchedule::Sequential,
+            capture_curve: false,
         }
     }
 }
@@ -189,6 +197,11 @@ impl AdmmConfigBuilder {
         self
     }
 
+    pub fn capture_curve(mut self, capture: bool) -> Self {
+        self.cfg.capture_curve = capture;
+        self
+    }
+
     pub fn build(self) -> Result<AdmmConfig, InvalidConfig> {
         self.cfg.validate()?;
         Ok(self.cfg)
@@ -208,6 +221,28 @@ pub struct AdmmSolution {
     pub dual_residual: f64,
     /// Whether both residuals met tolerance before the cap.
     pub converged: bool,
+    /// Per-iteration primal residuals, decimated to at most
+    /// [`CURVE_MAX_POINTS`] samples. Empty unless
+    /// [`AdmmConfig::capture_curve`] was set.
+    pub curve: Vec<f64>,
+}
+
+/// Residual curves returned in [`AdmmSolution::curve`] are decimated
+/// to at most this many samples (endpoints kept exactly).
+pub const CURVE_MAX_POINTS: usize = 32;
+
+/// Decimate a residual curve to at most `max_points` samples by even
+/// index striding; the first and last samples are always kept, so the
+/// starting residual and the converged residual survive verbatim.
+pub fn decimate_curve(curve: &[f64], max_points: usize) -> Vec<f64> {
+    let max_points = max_points.max(2);
+    if curve.len() <= max_points {
+        return curve.to_vec();
+    }
+    let n = curve.len();
+    (0..max_points)
+        .map(|i| curve[i * (n - 1) / (max_points - 1)])
+        .collect()
 }
 
 pub(crate) enum Factorization {
@@ -289,6 +324,9 @@ pub struct AdmmWorkspace {
     wt: Vec<f64>,
     /// z-update argument `x + u` (p), fed to the vectorised prox.
     xu: Vec<f64>,
+    /// Per-iteration primal residuals of the in-flight solve; only
+    /// pushed to when [`AdmmConfig::capture_curve`] is set.
+    curve: Vec<f64>,
 }
 
 impl AdmmWorkspace {
@@ -450,7 +488,12 @@ impl LassoAdmm {
         self
     }
 
-    /// Bookkeeping shared by every solve entry point.
+    /// Bookkeeping shared by every solve entry point. Besides the
+    /// `admm.*` family, feeds the solver-agnostic `solver.iterations`
+    /// histogram and `solver.nonconverged` counter the run-report
+    /// summary and the OpenMetrics exporter surface (the counter is
+    /// bumped by 0 on converged solves so it exists — and reads 0 —
+    /// even on fully healthy runs).
     fn note_solve(&self, iterations: usize, converged: bool, r_norm: f64, s_norm: f64) {
         if let Some(m) = &self.metrics {
             m.incr("admm.solves", 1);
@@ -462,6 +505,20 @@ impl LassoAdmm {
             m.observe("admm.iterations", iterations as f64);
             m.observe("admm.primal_residual", r_norm);
             m.observe("admm.dual_residual", s_norm);
+            m.observe("solver.iterations", iterations as f64);
+            m.incr("solver.nonconverged", u64::from(!converged));
+        }
+    }
+
+    /// Take the captured residual curve out of a workspace, decimated;
+    /// empty when capture is off.
+    fn take_curve(&self, ws: &mut AdmmWorkspace) -> Vec<f64> {
+        if self.cfg.capture_curve {
+            let out = decimate_curve(&ws.curve, CURVE_MAX_POINTS);
+            ws.curve.clear();
+            out
+        } else {
+            Vec::new()
         }
     }
 
@@ -560,7 +617,11 @@ impl LassoAdmm {
         let p = z.len();
         let rho = self.rho;
         let AdmmWorkspace {
-            x_var, z_old, xu, ..
+            x_var,
+            z_old,
+            xu,
+            curve,
+            ..
         } = ws;
 
         // z-update with over-relaxation omitted (plain ADMM).
@@ -581,6 +642,9 @@ impl LassoAdmm {
 
         let r_norm = norm2_diff(x_var, z);
         let s_norm = norm2_scaled_diff(rho, z, z_old);
+        if self.cfg.capture_curve {
+            curve.push(r_norm);
+        }
         let sqrt_p = (p as f64).sqrt();
         let eps_pri = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(x_var).max(norm2(z));
         let eps_dual = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2_scaled(rho, u);
@@ -604,6 +668,7 @@ impl LassoAdmm {
         assert_eq!(u.len(), p);
         assert!(lambda >= 0.0);
 
+        ws.curve.clear();
         let (mut r_norm, mut s_norm) = (f64::INFINITY, f64::INFINITY);
         let mut iterations = 0;
         let mut converged = false;
@@ -651,6 +716,7 @@ impl LassoAdmm {
             primal_residual: st.primal_residual,
             dual_residual: st.dual_residual,
             converged: st.converged,
+            curve: self.take_curve(&mut ws),
         }
     }
 
@@ -671,6 +737,7 @@ impl LassoAdmm {
             primal_residual: st.primal_residual,
             dual_residual: st.dual_residual,
             converged: st.converged,
+            curve: self.take_curve(&mut ws),
         }
     }
 
@@ -851,6 +918,7 @@ impl LassoAdmm {
         let mut z = vec![0.0; p];
         let mut u = vec![0.0; p];
         let mut z_old = vec![0.0; p];
+        let mut curve_buf = Vec::new();
         let (mut r_norm, mut s_norm) = (f64::INFINITY, f64::INFINITY);
         let mut iterations = 0;
         let mut converged = false;
@@ -871,6 +939,9 @@ impl LassoAdmm {
             r_norm = norm2(&r);
             let s: Vec<f64> = z.iter().zip(&z_old).map(|(a, b)| rho * (a - b)).collect();
             s_norm = norm2(&s);
+            if self.cfg.capture_curve {
+                curve_buf.push(r_norm);
+            }
             let sqrt_p = (p as f64).sqrt();
             let eps_pri = sqrt_p * self.cfg.abstol + self.cfg.reltol * norm2(&x_var).max(norm2(&z));
             let mut rho_u = u.clone();
@@ -912,6 +983,7 @@ impl LassoAdmm {
             primal_residual: r_norm,
             dual_residual: s_norm,
             converged,
+            curve: decimate_curve(&curve_buf, CURVE_MAX_POINTS),
         }
     }
 
@@ -964,6 +1036,7 @@ impl LassoAdmm {
                 primal_residual: st.primal_residual,
                 dual_residual: st.dual_residual,
                 converged: st.converged,
+                curve: self.take_curve(&mut ws),
             });
         }
         out
@@ -1013,12 +1086,18 @@ impl LassoAdmm {
                 m.incr("admm.path.solves", 1);
                 m.observe("admm.path.iterations", st.iterations as f64);
             }
+            let curve = if self.cfg.capture_curve {
+                decimate_curve(&st.scratch.curve, CURVE_MAX_POINTS)
+            } else {
+                Vec::new()
+            };
             out.push(AdmmSolution {
                 beta: st.z,
                 iterations: st.iterations,
                 primal_residual: st.primal_residual,
                 dual_residual: st.dual_residual,
                 converged: st.converged,
+                curve,
             });
         }
         out
@@ -1141,6 +1220,7 @@ mod tests {
             primal_residual: r_norm,
             dual_residual: s_norm,
             converged,
+            curve: Vec::new(),
         }
     }
 

@@ -25,8 +25,8 @@
 //! the paper's model-estimation step does.
 
 use crate::admm::{
-    admm_iter_flops, effective_rho, factorize, lockstep_round_charges, AdmmConfig, AdmmSolution,
-    Factorization, PathSchedule,
+    admm_iter_flops, decimate_curve, effective_rho, factorize, lockstep_round_charges, AdmmConfig,
+    AdmmSolution, Factorization, PathSchedule, CURVE_MAX_POINTS,
 };
 use crate::prox::soft_threshold_vec;
 use std::sync::Arc;
@@ -263,6 +263,7 @@ impl DistLassoAdmm {
         let mut iterations = 0;
         let mut converged = false;
 
+        let mut curve_buf: Vec<f64> = Vec::new();
         for it in 0..self.cfg.max_iter {
             iterations = it + 1;
             // Local x-update.
@@ -335,6 +336,9 @@ impl DistLassoAdmm {
                 .sqrt();
             s_norm = rho * dz * b.sqrt();
 
+            if self.cfg.capture_curve {
+                curve_buf.push(r_norm);
+            }
             let sqrt_np = (b * p as f64).sqrt();
             let eps_pri = sqrt_np * self.cfg.abstol + self.cfg.reltol * x_norm.max(z_norm);
             let eps_dual = sqrt_np * self.cfg.abstol + self.cfg.reltol * u_norm;
@@ -356,6 +360,8 @@ impl DistLassoAdmm {
                 m.observe("admm_dist.iterations", iterations as f64);
                 m.observe("admm_dist.primal_residual", r_norm);
                 m.observe("admm_dist.dual_residual", s_norm);
+                m.observe("solver.iterations", iterations as f64);
+                m.incr("solver.nonconverged", u64::from(!converged));
             }
         }
         AdmmSolution {
@@ -364,6 +370,7 @@ impl DistLassoAdmm {
             primal_residual: r_norm,
             dual_residual: s_norm,
             converged,
+            curve: decimate_curve(&curve_buf, CURVE_MAX_POINTS),
         }
     }
 
@@ -463,6 +470,7 @@ impl DistLassoAdmm {
             converged: bool,
             r_norm: f64,
             s_norm: f64,
+            curve: Vec<f64>,
         }
 
         let (n, p) = self.local_shape();
@@ -490,6 +498,7 @@ impl DistLassoAdmm {
                     converged: false,
                     r_norm: f64::INFINITY,
                     s_norm: f64::INFINITY,
+                    curve: Vec::new(),
                 }
             })
             .collect();
@@ -625,6 +634,9 @@ impl DistLassoAdmm {
                         .sum::<f64>()
                         .sqrt();
                 c.s_norm = rho * dz * b.sqrt();
+                if self.cfg.capture_curve {
+                    c.curve.push(c.r_norm);
+                }
                 let sqrt_np = (b * p as f64).sqrt();
                 let eps_pri = sqrt_np * self.cfg.abstol + self.cfg.reltol * x_norm.max(z_norm);
                 let eps_dual = sqrt_np * self.cfg.abstol + self.cfg.reltol * u_norm;
@@ -648,6 +660,8 @@ impl DistLassoAdmm {
                     m.observe("admm_dist.iterations", c.iterations as f64);
                     m.observe("admm_dist.primal_residual", c.r_norm);
                     m.observe("admm_dist.dual_residual", c.s_norm);
+                    m.observe("solver.iterations", c.iterations as f64);
+                    m.incr("solver.nonconverged", u64::from(!c.converged));
                 }
             }
         }
@@ -658,6 +672,7 @@ impl DistLassoAdmm {
                 primal_residual: c.r_norm,
                 dual_residual: c.s_norm,
                 converged: c.converged,
+                curve: decimate_curve(&c.curve, CURVE_MAX_POINTS),
             })
             .collect()
     }

@@ -19,10 +19,23 @@
 //! [Perfetto]: https://ui.perfetto.dev
 
 use crate::json::Json;
+use crate::live::{ProgressPlan, ProgressTracker};
 use crate::timeline::{build_timeline, Timeline};
 use crate::trace::TraceEvent;
 
 const US: f64 = 1e6;
+
+fn counter_event(name: &str, pid: u64, ts: f64, args: Json) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        ("cat", Json::str("counter")),
+        ("ph", Json::str("C")),
+        ("ts", Json::num(ts * US)),
+        ("pid", Json::num(pid as f64)),
+        ("tid", Json::num(0.0)),
+        ("args", args),
+    ])
+}
 
 fn x_event(name: &str, cat: &str, pid: u64, tid: u64, ts: f64, dur: f64, args: Json) -> Json {
     Json::obj(vec![
@@ -196,13 +209,17 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> Json {
                     args,
                 ));
             }
-            // Replayed through the timeline above.
+            // Replayed through the timeline above; convergence records
+            // surface through the counter tracks below.
             TraceEvent::SpanStart { .. }
             | TraceEvent::SpanEnd { .. }
             | TraceEvent::PhaseCharge { .. }
-            | TraceEvent::CollectiveWait { .. } => {}
+            | TraceEvent::CollectiveWait { .. }
+            | TraceEvent::Convergence { .. } => {}
         }
     }
+
+    emit_counter_tracks(events, &mut out);
 
     Json::obj(vec![
         ("traceEvents", Json::Arr(out)),
@@ -216,6 +233,67 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> Json {
             ]),
         ),
     ])
+}
+
+/// Counter tracks (Chrome `"C"` events, pid 2) replaying the
+/// convergence record stream through a [`ProgressTracker`]: tasks in
+/// flight vs done, the cumulative non-converged count, and the α–β
+/// ETA — Perfetto draws each as a stacked area chart next to the
+/// rank timelines.
+fn emit_counter_tracks(events: &[TraceEvent], out: &mut Vec<Json>) {
+    let mut convs: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::Convergence { .. }))
+        .collect();
+    if convs.is_empty() {
+        return;
+    }
+    convs.sort_by(|a, b| {
+        let (ta, tb) = match (a, b) {
+            (TraceEvent::Convergence { t: ta, .. }, TraceEvent::Convergence { t: tb, .. }) => {
+                (*ta, *tb)
+            }
+            _ => unreachable!(),
+        };
+        ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out.push(metadata("process_name", 2, None, "solver health"));
+    // The trace is complete, so the plan is just the observed totals.
+    let selection = convs
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::Convergence { stage, .. } if *stage == "selection"))
+        .count();
+    let mut tracker = ProgressTracker::new(ProgressPlan {
+        selection_tasks: selection,
+        estimation_tasks: convs.len() - selection,
+    });
+    for ev in convs {
+        tracker.observe(ev);
+        let snap = tracker.snapshot();
+        out.push(counter_event(
+            "uoi tasks",
+            2,
+            snap.elapsed,
+            Json::obj(vec![
+                ("completed", Json::num(snap.completed as f64)),
+                ("pending", Json::num((snap.total - snap.completed) as f64)),
+            ]),
+        ));
+        out.push(counter_event(
+            "uoi nonconverged",
+            2,
+            snap.elapsed,
+            Json::obj(vec![("count", Json::num(snap.nonconverged as f64))]),
+        ));
+        if let Some(eta) = snap.eta_seconds {
+            out.push(counter_event(
+                "uoi eta",
+                2,
+                snap.elapsed,
+                Json::obj(vec![("seconds", Json::num(eta))]),
+            ));
+        }
+    }
 }
 
 fn emit_timeline_events(tl: &Timeline, out: &mut Vec<Json>) {
@@ -375,6 +453,83 @@ mod tests {
             })
             .unwrap();
         assert!((phase_ev.get("dur").unwrap().as_num().unwrap() - 500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convergence_records_become_counter_tracks() {
+        let mut evs = events();
+        for (i, t) in [0.2, 0.4, 0.6].iter().enumerate() {
+            evs.push(TraceEvent::Convergence {
+                rank: 0,
+                stage: if i < 2 { "selection" } else { "estimation" },
+                bootstrap: i,
+                lambda_idx: 0,
+                lambda: 0.5,
+                iterations: 10,
+                max_iter: 100,
+                converged: i != 1,
+                primal_residual: 1e-8,
+                dual_residual: 1e-8,
+                support: vec![0],
+                curve: Vec::new(),
+                t: *t,
+            });
+        }
+        let doc = to_chrome_trace(&evs);
+        let out = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<&Json> = out
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        // Three task samples, three nonconverged samples, plus ETA
+        // samples once the model has data.
+        assert!(counters.len() >= 6, "got {} counter events", counters.len());
+        let last_tasks = counters
+            .iter()
+            .rev()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("uoi tasks"))
+            .unwrap();
+        assert_eq!(
+            last_tasks
+                .get("args")
+                .unwrap()
+                .get("completed")
+                .unwrap()
+                .as_num(),
+            Some(3.0)
+        );
+        assert_eq!(
+            last_tasks
+                .get("args")
+                .unwrap()
+                .get("pending")
+                .unwrap()
+                .as_num(),
+            Some(0.0)
+        );
+        let last_nonconv = counters
+            .iter()
+            .rev()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("uoi nonconverged"))
+            .unwrap();
+        assert_eq!(
+            last_nonconv
+                .get("args")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_num(),
+            Some(1.0)
+        );
+        // Counter-free traces don't grow a solver-health process.
+        let plain = to_chrome_trace(&events());
+        assert!(plain
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) != Some("C")));
     }
 
     #[test]

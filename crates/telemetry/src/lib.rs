@@ -19,7 +19,18 @@
 //!   `admm_local`, `admm_consensus`, `ols_estimation`, `scoring`,
 //!   `checkpoint`), then compute per-phase breakdowns, collective
 //!   idle time, load-imbalance ratios, and a critical-path estimate;
-//! * [`chrome`] — Chrome trace-format export (Perfetto-loadable);
+//! * [`chrome`] — Chrome trace-format export (Perfetto-loadable),
+//!   including counter tracks (active tasks, non-converged count,
+//!   ETA) derived from convergence records;
+//! * [`convergence`] — solver-quality layer: per-(bootstrap, λ)
+//!   [`TraceEvent::Convergence`] records folded into a
+//!   schema-versioned [`ConvergenceReport`] with per-λ iteration
+//!   histograms, non-converged fraction and selection stability;
+//! * [`live`] — bounded [`RingSink`] subscriber plus
+//!   [`ProgressTracker`]/[`ProgressSnapshot`] with an α–β
+//!   cost-model ETA;
+//! * [`openmetrics`] — OpenMetrics/Prometheus text exporter over
+//!   [`MetricsSnapshot`] and progress gauges;
 //! * [`Telemetry`] — the cheap, cloneable handle threaded through the
 //!   simulator and fitters. A default handle is *disabled*: recording
 //!   through it is a branch on a `None` and nothing more, so
@@ -27,16 +38,27 @@
 
 pub mod analysis;
 pub mod chrome;
+pub mod convergence;
 pub mod json;
+pub mod live;
 pub mod metrics;
+pub mod openmetrics;
 pub mod report;
 pub mod timeline;
 pub mod trace;
 
 pub use analysis::{analyze, Breakdown, PhaseAggregate, PhaseSlice, BREAKDOWN_SCHEMA};
 pub use chrome::to_chrome_trace;
+pub use convergence::{
+    ConvergenceReport, LambdaStats, StabilityStats, StageStats, CONVERGENCE_SCHEMA,
+};
 pub use json::{Json, JsonError};
+pub use live::{ProgressPlan, ProgressSnapshot, ProgressTracker, RingSink};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use openmetrics::{
+    parse_openmetrics, render_openmetrics, write_openmetrics, OpenMetricsDigest,
+    OpenMetricsExporter,
+};
 pub use report::{PhaseTotals, RunReport, RunSummary, RUN_REPORT_SCHEMA};
 pub use timeline::{build_timeline, PipelinePhase, Timeline};
 pub use trace::{JsonlSink, MemorySink, TeeSink, TraceEvent, TraceSink};

@@ -152,7 +152,7 @@ impl MetricsSnapshot {
 /// between `sorted[floor(h)]` and `sorted[ceil(h)]`. The previous
 /// nearest-rank rounding biased small-sample percentiles by up to half
 /// a sample spacing (e.g. p50 of `[1, 2, 3, 4]` reported 3.0, not 2.5).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistogramSummary {
     pub count: usize,
     pub min: f64,

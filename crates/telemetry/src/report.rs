@@ -123,6 +123,11 @@ pub struct RunReport {
     /// `analysis::Breakdown`, schema `uoi.breakdown/v1`). `null` when
     /// the run was not traced.
     pub breakdown: Option<Json>,
+    /// Solver-quality aggregation (the JSON form of a
+    /// `convergence::ConvergenceReport`, schema
+    /// `uoi.convergence_report/v1`). `null` when the run was not
+    /// traced or emitted no convergence records.
+    pub convergence: Option<Json>,
     /// Telemetry self-health: currently `dropped_records`, the number
     /// of trace lines lost to sink I/O errors. `null` when no sink was
     /// installed; a non-zero count means the trace file is incomplete
@@ -144,6 +149,7 @@ impl RunReport {
             metrics: None,
             degradation: None,
             breakdown: None,
+            convergence: None,
             telemetry_health: None,
             headers: Vec::new(),
             rows: Vec::new(),
@@ -177,6 +183,13 @@ impl RunReport {
     /// `analysis::Breakdown::to_json`).
     pub fn with_breakdown(mut self, breakdown: Json) -> Self {
         self.breakdown = Some(breakdown);
+        self
+    }
+
+    /// Attach a convergence report (already serialised via
+    /// `convergence::ConvergenceReport::to_json`).
+    pub fn with_convergence(mut self, convergence: Json) -> Self {
+        self.convergence = Some(convergence);
         self
     }
 
@@ -236,6 +249,10 @@ impl RunReport {
                 self.degradation.clone().unwrap_or(Json::Null),
             ),
             ("breakdown", self.breakdown.clone().unwrap_or(Json::Null)),
+            (
+                "convergence",
+                self.convergence.clone().unwrap_or(Json::Null),
+            ),
             (
                 "telemetry",
                 self.telemetry_health.clone().unwrap_or(Json::Null),
@@ -389,6 +406,7 @@ mod tests {
         assert_eq!(doc.get("metrics"), Some(&Json::Null));
         assert_eq!(doc.get("degradation"), Some(&Json::Null));
         assert_eq!(doc.get("breakdown"), Some(&Json::Null));
+        assert_eq!(doc.get("convergence"), Some(&Json::Null));
         assert_eq!(doc.get("telemetry"), Some(&Json::Null));
     }
 
@@ -417,6 +435,25 @@ mod tests {
                 .unwrap()
                 .as_num(),
             Some(3.0)
+        );
+    }
+
+    #[test]
+    fn convergence_section_serialises() {
+        let conv = Json::obj(vec![
+            ("schema", Json::str("uoi.convergence_report/v1")),
+            ("tasks", Json::num(44.0)),
+            ("nonconverged_fraction", Json::num(0.0)),
+        ]);
+        let report = RunReport::new("traced", "t").with_convergence(conv);
+        let doc = Json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(
+            doc.get("convergence")
+                .unwrap()
+                .get("tasks")
+                .unwrap()
+                .as_num(),
+            Some(44.0)
         );
     }
 

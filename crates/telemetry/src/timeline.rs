@@ -359,11 +359,13 @@ pub fn build_timeline(events: &[TraceEvent]) -> Timeline {
                 collectives.push(ev.clone());
             }
             // Window transfers and I/O reads are already reflected in
-            // phase charges; faults and hedge decisions don't carry time.
+            // phase charges; faults, hedge decisions, and convergence
+            // records don't carry timeline time.
             TraceEvent::WindowTransfer { .. }
             | TraceEvent::Io { .. }
             | TraceEvent::Fault { .. }
-            | TraceEvent::Hedge { .. } => {}
+            | TraceEvent::Hedge { .. }
+            | TraceEvent::Convergence { .. } => {}
         }
     }
 

@@ -100,6 +100,40 @@ pub enum TraceEvent {
         /// Virtual time the fault fired.
         t: f64,
     },
+    /// Solver-quality outcome of one UoI task: the ADMM iteration
+    /// count, final residuals, convergence flag, the selected support,
+    /// and a decimated per-iteration primal-residual curve for one
+    /// (bootstrap, lambda) selection solve or one estimation bootstrap.
+    Convergence {
+        /// Rank that owned the task (0 for serial fits).
+        rank: usize,
+        /// Pipeline stage: "selection" or "estimation".
+        stage: &'static str,
+        /// Bootstrap index within its stage.
+        bootstrap: usize,
+        /// Lambda index on the path (0 for estimation tasks).
+        lambda_idx: usize,
+        /// Regularisation value (0.0 for estimation OLS tasks).
+        lambda: f64,
+        /// ADMM iterations performed (0 for direct OLS estimation).
+        iterations: usize,
+        /// Iteration cap in force; `iterations == max_iter` without
+        /// convergence means the task rode the cap.
+        max_iter: usize,
+        /// Whether the solver met tolerance before the cap.
+        converged: bool,
+        /// Final primal residual.
+        primal_residual: f64,
+        /// Final dual residual.
+        dual_residual: f64,
+        /// Selected support indices (empty for estimation tasks).
+        support: Vec<usize>,
+        /// Decimated primal-residual curve (empty unless curve capture
+        /// was enabled on the solver).
+        curve: Vec<f64>,
+        /// Virtual (dist) or wall (serial) seconds at emission.
+        t: f64,
+    },
     /// A speculation decision on a straggling task: a hedge replica
     /// spawned, the replica's result won, the losing party was
     /// cancelled, or a replica's bits diverged from the owner's.
@@ -131,6 +165,7 @@ impl TraceEvent {
             | TraceEvent::WindowTransfer { rank, .. }
             | TraceEvent::Io { rank, .. }
             | TraceEvent::Fault { rank, .. }
+            | TraceEvent::Convergence { rank, .. }
             | TraceEvent::Hedge { rank, .. } => Some(*rank),
             TraceEvent::Collective { .. } => None,
         }
@@ -147,6 +182,7 @@ impl TraceEvent {
             TraceEvent::WindowTransfer { .. } => "window_transfer",
             TraceEvent::Io { .. } => "io",
             TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Convergence { .. } => "convergence",
             TraceEvent::Hedge { .. } => "hedge",
         }
     }
@@ -259,6 +295,42 @@ impl TraceEvent {
                 ("detail", Json::str(detail.clone())),
                 ("t", Json::num(*t)),
             ]),
+            TraceEvent::Convergence {
+                rank,
+                stage,
+                bootstrap,
+                lambda_idx,
+                lambda,
+                iterations,
+                max_iter,
+                converged,
+                primal_residual,
+                dual_residual,
+                support,
+                curve,
+                t,
+            } => Json::obj(vec![
+                ("ev", Json::str("convergence")),
+                ("rank", Json::num(*rank as f64)),
+                ("stage", Json::str(*stage)),
+                ("bootstrap", Json::num(*bootstrap as f64)),
+                ("lambda_idx", Json::num(*lambda_idx as f64)),
+                ("lambda", Json::num(*lambda)),
+                ("iterations", Json::num(*iterations as f64)),
+                ("max_iter", Json::num(*max_iter as f64)),
+                ("converged", Json::Bool(*converged)),
+                ("primal_residual", Json::num(*primal_residual)),
+                ("dual_residual", Json::num(*dual_residual)),
+                (
+                    "support",
+                    Json::Arr(support.iter().map(|&f| Json::num(f as f64)).collect()),
+                ),
+                (
+                    "curve",
+                    Json::Arr(curve.iter().map(|&v| Json::num(v)).collect()),
+                ),
+                ("t", Json::num(*t)),
+            ]),
             TraceEvent::Hedge {
                 rank,
                 action,
@@ -339,6 +411,34 @@ impl TraceEvent {
                 detail: v.get("detail")?.as_str()?.to_string(),
                 t: num("t")?,
             }),
+            "convergence" => Some(TraceEvent::Convergence {
+                rank: idx("rank")?,
+                stage: intern_stage(v.get("stage")?.as_str()?),
+                bootstrap: idx("bootstrap")?,
+                lambda_idx: idx("lambda_idx")?,
+                lambda: num("lambda")?,
+                iterations: idx("iterations")?,
+                max_iter: idx("max_iter")?,
+                converged: match v.get("converged")? {
+                    Json::Bool(b) => *b,
+                    _ => return None,
+                },
+                primal_residual: num("primal_residual")?,
+                dual_residual: num("dual_residual")?,
+                support: v
+                    .get("support")?
+                    .as_arr()?
+                    .iter()
+                    .map(|j| j.as_num().map(|x| x as usize))
+                    .collect::<Option<Vec<_>>>()?,
+                curve: v
+                    .get("curve")?
+                    .as_arr()?
+                    .iter()
+                    .map(Json::as_num)
+                    .collect::<Option<Vec<_>>>()?,
+                t: num("t")?,
+            }),
             "hedge" => Some(TraceEvent::Hedge {
                 rank: idx("rank")?,
                 action: intern_hedge_action(v.get("action")?.as_str()?),
@@ -369,6 +469,16 @@ fn intern_kind(s: &str) -> &'static str {
         "get" => "get",
         "get_async" => "get_async",
         "put" => "put",
+        _ => "Unknown",
+    }
+}
+
+/// Map a parsed convergence stage label back to the `&'static str` the
+/// pipelines use, so decoded events compare equal to recorded ones.
+fn intern_stage(s: &str) -> &'static str {
+    match s {
+        "selection" => "selection",
+        "estimation" => "estimation",
         _ => "Unknown",
     }
 }
@@ -626,6 +736,21 @@ mod tests {
                 owner: 1,
                 replica: 0,
                 t: 0.95,
+            },
+            TraceEvent::Convergence {
+                rank: 0,
+                stage: "selection",
+                bootstrap: 2,
+                lambda_idx: 3,
+                lambda: 0.125,
+                iterations: 41,
+                max_iter: 150,
+                converged: true,
+                primal_residual: 1e-7,
+                dual_residual: 5e-8,
+                support: vec![0, 4, 17],
+                curve: vec![1.0, 0.25, 0.0625],
+                t: 0.97,
             },
             TraceEvent::SpanEnd {
                 id: 1,

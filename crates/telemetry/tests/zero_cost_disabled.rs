@@ -1,0 +1,79 @@
+//! Zero-cost contract for disabled telemetry: with
+//! [`Telemetry::disabled()`], the convergence-tracing hot-path hooks
+//! (`record_with`, counters, gauges, histograms) perform zero heap
+//! allocations — the event-building closure must never even run. A
+//! counting global allocator makes the claim falsifiable.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use uoi_telemetry::{Telemetry, TraceEvent};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_telemetry_hot_path_never_allocates() {
+    let t = Telemetry::disabled();
+    assert!(!t.tracing_enabled());
+
+    let closure_ran = AtomicUsize::new(0);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+
+    for k in 0..64 {
+        // The closure would allocate (Vec for support and curve) — but
+        // with telemetry disabled it must never be invoked.
+        t.record_with(|| {
+            closure_ran.fetch_add(1, Ordering::SeqCst);
+            TraceEvent::Convergence {
+                rank: 0,
+                stage: "selection",
+                bootstrap: k,
+                lambda_idx: 0,
+                lambda: 0.1,
+                iterations: 25,
+                max_iter: 1000,
+                converged: true,
+                primal_residual: 1e-7,
+                dual_residual: 1e-7,
+                support: vec![1, 2, 3],
+                curve: vec![1.0, 0.1, 0.01],
+                t: 0.0,
+            }
+        });
+        t.incr("solver.nonconverged", 1);
+        t.observe("solver.iterations", 25.0);
+        t.gauge("uoi.progress.completion", 0.5);
+    }
+
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        closure_ran.load(Ordering::SeqCst),
+        0,
+        "closure must not run"
+    );
+    assert_eq!(
+        allocs, 0,
+        "disabled telemetry allocated {allocs} times on the hot path"
+    );
+}

@@ -24,6 +24,12 @@
 # regression fails the snapshot even on a fresh checkout. The straggler
 # rep runs after the wall-clock reps and never touches the walls.
 #
+# Schema 6 adds a `convergence` sub-object per pipeline from the traced
+# reps' run-report convergence blocks: solver task count, non-converged
+# fraction, iteration-cap hits, and the median ADMM iteration count of
+# the selection solves. --compare fails when the non-converged fraction
+# regresses (grows) against the baseline snapshot.
+#
 #   scripts/bench_snapshot.sh                    # fresh snapshot
 #   scripts/bench_snapshot.sh old.json           # snapshot + speedup vs old
 #   scripts/bench_snapshot.sh --compare old.json # snapshot + per-phase diff;
@@ -100,7 +106,7 @@ base_doc = json.load(open(baseline)) if baseline else {}
 base_by_name = {e["name"]: e for e in base_doc.get("pipelines", [])}
 
 doc = {
-    "schema_version": 5,
+    "schema_version": 6,
     "reps": reps,
     "generated_by": "scripts/bench_snapshot.sh",
     "pipelines": [],
@@ -124,6 +130,18 @@ for spec in sys.argv[4:]:
             val = report.get("params", {}).get(key)
             if val is not None:
                 entry[key] = val
+        # Solver-quality block (schema 6): convergence is deterministic
+        # across reps, so the first report that carries one suffices.
+        conv = report.get("convergence")
+        if conv and "convergence" not in entry:
+            sel_iters = (conv.get("stages", {}).get("selection", {})
+                         .get("iterations", {}))
+            entry["convergence"] = {
+                "tasks": conv.get("tasks"),
+                "nonconverged_fraction": conv.get("nonconverged_fraction"),
+                "cap_hits": conv.get("cap_hits"),
+                "median_admm_iterations": sel_iters.get("p50"),
+            }
         breakdown = report.get("breakdown")
         if not breakdown:
             continue
@@ -202,6 +220,19 @@ for entry in new["pipelines"]:
     if wall_old:
         print(f"{entry['name']}: wall {wall_old} ms -> {wall_new} ms "
               f"({wall_new / wall_old - 1.0:+.1%})")
+    old_conv, new_conv = base.get("convergence"), entry.get("convergence")
+    if old_conv and new_conv:
+        f_old = old_conv.get("nonconverged_fraction") or 0.0
+        f_new = new_conv.get("nonconverged_fraction") or 0.0
+        it_old = old_conv.get("median_admm_iterations")
+        it_new = new_conv.get("median_admm_iterations")
+        flag = ""
+        if f_new > f_old + 1e-12:
+            flag = "  REGRESSION (non-converged fraction grew)"
+            failed = True
+        print(f"  nonconverged     {f_old:12.4%}  -> {f_new:12.4%} {flag}")
+        if it_old is not None and it_new is not None:
+            print(f"  admm iter p50    {it_old:12.1f}  -> {it_new:12.1f}")
     old_phases = base.get("phases_model_s")
     if not old_phases:
         print(f"{entry['name']}: baseline has no phase data (schema v1?); "

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Lint an OpenMetrics text exposition written by the uoi-telemetry
+exporter (`render_openmetrics` / `uoi-trace export-metrics`).
+
+    scripts/lint_openmetrics.py results/fig2_lasso_single_node.metrics.prom
+
+Mirrors the in-crate `parse_openmetrics` lint so CI can check the
+on-disk artifact without building Rust: every line must be a
+`# TYPE`/`# HELP`/`# UNIT` comment or a `name[{labels}] value` sample
+whose family was declared by a preceding `# TYPE` line, metric names
+must stick to the OpenMetrics charset, summaries need `_sum`/`_count`,
+and the exposition must end with the mandatory `# EOF` marker. Exits 0
+when the file lints clean, 1 otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[A-Za-z_:][A-Za-z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>\S+)(?:\s+\S+)?$"
+)
+TYPES = {"counter", "gauge", "summary", "histogram", "info", "unknown"}
+
+
+def family_of(sample_name: str, declared: set) -> str | None:
+    """The declared family a sample belongs to, honoring the
+    `_total`/`_sum`/`_count` suffixes counters and summaries append."""
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_total", "_sum", "_count", "_bucket", "_created"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in declared:
+                return base
+    return None
+
+
+def lint(text: str) -> list:
+    errors = []
+    declared: set = set()
+    types: dict = {}
+    sampled: set = set()
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if saw_eof:
+            errors.append(f"line {lineno}: content after # EOF")
+            break
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP", "UNIT"):
+                if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                    errors.append(f"line {lineno}: malformed {parts[1]} comment")
+                    continue
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in TYPES:
+                        errors.append(f"line {lineno}: unknown metric type")
+                        continue
+                    declared.add(parts[2])
+                    types[parts[2]] = parts[3]
+            else:
+                errors.append(f"line {lineno}: unrecognised comment {line!r}")
+            continue
+        if not line.strip():
+            errors.append(f"line {lineno}: blank line in exposition")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        value = m.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                errors.append(f"line {lineno}: non-numeric value {value!r}")
+                continue
+        fam = family_of(m.group("name"), declared)
+        if fam is None:
+            errors.append(
+                f"line {lineno}: sample {m.group('name')!r} has no preceding # TYPE"
+            )
+            continue
+        sampled.add(fam)
+    if not saw_eof:
+        errors.append("exposition does not end with # EOF")
+    for fam, kind in types.items():
+        if kind == "summary" and fam in sampled:
+            for suffix in ("_sum", "_count"):
+                if not re.search(
+                    rf"^{re.escape(fam)}{suffix}\s", text, re.MULTILINE
+                ):
+                    errors.append(f"summary {fam!r} is missing {fam}{suffix}")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        text = open(sys.argv[1], encoding="utf-8").read()
+    except OSError as e:
+        print(f"lint_openmetrics: {e}", file=sys.stderr)
+        return 1
+    errors = lint(text)
+    for err in errors:
+        print(f"lint_openmetrics: {sys.argv[1]}: {err}", file=sys.stderr)
+    if not errors:
+        families = text.count("# TYPE ")
+        samples = sum(
+            1
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        )
+        print(f"{sys.argv[1]}: OK ({families} families, {samples} samples)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

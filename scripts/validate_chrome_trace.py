@@ -17,10 +17,11 @@ from pathlib import Path
 
 SCHEMA_PATH = Path(__file__).resolve().parent.parent / "schemas" / "chrome_trace.schema.json"
 
-PH_KINDS = {"X", "i", "M"}
+PH_KINDS = {"X", "i", "C", "M"}
 REQUIRED_BY_PH = {
     "X": ("ts", "dur", "tid", "cat", "args"),
     "i": ("ts", "tid", "s"),
+    "C": ("ts", "tid", "cat", "args"),
     "M": ("args",),
 }
 
