@@ -12,7 +12,9 @@ use uoi_bench::straggler::{annotate_with_study, StudyPipeline};
 use uoi_bench::{
     emit_run_report, exec_ranks, fmt_bytes, quick_mode, scale_divisor, BenchTrace, Table,
 };
-use uoi_core::{DistOptions, ExecMode, ParallelLayout, UoiFitter, UoiLassoConfig};
+use std::sync::{Arc, Mutex};
+
+use uoi_core::{DistOptions, ExecMode, NumericalConfig, ParallelLayout, UoiFitter, UoiLassoConfig};
 use uoi_data::LinearConfig;
 use uoi_mpisim::{Cluster, Phase};
 use uoi_solvers::{AdmmConfig, PathSchedule};
@@ -53,6 +55,10 @@ fn main() {
     } else {
         PathSchedule::Sequential
     };
+    // UOI_NUMERICAL=1 arms the numerical-resilience guards; the fitted
+    // numbers are bit-identical on this clean dataset and the run report
+    // gains a `numerical` health block (consumed by bench_snapshot.sh).
+    let guarded = std::env::var("UOI_NUMERICAL").is_ok_and(|v| v == "1");
     let cfg = UoiLassoConfig {
         b1: 5,
         b2: 5,
@@ -66,9 +72,16 @@ fn main() {
         },
         support_tol: 1e-6,
         seed: 11,
+        numerical: if guarded {
+            NumericalConfig::guarded()
+        } else {
+            NumericalConfig::default()
+        },
         ..Default::default()
     };
     let (x, y) = (ds.x.clone(), ds.y);
+    let numerical_out = Arc::new(Mutex::new(None));
+    let numerical_slot = Arc::clone(&numerical_out);
     let paper_bytes = point.bytes;
     let trace = BenchTrace::from_env("fig2_lasso_single_node");
     let report = Cluster::new(exec_ranks(), machine())
@@ -88,6 +101,11 @@ fn main() {
                 DistOptions::default().layout(ParallelLayout::admm_only()),
             ));
             let fit = fitter.fit_on(ctx, world, &x, &y);
+            if world.rank() == 0 {
+                if let Some(health) = &fit.numerical {
+                    *numerical_slot.lock().unwrap() = Some(health.to_json());
+                }
+            }
             ctx.span("checkpoint.save", |ctx| {
                 let t_save = ctx
                     .model()
@@ -113,17 +131,17 @@ fn main() {
     }
     t.row(&["Total".into(), format!("{total:.4}"), "100.0%".into()]);
     t.emit("fig2_lasso_single_node");
-    emit_run_report(
-        &trace.annotate(annotate_with_study(
-            t.run_report("fig2_lasso_single_node")
-                .param("modeled_cores", point.cores)
-                .param("threads", threads)
-                .param("admm_schedule", format!("{schedule:?}"))
-                .param("gram_kernel", uoi_linalg::gram::KERNEL_VARIANT)
-                .with_summary(report.run_summary()),
-            StudyPipeline::Lasso,
-        )),
-    );
+    let mut rr = t
+        .run_report("fig2_lasso_single_node")
+        .param("modeled_cores", point.cores)
+        .param("threads", threads)
+        .param("admm_schedule", format!("{schedule:?}"))
+        .param("gram_kernel", uoi_linalg::gram::KERNEL_VARIANT)
+        .with_summary(report.run_summary());
+    if let Some(health) = numerical_out.lock().unwrap().take() {
+        rr = rr.with_numerical(health);
+    }
+    emit_run_report(&trace.annotate(annotate_with_study(rr, StudyPipeline::Lasso)));
 
     println!(
         "paper shape check: computation {:.0}% (paper ~90%), communication {:.0}% (paper <10%)",

@@ -43,7 +43,7 @@ fn main() {
         seed: 13,
     };
     let trace = BenchTrace::from_env("fig7_var_single_node");
-    let out = run.execute_traced(trace.telemetry());
+    let mut out = run.execute_traced(trace.telemetry());
     let l = out.per_core_ledger();
     let kron_max = out.kron_seconds();
     let total = l.total().max(1e-12);
@@ -69,16 +69,16 @@ fn main() {
     ]);
     t.row(&["Total".into(), format!("{total:.4}"), "100.0%".into()]);
     t.emit("fig7_var_single_node");
-    emit_run_report(
-        &trace.annotate(annotate_with_study(
-            t.run_report("fig7_var_single_node")
-                .param("exec_p", p)
-                .param("threads", threads)
-                .param("gram_kernel", uoi_linalg::gram::KERNEL_VARIANT)
-                .with_summary(out.report.run_summary()),
-            StudyPipeline::Var,
-        )),
-    );
+    let mut rr = t
+        .run_report("fig7_var_single_node")
+        .param("exec_p", p)
+        .param("threads", threads)
+        .param("gram_kernel", uoi_linalg::gram::KERNEL_VARIANT)
+        .with_summary(out.report.run_summary());
+    if let Some(health) = out.numerical.take() {
+        rr = rr.with_numerical(health);
+    }
+    emit_run_report(&trace.annotate(annotate_with_study(rr, StudyPipeline::Var)));
 
     println!(
         "paper shape check: computation {:.0}% (paper ~88%); Kron+vec is {:.0}% of the\n\

@@ -4,6 +4,7 @@
 //! uoi-trace results/fig2_lasso_single_node.trace.jsonl   # legacy: chrome + report
 //! uoi-trace breakdown run.trace.jsonl --strict           # per-phase report, gate on drops
 //! uoi-trace convergence run.trace.jsonl [--json]         # solver-quality report
+//! uoi-trace numerical run.trace.jsonl [--json]           # numerical-health report
 //! uoi-trace progress run.trace.jsonl [--json]            # replayed progress/ETA
 //! uoi-trace export-metrics run.trace.jsonl [--out m.prom]
 //! ```
@@ -23,7 +24,8 @@ use std::process::ExitCode;
 
 use uoi_telemetry::{
     analyze, build_timeline, parse_openmetrics, render_openmetrics, to_chrome_trace,
-    ConvergenceReport, Json, JsonlSink, MetricsRegistry, ProgressPlan, ProgressTracker, TraceEvent,
+    ConvergenceReport, Json, JsonlSink, MetricsRegistry, NumericalHealthReport, ProgressPlan,
+    ProgressTracker, TraceEvent,
 };
 
 struct Args {
@@ -39,6 +41,7 @@ fn usage() -> ! {
          [--run-report <report.json>]\n\
          \x20      uoi-trace breakdown <trace.jsonl> [--strict] [--run-report <report.json>]\n\
          \x20      uoi-trace convergence <trace.jsonl> [--json]\n\
+         \x20      uoi-trace numerical <trace.jsonl> [--json]\n\
          \x20      uoi-trace progress <trace.jsonl> [--json]\n\
          \x20      uoi-trace export-metrics <trace.jsonl> [--out <metrics.prom>]"
     );
@@ -161,6 +164,29 @@ fn cmd_convergence(argv: &[String]) -> ExitCode {
         eprintln!(
             "uoi-trace: {} holds no convergence records (older trace, or telemetry \
              was metrics-only)",
+            input.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    if as_json {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_numerical(argv: &[String]) -> ExitCode {
+    let (input, as_json) = subcommand_args(argv, "--json");
+    let events = match load_events(&input) {
+        Ok(ev) => ev,
+        Err(c) => return c,
+    };
+    let report = NumericalHealthReport::from_events(&events);
+    if report.events == 0 {
+        eprintln!(
+            "uoi-trace: {} holds no numerical records (run was clean and unguarded, \
+             or predates the resilience subsystem)",
             input.display()
         );
         return ExitCode::FAILURE;
@@ -357,6 +383,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(|s| s.as_str()) {
         Some("convergence") => cmd_convergence(&argv[1..]),
+        Some("numerical") => cmd_numerical(&argv[1..]),
         Some("progress") => cmd_progress(&argv[1..]),
         Some("export-metrics") => cmd_export_metrics(&argv[1..]),
         Some("breakdown") => cmd_breakdown(&argv[1..]),

@@ -10,6 +10,8 @@
 //! modeled core count, so the reported phase breakdown is the modeled
 //! machine's, not the host's.
 
+use std::sync::{Arc, Mutex};
+
 use uoi_core::uoi_lasso::UoiLassoConfig;
 use uoi_core::uoi_var::UoiVarConfig;
 use uoi_core::{DistOptions, ExecMode, UoiVarFitter};
@@ -18,7 +20,7 @@ use uoi_data::{VarConfig, VarProcess};
 use uoi_linalg::Matrix;
 use uoi_mpisim::{Cluster, MachineModel, PhaseLedger, SimReport};
 use uoi_solvers::{AdmmConfig, DistLassoAdmm};
-use uoi_telemetry::Telemetry;
+use uoi_telemetry::{Json, Telemetry};
 use uoi_tieredio::distribution::tier2_shuffle;
 
 /// Parameters of one representative `UoI_LASSO` scaling run.
@@ -198,6 +200,9 @@ pub struct VarScalingRun {
 pub struct VarRunOutcome {
     /// Per-rank ledgers and events.
     pub report: SimReport<(PhaseLedger, f64)>,
+    /// Rank-0 numerical-health report when the run was guarded
+    /// (`UOI_NUMERICAL=1`), already serialised for the run report.
+    pub numerical: Option<Json>,
 }
 
 impl VarRunOutcome {
@@ -248,6 +253,10 @@ impl VarScalingRun {
             seed: self.seed,
         });
         let series = proc.simulate(self.samples, 50, self.seed ^ 0x5E);
+        // UOI_NUMERICAL=1 arms the numerical-resilience guards; the
+        // fitted numbers stay bit-identical on the clean simulated series
+        // and rank 0's health report is threaded out for the run report.
+        let guarded = std::env::var("UOI_NUMERICAL").is_ok_and(|v| v == "1");
         let var_cfg = UoiVarConfig {
             order: 1,
             block_len: None,
@@ -263,6 +272,11 @@ impl VarScalingRun {
                 },
                 support_tol: 1e-6,
                 seed: self.seed,
+                numerical: if guarded {
+                    uoi_core::NumericalConfig::guarded()
+                } else {
+                    uoi_core::NumericalConfig::default()
+                },
                 ..Default::default()
             },
         };
@@ -271,14 +285,22 @@ impl VarScalingRun {
                 .layout(uoi_core::ParallelLayout::admm_only())
                 .n_readers(self.n_readers),
         ));
+        let numerical_out = Arc::new(Mutex::new(None));
+        let numerical_slot = Arc::clone(&numerical_out);
         let report = Cluster::new(self.exec_ranks, self.model.clone())
             .modeled_ranks(self.modeled_cores)
             .with_telemetry(telemetry)
             .run(move |ctx, world| {
-                let (_fit, kron) = fitter.fit_on(ctx, world, &series);
+                let (fit, kron) = fitter.fit_on(ctx, world, &series);
+                if world.rank() == 0 {
+                    if let Some(health) = &fit.numerical {
+                        *numerical_slot.lock().unwrap() = Some(health.to_json());
+                    }
+                }
                 (ctx.ledger(), kron.kron_seconds)
             });
-        VarRunOutcome { report }
+        let numerical = numerical_out.lock().unwrap().take();
+        VarRunOutcome { report, numerical }
     }
 }
 

@@ -46,6 +46,15 @@ pub enum UoiError {
     /// is never a scheduling artifact — it is silent corruption, and the
     /// fit refuses to pick a winner.
     SpeculationDivergence { stage: String, task: usize },
+    /// A numerical breakdown the resilience ladder could not absorb, or
+    /// an input the validation pass rejected under
+    /// [`ValidationPolicy::Reject`](uoi_data::ValidationPolicy). `detail`
+    /// names the first offending coordinate or the exhausted fallback
+    /// rung.
+    Numerical {
+        stage: &'static str,
+        detail: String,
+    },
 }
 
 impl fmt::Display for UoiError {
@@ -92,6 +101,9 @@ impl fmt::Display for UoiError {
                 "speculative replica diverged from owner result for task {task} in {stage} \
                  (silent corruption tripwire)"
             ),
+            UoiError::Numerical { stage, detail } => {
+                write!(f, "numerical failure in {stage}: {detail}")
+            }
         }
     }
 }
@@ -101,6 +113,15 @@ impl std::error::Error for UoiError {}
 impl From<uoi_solvers::InvalidConfig> for UoiError {
     fn from(e: uoi_solvers::InvalidConfig) -> Self {
         UoiError::InvalidConfig(e.0)
+    }
+}
+
+impl From<uoi_data::DataError> for UoiError {
+    fn from(e: uoi_data::DataError) -> Self {
+        UoiError::Numerical {
+            stage: "validation",
+            detail: e.to_string(),
+        }
     }
 }
 

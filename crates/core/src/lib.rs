@@ -12,6 +12,7 @@ pub mod error;
 pub mod fitter;
 pub mod granger;
 pub mod metrics;
+pub mod numerical;
 pub mod parallelism;
 pub mod recovery;
 pub mod speculation;
@@ -31,6 +32,7 @@ pub use error::UoiError;
 pub use fitter::{DistOptions, ExecMode, UoiFitter, UoiVarFitter};
 pub use granger::{Edge, GrangerNetwork};
 pub use metrics::{estimation_error, EstimationError, SelectionCounts};
+pub use numerical::{NumericalConfig, NumericalLedger};
 pub use parallelism::{LayoutComms, ParallelLayout};
 pub use recovery::{
     degraded_fallback_plan, RecoveryConfig, RecoveryReport, TaskOwnership, UOI_RECOVERY_ENV,

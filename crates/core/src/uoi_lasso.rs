@@ -17,14 +17,18 @@ use crate::degraded::{
     DegradationReport,
 };
 use crate::error::{all_finite, UoiError};
+use crate::numerical::NumericalConfig;
 use crate::support::{dedup_family, intersect_many};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use uoi_data::bootstrap::{resample_weights, row_bootstrap};
 use uoi_data::rng::substream;
 use uoi_linalg::{dot, kernels, weighted_sumsq, Matrix};
-use uoi_solvers::{lambda_path, ols_on_support_gram, support_of, AdmmConfig, LassoAdmm};
-use uoi_telemetry::{Telemetry, TraceEvent};
+use uoi_solvers::{
+    lambda_path, ols_on_support_gram, ols_on_support_gram_health, support_of, AdmmConfig,
+    LassoAdmm, ResilientLasso, SolverError,
+};
+use uoi_telemetry::{NumericalHealthReport, Telemetry, TraceEvent};
 
 /// Run `body` inside a named trace span when tracing is on. Serial fits
 /// have no virtual clock, so the span carries wall time: `t = 0` at
@@ -97,6 +101,11 @@ pub struct UoiLassoConfig {
     pub degradation: DegradationConfig,
     /// Bootstrap-granular checkpoint/resume; `None` disables it.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Numerical resilience: guarded solves (jitter ladder, divergence
+    /// tripwires, rho restarts), optional input validation, and the
+    /// per-fit health report. Fully inert by default — the unguarded
+    /// path is taken and results are bit-identical to it.
+    pub numerical: NumericalConfig,
 }
 
 impl Default for UoiLassoConfig {
@@ -114,6 +123,7 @@ impl Default for UoiLassoConfig {
             telemetry: Telemetry::disabled(),
             degradation: DegradationConfig::default(),
             checkpoint: None,
+            numerical: NumericalConfig::default(),
         }
     }
 }
@@ -186,6 +196,10 @@ impl UoiLassoConfig {
             // lambda cold), so it invalidates checkpoints; `threads`
             // deliberately does not — it never affects the numbers.
             (self.admm.schedule == uoi_solvers::PathSchedule::Fused) as u64,
+            // Guarded solves can alter results on degenerate inputs (the
+            // clean path is bit-identical, but a checkpoint cannot know
+            // the input was clean), so arming resilience invalidates.
+            self.numerical.enabled as u64,
             x.rows() as u64,
             x.cols() as u64,
         ];
@@ -265,6 +279,11 @@ impl UoiLassoConfigBuilder {
         self
     }
 
+    pub fn numerical(mut self, numerical: NumericalConfig) -> Self {
+        self.cfg.numerical = numerical;
+        self
+    }
+
     pub fn build(self) -> Result<UoiLassoConfig, UoiError> {
         self.cfg.validate()?;
         Ok(self.cfg)
@@ -297,6 +316,11 @@ pub struct UoiFit {
     /// Speculative-hedging account, present when the fit ran through the
     /// recovering pipeline with speculation enabled.
     pub speculation: Option<crate::speculation::SpeculationReport>,
+    /// Numerical-health account, present when
+    /// [`NumericalConfig::active`](crate::numerical::NumericalConfig::active)
+    /// — every jitter escalation, rho restart, divergence outcome, data
+    /// issue, and dropped task, folded into a deterministic report.
+    pub numerical: Option<NumericalHealthReport>,
 }
 
 impl UoiFit {
@@ -337,6 +361,13 @@ pub fn fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> UoiFit {
     note = "use `uoi_core::UoiFitter::new(cfg).fit(x, y)` instead"
 )]
 pub fn try_fit_uoi_lasso(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<UoiFit, UoiError> {
+    // The validation pass runs before the structural checks: under
+    // `Sanitize` it scrubs the non-finite cells the structural check
+    // would otherwise reject.
+    if let Some((xs, ys)) = cfg.numerical.prevalidate(x, y, &cfg.telemetry)? {
+        validate_lasso_inputs(&xs, &ys, cfg)?;
+        return fit_inner(&xs, &ys, cfg);
+    }
     validate_lasso_inputs(x, y, cfg)?;
     fit_inner(x, y, cfg)
 }
@@ -421,13 +452,80 @@ pub(crate) fn selection_solve(
     cfg: &UoiLassoConfig,
     k: usize,
 ) -> Vec<Vec<usize>> {
+    // A task that falls off the fallback ladder degrades to the empty
+    // model on every lambda: callers that cannot drop tasks (the
+    // recovering pipeline's exchange protocol requires a payload per
+    // task) still complete, contributing nothing to any intersection.
+    selection_solve_checked(gram, xty, lambdas, cfg, k)
+        .unwrap_or_else(|| vec![Vec::new(); lambdas.len()])
+}
+
+/// [`selection_solve`] with drop semantics: `None` means the task fell
+/// off the end of the numerical fallback ladder (factorisation exhausted
+/// or a lambda stayed diverged through every rho restart) and should be
+/// dropped into the degraded-mode quorum accounting.
+///
+/// With resilience disabled this is the historical unguarded solve —
+/// zero extra work, bit-identical iterates — and never returns `None`
+/// (breakdowns panic, as they always did).
+pub(crate) fn selection_solve_checked(
+    gram: Matrix,
+    xty: &[f64],
+    lambdas: &[f64],
+    cfg: &UoiLassoConfig,
+    k: usize,
+) -> Option<Vec<Vec<usize>>> {
     let mut admm = cfg.admm.clone();
     admm.capture_curve = cfg.telemetry.tracing_enabled();
-    let mut solver = LassoAdmm::from_gram(gram, admm);
+    if !cfg.numerical.enabled {
+        let mut solver = LassoAdmm::from_gram(gram, admm);
+        if let Some(m) = cfg.telemetry.metrics() {
+            solver = solver.with_metrics(m);
+        }
+        let sols = solver.solve_path_with_rhs(xty, lambdas);
+        return Some(record_selection_supports(sols, lambdas, cfg, k));
+    }
+    let ledger = cfg.numerical.ledger();
+    let mut solver = match ResilientLasso::from_gram(gram, admm, cfg.numerical.resilience) {
+        Ok(s) => s,
+        Err(e) => {
+            if let SolverError::Factorization(b) = &e {
+                ledger.note_factor(
+                    &cfg.telemetry,
+                    "selection",
+                    k,
+                    &uoi_solvers::FactorHealth {
+                        attempts: u32::MAX,
+                        jitter: b.last_jitter,
+                        condest: None,
+                    },
+                );
+            }
+            ledger.note_task_dropped(&cfg.telemetry, "selection", k, &e.to_string());
+            return None;
+        }
+    };
     if let Some(m) = cfg.telemetry.metrics() {
         solver = solver.with_metrics(m);
     }
-    let sols = solver.solve_path_with_rhs(xty, lambdas);
+    let (sols, health) = solver.solve_path_with_rhs(xty, lambdas);
+    ledger.note_path(&cfg.telemetry, "selection", k, &health);
+    if !health.diverged.is_empty() {
+        ledger.note_task_dropped(&cfg.telemetry, "selection", k, "divergence_unrecovered");
+        return None;
+    }
+    Some(record_selection_supports(sols, lambdas, cfg, k))
+}
+
+/// Extract per-lambda supports from a solved path, emitting one
+/// [`TraceEvent::Convergence`] per lambda — shared by the guarded and
+/// unguarded selection solves so their trace output is identical.
+fn record_selection_supports(
+    sols: Vec<uoi_solvers::AdmmSolution>,
+    lambdas: &[f64],
+    cfg: &UoiLassoConfig,
+    k: usize,
+) -> Vec<Vec<usize>> {
     let mut supports = Vec::with_capacity(sols.len());
     for (j, sol) in sols.into_iter().enumerate() {
         let support = support_of(&sol.beta, cfg.support_tol);
@@ -590,7 +688,7 @@ pub(crate) fn estimation_task(
         eval_idx,
         n_train,
     };
-    let full = estimation_score(xu, yc, family_u, union, p, cfg, &sys);
+    let full = estimation_score(xu, yc, family_u, union, p, cfg, &sys, k);
     record_estimation_convergence(&cfg.telemetry, k);
     full
 }
@@ -607,6 +705,7 @@ pub(crate) fn estimation_score(
     p: usize,
     cfg: &UoiLassoConfig,
     sys: &EstimationSystem,
+    k: usize,
 ) -> Vec<f64> {
     let EstimationSystem {
         gram_u,
@@ -624,8 +723,25 @@ pub(crate) fn estimation_score(
     };
 
     let mut best: Option<(f64, Vec<f64>)> = None;
-    for support_u in family_u {
-        let beta_u = ols_on_support_gram(gram_u, xty_u, support_u, n_train);
+    for (c, support_u) in family_u.iter().enumerate() {
+        // The guarded OLS walks the jitter ladder on singular sub-Grams
+        // and reports what it consumed; the unguarded historical path
+        // stays the default (identical results on clean candidates).
+        let beta_u = if cfg.numerical.enabled {
+            let (beta_u, health) = ols_on_support_gram_health(gram_u, xty_u, support_u, n_train);
+            if health != uoi_solvers::FactorHealth::clean() {
+                cfg.numerical.ledger().note_candidate_factor(
+                    &cfg.telemetry,
+                    "estimation",
+                    k,
+                    c,
+                    &health,
+                );
+            }
+            beta_u
+        } else {
+            ols_on_support_gram(gram_u, xty_u, support_u, n_train)
+        };
         let loss = match cfg.score {
             EstimationScore::Mse => {
                 let mut sum = 0.0;
@@ -763,22 +879,31 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
                 .iter()
                 .map(|&k| selection_weights(xc.rows(), cfg.seed, k))
                 .collect();
+            if cfg.numerical.active() {
+                for (&k, w) in to_compute.iter().zip(&weights) {
+                    note_degenerate_resample(cfg, "selection", k, w);
+                }
+            }
             let wrefs: Vec<&[f64]> = weights.iter().map(|w| w.as_slice()).collect();
             let systems = uoi_linalg::gram_rhs_batch(&xc, &yc, &wrefs);
             let work: Vec<_> = to_compute.iter().copied().zip(systems).collect();
             let solved = work
                 .into_par_iter()
                 .map(|(k, (gram, xty))| {
-                    let supports = selection_solve(gram.into_upper(), &xty, &lambdas, cfg, k);
-                    if let Some(st) = &store {
-                        st.save_supports("sel", k, &supports)?;
+                    // `None` = the task fell off the numerical fallback
+                    // ladder; the slot stays empty and the task joins
+                    // the degraded-mode quorum accounting below. Dropped
+                    // tasks are never checkpointed: a rerun retries them.
+                    let supports = selection_solve_checked(gram.into_upper(), &xty, &lambdas, cfg, k);
+                    if let (Some(st), Some(sup)) = (&store, &supports) {
+                        st.save_supports("sel", k, sup)?;
                     }
                     computed.fetch_add(1, Ordering::SeqCst);
                     Ok((k, supports))
                 })
                 .collect::<Result<Vec<_>, UoiError>>()?;
             for (k, supports) in solved {
-                slots[k] = Some(supports);
+                slots[k] = supports;
             }
             Ok::<_, UoiError>(slots)
         })?;
@@ -854,6 +979,11 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
                 .iter()
                 .map(|&k| estimation_resample(xu.rows(), cfg.seed, k))
                 .collect();
+            if cfg.numerical.active() {
+                for (&k, (w, _, _)) in to_compute.iter().zip(&resamples) {
+                    note_degenerate_resample(cfg, "estimation", k, w);
+                }
+            }
             let wrefs: Vec<&[f64]> = resamples.iter().map(|(w, _, _)| w.as_slice()).collect();
             let systems = uoi_linalg::gram_rhs_batch(&xu, &yc, &wrefs);
             let work: Vec<_> = to_compute
@@ -871,7 +1001,7 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
                         eval_idx,
                         n_train,
                     };
-                    let full = estimation_score(&xu, &yc, &family_u, &union, p, cfg, &sys);
+                    let full = estimation_score(&xu, &yc, &family_u, &union, p, cfg, &sys, k);
                     record_estimation_convergence(&cfg.telemetry, k);
                     if let (Some(st), Some(stage)) = (&store, &est_stage) {
                         st.save_coeffs(stage, k, &full)?;
@@ -926,7 +1056,30 @@ pub(crate) fn fit_inner(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig) -> Result<U
         degradation,
         recovery: None,
         speculation: None,
+        numerical: cfg
+            .numerical
+            .active()
+            .then(|| cfg.numerical.ledger().drain_report()),
     })
+}
+
+/// Flag a resample whose multiplicity mass sits on at most one distinct
+/// row: its weighted Gram has rank <= 1, the classic zero-variance
+/// degeneracy. Flag-only — the guarded solver absorbs the singular
+/// system; this just names the cause in the health report.
+pub(crate) fn note_degenerate_resample(cfg: &UoiLassoConfig, stage: &'static str, k: usize, w: &[f64]) {
+    let distinct = w.iter().filter(|v| **v > 0.0).count();
+    if distinct <= 1 {
+        cfg.numerical.ledger().note_resample_issue(
+            &cfg.telemetry,
+            stage,
+            k,
+            &uoi_data::DataIssue::DegenerateResample {
+                bootstrap: k,
+                distinct_rows: distinct,
+            },
+        );
+    }
 }
 
 /// Votes required by the soft intersection: `ceil(frac * b1)`, clamped
@@ -1077,6 +1230,7 @@ pub(crate) fn fit_inner_materialized(x: &Matrix, y: &[f64], cfg: &UoiLassoConfig
         degradation: None,
         recovery: None,
         speculation: None,
+        numerical: None,
     }
 }
 

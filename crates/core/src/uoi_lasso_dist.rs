@@ -17,6 +17,7 @@
 //! [`ParallelLayout::admm_only`] layout all cores serve one distributed
 //! solver, the configuration of the paper's multi-node scaling runs.
 
+use crate::numerical::NumericalLedger;
 use crate::parallelism::ParallelLayout;
 use crate::support::dedup_family;
 use crate::uoi_lasso::{bootstrap_with_oob, UoiFit, UoiLassoConfig};
@@ -24,8 +25,8 @@ use uoi_data::bootstrap::row_bootstrap;
 use uoi_data::rng::substream;
 use uoi_linalg::Matrix;
 use uoi_mpisim::{Comm, RankCtx};
-use uoi_solvers::{support_of, DistLassoAdmm};
-use uoi_telemetry::TraceEvent;
+use uoi_solvers::{support_of, DistLassoAdmm, FactorHealth};
+use uoi_telemetry::{Telemetry, TraceEvent};
 use uoi_tieredio::distribution::{block_range, tier2_shuffle};
 
 /// Fit `UoI_LASSO` distributed over `world`.
@@ -51,6 +52,37 @@ pub fn fit_uoi_lasso_dist(
     let comms = layout.split(ctx, world);
     let c = comms.admm_comm.size();
     let admm_rank = comms.admm_comm.rank();
+
+    // Numerical resilience: a rank-local ledger (never the shared config
+    // ledger — rank closures run concurrently and draining would race).
+    // Every guarded decision below is taken from collective-agreed state,
+    // so all ranks record the same events and return identical health
+    // reports (per lambda group; identical everywhere under `admm_only`).
+    // Only group leaders forward events to the trace sink and counters,
+    // matching the convergence-record convention.
+    let guarded = cfg.numerical.enabled;
+    let ledger = NumericalLedger::default();
+    let num_tel = if comms.is_group_leader() {
+        ctx.telemetry().clone()
+    } else {
+        Telemetry::disabled()
+    };
+
+    // Input validation: every rank validates the same full dataset under
+    // the same policy, so findings (and any scrubbing) agree everywhere
+    // without a collective.
+    let scrubbed = cfg.numerical.validation.map(|policy| {
+        let mut xs = x.clone();
+        let mut ys = y.to_vec();
+        let outcome = uoi_data::validate_xy(&mut xs, &mut ys, policy)
+            .unwrap_or_else(|e| panic!("fit_uoi_lasso_dist: {e}"));
+        ledger.note_validation(&num_tel, &outcome);
+        (xs, ys)
+    });
+    let (x, y): (&Matrix, &[f64]) = match &scrubbed {
+        Some((xs, ys)) => (xs, ys),
+        None => (x, y),
+    };
 
     // Degraded mode: the deterministic task-failure plan is identical on
     // every rank, so all ranks skip the same (bootstrap, stage) tasks and
@@ -131,10 +163,71 @@ pub fn fit_uoi_lasso_dist(
         // touches a collective), and only group leaders emit the record.
         let mut admm = cfg.admm.clone();
         admm.capture_curve = ctx.telemetry().tracing_enabled();
-        let solver = DistLassoAdmm::new(ctx, &comms.admm_comm, xb, admm);
         let my_lambda_ids = layout.lambdas_for(comms.l_group, cfg.q);
         let my_lambdas: Vec<f64> = my_lambda_ids.iter().map(|&j| lambdas[j]).collect();
-        let sols = solver.solve_path(ctx, &comms.admm_comm, &yb, &my_lambdas);
+        let sols = if !guarded {
+            let solver = DistLassoAdmm::new(ctx, &comms.admm_comm, xb, admm);
+            solver.solve_path(ctx, &comms.admm_comm, &yb, &my_lambdas)
+        } else {
+            // Guarded construction. `try_new`'s only collective (the
+            // penalty allreduce) runs before any rank can fail, so all
+            // ranks reach the agreement allreduce below regardless of
+            // who broke: [breakdowns, jitter attempts, jitter] summed
+            // across the ADMM communicator gives every rank the same
+            // verdict and the same (deterministic) health numbers.
+            let attempt = DistLassoAdmm::try_new(ctx, &comms.admm_comm, xb.clone(), admm.clone());
+            let mut stats = match &attempt {
+                Ok(s) => {
+                    let fh = s.factor_health();
+                    vec![0.0, fh.attempts as f64, fh.jitter]
+                }
+                Err(_) => vec![1.0, 0.0, 0.0],
+            };
+            comms.admm_comm.allreduce_sum(ctx, &mut stats);
+            if stats[0] > 0.0 {
+                ledger.note_factor(
+                    &num_tel,
+                    "selection",
+                    k,
+                    &FactorHealth {
+                        attempts: u32::MAX,
+                        jitter: 0.0,
+                        condest: None,
+                    },
+                );
+                ledger.note_task_dropped(&num_tel, "selection", k, "factorization_exhausted");
+                continue;
+            }
+            if stats[1] > 0.0 {
+                ledger.note_factor(
+                    &num_tel,
+                    "selection",
+                    k,
+                    &FactorHealth {
+                        attempts: stats[1] as u32,
+                        jitter: stats[2],
+                        condest: None,
+                    },
+                );
+            }
+            let solver = attempt.expect("no rank reported a factor breakdown");
+            let mut sols = solver.solve_path(ctx, &comms.admm_comm, &yb, &my_lambdas);
+            recover_diverged_dist(
+                ctx,
+                &comms.admm_comm,
+                &xb,
+                &yb,
+                &admm,
+                cfg,
+                &lambdas,
+                &my_lambda_ids,
+                &mut sols,
+                &ledger,
+                &num_tel,
+                k,
+            );
+            sols
+        };
         if comms.is_group_leader() {
             for (&j, sol) in my_lambda_ids.iter().zip(&sols) {
                 let support = support_of(&sol.beta, cfg.support_tol);
@@ -327,7 +420,93 @@ pub fn fit_uoi_lasso_dist(
         degradation,
         recovery: None,
         speculation: None,
+        numerical: cfg.numerical.active().then(|| ledger.drain_report()),
     }
+}
+
+/// Post-hoc divergence detection and bounded-rho recovery for a solved
+/// distributed selection path.
+///
+/// The residuals in `sols` are consensus (allreduced) quantities, so
+/// every rank detects the same divergences and walks the same restart
+/// rungs — control flow stays collectively aligned. Each rung rebuilds
+/// the consensus solver at a Boyd-balanced escalated (or relaxed)
+/// penalty and cold-solves just the diverged lambda, mirroring the
+/// serial [`uoi_solvers::ResilientLasso`] recovery. A lambda that
+/// exhausts the budget degrades to the zero iterate — it then
+/// contributes no selection votes — and is recorded as a dropped
+/// divergence.
+#[allow(clippy::too_many_arguments)]
+fn recover_diverged_dist(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    xb: &Matrix,
+    yb: &[f64],
+    admm: &uoi_solvers::AdmmConfig,
+    cfg: &UoiLassoConfig,
+    lambdas: &[f64],
+    my_lambda_ids: &[usize],
+    sols: &mut [uoi_solvers::AdmmSolution],
+    ledger: &NumericalLedger,
+    num_tel: &Telemetry,
+    k: usize,
+) {
+    let res = cfg.numerical.resilience;
+    let cap = res.divergence_cap;
+    let tripped = |s: &uoi_solvers::AdmmSolution| {
+        !s.converged
+            && (!s.primal_residual.is_finite()
+                || !s.dual_residual.is_finite()
+                || s.primal_residual.abs() > cap
+                || s.dual_residual.abs() > cap)
+    };
+    let diverged: Vec<usize> = (0..sols.len()).filter(|&i| tripped(&sols[i])).collect();
+    if diverged.is_empty() {
+        return;
+    }
+    let mut health = uoi_solvers::PathHealth::default();
+    for &i in &diverged {
+        let j = my_lambda_ids[i];
+        // Boyd residual balancing: same direction rule as the serial
+        // resilient solver (non-finite defaults to increase).
+        let (r, s) = (sols[i].primal_residual, sols[i].dual_residual);
+        let increase = !s.is_finite() || !r.is_finite() || r >= s;
+        let mut recovered = false;
+        for rung in 1..=res.max_rho_restarts {
+            health.rho_restarts += 1;
+            let scale = 10f64.powi(rung as i32);
+            let mut admm_r = admm.clone();
+            admm_r.rho = if increase {
+                admm.rho * scale
+            } else {
+                admm.rho / scale
+            };
+            // Same agreement protocol as construction: the restarted
+            // factorisation may itself break on some rank.
+            let attempt = DistLassoAdmm::try_new(ctx, comm, xb.clone(), admm_r);
+            let mut broke = vec![if attempt.is_err() { 1.0 } else { 0.0 }];
+            comm.allreduce_sum(ctx, &mut broke);
+            if broke[0] > 0.0 {
+                continue;
+            }
+            let solver = attempt.expect("no rank reported a factor breakdown");
+            let redo = solver.solve_path(ctx, comm, yb, &[lambdas[j]]);
+            let sol = redo.into_iter().next().expect("one lambda was solved");
+            if !tripped(&sol) {
+                sols[i] = sol;
+                recovered = true;
+                break;
+            }
+        }
+        if recovered {
+            health.recovered.push(j);
+        } else {
+            sols[i].beta = vec![0.0; sols[i].beta.len()];
+            sols[i].converged = false;
+            health.diverged.push(j);
+        }
+    }
+    ledger.note_path(num_tel, "selection", k, &health);
 }
 
 /// Split a `(rows x (p+1))` shuffled block into design and response.

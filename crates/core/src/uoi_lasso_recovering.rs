@@ -55,6 +55,14 @@ pub fn fit_uoi_lasso_recovering(
     cfg: &UoiLassoConfig,
     rcfg: &RecoveryConfig,
 ) -> Result<UoiFit, UoiError> {
+    // Validation pass first (it may scrub cells the structural check
+    // would reject); the scrubbed data then feeds every round, so
+    // re-executed tasks see the same bits as first executions.
+    let scrubbed = cfg.numerical.prevalidate(x, y, &cfg.telemetry)?;
+    let (x, y): (&Matrix, &[f64]) = match &scrubbed {
+        Some((xs, ys)) => (xs, ys),
+        None => (x, y),
+    };
     validate_lasso_inputs(x, y, cfg)?;
     rcfg.speculation.validate()?;
     if rcfg.world == 0 {
@@ -90,6 +98,14 @@ pub fn fit_uoi_lasso_recovering(
                 &ownership,
                 false,
             ));
+            // The round closures record into the shared config ledger
+            // (each task runs on exactly one owner rank); drained here,
+            // after the cluster is done, so the report covers every
+            // round including re-executions.
+            fit.numerical = cfg
+                .numerical
+                .active()
+                .then(|| cfg.numerical.ledger().drain_report());
             Ok(fit)
         }
         Err(RecoveryError::Exhausted { rounds, failed, .. }) => {
@@ -297,6 +313,10 @@ fn lasso_round(
         degradation: None,
         recovery: None,
         speculation,
+        // Filled by the entry point after the cluster run completes
+        // (rounds record into the shared config ledger; draining inside
+        // a round would tear the report across ranks).
+        numerical: None,
     }
 }
 

@@ -179,6 +179,11 @@ pub struct UoiVarFit {
     /// Speculative-hedging account, present when the fit ran through the
     /// recovering pipeline with speculation enabled.
     pub speculation: Option<crate::speculation::SpeculationReport>,
+    /// Numerical-health account, present when
+    /// [`NumericalConfig::active`](crate::numerical::NumericalConfig::active)
+    /// on `base.numerical` — jitter escalations, rho restarts,
+    /// divergence outcomes, data issues, and dropped tasks.
+    pub numerical: Option<uoi_telemetry::NumericalHealthReport>,
 }
 
 impl UoiVarFit {
@@ -317,6 +322,14 @@ pub fn fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> UoiVarFit {
     note = "use `uoi_core::UoiVarFitter::new(cfg).fit(series)` instead"
 )]
 pub fn try_fit_uoi_var(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit, UoiError> {
+    if let Some(scrubbed) = cfg
+        .base
+        .numerical
+        .prevalidate_series(series, &cfg.base.telemetry)?
+    {
+        validate_var_inputs(&scrubbed, cfg)?;
+        return fit_inner(&scrubbed, cfg);
+    }
     validate_var_inputs(series, cfg)?;
     fit_inner(series, cfg)
 }
@@ -414,16 +427,94 @@ pub(crate) fn var_selection_solve(
     w: &[f64],
     k: usize,
 ) -> Vec<Vec<usize>> {
+    // A task that falls off the numerical fallback ladder degrades to
+    // empty supports on every lambda (callers that require a payload per
+    // task still complete); serial `fit_inner` uses the checked variant
+    // and drops the task into the quorum accounting instead.
+    var_selection_solve_checked(prob, base, p, gram, w, k)
+        .unwrap_or_else(|| vec![Vec::new(); prob.lambdas.len()])
+}
+
+/// [`var_selection_solve`] with drop semantics: `None` means the task
+/// fell off the end of the numerical fallback ladder. With resilience
+/// disabled this is the historical unguarded solve and never `None`.
+pub(crate) fn var_selection_solve_checked(
+    prob: &VarProblem,
+    base: &UoiLassoConfig,
+    p: usize,
+    gram: Matrix,
+    w: &[f64],
+    k: usize,
+) -> Option<Vec<Vec<usize>>> {
     let tracing = base.telemetry.tracing_enabled();
     let mut admm = base.admm.clone();
     admm.capture_curve = tracing;
-    let mut solver = LassoAdmm::from_gram(gram, admm);
-    if let Some(m) = base.telemetry.metrics() {
-        solver = solver.with_metrics(m);
-    }
     let ys: Vec<Vec<f64>> = (0..p).map(|i| prob.reg.y.col(i)).collect();
     let yrefs: Vec<&[f64]> = ys.iter().map(|v| v.as_slice()).collect();
     let xtys = gemv_t_weighted_multi(&prob.reg.x, w, &yrefs);
+
+    // Per-column lambda paths: one shared factorisation, p solves.
+    let mut col_sols: Vec<Vec<uoi_solvers::AdmmSolution>> = Vec::with_capacity(p);
+    if !base.numerical.enabled {
+        let mut solver = LassoAdmm::from_gram(gram, admm);
+        if let Some(m) = base.telemetry.metrics() {
+            solver = solver.with_metrics(m);
+        }
+        for xty in &xtys {
+            col_sols.push(solver.solve_path_with_rhs(xty, &prob.lambdas));
+        }
+    } else {
+        let ledger = base.numerical.ledger();
+        let mut solver =
+            match uoi_solvers::ResilientLasso::from_gram(gram, admm, base.numerical.resilience) {
+                Ok(s) => s,
+                Err(e) => {
+                    if let uoi_solvers::SolverError::Factorization(b) = &e {
+                        ledger.note_factor(
+                            &base.telemetry,
+                            "selection",
+                            k,
+                            &uoi_solvers::FactorHealth {
+                                attempts: u32::MAX,
+                                jitter: b.last_jitter,
+                                condest: None,
+                            },
+                        );
+                    }
+                    ledger.note_task_dropped(&base.telemetry, "selection", k, &e.to_string());
+                    return None;
+                }
+            };
+        if let Some(m) = base.telemetry.metrics() {
+            solver = solver.with_metrics(m);
+        }
+        // One shared factorisation: record its health once, then fold
+        // the p column paths' divergence ledgers together (dedup by
+        // lambda — several columns may trip on the same lambda).
+        ledger.note_factor(&base.telemetry, "selection", k, &solver.factor_health());
+        let mut restarts = 0u32;
+        let mut recovered = std::collections::BTreeSet::new();
+        let mut diverged = std::collections::BTreeSet::new();
+        for xty in &xtys {
+            let (sols, health) = solver.solve_path_with_rhs(xty, &prob.lambdas);
+            restarts += health.rho_restarts;
+            recovered.extend(health.recovered);
+            diverged.extend(health.diverged);
+            col_sols.push(sols);
+        }
+        let path = uoi_solvers::PathHealth {
+            rho_restarts: restarts,
+            recovered: recovered.into_iter().collect(),
+            diverged: diverged.into_iter().collect(),
+            ..uoi_solvers::PathHealth::default()
+        };
+        ledger.note_path(&base.telemetry, "selection", k, &path);
+        if !path.diverged.is_empty() {
+            ledger.note_task_dropped(&base.telemetry, "selection", k, "divergence_unrecovered");
+            return None;
+        }
+    }
+
     // supports[j] = vectorised support at lambda_j. A VAR selection
     // bootstrap is p column paths; the convergence record for lambda_j
     // aggregates across them: worst-case iteration count and residuals,
@@ -435,12 +526,8 @@ pub(crate) fn var_selection_solve(
     } else {
         Vec::new()
     };
-    for (i, xty) in xtys.iter().enumerate() {
-        for (j, sol) in solver
-            .solve_path_with_rhs(xty, &prob.lambdas)
-            .into_iter()
-            .enumerate()
-        {
+    for (i, sols) in col_sols.into_iter().enumerate() {
+        for (j, sol) in sols.into_iter().enumerate() {
             if tracing {
                 let a = &mut aggs[j];
                 if i == 0 || sol.iterations > a.0 {
@@ -478,7 +565,7 @@ pub(crate) fn var_selection_solve(
             });
         }
     }
-    supports
+    Some(supports)
 }
 
 /// The full VAR selection task body for bootstrap `k` (Algorithm 2 lines
@@ -569,22 +656,42 @@ pub(crate) fn var_estimation_resample(
 pub(crate) fn var_estimation_score(
     ctx: &VarEstimationCtx,
     prob: &VarProblem,
+    base: &UoiLassoConfig,
     p: usize,
     gram_u: &Matrix,
     xty_u: &[Vec<f64>],
     eval_rows: &[usize],
     n_train: usize,
+    k: usize,
 ) -> Vec<f64> {
     let u = ctx.u;
     let mut best: Option<(f64, Vec<f64>)> = None;
-    for per_col in &ctx.family_cols {
+    for (c, per_col) in ctx.family_cols.iter().enumerate() {
         // Column i's union-space coefficients at i*u..(i+1)*u.
         let mut beta_u = vec![0.0; p * u];
         for (i, cols) in per_col.iter().enumerate() {
             if cols.is_empty() {
                 continue;
             }
-            let bi = ols_on_support_gram(gram_u, &xty_u[i], cols, n_train);
+            // Guarded OLS on demand: singular per-column sub-Grams climb
+            // the jitter ladder and report per candidate, mirroring the
+            // LASSO estimation step.
+            let bi = if base.numerical.enabled {
+                let (bi, health) =
+                    uoi_solvers::ols_on_support_gram_health(gram_u, &xty_u[i], cols, n_train);
+                if health != uoi_solvers::FactorHealth::clean() {
+                    base.numerical.ledger().note_candidate_factor(
+                        &base.telemetry,
+                        "estimation",
+                        k,
+                        c,
+                        &health,
+                    );
+                }
+                bi
+            } else {
+                ols_on_support_gram(gram_u, &xty_u[i], cols, n_train)
+            };
             beta_u[i * u..(i + 1) * u].copy_from_slice(&bi);
         }
         let mut total = 0.0;
@@ -631,7 +738,7 @@ pub(crate) fn var_estimation_task(
         .into_upper();
     let yrefs: Vec<&[f64]> = ctx.ys.iter().map(|v| v.as_slice()).collect();
     let xty_u = gemv_t_weighted_multi(&ctx.xu, &w, &yrefs);
-    let full = var_estimation_score(ctx, prob, p, &gram_u, &xty_u, &eval_rows, n_train);
+    let full = var_estimation_score(ctx, prob, base, p, &gram_u, &xty_u, &eval_rows, n_train, k);
     crate::uoi_lasso::record_estimation_convergence(&base.telemetry, k);
     full
 }
@@ -764,16 +871,17 @@ pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit
             let solved = work
                 .into_par_iter()
                 .map(|(k, (w, gram))| {
-                    let supports = var_selection_solve(&prob, base, p, gram.into_upper(), &w, k);
-                    if let Some(st) = &store {
-                        st.save_supports("var_sel", k, &supports)?;
+                    let supports =
+                        var_selection_solve_checked(&prob, base, p, gram.into_upper(), &w, k);
+                    if let (Some(st), Some(sup)) = (&store, &supports) {
+                        st.save_supports("var_sel", k, sup)?;
                     }
                     computed.fetch_add(1, Ordering::SeqCst);
                     Ok((k, supports))
                 })
                 .collect::<Result<Vec<_>, UoiError>>()?;
             for (k, supports) in solved {
-                slots[k] = Some(supports);
+                slots[k] = supports;
             }
             Ok::<_, UoiError>(slots)
         })?;
@@ -863,7 +971,7 @@ pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit
                     let yrefs: Vec<&[f64]> = est_ctx.ys.iter().map(|v| v.as_slice()).collect();
                     let xty_u = gemv_t_weighted_multi(&est_ctx.xu, &w, &yrefs);
                     let full = var_estimation_score(
-                        &est_ctx, &prob, p, &gram_u, &xty_u, &eval_rows, n_train,
+                        &est_ctx, &prob, base, p, &gram_u, &xty_u, &eval_rows, n_train, k,
                     );
                     crate::uoi_lasso::record_estimation_convergence(&base.telemetry, k);
                     if let (Some(st), Some(stage)) = (&store, &est_stage) {
@@ -918,6 +1026,10 @@ pub(crate) fn fit_inner(series: &Matrix, cfg: &UoiVarConfig) -> Result<UoiVarFit
         degradation,
         recovery: None,
         speculation: None,
+        numerical: base
+            .numerical
+            .active()
+            .then(|| base.numerical.ledger().drain_report()),
     })
 }
 
@@ -1103,6 +1215,8 @@ pub(crate) fn fit_inner_materialized(series: &Matrix, cfg: &UoiVarConfig) -> Uoi
         degradation: None,
         recovery: None,
         speculation: None,
+        // The materialised reference path never arms the guards.
+        numerical: None,
     }
 }
 

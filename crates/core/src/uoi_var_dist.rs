@@ -82,6 +82,28 @@ pub fn fit_uoi_var_dist(
     assert!(n_raw > d + 4, "series too short");
     let base = &cfg.var.base;
 
+    // Input validation (deterministic scrub, identical on every rank; a
+    // rank-local ledger keeps concurrent rank closures from racing on
+    // the shared config ledger, and only world rank 0 forwards events so
+    // run traces carry each issue once). Solver-level numerical guards
+    // for the lockstep VAR path are documented in DESIGN.md §7 — the
+    // serial VAR and both LASSO paths carry the full ladder.
+    let num_ledger = crate::numerical::NumericalLedger::default();
+    let num_tel = if world.rank() == 0 {
+        ctx.telemetry().clone()
+    } else {
+        uoi_telemetry::Telemetry::disabled()
+    };
+    let scrubbed = base.numerical.validation.map(|policy| {
+        let mut xs = series.clone();
+        let mut dummy = vec![0.0; xs.rows()];
+        let outcome = uoi_data::validate_xy(&mut xs, &mut dummy, policy)
+            .unwrap_or_else(|e| panic!("fit_uoi_var_dist: {e}"));
+        num_ledger.note_validation(&num_tel, &outcome);
+        xs
+    });
+    let series: &Matrix = scrubbed.as_ref().unwrap_or(series);
+
     // Centre (identical everywhere; one membound sweep).
     let means = series.col_means();
     let mut centred = series.clone();
@@ -402,6 +424,10 @@ pub fn fit_uoi_var_dist(
             degradation,
             recovery: None,
             speculation: None,
+            numerical: base
+                .numerical
+                .active()
+                .then(|| num_ledger.drain_report()),
         },
         kron,
     )

@@ -40,6 +40,13 @@ pub fn fit_uoi_var_recovering(
     cfg: &UoiVarConfig,
     rcfg: &RecoveryConfig,
 ) -> Result<UoiVarFit, UoiError> {
+    // Adversarial-input scrub before the cluster spins up, so every rank
+    // (and the degraded fallback) sees the identical sanitised series.
+    let scrubbed = cfg
+        .base
+        .numerical
+        .prevalidate_series(series, &cfg.base.telemetry)?;
+    let series: &Matrix = scrubbed.as_ref().unwrap_or(series);
     validate_var_inputs(series, cfg)?;
     rcfg.speculation.validate()?;
     if rcfg.world == 0 {
@@ -76,6 +83,13 @@ pub fn fit_uoi_var_recovering(
                 &ownership,
                 false,
             ));
+            // Rounds record into the shared config ledger; drained once the
+            // cluster is done, so the per-fit report covers every round
+            // (including replayed work and the entry-scrub issues above).
+            fit.numerical = base
+                .numerical
+                .active()
+                .then(|| base.numerical.ledger().drain_report());
             Ok(fit)
         }
         Err(RecoveryError::Exhausted { rounds, failed, .. }) => {
@@ -244,5 +258,8 @@ fn var_round(
         degradation: None,
         recovery: None,
         speculation,
+        // Per-round events stay in the shared config ledger; the entry
+        // function drains them into the final fit's report.
+        numerical: None,
     }
 }

@@ -23,6 +23,7 @@ pub mod linear;
 pub mod neuro;
 pub mod preprocess;
 pub mod rng;
+pub mod validate;
 pub mod var;
 
 pub use bootstrap::{
@@ -33,4 +34,8 @@ pub use finance::{FinanceConfig, FinanceDataset, DAYS_PER_WEEK};
 pub use linear::{LinearConfig, LinearDataset};
 pub use neuro::{NeuroConfig, NeuroDataset};
 pub use preprocess::{aggregate_last, aggregate_mean, first_differences, Standardizer};
+pub use validate::{
+    check_resample_weights, column_diagnostics, validate_xy, DataError, DataIssue, NonFiniteKind,
+    ValidationOutcome, ValidationPolicy,
+};
 pub use var::{VarConfig, VarProcess};

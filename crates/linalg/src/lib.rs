@@ -33,7 +33,9 @@ pub mod gram;
 pub mod kernels;
 pub mod kron;
 pub mod qr;
+pub mod resilience;
 pub mod sparse;
+pub mod testgen;
 
 pub use blas::{
     axpy, dot, gemm, gemv, gemv_into, gemv_t, gemv_t_into, gemv_t_weighted, mse, mse_into, norm1,
@@ -49,4 +51,8 @@ pub use gram::{
 };
 pub use kron::{kron_dense, IdentityKron};
 pub use qr::{qr_least_squares, Qr};
+pub use resilience::{
+    condest_1norm, factor_jittered, factor_upper_jittered, sym_norm1_upper, FactorBreakdown,
+    JitterLadder, JitteredFactor, JITTER_GROWTH, JITTER_MAX_ATTEMPTS,
+};
 pub use sparse::CsrMatrix;

@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use uoi_linalg::{
-    gemm, gemv, gemv_t, gemv_t_weighted, gram_rhs_batch, kernels, kron_dense, mse, mse_into,
-    syrk_t, syrk_t_weighted, syrk_t_weighted_batch, weighted_sumsq, Cholesky, CsrMatrix,
-    IdentityKron, Matrix,
+    condest_1norm, factor_jittered, gemm, gemv, gemv_t, gemv_t_weighted, gram_rhs_batch, kernels,
+    kron_dense, mse, mse_into, sym_norm1_upper, syrk_t, syrk_t_weighted, syrk_t_weighted_batch,
+    testgen, weighted_sumsq, Cholesky, CsrMatrix, IdentityKron, JitterLadder, Matrix,
 };
 
 /// Strategy: a rows x cols matrix with bounded entries.
@@ -275,6 +275,62 @@ proptest! {
                 prop_assert!((s - a[(i, j)]).abs() < 1e-8 * (n as f64));
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ill-conditioning defenses over the shared `testgen` generators: the
+// jitter ladder is total (factors within its bounded rung budget or
+// reports a typed breakdown — never panics, never loops), and the
+// 1-norm condition estimate tracks a constructed condition number.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn jitter_ladder_is_total_on_degenerate_grams(seed in 0u64..300, kind in 0usize..4) {
+        let p = 8;
+        let x = match kind {
+            0 => testgen::duplicated_columns_design(seed, 10, p, 3),
+            1 => testgen::near_duplicate_columns_design(seed, 10, p, 3, 1e-14),
+            2 => testgen::scale_disparity_design(seed, 12, p, 1e12),
+            _ => testgen::constant_column_design(seed, 12, p, 2, 0.0),
+        };
+        let gram = syrk_t(&x);
+        let trace: f64 = (0..p).map(|i| gram[(i, i)]).sum();
+        let ladder = JitterLadder::for_gram(trace, p);
+        match factor_jittered(&gram, &ladder) {
+            Ok(f) => {
+                prop_assert!(f.attempts <= ladder.max_attempts);
+                // Attempts and jitter agree: a clean factor reports zero
+                // jitter, a jittered one reports the rung it landed on.
+                prop_assert_eq!(f.attempts == 0, f.jitter == 0.0);
+                let mut b = vec![1.0; p];
+                f.chol.solve_in_place(&mut b);
+                prop_assert!(b.iter().all(|v| v.is_finite()));
+            }
+            Err(bd) => {
+                prop_assert_eq!(bd.attempts, ladder.max_attempts);
+                prop_assert!(bd.last_jitter > 0.0);
+                prop_assert!(bd.pivot < p);
+            }
+        }
+    }
+
+    #[test]
+    fn condest_tracks_constructed_condition(seed in 0u64..100, logc in 1i32..9) {
+        let cond = 10f64.powi(logc);
+        let a = testgen::spd_with_condition(seed, 10, cond);
+        let ch = Cholesky::factor(&a).expect("SPD by construction");
+        let est = condest_1norm(&ch, sym_norm1_upper(&a));
+        // The Hager/Higham estimator is a lower bound up to a small
+        // factor; the 1-norm vs 2-norm gap is at most the order. Three
+        // orders of slack each way keeps the property sharp enough to
+        // catch a broken estimate while never flaking.
+        prop_assert!(est >= 1.0, "condest must be >= 1, got {}", est);
+        prop_assert!(est <= cond * 1e3, "overestimate: {} vs target {}", est, cond);
+        prop_assert!(est * 1e3 >= cond, "underestimate: {} vs target {}", est, cond);
     }
 }
 

@@ -20,10 +20,11 @@
 //! OLS, exactly how the paper implements model estimation (§II-C).
 
 use crate::prox::soft_threshold_vec;
+use crate::resilience::FactorHealth;
 use std::sync::Arc;
 use uoi_linalg::{
-    gemv, gemv_into, gemv_t, gemv_t_into, kernels, norm2, norm2_diff, norm2_scaled,
-    norm2_scaled_diff, Cholesky, Matrix,
+    factor_upper_jittered, gemv, gemv_into, gemv_t, gemv_t_into, kernels, norm2, norm2_diff,
+    norm2_scaled, norm2_scaled_diff, Cholesky, FactorBreakdown, JitterLadder, Matrix,
 };
 use uoi_telemetry::MetricsRegistry;
 
@@ -269,7 +270,23 @@ pub(crate) fn effective_rho(cfg_rho: f64, diag_sum: f64, p: usize) -> f64 {
 }
 
 /// Factor the ADMM x-update system for a given design and penalty.
+///
+/// Breakdown (a rank-deficient system that even the `rho` ridge leaves
+/// numerically non-SPD) is defended by the deterministic jitter ladder:
+/// the plain factorisation is attempted first, so clean inputs are
+/// bit-identical to the pre-ladder behaviour.
 pub(crate) fn factorize(x: &Matrix, rho: f64) -> Factorization {
+    try_factorize(x, rho)
+        .map(|(f, _)| f)
+        .expect("ADMM system must factor (is the design non-finite?)")
+}
+
+/// Fallible [`factorize`]: the jitter ladder is walked on breakdown and
+/// the consumed attempts/jitter are reported alongside the factor.
+pub(crate) fn try_factorize(
+    x: &Matrix,
+    rho: f64,
+) -> Result<(Factorization, FactorHealth), FactorBreakdown> {
     let (n, p) = x.shape();
     if p <= n {
         // Upper-stored Gram straight from the batched engine; the mirror
@@ -279,14 +296,32 @@ pub(crate) fn factorize(x: &Matrix, rho: f64) -> Factorization {
         for i in 0..p {
             gram[(i, i)] += rho;
         }
-        Factorization::Primal(Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"))
+        let ladder = JitterLadder::for_matrix(&gram);
+        let jf = factor_upper_jittered(&gram, &ladder)?;
+        Ok((
+            Factorization::Primal(jf.chol),
+            FactorHealth {
+                attempts: jf.attempts,
+                jitter: jf.jitter,
+                condest: None,
+            },
+        ))
     } else {
         let xt = x.transpose();
         let mut small = uoi_linalg::syrk_t_upper(&xt).into_upper();
         for i in 0..n {
             small[(i, i)] += rho;
         }
-        Factorization::Woodbury(Cholesky::factor_upper(&small).expect("rho I + X X^T must be SPD"))
+        let ladder = JitterLadder::for_matrix(&small);
+        let jf = factor_upper_jittered(&small, &ladder)?;
+        Ok((
+            Factorization::Woodbury(jf.chol),
+            FactorHealth {
+                attempts: jf.attempts,
+                jitter: jf.jitter,
+                condest: None,
+            },
+        ))
     }
 }
 
@@ -405,9 +440,20 @@ impl LassoAdmm {
     /// ([`effective_rho`]), so convergence behaviour is invariant to the
     /// overall scale of the design.
     pub fn new(x: Matrix, cfg: AdmmConfig) -> Self {
+        Self::try_new(x, cfg)
+            .map(|(solver, _)| solver)
+            .expect("ADMM system must factor (is the design non-finite?)")
+    }
+
+    /// Fallible [`LassoAdmm::new`]: rank-deficient systems climb the
+    /// deterministic jitter ladder instead of panicking, and the
+    /// consumed attempts/jitter are reported. Clean designs take the
+    /// plain factorisation and are bit-identical to the historical
+    /// constructor (`attempts == 0`).
+    pub fn try_new(x: Matrix, cfg: AdmmConfig) -> Result<(Self, FactorHealth), FactorBreakdown> {
         assert!(cfg.rho > 0.0, "rho must be positive");
         let (n, p) = x.shape();
-        let (rho, factor) = if p <= n {
+        let (rho, factor, health) = if p <= n {
             // Form the Gram here (rather than inside `factorize`) so its
             // diagonal sets the penalty before the ridge is added — the
             // exact sequence `from_gram(syrk_t(&x), cfg)` performs, which
@@ -420,24 +466,32 @@ impl LassoAdmm {
             for i in 0..p {
                 gram[(i, i)] += rho;
             }
-            let factor = Factorization::Primal(
-                Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"),
-            );
-            (rho, factor)
+            let ladder = JitterLadder::for_matrix(&gram);
+            let jf = factor_upper_jittered(&gram, &ladder)?;
+            let health = FactorHealth {
+                attempts: jf.attempts,
+                jitter: jf.jitter,
+                condest: None,
+            };
+            (rho, Factorization::Primal(jf.chol), health)
         } else {
             // Woodbury path never forms the p x p Gram; its diagonal is
             // the per-column sum of squares, i.e. the sum over every entry.
             let diag_sum: f64 = x.as_slice().iter().map(|v| v * v).sum();
             let rho = effective_rho(cfg.rho, diag_sum, p);
-            (rho, factorize(&x, rho))
+            let (factor, health) = try_factorize(&x, rho)?;
+            (rho, factor, health)
         };
-        Self {
-            design: DesignStore::Dense(x),
-            factor,
-            cfg,
-            rho,
-            metrics: None,
-        }
+        Ok((
+            Self {
+                design: DesignStore::Dense(x),
+                factor,
+                cfg,
+                rho,
+                metrics: None,
+            },
+            health,
+        ))
     }
 
     /// Build the solver from a precomputed Gram matrix `X^T X` (consumed;
@@ -454,7 +508,20 @@ impl LassoAdmm {
     /// so upper-stored matrices from the batched Gram engine
     /// (`uoi_linalg::gram`) can be passed directly, mirror skipped; a full
     /// symmetric matrix gives the same bits.
-    pub fn from_gram(mut gram: Matrix, cfg: AdmmConfig) -> Self {
+    pub fn from_gram(gram: Matrix, cfg: AdmmConfig) -> Self {
+        Self::try_from_gram(gram, cfg)
+            .map(|(solver, _)| solver)
+            .expect("ADMM system must factor (is the Gram non-finite?)")
+    }
+
+    /// Fallible [`LassoAdmm::from_gram`]: singular Grams climb the
+    /// deterministic jitter ladder instead of panicking. Clean Grams
+    /// take the plain factorisation first and are bit-identical to the
+    /// historical constructor (`attempts == 0`).
+    pub fn try_from_gram(
+        mut gram: Matrix,
+        cfg: AdmmConfig,
+    ) -> Result<(Self, FactorHealth), FactorBreakdown> {
         assert!(cfg.rho > 0.0, "rho must be positive");
         let p = gram.rows();
         assert_eq!(p, gram.cols(), "from_gram: Gram matrix must be square");
@@ -463,12 +530,31 @@ impl LassoAdmm {
         for i in 0..p {
             gram[(i, i)] += rho;
         }
-        let factor = Factorization::Primal(
-            Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"),
-        );
+        let ladder = JitterLadder::for_matrix(&gram);
+        let jf = factor_upper_jittered(&gram, &ladder)?;
+        Ok((
+            Self {
+                design: DesignStore::Gram { p },
+                factor: Factorization::Primal(jf.chol),
+                cfg,
+                rho,
+                metrics: None,
+            },
+            FactorHealth {
+                attempts: jf.attempts,
+                jitter: jf.jitter,
+                condest: None,
+            },
+        ))
+    }
+
+    /// Rebuild a Gram-backed solver from an already-factored system —
+    /// the rho-restart path of the resilient wrapper, which keeps the
+    /// pristine Gram and refactors with an escalated penalty.
+    pub(crate) fn from_factor(p: usize, chol: Cholesky, cfg: AdmmConfig, rho: f64) -> Self {
         Self {
             design: DesignStore::Gram { p },
-            factor,
+            factor: Factorization::Primal(chol),
             cfg,
             rho,
             metrics: None,
@@ -662,6 +748,36 @@ impl LassoAdmm {
         u: &mut [f64],
         ws: &mut AdmmWorkspace,
     ) -> AdmmStatus {
+        self.solve_warm_guarded(xty, lambda, z, u, ws, None).0
+    }
+
+    /// [`LassoAdmm::solve_warm_with`] with a divergence tripwire: the
+    /// iteration aborts (returning `diverged = true`) as soon as either
+    /// residual is non-finite or exceeds `cap`. The check is a pair of
+    /// comparisons per iteration — no allocations, no arithmetic on the
+    /// iterates — and runs *after* the convergence test, so any solve
+    /// that never trips is bit-identical to the unguarded entry point.
+    pub fn solve_warm_with_guard(
+        &self,
+        xty: &[f64],
+        lambda: f64,
+        z: &mut [f64],
+        u: &mut [f64],
+        ws: &mut AdmmWorkspace,
+        cap: f64,
+    ) -> (AdmmStatus, bool) {
+        self.solve_warm_guarded(xty, lambda, z, u, ws, Some(cap))
+    }
+
+    fn solve_warm_guarded(
+        &self,
+        xty: &[f64],
+        lambda: f64,
+        z: &mut [f64],
+        u: &mut [f64],
+        ws: &mut AdmmWorkspace,
+        guard: Option<f64>,
+    ) -> (AdmmStatus, bool) {
         let p = self.n_coefficients();
         assert_eq!(xty.len(), p, "rhs length mismatch");
         assert_eq!(z.len(), p);
@@ -672,6 +788,7 @@ impl LassoAdmm {
         let (mut r_norm, mut s_norm) = (f64::INFINITY, f64::INFINITY);
         let mut iterations = 0;
         let mut converged = false;
+        let mut diverged = false;
         for it in 0..self.cfg.max_iter {
             iterations = it + 1;
             let (r, s, conv) = self.iterate(xty, lambda, z, u, ws);
@@ -685,14 +802,23 @@ impl LassoAdmm {
                 converged = true;
                 break;
             }
+            if let Some(cap) = guard {
+                if !r_norm.is_finite() || !s_norm.is_finite() || r_norm > cap || s_norm > cap {
+                    diverged = true;
+                    break;
+                }
+            }
         }
         self.note_solve(iterations, converged, r_norm, s_norm);
-        AdmmStatus {
-            iterations,
-            primal_residual: r_norm,
-            dual_residual: s_norm,
-            converged,
-        }
+        (
+            AdmmStatus {
+                iterations,
+                primal_residual: r_norm,
+                dual_residual: s_norm,
+                converged,
+            },
+            diverged,
+        )
     }
 
     /// Solve for one `lambda` from a cold start.
@@ -1107,6 +1233,144 @@ impl LassoAdmm {
     /// estimation step does.
     pub fn solve_ols(&self, y: &[f64]) -> AdmmSolution {
         self.solve(y, 0.0)
+    }
+
+    /// [`LassoAdmm::solve_path_with_rhs`] with the divergence tripwire
+    /// armed on every solve. Returns the solutions plus the indices of
+    /// lambdas whose iteration tripped the guard (non-finite residuals or
+    /// either residual above `cap`); a tripped entry comes back with
+    /// `converged = false` and whatever iterate the abort left behind.
+    ///
+    /// On the sequential schedule the consensus iterate is reset to zero
+    /// after a trip, so the next lambda warm-starts from a defined state
+    /// instead of the diverged garbage — keeping the remainder of the
+    /// path deterministic. Solves that never trip are bit-identical to
+    /// the unguarded path.
+    pub fn solve_path_guarded_with_rhs(
+        &self,
+        xty: &[f64],
+        lambdas: &[f64],
+        cap: f64,
+    ) -> (Vec<AdmmSolution>, Vec<usize>) {
+        if self.cfg.schedule == PathSchedule::Fused {
+            return self.solve_path_fused_guarded_with_rhs(xty, lambdas, cap);
+        }
+        let p = self.n_coefficients();
+        let mut z = vec![0.0; p];
+        let mut u = vec![0.0; p];
+        let mut ws = AdmmWorkspace::new();
+        let mut out = Vec::with_capacity(lambdas.len());
+        let mut diverged_idx = Vec::new();
+        let mut cold_iters = None;
+        for (idx, &lam) in lambdas.iter().enumerate() {
+            u.iter_mut().for_each(|v| *v = 0.0);
+            let (st, tripped) =
+                self.solve_warm_guarded(xty, lam, &mut z, &mut u, &mut ws, Some(cap));
+            if let Some(m) = &self.metrics {
+                m.incr("admm.path.solves", 1);
+                m.observe("admm.path.iterations", st.iterations as f64);
+                match cold_iters {
+                    None => cold_iters = Some(st.iterations),
+                    Some(baseline) if st.converged && st.iterations <= baseline => {
+                        m.incr("admm.path.warm_hits", 1);
+                    }
+                    Some(_) => {}
+                }
+            }
+            out.push(AdmmSolution {
+                beta: z.clone(),
+                iterations: st.iterations,
+                primal_residual: st.primal_residual,
+                dual_residual: st.dual_residual,
+                converged: st.converged,
+                curve: self.take_curve(&mut ws),
+            });
+            if tripped {
+                diverged_idx.push(idx);
+                z.iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+        (out, diverged_idx)
+    }
+
+    /// [`LassoAdmm::solve_path_fused_with_rhs`] with the divergence
+    /// tripwire armed per column: after each lockstep round, any
+    /// still-active column whose residuals are non-finite or above `cap`
+    /// is frozen (no further steps) and reported in the diverged index
+    /// list with `converged = false`. Columns that never trip are
+    /// bit-identical to the unguarded fused path.
+    pub fn solve_path_fused_guarded_with_rhs(
+        &self,
+        xty: &[f64],
+        lambdas: &[f64],
+        cap: f64,
+    ) -> (Vec<AdmmSolution>, Vec<usize>) {
+        let p = self.n_coefficients();
+        assert_eq!(xty.len(), p, "rhs length mismatch");
+        for &lam in lambdas {
+            assert!(lam >= 0.0);
+        }
+        let mut states: Vec<AdmmState> = lambdas.iter().map(|_| self.init_state()).collect();
+        let mut tripped = vec![false; lambdas.len()];
+        let mut rounds = 0usize;
+        for _ in 0..self.cfg.max_iter {
+            if states.iter().all(|s| s.converged) {
+                break;
+            }
+            rounds += 1;
+            let mut tasks: Vec<StepTask<'_>> = states
+                .iter_mut()
+                .zip(lambdas)
+                .map(|(state, &lambda)| StepTask { xty, lambda, state })
+                .collect();
+            self.step_many(&mut tasks);
+            for (flag, st) in tripped.iter_mut().zip(states.iter_mut()) {
+                if st.converged || *flag {
+                    continue;
+                }
+                let (r, s) = (st.primal_residual, st.dual_residual);
+                if !r.is_finite() || !s.is_finite() || r > cap || s > cap {
+                    *flag = true;
+                    // Freeze the column so later rounds skip it; the
+                    // collection below reports it as non-converged.
+                    st.converged = true;
+                }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.observe("admm.path.fused_rounds", rounds as f64);
+        }
+        let mut out = Vec::with_capacity(lambdas.len());
+        let mut diverged_idx = Vec::new();
+        for (i, st) in states.into_iter().enumerate() {
+            let converged = st.converged && !tripped[i];
+            if !converged {
+                // Genuinely converged columns were noted by `step_many`;
+                // frozen and capped-out ones are noted here.
+                self.note_solve(st.iterations, false, st.primal_residual, st.dual_residual);
+            }
+            if let Some(m) = &self.metrics {
+                m.incr("admm.path.solves", 1);
+                m.observe("admm.path.iterations", st.iterations as f64);
+            }
+            let curve = if self.cfg.capture_curve {
+                decimate_curve(&st.scratch.curve, CURVE_MAX_POINTS)
+            } else {
+                Vec::new()
+            };
+            if tripped[i] {
+                diverged_idx.push(i);
+            }
+            out.push(AdmmSolution {
+                beta: st.z,
+                iterations: st.iterations,
+                primal_residual: st.primal_residual,
+                dual_residual: st.dual_residual,
+                converged,
+                curve,
+            });
+        }
+        (out, diverged_idx)
     }
 }
 

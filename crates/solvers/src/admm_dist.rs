@@ -25,12 +25,15 @@
 //! the paper's model-estimation step does.
 
 use crate::admm::{
-    admm_iter_flops, decimate_curve, effective_rho, factorize, lockstep_round_charges, AdmmConfig,
-    AdmmSolution, Factorization, PathSchedule, CURVE_MAX_POINTS,
+    admm_iter_flops, decimate_curve, effective_rho, lockstep_round_charges, try_factorize,
+    AdmmConfig, AdmmSolution, Factorization, PathSchedule, CURVE_MAX_POINTS,
 };
 use crate::prox::soft_threshold_vec;
+use crate::resilience::FactorHealth;
 use std::sync::Arc;
-use uoi_linalg::{gemv_into, gemv_t, gemv_t_into, Cholesky, Matrix};
+use uoi_linalg::{
+    factor_upper_jittered, gemv_into, gemv_t, gemv_t_into, FactorBreakdown, JitterLadder, Matrix,
+};
 use uoi_mpisim::{Comm, RankCtx};
 use uoi_telemetry::MetricsRegistry;
 
@@ -57,6 +60,9 @@ pub struct DistLassoAdmm {
     /// record `admm_dist.*` metrics (communicator rank 0 only, so a
     /// collective solve counts once, not once per rank).
     metrics: Option<Arc<MetricsRegistry>>,
+    /// How the local factorisation went (jitter attempts consumed by the
+    /// escalation ladder; 0 on the clean path).
+    factor_health: FactorHealth,
 }
 
 impl DistLassoAdmm {
@@ -79,6 +85,23 @@ impl DistLassoAdmm {
     /// over `comm`: the effective penalty is `cfg.rho` times the mean
     /// diagonal of the global Gram, allreduced so all ranks agree.
     pub fn new(ctx: &mut RankCtx, comm: &Comm, x_local: Matrix, cfg: AdmmConfig) -> Self {
+        Self::try_new(ctx, comm, x_local, cfg)
+            .expect("local ADMM system must factor (is the design non-finite?)")
+    }
+
+    /// Fallible [`DistLassoAdmm::new`]: rank-deficient local blocks climb
+    /// the deterministic jitter ladder instead of panicking (clean blocks
+    /// take the plain factorisation and stay bit-identical); only ladder
+    /// exhaustion errors. The consumed attempts/jitter are recorded in
+    /// [`DistLassoAdmm::factor_health`]. The ladder is a local decision
+    /// from local data, so ranks stay deterministic without extra
+    /// collectives.
+    pub fn try_new(
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        x_local: Matrix,
+        cfg: AdmmConfig,
+    ) -> Result<Self, FactorBreakdown> {
         assert!(cfg.rho > 0.0);
         let sp = ctx.span_enter("gram_build.factor");
         let (n, p) = x_local.shape();
@@ -93,7 +116,7 @@ impl DistLassoAdmm {
             (dim * dim * dim) as f64 / 3.0,
             uoi_linalg::gram::gram_kernel_ws(dim),
         );
-        let (rho, factor) = if p <= n {
+        let (rho, factor, health) = if p <= n {
             // Mirror `from_gram`: diagonal read off the local Gram before
             // the ridge is added, so `from_gram(syrk_t(&x_local), ..)`
             // stays bit-identical for p <= n_local blocks.
@@ -103,24 +126,30 @@ impl DistLassoAdmm {
             for i in 0..p {
                 gram[(i, i)] += rho;
             }
-            let factor = Factorization::Primal(
-                Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"),
-            );
-            (rho, factor)
+            let ladder = JitterLadder::for_matrix(&gram);
+            let jf = factor_upper_jittered(&gram, &ladder)?;
+            let health = FactorHealth {
+                attempts: jf.attempts,
+                jitter: jf.jitter,
+                condest: None,
+            };
+            (rho, Factorization::Primal(jf.chol), health)
         } else {
             let local_diag: f64 = x_local.as_slice().iter().map(|v| v * v).sum();
             let rho = Self::global_rho(ctx, comm, local_diag, p, cfg.rho);
-            (rho, factorize(&x_local, rho))
+            let (factor, health) = try_factorize(&x_local, rho)?;
+            (rho, factor, health)
         };
         let metrics = ctx.telemetry().metrics();
         ctx.span_exit(sp);
-        Self {
+        Ok(Self {
             local: LocalStore::Dense(x_local),
             factor,
             cfg,
             rho,
             metrics,
-        }
+            factor_health: health,
+        })
     }
 
     /// Build from a precomputed local Gram `X_i^T X_i` (consumed; the
@@ -132,10 +161,24 @@ impl DistLassoAdmm {
     pub fn from_gram(
         ctx: &mut RankCtx,
         comm: &Comm,
-        mut gram: Matrix,
+        gram: Matrix,
         n_rows: usize,
         cfg: AdmmConfig,
     ) -> Self {
+        Self::try_from_gram(ctx, comm, gram, n_rows, cfg)
+            .expect("local ADMM system must factor (is the Gram non-finite?)")
+    }
+
+    /// Fallible [`DistLassoAdmm::from_gram`]: singular local Grams climb
+    /// the deterministic jitter ladder instead of panicking; clean Grams
+    /// stay bit-identical (`attempts == 0`).
+    pub fn try_from_gram(
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        mut gram: Matrix,
+        n_rows: usize,
+        cfg: AdmmConfig,
+    ) -> Result<Self, FactorBreakdown> {
         assert!(cfg.rho > 0.0);
         let sp = ctx.span_enter("gram_build.cholesky");
         let p = gram.rows();
@@ -155,18 +198,30 @@ impl DistLassoAdmm {
         // Reads only the upper triangle: upper-stored Grams from the
         // batched engine (and the checkpoint warm path that round-trips
         // them) need no mirror.
-        let factor = Factorization::Primal(
-            Cholesky::factor_upper(&gram).expect("X^T X + rho I must be SPD"),
-        );
+        let ladder = JitterLadder::for_matrix(&gram);
+        let jf = factor_upper_jittered(&gram, &ladder)?;
+        let factor_health = FactorHealth {
+            attempts: jf.attempts,
+            jitter: jf.jitter,
+            condest: None,
+        };
+        let factor = Factorization::Primal(jf.chol);
         let metrics = ctx.telemetry().metrics();
         ctx.span_exit(sp);
-        Self {
+        Ok(Self {
             local: LocalStore::Gram { n_rows, p },
             factor,
             cfg,
             rho,
             metrics,
-        }
+            factor_health,
+        })
+    }
+
+    /// How this rank's factorisation went: jitter attempts consumed by
+    /// the escalation ladder, 0 on the clean path.
+    pub fn factor_health(&self) -> FactorHealth {
+        self.factor_health
     }
 
     fn local_dense(&self) -> &Matrix {

@@ -25,6 +25,7 @@ pub mod diagnostics;
 pub mod lambda;
 pub mod ols;
 pub mod prox;
+pub mod resilience;
 
 pub use admm::{
     admm_factor_flops, admm_iter_flops, lockstep_round_charges, AdmmConfig, AdmmConfigBuilder,
@@ -35,5 +36,9 @@ pub use admm_dist::DistLassoAdmm;
 pub use cd::{lasso_cd, lasso_cd_warm, mcp_cd, ridge, scad_cd, CdConfig};
 pub use diagnostics::{lasso_kkt_violation, lasso_objective, ols_gradient_norm};
 pub use lambda::{geometric_grid, lambda_max, lambda_path};
-pub use ols::{ols_on_support, ols_on_support_gram, support_of};
+pub use ols::{ols_on_support, ols_on_support_gram, ols_on_support_gram_health, support_of};
 pub use prox::{mcp_threshold, scad_threshold, soft_threshold, soft_threshold_vec};
+pub use resilience::{
+    FactorHealth, PathHealth, ResilienceConfig, ResilientLasso, SolverError,
+    DEFAULT_DIVERGENCE_CAP, DEFAULT_MAX_RHO_RESTARTS,
+};

@@ -3,7 +3,8 @@
 //! support `S_j`, fit OLS on the columns of `X` indexed by `S_j` and embed
 //! the coefficients back into a full-length vector.
 
-use uoi_linalg::{qr_least_squares, solve_normal_equations, Cholesky, Matrix};
+use crate::resilience::FactorHealth;
+use uoi_linalg::{factor_jittered, qr_least_squares, solve_normal_equations, JitterLadder, Matrix};
 
 /// OLS restricted to `support`; returns a length-`p` vector with zeros off
 /// the support. An empty support returns all zeros.
@@ -23,12 +24,22 @@ pub fn ols_on_support(x: &Matrix, y: &[f64], support: &[usize]) -> Vec<f64> {
     let coef = if xs.rows() >= xs.cols() {
         match solve_normal_equations(&xs, y, 0.0) {
             Ok(c) => c,
-            Err(_) => qr_least_squares(&xs, y).expect("rows >= cols checked above"),
+            Err(_) => match qr_least_squares(&xs, y) {
+                Ok(c) => c,
+                // Rank-deficient past what QR pivoting resolves (e.g.
+                // non-finite data): a zero estimate is the defined
+                // degraded outcome, not a panic.
+                Err(_) => return beta,
+            },
         }
     } else {
         // Over-wide support (possible for tiny evaluation folds): a small
-        // ridge keeps the system determined.
-        solve_normal_equations(&xs, y, 1e-6).expect("ridge-regularised system must be SPD")
+        // ridge keeps the system determined. Should even the ridge break
+        // down (adversarial scaling), return the zero estimate.
+        match solve_normal_equations(&xs, y, 1e-6) {
+            Ok(c) => c,
+            Err(_) => return beta,
+        }
     };
     for (&j, &c) in support.iter().zip(&coef) {
         beta[j] = c;
@@ -53,12 +64,26 @@ pub fn ols_on_support_gram(
     support: &[usize],
     n_train: usize,
 ) -> Vec<f64> {
+    ols_on_support_gram_health(gram, xty, support, n_train).0
+}
+
+/// [`ols_on_support_gram`] that also reports how the sub-Gram
+/// factorisation went: jitter attempts consumed by the escalation
+/// ladder (0 = clean, bit-identical to the plain solve). A sub-Gram
+/// that exhausts the ladder yields the zero estimate with
+/// `attempts == u32::MAX` as the exhaustion marker.
+pub fn ols_on_support_gram_health(
+    gram: &Matrix,
+    xty: &[f64],
+    support: &[usize],
+    n_train: usize,
+) -> (Vec<f64>, FactorHealth) {
     let p = gram.rows();
     assert_eq!(p, gram.cols(), "ols_on_support_gram: Gram must be square");
     assert_eq!(p, xty.len(), "ols_on_support_gram: rhs length mismatch");
     let mut beta = vec![0.0; p];
     if support.is_empty() {
-        return beta;
+        return (beta, FactorHealth::clean());
     }
     let s = support.len();
     // Canonical (min, max) indexing reads only the upper triangle of the
@@ -75,33 +100,39 @@ pub fn ols_on_support_gram(
     let rhs: Vec<f64> = support.iter().map(|&j| xty[j]).collect();
     if s > n_train {
         // Over-wide support: determined only with the same small ridge the
-        // design-space path uses.
+        // design-space path uses; the ladder backstops adversarial scaling
+        // where even the ridge is not enough.
         for i in 0..s {
             sub[(i, i)] += 1e-6;
         }
-        if let Ok(ch) = Cholesky::factor(&sub) {
-            embed(&mut beta, support, &ch.solve(&rhs));
-        }
-        return beta;
     }
-    match Cholesky::factor(&sub) {
-        Ok(ch) => embed(&mut beta, support, &ch.solve(&rhs)),
-        Err(_) => {
-            // Escalating jitter: each level adds to the previous diagonal.
-            let mut added = 0.0;
-            for jitter in [1e-10, 1e-8, 1e-6, 1e-4] {
-                for i in 0..s {
-                    sub[(i, i)] += jitter - added;
-                }
-                added = jitter;
-                if let Ok(ch) = Cholesky::factor(&sub) {
-                    embed(&mut beta, support, &ch.solve(&rhs));
-                    break;
-                }
-            }
+    // The ladder attempts the plain factorisation first (no copy, same
+    // bits as the historical `Cholesky::factor` path), then escalates
+    // trace-scaled diagonal jitter — replacing the old fixed
+    // `[1e-10 .. 1e-4]` schedule with one deterministic policy shared by
+    // every factorisation site.
+    let ladder = JitterLadder::for_matrix(&sub);
+    match factor_jittered(&sub, &ladder) {
+        Ok(jf) => {
+            embed(&mut beta, support, &jf.chol.solve(&rhs));
+            (
+                beta,
+                FactorHealth {
+                    attempts: jf.attempts,
+                    jitter: jf.jitter,
+                    condest: None,
+                },
+            )
         }
+        Err(b) => (
+            beta,
+            FactorHealth {
+                attempts: u32::MAX,
+                jitter: b.last_jitter,
+                condest: None,
+            },
+        ),
     }
-    beta
 }
 
 fn embed(beta: &mut [f64], support: &[usize], coef: &[f64]) {

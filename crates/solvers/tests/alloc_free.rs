@@ -7,7 +7,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use uoi_linalg::Matrix;
-use uoi_solvers::{AdmmConfig, AdmmWorkspace, LassoAdmm};
+use uoi_solvers::{AdmmConfig, AdmmWorkspace, LassoAdmm, ResilienceConfig, ResilientLasso};
 
 struct CountingAlloc;
 
@@ -85,6 +85,44 @@ fn warm_solve_is_allocation_free_from_gram() {
     assert_eq!(
         allocs, 0,
         "gram-built solve_warm_with allocated on the warm path"
+    );
+}
+
+/// The divergence tripwire on the clean path costs zero extra heap
+/// allocations: a guarded whole-path solve allocates exactly what the
+/// unguarded one does (output solutions only; the empty trip list and
+/// health vectors never touch the allocator).
+#[test]
+fn clean_guarded_path_allocates_no_more_than_unguarded() {
+    let (n, p) = (48, 12);
+    let x = deterministic_design(n, p);
+    let y: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin()).collect();
+    let gram = uoi_linalg::syrk_t(&x);
+    let xty = uoi_linalg::gemv_t(&x, &y);
+    let lambdas = [0.3, 0.1, 0.05, 0.01];
+
+    let plain = LassoAdmm::from_gram(gram.clone(), AdmmConfig::default());
+    let mut guarded =
+        ResilientLasso::from_gram(gram, AdmmConfig::default(), ResilienceConfig::default())
+            .expect("well-conditioned gram factors cleanly");
+
+    // One warm-up round each so lazily-grown buffers reach steady state.
+    let _ = plain.solve_path_with_rhs(&xty, &lambdas);
+    let _ = guarded.solve_path_with_rhs(&xty, &lambdas);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let base = plain.solve_path_with_rhs(&xty, &lambdas);
+    let plain_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let (sols, health) = guarded.solve_path_with_rhs(&xty, &lambdas);
+    let guarded_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    assert!(health.is_clean());
+    assert_eq!(base.len(), sols.len());
+    assert_eq!(
+        guarded_allocs, plain_allocs,
+        "guards must add no allocations on the clean path"
     );
 }
 

@@ -3,10 +3,11 @@
 //! agreement (ADMM vs coordinate descent).
 
 use proptest::prelude::*;
-use uoi_linalg::Matrix;
+use uoi_linalg::{testgen, Matrix};
 use uoi_solvers::{
     lasso_cd, lasso_kkt_violation, lasso_objective, mcp_threshold, ols_on_support,
     ols_on_support_gram, soft_threshold, support_of, AdmmConfig, CdConfig, LassoAdmm,
+    ResilienceConfig, ResilientLasso,
 };
 
 fn problem_strategy() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
@@ -174,5 +175,73 @@ proptest! {
         // Empty support: all zeros from both.
         let empty = ols_on_support_gram(&gram, &xty, &[], n);
         prop_assert!(empty.iter().all(|v| *v == 0.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilient-solver totality over the shared `uoi_linalg::testgen`
+// ill-conditioned generators: degenerate designs either solve (possibly
+// via the jitter/restart ladder) with finite iterates, or fail with a
+// typed error — never a panic, never a non-finite coefficient. Clean
+// designs must leave the guards bit-invisible.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn resilient_solver_is_total_on_degenerate_designs(seed in 0u64..300, kind in 0usize..4) {
+        let x = match kind {
+            0 => testgen::duplicated_columns_design(seed, 8, 16, 4), // p > n
+            1 => testgen::near_duplicate_columns_design(seed, 12, 8, 3, 1e-13),
+            2 => testgen::scale_disparity_design(seed, 14, 8, 1e12),
+            _ => testgen::constant_column_design(seed, 14, 8, 3, 2.5),
+        };
+        let y = testgen::matched_response(seed, &x);
+        let gram = uoi_linalg::syrk_t(&x);
+        let xty = uoi_linalg::gemv_t(&x, &y);
+        let lambdas = [0.5, 0.1, 0.02];
+        match ResilientLasso::from_gram(gram, AdmmConfig::default(), ResilienceConfig::default()) {
+            Ok(mut solver) => {
+                let (sols, health) = solver.solve_path_with_rhs(&xty, &lambdas);
+                prop_assert_eq!(sols.len(), lambdas.len());
+                for s in &sols {
+                    prop_assert!(s.beta.iter().all(|v| v.is_finite()));
+                }
+                // Health indices point into the path, and a lambda is
+                // never both recovered and dropped.
+                for &i in health.recovered.iter().chain(&health.diverged) {
+                    prop_assert!(i < lambdas.len());
+                }
+                prop_assert!(health.recovered.iter().all(|i| !health.diverged.contains(i)));
+            }
+            Err(e) => {
+                // Typed breakdown, with a displayable message.
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn guards_bit_invisible_on_clean_designs(seed in 0u64..200) {
+        let x = testgen::random_design(seed, 30, 6);
+        let y = testgen::matched_response(seed, &x);
+        let gram = uoi_linalg::syrk_t(&x);
+        let xty = uoi_linalg::gemv_t(&x, &y);
+        let lambdas = [0.4, 0.1, 0.01];
+        let plain = LassoAdmm::from_gram(gram.clone(), AdmmConfig::default());
+        let base = plain.solve_path_with_rhs(&xty, &lambdas);
+        let mut res =
+            ResilientLasso::from_gram(gram, AdmmConfig::default(), ResilienceConfig::default())
+                .unwrap();
+        let (sols, health) = res.solve_path_with_rhs(&xty, &lambdas);
+        prop_assert!(health.is_clean(), "clean design tripped: {:?}", health);
+        for (a, b) in base.iter().zip(&sols) {
+            prop_assert_eq!(a.iterations, b.iterations);
+            for (u, v) in a.beta.iter().zip(&b.beta) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
     }
 }

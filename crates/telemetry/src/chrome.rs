@@ -209,6 +209,34 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> Json {
                     args,
                 ));
             }
+            TraceEvent::Numerical {
+                rank,
+                stage,
+                action,
+                bootstrap,
+                lambda_idx,
+                attempts,
+                value,
+                detail,
+                t,
+            } => {
+                let args = Json::obj(vec![
+                    ("stage", Json::str(*stage)),
+                    ("bootstrap", Json::num(*bootstrap as f64)),
+                    ("lambda_idx", Json::num(*lambda_idx as f64)),
+                    ("attempts", Json::num(*attempts as f64)),
+                    ("value", Json::num(*value)),
+                    ("detail", Json::str(detail.clone())),
+                ]);
+                out.push(instant_event(
+                    &format!("numerical:{action}"),
+                    "numerical",
+                    0,
+                    3 * *rank as u64,
+                    *t,
+                    args,
+                ));
+            }
             // Replayed through the timeline above; convergence records
             // surface through the counter tracks below.
             TraceEvent::SpanStart { .. }

@@ -26,6 +26,10 @@
 //!   [`TraceEvent::Convergence`] records folded into a
 //!   schema-versioned [`ConvergenceReport`] with per-λ iteration
 //!   histograms, non-converged fraction and selection stability;
+//! * [`numerical`] — numerical-resilience layer:
+//!   [`TraceEvent::Numerical`] records (jitter escalations, rho
+//!   restarts, divergence recoveries, data-validation findings)
+//!   folded into a deterministic [`NumericalHealthReport`];
 //! * [`live`] — bounded [`RingSink`] subscriber plus
 //!   [`ProgressTracker`]/[`ProgressSnapshot`] with an α–β
 //!   cost-model ETA;
@@ -42,6 +46,7 @@ pub mod convergence;
 pub mod json;
 pub mod live;
 pub mod metrics;
+pub mod numerical;
 pub mod openmetrics;
 pub mod report;
 pub mod timeline;
@@ -55,6 +60,7 @@ pub use convergence::{
 pub use json::{Json, JsonError};
 pub use live::{ProgressPlan, ProgressSnapshot, ProgressTracker, RingSink};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use numerical::{NumericalHealthReport, CONDEST_EDGES, NUMERICAL_SCHEMA};
 pub use openmetrics::{
     parse_openmetrics, render_openmetrics, write_openmetrics, OpenMetricsDigest,
     OpenMetricsExporter,

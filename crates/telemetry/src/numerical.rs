@@ -1,0 +1,408 @@
+//! Numerical-health aggregation over [`TraceEvent::Numerical`] records:
+//! jitter escalations, rho restarts, divergence recoveries, dropped
+//! tasks, data-validation findings, and a condition-estimate histogram,
+//! folded into a schema-versioned report.
+//!
+//! Determinism: the report is a pure function of the *set* of numerical
+//! records (records are keyed and sorted before aggregation, and the
+//! wall-clock `t` field is ignored), so two runs of the same fit
+//! serialize to byte-identical JSON regardless of worker delivery
+//! order — the property the adversarial acceptance matrix asserts.
+
+use crate::json::Json;
+use crate::trace::TraceEvent;
+use std::collections::BTreeMap;
+
+/// Schema tag stamped into serialized numerical-health reports.
+pub const NUMERICAL_SCHEMA: &str = "uoi.numerical_health/v1";
+
+/// Decade edges of the condition-estimate histogram: bucket `i` counts
+/// estimates in `[10^EDGES[i], 10^EDGES[i+1])`, with a final open
+/// bucket for everything at or above `10^16` (and non-finite
+/// estimates).
+pub const CONDEST_EDGES: [i32; 9] = [0, 2, 4, 6, 8, 10, 12, 14, 16];
+
+/// The aggregated numerical-health report attached to run reports and
+/// rendered by `uoi_trace numerical`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NumericalHealthReport {
+    /// Total numerical records observed.
+    pub events: usize,
+    /// Factorisations that needed diagonal jitter.
+    pub jitter_events: usize,
+    /// Total ladder rungs climbed across all jittered factorisations.
+    pub jitter_attempts_total: usize,
+    /// Largest jitter any factorisation consumed.
+    pub max_jitter: f64,
+    /// Total rho-restart solves performed.
+    pub rho_restarts: usize,
+    /// Divergence trips observed (recovered or not).
+    pub divergences: usize,
+    /// Divergence trips that recovered under a restarted rho.
+    pub recovered: usize,
+    /// Tasks dropped into degraded-mode accounting after the recovery
+    /// ladder was exhausted.
+    pub dropped_tasks: usize,
+    /// Data-validation findings by issue kind.
+    pub data_issues: BTreeMap<String, usize>,
+    /// Cells zeroed by the `Sanitize` validation policy.
+    pub sanitized_cells: usize,
+    /// Condition-estimate decade histogram (see [`CONDEST_EDGES`]);
+    /// always `CONDEST_EDGES.len()` buckets.
+    pub condest_histogram: Vec<usize>,
+    /// Largest condition estimate observed (0.0 when none).
+    pub condest_max: f64,
+}
+
+/// The sortable key of one numerical record, so aggregation (max fields
+/// included) is order-independent.
+#[allow(clippy::type_complexity)]
+fn key(ev: &TraceEvent) -> Option<(&str, &str, usize, usize, &str)> {
+    match ev {
+        TraceEvent::Numerical {
+            stage,
+            action,
+            bootstrap,
+            lambda_idx,
+            detail,
+            ..
+        } => Some((stage, action.as_str(), *bootstrap, *lambda_idx, detail)),
+        _ => None,
+    }
+}
+
+impl NumericalHealthReport {
+    /// True when the run needed no jitter, no restarts, saw no
+    /// divergence, and dropped nothing — the invariant `--compare`
+    /// asserts for clean-input benchmark runs. Data-validation findings
+    /// do not break cleanliness (flagging a constant column is not a
+    /// numerical intervention).
+    pub fn is_clean(&self) -> bool {
+        self.jitter_events == 0
+            && self.rho_restarts == 0
+            && self.divergences == 0
+            && self.dropped_tasks == 0
+    }
+
+    /// Aggregate every [`TraceEvent::Numerical`] record in `events`.
+    /// Other event kinds are ignored, so a full mixed trace can be
+    /// passed straight in.
+    pub fn from_events(events: &[TraceEvent]) -> NumericalHealthReport {
+        let mut recs: Vec<&TraceEvent> = events.iter().filter(|e| key(e).is_some()).collect();
+        recs.sort_by(|a, b| key(a).cmp(&key(b)));
+
+        let mut r = NumericalHealthReport {
+            condest_histogram: vec![0; CONDEST_EDGES.len()],
+            ..NumericalHealthReport::default()
+        };
+        for ev in recs {
+            let TraceEvent::Numerical {
+                action,
+                attempts,
+                value,
+                detail,
+                ..
+            } = ev
+            else {
+                continue;
+            };
+            r.events += 1;
+            match action.as_str() {
+                "jitter" => {
+                    r.jitter_events += 1;
+                    r.jitter_attempts_total += attempts;
+                    if *value > r.max_jitter {
+                        r.max_jitter = *value;
+                    }
+                }
+                "rho_restart" => r.rho_restarts += attempts,
+                "divergence" => {
+                    r.divergences += 1;
+                    if detail == "recovered" {
+                        r.recovered += 1;
+                    }
+                }
+                "task_dropped" => r.dropped_tasks += 1,
+                "condest" => {
+                    r.condest_histogram[condest_bucket(*value)] += 1;
+                    if *value > r.condest_max {
+                        r.condest_max = *value;
+                    }
+                }
+                "data_issue" => {
+                    *r.data_issues.entry(detail.clone()).or_insert(0) += attempts;
+                }
+                "sanitize" => r.sanitized_cells += attempts,
+                _ => {}
+            }
+        }
+        r
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str(NUMERICAL_SCHEMA)),
+            ("events", Json::num(self.events as f64)),
+            ("clean", Json::Bool(self.is_clean())),
+            (
+                "jitter",
+                Json::obj(vec![
+                    ("events", Json::num(self.jitter_events as f64)),
+                    (
+                        "attempts_total",
+                        Json::num(self.jitter_attempts_total as f64),
+                    ),
+                    ("max_jitter", Json::num(self.max_jitter)),
+                ]),
+            ),
+            ("rho_restarts", Json::num(self.rho_restarts as f64)),
+            (
+                "divergence",
+                Json::obj(vec![
+                    ("trips", Json::num(self.divergences as f64)),
+                    ("recovered", Json::num(self.recovered as f64)),
+                ]),
+            ),
+            ("dropped_tasks", Json::num(self.dropped_tasks as f64)),
+            (
+                "data_issues",
+                Json::Obj(
+                    self.data_issues
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::num(v as f64)))
+                        .collect(),
+                ),
+            ),
+            ("sanitized_cells", Json::num(self.sanitized_cells as f64)),
+            (
+                "condest",
+                Json::obj(vec![
+                    (
+                        "buckets",
+                        Json::Arr(
+                            CONDEST_EDGES
+                                .iter()
+                                .map(|&e| Json::str(format!("1e{e}")))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "counts",
+                        Json::Arr(
+                            self.condest_histogram
+                                .iter()
+                                .map(|&c| Json::num(c as f64))
+                                .collect(),
+                        ),
+                    ),
+                    ("max", Json::num(self.condest_max)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Human-readable rendering for `uoi_trace numerical`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "numerical health: {} events, {}\n",
+            self.events,
+            if self.is_clean() {
+                "clean (no interventions)"
+            } else {
+                "interventions recorded"
+            }
+        ));
+        out.push_str(&format!(
+            "  jitter      : {} factorisations, {} ladder rungs, max jitter {:.3e}\n",
+            self.jitter_events, self.jitter_attempts_total, self.max_jitter
+        ));
+        out.push_str(&format!("  rho restarts: {}\n", self.rho_restarts));
+        out.push_str(&format!(
+            "  divergence  : {} trips, {} recovered, {} tasks dropped\n",
+            self.divergences, self.recovered, self.dropped_tasks
+        ));
+        if !self.data_issues.is_empty() || self.sanitized_cells > 0 {
+            out.push_str(&format!(
+                "  data issues : {} ({} cells sanitized)\n",
+                self.data_issues
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                self.sanitized_cells
+            ));
+        }
+        if self.condest_histogram.iter().any(|&c| c > 0) {
+            out.push_str("  condition-estimate histogram:\n");
+            for (i, &c) in self.condest_histogram.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let lo = CONDEST_EDGES[i];
+                let label = if i + 1 < CONDEST_EDGES.len() {
+                    format!("[1e{lo}, 1e{})", CONDEST_EDGES[i + 1])
+                } else {
+                    format!(">= 1e{lo}")
+                };
+                out.push_str(&format!("    {label:>14}  {c}\n"));
+            }
+            out.push_str(&format!("    max estimate  {:.3e}\n", self.condest_max));
+        }
+        out
+    }
+}
+
+/// The decade bucket of a condition estimate; non-finite and huge
+/// estimates land in the final open bucket.
+fn condest_bucket(est: f64) -> usize {
+    if !est.is_finite() {
+        return CONDEST_EDGES.len() - 1;
+    }
+    let lg = est.max(1.0).log10();
+    for (i, w) in CONDEST_EDGES.windows(2).enumerate() {
+        if lg < w[1] as f64 {
+            return i;
+        }
+    }
+    CONDEST_EDGES.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        stage: &'static str,
+        action: &str,
+        bootstrap: usize,
+        attempts: usize,
+        value: f64,
+        detail: &str,
+    ) -> TraceEvent {
+        TraceEvent::Numerical {
+            rank: 0,
+            stage,
+            action: action.into(),
+            bootstrap,
+            lambda_idx: 0,
+            attempts,
+            value,
+            detail: detail.into(),
+            t: 0.0,
+        }
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            ev("selection", "jitter", 0, 2, 1e-12, ""),
+            ev("selection", "jitter", 3, 1, 1e-13, ""),
+            ev("selection", "rho_restart", 3, 2, 0.0, ""),
+            ev("selection", "divergence", 3, 0, 0.0, "recovered"),
+            ev("selection", "divergence", 5, 0, 0.0, "dropped"),
+            ev("selection", "task_dropped", 5, 0, 0.0, ""),
+            ev("validation", "data_issue", 0, 3, 0.0, "non_finite"),
+            ev("validation", "data_issue", 0, 1, 0.0, "constant_column"),
+            ev("validation", "sanitize", 0, 3, 0.0, ""),
+            ev("selection", "condest", 0, 0, 5.0e7, ""),
+            ev("selection", "condest", 1, 0, 2.0e17, ""),
+        ]
+    }
+
+    #[test]
+    fn aggregates_every_action() {
+        let r = NumericalHealthReport::from_events(&sample());
+        assert_eq!(r.events, 11);
+        assert_eq!(r.jitter_events, 2);
+        assert_eq!(r.jitter_attempts_total, 3);
+        assert_eq!(r.max_jitter, 1e-12);
+        assert_eq!(r.rho_restarts, 2);
+        assert_eq!(r.divergences, 2);
+        assert_eq!(r.recovered, 1);
+        assert_eq!(r.dropped_tasks, 1);
+        assert_eq!(r.data_issues.get("non_finite"), Some(&3));
+        assert_eq!(r.data_issues.get("constant_column"), Some(&1));
+        assert_eq!(r.sanitized_cells, 3);
+        assert_eq!(r.condest_histogram.iter().sum::<usize>(), 2);
+        // 5e7 lands in [1e6, 1e8); 2e17 in the open >= 1e16 bucket.
+        assert_eq!(r.condest_histogram[3], 1);
+        assert_eq!(*r.condest_histogram.last().unwrap(), 1);
+        assert_eq!(r.condest_max, 2.0e17);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn empty_trace_is_clean_with_schema() {
+        let r = NumericalHealthReport::from_events(&[]);
+        assert!(r.is_clean());
+        let j = r.to_json();
+        assert_eq!(
+            j.get("schema").and_then(|s| s.as_str()),
+            Some(NUMERICAL_SCHEMA)
+        );
+        assert_eq!(j.get("clean"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn report_is_order_independent_and_ignores_t() {
+        let mut shuffled = sample();
+        shuffled.reverse();
+        for e in &mut shuffled {
+            if let TraceEvent::Numerical { t, .. } = e {
+                *t += 42.0;
+            }
+        }
+        let a = NumericalHealthReport::from_events(&sample())
+            .to_json()
+            .to_string_compact();
+        let b = NumericalHealthReport::from_events(&shuffled)
+            .to_json()
+            .to_string_compact();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn data_issues_alone_stay_clean() {
+        let r = NumericalHealthReport::from_events(&[ev(
+            "validation",
+            "data_issue",
+            0,
+            2,
+            0.0,
+            "duplicate_columns",
+        )]);
+        assert!(r.is_clean());
+        assert_eq!(r.data_issues.get("duplicate_columns"), Some(&2));
+    }
+
+    #[test]
+    fn condest_bucket_edges() {
+        assert_eq!(condest_bucket(1.0), 0);
+        assert_eq!(condest_bucket(99.0), 0);
+        assert_eq!(condest_bucket(100.0), 1);
+        assert_eq!(condest_bucket(1e15), 7);
+        assert_eq!(condest_bucket(1e16), 8);
+        assert_eq!(condest_bucket(f64::INFINITY), 8);
+        assert_eq!(condest_bucket(0.5), 0);
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let text = NumericalHealthReport::from_events(&sample()).render();
+        assert!(text.contains("11 events"));
+        assert!(text.contains("rho restarts: 2"));
+        assert!(text.contains("non_finite=3"));
+        assert!(text.contains("condition-estimate histogram"));
+    }
+
+    #[test]
+    fn ignores_unrelated_events() {
+        let evs = vec![TraceEvent::Io {
+            rank: 0,
+            seconds: 1.0,
+            t: 1.0,
+        }];
+        let r = NumericalHealthReport::from_events(&evs);
+        assert_eq!(r.events, 0);
+    }
+}

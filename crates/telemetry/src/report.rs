@@ -128,6 +128,12 @@ pub struct RunReport {
     /// `uoi.convergence_report/v1`). `null` when the run was not
     /// traced or emitted no convergence records.
     pub convergence: Option<Json>,
+    /// Numerical-health aggregation (the JSON form of a
+    /// `numerical::NumericalHealthReport`, schema
+    /// `uoi.numerical_health/v1`). `null` when the run was not traced
+    /// or emitted no numerical records; a present block with
+    /// `"clean": false` means jitter, restarts, or drops fired.
+    pub numerical: Option<Json>,
     /// Telemetry self-health: currently `dropped_records`, the number
     /// of trace lines lost to sink I/O errors. `null` when no sink was
     /// installed; a non-zero count means the trace file is incomplete
@@ -150,6 +156,7 @@ impl RunReport {
             degradation: None,
             breakdown: None,
             convergence: None,
+            numerical: None,
             telemetry_health: None,
             headers: Vec::new(),
             rows: Vec::new(),
@@ -190,6 +197,13 @@ impl RunReport {
     /// `convergence::ConvergenceReport::to_json`).
     pub fn with_convergence(mut self, convergence: Json) -> Self {
         self.convergence = Some(convergence);
+        self
+    }
+
+    /// Attach a numerical-health report (already serialised via
+    /// `numerical::NumericalHealthReport::to_json`).
+    pub fn with_numerical(mut self, numerical: Json) -> Self {
+        self.numerical = Some(numerical);
         self
     }
 
@@ -253,6 +267,7 @@ impl RunReport {
                 "convergence",
                 self.convergence.clone().unwrap_or(Json::Null),
             ),
+            ("numerical", self.numerical.clone().unwrap_or(Json::Null)),
             (
                 "telemetry",
                 self.telemetry_health.clone().unwrap_or(Json::Null),
@@ -407,6 +422,7 @@ mod tests {
         assert_eq!(doc.get("degradation"), Some(&Json::Null));
         assert_eq!(doc.get("breakdown"), Some(&Json::Null));
         assert_eq!(doc.get("convergence"), Some(&Json::Null));
+        assert_eq!(doc.get("numerical"), Some(&Json::Null));
         assert_eq!(doc.get("telemetry"), Some(&Json::Null));
     }
 
@@ -454,6 +470,29 @@ mod tests {
                 .unwrap()
                 .as_num(),
             Some(44.0)
+        );
+    }
+
+    #[test]
+    fn numerical_section_serialises() {
+        let num = Json::obj(vec![
+            ("schema", Json::str("uoi.numerical_health/v1")),
+            ("clean", Json::Bool(false)),
+            ("rho_restarts", Json::num(2.0)),
+        ]);
+        let report = RunReport::new("traced", "t").with_numerical(num);
+        let doc = Json::parse(&report.to_json_string()).unwrap();
+        assert_eq!(
+            doc.get("numerical").unwrap().get("clean"),
+            Some(&Json::Bool(false))
+        );
+        assert_eq!(
+            doc.get("numerical")
+                .unwrap()
+                .get("rho_restarts")
+                .unwrap()
+                .as_num(),
+            Some(2.0)
         );
     }
 

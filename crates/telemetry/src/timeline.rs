@@ -359,13 +359,14 @@ pub fn build_timeline(events: &[TraceEvent]) -> Timeline {
                 collectives.push(ev.clone());
             }
             // Window transfers and I/O reads are already reflected in
-            // phase charges; faults, hedge decisions, and convergence
-            // records don't carry timeline time.
+            // phase charges; faults, hedge decisions, convergence and
+            // numerical records don't carry timeline time.
             TraceEvent::WindowTransfer { .. }
             | TraceEvent::Io { .. }
             | TraceEvent::Fault { .. }
             | TraceEvent::Hedge { .. }
-            | TraceEvent::Convergence { .. } => {}
+            | TraceEvent::Convergence { .. }
+            | TraceEvent::Numerical { .. } => {}
         }
     }
 

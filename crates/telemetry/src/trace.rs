@@ -134,6 +134,35 @@ pub enum TraceEvent {
         /// Virtual (dist) or wall (serial) seconds at emission.
         t: f64,
     },
+    /// A numerical-resilience action recorded by the solver stack: a
+    /// jittered factorisation, a rho restart, a divergence trip, a task
+    /// dropped after the recovery ladder was exhausted, a condition
+    /// estimate, or a data-validation finding.
+    Numerical {
+        /// Rank that observed the event (0 for serial fits).
+        rank: usize,
+        /// Pipeline stage: "selection", "estimation", or "validation".
+        stage: &'static str,
+        /// Action taxonomy: "jitter" (`attempts` = ladder rungs climbed,
+        /// `value` = jitter added), "rho_restart" (`attempts` = restart
+        /// solves), "divergence" (`detail` = "recovered" or "dropped"),
+        /// "task_dropped", "condest" (`value` = estimate), "data_issue"
+        /// (`detail` = issue kind, `attempts` = occurrences), "sanitize"
+        /// (`attempts` = cells zeroed).
+        action: String,
+        /// Bootstrap / task index within the stage.
+        bootstrap: usize,
+        /// Lambda index for path-level events (0 otherwise).
+        lambda_idx: usize,
+        /// Action-specific count (ladder attempts, restarts, issues).
+        attempts: usize,
+        /// Action-specific magnitude (jitter added, condition estimate).
+        value: f64,
+        /// Free-form detail ("recovered", the issue kind, ...).
+        detail: String,
+        /// Virtual (dist) or wall (serial) seconds at emission.
+        t: f64,
+    },
     /// A speculation decision on a straggling task: a hedge replica
     /// spawned, the replica's result won, the losing party was
     /// cancelled, or a replica's bits diverged from the owner's.
@@ -166,6 +195,7 @@ impl TraceEvent {
             | TraceEvent::Io { rank, .. }
             | TraceEvent::Fault { rank, .. }
             | TraceEvent::Convergence { rank, .. }
+            | TraceEvent::Numerical { rank, .. }
             | TraceEvent::Hedge { rank, .. } => Some(*rank),
             TraceEvent::Collective { .. } => None,
         }
@@ -183,6 +213,7 @@ impl TraceEvent {
             TraceEvent::Io { .. } => "io",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Convergence { .. } => "convergence",
+            TraceEvent::Numerical { .. } => "numerical",
             TraceEvent::Hedge { .. } => "hedge",
         }
     }
@@ -331,6 +362,28 @@ impl TraceEvent {
                 ),
                 ("t", Json::num(*t)),
             ]),
+            TraceEvent::Numerical {
+                rank,
+                stage,
+                action,
+                bootstrap,
+                lambda_idx,
+                attempts,
+                value,
+                detail,
+                t,
+            } => Json::obj(vec![
+                ("ev", Json::str("numerical")),
+                ("rank", Json::num(*rank as f64)),
+                ("stage", Json::str(*stage)),
+                ("action", Json::str(action.clone())),
+                ("bootstrap", Json::num(*bootstrap as f64)),
+                ("lambda_idx", Json::num(*lambda_idx as f64)),
+                ("attempts", Json::num(*attempts as f64)),
+                ("value", Json::num(*value)),
+                ("detail", Json::str(detail.clone())),
+                ("t", Json::num(*t)),
+            ]),
             TraceEvent::Hedge {
                 rank,
                 action,
@@ -439,6 +492,17 @@ impl TraceEvent {
                     .collect::<Option<Vec<_>>>()?,
                 t: num("t")?,
             }),
+            "numerical" => Some(TraceEvent::Numerical {
+                rank: idx("rank")?,
+                stage: intern_stage(v.get("stage")?.as_str()?),
+                action: v.get("action")?.as_str()?.to_string(),
+                bootstrap: idx("bootstrap")?,
+                lambda_idx: idx("lambda_idx")?,
+                attempts: idx("attempts")?,
+                value: num("value")?,
+                detail: v.get("detail")?.as_str()?.to_string(),
+                t: num("t")?,
+            }),
             "hedge" => Some(TraceEvent::Hedge {
                 rank: idx("rank")?,
                 action: intern_hedge_action(v.get("action")?.as_str()?),
@@ -479,6 +543,7 @@ fn intern_stage(s: &str) -> &'static str {
     match s {
         "selection" => "selection",
         "estimation" => "estimation",
+        "validation" => "validation",
         _ => "Unknown",
     }
 }
@@ -751,6 +816,17 @@ mod tests {
                 support: vec![0, 4, 17],
                 curve: vec![1.0, 0.25, 0.0625],
                 t: 0.97,
+            },
+            TraceEvent::Numerical {
+                rank: 1,
+                stage: "selection",
+                action: "jitter".into(),
+                bootstrap: 4,
+                lambda_idx: 0,
+                attempts: 2,
+                value: 1.5e-12,
+                detail: String::new(),
+                t: 0.98,
             },
             TraceEvent::SpanEnd {
                 id: 1,

@@ -6,7 +6,7 @@
 # Runs each binary REPS times untraced, takes the minimum wall-clock,
 # then runs REPS traced reps (UOI_TRACE=1) and folds the per-phase
 # minimum modeled times from the run reports into a schema-versioned
-# BENCH_PIPELINE.json at the repo root (schema_version 5). Per-phase
+# BENCH_PIPELINE.json at the repo root (schema_version 7). Per-phase
 # minima are the same estimator as the walls: the modeled time of a
 # phase varies run to run with thread scheduling (one-sided serving
 # order), and the minimum is the stable best case. Since schema 3 each
@@ -29,6 +29,16 @@
 # fraction, iteration-cap hits, and the median ADMM iteration count of
 # the selection solves. --compare fails when the non-converged fraction
 # regresses (grows) against the baseline snapshot.
+#
+# Schema 7 adds a `numerical` sub-object per pipeline from one extra
+# guarded rep (UOI_NUMERICAL=1): the run-report numerical-health block
+# (jitter retries, rho restarts, dropped tasks, sanitized cells, clean
+# bit). The figure datasets are clean and well-conditioned, so a guarded
+# run must report zero interventions; --compare fails when a "clean" run
+# reports jitter events, rho restarts, or dropped tasks — a guard firing
+# on clean input is a numerical regression, baseline or no baseline.
+# The guarded rep runs after the wall-clock reps and never touches the
+# walls.
 #
 #   scripts/bench_snapshot.sh                    # fresh snapshot
 #   scripts/bench_snapshot.sh old.json           # snapshot + speedup vs old
@@ -59,7 +69,7 @@ while [[ $# -gt 0 ]]; do
       [[ $# -ge 2 ]] || { echo "--compare needs a snapshot path" >&2; exit 2; }
       COMPARE="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,39p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+      sed -n '2,58p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     *)
       BASELINE="$1"; shift ;;
   esac
@@ -95,6 +105,11 @@ for bin in "${BINS[@]}"; do
   mkdir -p "$TRACE_DIR/straggler"
   UOI_STRAGGLER=4.0 UOI_SPECULATE=1 UOI_RESULTS_DIR="$TRACE_DIR/straggler" \
     "$BINDIR/$bin" > /dev/null 2>&1
+  # One guarded rep (schema 7): numerical-resilience guards armed. The
+  # health report is deterministic, so a single rep suffices.
+  mkdir -p "$TRACE_DIR/numerical"
+  UOI_NUMERICAL=1 UOI_RESULTS_DIR="$TRACE_DIR/numerical" \
+    "$BINDIR/$bin" > /dev/null 2>&1
   SPECS+=("$bin=$best")
 done
 
@@ -106,7 +121,7 @@ base_doc = json.load(open(baseline)) if baseline else {}
 base_by_name = {e["name"]: e for e in base_doc.get("pipelines", [])}
 
 doc = {
-    "schema_version": 6,
+    "schema_version": 7,
     "reps": reps,
     "generated_by": "scripts/bench_snapshot.sh",
     "pipelines": [],
@@ -154,6 +169,28 @@ for spec in sys.argv[4:]:
         entry["phases_model_s"] = phases
     else:
         print(f"warning: no breakdown for {name}; phases omitted", file=sys.stderr)
+    # Numerical-health block (schema 7) from the guarded rep. The
+    # figure datasets are clean, so a missing block means the guarded
+    # rep failed outright and the snapshot must not pretend otherwise.
+    num_path = os.path.join(trace_dir, "numerical", f"{name}.json")
+    try:
+        num = json.load(open(num_path)).get("numerical")
+    except (OSError, ValueError):
+        num = None
+    if num:
+        entry["numerical"] = {
+            "clean": num.get("clean"),
+            "jitter_events": num.get("jitter", {}).get("events"),
+            "jitter_attempts_total": num.get("jitter", {}).get("attempts_total"),
+            "rho_restarts": num.get("rho_restarts"),
+            "divergences": num.get("divergence", {}).get("trips"),
+            "dropped_tasks": num.get("dropped_tasks"),
+            "sanitized_cells": num.get("sanitized_cells"),
+        }
+    else:
+        print(f"GATE: {name} guarded rep produced no numerical block",
+              file=sys.stderr)
+        gate_failed = True
     study_path = os.path.join(trace_dir, "straggler", f"{name}.json")
     try:
         study = json.load(open(study_path)).get("params", {})
@@ -233,6 +270,20 @@ for entry in new["pipelines"]:
         print(f"  nonconverged     {f_old:12.4%}  -> {f_new:12.4%} {flag}")
         if it_old is not None and it_new is not None:
             print(f"  admm iter p50    {it_old:12.1f}  -> {it_new:12.1f}")
+    # Clean-run numerical gate (schema 7): the figure datasets are
+    # well-conditioned, so any guard intervention is a regression in the
+    # solver stack — gated unconditionally, baseline or no baseline.
+    num = entry.get("numerical")
+    if num:
+        fired = {k: num.get(k) or 0
+                 for k in ("jitter_events", "rho_restarts", "dropped_tasks")}
+        flag = ""
+        if any(fired.values()):
+            flag = "  REGRESSION (guards fired on clean input)"
+            failed = True
+        print(f"  numerical        jitter {fired['jitter_events']}, "
+              f"restarts {fired['rho_restarts']}, "
+              f"dropped {fired['dropped_tasks']}{flag}")
     old_phases = base.get("phases_model_s")
     if not old_phases:
         print(f"{entry['name']}: baseline has no phase data (schema v1?); "
